@@ -1,0 +1,69 @@
+// Ablation — provider data buffers (§II-A design choice).
+//
+// "each Provider maintains a data buffer which buffers data collected from
+// its sensor and can even share them with multiple different tasks. In
+// this way, energy consumed for sensing can be reduced." This experiment
+// runs increasing numbers of concurrent tasks over the same sensors and
+// reports the fraction of acquisitions served from the buffer — the
+// energy saving the design buys.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sensors/providers.hpp"
+
+using namespace sor;
+
+namespace {
+
+class NoisyEnvironment final : public sensors::SensorEnvironment {
+ public:
+  double Sample(SensorKind, SimTime t) override {
+    return 70.0 + rng_.gaussian(0.0, 0.5) + 0.0001 * t.seconds();
+  }
+  GeoPoint Position(SimTime) override { return GeoPoint{43.0, -76.0, 100}; }
+
+ private:
+  Rng rng_{11};
+};
+
+}  // namespace
+
+int main() {
+  std::printf("provider shared-buffer ablation: concurrent tasks sampling "
+              "the same slow channel (drone temperature, freshness 15 s)\n\n");
+  std::printf("%8s %12s %12s %12s %10s\n", "tasks", "requests", "physical",
+              "buffered", "saving");
+
+  for (int tasks : {1, 2, 4, 8, 16}) {
+    NoisyEnvironment env;
+    sensors::BluetoothLink link;
+    link.Pair();
+    sensors::SensordroneProvider provider(SensorKind::kDroneTemperature, env,
+                                          link);
+    Rng rng(100 + tasks);
+    std::uint64_t requests = 0;
+    // Each task samples every ~60 s over one hour, with its own jitter —
+    // the overlap pattern real concurrent sensing tasks produce.
+    for (int minute = 0; minute < 60; ++minute) {
+      for (int task = 0; task < tasks; ++task) {
+        const SimTime t = SimTime::FromSeconds(
+            minute * 60.0 + rng.uniform(0.0, 10.0));
+        sensors::AcquireRequest req{t, SimDuration{5'000}, 5};
+        if (provider.Acquire(req).ok()) requests += 5;
+      }
+    }
+    const auto& stats = provider.stats();
+    std::printf("%8d %12llu %12llu %12llu %9.1f%%\n", tasks,
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(stats.physical_acquisitions),
+                static_cast<unsigned long long>(stats.buffered_hits),
+                100.0 * stats.buffered_hits /
+                    (stats.buffered_hits + stats.physical_acquisitions));
+  }
+  std::printf("\nexpected: saving grows with task concurrency — the more "
+              "tasks share a sensor, the more acquisitions the buffer "
+              "absorbs\n");
+  return 0;
+}

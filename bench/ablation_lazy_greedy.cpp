@@ -1,0 +1,67 @@
+// Ablation — implementations of Algorithm 1.
+//
+// The paper analyzes Algorithm 1 at O(N²) with an O(1) independence
+// oracle. This ablation compares three implementations that produce
+// (near-)identical schedules:
+//   naive        — re-evaluate every candidate's marginal gain each round
+//                  (the literal Algorithm 1);
+//   incremental  — only gains within 2× the kernel support of the last
+//                  pick are refreshed (exact, same picks);
+//   lazy         — Minoux lazy evaluation on a max-heap of stale gains.
+// Reported: objective, number of marginal-gain evaluations, wall time,
+// across instance sizes, confirming the O(N²)-ish scaling of the naive
+// variant and the large constant-factor win of the others.
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "sched/greedy.hpp"
+#include "world/arrivals.hpp"
+
+int main() {
+  using namespace sor;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("Algorithm 1 implementation ablation (sigma = 10 s)\n\n");
+  std::printf("%6s %6s %14s %12s %12s %10s\n", "N", "users", "variant",
+              "objective", "gain_evals", "ms");
+
+  for (int n : {270, 540, 1'080, 2'160}) {
+    Rng rng(42 + n);
+    world::ArrivalConfig cfg;
+    cfg.num_users = 30;
+    cfg.budget = 17;
+    cfg.period_s = 10'800.0;
+    sched::Problem p =
+        sched::Problem::UniformGrid(10'800.0, n, 10.0);
+    p.users = world::GenerateArrivals(cfg, rng);
+
+    struct Variant {
+      const char* name;
+      Result<sched::ScheduleResult> (*run)(const sched::Problem&);
+    };
+    const Variant variants[] = {
+        {"naive", sched::GreedyScheduleNaive},
+        {"incremental", sched::GreedySchedule},
+        {"lazy", sched::LazyGreedySchedule},
+    };
+    for (const Variant& v : variants) {
+      const auto t0 = Clock::now();
+      Result<sched::ScheduleResult> r = v.run(p);
+      const auto t1 = Clock::now();
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed\n", v.name);
+        return 1;
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      std::printf("%6d %6d %14s %12.3f %12llu %10.2f\n", n, cfg.num_users,
+                  v.name, r.value().objective,
+                  static_cast<unsigned long long>(r.value().gain_evaluations),
+                  ms);
+    }
+  }
+  std::printf("\nexpected: identical objectives per row group; naive evals "
+              "grow ~quadratically, lazy stays near the number of picks\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation — multi-feature scheduling (per-feature kernels, §III).
+//
+// An application sensing both a fast feature (acceleration, σ = 10 s) and
+// a slow one (temperature, σ = 120 s) must place the same measurements for
+// both. Candidate policies:
+//   * multi-kernel greedy  — maximize the weighted sum of per-feature
+//     coverages directly (this repo's extension);
+//   * single-kernel greedy σ=10 / σ=120 — the paper's Algorithm 1 run with
+//     one feature's kernel, scored on the blend;
+//   * periodic baseline.
+// All scored on the blended objective and on each feature separately.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "sched/baseline.hpp"
+#include "sched/greedy.hpp"
+#include "sched/multi_feature.hpp"
+#include "world/arrivals.hpp"
+
+using namespace sor;
+
+int main() {
+  std::printf("multi-feature scheduling ablation (acceleration sigma=10s + "
+              "temperature sigma=120s, equal weights; 30 users, budget 17, "
+              "1080 instants, 5 runs)\n\n");
+  std::printf("%24s %14s %12s %12s\n", "policy", "blended_obj",
+              "cov(accel)", "cov(temp)");
+
+  struct Tally {
+    double objective = 0.0;
+    double accel = 0.0;
+    double temp = 0.0;
+  };
+  Tally tallies[4];
+  const char* names[4] = {"multi-kernel greedy", "greedy sigma=10",
+                          "greedy sigma=120", "periodic baseline"};
+  const int runs = 5;
+
+  for (int run = 0; run < runs; ++run) {
+    Rng rng(4'000 + run * 13);
+    world::ArrivalConfig cfg;
+    cfg.num_users = 30;
+    cfg.budget = 17;
+
+    sched::MultiFeatureProblem mp;
+    mp.grid = MakeInstantGrid(
+        SimInterval{SimTime{0}, SimTime::FromSeconds(10'800)}, 1'080);
+    mp.users = world::GenerateArrivals(cfg, rng);
+    mp.features = {{"acceleration", 10.0, 1.0}, {"temperature", 120.0, 1.0}};
+
+    sched::Schedule schedules[4];
+    schedules[0] =
+        sched::MultiFeatureGreedySchedule(mp).value().schedule;
+    {
+      sched::Problem p = mp.Base();
+      p.sigma_s = 10.0;
+      schedules[1] = sched::GreedySchedule(p).value().schedule;
+      p.sigma_s = 120.0;
+      schedules[2] = sched::GreedySchedule(p).value().schedule;
+      schedules[3] = sched::PeriodicBaselineSchedule(p).value().schedule;
+    }
+    for (int v = 0; v < 4; ++v) {
+      const sched::MultiFeatureResult scored =
+          sched::EvaluateMultiFeature(mp, schedules[v]).value();
+      tallies[v].objective += scored.objective;
+      tallies[v].accel += scored.per_feature_coverage[0];
+      tallies[v].temp += scored.per_feature_coverage[1];
+    }
+  }
+
+  for (int v = 0; v < 4; ++v) {
+    std::printf("%24s %14.1f %12.4f %12.4f\n", names[v],
+                tallies[v].objective / runs, tallies[v].accel / runs,
+                tallies[v].temp / runs);
+  }
+  std::printf("\nexpected: the multi-kernel greedy dominates the blended "
+              "objective; sigma=10 sacrifices nothing on temperature only "
+              "when users are plentiful; sigma=120 clusters too much for "
+              "acceleration\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation — coverage kernel σ.
+//
+// §III: "Different variance σ can be used to model different sensing
+// features. A large σ is used for those sensing features whose readings do
+// not change drastically over time (such as temperature, humidity), while
+// a small σ is used for those whose readings may change quickly (such as
+// acceleration)." This sweep shows how σ changes achievable coverage for a
+// fixed user population and how much of the greedy-vs-baseline gap
+// remains at each setting.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "sched/baseline.hpp"
+#include "sched/greedy.hpp"
+#include "world/arrivals.hpp"
+
+int main() {
+  using namespace sor;
+  std::printf("coverage-kernel sigma ablation (40 users, budget 17, 1080 "
+              "instants, 5 runs/point)\n\n");
+  std::printf("%10s %12s %12s %10s\n", "sigma_s", "greedy", "baseline",
+              "gain");
+
+  for (double sigma : {2.0, 5.0, 10.0, 20.0, 60.0, 120.0, 300.0}) {
+    double greedy_sum = 0.0;
+    double base_sum = 0.0;
+    const int runs = 5;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(9'000 + run * 31 + static_cast<int>(sigma));
+      world::ArrivalConfig cfg;
+      cfg.num_users = 40;
+      cfg.budget = 17;
+      sched::Problem p =
+          sched::Problem::UniformGrid(10'800.0, 1'080, sigma);
+      p.users = world::GenerateArrivals(cfg, rng);
+      const auto greedy = sched::GreedySchedule(p);
+      const auto base = sched::PeriodicBaselineSchedule(p);
+      if (!greedy.ok() || !base.ok()) return 1;
+      const sched::CoverageEvaluator eval(p);
+      greedy_sum += eval.AverageCoverage(greedy.value().schedule);
+      base_sum += eval.AverageCoverage(base.value().schedule);
+    }
+    std::printf("%10.1f %12.4f %12.4f %9.1f%%\n", sigma, greedy_sum / runs,
+                base_sum / runs, (greedy_sum / base_sum - 1.0) * 100.0);
+  }
+  std::printf("\nexpected: coverage rises with sigma (slow features are "
+              "easier to cover); the greedy advantage is largest for "
+              "fast-changing features (small sigma)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the table/figure regenerators.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace sor::bench {
+
+// Run one full-scale field test for a scenario (paper phone counts).
+inline core::FieldTestResult RunCampaign(const world::Scenario& scenario,
+                                         double sigma_s = 60.0) {
+  core::System system;
+  core::FieldTestConfig config;
+  config.budget_per_user = 40;
+  config.sigma_s = sigma_s;
+  Result<core::FieldTestResult> run = system.RunFieldTest(scenario, config);
+  if (!run.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", run.error().str().c_str());
+    std::exit(1);
+  }
+  return std::move(run).value();
+}
+
+inline void PrintHeader(const char* id, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintSeriesComparison(const rank::FeatureMatrix& matrix,
+                                  const std::vector<double>& paper_values,
+                                  const char* paper_label) {
+  const int m = matrix.num_features();
+  std::printf("%-20s", "place");
+  for (const auto& f : matrix.features())
+    std::printf(" %22s", f.name.c_str());
+  std::printf("\n");
+  for (int i = 0; i < matrix.num_places(); ++i) {
+    std::printf("%-20s", matrix.place_names()[i].c_str());
+    for (int j = 0; j < m; ++j) {
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.2f (%s %.2f)", matrix.at(i, j),
+                    paper_label,
+                    paper_values[static_cast<std::size_t>(i) * m + j]);
+      std::printf(" %22s", cell);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace sor::bench

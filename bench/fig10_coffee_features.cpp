@@ -1,0 +1,26 @@
+// Fig. 10 regenerator — "Feature data for coffee shops".
+//
+// Reruns the §V-B field test (Tim Hortons / B&N Cafe / Starbucks, 12
+// phones each) and prints the four feature series: temperature,
+// brightness, background noise, WiFi signal strength.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sor;
+  bench::PrintHeader("Fig. 10", "feature data for coffee shops");
+
+  const world::Scenario scenario = world::MakeCoffeeShopScenario();
+  const core::FieldTestResult result = bench::RunCampaign(scenario);
+
+  std::printf("\nmeasured (reference) per feature:\n\n");
+  bench::PrintSeriesComparison(result.matrix,
+                               world::GroundTruthFeatures(scenario), "ref");
+
+  std::printf("\n%s", server::RenderFeatureBars(result.matrix).c_str());
+  std::printf("participating phones: %d per shop; uploads: %llu\n",
+              scenario.phones_per_place,
+              static_cast<unsigned long long>(result.total_uploads));
+  std::printf("shape check: Starbucks noisiest & darkest; Tim Hortons "
+              "brightest but coldest\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 14(a) regenerator — "Performance of the sensing scheduling
+// algorithm: varying # of mobile users".
+//
+// Setup exactly as §V-C: 10–55 users (step 5), budget fixed at 17, 1080
+// instants over 3 hours, σ = 10 s, uniform arrival/leave, 10 runs per
+// point. Reports the average coverage probability (mean ± stddev) for the
+// greedy scheduler and the every-10s baseline, then checks the paper's
+// headline claims:
+//   * ~100% coverage at 55 users (greedy);
+//   * 80% coverage reachable with ≤ 40 users (greedy) while the baseline
+//     only reaches ~50% at 40 users;
+//   * greedy outperforms the baseline by ~65% on average;
+//   * greedy's variance is consistently lower.
+#include "fig14_util.hpp"
+
+int main() {
+  using namespace sor;
+  std::printf("Fig. 14(a) — average coverage probability vs number of "
+              "mobile users (budget = 17, 10 runs/point)\n\n");
+  std::printf("%6s %12s %12s %12s %12s %10s\n", "users", "greedy",
+              "greedy_sd", "baseline", "baseline_sd", "gain");
+
+  double ratio_sum = 0.0;
+  int points = 0;
+  double greedy_at_40 = 0, base_at_40 = 0, greedy_at_55 = 0;
+  int lower_variance_points = 0;
+  for (int users = 10; users <= 55; users += 5) {
+    const bench::SweepPoint pt = bench::RunPoint(users, 17, 10, 14'000);
+    const double gain = pt.greedy_mean / pt.baseline_mean - 1.0;
+    ratio_sum += gain;
+    ++points;
+    if (users == 40) {
+      greedy_at_40 = pt.greedy_mean;
+      base_at_40 = pt.baseline_mean;
+    }
+    if (users == 55) greedy_at_55 = pt.greedy_mean;
+    if (pt.greedy_stddev <= pt.baseline_stddev) ++lower_variance_points;
+    std::printf("%6d %12.4f %12.4f %12.4f %12.4f %9.1f%%\n", users,
+                pt.greedy_mean, pt.greedy_stddev, pt.baseline_mean,
+                pt.baseline_stddev, gain * 100.0);
+  }
+
+  // Robustness: the same sweep under a churn arrival model (exponential
+  // dwell, mean 30 min) — shorter visits than the paper's uniform model.
+  // The conclusion (greedy dominates; gap shrinks as users saturate the
+  // period) must not depend on the arrival model choice.
+  std::printf("\nrobustness — exponential-dwell arrivals (mean 30 min):\n");
+  std::printf("%6s %12s %12s %10s\n", "users", "greedy", "baseline", "gain");
+  for (int users = 10; users <= 55; users += 15) {
+    const bench::SweepPoint pt = bench::RunPoint(
+        users, 17, 10, 14'000, world::ArrivalModel::kExponentialDwell);
+    std::printf("%6d %12.4f %12.4f %9.1f%%\n", users, pt.greedy_mean,
+                pt.baseline_mean,
+                (pt.greedy_mean / pt.baseline_mean - 1.0) * 100.0);
+  }
+
+  std::printf("\npaper-claim checks:\n");
+  std::printf("  mean improvement over baseline: %.0f%%  (paper: ~65%%)\n",
+              ratio_sum / points * 100.0);
+  std::printf("  greedy at 55 users: %.3f  (paper: ~1.0)\n", greedy_at_55);
+  std::printf("  greedy at 40 users: %.3f  (paper: >= 0.8)\n", greedy_at_40);
+  std::printf("  baseline at 40 users: %.3f  (paper: ~0.5)\n", base_at_40);
+  std::printf("  greedy stddev <= baseline stddev at %d/%d points "
+              "(paper reports consistently lower variance; both are small "
+              "here and dominated by arrival-window randomness)\n",
+              lower_variance_points, points);
+  return 0;
+}

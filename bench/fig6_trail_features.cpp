@@ -1,0 +1,29 @@
+// Fig. 6 regenerator — "Feature data for hiking trails".
+//
+// Reruns the §V-A field test (3 trails around Syracuse, 7 phones each,
+// 11:00AM–2:00PM) in the simulated world and prints the five per-trail
+// feature series: temperature, humidity, roughness of road surface,
+// curvature, altitude change. Reference values are the ground truths the
+// world was built to produce (chosen to match the paper's qualitative
+// plot: Cliff rocky/twisty/steep, Green Lake flat/humid/cooler).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sor;
+  bench::PrintHeader("Fig. 6", "feature data for hiking trails");
+
+  const world::Scenario scenario = world::MakeHikingTrailScenario();
+  const core::FieldTestResult result = bench::RunCampaign(scenario);
+
+  std::printf("\nmeasured (reference) per feature:\n\n");
+  bench::PrintSeriesComparison(result.matrix,
+                               world::GroundTruthFeatures(scenario), "ref");
+
+  std::printf("\n%s", server::RenderFeatureBars(result.matrix).c_str());
+  std::printf("participating phones: %d per trail; uploads: %llu\n",
+              scenario.phones_per_place,
+              static_cast<unsigned long long>(result.total_uploads));
+  std::printf("shape check: Cliff > Long > Green Lake on roughness/"
+              "curvature/altitude; Green Lake most humid & coolest\n");
+  return 0;
+}

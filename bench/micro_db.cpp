@@ -1,0 +1,75 @@
+// Microbenchmark — embedded relational store (the PostgreSQL stand-in's
+// hot paths: raw-blob inserts, indexed scans, status updates).
+#include <benchmark/benchmark.h>
+
+#include "db/database.hpp"
+
+namespace {
+
+using namespace sor::db;
+
+Schema BenchSchema() {
+  Schema s;
+  s.table_name = "bench";
+  s.columns = {{"id", ColumnType::kInt64},
+               {"app", ColumnType::kInt64},
+               {"status", ColumnType::kText},
+               {"value", ColumnType::kDouble}};
+  return s;
+}
+
+void BM_Insert(benchmark::State& state) {
+  std::int64_t id = 0;
+  Table t(BenchSchema());
+  (void)t.CreateIndex("app");
+  for (auto _ : state) {
+    auto r = t.Insert({Value(id++), Value(id % 16), Value("running"),
+                       Value(1.5)});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Insert);
+
+void BM_IndexedLookup(benchmark::State& state) {
+  Table t(BenchSchema());
+  (void)t.CreateIndex("app");
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    (void)t.Insert({Value(i), Value(i % 16), Value("running"), Value(1.5)});
+  }
+  std::int64_t app = 0;
+  for (auto _ : state) {
+    auto rows = t.FindWhereEq("app", Value(app++ % 16));
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_IndexedLookup)->Arg(1'000)->Arg(10'000);
+
+void BM_FullScanFiltered(benchmark::State& state) {
+  Table t(BenchSchema());
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    (void)t.Insert({Value(i), Value(i % 16), Value("running"), Value(1.5)});
+  }
+  for (auto _ : state) {
+    auto rows =
+        t.Scan([](const Row& r) { return r[1].as_int() == 3; });
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_FullScanFiltered)->Arg(1'000)->Arg(10'000);
+
+void BM_UpdateByKey(benchmark::State& state) {
+  Table t(BenchSchema());
+  for (std::int64_t i = 0; i < 1'000; ++i) {
+    (void)t.Insert({Value(i), Value(i % 16), Value("running"), Value(1.5)});
+  }
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    auto s = t.UpdateByKey(Value(key++ % 1'000),
+                           [](Row& r) { r[3] = Value(2.5); });
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_UpdateByKey);
+
+}  // namespace

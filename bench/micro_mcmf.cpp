@@ -1,0 +1,42 @@
+// Microbenchmark — min-cost-flow / assignment solvers (the §IV-B engine).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "flow/assignment.hpp"
+
+namespace {
+
+sor::flow::CostMatrix RandomCosts(int n, sor::Rng& rng) {
+  sor::flow::CostMatrix m;
+  m.n = n;
+  m.cost.resize(static_cast<std::size_t>(n) * n);
+  for (auto& c : m.cost) c = rng.uniform_int(0, 1'000);
+  return m;
+}
+
+void BM_AssignmentFlow(benchmark::State& state) {
+  sor::Rng rng(7);
+  const sor::flow::CostMatrix m = RandomCosts(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto r = sor::flow::SolveAssignmentFlow(m);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AssignmentFlow)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_AssignmentHungarian(benchmark::State& state) {
+  sor::Rng rng(7);
+  const sor::flow::CostMatrix m = RandomCosts(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto r = sor::flow::SolveAssignmentHungarian(m);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AssignmentHungarian)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity();
+
+}  // namespace

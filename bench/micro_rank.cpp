@@ -1,0 +1,72 @@
+// Microbenchmark — rank distances and Algorithm 2 at city scale.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "rank/distances.hpp"
+#include "rank/personalizable_ranker.hpp"
+
+namespace {
+
+using sor::rank::Ranking;
+
+Ranking RandomRanking(int n, sor::Rng& rng) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  return Ranking::FromOrder(std::move(order)).value();
+}
+
+void BM_KemenyQuadratic(benchmark::State& state) {
+  sor::Rng rng(1);
+  const Ranking a = RandomRanking(static_cast<int>(state.range(0)), rng);
+  const Ranking b = RandomRanking(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sor::rank::KemenyDistance(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KemenyQuadratic)->Range(16, 1'024)->Complexity();
+
+void BM_KemenyFast(benchmark::State& state) {
+  sor::Rng rng(1);
+  const Ranking a = RandomRanking(static_cast<int>(state.range(0)), rng);
+  const Ranking b = RandomRanking(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sor::rank::KemenyDistanceFast(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KemenyFast)->Range(16, 1'024)->Complexity();
+
+// Full Algorithm 2 on a city-sized category: N places, M features.
+void BM_PersonalizableRank(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sor::Rng rng(2);
+  std::vector<sor::rank::FeatureSpec> specs;
+  std::vector<sor::rank::FeaturePreference> prefs;
+  for (int j = 0; j < 4; ++j) {
+    specs.push_back({"f" + std::to_string(j),
+                     sor::rank::PrefDirection::kTarget, 50.0});
+    prefs.push_back(sor::rank::FeaturePreference::Prefer(50.0, 1 + j % 5));
+  }
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) names.push_back("p" + std::to_string(i));
+  sor::rank::FeatureMatrix m(std::move(names), specs);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 4; ++j) m.set(i, j, rng.uniform(0, 100));
+  }
+  const sor::rank::PersonalizableRanker ranker(std::move(m));
+  sor::rank::UserProfile profile;
+  profile.name = "u";
+  profile.prefs = prefs;
+  for (auto _ : state) {
+    auto r = ranker.Rank(
+        profile, sor::rank::AggregationMethod::kFootruleHungarian);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PersonalizableRank)->Arg(10)->Arg(50)->Arg(200);
+
+}  // namespace

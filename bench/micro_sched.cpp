@@ -1,0 +1,75 @@
+// Microbenchmark — scheduler scaling: Algorithm 1 variants across grid
+// densities and user counts (the O(N²) analysis of §III, measured).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sched/baseline.hpp"
+#include "sched/greedy.hpp"
+#include "world/arrivals.hpp"
+
+namespace {
+
+sor::sched::Problem MakeProblem(int n_instants, int users) {
+  sor::Rng rng(99);
+  sor::world::ArrivalConfig cfg;
+  cfg.num_users = users;
+  cfg.budget = 17;
+  sor::sched::Problem p =
+      sor::sched::Problem::UniformGrid(10'800.0, n_instants, 10.0);
+  p.users = sor::world::GenerateArrivals(cfg, rng);
+  return p;
+}
+
+void BM_GreedyIncremental(benchmark::State& state) {
+  const sor::sched::Problem p =
+      MakeProblem(static_cast<int>(state.range(0)), 30);
+  for (auto _ : state) {
+    auto r = sor::sched::GreedySchedule(p);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyIncremental)->Arg(270)->Arg(540)->Arg(1'080)->Complexity();
+
+void BM_GreedyLazy(benchmark::State& state) {
+  const sor::sched::Problem p =
+      MakeProblem(static_cast<int>(state.range(0)), 30);
+  for (auto _ : state) {
+    auto r = sor::sched::LazyGreedySchedule(p);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyLazy)->Arg(270)->Arg(540)->Arg(1'080)->Complexity();
+
+void BM_Baseline(benchmark::State& state) {
+  const sor::sched::Problem p =
+      MakeProblem(static_cast<int>(state.range(0)), 30);
+  for (auto _ : state) {
+    auto r = sor::sched::PeriodicBaselineSchedule(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Baseline)->Arg(1'080);
+
+void BM_GreedyUsersScaling(benchmark::State& state) {
+  const sor::sched::Problem p =
+      MakeProblem(1'080, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = sor::sched::GreedySchedule(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GreedyUsersScaling)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_CoverageEvaluation(benchmark::State& state) {
+  const sor::sched::Problem p = MakeProblem(1'080, 40);
+  const auto schedule = sor::sched::GreedySchedule(p).value().schedule;
+  const sor::sched::CoverageEvaluator eval(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.CombinedObjective(schedule));
+  }
+}
+BENCHMARK(BM_CoverageEvaluation);
+
+}  // namespace

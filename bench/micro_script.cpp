@@ -1,0 +1,74 @@
+// Microbenchmark — SenseScript parse + execution throughput (the per-
+// instant cost a phone pays to run its sensing task).
+#include <benchmark/benchmark.h>
+
+#include "script/interpreter.hpp"
+#include "script/parser.hpp"
+
+namespace {
+
+const char* kSensingScript = R"(
+local readings = get_fake_readings(10)
+local sum = 0
+for i = 1, len(readings) do
+  sum = sum + readings[i]
+end
+local avg = sum / len(readings)
+local sd = stddev(readings)
+result = avg + sd
+)";
+
+sor::script::HostRegistry MakeHost() {
+  sor::script::HostRegistry host;
+  sor::script::InstallStdlib(host);
+  host.Register("get_fake_readings",
+                [](std::span<const sor::script::Value> args)
+                    -> sor::Result<sor::script::Value> {
+                  int n = 10;
+                  if (!args.empty() && args[0].is_number())
+                    n = static_cast<int>(args[0].as_number());
+                  sor::script::List values;
+                  for (int i = 0; i < n; ++i)
+                    values.emplace_back(9.8 + 0.01 * i);
+                  return sor::script::Value(
+                      std::make_shared<sor::script::List>(std::move(values)));
+                });
+  return host;
+}
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto program = sor::script::Parse(kSensingScript);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Execute(benchmark::State& state) {
+  const sor::script::HostRegistry host = MakeHost();
+  const sor::script::Program program =
+      sor::script::Parse(kSensingScript).value();
+  sor::script::Interpreter interp(host);
+  for (auto _ : state) {
+    auto r = interp.Execute(program);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Execute);
+
+void BM_ExecuteLoopHeavy(benchmark::State& state) {
+  const sor::script::HostRegistry host = MakeHost();
+  const std::string src = "local s = 0\nfor i = 1, " +
+                          std::to_string(state.range(0)) +
+                          " do s = s + i end\nreturn s";
+  const sor::script::Program program = sor::script::Parse(src).value();
+  sor::script::Interpreter interp(host);
+  for (auto _ : state) {
+    auto r = interp.Execute(program);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecuteLoopHeavy)->Arg(100)->Arg(1'000)->Arg(10'000);
+
+}  // namespace

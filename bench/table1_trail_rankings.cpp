@@ -1,0 +1,39 @@
+// Table I regenerator — "Rankings of hiking trails computed by SOR".
+//
+// Runs the full pipeline (field test → feature matrix → Algorithm 2) for
+// the three §V-A hiker profiles and prints the computed table next to the
+// paper's reported one.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sor;
+  bench::PrintHeader("Table I", "rankings of hiking trails computed by SOR");
+
+  const world::Scenario scenario = world::MakeHikingTrailScenario();
+  const core::FieldTestResult result = bench::RunCampaign(scenario);
+
+  std::vector<std::pair<std::string, rank::Ranking>> table;
+  for (const auto& [user, outcome] : result.rankings)
+    table.emplace_back(user, outcome.final_ranking);
+  std::printf("\ncomputed:\n%s\n",
+              server::RenderRankingTable(result.matrix, table).c_str());
+
+  std::printf("paper:\n");
+  std::printf("Alice   Cliff Trail        Long Trail   Green Lake Trail\n");
+  std::printf("Bob     Long Trail         Cliff Trail  Green Lake Trail\n");
+  std::printf("Chris   Green Lake Trail   Long Trail   Cliff Trail\n\n");
+
+  const std::vector<std::vector<std::string>> expected = {
+      {"Cliff Trail", "Long Trail", "Green Lake Trail"},
+      {"Long Trail", "Cliff Trail", "Green Lake Trail"},
+      {"Green Lake Trail", "Long Trail", "Cliff Trail"},
+  };
+  bool all_match = true;
+  for (std::size_t p = 0; p < result.rankings.size(); ++p) {
+    const bool match = result.RankedNames(p) == expected[p];
+    all_match = all_match && match;
+    std::printf("%-6s: %s\n", result.rankings[p].first.c_str(),
+                match ? "MATCHES paper" : "DIFFERS from paper");
+  }
+  return all_match ? 0 : 1;
+}

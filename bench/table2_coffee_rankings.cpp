@@ -1,0 +1,33 @@
+// Table II regenerator — "Rankings of coffee shops computed by SOR".
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sor;
+  bench::PrintHeader("Table II", "rankings of coffee shops computed by SOR");
+
+  const world::Scenario scenario = world::MakeCoffeeShopScenario();
+  const core::FieldTestResult result = bench::RunCampaign(scenario);
+
+  std::vector<std::pair<std::string, rank::Ranking>> table;
+  for (const auto& [user, outcome] : result.rankings)
+    table.emplace_back(user, outcome.final_ranking);
+  std::printf("\ncomputed:\n%s\n",
+              server::RenderRankingTable(result.matrix, table).c_str());
+
+  std::printf("paper:\n");
+  std::printf("David   Starbucks   B&N Cafe      Tim Hortons\n");
+  std::printf("Emma    B&N Cafe    Tim Hortons   Starbucks\n\n");
+
+  const std::vector<std::vector<std::string>> expected = {
+      {"Starbucks", "B&N Cafe", "Tim Hortons"},
+      {"B&N Cafe", "Tim Hortons", "Starbucks"},
+  };
+  bool all_match = true;
+  for (std::size_t p = 0; p < result.rankings.size(); ++p) {
+    const bool match = result.RankedNames(p) == expected[p];
+    all_match = all_match && match;
+    std::printf("%-6s: %s\n", result.rankings[p].first.c_str(),
+                match ? "MATCHES paper" : "DIFFERS from paper");
+  }
+  return all_match ? 0 : 1;
+}

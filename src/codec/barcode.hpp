@@ -1,0 +1,79 @@
+// 2D-barcode codec.
+//
+// In SOR, "a 2D barcode needs to be deployed in a target place to trigger a
+// sensing procedure" (§I): scanning it yields the identity of the sensing
+// application / target place plus where to reach the sensing server. This
+// module reproduces that trigger end to end:
+//
+//   BarcodePayload  --encode-->  bytes (+CRC-32)  --render-->  BitMatrix
+//                                            \--render-->  base32 text
+//
+// The BitMatrix is a QR-inspired square grid with three corner finder
+// patterns and a module count derived from the payload size; it is what a
+// simulated phone camera "scans". Damaged codes (flipped modules corrupting
+// the payload, missing finder patterns) are detected and rejected, which the
+// integration tests use for failure injection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/bytes.hpp"
+#include "common/geo.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace sor {
+
+struct BarcodePayload {
+  AppId app;
+  PlaceId place;
+  std::string place_name;
+  GeoPoint location;       // canonical location of the target place
+  std::string server;      // endpoint name of the sensing server
+  double radius_m = 75.0;  // participation radius used for verification
+
+  friend bool operator==(const BarcodePayload&,
+                         const BarcodePayload&) = default;
+};
+
+// Byte-level codec (payload | crc32).
+[[nodiscard]] Bytes EncodeBarcodeBytes(const BarcodePayload& p);
+[[nodiscard]] Result<BarcodePayload> DecodeBarcodeBytes(
+    std::span<const std::uint8_t> data);
+
+// Human-transportable text rendering (RFC-4648 base32, no padding), the kind
+// of string a barcode app would hand to the SOR frontend.
+[[nodiscard]] std::string EncodeBarcodeText(const BarcodePayload& p);
+[[nodiscard]] Result<BarcodePayload> DecodeBarcodeText(const std::string& s);
+
+// Square module grid (row-major), the simulated physical barcode.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  explicit BitMatrix(int size) : size_(size), bits_(size * size, false) {}
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] bool get(int r, int c) const {
+    return bits_[static_cast<std::size_t>(r) * size_ + c];
+  }
+  void set(int r, int c, bool v) {
+    bits_[static_cast<std::size_t>(r) * size_ + c] = v;
+  }
+
+  // Flip one module — used by tests to simulate scan damage.
+  void flip(int r, int c) { set(r, c, !get(r, c)); }
+
+  // ASCII-art dump ("##" per dark module) for the Visualization module.
+  [[nodiscard]] std::string ascii() const;
+
+ private:
+  int size_ = 0;
+  std::vector<bool> bits_;
+};
+
+[[nodiscard]] BitMatrix RenderBarcodeMatrix(const BarcodePayload& p);
+[[nodiscard]] Result<BarcodePayload> ScanBarcodeMatrix(const BitMatrix& m);
+
+}  // namespace sor

@@ -1,0 +1,120 @@
+#include "codec/bytes.hpp"
+
+#include <cstring>
+
+namespace sor {
+
+void ByteWriter::u32_fixed(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void ByteWriter::u64_fixed(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  // Zigzag: small magnitudes (positive or negative) stay small on the wire.
+  const auto u = static_cast<std::uint64_t>(v);
+  varint((u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64_fixed(bits);
+}
+
+void ByteWriter::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::blob(std::span<const std::uint8_t> b) {
+  varint(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!ok_ || pos_ >= data_.size()) {
+    fail();
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32_fixed() {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+  return ok_ ? v : 0;
+}
+
+std::uint64_t ByteReader::u64_fixed() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+  return ok_ ? v : 0;
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (shift >= 64) {  // overlong encoding
+      fail();
+      return 0;
+    }
+    const std::uint8_t b = u8();
+    if (!ok_) return 0;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::int64_t ByteReader::svarint() {
+  const std::uint64_t u = varint();
+  if (!ok_) return 0;
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64_fixed();
+  if (!ok_) return 0.0;
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t len = varint();
+  if (!ok_ || len > remaining()) {
+    fail();
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return s;
+}
+
+Bytes ByteReader::blob() {
+  const std::uint64_t len = varint();
+  if (!ok_ || len > remaining()) {
+    fail();
+    return {};
+  }
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += static_cast<std::size_t>(len);
+  return b;
+}
+
+}  // namespace sor

@@ -1,0 +1,88 @@
+// Binary (de)serialization primitives.
+//
+// SOR transmits everything as "binary data ... stored in the message body of
+// an HTTP message" (§II-A) — partly to minimize traffic, partly as security
+// by opacity. This is the single encode/decode layer used by wire messages,
+// the barcode codec, and the raw-blob column in the database.
+//
+// Wire format conventions:
+//  * unsigned integers: LEB128-style varint (7 bits per byte, little-endian)
+//  * signed integers:   zigzag-mapped varint
+//  * doubles:           8-byte IEEE-754 little-endian
+//  * strings/blobs:     varint length prefix + raw bytes
+// Decoding is non-throwing: ByteReader sticks at the first malformed field
+// and reports failure, so a corrupted message can never crash the server.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace sor {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32_fixed(std::uint32_t v);
+  void u64_fixed(std::uint64_t v);
+  void varint(std::uint64_t v);
+  void svarint(std::int64_t v);  // zigzag
+  void f64(double v);
+  void str(std::string_view s);
+  void blob(std::span<const std::uint8_t> b);
+  void boolean(bool b) { u8(b ? 1 : 0); }
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Reads sequentially from a byte span. After any failed read, ok() is false
+// and every subsequent read returns a zero value; callers check ok() once at
+// the end of a decode (monadic-style error sticking).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32_fixed();
+  [[nodiscard]] std::uint64_t u64_fixed();
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::int64_t svarint();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] Bytes blob();
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+
+  // Mark the stream malformed (e.g. a field decoded to an out-of-range
+  // enum value); all subsequent reads return zero and finish() fails.
+  void invalidate() { ok_ = false; }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  // Finish a decode: success only if no read failed *and* no bytes trail.
+  [[nodiscard]] Status finish() const {
+    if (!ok_) return Status(Errc::kDecodeError, "truncated or malformed");
+    if (!at_end()) return Status(Errc::kDecodeError, "trailing bytes");
+    return Status::Ok();
+  }
+
+ private:
+  void fail() { ok_ = false; }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sor

@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+//
+// Used to detect corruption in barcode payloads and framed wire messages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sor {
+
+[[nodiscard]] std::uint32_t Crc32(std::span<const std::uint8_t> data);
+
+}  // namespace sor

@@ -1,0 +1,290 @@
+#include "codec/messages.hpp"
+
+#include <cassert>
+
+#include "codec/crc32.hpp"
+
+namespace sor {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31524F53;  // "SOR1" little-endian
+
+void EncodeGeo(const GeoPoint& p, ByteWriter& w) {
+  w.f64(p.lat_deg);
+  w.f64(p.lon_deg);
+  w.f64(p.alt_m);
+}
+
+GeoPoint DecodeGeo(ByteReader& r) {
+  GeoPoint p;
+  p.lat_deg = r.f64();
+  p.lon_deg = r.f64();
+  p.alt_m = r.f64();
+  return p;
+}
+
+void EncodeTime(SimTime t, ByteWriter& w) { w.svarint(t.ms); }
+SimTime DecodeTime(ByteReader& r) { return SimTime{r.svarint()}; }
+
+}  // namespace
+
+void EncodeReadingTuple(const ReadingTuple& t, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(t.kind));
+  EncodeTime(t.t, w);
+  w.svarint(t.dt.ms);
+  w.varint(t.values.size());
+  for (double v : t.values) w.f64(v);
+  w.varint(t.locations.size());
+  for (const GeoPoint& p : t.locations) EncodeGeo(p, w);
+}
+
+ReadingTuple DecodeReadingTuple(ByteReader& r) {
+  ReadingTuple t;
+  const std::uint8_t kind = r.u8();
+  if (kind >= static_cast<std::uint8_t>(SensorKind::kCount)) {
+    // Unknown sensor kinds must fail the whole decode rather than be
+    // silently coerced to a valid one.
+    r.invalidate();
+    return t;
+  }
+  t.kind = static_cast<SensorKind>(kind);
+  t.t = DecodeTime(r);
+  t.dt = SimDuration{r.svarint()};
+  const std::uint64_t nv = r.varint();
+  if (nv > r.remaining() / 8 + 1) return t;  // length sanity: avoid huge alloc
+  t.values.reserve(static_cast<std::size_t>(nv));
+  for (std::uint64_t i = 0; i < nv && r.ok(); ++i) t.values.push_back(r.f64());
+  const std::uint64_t nl = r.varint();
+  if (nl > r.remaining() / 24 + 1) return t;
+  t.locations.reserve(static_cast<std::size_t>(nl));
+  for (std::uint64_t i = 0; i < nl && r.ok(); ++i)
+    t.locations.push_back(DecodeGeo(r));
+  return t;
+}
+
+MessageType TypeOf(const Message& m) {
+  struct Visitor {
+    MessageType operator()(const ParticipationRequest&) const {
+      return MessageType::kParticipationRequest;
+    }
+    MessageType operator()(const ParticipationReply&) const {
+      return MessageType::kParticipationReply;
+    }
+    MessageType operator()(const ScheduleDistribution&) const {
+      return MessageType::kScheduleDistribution;
+    }
+    MessageType operator()(const SensedDataUpload&) const {
+      return MessageType::kSensedDataUpload;
+    }
+    MessageType operator()(const LeaveNotification&) const {
+      return MessageType::kLeaveNotification;
+    }
+    MessageType operator()(const Ping&) const { return MessageType::kPing; }
+    MessageType operator()(const PingReply&) const {
+      return MessageType::kPingReply;
+    }
+    MessageType operator()(const Ack&) const { return MessageType::kAck; }
+    MessageType operator()(const ErrorReply&) const {
+      return MessageType::kErrorReply;
+    }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+const char* to_string(MessageType t) {
+  switch (t) {
+    case MessageType::kParticipationRequest: return "participation_request";
+    case MessageType::kParticipationReply: return "participation_reply";
+    case MessageType::kScheduleDistribution: return "schedule_distribution";
+    case MessageType::kSensedDataUpload: return "sensed_data_upload";
+    case MessageType::kLeaveNotification: return "leave_notification";
+    case MessageType::kPing: return "ping";
+    case MessageType::kPingReply: return "ping_reply";
+    case MessageType::kAck: return "ack";
+    case MessageType::kErrorReply: return "error_reply";
+  }
+  return "unknown";
+}
+
+void EncodeBody(const Message& m, ByteWriter& w) {
+  struct Visitor {
+    ByteWriter& w;
+    void operator()(const ParticipationRequest& r) const {
+      w.varint(r.user.value());
+      w.str(r.token.value);
+      w.varint(r.app.value());
+      EncodeGeo(r.location, w);
+      w.svarint(r.budget);
+      EncodeTime(r.scan_time, w);
+    }
+    void operator()(const ParticipationReply& r) const {
+      w.varint(r.task.value());
+      w.boolean(r.accepted);
+      w.str(r.reason);
+    }
+    void operator()(const ScheduleDistribution& s) const {
+      w.varint(s.task.value());
+      w.varint(s.app.value());
+      w.str(s.script);
+      w.varint(s.instants.size());
+      // Delta-encode instants: schedules are sorted, deltas are small.
+      std::int64_t prev = 0;
+      for (SimTime t : s.instants) {
+        w.svarint(t.ms - prev);
+        prev = t.ms;
+      }
+      w.svarint(s.sample_window.ms);
+      w.svarint(s.samples_per_window);
+    }
+    void operator()(const SensedDataUpload& u) const {
+      w.varint(u.task.value());
+      w.varint(u.user.value());
+      w.varint(u.batches.size());
+      for (const ReadingTuple& b : u.batches) EncodeReadingTuple(b, w);
+    }
+    void operator()(const LeaveNotification& l) const {
+      w.varint(l.task.value());
+      w.varint(l.user.value());
+      EncodeTime(l.time, w);
+    }
+    void operator()(const Ping& p) const { w.varint(p.phone.value()); }
+    void operator()(const PingReply& p) const {
+      w.varint(p.phone.value());
+      EncodeGeo(p.location, w);
+      EncodeTime(p.time, w);
+    }
+    void operator()(const Ack& a) const { w.varint(a.in_reply_to); }
+    void operator()(const ErrorReply& e) const {
+      w.u8(e.code);
+      w.str(e.message);
+    }
+  };
+  std::visit(Visitor{w}, m);
+}
+
+Result<Message> DecodeBody(MessageType type,
+                           std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  Message out = Ack{};
+  switch (type) {
+    case MessageType::kParticipationRequest: {
+      ParticipationRequest m;
+      m.user = UserId{r.varint()};
+      m.token = Token{r.str()};
+      m.app = AppId{r.varint()};
+      m.location = DecodeGeo(r);
+      m.budget = static_cast<int>(r.svarint());
+      m.scan_time = DecodeTime(r);
+      out = m;
+      break;
+    }
+    case MessageType::kParticipationReply: {
+      ParticipationReply m;
+      m.task = TaskId{r.varint()};
+      m.accepted = r.boolean();
+      m.reason = r.str();
+      out = m;
+      break;
+    }
+    case MessageType::kScheduleDistribution: {
+      ScheduleDistribution m;
+      m.task = TaskId{r.varint()};
+      m.app = AppId{r.varint()};
+      m.script = r.str();
+      const std::uint64_t n = r.varint();
+      if (n > r.remaining() + 1) return Error{Errc::kDecodeError, "bad count"};
+      std::int64_t prev = 0;
+      for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        prev += r.svarint();
+        m.instants.push_back(SimTime{prev});
+      }
+      m.sample_window = SimDuration{r.svarint()};
+      m.samples_per_window = static_cast<int>(r.svarint());
+      out = m;
+      break;
+    }
+    case MessageType::kSensedDataUpload: {
+      SensedDataUpload m;
+      m.task = TaskId{r.varint()};
+      m.user = UserId{r.varint()};
+      const std::uint64_t n = r.varint();
+      if (n > r.remaining() + 1) return Error{Errc::kDecodeError, "bad count"};
+      for (std::uint64_t i = 0; i < n && r.ok(); ++i)
+        m.batches.push_back(DecodeReadingTuple(r));
+      out = m;
+      break;
+    }
+    case MessageType::kLeaveNotification: {
+      LeaveNotification m;
+      m.task = TaskId{r.varint()};
+      m.user = UserId{r.varint()};
+      m.time = DecodeTime(r);
+      out = m;
+      break;
+    }
+    case MessageType::kPing: {
+      out = Ping{PhoneId{r.varint()}};
+      break;
+    }
+    case MessageType::kPingReply: {
+      PingReply m;
+      m.phone = PhoneId{r.varint()};
+      m.location = DecodeGeo(r);
+      m.time = DecodeTime(r);
+      out = m;
+      break;
+    }
+    case MessageType::kAck: {
+      out = Ack{r.varint()};
+      break;
+    }
+    case MessageType::kErrorReply: {
+      ErrorReply m;
+      m.code = r.u8();
+      m.message = r.str();
+      out = m;
+      break;
+    }
+    default:
+      return Error{Errc::kDecodeError, "unknown message type"};
+  }
+  if (Status s = r.finish(); !s.ok()) return s.error();
+  return out;
+}
+
+Bytes EncodeFrame(const Message& m) {
+  ByteWriter body;
+  EncodeBody(m, body);
+
+  ByteWriter frame;
+  frame.u32_fixed(kMagic);
+  frame.u8(static_cast<std::uint8_t>(TypeOf(m)));
+  frame.blob(body.bytes());
+  frame.u32_fixed(Crc32(frame.bytes()));
+  return frame.take();
+}
+
+Result<Message> DecodeFrame(std::span<const std::uint8_t> frame) {
+  if (frame.size() < 9) return Error{Errc::kDecodeError, "frame too short"};
+  // CRC covers everything except the trailing 4 bytes.
+  const auto payload = frame.first(frame.size() - 4);
+  ByteReader tail(frame.subspan(frame.size() - 4));
+  const std::uint32_t want = tail.u32_fixed();
+  if (Crc32(payload) != want)
+    return Error{Errc::kDecodeError, "crc mismatch"};
+
+  ByteReader r(payload);
+  if (r.u32_fixed() != kMagic)
+    return Error{Errc::kDecodeError, "bad magic"};
+  const std::uint8_t type_raw = r.u8();
+  const Bytes body = r.blob();
+  if (!r.ok() || !r.at_end())
+    return Error{Errc::kDecodeError, "malformed frame"};
+  if (type_raw < 1 ||
+      type_raw > static_cast<std::uint8_t>(MessageType::kErrorReply))
+    return Error{Errc::kDecodeError, "unknown message type"};
+  return DecodeBody(static_cast<MessageType>(type_raw), body);
+}
+
+}  // namespace sor

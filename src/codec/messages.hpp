@@ -1,0 +1,153 @@
+// SOR wire messages.
+//
+// The paper (§II) describes five interactions between the mobile frontend
+// and the sensing server, all carried as opaque binary HTTP bodies:
+//   1. participation request (triggered by a 2D-barcode scan),
+//   2. schedule + Lua-script distribution to the phone,
+//   3. sensed-data upload (stored as a raw blob, decoded later by the
+//      Data Processor),
+//   4. leave notification (Participation Manager flips status to finished),
+//   5. ping via a Google Cloud Messaging server when the server loses track
+//      of a phone.
+// Each message type below has a deterministic binary encoding built on
+// ByteWriter/ByteReader, plus a framed envelope with magic, version and a
+// CRC-32 so transport corruption is detected before dispatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "codec/bytes.hpp"
+#include "common/geo.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/sensor_kind.hpp"
+#include "common/sim_time.hpp"
+
+namespace sor {
+
+// One raw-data record: the 3-tuple (t, Δt, d) of §IV-A. SOR takes multiple
+// readings within [t, t+Δt] "to ensure high sensing quality"; `values` holds
+// them. GPS batches additionally carry full fixes in `locations`.
+struct ReadingTuple {
+  SensorKind kind = SensorKind::kAccelerometer;
+  SimTime t;
+  SimDuration dt;
+  std::vector<double> values;
+  std::vector<GeoPoint> locations;  // non-empty only for kGps
+
+  friend bool operator==(const ReadingTuple&, const ReadingTuple&) = default;
+};
+
+struct ParticipationRequest {
+  UserId user;
+  Token token;
+  AppId app;
+  GeoPoint location;   // where the phone claims to be (for verification)
+  int budget = 0;      // N^B_k: max acquisitions this user is willing to do
+  SimTime scan_time;   // when the barcode was scanned
+
+  friend bool operator==(const ParticipationRequest&,
+                         const ParticipationRequest&) = default;
+};
+
+struct ParticipationReply {
+  TaskId task;          // valid only if accepted
+  bool accepted = false;
+  std::string reason;   // human-readable rejection reason
+
+  friend bool operator==(const ParticipationReply&,
+                         const ParticipationReply&) = default;
+};
+
+struct ScheduleDistribution {
+  TaskId task;
+  AppId app;
+  std::string script;              // SenseScript source (the paper's Lua)
+  std::vector<SimTime> instants;   // Φ_k: when this phone should sense
+  SimDuration sample_window;       // Δt per acquisition
+  int samples_per_window = 1;      // readings taken within [t, t+Δt]
+
+  friend bool operator==(const ScheduleDistribution&,
+                         const ScheduleDistribution&) = default;
+};
+
+struct SensedDataUpload {
+  TaskId task;
+  UserId user;
+  std::vector<ReadingTuple> batches;
+
+  friend bool operator==(const SensedDataUpload&,
+                         const SensedDataUpload&) = default;
+};
+
+struct LeaveNotification {
+  TaskId task;
+  UserId user;
+  SimTime time;
+  friend bool operator==(const LeaveNotification&,
+                         const LeaveNotification&) = default;
+};
+
+struct Ping {
+  PhoneId phone;
+  friend bool operator==(const Ping&, const Ping&) = default;
+};
+
+struct PingReply {
+  PhoneId phone;
+  GeoPoint location;
+  SimTime time;
+  friend bool operator==(const PingReply&, const PingReply&) = default;
+};
+
+struct Ack {
+  std::uint64_t in_reply_to = 0;
+  friend bool operator==(const Ack&, const Ack&) = default;
+};
+
+struct ErrorReply {
+  std::uint8_t code = 0;  // Errc numeric value
+  std::string message;
+  friend bool operator==(const ErrorReply&, const ErrorReply&) = default;
+};
+
+using Message =
+    std::variant<ParticipationRequest, ParticipationReply,
+                 ScheduleDistribution, SensedDataUpload, LeaveNotification,
+                 Ping, PingReply, Ack, ErrorReply>;
+
+enum class MessageType : std::uint8_t {
+  kParticipationRequest = 1,
+  kParticipationReply = 2,
+  kScheduleDistribution = 3,
+  kSensedDataUpload = 4,
+  kLeaveNotification = 5,
+  kPing = 6,
+  kPingReply = 7,
+  kAck = 8,
+  kErrorReply = 9,
+};
+
+[[nodiscard]] MessageType TypeOf(const Message& m);
+[[nodiscard]] const char* to_string(MessageType t);
+
+// Body-only encoders (used by the envelope and by the database raw-blob
+// column, which stores upload bodies exactly as received — §II-B).
+void EncodeBody(const Message& m, ByteWriter& w);
+[[nodiscard]] Result<Message> DecodeBody(MessageType type,
+                                         std::span<const std::uint8_t> body);
+
+// Framed envelope: magic "SOR1" | type u8 | body varint-len+bytes | crc32 of
+// everything before it. This is the unit handed to the transport.
+[[nodiscard]] Bytes EncodeFrame(const Message& m);
+[[nodiscard]] Result<Message> DecodeFrame(std::span<const std::uint8_t> frame);
+
+// Reading-batch (de)serialization is also used standalone by the Data
+// Processor when decoding blobs pulled back out of the database.
+void EncodeReadingTuple(const ReadingTuple& r, ByteWriter& w);
+[[nodiscard]] ReadingTuple DecodeReadingTuple(ByteReader& r);
+
+}  // namespace sor

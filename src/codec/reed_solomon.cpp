@@ -1,0 +1,246 @@
+#include "codec/reed_solomon.hpp"
+
+#include <array>
+#include <vector>
+
+namespace sor {
+
+namespace {
+
+// GF(2^8) arithmetic with exp/log tables (generator α = 2, poly 0x11d).
+struct Gf {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+
+  Gf() {
+    int x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i)
+      exp[static_cast<std::size_t>(i)] =
+          exp[static_cast<std::size_t>(i - 255)];
+  }
+
+  [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp[static_cast<std::size_t>(log[a]) + log[b]];
+  }
+  [[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b) const {
+    // b must be non-zero; callers guarantee it.
+    if (a == 0) return 0;
+    return exp[(static_cast<std::size_t>(log[a]) + 255 -
+                log[b]) % 255];
+  }
+  [[nodiscard]] std::uint8_t pow(std::uint8_t a, int e) const {
+    if (a == 0) return 0;
+    const int l = (log[a] * e) % 255;
+    return exp[static_cast<std::size_t>(l < 0 ? l + 255 : l)];
+  }
+  [[nodiscard]] std::uint8_t inverse(std::uint8_t a) const {
+    return exp[static_cast<std::size_t>(255 - log[a])];
+  }
+};
+
+const Gf& Field() {
+  static const Gf gf;
+  return gf;
+}
+
+// Polynomials are coefficient vectors, highest degree first.
+using Poly = std::vector<std::uint8_t>;
+
+Poly PolyMul(const Poly& a, const Poly& b) {
+  const Gf& gf = Field();
+  Poly out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j)
+      out[i + j] = static_cast<std::uint8_t>(out[i + j] ^
+                                             gf.mul(a[i], b[j]));
+  }
+  return out;
+}
+
+std::uint8_t PolyEval(const Poly& p, std::uint8_t x) {
+  const Gf& gf = Field();
+  std::uint8_t y = p.empty() ? 0 : p[0];
+  for (std::size_t i = 1; i < p.size(); ++i)
+    y = static_cast<std::uint8_t>(gf.mul(y, x) ^ p[i]);
+  return y;
+}
+
+// Generator polynomial Π_{i=0}^{nsym-1} (x − α^i).
+Poly Generator(int nsym) {
+  const Gf& gf = Field();
+  Poly g = {1};
+  for (int i = 0; i < nsym; ++i) g = PolyMul(g, Poly{1, gf.pow(2, i)});
+  return g;
+}
+
+}  // namespace
+
+Result<Bytes> RsEncode(std::span<const std::uint8_t> data, int nsym) {
+  if (nsym < 2 || nsym >= kRsMaxBlock)
+    return Error{Errc::kInvalidArgument, "nsym out of range"};
+  if (static_cast<int>(data.size()) + nsym > kRsMaxBlock)
+    return Error{Errc::kInvalidArgument,
+                 "message too long for one RS block"};
+  const Gf& gf = Field();
+  const Poly gen = Generator(nsym);
+
+  // Systematic encoding: remainder of data·x^nsym divided by gen.
+  Bytes out(data.begin(), data.end());
+  out.resize(data.size() + static_cast<std::size_t>(nsym), 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint8_t coef = out[i];
+    if (coef == 0) continue;
+    for (std::size_t j = 1; j < gen.size(); ++j)
+      out[i + j] = static_cast<std::uint8_t>(out[i + j] ^
+                                             gf.mul(gen[j], coef));
+  }
+  // Restore the message bytes (the division destroyed them in place).
+  std::copy(data.begin(), data.end(), out.begin());
+  return out;
+}
+
+Result<Bytes> RsDecode(std::span<const std::uint8_t> codeword, int nsym) {
+  if (nsym < 2 || nsym >= kRsMaxBlock)
+    return Error{Errc::kInvalidArgument, "nsym out of range"};
+  const int n = static_cast<int>(codeword.size());
+  if (n <= nsym || n > kRsMaxBlock)
+    return Error{Errc::kDecodeError, "bad codeword length"};
+  const Gf& gf = Field();
+
+  // Syndromes S_i = C(α^i), i = 0..nsym-1.
+  Poly poly(codeword.begin(), codeword.end());
+  std::vector<std::uint8_t> synd(static_cast<std::size_t>(nsym));
+  bool all_zero = true;
+  for (int i = 0; i < nsym; ++i) {
+    synd[static_cast<std::size_t>(i)] = PolyEval(poly, gf.pow(2, i));
+    if (synd[static_cast<std::size_t>(i)] != 0) all_zero = false;
+  }
+  if (all_zero) {
+    return Bytes(codeword.begin(),
+                 codeword.end() - static_cast<std::ptrdiff_t>(nsym));
+  }
+
+  // Berlekamp–Massey: error locator sigma (lowest degree first here).
+  std::vector<std::uint8_t> sigma = {1};
+  std::vector<std::uint8_t> prev = {1};
+  std::uint8_t b = 1;
+  int L = 0;
+  int m = 1;
+  for (int i = 0; i < nsym; ++i) {
+    // Discrepancy.
+    std::uint8_t delta = synd[static_cast<std::size_t>(i)];
+    for (int j = 1; j <= L; ++j) {
+      if (j < static_cast<int>(sigma.size())) {
+        delta = static_cast<std::uint8_t>(
+            delta ^ gf.mul(sigma[static_cast<std::size_t>(j)],
+                           synd[static_cast<std::size_t>(i - j)]));
+      }
+    }
+    if (delta == 0) {
+      ++m;
+      continue;
+    }
+    if (2 * L <= i) {
+      std::vector<std::uint8_t> t = sigma;
+      // sigma = sigma − (delta/b)·x^m·prev
+      const std::uint8_t coef = gf.div(delta, b);
+      std::vector<std::uint8_t> shifted(prev.size() +
+                                        static_cast<std::size_t>(m));
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        shifted[j + static_cast<std::size_t>(m)] = gf.mul(prev[j], coef);
+      if (sigma.size() < shifted.size()) sigma.resize(shifted.size(), 0);
+      for (std::size_t j = 0; j < shifted.size(); ++j)
+        sigma[j] = static_cast<std::uint8_t>(sigma[j] ^ shifted[j]);
+      L = i + 1 - L;
+      prev = std::move(t);
+      b = delta;
+      m = 1;
+    } else {
+      const std::uint8_t coef = gf.div(delta, b);
+      std::vector<std::uint8_t> shifted(prev.size() +
+                                        static_cast<std::size_t>(m));
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        shifted[j + static_cast<std::size_t>(m)] = gf.mul(prev[j], coef);
+      if (sigma.size() < shifted.size()) sigma.resize(shifted.size(), 0);
+      for (std::size_t j = 0; j < shifted.size(); ++j)
+        sigma[j] = static_cast<std::uint8_t>(sigma[j] ^ shifted[j]);
+      ++m;
+    }
+  }
+  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+  const int num_errors = static_cast<int>(sigma.size()) - 1;
+  if (num_errors * 2 > nsym)
+    return Error{Errc::kDecodeError, "too many errors to correct"};
+
+  // Chien search: roots of sigma give error positions.
+  std::vector<int> positions;
+  for (int pos = 0; pos < n; ++pos) {
+    // x = α^{-pos} evaluated against lowest-first sigma.
+    const std::uint8_t x = gf.pow(2, 255 - ((n - 1 - pos) % 255));
+    // Evaluate sigma (lowest degree first) at x_inv... Use direct eval:
+    std::uint8_t acc = 0;
+    std::uint8_t xp = 1;
+    for (std::size_t j = 0; j < sigma.size(); ++j) {
+      acc = static_cast<std::uint8_t>(acc ^ gf.mul(sigma[j], xp));
+      xp = gf.mul(xp, x);
+    }
+    if (acc == 0) positions.push_back(pos);
+  }
+  if (static_cast<int>(positions.size()) != num_errors)
+    return Error{Errc::kDecodeError, "error locator is inconsistent"};
+
+  // Forney: error magnitudes. Error evaluator omega = (synd·sigma) mod
+  // x^nsym, with synd as a lowest-first polynomial.
+  std::vector<std::uint8_t> omega(static_cast<std::size_t>(nsym), 0);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(nsym); ++i) {
+    std::uint8_t acc = 0;
+    for (std::size_t j = 0; j <= i && j < sigma.size(); ++j)
+      acc = static_cast<std::uint8_t>(acc ^
+                                      gf.mul(sigma[j], synd[i - j]));
+    omega[i] = acc;
+  }
+
+  Bytes corrected(codeword.begin(), codeword.end());
+  for (int pos : positions) {
+    const std::uint8_t x_inv =
+        gf.pow(2, 255 - ((n - 1 - pos) % 255));
+    // omega(x_inv)
+    std::uint8_t num = 0;
+    std::uint8_t xp = 1;
+    for (std::size_t j = 0; j < omega.size(); ++j) {
+      num = static_cast<std::uint8_t>(num ^ gf.mul(omega[j], xp));
+      xp = gf.mul(xp, x_inv);
+    }
+    // sigma'(x_inv): formal derivative keeps odd-power terms.
+    std::uint8_t den = 0;
+    xp = 1;
+    for (std::size_t j = 1; j < sigma.size(); j += 2) {
+      den = static_cast<std::uint8_t>(den ^ gf.mul(sigma[j], xp));
+      xp = gf.mul(xp, gf.mul(x_inv, x_inv));
+    }
+    if (den == 0)
+      return Error{Errc::kDecodeError, "Forney denominator vanished"};
+    const std::uint8_t magnitude =
+        gf.mul(gf.pow(2, (n - 1 - pos) % 255), gf.div(num, den));
+    corrected[static_cast<std::size_t>(pos)] = static_cast<std::uint8_t>(
+        corrected[static_cast<std::size_t>(pos)] ^ magnitude);
+  }
+
+  // Verify: all syndromes of the corrected word must vanish.
+  Poly check(corrected.begin(), corrected.end());
+  for (int i = 0; i < nsym; ++i) {
+    if (PolyEval(check, gf.pow(2, i)) != 0)
+      return Error{Errc::kDecodeError, "correction failed verification"};
+  }
+  corrected.resize(corrected.size() - static_cast<std::size_t>(nsym));
+  return corrected;
+}
+
+}  // namespace sor

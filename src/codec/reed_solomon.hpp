@@ -1,0 +1,34 @@
+// Reed–Solomon error correction over GF(2^8).
+//
+// Real 2D barcodes survive physical damage because their payload carries
+// Reed–Solomon parity; this module gives the SOR barcode the same
+// resilience (§II: the barcode is a physical object deployed in a public
+// place — smudges happen). Classic RS(n, k) with the QR-code field
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d):
+//
+//   RsEncode  — append `nsym` parity bytes (message length + nsym ≤ 255);
+//   RsDecode  — correct up to nsym/2 byte errors in place, or fail.
+//
+// Decoding is syndrome → Berlekamp–Massey → Chien search → Forney.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/bytes.hpp"
+#include "common/result.hpp"
+
+namespace sor {
+
+inline constexpr int kRsMaxBlock = 255;
+
+// data + nsym parity bytes. Fails if data.size() + nsym > 255 or nsym < 2.
+[[nodiscard]] Result<Bytes> RsEncode(std::span<const std::uint8_t> data,
+                                     int nsym);
+
+// Returns the corrected message (parity stripped). Fails when more than
+// nsym/2 byte errors are present (detected via non-converging locator or
+// inconsistent syndromes).
+[[nodiscard]] Result<Bytes> RsDecode(std::span<const std::uint8_t> codeword,
+                                     int nsym);
+
+}  // namespace sor

@@ -1,0 +1,21 @@
+// Canonical names of the humanly-understandable sensing features the paper
+// ranks on (§IV-A / §V). Shared between the world scenarios, the server's
+// Data Processor, and the ranker so the feature matrix columns always line
+// up.
+#pragma once
+
+namespace sor::features {
+
+// Hiking trails (§V-A): the 5 features "hikers usually care about most".
+inline constexpr const char* kTemperature = "temperature";        // °F, mean
+inline constexpr const char* kHumidity = "humidity";              // %RH, mean
+inline constexpr const char* kRoughness = "roughness";            // m/s², mean of per-Δt stddev
+inline constexpr const char* kCurvature = "curvature";            // mrad/m from GPS
+inline constexpr const char* kAltitudeChange = "altitude_change"; // m, stddev of per-Δt means
+
+// Coffee shops (§V-B): the 4 features "customers usually care about most".
+inline constexpr const char* kBrightness = "brightness";  // lux, mean
+inline constexpr const char* kNoise = "noise";            // normalized SPL, mean
+inline constexpr const char* kWifi = "wifi";              // RSSI dBm, mean
+
+}  // namespace sor::features

@@ -1,0 +1,96 @@
+// Geographic primitives.
+//
+// SOR verifies that a participant is physically at the target place by
+// "acquiring its location and comparing it against the location stored in
+// the Application Manager" (§II-B), computes trail curvature from GPS
+// locations (§V-A), and marks users "finished" when they leave. All of that
+// needs distances between lat/lon points; a trail is a polyline of them.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace sor {
+
+inline constexpr double kEarthRadiusMeters = 6371000.0;
+inline constexpr double kPi = 3.14159265358979323846;
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  double alt_m = 0.0;  // altitude above sea level, meters
+
+  friend constexpr bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+[[nodiscard]] inline double DegToRad(double deg) { return deg * kPi / 180.0; }
+
+// Great-circle (haversine) distance in meters, ignoring altitude.
+[[nodiscard]] inline double HaversineMeters(const GeoPoint& a,
+                                            const GeoPoint& b) {
+  const double phi1 = DegToRad(a.lat_deg);
+  const double phi2 = DegToRad(b.lat_deg);
+  const double dphi = DegToRad(b.lat_deg - a.lat_deg);
+  const double dlam = DegToRad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlam / 2) *
+                       std::sin(dlam / 2);
+  return 2.0 * kEarthRadiusMeters *
+         std::atan2(std::sqrt(s), std::sqrt(1.0 - s));
+}
+
+// 3D distance including the altitude delta (useful on steep trails).
+[[nodiscard]] inline double Distance3dMeters(const GeoPoint& a,
+                                             const GeoPoint& b) {
+  const double d = HaversineMeters(a, b);
+  const double dz = b.alt_m - a.alt_m;
+  return std::sqrt(d * d + dz * dz);
+}
+
+// Local tangent-plane projection of b relative to origin a, in meters
+// (x: east, y: north). Adequate at the few-km scale of a target place.
+struct LocalXY {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+[[nodiscard]] inline LocalXY ProjectLocal(const GeoPoint& origin,
+                                          const GeoPoint& b) {
+  const double y =
+      DegToRad(b.lat_deg - origin.lat_deg) * kEarthRadiusMeters;
+  const double x = DegToRad(b.lon_deg - origin.lon_deg) * kEarthRadiusMeters *
+                   std::cos(DegToRad(origin.lat_deg));
+  return {x, y};
+}
+
+// Inverse of ProjectLocal: displace `origin` by (x east, y north) meters.
+[[nodiscard]] inline GeoPoint OffsetMeters(const GeoPoint& origin, double x_m,
+                                           double y_m) {
+  GeoPoint p = origin;
+  p.lat_deg += (y_m / kEarthRadiusMeters) * 180.0 / kPi;
+  p.lon_deg += (x_m / (kEarthRadiusMeters *
+                       std::cos(DegToRad(origin.lat_deg)))) *
+               180.0 / kPi;
+  return p;
+}
+
+// Discrete curvature at vertex b of the polyline a-b-c: turn angle (radians)
+// divided by the mean of the adjacent segment lengths. This is the standard
+// polyline estimator; §V-A computes trail curvature "based on GPS locations".
+[[nodiscard]] inline double PolylineCurvature(const GeoPoint& a,
+                                              const GeoPoint& b,
+                                              const GeoPoint& c) {
+  const LocalXY u = ProjectLocal(b, a);
+  const LocalXY v = ProjectLocal(b, c);
+  const double lu = std::hypot(u.x_m, u.y_m);
+  const double lv = std::hypot(v.x_m, v.y_m);
+  if (lu < 1e-9 || lv < 1e-9) return 0.0;
+  // Angle between incoming direction (-u) and outgoing direction (v).
+  const double dot = (-u.x_m) * v.x_m + (-u.y_m) * v.y_m;
+  double cosang = dot / (lu * lv);
+  cosang = std::fmin(1.0, std::fmax(-1.0, cosang));
+  const double turn = std::acos(cosang);  // 0 = straight, pi = U-turn
+  return turn / (0.5 * (lu + lv));
+}
+
+}  // namespace sor

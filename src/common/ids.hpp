@@ -1,0 +1,84 @@
+// Strongly typed identifiers used across the SOR system.
+//
+// The paper's prototype identifies users by userID + a device token, sensing
+// applications by AppID, and keeps per-participation task ids. Using distinct
+// C++ types (instead of bare integers) makes it impossible to pass a user id
+// where an application id is expected; the compiler enforces what PostgreSQL
+// foreign keys enforced in the original system.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sor {
+
+// CRTP-free tagged id: a 64-bit value wrapped in a unique type per Tag.
+template <class Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  [[nodiscard]] std::string str() const { return std::to_string(value_); }
+
+  static constexpr std::uint64_t kInvalid = 0;
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct UserTag {};
+struct AppTag {};
+struct PlaceTag {};
+struct TaskTag {};
+struct PhoneTag {};
+struct ScheduleTag {};
+
+using UserId = Id<UserTag>;          // a registered (mobile) user
+using AppId = Id<AppTag>;            // a sensing application (per target place)
+using PlaceId = Id<PlaceTag>;        // a target place (coffee shop, trail, ...)
+using TaskId = Id<TaskTag>;          // one sensing task instance
+using PhoneId = Id<PhoneTag>;        // a physical device
+using ScheduleId = Id<ScheduleTag>;  // one computed sensing schedule
+
+// Device token: uniquely identifies a mobile device to the server (paper
+// §II-B, User Info Manager). Opaque string in the prototype; same here.
+struct Token {
+  std::string value;
+  friend auto operator<=>(const Token&, const Token&) = default;
+};
+
+// Monotonic id generator; each manager owns one. Starts at 1 so that the
+// default-constructed Id (0) always means "invalid".
+template <class IdT>
+class IdGenerator {
+ public:
+  [[nodiscard]] IdT next() { return IdT{next_++}; }
+
+ private:
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace sor
+
+namespace std {
+template <class Tag>
+struct hash<sor::Id<Tag>> {
+  size_t operator()(const sor::Id<Tag>& id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+template <>
+struct hash<sor::Token> {
+  size_t operator()(const sor::Token& t) const noexcept {
+    return std::hash<std::string>{}(t.value);
+  }
+};
+}  // namespace std

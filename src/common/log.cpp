@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace sor {
+
+namespace {
+const char* LevelName(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel lvl, const std::string& component,
+                   const std::string& message) {
+  std::lock_guard lock(mu_);
+  std::fprintf(stderr, "[%s] %-12s %s\n", LevelName(lvl), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace sor

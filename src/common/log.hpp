@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// Components log significant events (participation accepted, schedule
+// distributed, decode failure, ...) so the examples read like a trace of the
+// deployed system. Off by default above kWarn to keep test output clean.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sor {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void write(LogLevel lvl, const std::string& component,
+             const std::string& message);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+// Usage: SOR_LOG(kInfo, "server", "scheduled " << n << " tasks");
+#define SOR_LOG(lvl, component, expr)                                      \
+  do {                                                                     \
+    if (::sor::Logger::instance().level() <= ::sor::LogLevel::lvl) {       \
+      std::ostringstream sor_log_oss_;                                     \
+      sor_log_oss_ << expr;                                                \
+      ::sor::Logger::instance().write(::sor::LogLevel::lvl, (component),   \
+                                      sor_log_oss_.str());                 \
+    }                                                                      \
+  } while (0)
+
+}  // namespace sor

@@ -1,0 +1,134 @@
+// Result<T> — a lightweight expected-style error channel.
+//
+// Following the Core Guidelines (E.2/E.3: use exceptions only for genuinely
+// exceptional conditions), recoverable failures that are part of normal
+// operation in a distributed sensing system — a phone that went away, a
+// malformed message, a sensor read timeout — are reported by value through
+// Result<T> rather than thrown.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sor {
+
+// Error categories roughly mirror the task statuses the Participation
+// Manager tracks in the paper ("running, waiting for sensing schedule,
+// finished, error, etc") plus transport/codec failures.
+enum class Errc {
+  kOk = 0,
+  kNotFound,          // unknown user/app/task/row
+  kAlreadyExists,     // duplicate registration / unique-key violation
+  kInvalidArgument,   // caller error: bad parameter
+  kPermissionDenied,  // local preference forbids the sensor / function
+  kTimeout,           // sensor acquisition or transport timed out
+  kDecodeError,       // malformed binary message / barcode
+  kOutOfBudget,       // sensing budget exhausted
+  kNotInPlace,        // location verification failed (untruthful user)
+  kUnavailable,       // endpoint/sensor not reachable
+  kScriptError,       // SenseScript compile/runtime error
+  kInternal,          // invariant violation; indicates a bug
+};
+
+[[nodiscard]] constexpr const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "ok";
+    case Errc::kNotFound: return "not found";
+    case Errc::kAlreadyExists: return "already exists";
+    case Errc::kInvalidArgument: return "invalid argument";
+    case Errc::kPermissionDenied: return "permission denied";
+    case Errc::kTimeout: return "timeout";
+    case Errc::kDecodeError: return "decode error";
+    case Errc::kOutOfBudget: return "out of budget";
+    case Errc::kNotInPlace: return "not in target place";
+    case Errc::kUnavailable: return "unavailable";
+    case Errc::kScriptError: return "script error";
+    case Errc::kInternal: return "internal error";
+  }
+  return "unknown";
+}
+
+// An error code plus a human-readable detail message.
+struct Error {
+  Errc code = Errc::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string str() const {
+    std::string s = to_string(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error err) : repr_(std::in_place_index<1>, std::move(err)) {}
+  Result(Errc code, std::string msg = {})
+      : repr_(std::in_place_index<1>, Error{code, std::move(msg)}) {}
+
+  [[nodiscard]] bool ok() const { return repr_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(repr_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<1>(repr_);
+  }
+  [[nodiscard]] Errc code() const {
+    return ok() ? Errc::kOk : error().code;
+  }
+
+  // value_or: convenience for tests and defaults.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> repr_;
+};
+
+// Status: Result with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error err) : err_(std::move(err)) {}
+  Status(Errc code, std::string msg = {}) : err_(Error{code, std::move(msg)}) {}
+
+  [[nodiscard]] bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *err_;
+  }
+  [[nodiscard]] Errc code() const { return ok() ? Errc::kOk : err_->code; }
+  [[nodiscard]] std::string str() const {
+    return ok() ? std::string("ok") : err_->str();
+  }
+
+  static Status Ok() { return {}; }
+
+ private:
+  std::optional<Error> err_;
+};
+
+}  // namespace sor

@@ -1,0 +1,74 @@
+// Sensor vocabulary shared by every layer (codec, phone, server, world).
+//
+// §II-A: SOR supports "all sensors available on a Google Nexus4 smartphone
+// and all sensors available on a Sensordrone". This enum is that union; each
+// entry is implemented as a Provider in src/sensors and as a ground-truth
+// signal in src/world.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sor {
+
+enum class SensorKind : std::uint8_t {
+  // Embedded (Nexus4):
+  kAccelerometer = 0,  // 3-axis, m/s^2 magnitude reported
+  kGyroscope,          // rad/s magnitude
+  kCompass,            // heading, degrees
+  kGps,                // location fixes (lat/lon/alt)
+  kMicrophone,         // sound pressure level, dB
+  kLight,              // illuminance, lux
+  kWifi,               // RSSI, dBm
+  kBarometer,          // pressure, hPa (gives altitude)
+  // External (Sensordrone over Bluetooth):
+  kDroneTemperature,   // degrees F (paper reports temperature in F)
+  kDroneHumidity,      // relative humidity, %
+  kDroneLight,         // lux
+  kDronePressure,      // hPa
+  kDroneGasCo,         // ppm
+  kDroneColor,         // dominant wavelength proxy
+  kCount,
+};
+
+inline constexpr int kSensorKindCount = static_cast<int>(SensorKind::kCount);
+
+[[nodiscard]] constexpr std::string_view to_string(SensorKind k) {
+  switch (k) {
+    case SensorKind::kAccelerometer: return "accelerometer";
+    case SensorKind::kGyroscope: return "gyroscope";
+    case SensorKind::kCompass: return "compass";
+    case SensorKind::kGps: return "gps";
+    case SensorKind::kMicrophone: return "microphone";
+    case SensorKind::kLight: return "light";
+    case SensorKind::kWifi: return "wifi";
+    case SensorKind::kBarometer: return "barometer";
+    case SensorKind::kDroneTemperature: return "drone_temperature";
+    case SensorKind::kDroneHumidity: return "drone_humidity";
+    case SensorKind::kDroneLight: return "drone_light";
+    case SensorKind::kDronePressure: return "drone_pressure";
+    case SensorKind::kDroneGasCo: return "drone_gas_co";
+    case SensorKind::kDroneColor: return "drone_color";
+    case SensorKind::kCount: break;
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr std::optional<SensorKind> SensorKindFromString(
+    std::string_view s) {
+  for (int i = 0; i < kSensorKindCount; ++i) {
+    const auto k = static_cast<SensorKind>(i);
+    if (to_string(k) == s) return k;
+  }
+  return std::nullopt;
+}
+
+// True for sensors on the external Sensordrone (reachable only when the
+// phone has paired with one — §II-A Providers use "APIs provided by ...
+// third party" for external sensors).
+[[nodiscard]] constexpr bool IsExternalSensor(SensorKind k) {
+  return k >= SensorKind::kDroneTemperature && k < SensorKind::kCount;
+}
+
+}  // namespace sor

@@ -1,0 +1,134 @@
+// Simulated time.
+//
+// The paper's scheduling model (§III) discretizes a scheduling period
+// [tS, tE] into N equally spaced instants; the field tests span wall-clock
+// windows (11:00AM–2:00PM). The whole reproduction runs against a simulated
+// clock so experiments are deterministic and fast. Time is kept in integer
+// milliseconds to avoid floating-point drift in schedule bookkeeping;
+// algorithms that need seconds convert explicitly.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sor {
+
+// A point in simulated time, milliseconds since simulation epoch.
+struct SimTime {
+  std::int64_t ms = 0;
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ms) / 1000.0;
+  }
+  static constexpr SimTime FromSeconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1000.0)};
+  }
+};
+
+// A duration in simulated time, milliseconds.
+struct SimDuration {
+  std::int64_t ms = 0;
+
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ms) / 1000.0;
+  }
+  static constexpr SimDuration FromSeconds(double s) {
+    return SimDuration{static_cast<std::int64_t>(s * 1000.0)};
+  }
+};
+
+constexpr SimTime operator+(SimTime t, SimDuration d) {
+  return SimTime{t.ms + d.ms};
+}
+constexpr SimTime operator-(SimTime t, SimDuration d) {
+  return SimTime{t.ms - d.ms};
+}
+constexpr SimDuration operator-(SimTime a, SimTime b) {
+  return SimDuration{a.ms - b.ms};
+}
+constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+  return SimDuration{a.ms + b.ms};
+}
+constexpr SimDuration operator*(SimDuration d, std::int64_t k) {
+  return SimDuration{d.ms * k};
+}
+constexpr SimDuration operator/(SimDuration d, std::int64_t k) {
+  return SimDuration{d.ms / k};
+}
+
+// A half-open-ended inclusive interval [begin, end] of simulated time, e.g.
+// a scheduling period or a user's presence window [tS_k, tE_k].
+struct SimInterval {
+  SimTime begin;
+  SimTime end;
+
+  [[nodiscard]] constexpr bool contains(SimTime t) const {
+    return begin <= t && t <= end;
+  }
+  [[nodiscard]] constexpr SimDuration duration() const { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const { return end < begin; }
+
+  // Intersection; empty() is true when the intervals are disjoint.
+  [[nodiscard]] constexpr SimInterval intersect(SimInterval o) const {
+    return SimInterval{begin > o.begin ? begin : o.begin,
+                       end < o.end ? end : o.end};
+  }
+};
+
+// Divide a scheduling period into `n` equally spaced instants, the set T of
+// §III. Instants are placed at the centers-free classic grid: t_i = tS + i*dt
+// with dt = (tE - tS)/n, i = 1..n  (the paper is agnostic about endpoint
+// placement; spacing is what matters for coverage).
+[[nodiscard]] inline std::vector<SimTime> MakeInstantGrid(SimInterval period,
+                                                          int n) {
+  assert(n > 0);
+  std::vector<SimTime> grid;
+  grid.reserve(static_cast<size_t>(n));
+  const std::int64_t span = period.duration().ms;
+  for (int i = 1; i <= n; ++i) {
+    grid.push_back(SimTime{period.begin.ms + span * i / n});
+  }
+  return grid;
+}
+
+// The simulation clock. Single-threaded discrete-event usage: components read
+// now() and the driver advances it. Kept deliberately minimal; the event loop
+// lives in sor::core.
+class SimClock {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  void advance_to(SimTime t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+  void advance(SimDuration d) {
+    assert(d.ms >= 0);
+    now_ = now_ + d;
+  }
+  void reset(SimTime t = {}) { now_ = t; }
+
+ private:
+  SimTime now_{};
+};
+
+[[nodiscard]] inline std::string to_string(SimTime t) {
+  const std::int64_t total_s = t.ms / 1000;
+  const std::int64_t h = total_s / 3600;
+  const std::int64_t m = (total_s % 3600) / 60;
+  const std::int64_t s = total_s % 60;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s),
+                static_cast<long long>(t.ms % 1000));
+  return buf;
+}
+
+}  // namespace sor

@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sor {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double Min(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double m = xs[mid];
+  if (xs.size() % 2 == 0) {
+    const double lower = *std::max_element(
+        xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = 0.5 * (m + lower);
+  }
+  return m;
+}
+
+double Mad(std::span<const double> xs, double median) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::fabs(x - median));
+  return Median(std::move(dev));
+}
+
+double RobustMean(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  const double med = Median(std::vector<double>(xs.begin(), xs.end()));
+  const double mad = Mad(xs, med);
+  if (mad == 0.0) return Mean(xs);
+  const double scale = 1.4826 * mad;  // ≈ stddev for Gaussian data
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (std::fabs(x - med) <= threshold * scale) {
+      sum += x;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : med;
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace sor

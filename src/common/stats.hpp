@@ -1,0 +1,84 @@
+// Small statistics toolkit.
+//
+// The Data Processor (paper §IV-A) turns raw sensor readings into "feature
+// data, which are usually statistics (average, variance, etc) of raw data".
+// These helpers are the single implementation used by the data processor,
+// the world generators, and the evaluation harnesses.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sor {
+
+// Numerically stable streaming accumulator (Welford). Use when readings
+// arrive one at a time, e.g. inside a Provider buffer.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  // Population variance (divide by n): matches how the paper reports feature
+  // variability over a fixed field-test window.
+  [[nodiscard]] double variance() const {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / total;
+    mean_ += delta * static_cast<double>(o.n_) / total;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double Mean(std::span<const double> xs);
+[[nodiscard]] double Variance(std::span<const double> xs);  // population
+[[nodiscard]] double StdDev(std::span<const double> xs);
+[[nodiscard]] double Min(std::span<const double> xs);
+[[nodiscard]] double Max(std::span<const double> xs);
+// Linear-interpolated percentile, p in [0,100].
+[[nodiscard]] double Percentile(std::vector<double> xs, double p);
+
+[[nodiscard]] double Median(std::vector<double> xs);
+
+// Median absolute deviation (raw, not normalized).
+[[nodiscard]] double Mad(std::span<const double> xs, double median);
+
+// Robust mean: average of the values whose modified z-score
+// |x − median| / (1.4826·MAD) is at most `threshold`. Falls back to the
+// plain mean when MAD is 0 (constant data). Shields feature extraction
+// from a phone with a broken/miscalibrated sensor.
+[[nodiscard]] double RobustMean(std::span<const double> xs,
+                                double threshold = 6.0);
+
+}  // namespace sor

@@ -1,0 +1,179 @@
+#include "core/system.hpp"
+
+#include "common/log.hpp"
+#include "sensors/energy.hpp"
+#include "server/feature_def.hpp"
+
+namespace sor::core {
+
+std::string DefaultScript(world::PlaceCategory category) {
+  if (category == world::PlaceCategory::kHikingTrail) {
+    // The trail task (cf. Fig. 4): environmental channels in the standard
+    // Δt window; the GPS track with a wide window so consecutive fixes are
+    // tens of meters apart (curvature needs geometry, not jitter).
+    return R"(-- SOR hiking-trail sensing task
+local temp = get_temperature_readings(5)
+local hum = get_humidity_readings(5)
+local accel = get_accelerometer_readings(12)
+local alt = get_altitude_readings(6)
+local track = get_location(15, 300)
+-- quality gate: flag an empty acquisition so the server can see it
+if len(temp) == 0 and len(accel) == 0 then
+  print("no sensors available")
+end
+)";
+  }
+  return R"(-- SOR coffee-shop sensing task
+local temp = get_temperature_readings(5)
+local light = get_light_readings(5)
+local noise = get_noise_readings(8)
+local wifi = get_wifi_readings(5)
+if len(noise) == 0 and len(light) == 0 then
+  print("no sensors available")
+end
+)";
+}
+
+System::System() {
+  server_ = std::make_unique<server::SensingServer>(
+      server::ServerConfig{}, network_, clock_);
+}
+
+System::~System() = default;
+
+Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
+                                             const FieldTestConfig& config) {
+  if (scenario.places.empty())
+    return Error{Errc::kInvalidArgument, "scenario has no places"};
+  if (config.budget_per_user <= 0)
+    return Error{Errc::kInvalidArgument, "budget must be positive"};
+
+  clock_.reset();
+  agents_.clear();
+  frontends_.clear();
+  server_->scheduler().set_algorithm(config.scheduler_algorithm);
+
+  const SimInterval period{SimTime{0},
+                           SimTime::FromSeconds(scenario.period_s)};
+  const std::vector<server::FeatureDef> feature_defs =
+      scenario.category == world::PlaceCategory::kHikingTrail
+          ? server::HikingTrailFeatures()
+          : server::CoffeeShopFeatures();
+
+  FieldTestResult result;
+  Rng rng(config.seed);
+
+  // 1. Deploy one application per target place; print the barcode.
+  std::vector<BarcodePayload> barcodes;
+  for (const world::PlaceModel& place : scenario.places) {
+    server::ApplicationSpec spec;
+    spec.creator = "operator:" + place.name;
+    spec.place = place.id;
+    spec.place_name = place.name;
+    spec.location = place.center;
+    spec.radius_m = place.radius_m;
+    spec.script = DefaultScript(scenario.category);
+    spec.features = feature_defs;
+    spec.period = period;
+    spec.n_instants = config.n_instants;
+    spec.sigma_s = config.sigma_s;
+    Result<BarcodePayload> barcode = server_->DeployApplication(spec);
+    if (!barcode.ok()) return barcode.error();
+    result.app_ids.push_back(barcode.value().app);
+    barcodes.push_back(std::move(barcode).value());
+  }
+
+  // 2. Spawn phones: register users, then trigger participation through
+  // the real barcode scan (render to the 2D matrix and scan it back).
+  for (std::size_t p = 0; p < scenario.places.size(); ++p) {
+    const world::PlaceModel& place = scenario.places[p];
+    for (int i = 0; i < scenario.phones_per_place; ++i, ++next_phone_) {
+      const std::uint64_t phone_seq = next_phone_;
+      const std::string user_name = "user_" + std::to_string(phone_seq);
+      const Token token{"tok-" + std::to_string(phone_seq)};
+      Result<UserId> user = server_->users().RegisterUser(user_name, token);
+      if (!user.ok()) return user.error();
+
+      world::PhoneAgentConfig agent_cfg;
+      agent_cfg.id = PhoneId{phone_seq};
+      agent_cfg.mobility =
+          scenario.category == world::PlaceCategory::kHikingTrail
+              ? world::Mobility::kTrailWalk
+              : world::Mobility::kStatic;
+      agent_cfg.enter_time = SimTime{0};
+      agent_cfg.seed = rng.fork().engine()();
+      agents_.push_back(
+          std::make_unique<world::PhoneAgent>(place, agent_cfg));
+
+      phone::FrontendConfig phone_cfg;
+      phone_cfg.phone_id = agent_cfg.id;
+      phone_cfg.user_id = user.value();
+      phone_cfg.user_name = user_name;
+      phone_cfg.token = token;
+      frontends_.push_back(std::make_unique<phone::MobileFrontend>(
+          phone_cfg, network_, *agents_.back(), clock_));
+
+      const BitMatrix matrix = RenderBarcodeMatrix(barcodes[p]);
+      Result<TaskId> task = frontends_.back()->ScanBarcodeMatrix(
+          matrix, config.budget_per_user);
+      if (!task.ok()) return task.error();
+    }
+  }
+
+  // 3. Advance simulated time across the scheduling period; every tick the
+  // phones execute due sensing activities and upload.
+  while (clock_.now() < period.end) {
+    clock_.advance(config.tick);
+    for (auto& frontend : frontends_) frontend->Tick();
+  }
+
+  // 4. Users leave; the Participation Manager flips their tasks to
+  // "finished".
+  if (config.leave_at_end) {
+    for (auto& frontend : frontends_) {
+      if (Status s = frontend->LeavePlace(); !s.ok()) {
+        SOR_LOG(kWarn, "system", "leave failed: " << s.str());
+      }
+    }
+  }
+
+  // 5. Data processing: raw blobs → feature data.
+  if (Result<int> n = server_->ProcessAllData(); !n.ok()) return n.error();
+
+  // 6. Assemble H and produce one personalizable ranking per profile.
+  std::vector<server::ApplicationRecord> records;
+  for (AppId id : result.app_ids) {
+    Result<server::ApplicationRecord> rec = server_->applications().Get(id);
+    if (!rec.ok()) return rec.error();
+    records.push_back(std::move(rec).value());
+  }
+  Result<rank::FeatureMatrix> matrix =
+      server_->data_processor().BuildFeatureMatrix(records,
+                                                   scenario.features);
+  if (!matrix.ok()) return matrix.error();
+  result.matrix = std::move(matrix).value();
+
+  const rank::PersonalizableRanker ranker(result.matrix);
+  for (const rank::UserProfile& profile : scenario.profiles) {
+    Result<rank::RankingOutcome> outcome =
+        ranker.Rank(profile, config.aggregation);
+    if (!outcome.ok()) return outcome.error();
+    result.rankings.emplace_back(profile.name, std::move(outcome).value());
+  }
+
+  // 7. Statistics snapshot.
+  result.server_stats = server_->stats();
+  result.processor_stats = server_->data_processor().stats();
+  result.transport_stats = network_.stats();
+  for (const auto& frontend : frontends_) {
+    result.total_uploads += frontend->stats().uploads_sent;
+    result.total_upload_failures += frontend->stats().upload_failures;
+    const sensors::EnergyReport energy =
+        sensors::EnergyOf(frontend->sensor_manager());
+    result.energy_spent_mj += energy.spent_mj;
+    result.energy_saved_mj += energy.saved_mj;
+  }
+  return result;
+}
+
+}  // namespace sor::core

@@ -1,0 +1,103 @@
+// sor::core::System — the whole SOR deployment in one object.
+//
+// This is the top of the public API: it stands up a sensing server, builds
+// the simulated world (places + phones) for a Scenario, runs the complete
+// §II workflow — barcode scan → participation → online scheduling →
+// script-driven sensing → binary upload → data processing → personalizable
+// ranking — on the simulated clock, and returns the feature matrix and the
+// per-profile rankings (the paper's Fig. 6/10 data and Table I/II).
+//
+// Examples and benches drive everything through this facade; tests also
+// reach into the exposed components for white-box checks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "net/transport.hpp"
+#include "phone/frontend.hpp"
+#include "rank/personalizable_ranker.hpp"
+#include "server/server.hpp"
+#include "server/visualization.hpp"
+#include "world/phone_agent.hpp"
+#include "world/scenarios.hpp"
+
+namespace sor::core {
+
+struct FieldTestConfig {
+  int budget_per_user = 40;            // N^B_k for every participant
+  SimDuration tick = SimDuration{10'000};  // simulation step
+  int n_instants = 1080;               // N (matches §V-C's grid density)
+  double sigma_s = 60.0;               // coverage σ for the app's schedule
+  std::uint64_t seed = 42;
+  rank::AggregationMethod aggregation =
+      rank::AggregationMethod::kFootruleMcmf;
+  server::SchedulerAlgorithm scheduler_algorithm =
+      server::SchedulerAlgorithm::kGreedy;
+  bool leave_at_end = true;            // send LeaveNotifications at tE
+};
+
+struct FieldTestResult {
+  std::vector<AppId> app_ids;          // one application per place
+  rank::FeatureMatrix matrix;          // H, as read back from the database
+  // One outcome per scenario profile, in profile order.
+  std::vector<std::pair<std::string, rank::RankingOutcome>> rankings;
+
+  // System-level statistics for reporting.
+  server::ServerStats server_stats;
+  server::DataProcessorStats processor_stats;
+  net::TransportStats transport_stats;
+  std::uint64_t total_uploads = 0;
+  std::uint64_t total_upload_failures = 0;
+  // Sensing energy across all phones (mJ): what was spent on physical
+  // acquisitions and what the shared provider buffers saved.
+  double energy_spent_mj = 0.0;
+  double energy_saved_mj = 0.0;
+
+  // Place names in final order for a given profile index.
+  [[nodiscard]] std::vector<std::string> RankedNames(std::size_t profile) const {
+    return rankings[profile].second.OrderedNames(matrix);
+  }
+};
+
+// The per-category default sensing-task script (the paper's Fig. 4 Lua,
+// in SenseScript).
+[[nodiscard]] std::string DefaultScript(world::PlaceCategory category);
+
+class System {
+ public:
+  System();
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Run one complete sensing campaign over the scenario.
+  [[nodiscard]] Result<FieldTestResult> RunFieldTest(
+      const world::Scenario& scenario, const FieldTestConfig& config = {});
+
+  // --- component access (white-box tests, examples) ---------------------
+  [[nodiscard]] SimClock& clock() { return clock_; }
+  [[nodiscard]] net::LoopbackNetwork& network() { return network_; }
+  [[nodiscard]] server::SensingServer& server() { return *server_; }
+  [[nodiscard]] std::vector<std::unique_ptr<phone::MobileFrontend>>&
+  frontends() {
+    return frontends_;
+  }
+
+ private:
+  SimClock clock_;
+  net::LoopbackNetwork network_;
+  std::unique_ptr<server::SensingServer> server_;
+  std::vector<std::unique_ptr<world::PhoneAgent>> agents_;
+  std::vector<std::unique_ptr<phone::MobileFrontend>> frontends_;
+  // Phones/tokens are numbered across campaigns so one System can host
+  // several consecutive field tests (multi-category deployments: "SOR can
+  // certainly deal with multiple categories", §IV-A).
+  std::uint64_t next_phone_ = 1;
+};
+
+}  // namespace sor::core

@@ -1,0 +1,127 @@
+#include "db/database.hpp"
+
+namespace sor::db {
+
+Result<Table*> Database::CreateTable(Schema schema) {
+  const std::string name = schema.table_name;
+  if (tables_.contains(name))
+    return Error{Errc::kAlreadyExists, "table exists: " + name};
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+Table* Database::table(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0)
+    return Status(Errc::kNotFound, "no table " + name);
+  return Status::Ok();
+}
+
+void MakeSorSchema(Database& db) {
+  using CT = ColumnType;
+
+  // users(user_id PK, name, token)  — §II-B User Info Manager.
+  {
+    Schema s;
+    s.table_name = tables::kUsers;
+    s.columns = {{"user_id", CT::kInt64}, {"name", CT::kText},
+                 {"token", CT::kText}};
+    Table* t = db.CreateTable(std::move(s)).value();
+    (void)t->CreateIndex("token");
+  }
+  // applications(app_id PK, creator, place_id, place_name, lat, lon, alt,
+  //              radius_m, script, features, period_begin_ms, period_end_ms,
+  //              n_instants, sigma_s) — §II-B Application Manager; the
+  // creator also specifies the scheduling-period duration. `features` is
+  // the encoded list of feature definitions (name:sensor:method) the Data
+  // Processor computes for this app.
+  {
+    Schema s;
+    s.table_name = tables::kApplications;
+    s.columns = {{"app_id", CT::kInt64},      {"creator", CT::kText},
+                 {"place_id", CT::kInt64},    {"place_name", CT::kText},
+                 {"lat", CT::kDouble},        {"lon", CT::kDouble},
+                 {"alt", CT::kDouble},        {"radius_m", CT::kDouble},
+                 {"script", CT::kText},       {"features", CT::kText},
+                 {"period_begin_ms", CT::kInt64},
+                 {"period_end_ms", CT::kInt64}, {"n_instants", CT::kInt64},
+                 {"sigma_s", CT::kDouble}};
+    (void)db.CreateTable(std::move(s)).value();
+  }
+  // participations(task_id PK, user_id, app_id, token, budget,
+  //                budget_left, status, arrive_ms, leave_ms)
+  // — §II-B Participation Manager ("running, waiting for sensing schedule,
+  // finished, error"); budget updated at runtime.
+  {
+    Schema s;
+    s.table_name = tables::kParticipations;
+    s.columns = {{"task_id", CT::kInt64},   {"user_id", CT::kInt64},
+                 {"app_id", CT::kInt64},    {"token", CT::kText},
+                 {"budget", CT::kInt64},    {"budget_left", CT::kInt64},
+                 {"status", CT::kText},     {"arrive_ms", CT::kInt64},
+                 {"leave_ms", CT::kInt64, /*nullable=*/true}};
+    Table* t = db.CreateTable(std::move(s)).value();
+    (void)t->CreateIndex("app_id");
+    (void)t->CreateIndex("user_id");
+    (void)t->CreateIndex("status");
+  }
+  // raw_data(raw_id PK, task_id, app_id, body BLOB, received_ms, processed)
+  // — the message handler "directly store[s] the binary message body into
+  // the database, which will be processed later by the Data Processor".
+  {
+    Schema s;
+    s.table_name = tables::kRawData;
+    s.columns = {{"raw_id", CT::kInt64},     {"task_id", CT::kInt64},
+                 {"app_id", CT::kInt64},     {"body", CT::kBlob},
+                 {"received_ms", CT::kInt64}, {"processed", CT::kBool}};
+    Table* t = db.CreateTable(std::move(s)).value();
+    (void)t->CreateIndex("processed");
+    (void)t->CreateIndex("app_id");
+  }
+  // feature_data(feature_id PK, app_id, place_id, feature, value, n_samples,
+  //              computed_ms) — the Data Processor's output, the ranker's
+  // input (matrix H is read from here).
+  {
+    Schema s;
+    s.table_name = tables::kFeatureData;
+    s.columns = {{"feature_id", CT::kInt64}, {"app_id", CT::kInt64},
+                 {"place_id", CT::kInt64},   {"feature", CT::kText},
+                 {"value", CT::kDouble},     {"n_samples", CT::kInt64},
+                 {"computed_ms", CT::kInt64}};
+    Table* t = db.CreateTable(std::move(s)).value();
+    (void)t->CreateIndex("place_id");
+    (void)t->CreateIndex("feature");
+    (void)t->CreateIndex("app_id");
+  }
+  // schedules(schedule_id PK, task_id, app_id, instants BLOB, created_ms)
+  // — the Sensing Scheduler "store[s] them into the database".
+  {
+    Schema s;
+    s.table_name = tables::kSchedules;
+    s.columns = {{"schedule_id", CT::kInt64}, {"task_id", CT::kInt64},
+                 {"app_id", CT::kInt64},      {"instants", CT::kBlob},
+                 {"created_ms", CT::kInt64}};
+    Table* t = db.CreateTable(std::move(s)).value();
+    (void)t->CreateIndex("task_id");
+  }
+}
+
+}  // namespace sor::db

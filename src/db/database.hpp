@@ -1,0 +1,58 @@
+// Database: a named collection of tables, plus the concrete SOR schema.
+//
+// §II-B: "we chose PostgreSQL for storing data". The sensing server stores
+// (a) user records, (b) application records with their scripts, (c)
+// participation/task state, (d) raw binary upload bodies exactly as
+// received (decoded later by the Data Processor), (e) processed feature
+// data, and (f) computed schedules. MakeSorSchema() creates those tables.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "db/table.hpp"
+
+namespace sor::db {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  // Movable: snapshot restore builds a scratch database and commits it by
+  // move (table pointers stay valid — ownership is by unique_ptr).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  // Create a table; error if the name is taken.
+  Result<Table*> CreateTable(Schema schema);
+
+  // nullptr when absent.
+  [[nodiscard]] Table* table(const std::string& name);
+  [[nodiscard]] const Table* table(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
+  Status DropTable(const std::string& name);
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+// Table names used by the sensing server.
+namespace tables {
+inline constexpr const char* kUsers = "users";
+inline constexpr const char* kApplications = "applications";
+inline constexpr const char* kParticipations = "participations";
+inline constexpr const char* kRawData = "raw_data";
+inline constexpr const char* kFeatureData = "feature_data";
+inline constexpr const char* kSchedules = "schedules";
+}  // namespace tables
+
+// Instantiate the full SOR schema (all six tables + indexes) on `db`.
+void MakeSorSchema(Database& db);
+
+}  // namespace sor::db

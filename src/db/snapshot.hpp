@@ -1,0 +1,24 @@
+// Database snapshot & restore.
+//
+// The prototype's PostgreSQL gave SOR durability across server restarts.
+// The embedded store gains the equivalent through binary snapshots: the
+// full content (schemas + rows + index definitions) serializes to one
+// CRC-protected byte buffer that a fresh process can restore. The codec is
+// the same ByteWriter/ByteReader layer used on the wire, so a corrupted
+// snapshot is detected, never half-loaded.
+#pragma once
+
+#include "codec/bytes.hpp"
+#include "db/database.hpp"
+
+namespace sor::db {
+
+// Serialize every table of `db` (schema, secondary-index columns, rows).
+[[nodiscard]] Bytes SnapshotDatabase(const Database& db);
+
+// Rebuild a database from a snapshot. All-or-nothing: any malformed or
+// corrupt content fails without partially populating `out`.
+[[nodiscard]] Status RestoreDatabase(std::span<const std::uint8_t> snapshot,
+                                     Database& out);
+
+}  // namespace sor::db

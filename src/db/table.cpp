@@ -1,0 +1,217 @@
+#include "db/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sor::db {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  assert(schema_.primary_key >= 0 &&
+         schema_.primary_key < static_cast<int>(schema_.columns.size()));
+}
+
+std::string Table::KeyString(const Value& v) const {
+  // Values of one column share a type (schema-enforced), so a typed prefix
+  // plus the printed form is a collision-free key. Doubles get full
+  // precision to avoid aliasing distinct keys.
+  if (v.is_double()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "d%.17g", v.as_double());
+    return buf;
+  }
+  if (v.is_int()) return "i" + std::to_string(v.as_int());
+  if (v.is_text()) return "t" + v.as_text();
+  if (v.is_bool()) return v.as_bool() ? "b1" : "b0";
+  if (v.is_null()) return "n";
+  const Blob& b = v.as_blob();
+  return "x" + std::string(b.begin(), b.end());
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  std::lock_guard lock(mu_);
+  const int ci = schema_.column_index(column);
+  if (ci < 0)
+    return Status(Errc::kInvalidArgument, "no column named " + column);
+  if (secondary_.contains(ci)) return Status::Ok();
+  auto& idx = secondary_[ci];
+  for (const auto& [id, row] : rows_) idx.emplace(KeyString(row[ci]), id);
+  return Status::Ok();
+}
+
+void Table::IndexRow(RowId id, const Row& row) {
+  pk_index_.emplace(KeyString(row[schema_.primary_key]), id);
+  for (auto& [ci, idx] : secondary_) idx.emplace(KeyString(row[ci]), id);
+}
+
+void Table::UnindexRow(RowId id, const Row& row) {
+  pk_index_.erase(KeyString(row[schema_.primary_key]));
+  for (auto& [ci, idx] : secondary_) {
+    auto [lo, hi] = idx.equal_range(KeyString(row[ci]));
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == id) {
+        idx.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Result<RowId> Table::Insert(Row row) {
+  if (Status s = schema_.Validate(row); !s.ok()) return s.error();
+  std::lock_guard lock(mu_);
+  const std::string key = KeyString(row[schema_.primary_key]);
+  if (pk_index_.contains(key)) {
+    return Error{Errc::kAlreadyExists,
+                 schema_.table_name + ": duplicate key " +
+                     row[schema_.primary_key].str()};
+  }
+  const RowId id = next_id_++;
+  IndexRow(id, row);
+  rows_.emplace(id, std::move(row));
+  return id;
+}
+
+Result<RowId> Table::Upsert(Row row) {
+  if (Status s = schema_.Validate(row); !s.ok()) return s.error();
+  std::lock_guard lock(mu_);
+  const std::string key = KeyString(row[schema_.primary_key]);
+  if (auto it = pk_index_.find(key); it != pk_index_.end()) {
+    const RowId id = it->second;
+    UnindexRow(id, rows_.at(id));
+    IndexRow(id, row);
+    rows_[id] = std::move(row);
+    return id;
+  }
+  const RowId id = next_id_++;
+  IndexRow(id, row);
+  rows_.emplace(id, std::move(row));
+  return id;
+}
+
+std::optional<Row> Table::FindByKey(const Value& key) const {
+  std::lock_guard lock(mu_);
+  auto it = pk_index_.find(KeyString(key));
+  if (it == pk_index_.end()) return std::nullopt;
+  return rows_.at(it->second);
+}
+
+std::vector<Row> Table::FindWhereEq(const std::string& column,
+                                    const Value& v) const {
+  std::lock_guard lock(mu_);
+  const int ci = schema_.column_index(column);
+  std::vector<Row> out;
+  if (ci < 0) return out;
+  if (auto idx = secondary_.find(ci); idx != secondary_.end()) {
+    auto [lo, hi] = idx->second.equal_range(KeyString(v));
+    for (auto it = lo; it != hi; ++it) out.push_back(rows_.at(it->second));
+    return out;
+  }
+  if (ci == schema_.primary_key) {
+    if (auto it = pk_index_.find(KeyString(v)); it != pk_index_.end())
+      out.push_back(rows_.at(it->second));
+    return out;
+  }
+  for (const auto& [id, row] : rows_) {
+    if (row[ci] == v) out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<Row> Table::Scan(const Predicate& pred) const {
+  std::lock_guard lock(mu_);
+  std::vector<Row> out;
+  for (const auto& [id, row] : rows_) {
+    if (!pred || pred(row)) out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<Row> Table::ScanOrderedBy(const std::string& column,
+                                      const Predicate& pred) const {
+  std::vector<Row> out = Scan(pred);
+  const int ci = schema_.column_index(column);
+  if (ci < 0) return out;
+  std::stable_sort(out.begin(), out.end(), [ci](const Row& a, const Row& b) {
+    return Value::Compare(a[ci], b[ci]) < 0;
+  });
+  return out;
+}
+
+Result<std::size_t> Table::Update(const Predicate& pred,
+                                  const std::function<void(Row&)>& mutate) {
+  std::lock_guard lock(mu_);
+  // Two-phase: compute all new rows first, validate (including pk
+  // uniqueness among survivors), then commit. Keeps the table consistent on
+  // failure.
+  std::vector<std::pair<RowId, Row>> changed;
+  for (const auto& [id, row] : rows_) {
+    if (pred && !pred(row)) continue;
+    Row next = row;
+    mutate(next);
+    if (Status s = schema_.Validate(next); !s.ok()) return s.error();
+    changed.emplace_back(id, std::move(next));
+  }
+  // PK-uniqueness check against unchanged rows and within the change set.
+  std::map<std::string, RowId> new_keys;
+  for (const auto& [id, next] : changed) {
+    const std::string key = KeyString(next[schema_.primary_key]);
+    if (auto it = pk_index_.find(key);
+        it != pk_index_.end() && it->second != id) {
+      // Key collides with a row not in the change set?
+      const bool collides_with_changed =
+          std::any_of(changed.begin(), changed.end(),
+                      [&](const auto& p) { return p.first == it->second; });
+      if (!collides_with_changed)
+        return Error{Errc::kAlreadyExists, "update would duplicate key"};
+    }
+    if (!new_keys.emplace(key, id).second)
+      return Error{Errc::kAlreadyExists, "update would duplicate key"};
+  }
+  for (auto& [id, next] : changed) {
+    UnindexRow(id, rows_.at(id));
+    IndexRow(id, next);
+    rows_[id] = std::move(next);
+  }
+  return changed.size();
+}
+
+Status Table::UpdateByKey(const Value& key,
+                          const std::function<void(Row&)>& mutate) {
+  const int pk = schema_.primary_key;
+  Result<std::size_t> n = Update(
+      [&](const Row& row) { return row[pk] == key; }, mutate);
+  if (!n.ok()) return n.error();
+  if (n.value() == 0)
+    return Status(Errc::kNotFound,
+                  schema_.table_name + ": no row with key " + key.str());
+  return Status::Ok();
+}
+
+std::size_t Table::Erase(const Predicate& pred) {
+  std::lock_guard lock(mu_);
+  std::vector<RowId> doomed;
+  for (const auto& [id, row] : rows_) {
+    if (!pred || pred(row)) doomed.push_back(id);
+  }
+  for (RowId id : doomed) {
+    UnindexRow(id, rows_.at(id));
+    rows_.erase(id);
+  }
+  return doomed.size();
+}
+
+std::size_t Table::size() const {
+  std::lock_guard lock(mu_);
+  return rows_.size();
+}
+
+std::vector<std::string> Table::IndexedColumns() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> cols;
+  cols.reserve(secondary_.size());
+  for (const auto& [ci, _] : secondary_)
+    cols.push_back(schema_.columns[static_cast<std::size_t>(ci)].name);
+  return cols;
+}
+
+}  // namespace sor::db

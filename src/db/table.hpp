@@ -1,0 +1,101 @@
+// Table: rows + primary-key uniqueness + optional secondary indexes.
+//
+// Deliberately relational-minimal: the sensing server's access patterns are
+// point lookups by key (user by token, task by id), filtered scans
+// (unprocessed raw blobs, participations of one app), ordered scans (feature
+// data by place), and in-place updates (task status transitions). All of
+// those are first-class here; anything fancier (joins) is composed by the
+// caller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "db/value.hpp"
+
+namespace sor::db {
+
+using RowId = std::uint64_t;  // stable internal handle, never reused
+
+// A filter over rows; empty function means "all rows".
+using Predicate = std::function<bool(const Row&)>;
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+
+  // Create a secondary (non-unique) index on a column. Must be called
+  // before rows exist or it back-fills. Indexed equality scans then avoid
+  // the full-table walk.
+  Status CreateIndex(const std::string& column);
+
+  // Insert; fails on schema mismatch or duplicate primary key.
+  Result<RowId> Insert(Row row);
+
+  // Upsert on primary key: replaces the existing row if the key exists.
+  Result<RowId> Upsert(Row row);
+
+  // Point lookup by primary-key value.
+  [[nodiscard]] std::optional<Row> FindByKey(const Value& key) const;
+
+  // Equality scan on any column; uses a secondary index if one exists.
+  [[nodiscard]] std::vector<Row> FindWhereEq(const std::string& column,
+                                             const Value& v) const;
+
+  // Filtered scan (all rows if pred is empty).
+  [[nodiscard]] std::vector<Row> Scan(const Predicate& pred = {}) const;
+
+  // Filtered scan, sorted ascending by a column.
+  [[nodiscard]] std::vector<Row> ScanOrderedBy(const std::string& column,
+                                               const Predicate& pred = {}) const;
+
+  // Update all rows matching `pred` via `mutate` (which edits a Row copy
+  // that is then validated & re-indexed). Returns rows touched. Changing the
+  // primary key to a duplicate fails the whole update.
+  Result<std::size_t> Update(const Predicate& pred,
+                             const std::function<void(Row&)>& mutate);
+
+  // Update the single row whose primary key equals `key`.
+  Status UpdateByKey(const Value& key, const std::function<void(Row&)>& mutate);
+
+  // Delete rows matching pred; returns rows removed.
+  std::size_t Erase(const Predicate& pred);
+
+  [[nodiscard]] std::size_t size() const;
+
+  // Column-index helper that throws away the string lookup for hot paths.
+  [[nodiscard]] int col(std::string_view name) const {
+    return schema_.column_index(name);
+  }
+
+  // Names of columns carrying a secondary index (snapshot/restore).
+  [[nodiscard]] std::vector<std::string> IndexedColumns() const;
+
+ private:
+  void IndexRow(RowId id, const Row& row);
+  void UnindexRow(RowId id, const Row& row);
+  [[nodiscard]] std::string KeyString(const Value& v) const;
+
+  Schema schema_;
+  mutable std::mutex mu_;
+  std::map<RowId, Row> rows_;
+  RowId next_id_ = 1;
+  // Primary-key → RowId (unique).
+  std::map<std::string, RowId> pk_index_;
+  // column index → (value-key → row ids); non-unique secondary indexes.
+  std::unordered_map<int, std::multimap<std::string, RowId>> secondary_;
+};
+
+}  // namespace sor::db

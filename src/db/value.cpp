@@ -1,0 +1,84 @@
+#include "db/value.hpp"
+
+#include <sstream>
+
+namespace sor::db {
+
+std::string Value::str() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    std::ostringstream oss;
+    oss << as_double();
+    return oss.str();
+  }
+  if (is_text()) return as_text();
+  if (is_bool()) return as_bool() ? "true" : "false";
+  return "<blob:" + std::to_string(as_blob().size()) + "B>";
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  const auto type_rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_bool()) return 1;
+    if (v.is_int() || v.is_double()) return 2;
+    if (v.is_text()) return 3;
+    return 4;  // blob
+  };
+  const int ra = type_rank(a);
+  const int rb = type_rank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0: return 0;
+    case 1: return (a.as_bool() ? 1 : 0) - (b.as_bool() ? 1 : 0);
+    case 2: {
+      const double x = a.numeric();
+      const double y = b.numeric();
+      if (x < y) return -1;
+      if (x > y) return 1;
+      return 0;
+    }
+    case 3: return a.as_text().compare(b.as_text());
+    default: {
+      const Blob& x = a.as_blob();
+      const Blob& y = b.as_blob();
+      if (x < y) return -1;
+      if (y < x) return 1;
+      return 0;
+    }
+  }
+}
+
+int Schema::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::Validate(const Row& row) const {
+  if (row.size() != columns.size()) {
+    return Status(Errc::kInvalidArgument,
+                  table_name + ": row has " + std::to_string(row.size()) +
+                      " cells, schema has " + std::to_string(columns.size()));
+  }
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const ColumnSpec& col = columns[i];
+    if (row[i].is_null()) {
+      if (!col.nullable || static_cast<int>(i) == primary_key) {
+        return Status(Errc::kInvalidArgument,
+                      table_name + "." + col.name + ": NULL not allowed");
+      }
+      continue;
+    }
+    if (!row[i].matches(col.type)) {
+      return Status(Errc::kInvalidArgument,
+                    table_name + "." + col.name + ": expected " +
+                        std::string(to_string(col.type)) + ", got " +
+                        row[i].str());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sor::db

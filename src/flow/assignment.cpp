@@ -1,0 +1,111 @@
+#include "flow/assignment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "flow/min_cost_flow.hpp"
+
+namespace sor::flow {
+
+Result<AssignmentResult> SolveAssignmentFlow(const CostMatrix& costs) {
+  const int n = costs.n;
+  if (n <= 0) return Error{Errc::kInvalidArgument, "empty cost matrix"};
+  if (costs.cost.size() != static_cast<std::size_t>(n) * n)
+    return Error{Errc::kInvalidArgument, "cost matrix size mismatch"};
+
+  // Node layout: 0 = source, 1..n = rows (places), n+1..2n = columns
+  // (ranks), 2n+1 = sink — the paper's G(V ∪ V' ∪ {s, z}, E).
+  MinCostFlow g(2 * n + 2);
+  const NodeId s = 0;
+  const NodeId z = 2 * n + 1;
+  std::vector<std::vector<int>> handle(n, std::vector<int>(n));
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(s, 1 + i, 1, 0);
+    for (int j = 0; j < n; ++j)
+      handle[i][j] = g.AddEdge(1 + i, n + 1 + j, 1, costs.at(i, j));
+  }
+  for (int j = 0; j < n; ++j) g.AddEdge(n + 1 + j, z, 1, 0);
+
+  Result<FlowResult> r = g.Solve(s, z, n);
+  if (!r.ok()) return r.error();
+  if (r.value().flow != n)
+    return Error{Errc::kInternal, "assignment network not saturated"};
+
+  AssignmentResult out;
+  out.total_cost = r.value().cost;
+  out.column_of_row.assign(n, -1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (g.flow_on(handle[i][j]) == 1) {
+        out.column_of_row[i] = j;
+        break;
+      }
+    }
+    if (out.column_of_row[i] < 0)
+      return Error{Errc::kInternal, "row left unassigned"};
+  }
+  return out;
+}
+
+Result<AssignmentResult> SolveAssignmentHungarian(const CostMatrix& costs) {
+  const int n = costs.n;
+  if (n <= 0) return Error{Errc::kInvalidArgument, "empty cost matrix"};
+  if (costs.cost.size() != static_cast<std::size_t>(n) * n)
+    return Error{Errc::kInvalidArgument, "cost matrix size mismatch"};
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  // 1-based Kuhn–Munkres with row/column potentials; O(n^3).
+  std::vector<std::int64_t> u(n + 1, 0), v(n + 1, 0);
+  std::vector<int> p(n + 1, 0);    // p[j] = row matched to column j
+  std::vector<int> way(n + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<std::int64_t> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      std::int64_t delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const std::int64_t cur = costs.at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult out;
+  out.column_of_row.assign(n, -1);
+  for (int j = 1; j <= n; ++j) out.column_of_row[p[j] - 1] = j - 1;
+  for (int i = 0; i < n; ++i)
+    out.total_cost += costs.at(i, out.column_of_row[i]);
+  return out;
+}
+
+}  // namespace sor::flow

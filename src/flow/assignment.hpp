@@ -1,0 +1,49 @@
+// Minimum-cost perfect matching (assignment problem) on an N×N cost matrix.
+//
+// This is exactly the structure of the paper's auxiliary flow graph
+// (§IV-B): vertices V = target places, V' = ranks, cost(i → i') =
+// Σ_j w_j · |π(i, R_j) − i'|, all capacities 1, plus virtual source and
+// sink. Two independent solvers are provided:
+//
+//   * SolveAssignmentFlow     — builds the paper's flow graph verbatim and
+//                               runs MinCostFlow (the paper's LP stand-in);
+//   * SolveAssignmentHungarian — O(n^3) Kuhn–Munkres with potentials
+//                               (Jonker–Volgenant flavour), used to
+//                               cross-check the flow solver and as an
+//                               ablation subject.
+//
+// Both return, for each row i, the column assigned to it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace sor::flow {
+
+// Row-major square cost matrix.
+struct CostMatrix {
+  int n = 0;
+  std::vector<std::int64_t> cost;  // n*n entries
+
+  [[nodiscard]] std::int64_t at(int i, int j) const {
+    return cost[static_cast<std::size_t>(i) * n + j];
+  }
+  std::int64_t& at(int i, int j) {
+    return cost[static_cast<std::size_t>(i) * n + j];
+  }
+};
+
+struct AssignmentResult {
+  std::vector<int> column_of_row;  // size n; column_of_row[i] = assigned j
+  std::int64_t total_cost = 0;
+};
+
+[[nodiscard]] Result<AssignmentResult> SolveAssignmentFlow(
+    const CostMatrix& costs);
+
+[[nodiscard]] Result<AssignmentResult> SolveAssignmentHungarian(
+    const CostMatrix& costs);
+
+}  // namespace sor::flow

@@ -1,0 +1,130 @@
+#include "flow/min_cost_flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace sor::flow {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}
+
+MinCostFlow::MinCostFlow(int num_nodes) : head_(num_nodes, -1) {
+  assert(num_nodes > 0);
+}
+
+int MinCostFlow::AddEdge(NodeId from, NodeId to, std::int64_t capacity,
+                         std::int64_t cost) {
+  assert(from >= 0 && from < num_nodes());
+  assert(to >= 0 && to < num_nodes());
+  assert(capacity >= 0);
+  assert(!solved_ && "graph is frozen after Solve()");
+  if (cost < 0) has_negative_ = true;
+  const int handle = static_cast<int>(edges_.size());
+  edges_.push_back({to, capacity, cost, head_[from]});
+  head_[from] = handle;
+  edges_.push_back({from, 0, -cost, head_[to]});
+  head_[to] = handle + 1;
+  return handle;
+}
+
+Result<FlowResult> MinCostFlow::Solve(NodeId s, NodeId t,
+                                      std::int64_t max_flow) {
+  if (s < 0 || s >= num_nodes() || t < 0 || t >= num_nodes())
+    return Error{Errc::kInvalidArgument, "bad source/sink"};
+  if (s == t) return Error{Errc::kInvalidArgument, "source == sink"};
+  if (solved_) return Error{Errc::kInvalidArgument, "already solved"};
+  solved_ = true;
+
+  const int n = num_nodes();
+  std::vector<std::int64_t> potential(n, 0);
+
+  if (has_negative_) {
+    // Bellman–Ford from s over edges with residual capacity to obtain
+    // valid potentials despite negative costs.
+    std::vector<std::int64_t> dist(n, kInf);
+    dist[s] = 0;
+    for (int round = 0; round < n; ++round) {
+      bool changed = false;
+      for (int u = 0; u < n; ++u) {
+        if (dist[u] >= kInf) continue;
+        for (int e = head_[u]; e != -1; e = edges_[e].next) {
+          if (edges_[e].cap <= 0) continue;
+          if (dist[u] + edges_[e].cost < dist[edges_[e].to]) {
+            dist[edges_[e].to] = dist[u] + edges_[e].cost;
+            changed = true;
+            if (round == n - 1)
+              return Error{Errc::kInvalidArgument, "negative cycle"};
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    for (int u = 0; u < n; ++u)
+      potential[u] = dist[u] >= kInf ? 0 : dist[u];
+  }
+
+  FlowResult result;
+  std::vector<std::int64_t> dist(n);
+  std::vector<int> prev_edge(n);
+  using HeapItem = std::pair<std::int64_t, int>;  // (dist, node)
+
+  while (result.flow < max_flow) {
+    // Dijkstra on reduced costs cost(u,v) + pot(u) - pot(v) >= 0.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(prev_edge.begin(), prev_edge.end(), -1);
+    dist[s] = 0;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    heap.emplace(0, s);
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (int e = head_[u]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap <= 0) continue;
+        const NodeId v = edges_[e].to;
+        const std::int64_t nd =
+            d + edges_[e].cost + potential[u] - potential[v];
+        assert(edges_[e].cost + potential[u] - potential[v] >= 0);
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          prev_edge[v] = e;
+          heap.emplace(nd, v);
+        }
+      }
+    }
+    if (dist[t] >= kInf) break;  // t unreachable: max flow found
+
+    for (int u = 0; u < n; ++u) {
+      if (dist[u] < kInf) potential[u] += dist[u];
+    }
+
+    // Bottleneck along the augmenting path.
+    std::int64_t push = max_flow - result.flow;
+    for (NodeId v = t; v != s;) {
+      const int e = prev_edge[v];
+      push = std::min(push, edges_[e].cap);
+      v = edges_[e ^ 1].to;
+    }
+    for (NodeId v = t; v != s;) {
+      const int e = prev_edge[v];
+      edges_[e].cap -= push;
+      edges_[e ^ 1].cap += push;
+      result.cost += push * edges_[e].cost;
+      v = edges_[e ^ 1].to;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+std::int64_t MinCostFlow::flow_on(int edge_handle) const {
+  assert(edge_handle >= 0 &&
+         edge_handle + 1 < static_cast<int>(edges_.size()));
+  // Flow pushed forward equals residual capacity accumulated on the
+  // reverse edge.
+  return edges_[edge_handle ^ 1].cap;
+}
+
+}  // namespace sor::flow

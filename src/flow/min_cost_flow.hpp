@@ -1,0 +1,66 @@
+// Minimum-cost maximum-flow.
+//
+// §IV-B reduces weighted-footrule rank aggregation to a min-cost flow on an
+// auxiliary bipartite graph (places → ranks, unit capacities, virtual source
+// and sink) and solves it "by a linear programming based algorithm [1]",
+// noting total unimodularity guarantees an integer optimum. We solve the
+// same network with successive shortest augmenting paths using Dijkstra on
+// reduced costs (Johnson potentials) — on a unit-capacity assignment network
+// this produces exactly the integral LP optimum, in O(N · E log V).
+//
+// Costs may be negative on input; an initial Bellman–Ford pass establishes
+// valid potentials before the Dijkstra phase.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace sor::flow {
+
+using NodeId = int;
+
+struct FlowResult {
+  std::int64_t flow = 0;
+  std::int64_t cost = 0;
+};
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  // Adds a directed edge; returns an edge handle usable with flow_on().
+  int AddEdge(NodeId from, NodeId to, std::int64_t capacity,
+              std::int64_t cost);
+
+  // Pushes up to `max_flow` units from s to t along successively cheapest
+  // paths. Call once; the object then holds the final flow assignment.
+  [[nodiscard]] Result<FlowResult> Solve(
+      NodeId s, NodeId t,
+      std::int64_t max_flow = std::numeric_limits<std::int64_t>::max());
+
+  // Flow carried by the edge returned from AddEdge.
+  [[nodiscard]] std::int64_t flow_on(int edge_handle) const;
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(head_.size());
+  }
+
+ private:
+  struct Edge {
+    NodeId to;
+    std::int64_t cap;   // residual capacity
+    std::int64_t cost;
+    int next;           // next edge index in adjacency list
+  };
+
+  // Paired forward/backward edges at indices 2k, 2k+1.
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  bool has_negative_ = false;
+  bool solved_ = false;
+};
+
+}  // namespace sor::flow

@@ -1,0 +1,46 @@
+#include "net/transport.hpp"
+
+namespace sor::net {
+
+void LoopbackNetwork::Register(const std::string& name, Endpoint* endpoint) {
+  endpoints_[name] = endpoint;
+}
+
+void LoopbackNetwork::Unregister(const std::string& name) {
+  endpoints_.erase(name);
+}
+
+Result<Message> LoopbackNetwork::Send(const std::string& to,
+                                      const Message& m) {
+  auto it = endpoints_.find(to);
+  if (it == endpoints_.end() || it->second == nullptr)
+    return Error{Errc::kUnavailable, "no endpoint '" + to + "'"};
+
+  Bytes frame = EncodeFrame(m);
+  stats_.bytes_sent += frame.size();
+
+  if (faults_.drop_next > 0) {
+    --faults_.drop_next;
+    ++stats_.dropped;
+    return Error{Errc::kTimeout, "request to '" + to + "' lost in transit"};
+  }
+  if (faults_.corrupt_next > 0 && !frame.empty()) {
+    --faults_.corrupt_next;
+    ++stats_.corrupted;
+    frame[frame.size() / 2] ^= 0x5a;  // flip bits mid-frame
+  }
+
+  const Bytes response = it->second->HandleFrame(frame);
+  ++stats_.delivered;
+  stats_.bytes_received += response.size();
+
+  Result<Message> decoded = DecodeFrame(response);
+  if (!decoded.ok()) return decoded.error();
+  // Surface remote errors as local errors for ergonomic call sites.
+  if (const auto* err = std::get_if<ErrorReply>(&decoded.value())) {
+    return Error{static_cast<Errc>(err->code), err->message};
+  }
+  return decoded;
+}
+
+}  // namespace sor::net

@@ -1,0 +1,69 @@
+// In-process request/response transport.
+//
+// The SOR prototype speaks HTTP with opaque binary bodies between phones
+// and sensing servers (§II-A), plus a Google-Cloud-Messaging detour when a
+// server loses track of a phone. This module reproduces the messaging
+// boundary without sockets: every participant registers an Endpoint under
+// a name; Send() encodes the typed Message into a framed byte buffer,
+// "transmits" it (optionally injecting faults), and hands the raw frame to
+// the receiver, which decodes, dispatches, and returns a response frame.
+//
+// Everything crosses this boundary as bytes — no object sneaks through —
+// so codec bugs, truncation, and corruption behave exactly as they would
+// on a real wire.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "codec/messages.hpp"
+#include "common/result.hpp"
+
+namespace sor::net {
+
+// One addressable party (a sensing server or a phone's message handler).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  // Handle one request frame; return the response frame. Implementations
+  // decode with DecodeFrame, dispatch, and encode their reply (an ErrorReply
+  // frame when decoding/handling fails) — mirroring an HTTP handler.
+  [[nodiscard]] virtual Bytes HandleFrame(
+      std::span<const std::uint8_t> frame) = 0;
+};
+
+struct TransportStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+// Fault injection knobs (used by the failure-injection tests).
+struct FaultPlan {
+  int drop_next = 0;     // drop this many upcoming sends
+  int corrupt_next = 0;  // flip a byte in this many upcoming sends
+};
+
+class LoopbackNetwork {
+ public:
+  // Register/replace the endpoint reachable under `name`.
+  void Register(const std::string& name, Endpoint* endpoint);
+  void Unregister(const std::string& name);
+
+  // Synchronous round trip: encode, deliver, decode the response.
+  [[nodiscard]] Result<Message> Send(const std::string& to, const Message& m);
+
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  FaultPlan& faults() { return faults_; }
+
+ private:
+  std::map<std::string, Endpoint*> endpoints_;
+  TransportStats stats_;
+  FaultPlan faults_;
+};
+
+}  // namespace sor::net

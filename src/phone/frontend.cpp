@@ -1,0 +1,174 @@
+#include "phone/frontend.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace sor::phone {
+
+MobileFrontend::MobileFrontend(FrontendConfig config,
+                               net::LoopbackNetwork& network,
+                               sensors::SensorEnvironment& env,
+                               const SimClock& clock)
+    : config_(std::move(config)), network_(network), env_(env), clock_(clock) {
+  if (config_.has_sensordrone) bluetooth_.Pair();
+  // Register a Provider for every supported sensor (§II-A: "Currently, SOR
+  // can support all sensors available on a Google Nexus4 smartphone and all
+  // sensors available on a Sensordrone").
+  for (int k = 0; k < kSensorKindCount; ++k) {
+    const auto kind = static_cast<SensorKind>(k);
+    sensors_.RegisterProvider(sensors::MakeProvider(kind, env_, bluetooth_));
+  }
+  network_.Register(EndpointName(), this);
+}
+
+MobileFrontend::~MobileFrontend() { network_.Unregister(EndpointName()); }
+
+GeoPoint MobileFrontend::ReportedLocation() {
+  GeoPoint p = env_.Position(clock_.now());
+  if (prefs_.coarse_location()) {
+    p.lat_deg = std::round(p.lat_deg * 100.0) / 100.0;
+    p.lon_deg = std::round(p.lon_deg * 100.0) / 100.0;
+  }
+  return p;
+}
+
+Result<TaskId> MobileFrontend::ScanBarcode(const BarcodePayload& payload,
+                                           int budget) {
+  if (budget <= 0)
+    return Error{Errc::kInvalidArgument, "sensing budget must be positive"};
+  if (!prefs_.Allows(SensorKind::kGps))
+    return Error{Errc::kPermissionDenied,
+                 "participation requires location verification, but GPS is "
+                 "disabled in local preferences"};
+  server_ = payload.server;
+
+  ParticipationRequest req;
+  req.user = config_.user_id;
+  req.token = config_.token;
+  req.app = payload.app;
+  req.location = ReportedLocation();
+  req.budget = budget;
+  req.scan_time = clock_.now();
+
+  Result<Message> reply = network_.Send(server_, req);
+  if (!reply.ok()) return reply.error();
+  const auto* accepted = std::get_if<ParticipationReply>(&reply.value());
+  if (accepted == nullptr)
+    return Error{Errc::kDecodeError, "unexpected reply to participation"};
+  if (!accepted->accepted)
+    return Error{Errc::kNotInPlace, accepted->reason};
+  SOR_LOG(kInfo, "frontend",
+          config_.user_name << " joined app " << payload.app.str()
+                            << " as task " << accepted->task.str());
+  return accepted->task;
+}
+
+Result<TaskId> MobileFrontend::ScanBarcodeText(const std::string& text,
+                                               int budget) {
+  Result<BarcodePayload> payload = DecodeBarcodeText(text);
+  if (!payload.ok()) return payload.error();
+  return ScanBarcode(payload.value(), budget);
+}
+
+Result<TaskId> MobileFrontend::ScanBarcodeMatrix(const BitMatrix& matrix,
+                                                 int budget) {
+  // Qualified call: the member function shadows the codec free function.
+  Result<BarcodePayload> payload = sor::ScanBarcodeMatrix(matrix);
+  if (!payload.ok()) return payload.error();
+  return ScanBarcode(payload.value(), budget);
+}
+
+Status MobileFrontend::LeavePlace() {
+  if (server_.empty())
+    return Status(Errc::kInvalidArgument, "not participating anywhere");
+  Status overall = Status::Ok();
+  for (auto& [id, task] : tasks_) {
+    // Notify the server for every task — including those that already
+    // finished locally (all instants executed): the Participation Manager
+    // flips its status to "finished" only on this notification.
+    LeaveNotification note{id, config_.user_id, clock_.now()};
+    Result<Message> reply = network_.Send(server_, note);
+    if (!reply.ok()) overall = Status(reply.error());
+    task.Finish();
+  }
+  return overall;
+}
+
+void MobileFrontend::Tick() {
+  const SimTime now = clock_.now();
+
+  // Retry uploads that previously failed (e.g. a dropped frame).
+  for (auto it = pending_upload_.begin(); it != pending_upload_.end();) {
+    SensedDataUpload up{it->first, config_.user_id, it->second};
+    Result<Message> r = network_.Send(server_, up);
+    if (r.ok()) {
+      ++stats_.uploads_sent;
+      it = pending_upload_.erase(it);
+    } else {
+      ++stats_.upload_failures;
+      ++it;
+    }
+  }
+
+  for (auto& [id, task] : tasks_) {
+    std::vector<ReadingTuple> collected = task.RunDue(now, sensors_, prefs_);
+    if (collected.empty()) continue;
+    SensedDataUpload up{id, config_.user_id, collected};
+    Result<Message> r = network_.Send(server_, up);
+    if (r.ok()) {
+      ++stats_.uploads_sent;
+    } else {
+      ++stats_.upload_failures;
+      // Keep the data; retry on the next tick (store-and-forward).
+      auto& queue = pending_upload_[id];
+      queue.insert(queue.end(), collected.begin(), collected.end());
+    }
+  }
+  last_tick_ = now;
+}
+
+const TaskInstance* MobileFrontend::task(TaskId id) const {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+Bytes MobileFrontend::HandleFrame(std::span<const std::uint8_t> frame) {
+  Result<Message> decoded = DecodeFrame(frame);
+  if (!decoded.ok()) {
+    ++stats_.decode_failures;
+    return EncodeFrame(ErrorReply{
+        static_cast<std::uint8_t>(decoded.error().code),
+        decoded.error().message});
+  }
+  return EncodeFrame(HandleMessage(decoded.value()));
+}
+
+Message MobileFrontend::HandleMessage(const Message& m) {
+  if (const auto* sched = std::get_if<ScheduleDistribution>(&m)) {
+    // New or refreshed schedule. On refresh, drop instants that are already
+    // in the past so re-planning never re-executes old work.
+    std::vector<SimTime> instants;
+    for (SimTime t : sched->instants) {
+      if (t > last_tick_) instants.push_back(t);
+    }
+    ++stats_.schedules_received;
+    tasks_.insert_or_assign(
+        sched->task,
+        TaskInstance(sched->task, sched->app, sched->script,
+                     std::move(instants), sched->sample_window,
+                     sched->samples_per_window));
+    SOR_LOG(kDebug, "frontend",
+            "schedule for task " << sched->task.str() << ": "
+                                 << sched->instants.size() << " instants");
+    return Ack{sched->task.value()};
+  }
+  if (std::get_if<Ping>(&m) != nullptr) {
+    ++stats_.pings_answered;
+    return PingReply{config_.phone_id, ReportedLocation(), clock_.now()};
+  }
+  return ErrorReply{static_cast<std::uint8_t>(Errc::kInvalidArgument),
+                    "phone cannot handle this message type"};
+}
+
+}  // namespace sor::phone

@@ -1,0 +1,111 @@
+// MobileFrontend — the phone-side application (§II-A, Fig. 3).
+//
+// Wires together the Message Handler (a net::Endpoint speaking the binary
+// SOR protocol), the Local Preference Manager, the Sensing Task Manager
+// (the task map + RunDue pump), the Script Interpreter (inside
+// TaskInstance), and the Sensor Manager with one Provider per supported
+// sensor (all Nexus4 sensors + the Sensordrone suite over the Bluetooth
+// link).
+//
+// The user-facing trigger is ScanBarcode*: decode the 2D barcode, send a
+// ParticipationRequest with the phone's (preference-filtered) location and
+// sensing budget, and wait for the server's schedule.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "codec/barcode.hpp"
+#include "common/sim_time.hpp"
+#include "net/transport.hpp"
+#include "phone/task_instance.hpp"
+#include "sensors/manager.hpp"
+#include "sensors/providers.hpp"
+
+namespace sor::phone {
+
+struct FrontendConfig {
+  PhoneId phone_id;
+  UserId user_id;
+  std::string user_name;
+  Token token;
+  bool has_sensordrone = true;  // pair the external sensor at startup
+};
+
+struct FrontendStats {
+  std::uint64_t uploads_sent = 0;
+  std::uint64_t upload_failures = 0;
+  std::uint64_t schedules_received = 0;
+  std::uint64_t pings_answered = 0;
+  std::uint64_t decode_failures = 0;
+};
+
+class MobileFrontend final : public net::Endpoint {
+ public:
+  // The frontend registers itself on `network` under EndpointName().
+  MobileFrontend(FrontendConfig config, net::LoopbackNetwork& network,
+                 sensors::SensorEnvironment& env, const SimClock& clock);
+  ~MobileFrontend() override;
+
+  MobileFrontend(const MobileFrontend&) = delete;
+  MobileFrontend& operator=(const MobileFrontend&) = delete;
+
+  [[nodiscard]] std::string EndpointName() const {
+    return "phone:" + config_.token.value;
+  }
+
+  [[nodiscard]] LocalPreferenceManager& preferences() { return prefs_; }
+  [[nodiscard]] sensors::SensorManager& sensor_manager() { return sensors_; }
+  [[nodiscard]] sensors::BluetoothLink& bluetooth() { return bluetooth_; }
+  [[nodiscard]] const FrontendStats& stats() const { return stats_; }
+  [[nodiscard]] const FrontendConfig& config() const { return config_; }
+
+  // --- user actions ------------------------------------------------------
+  // Scan the barcode deployed at the target place. On success the server
+  // has accepted the participation; the sensing schedule arrives as a
+  // separate ScheduleDistribution message.
+  [[nodiscard]] Result<TaskId> ScanBarcode(const BarcodePayload& payload,
+                                           int budget);
+  [[nodiscard]] Result<TaskId> ScanBarcodeText(const std::string& text,
+                                               int budget);
+  [[nodiscard]] Result<TaskId> ScanBarcodeMatrix(const BitMatrix& matrix,
+                                                 int budget);
+
+  // Tell the server the user left the place; finishes all tasks.
+  [[nodiscard]] Status LeavePlace();
+
+  // --- time advance ------------------------------------------------------
+  // Execute every sensing activity due at the current clock time and upload
+  // the collected data. Failed uploads are retried on the next tick.
+  void Tick();
+
+  // --- task inspection ---------------------------------------------------
+  [[nodiscard]] const TaskInstance* task(TaskId id) const;
+  [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
+
+  // --- net::Endpoint -----------------------------------------------------
+  [[nodiscard]] Bytes HandleFrame(std::span<const std::uint8_t> frame) override;
+
+ private:
+  [[nodiscard]] Message HandleMessage(const Message& m);
+  [[nodiscard]] GeoPoint ReportedLocation();
+
+  FrontendConfig config_;
+  net::LoopbackNetwork& network_;
+  sensors::SensorEnvironment& env_;
+  const SimClock& clock_;
+  std::string server_;  // learned from the scanned barcode
+
+  LocalPreferenceManager prefs_;
+  sensors::BluetoothLink bluetooth_;
+  sensors::SensorManager sensors_;
+
+  std::map<TaskId, TaskInstance> tasks_;
+  // Store-and-forward queue for failed uploads, kept per task so batches
+  // from concurrent tasks can never be attributed to the wrong one.
+  std::map<TaskId, std::vector<ReadingTuple>> pending_upload_;
+  SimTime last_tick_;
+  FrontendStats stats_;
+};
+
+}  // namespace sor::phone

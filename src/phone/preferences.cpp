@@ -1,0 +1,4 @@
+#include "phone/preferences.hpp"
+
+// Header-only today; the translation unit anchors the library target and
+// keeps room for persisted preferences later.

@@ -1,0 +1,37 @@
+// Local Preference Manager (§II-A).
+//
+// "SOR also allows a user to specify how sensors on his/her phone can be
+// used to participate in sensing activities. For example, a user may not
+// want to expose his/her exact locations to our system, then he/she can
+// disallow the phone to return locations provided by GPS."
+#pragma once
+
+#include <array>
+
+#include "common/sensor_kind.hpp"
+
+namespace sor::phone {
+
+class LocalPreferenceManager {
+ public:
+  LocalPreferenceManager() { allowed_.fill(true); }
+
+  void Allow(SensorKind kind, bool allowed) {
+    allowed_[static_cast<std::size_t>(kind)] = allowed;
+  }
+  [[nodiscard]] bool Allows(SensorKind kind) const {
+    return allowed_[static_cast<std::size_t>(kind)];
+  }
+
+  // Coarse-location mode: GPS fixes are snapped to a ~1 km grid before
+  // leaving the phone, so the server can verify presence without learning
+  // the exact position.
+  void set_coarse_location(bool coarse) { coarse_location_ = coarse; }
+  [[nodiscard]] bool coarse_location() const { return coarse_location_; }
+
+ private:
+  std::array<bool, kSensorKindCount> allowed_{};
+  bool coarse_location_ = false;
+};
+
+}  // namespace sor::phone

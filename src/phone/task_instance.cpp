@@ -1,0 +1,184 @@
+#include "phone/task_instance.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "script/parser.hpp"
+
+namespace sor::phone {
+
+namespace {
+
+struct FnMapping {
+  const char* name;
+  SensorKind kind;
+};
+
+// The acquisition vocabulary. Names follow the paper's Lua samples
+// (get_light_readings, get_location); one per supported sensor.
+constexpr FnMapping kAcquisitionFns[] = {
+    {"get_accelerometer_readings", SensorKind::kAccelerometer},
+    {"get_gyroscope_readings", SensorKind::kGyroscope},
+    {"get_compass_readings", SensorKind::kCompass},
+    {"get_location", SensorKind::kGps},
+    {"get_noise_readings", SensorKind::kMicrophone},
+    {"get_light_readings", SensorKind::kDroneLight},
+    {"get_ambient_light_readings", SensorKind::kLight},
+    {"get_wifi_readings", SensorKind::kWifi},
+    {"get_altitude_readings", SensorKind::kBarometer},
+    {"get_temperature_readings", SensorKind::kDroneTemperature},
+    {"get_humidity_readings", SensorKind::kDroneHumidity},
+    {"get_pressure_readings", SensorKind::kDronePressure},
+    {"get_gas_co_readings", SensorKind::kDroneGasCo},
+    {"get_color_readings", SensorKind::kDroneColor},
+};
+
+}  // namespace
+
+std::optional<SensorKind> AcquisitionFunctionSensor(
+    const std::string& fn_name) {
+  for (const FnMapping& m : kAcquisitionFns) {
+    if (fn_name == m.name) return m.kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> AcquisitionFunctionNames() {
+  std::vector<std::string> names;
+  for (const FnMapping& m : kAcquisitionFns) names.emplace_back(m.name);
+  return names;
+}
+
+TaskInstance::TaskInstance(TaskId id, AppId app, const std::string& script,
+                           std::vector<SimTime> schedule,
+                           SimDuration sample_window, int samples_per_window)
+    : id_(id),
+      app_(app),
+      schedule_(std::move(schedule)),
+      sample_window_(sample_window),
+      samples_per_window_(std::max(1, samples_per_window)) {
+  std::sort(schedule_.begin(), schedule_.end());
+  Result<script::Program> parsed = script::Parse(script);
+  if (!parsed.ok()) {
+    status_ = TaskStatus::kError;
+    last_error_ = parsed.error().str();
+    ++stats_.script_errors;
+    return;
+  }
+  program_ = std::move(parsed).value();
+  status_ = TaskStatus::kRunning;
+}
+
+std::vector<ReadingTuple> TaskInstance::RunDue(
+    SimTime now, sensors::SensorManager& sensors,
+    const LocalPreferenceManager& prefs) {
+  std::vector<ReadingTuple> collected;
+  if (status_ != TaskStatus::kRunning) return collected;
+  while (next_instant_ < schedule_.size() &&
+         schedule_[next_instant_] <= now) {
+    ExecuteOnce(schedule_[next_instant_], sensors, prefs, collected);
+    ++next_instant_;
+  }
+  if (AllInstantsDone() && status_ == TaskStatus::kRunning)
+    status_ = TaskStatus::kFinished;
+  return collected;
+}
+
+void TaskInstance::ExecuteOnce(SimTime t, sensors::SensorManager& sensors,
+                               const LocalPreferenceManager& prefs,
+                               std::vector<ReadingTuple>& out) {
+  ++stats_.executions;
+
+  // Bind the acquisition vocabulary to this execution: each call acquires
+  // `samples_per_window_` readings within [t, t+Δt], records the (t, Δt, d)
+  // tuple for upload, and hands the values back to the script.
+  script::HostRegistry host;
+  script::InstallStdlib(host);
+
+  // Introspection: scripts can adapt to where they are in the task
+  // (e.g. take a final long GPS trace on the last scheduled instant).
+  host.Register("get_time_s",
+                [t](std::span<const script::Value>) -> Result<script::Value> {
+                  return script::Value(t.seconds());
+                });
+  host.Register("get_sample_window_s",
+                [this](std::span<const script::Value>)
+                    -> Result<script::Value> {
+                  return script::Value(sample_window_.seconds());
+                });
+  host.Register("get_remaining_instants",
+                [this](std::span<const script::Value>)
+                    -> Result<script::Value> {
+                  return script::Value(static_cast<double>(
+                      schedule_.size() - next_instant_ - 1));
+                });
+  for (const FnMapping& m : kAcquisitionFns) {
+    const SensorKind kind = m.kind;
+    host.Register(
+        m.name,
+        [this, kind, t, &sensors, &prefs,
+         &out](std::span<const script::Value> args)
+            -> Result<script::Value> {
+          int samples = samples_per_window_;
+          if (!args.empty() && args[0].is_number())
+            samples = std::max(1, static_cast<int>(args[0].as_number()));
+          // Optional second argument: a per-call window override in seconds.
+          // Trail scripts use it to spread GPS fixes far enough apart that
+          // the curvature estimate is geometry- rather than noise-driven.
+          SimDuration window = sample_window_;
+          if (args.size() >= 2 && args[1].is_number() &&
+              args[1].as_number() > 0)
+            window = SimDuration::FromSeconds(args[1].as_number());
+
+          if (!prefs.Allows(kind)) {
+            ++stats_.denied;
+            // Denied sensors yield an empty list rather than aborting the
+            // whole script: partial participation is better than none.
+            return script::Value::MakeList();
+          }
+          sensors::AcquireRequest req{t, window, samples};
+          Result<std::vector<sensors::Reading>> readings =
+              sensors.Acquire(kind, req);
+          if (!readings.ok()) {
+            ++stats_.failed;
+            SOR_LOG(kDebug, "task",
+                    "acquisition failed: " << readings.error().str());
+            return script::Value::MakeList();
+          }
+          ++stats_.acquisitions;
+
+          ReadingTuple tuple;
+          tuple.kind = kind;
+          tuple.t = t;
+          tuple.dt = window;
+          script::List values;
+          for (const sensors::Reading& r : readings.value()) {
+            tuple.values.push_back(r.value);
+            values.emplace_back(r.value);
+            if (r.location.has_value()) {
+              GeoPoint loc = *r.location;
+              if (prefs.coarse_location()) {
+                // Snap to a ~1 km grid (0.01 degrees): coarse mode.
+                loc.lat_deg = std::round(loc.lat_deg * 100.0) / 100.0;
+                loc.lon_deg = std::round(loc.lon_deg * 100.0) / 100.0;
+              }
+              tuple.locations.push_back(loc);
+            }
+          }
+          out.push_back(std::move(tuple));
+          return script::Value(std::make_shared<script::List>(
+              std::move(values)));
+        });
+  }
+
+  script::Interpreter interp(host);
+  Result<script::ExecutionResult> r = interp.Execute(program_);
+  if (!r.ok()) {
+    ++stats_.script_errors;
+    last_error_ = r.error().str();
+    status_ = TaskStatus::kError;
+    SOR_LOG(kWarn, "task", "script failed: " << last_error_);
+  }
+}
+
+}  // namespace sor::phone

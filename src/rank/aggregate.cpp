@@ -1,0 +1,150 @@
+#include "rank/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "flow/assignment.hpp"
+
+namespace sor::rank {
+
+namespace {
+
+// Weighted footrule costs are w_j * |π − i'| with real-valued weights;
+// scale to integers for the flow/Hungarian solvers. 10^6 preserves six
+// decimal digits of weight precision, far beyond the 0..5 integer weights
+// user profiles actually use.
+constexpr double kCostScale = 1e6;
+
+flow::CostMatrix BuildFootruleCosts(std::span<const Ranking> omega,
+                                    std::span<const double> weights) {
+  const int n = omega.empty() ? 0 : omega[0].size();
+  flow::CostMatrix m;
+  m.n = n;
+  m.cost.assign(static_cast<std::size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int ip = 0; ip < n; ++ip) {
+      double c = 0.0;
+      for (std::size_t j = 0; j < omega.size(); ++j)
+        c += weights[j] * std::abs(omega[j].position_of(i) - ip);
+      m.at(i, ip) = static_cast<std::int64_t>(std::llround(c * kCostScale));
+    }
+  }
+  return m;
+}
+
+Result<Ranking> RankingFromAssignment(const flow::AssignmentResult& a) {
+  // column_of_row[i] = final position of item i; invert to an order.
+  const int n = static_cast<int>(a.column_of_row.size());
+  std::vector<int> order(n, -1);
+  for (int i = 0; i < n; ++i) order[a.column_of_row[i]] = i;
+  return Ranking::FromOrder(std::move(order));
+}
+
+}  // namespace
+
+Status ValidateAggregationInput(std::span<const Ranking> omega,
+                                std::span<const double> weights) {
+  if (omega.empty())
+    return Status(Errc::kInvalidArgument, "no rankings to aggregate");
+  if (omega.size() != weights.size())
+    return Status(Errc::kInvalidArgument, "weights/rankings size mismatch");
+  const int n = omega[0].size();
+  if (n < 1) return Status(Errc::kInvalidArgument, "empty ranking");
+  for (const Ranking& r : omega) {
+    if (r.size() != n)
+      return Status(Errc::kInvalidArgument, "ranking sizes differ");
+  }
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w))
+      return Status(Errc::kInvalidArgument, "weights must be >= 0 and finite");
+  }
+  return Status::Ok();
+}
+
+Result<Ranking> FootruleMcmfAggregate(std::span<const Ranking> omega,
+                                      std::span<const double> weights) {
+  if (Status s = ValidateAggregationInput(omega, weights); !s.ok())
+    return s.error();
+  const flow::CostMatrix costs = BuildFootruleCosts(omega, weights);
+  Result<flow::AssignmentResult> a = flow::SolveAssignmentFlow(costs);
+  if (!a.ok()) return a.error();
+  return RankingFromAssignment(a.value());
+}
+
+Result<Ranking> FootruleHungarianAggregate(std::span<const Ranking> omega,
+                                           std::span<const double> weights) {
+  if (Status s = ValidateAggregationInput(omega, weights); !s.ok())
+    return s.error();
+  const flow::CostMatrix costs = BuildFootruleCosts(omega, weights);
+  Result<flow::AssignmentResult> a = flow::SolveAssignmentHungarian(costs);
+  if (!a.ok()) return a.error();
+  return RankingFromAssignment(a.value());
+}
+
+Result<Ranking> ExactKemenyAggregate(std::span<const Ranking> omega,
+                                     std::span<const double> weights,
+                                     int max_n) {
+  if (Status s = ValidateAggregationInput(omega, weights); !s.ok())
+    return s.error();
+  const int n = omega[0].size();
+  if (n > max_n)
+    return Error{Errc::kInvalidArgument,
+                 "exact Kemeny limited to n <= " + std::to_string(max_n)};
+
+  // Precompute weighted pairwise preference: pref[i][j] = total weight of
+  // rankings placing i before j. A candidate ranking's weighted Kemeny
+  // distance is the sum of pref[j][i] over pairs it orders i before j —
+  // O(n^2) per permutation instead of O(n^2 * M).
+  std::vector<std::vector<double>> pref(n, std::vector<double>(n, 0.0));
+  for (std::size_t m = 0; m < omega.size(); ++m) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i != j && omega[m].position_of(i) < omega[m].position_of(j))
+          pref[i][j] += weights[m];
+      }
+    }
+  }
+
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<int> best = perm;
+  double best_cost = std::numeric_limits<double>::infinity();
+  do {
+    double cost = 0.0;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        // perm puts perm[a] before perm[b]; rankings that disagree pay.
+        cost += pref[perm[b]][perm[a]];
+      }
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return Ranking::FromOrder(std::move(best));
+}
+
+Result<Ranking> BordaAggregate(std::span<const Ranking> omega,
+                               std::span<const double> weights) {
+  if (Status s = ValidateAggregationInput(omega, weights); !s.ok())
+    return s.error();
+  const int n = omega[0].size();
+  // Weighted mean position; lower is better.
+  std::vector<double> score(n, 0.0);
+  for (std::size_t j = 0; j < omega.size(); ++j) {
+    for (int i = 0; i < n; ++i)
+      score[i] += weights[j] * omega[j].position_of(i);
+  }
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (score[a] != score[b]) return score[a] < score[b];
+    return a < b;
+  });
+  return Ranking::FromOrder(std::move(order));
+}
+
+}  // namespace sor::rank

@@ -1,0 +1,47 @@
+// Rank aggregation: combine per-feature rankings Ω with user weights W into
+// one final ranking (Step 3 of Algorithm 2).
+//
+// * FootruleMcmfAggregate — the paper's algorithm: minimize the weighted
+//   f-ranking distance (Eq. 11) by a min-cost flow on the auxiliary
+//   assignment graph. Exact for the footrule objective; a 2-approximation
+//   for the weighted Kemeny objective by Eq. (10). (The paper calls this a
+//   "1/2-approximate solution", i.e. the same multiplicative bound stated
+//   from the other side.)
+// * FootruleHungarianAggregate — same objective solved with Kuhn–Munkres;
+//   ablation/cross-check.
+// * ExactKemenyAggregate — brute force over all N! rankings; feasible for
+//   the small N of the field tests and used by tests/benches to *measure*
+//   the approximation factor. NP-hard in general [7], hence the cutoff.
+// * BordaAggregate — classic positional baseline for the ablation bench.
+//
+// Ties inside an aggregator are broken toward lower item index so results
+// are deterministic.
+#pragma once
+
+#include <span>
+
+#include "common/result.hpp"
+#include "rank/distances.hpp"
+#include "rank/ranking.hpp"
+
+namespace sor::rank {
+
+// Weights must be non-negative; rankings must all have equal size >= 1.
+[[nodiscard]] Status ValidateAggregationInput(std::span<const Ranking> omega,
+                                              std::span<const double> weights);
+
+[[nodiscard]] Result<Ranking> FootruleMcmfAggregate(
+    std::span<const Ranking> omega, std::span<const double> weights);
+
+[[nodiscard]] Result<Ranking> FootruleHungarianAggregate(
+    std::span<const Ranking> omega, std::span<const double> weights);
+
+// max_n guards the factorial blow-up; > max_n returns kInvalidArgument.
+[[nodiscard]] Result<Ranking> ExactKemenyAggregate(
+    std::span<const Ranking> omega, std::span<const double> weights,
+    int max_n = 9);
+
+[[nodiscard]] Result<Ranking> BordaAggregate(std::span<const Ranking> omega,
+                                             std::span<const double> weights);
+
+}  // namespace sor::rank

@@ -1,0 +1,95 @@
+#include "rank/distances.hpp"
+
+#include <algorithm>
+#include <vector>
+#include <cassert>
+#include <cstdlib>
+
+namespace sor::rank {
+
+std::int64_t KemenyDistance(const Ranking& a, const Ranking& b) {
+  assert(a.size() == b.size());
+  const int n = a.size();
+  std::int64_t violations = 0;
+  // O(n^2) pair scan; n = number of target places, small in practice. For
+  // large n this could be an O(n log n) inversion count, but clarity wins
+  // at this scale.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const int da = a.position_of(i) - a.position_of(j);
+      const int db = b.position_of(i) - b.position_of(j);
+      if (static_cast<std::int64_t>(da) * db < 0) ++violations;
+    }
+  }
+  return violations;
+}
+
+namespace {
+
+// Counts inversions in xs[lo, hi) with a scratch buffer; standard
+// merge-sort inversion counting.
+std::int64_t CountInversions(std::vector<int>& xs, std::vector<int>& tmp,
+                             std::size_t lo, std::size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::int64_t inv = CountInversions(xs, tmp, lo, mid) +
+                     CountInversions(xs, tmp, mid, hi);
+  std::size_t i = lo;
+  std::size_t j = mid;
+  std::size_t k = lo;
+  while (i < mid && j < hi) {
+    if (xs[i] <= xs[j]) {
+      tmp[k++] = xs[i++];
+    } else {
+      inv += static_cast<std::int64_t>(mid - i);
+      tmp[k++] = xs[j++];
+    }
+  }
+  while (i < mid) tmp[k++] = xs[i++];
+  while (j < hi) tmp[k++] = xs[j++];
+  std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
+            tmp.begin() + static_cast<std::ptrdiff_t>(hi),
+            xs.begin() + static_cast<std::ptrdiff_t>(lo));
+  return inv;
+}
+
+}  // namespace
+
+std::int64_t KemenyDistanceFast(const Ranking& a, const Ranking& b) {
+  assert(a.size() == b.size());
+  // Walk b's order, mapping each item to its position in a: the Kemeny
+  // distance is exactly the number of inversions in that sequence.
+  std::vector<int> mapped(static_cast<std::size_t>(b.size()));
+  for (int pos = 0; pos < b.size(); ++pos)
+    mapped[static_cast<std::size_t>(pos)] = a.position_of(b.item_at(pos));
+  std::vector<int> tmp(mapped.size());
+  return CountInversions(mapped, tmp, 0, mapped.size());
+}
+
+std::int64_t FootruleDistance(const Ranking& a, const Ranking& b) {
+  assert(a.size() == b.size());
+  std::int64_t sum = 0;
+  for (int i = 0; i < a.size(); ++i)
+    sum += std::abs(a.position_of(i) - b.position_of(i));
+  return sum;
+}
+
+double WeightedKemeny(const Ranking& r, std::span<const Ranking> omega,
+                      std::span<const double> weights) {
+  assert(omega.size() == weights.size());
+  double total = 0.0;
+  for (std::size_t j = 0; j < omega.size(); ++j)
+    total += weights[j] * static_cast<double>(KemenyDistance(r, omega[j]));
+  return total;
+}
+
+double WeightedFootrule(const Ranking& r, std::span<const Ranking> omega,
+                        std::span<const double> weights) {
+  assert(omega.size() == weights.size());
+  double total = 0.0;
+  for (std::size_t j = 0; j < omega.size(); ++j)
+    total += weights[j] * static_cast<double>(FootruleDistance(r, omega[j]));
+  return total;
+}
+
+}  // namespace sor::rank

@@ -1,0 +1,41 @@
+// Rank distances (§IV-B).
+//
+// * Kemeny distance (Definition 2): the number of pairwise order violations
+//   between two rankings. The paper's worked example (R1 = A,B,C versus
+//   R2 = B,C,A has distance 2) counts each unordered pair once, so we sum
+//   over i < i'.
+// * Spearman's footrule (Eq. 9): Σ_i |π(i,R1) − π(i,R2)|, with the
+//   Diaconis–Graham sandwich d_K ≤ d_f ≤ 2·d_K (Eq. 10).
+// * Weighted K-/f-ranking distances to a collection Ω of per-feature
+//   rankings (Eqs. 7 and 11).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rank/ranking.hpp"
+
+namespace sor::rank {
+
+// O(n²) pair scan — the reference implementation, clearest to audit.
+[[nodiscard]] std::int64_t KemenyDistance(const Ranking& a, const Ranking& b);
+
+// O(n log n) merge-sort inversion count — identical result; use when
+// ranking hundreds of places (e.g. a whole city's restaurants).
+[[nodiscard]] std::int64_t KemenyDistanceFast(const Ranking& a,
+                                              const Ranking& b);
+
+[[nodiscard]] std::int64_t FootruleDistance(const Ranking& a,
+                                            const Ranking& b);
+
+// Weighted distance from `r` to the collection Ω with weights w (Eq. 7/11).
+// weights.size() must equal rankings.size().
+[[nodiscard]] double WeightedKemeny(const Ranking& r,
+                                    std::span<const Ranking> omega,
+                                    std::span<const double> weights);
+[[nodiscard]] double WeightedFootrule(const Ranking& r,
+                                      std::span<const Ranking> omega,
+                                      std::span<const double> weights);
+
+}  // namespace sor::rank

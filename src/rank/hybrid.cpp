@@ -1,0 +1,81 @@
+#include "rank/hybrid.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sor::rank {
+
+Result<Ranking> SubjectiveRatings::ToRanking() const {
+  const int n = static_cast<int>(stars.size());
+  if (n == 0) return Error{Errc::kInvalidArgument, "no ratings"};
+  if (!review_counts.empty() &&
+      review_counts.size() != stars.size()) {
+    return Error{Errc::kInvalidArgument,
+                 "review_counts/stars size mismatch"};
+  }
+  for (double s : stars) {
+    if (s < 0.0 || s > 5.0)
+      return Error{Errc::kInvalidArgument, "stars must be in [0, 5]"};
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto sa = stars[static_cast<std::size_t>(a)];
+    const auto sb = stars[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa > sb;  // more stars ranks higher
+    if (!review_counts.empty()) {
+      const int ra = review_counts[static_cast<std::size_t>(a)];
+      const int rb = review_counts[static_cast<std::size_t>(b)];
+      if (ra != rb) return ra > rb;  // more reviews = more confidence
+    }
+    return a < b;
+  });
+  return Ranking::FromOrder(std::move(order));
+}
+
+Result<RankingOutcome> HybridRank(const PersonalizableRanker& ranker,
+                                  const UserProfile& profile,
+                                  const SubjectiveRatings& ratings,
+                                  double subjective_weight,
+                                  AggregationMethod method) {
+  if (subjective_weight < 0.0)
+    return Error{Errc::kInvalidArgument, "subjective weight must be >= 0"};
+  if (static_cast<int>(ratings.stars.size()) !=
+      ranker.matrix().num_places()) {
+    return Error{Errc::kInvalidArgument,
+                 "ratings cover " + std::to_string(ratings.stars.size()) +
+                     " places, matrix has " +
+                     std::to_string(ranker.matrix().num_places())};
+  }
+
+  // Steps 1–2 of Algorithm 2 via the objective ranker (its aggregation
+  // result is discarded; only the individual rankings and weights matter).
+  Result<RankingOutcome> objective = ranker.Rank(profile, method);
+  if (!objective.ok()) return objective;
+  RankingOutcome out = std::move(objective).value();
+
+  Result<Ranking> subjective = ratings.ToRanking();
+  if (!subjective.ok()) return subjective.error();
+  out.individual.push_back(std::move(subjective).value());
+  out.weights.push_back(subjective_weight);
+
+  // Step 3 over the extended Ω.
+  Result<Ranking> final = [&]() -> Result<Ranking> {
+    switch (method) {
+      case AggregationMethod::kFootruleMcmf:
+        return FootruleMcmfAggregate(out.individual, out.weights);
+      case AggregationMethod::kFootruleHungarian:
+        return FootruleHungarianAggregate(out.individual, out.weights);
+      case AggregationMethod::kExactKemeny:
+        return ExactKemenyAggregate(out.individual, out.weights);
+      case AggregationMethod::kBorda:
+        return BordaAggregate(out.individual, out.weights);
+    }
+    return Error{Errc::kInvalidArgument, "unknown aggregation method"};
+  }();
+  if (!final.ok()) return final.error();
+  out.final_ranking = std::move(final).value();
+  return out;
+}
+
+}  // namespace sor::rank

@@ -1,0 +1,34 @@
+// Hybrid objective + subjective ranking.
+//
+// The paper positions SOR as a complement: "Our objective is not to
+// replace the current ranking/recommendation systems that are based on
+// subjective user ratings but to enhance them ... the proposed system,
+// ranking algorithm and sensed data can be integrated into existing
+// subjective ranking and recommendation systems" (§I). This module does
+// that integration: the community's star ratings become one more
+// individual ranking in Ω, weighted like any feature, and the same
+// weighted-footrule aggregation produces the blended result.
+#pragma once
+
+#include "rank/personalizable_ranker.hpp"
+
+namespace sor::rank {
+
+// Community ratings for the same places (same order as the matrix).
+struct SubjectiveRatings {
+  std::vector<double> stars;        // e.g. Yelp 1.0–5.0
+  std::vector<int> review_counts;   // optional; empty = equal confidence
+
+  // Ranking by stars descending; ties broken by review count then index.
+  [[nodiscard]] Result<Ranking> ToRanking() const;
+};
+
+// Algorithm 2 with the subjective ranking appended to Ω.
+// `subjective_weight` plays the role of the paper's 0–5 feature weights;
+// 0 reduces to the purely objective ranking.
+[[nodiscard]] Result<RankingOutcome> HybridRank(
+    const PersonalizableRanker& ranker, const UserProfile& profile,
+    const SubjectiveRatings& ratings, double subjective_weight,
+    AggregationMethod method = AggregationMethod::kFootruleMcmf);
+
+}  // namespace sor::rank

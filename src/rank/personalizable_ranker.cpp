@@ -1,0 +1,117 @@
+#include "rank/personalizable_ranker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sor::rank {
+
+FeatureMatrix::FeatureMatrix(std::vector<std::string> place_names,
+                             std::vector<FeatureSpec> features)
+    : place_names_(std::move(place_names)), features_(std::move(features)) {
+  h_.assign(place_names_.size() * features_.size(), 0.0);
+}
+
+int FeatureMatrix::feature_index(std::string_view name) const {
+  for (int j = 0; j < num_features(); ++j) {
+    if (features_[static_cast<std::size_t>(j)].name == name) return j;
+  }
+  return -1;
+}
+
+std::vector<std::string> RankingOutcome::OrderedNames(
+    const FeatureMatrix& m) const {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(final_ranking.size()));
+  for (int pos = 0; pos < final_ranking.size(); ++pos)
+    names.push_back(m.place_names()[static_cast<std::size_t>(
+        final_ranking.item_at(pos))]);
+  return names;
+}
+
+Result<RankingOutcome> PersonalizableRanker::Rank(
+    const UserProfile& profile, AggregationMethod method) const {
+  const int n = matrix_.num_places();
+  const int m = matrix_.num_features();
+  if (n < 1) return Error{Errc::kInvalidArgument, "no places to rank"};
+  if (m < 1) return Error{Errc::kInvalidArgument, "no features"};
+  if (static_cast<int>(profile.prefs.size()) != m)
+    return Error{Errc::kInvalidArgument,
+                 "profile has " + std::to_string(profile.prefs.size()) +
+                     " preferences, matrix has " + std::to_string(m) +
+                     " features"};
+
+  RankingOutcome out;
+  out.gamma.assign(static_cast<std::size_t>(n) * m, 0.0);
+  out.weights.resize(static_cast<std::size_t>(m));
+
+  // Step 1: resolve u_j per feature and fill Γ_ij = |h_ij − u_j|.
+  for (int j = 0; j < m; ++j) {
+    const FeaturePreference& pref = profile.prefs[static_cast<std::size_t>(j)];
+    const FeatureSpec& spec = matrix_.features()[static_cast<std::size_t>(j)];
+    if (pref.weight < 0 || pref.weight > 5)
+      return Error{Errc::kInvalidArgument,
+                   "weight must be in [0,5] for feature " + spec.name};
+    double u = 0.0;
+    switch (pref.kind) {
+      case FeaturePreference::Kind::kValue:
+        u = pref.value;
+        break;
+      case FeaturePreference::Kind::kMax:
+        u = kMaxSentinel;
+        break;
+      case FeaturePreference::Kind::kMin:
+        u = -kMaxSentinel;
+        break;
+      case FeaturePreference::Kind::kDefault:
+        switch (spec.direction) {
+          case PrefDirection::kTarget: u = spec.default_preference; break;
+          case PrefDirection::kMaximize: u = kMaxSentinel; break;
+          case PrefDirection::kMinimize: u = -kMaxSentinel; break;
+        }
+        break;
+    }
+    out.weights[static_cast<std::size_t>(j)] =
+        static_cast<double>(pref.weight);
+    for (int i = 0; i < n; ++i) {
+      out.gamma[static_cast<std::size_t>(i) * m + j] =
+          std::fabs(matrix_.at(i, j) - u);
+    }
+  }
+
+  // Step 2: individual ranking R_j = places sorted ascending by Γ_ij.
+  out.individual.reserve(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      const double ga = out.gamma[static_cast<std::size_t>(a) * m + j];
+      const double gb = out.gamma[static_cast<std::size_t>(b) * m + j];
+      if (ga != gb) return ga < gb;
+      return a < b;
+    });
+    Result<Ranking> rj = Ranking::FromOrder(std::move(order));
+    if (!rj.ok()) return rj.error();
+    out.individual.push_back(std::move(rj).value());
+  }
+
+  // Step 3: weighted aggregation.
+  Result<Ranking> final = [&]() -> Result<Ranking> {
+    switch (method) {
+      case AggregationMethod::kFootruleMcmf:
+        return FootruleMcmfAggregate(out.individual, out.weights);
+      case AggregationMethod::kFootruleHungarian:
+        return FootruleHungarianAggregate(out.individual, out.weights);
+      case AggregationMethod::kExactKemeny:
+        return ExactKemenyAggregate(out.individual, out.weights);
+      case AggregationMethod::kBorda:
+        return BordaAggregate(out.individual, out.weights);
+    }
+    return Error{Errc::kInvalidArgument, "unknown aggregation method"};
+  }();
+  if (!final.ok()) return final.error();
+  out.final_ranking = std::move(final).value();
+  return out;
+}
+
+}  // namespace sor::rank

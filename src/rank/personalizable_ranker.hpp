@@ -1,0 +1,140 @@
+// Personalizable ranking — Algorithm 2 of the paper, end to end:
+//
+//   Step 1: Γ_ij = |h_ij − u_j| — distance of each place's feature value to
+//           the value the user prefers (with system defaults, e.g. 73 °F
+//           for temperature, and ±MAX sentinels for monotone features such
+//           as WiFi signal strength where larger/smaller is always better).
+//   Step 2: per-feature individual rankings R_j = places sorted ascending
+//           by Γ_ij (stable; ties toward lower place index).
+//   Step 3: aggregate {R_j} under the user's weights W via the weighted-
+//           footrule min-cost-flow algorithm (or a pluggable alternative).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "rank/aggregate.hpp"
+#include "rank/ranking.hpp"
+
+namespace sor::rank {
+
+// How a feature behaves when the user expresses no explicit target value.
+enum class PrefDirection {
+  kTarget,    // meaningful target value exists (temperature → 73 °F default)
+  kMaximize,  // always the larger the better (WiFi signal strength)
+  kMinimize,  // always the smaller the better (background noise)
+};
+
+struct FeatureSpec {
+  std::string name;
+  PrefDirection direction = PrefDirection::kTarget;
+  double default_preference = 0.0;  // used for kTarget when user is silent
+};
+
+// One user's stance on one feature (a row of the Fig. 7 / Fig. 11 profile
+// forms). Weight is the paper's 0..5 emphasis integer: 0 = "doesn't care",
+// 5 = "really cares".
+struct FeaturePreference {
+  enum class Kind {
+    kDefault,  // fall back to the feature's direction/default
+    kValue,    // explicit preferred value u_j
+    kMax,      // the paper's MAX sentinel ("prefers difficult trails")
+    kMin,      // symmetric MIN sentinel
+  };
+  Kind kind = Kind::kDefault;
+  double value = 0.0;  // only meaningful when kind == kValue
+  int weight = 0;
+
+  static FeaturePreference Prefer(double v, int weight) {
+    return {Kind::kValue, v, weight};
+  }
+  static FeaturePreference PreferMax(int weight) {
+    return {Kind::kMax, 0.0, weight};
+  }
+  static FeaturePreference PreferMin(int weight) {
+    return {Kind::kMin, 0.0, weight};
+  }
+  static FeaturePreference DontCare() { return {Kind::kDefault, 0.0, 0}; }
+};
+
+struct UserProfile {
+  std::string name;
+  std::vector<FeaturePreference> prefs;  // one per feature, same order as H
+};
+
+// H: N target places × M features, the matrix the ranker reads from the
+// database (§IV-A). One instance covers one place category.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  FeatureMatrix(std::vector<std::string> place_names,
+                std::vector<FeatureSpec> features);
+
+  [[nodiscard]] int num_places() const {
+    return static_cast<int>(place_names_.size());
+  }
+  [[nodiscard]] int num_features() const {
+    return static_cast<int>(features_.size());
+  }
+  [[nodiscard]] const std::vector<std::string>& place_names() const {
+    return place_names_;
+  }
+  [[nodiscard]] const std::vector<FeatureSpec>& features() const {
+    return features_;
+  }
+  [[nodiscard]] int feature_index(std::string_view name) const;
+
+  [[nodiscard]] double at(int place, int feature) const {
+    return h_[static_cast<std::size_t>(place) * num_features() + feature];
+  }
+  void set(int place, int feature, double v) {
+    h_[static_cast<std::size_t>(place) * num_features() + feature] = v;
+  }
+
+ private:
+  std::vector<std::string> place_names_;
+  std::vector<FeatureSpec> features_;
+  std::vector<double> h_;  // row-major N×M
+};
+
+struct RankingOutcome {
+  Ranking final_ranking;
+  std::vector<Ranking> individual;  // R_j per feature (Step 2)
+  std::vector<double> gamma;        // Γ, row-major N×M (Step 1)
+  std::vector<double> weights;      // resolved W
+
+  // Place names of the final ranking, best first.
+  [[nodiscard]] std::vector<std::string> OrderedNames(
+      const FeatureMatrix& m) const;
+};
+
+enum class AggregationMethod {
+  kFootruleMcmf,       // the paper's algorithm (default)
+  kFootruleHungarian,  // same objective, different solver
+  kExactKemeny,        // brute force, small N only
+  kBorda,              // positional baseline
+};
+
+class PersonalizableRanker {
+ public:
+  explicit PersonalizableRanker(FeatureMatrix matrix)
+      : matrix_(std::move(matrix)) {}
+
+  [[nodiscard]] const FeatureMatrix& matrix() const { return matrix_; }
+
+  // Runs Algorithm 2 for one user. The profile must have exactly one
+  // preference per feature.
+  [[nodiscard]] Result<RankingOutcome> Rank(
+      const UserProfile& profile,
+      AggregationMethod method = AggregationMethod::kFootruleMcmf) const;
+
+  // The paper's "relatively large integer pre-configured in SOR".
+  static constexpr double kMaxSentinel = 1e9;
+
+ private:
+  FeatureMatrix matrix_;
+};
+
+}  // namespace sor::rank

@@ -1,0 +1,45 @@
+#include "rank/ranking.hpp"
+
+#include <numeric>
+
+namespace sor::rank {
+
+Result<Ranking> Ranking::FromOrder(std::vector<int> order) {
+  const int n = static_cast<int>(order.size());
+  std::vector<int> position(n, -1);
+  for (int pos = 0; pos < n; ++pos) {
+    const int item = order[pos];
+    if (item < 0 || item >= n)
+      return Error{Errc::kInvalidArgument,
+                   "item index out of range: " + std::to_string(item)};
+    if (position[item] != -1)
+      return Error{Errc::kInvalidArgument,
+                   "duplicate item: " + std::to_string(item)};
+    position[item] = pos;
+  }
+  Ranking r;
+  r.order_ = std::move(order);
+  r.position_ = std::move(position);
+  return r;
+}
+
+Ranking Ranking::Identity(int n) {
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Ranking r;
+  r.order_ = order;
+  r.position_ = std::move(order);
+  return r;
+}
+
+std::string Ranking::str() const {
+  std::string s = "[";
+  for (int i = 0; i < size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(order_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace sor::rank

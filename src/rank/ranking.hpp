@@ -1,0 +1,39 @@
+// Ranking: an ordered permutation of item (target-place) indices.
+//
+// order()[0] is the item ranked No. 1. position_of(i) is the paper's index
+// function π(i, R): where item i sits in the ranking (0-based here).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace sor::rank {
+
+class Ranking {
+ public:
+  Ranking() = default;
+
+  // `order` must be a permutation of {0, ..., n-1}; checked by FromOrder.
+  [[nodiscard]] static Result<Ranking> FromOrder(std::vector<int> order);
+
+  // Identity ranking 0,1,...,n-1.
+  [[nodiscard]] static Ranking Identity(int n);
+
+  [[nodiscard]] int size() const { return static_cast<int>(order_.size()); }
+  [[nodiscard]] const std::vector<int>& order() const { return order_; }
+  [[nodiscard]] int item_at(int pos) const { return order_[pos]; }
+  // π(i, R): the 0-based position of item i.
+  [[nodiscard]] int position_of(int item) const { return position_[item]; }
+
+  friend bool operator==(const Ranking&, const Ranking&) = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<int> order_;     // position -> item
+  std::vector<int> position_;  // item -> position (the π function)
+};
+
+}  // namespace sor::rank

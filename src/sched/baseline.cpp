@@ -1,0 +1,48 @@
+#include "sched/baseline.hpp"
+
+#include <algorithm>
+
+namespace sor::sched {
+
+Result<ScheduleResult> PeriodicBaselineSchedule(
+    const Problem& p, const PeriodicBaselineOptions& opts) {
+  if (Status s = p.Validate(); !s.ok()) return s.error();
+  if (opts.interval_s <= 0.0)
+    return Error{Errc::kInvalidArgument, "interval must be positive"};
+
+  ScheduleResult out;
+  out.schedule = Schedule::Empty(p.num_users());
+  const SimDuration step = SimDuration::FromSeconds(opts.interval_s);
+
+  for (int k = 0; k < p.num_users(); ++k) {
+    const UserWindow& u = p.users[static_cast<std::size_t>(k)];
+    auto& phi = out.schedule.per_user[static_cast<std::size_t>(k)];
+    SimTime t = u.presence.begin;
+    int prev_index = -1;
+    for (int m = 0; m < u.budget && u.presence.contains(t); ++m, t = t + step) {
+      // Snap to the nearest grid instant at or after t (measurements only
+      // happen at instants of T in the coverage model).
+      const auto it = std::lower_bound(p.grid.begin(), p.grid.end(), t);
+      if (it == p.grid.end()) break;
+      int idx = static_cast<int>(it - p.grid.begin());
+      if (p.grid[static_cast<std::size_t>(idx)] > u.presence.end) break;
+      if (idx == prev_index) continue;  // sub-spacing cadence: dedupe
+      phi.push_back(idx);
+      prev_index = idx;
+      out.insertion_order.push_back({k, idx});
+    }
+  }
+
+  // Report the same quantity the greedy reports: additional coverage on
+  // top of any existing measurements (identical to CombinedObjective when
+  // the problem has none).
+  const CoverageEvaluator eval(p);
+  double preexisting = 0.0;
+  for (double qj : eval.UncoveredAfter(p.existing_measurements))
+    preexisting += 1.0 - qj;
+  out.objective =
+      eval.CombinedObjectiveWithExisting(p, out.schedule) - preexisting;
+  return out;
+}
+
+}  // namespace sor::sched

@@ -1,0 +1,20 @@
+// The comparison baseline of §V-C: "a mobile phone starts to sense every
+// 10 s since its arrival for N^B_k times". No coordination across users and
+// no spreading — exactly the clustered behaviour the greedy is designed to
+// avoid.
+#pragma once
+
+#include "common/result.hpp"
+#include "sched/coverage.hpp"
+#include "sched/greedy.hpp"
+
+namespace sor::sched {
+
+struct PeriodicBaselineOptions {
+  double interval_s = 10.0;  // sensing cadence from arrival
+};
+
+[[nodiscard]] Result<ScheduleResult> PeriodicBaselineSchedule(
+    const Problem& p, const PeriodicBaselineOptions& opts = {});
+
+}  // namespace sor::sched

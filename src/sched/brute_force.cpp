@@ -1,0 +1,82 @@
+#include "sched/brute_force.hpp"
+
+#include <algorithm>
+
+#include "sched/matroid.hpp"
+
+namespace sor::sched {
+
+namespace {
+
+struct Search {
+  const Problem& p;
+  const CoverageEvaluator eval;
+  std::vector<Assignment> elements;  // ground set
+  std::vector<int> used;             // per-user budget consumption
+  Schedule current;
+  double best_objective = -1.0;
+  Schedule best;
+
+  double preexisting_coverage = 0.0;
+
+  explicit Search(const Problem& prob)
+      : p(prob), eval(prob), used(prob.users.size(), 0),
+        current(Schedule::Empty(prob.num_users())),
+        best(Schedule::Empty(prob.num_users())) {
+    for (double qj : eval.UncoveredAfter(p.existing_measurements))
+      preexisting_coverage += 1.0 - qj;
+  }
+
+  void Recurse(std::size_t idx) {
+    if (idx == elements.size()) {
+      // Same semantics as the greedy: additional coverage on top of any
+      // existing measurements.
+      const double obj = eval.CombinedObjectiveWithExisting(p, current) -
+                         preexisting_coverage;
+      if (obj > best_objective) {
+        best_objective = obj;
+        best = current;
+      }
+      return;
+    }
+    // Skip element idx.
+    Recurse(idx + 1);
+    // Take element idx if the budget allows.
+    const Assignment& a = elements[idx];
+    if (used[static_cast<std::size_t>(a.user)] <
+        p.users[static_cast<std::size_t>(a.user)].budget) {
+      ++used[static_cast<std::size_t>(a.user)];
+      current.per_user[static_cast<std::size_t>(a.user)].push_back(a.instant);
+      Recurse(idx + 1);
+      current.per_user[static_cast<std::size_t>(a.user)].pop_back();
+      --used[static_cast<std::size_t>(a.user)];
+    }
+  }
+};
+
+}  // namespace
+
+Result<ScheduleResult> BruteForceOptimalSchedule(const Problem& p,
+                                                 int max_elements) {
+  if (Status s = p.Validate(); !s.ok()) return s.error();
+
+  Search search(p);
+  for (int k = 0; k < p.num_users(); ++k) {
+    for (int i : p.UserInstants(k)) search.elements.push_back({k, i});
+  }
+  if (static_cast<int>(search.elements.size()) > max_elements)
+    return Error{Errc::kInvalidArgument,
+                 "ground set too large for brute force: " +
+                     std::to_string(search.elements.size())};
+
+  search.Recurse(0);
+
+  ScheduleResult out;
+  out.schedule = search.best;
+  for (auto& phi : out.schedule.per_user) std::sort(phi.begin(), phi.end());
+  out.objective = search.best_objective;
+  out.gain_evaluations = 1ULL << search.elements.size();
+  return out;
+}
+
+}  // namespace sor::sched

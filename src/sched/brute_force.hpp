@@ -1,0 +1,19 @@
+// Exact optimum by exhaustive search over independent sets.
+//
+// Exponential — usable only on toy instances (ground set ≤ ~20 elements).
+// Exists so the test suite can verify Algorithm 1's 1/2-approximation bound
+// empirically: greedy objective ≥ 0.5 · brute-force objective on every
+// enumerable instance.
+#pragma once
+
+#include "common/result.hpp"
+#include "sched/coverage.hpp"
+#include "sched/greedy.hpp"
+
+namespace sor::sched {
+
+// Fails with kInvalidArgument when the ground set exceeds `max_elements`.
+[[nodiscard]] Result<ScheduleResult> BruteForceOptimalSchedule(
+    const Problem& p, int max_elements = 22);
+
+}  // namespace sor::sched

@@ -1,0 +1,139 @@
+#include "sched/coverage.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sor::sched {
+
+Problem Problem::UniformGrid(double period_s, int n_instants, double sigma_s) {
+  Problem p;
+  p.grid = MakeInstantGrid(
+      SimInterval{SimTime{0}, SimTime::FromSeconds(period_s)}, n_instants);
+  p.sigma_s = sigma_s;
+  return p;
+}
+
+std::vector<int> Problem::UserInstants(int k) const {
+  assert(k >= 0 && k < num_users());
+  const SimInterval& w = users[static_cast<std::size_t>(k)].presence;
+  std::vector<int> out;
+  // Grid is sorted: binary-search the window boundaries.
+  const auto lo = std::lower_bound(grid.begin(), grid.end(), w.begin);
+  const auto hi = std::upper_bound(grid.begin(), grid.end(), w.end);
+  out.reserve(static_cast<std::size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it)
+    out.push_back(static_cast<int>(it - grid.begin()));
+  return out;
+}
+
+Status Problem::Validate() const {
+  if (grid.empty()) return Status(Errc::kInvalidArgument, "empty grid");
+  if (sigma_s <= 0.0) return Status(Errc::kInvalidArgument, "sigma <= 0");
+  if (support_sigmas <= 0.0)
+    return Status(Errc::kInvalidArgument, "support_sigmas <= 0");
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    if (grid[i] <= grid[i - 1])
+      return Status(Errc::kInvalidArgument, "grid not strictly increasing");
+  }
+  for (const UserWindow& u : users) {
+    if (u.budget < 0) return Status(Errc::kInvalidArgument, "negative budget");
+    if (u.presence.empty())
+      return Status(Errc::kInvalidArgument, "empty presence window");
+  }
+  return Status::Ok();
+}
+
+std::vector<int> Schedule::AllInstants() const {
+  std::vector<int> all;
+  for (const auto& v : per_user) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+CoverageKernel::CoverageKernel(double sigma_s, double spacing_s,
+                               double support_sigmas) {
+  assert(sigma_s > 0.0 && spacing_s > 0.0);
+  const int support =
+      std::max(0, static_cast<int>(std::ceil(support_sigmas * sigma_s /
+                                             spacing_s)));
+  values_.resize(static_cast<std::size_t>(support) + 1);
+  for (int d = 0; d <= support; ++d) {
+    const double dt = static_cast<double>(d) * spacing_s;
+    values_[static_cast<std::size_t>(d)] =
+        std::exp(-dt * dt / (2.0 * sigma_s * sigma_s));
+  }
+}
+
+namespace {
+double GridSpacingSeconds(const Problem& p) {
+  assert(p.grid.size() >= 1);
+  if (p.grid.size() == 1) return 1.0;
+  return (p.grid[1] - p.grid[0]).seconds();
+}
+}  // namespace
+
+CoverageEvaluator::CoverageEvaluator(const Problem& p)
+    : n_(p.num_instants()),
+      kernel_(p.sigma_s, GridSpacingSeconds(p), p.support_sigmas) {}
+
+namespace {
+void ApplyMeasurement(std::vector<double>& q, const CoverageKernel& kernel,
+                      int n, int i) {
+  const int sup = kernel.support();
+  const int lo = std::max(0, i - sup);
+  const int hi = std::min(n - 1, i + sup);
+  for (int j = lo; j <= hi; ++j)
+    q[static_cast<std::size_t>(j)] *= 1.0 - kernel.at(std::abs(j - i));
+}
+}  // namespace
+
+double CoverageEvaluator::CombinedObjective(const Schedule& s) const {
+  // q[j] = Π (1 − p) over every scheduled measurement; objective = Σ (1−q).
+  std::vector<double> q(static_cast<std::size_t>(n_), 1.0);
+  for (const auto& phi : s.per_user) {
+    for (int i : phi) ApplyMeasurement(q, kernel_, n_, i);
+  }
+  double total = 0.0;
+  for (double qj : q) total += 1.0 - qj;
+  return total;
+}
+
+double CoverageEvaluator::CombinedObjectiveWithExisting(
+    const Problem& p, const Schedule& s) const {
+  std::vector<double> q = UncoveredAfter(p.existing_measurements);
+  for (const auto& phi : s.per_user) {
+    for (int i : phi) ApplyMeasurement(q, kernel_, n_, i);
+  }
+  double total = 0.0;
+  for (double qj : q) total += 1.0 - qj;
+  return total;
+}
+
+std::vector<double> CoverageEvaluator::UncoveredAfter(
+    std::span<const int> instants) const {
+  std::vector<double> q(static_cast<std::size_t>(n_), 1.0);
+  for (int i : instants) {
+    if (i < 0 || i >= n_) continue;  // tolerate off-grid snaps
+    ApplyMeasurement(q, kernel_, n_, i);
+  }
+  return q;
+}
+
+double CoverageEvaluator::PerUserSumObjective(const Schedule& s) const {
+  const int sup = kernel_.support();
+  double total = 0.0;
+  for (const auto& phi : s.per_user) {
+    std::vector<double> q(static_cast<std::size_t>(n_), 1.0);
+    for (int i : phi) {
+      const int lo = std::max(0, i - sup);
+      const int hi = std::min(n_ - 1, i + sup);
+      for (int j = lo; j <= hi; ++j)
+        q[static_cast<std::size_t>(j)] *= 1.0 - kernel_.at(std::abs(j - i));
+    }
+    for (double qj : q) total += 1.0 - qj;
+  }
+  return total;
+}
+
+}  // namespace sor::sched

@@ -1,0 +1,149 @@
+// Time-domain sensing-coverage model (§III).
+//
+// A scheduling period [tS, tE] is divided into N equally spaced instants T.
+// A measurement at t_i covers instant t_j with probability
+//     p(t_i, t_j) = exp(−(t_j − t_i)² / 2σ²)            (bell-shaped, μ = 0)
+// — the probability that the reading taken at t_i is still valid at t_j.
+// σ is a per-feature constant: large for slowly varying features
+// (temperature, humidity), small for fast ones (acceleration, orientation).
+// A set Φ of measurement instants covers t_j with probability
+//     p(t_j, Φ) = 1 − Π_{t_i ∈ Φ} (1 − p(t_i, t_j))      (Eq. 1)
+//
+// Problem (Eqs. 2–3): choose per-user schedules Φ_k ⊆ T_k (the instants
+// inside user k's presence window) with |Φ_k| ≤ N^B_k maximizing total
+// coverage. The ground set is the set of (user, instant) pairs; budgets form
+// a partition matroid over it (the executable form of the paper's (T, Λ),
+// Theorem 1), and both objectives below are monotone submodular, giving the
+// greedy its 1/2 guarantee.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+
+namespace sor::sched {
+
+// One participating mobile user k: presence window [tS_k, tE_k] and sensing
+// budget N^B_k.
+struct UserWindow {
+  SimInterval presence;
+  int budget = 0;
+};
+
+// A scheduling-problem instance.
+struct Problem {
+  std::vector<SimTime> grid;      // T, sorted ascending, uniform spacing
+  std::vector<UserWindow> users;  // K users
+  double sigma_s = 10.0;          // coverage kernel σ, seconds
+  // Kernel truncation: p is treated as 0 beyond this many σ (error < 4e-6
+  // at the default). Makes marginal-gain evaluation O(support) not O(N).
+  double support_sigmas = 5.0;
+  // Online re-planning: measurements that already happened in this period
+  // (grid indices, possibly repeated). The schedulers treat their coverage
+  // as sunk — new measurements are placed to maximize the *additional*
+  // coverage, so mid-period reschedules never waste budget re-covering
+  // instants that are already well covered.
+  std::vector<int> existing_measurements;
+
+  // Convenience constructor for the paper's simulation setup: a period of
+  // `period_s` seconds divided into `n_instants` instants.
+  [[nodiscard]] static Problem UniformGrid(double period_s, int n_instants,
+                                           double sigma_s);
+
+  [[nodiscard]] int num_instants() const {
+    return static_cast<int>(grid.size());
+  }
+  [[nodiscard]] int num_users() const { return static_cast<int>(users.size()); }
+
+  // Indices of grid instants inside user k's window (T_k).
+  [[nodiscard]] std::vector<int> UserInstants(int k) const;
+
+  // Basic well-formedness (sorted grid, positive sigma, budgets >= 0).
+  [[nodiscard]] Status Validate() const;
+};
+
+// One scheduled measurement: user k senses at grid[instant].
+struct Assignment {
+  int user = -1;
+  int instant = -1;
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+};
+
+// A full sensing schedule {Φ_1, ..., Φ_K}.
+struct Schedule {
+  std::vector<std::vector<int>> per_user;  // Φ_k as grid indices, sorted
+
+  [[nodiscard]] static Schedule Empty(int num_users) {
+    Schedule s;
+    s.per_user.assign(static_cast<std::size_t>(num_users), {});
+    return s;
+  }
+  [[nodiscard]] int total_measurements() const {
+    std::size_t n = 0;
+    for (const auto& v : per_user) n += v.size();
+    return static_cast<int>(n);
+  }
+  // All scheduled instants across users (multiset, sorted).
+  [[nodiscard]] std::vector<int> AllInstants() const;
+};
+
+// Precomputed coverage kernel on a uniform grid: value depends only on the
+// index distance |i − j|.
+class CoverageKernel {
+ public:
+  // spacing_s: grid spacing in seconds.
+  CoverageKernel(double sigma_s, double spacing_s, double support_sigmas);
+
+  // p(t_i, t_j) for |i − j| = d; 0 beyond the truncated support.
+  [[nodiscard]] double at(int d) const {
+    return d < static_cast<int>(values_.size()) ? values_[d] : 0.0;
+  }
+  // Largest index distance with non-zero kernel value.
+  [[nodiscard]] int support() const {
+    return static_cast<int>(values_.size()) - 1;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+// Evaluates coverage objectives for a fixed problem. Also used incrementally
+// by the greedy schedulers via the `uncovered` vector.
+class CoverageEvaluator {
+ public:
+  explicit CoverageEvaluator(const Problem& p);
+
+  // Combined objective (Eq. 4 over the union of all users' measurements):
+  //   f(Φ) = Σ_j [ 1 − Π_{(k,t_i) scheduled} (1 − p(t_i, t_j)) ].
+  // This is what §V-C's "average coverage probability" normalizes by N.
+  // Does NOT include the problem's existing_measurements.
+  [[nodiscard]] double CombinedObjective(const Schedule& s) const;
+
+  // Total coverage of existing measurements plus the schedule — the
+  // quantity an online reschedule actually maximizes.
+  [[nodiscard]] double CombinedObjectiveWithExisting(
+      const Problem& p, const Schedule& s) const;
+
+  // Π(1 − p) per instant induced by `instants` alone (used to seed the
+  // greedy state with the already-executed measurements).
+  [[nodiscard]] std::vector<double> UncoveredAfter(
+      std::span<const int> instants) const;
+
+  // Per-user-sum objective (Eq. 2 literally): Σ_j Σ_k p(t_j, Φ_k).
+  [[nodiscard]] double PerUserSumObjective(const Schedule& s) const;
+
+  // §V-C metric: CombinedObjective / N  ∈ [0, 1].
+  [[nodiscard]] double AverageCoverage(const Schedule& s) const {
+    return CombinedObjective(s) / static_cast<double>(n_);
+  }
+
+  [[nodiscard]] const CoverageKernel& kernel() const { return kernel_; }
+
+ private:
+  int n_;
+  CoverageKernel kernel_;
+};
+
+}  // namespace sor::sched

@@ -1,0 +1,42 @@
+// Algorithm 1 — the online greedy sensing scheduler (§III) — plus a lazy
+// (Minoux) variant used as an efficiency ablation.
+//
+// All variants maximize the combined coverage objective (Eq. 4) over the
+// budget matroid and therefore inherit the 1/2-approximation guarantee of
+// greedy submodular maximization over a matroid [Gargano & Hammar / Fisher
+// et al.]. They differ only in how marginal gains are (re)computed:
+//
+//   * GreedyScheduleNaive — the literal Algorithm 1: every iteration
+//     re-evaluates f(Ψ ∪ {x}) − f(Ψ) for every candidate. O(N²) per the
+//     paper's analysis (with the truncated kernel, O(N·S) per iteration).
+//   * GreedySchedule — identical output; exploits that adding a measurement
+//     at t_i only changes `q` (the uncovered probability) within the kernel
+//     support, so only gains within 2·support of the pick are recomputed.
+//   * LazyGreedySchedule — Minoux lazy evaluation with a max-heap of stale
+//     gains; valid because marginal gains only shrink as the schedule grows
+//     (submodularity). Identical objective value, far fewer evaluations.
+//
+// Determinism: ties in gain break toward the lower instant index, and the
+// user charged for a pick is BudgetMatroid::PickUserFor's deterministic
+// choice (excluding users already sensing at that instant).
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "sched/coverage.hpp"
+
+namespace sor::sched {
+
+struct ScheduleResult {
+  Schedule schedule;
+  double objective = 0.0;          // combined objective f (Eq. 4)
+  std::uint64_t gain_evaluations = 0;  // marginal-gain computations performed
+  std::vector<Assignment> insertion_order;
+};
+
+[[nodiscard]] Result<ScheduleResult> GreedySchedule(const Problem& p);
+[[nodiscard]] Result<ScheduleResult> GreedyScheduleNaive(const Problem& p);
+[[nodiscard]] Result<ScheduleResult> LazyGreedySchedule(const Problem& p);
+
+}  // namespace sor::sched

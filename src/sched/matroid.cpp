@@ -1,0 +1,69 @@
+#include "sched/matroid.hpp"
+
+#include <cassert>
+
+namespace sor::sched {
+
+BudgetMatroid::BudgetMatroid(const Problem& p) {
+  const int k = p.num_users();
+  budget_.reserve(static_cast<std::size_t>(k));
+  for (const UserWindow& u : p.users) budget_.push_back(u.budget);
+  used_.assign(static_cast<std::size_t>(k), 0);
+  users_at_.assign(static_cast<std::size_t>(p.num_instants()), {});
+  for (int u = 0; u < k; ++u) {
+    for (int i : p.UserInstants(u))
+      users_at_[static_cast<std::size_t>(i)].push_back(u);
+  }
+}
+
+bool BudgetMatroid::InGroundSet(const Assignment& a) const {
+  if (a.instant < 0 || a.instant >= static_cast<int>(users_at_.size()))
+    return false;
+  if (a.user < 0 || a.user >= num_users()) return false;
+  for (int u : users_at_[static_cast<std::size_t>(a.instant)]) {
+    if (u == a.user) return true;
+  }
+  return false;
+}
+
+bool BudgetMatroid::CanAdd(const Assignment& a) const {
+  return InGroundSet(a) && remaining(a.user) > 0;
+}
+
+void BudgetMatroid::Add(const Assignment& a) {
+  assert(CanAdd(a));
+  ++used_[static_cast<std::size_t>(a.user)];
+}
+
+void BudgetMatroid::Remove(const Assignment& a) {
+  assert(used_[static_cast<std::size_t>(a.user)] > 0);
+  --used_[static_cast<std::size_t>(a.user)];
+}
+
+void BudgetMatroid::Reset() {
+  std::fill(used_.begin(), used_.end(), 0);
+}
+
+bool BudgetMatroid::InstantFeasible(int instant) const {
+  if (instant < 0 || instant >= static_cast<int>(users_at_.size()))
+    return false;
+  for (int u : users_at_[static_cast<std::size_t>(instant)]) {
+    if (remaining(u) > 0) return true;
+  }
+  return false;
+}
+
+int BudgetMatroid::PickUserFor(int instant) const {
+  int best = -1;
+  int best_remaining = 0;
+  for (int u : users_at_[static_cast<std::size_t>(instant)]) {
+    const int r = remaining(u);
+    if (r > best_remaining) {
+      best_remaining = r;
+      best = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace sor::sched

@@ -1,0 +1,65 @@
+// Budget (partition) matroid over (user, instant) sensing assignments.
+//
+// Theorem 1 of the paper shows the feasible schedules form a matroid; the
+// executable form is: ground set E = {(k, t) : t ∈ T_k}, independent sets =
+// those with at most N^B_k elements of each user k. The independence oracle
+// is O(1) per query "by maintaining a counter for each mobile user and
+// checking if its value exceeds the given budget", exactly as §III describes
+// — this is what makes Algorithm 1 run in O(N²) overall.
+#pragma once
+
+#include <vector>
+
+#include "sched/coverage.hpp"
+
+namespace sor::sched {
+
+class BudgetMatroid {
+ public:
+  explicit BudgetMatroid(const Problem& p);
+
+  // Is (user, instant) a ground-set element at all? (instant within the
+  // user's presence window)
+  [[nodiscard]] bool InGroundSet(const Assignment& a) const;
+
+  // Independence oracle: may `a` be added to the current set? O(1).
+  [[nodiscard]] bool CanAdd(const Assignment& a) const;
+
+  // Add (must be CanAdd) / remove (must be present via your own bookkeeping;
+  // the matroid only tracks counters).
+  void Add(const Assignment& a);
+  void Remove(const Assignment& a);
+  void Reset();
+
+  [[nodiscard]] int used(int user) const {
+    return used_[static_cast<std::size_t>(user)];
+  }
+  [[nodiscard]] int budget(int user) const {
+    return budget_[static_cast<std::size_t>(user)];
+  }
+  [[nodiscard]] int remaining(int user) const {
+    return budget(user) - used(user);
+  }
+  [[nodiscard]] int num_users() const {
+    return static_cast<int>(budget_.size());
+  }
+
+  // Whether any element at this instant can still be added (some user whose
+  // window covers it has remaining budget). Used by greedy candidate pruning.
+  [[nodiscard]] bool InstantFeasible(int instant) const;
+
+  // A deterministic choice of user to charge for a measurement at `instant`:
+  // among users with remaining budget whose window covers it, the one with
+  // the most remaining budget (ties → lowest user index). Any choice keeps
+  // the 1/2 guarantee; this one spreads load for fairness ("preventing
+  // certain mobile users from being abused", §III).
+  [[nodiscard]] int PickUserFor(int instant) const;
+
+ private:
+  std::vector<int> budget_;
+  std::vector<int> used_;
+  // users_at_[instant] = user indices whose window covers that instant.
+  std::vector<std::vector<int>> users_at_;
+};
+
+}  // namespace sor::sched

@@ -1,0 +1,162 @@
+#include "sched/multi_feature.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sched/matroid.hpp"
+
+namespace sor::sched {
+
+namespace {
+
+double GridSpacingSeconds(const std::vector<SimTime>& grid) {
+  if (grid.size() < 2) return 1.0;
+  return (grid[1] - grid[0]).seconds();
+}
+
+}  // namespace
+
+Status MultiFeatureProblem::Validate() const {
+  if (features.empty())
+    return Status(Errc::kInvalidArgument, "no features to schedule for");
+  for (const FeatureKernelSpec& f : features) {
+    if (f.sigma_s <= 0.0)
+      return Status(Errc::kInvalidArgument, f.name + ": sigma <= 0");
+    if (f.weight < 0.0)
+      return Status(Errc::kInvalidArgument, f.name + ": negative weight");
+  }
+  return Base().Validate();
+}
+
+Problem MultiFeatureProblem::Base() const {
+  Problem p;
+  p.grid = grid;
+  p.users = users;
+  p.sigma_s = features.empty() ? 10.0 : features[0].sigma_s;
+  p.support_sigmas = support_sigmas;
+  return p;
+}
+
+Result<MultiFeatureResult> EvaluateMultiFeature(const MultiFeatureProblem& p,
+                                                const Schedule& schedule) {
+  if (Status s = p.Validate(); !s.ok()) return s.error();
+  const int n = static_cast<int>(p.grid.size());
+  const double spacing = GridSpacingSeconds(p.grid);
+
+  MultiFeatureResult out;
+  out.schedule = schedule;
+  out.per_feature_coverage.reserve(p.features.size());
+  for (const FeatureKernelSpec& f : p.features) {
+    const CoverageKernel kernel(f.sigma_s, spacing, p.support_sigmas);
+    std::vector<double> q(static_cast<std::size_t>(n), 1.0);
+    const int sup = kernel.support();
+    for (const auto& phi : schedule.per_user) {
+      for (int i : phi) {
+        const int lo = std::max(0, i - sup);
+        const int hi = std::min(n - 1, i + sup);
+        for (int j = lo; j <= hi; ++j)
+          q[static_cast<std::size_t>(j)] *= 1.0 - kernel.at(std::abs(j - i));
+      }
+    }
+    double covered = 0.0;
+    for (double qj : q) covered += 1.0 - qj;
+    out.per_feature_coverage.push_back(covered / n);
+    out.objective += f.weight * covered;
+  }
+  return out;
+}
+
+Result<MultiFeatureResult> MultiFeatureGreedySchedule(
+    const MultiFeatureProblem& p) {
+  if (Status s = p.Validate(); !s.ok()) return s.error();
+  const int n = static_cast<int>(p.grid.size());
+  const int k = static_cast<int>(p.users.size());
+  const double spacing = GridSpacingSeconds(p.grid);
+  const Problem base = p.Base();
+  BudgetMatroid matroid(base);
+
+  // Per-feature kernels and uncovered vectors.
+  std::vector<CoverageKernel> kernels;
+  kernels.reserve(p.features.size());
+  int max_support = 0;
+  for (const FeatureKernelSpec& f : p.features) {
+    kernels.emplace_back(f.sigma_s, spacing, p.support_sigmas);
+    max_support = std::max(max_support, kernels.back().support());
+  }
+  std::vector<std::vector<double>> q(
+      p.features.size(), std::vector<double>(static_cast<std::size_t>(n), 1.0));
+
+  std::vector<std::uint8_t> taken(
+      static_cast<std::size_t>(n) * std::max(k, 1), 0);
+  Schedule schedule = Schedule::Empty(k);
+
+  auto gain = [&](int instant) {
+    double g = 0.0;
+    for (std::size_t f = 0; f < p.features.size(); ++f) {
+      const CoverageKernel& kern = kernels[f];
+      const int sup = kern.support();
+      const int lo = std::max(0, instant - sup);
+      const int hi = std::min(n - 1, instant + sup);
+      double gf = 0.0;
+      for (int j = lo; j <= hi; ++j)
+        gf += q[f][static_cast<std::size_t>(j)] *
+              kern.at(std::abs(j - instant));
+      g += p.features[f].weight * gf;
+    }
+    return g;
+  };
+
+  auto feasible_user = [&](int instant) {
+    int best = -1;
+    int best_remaining = 0;
+    for (int u = 0; u < k; ++u) {
+      if (taken[static_cast<std::size_t>(instant) * k + u]) continue;
+      if (!matroid.InGroundSet({u, instant})) continue;
+      const int r = matroid.remaining(u);
+      if (r > best_remaining) {
+        best_remaining = r;
+        best = u;
+      }
+    }
+    return best;
+  };
+
+  // Incremental greedy with a gain cache (same structure as the
+  // single-kernel implementation; refresh radius is the widest kernel).
+  std::vector<double> cache(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) cache[static_cast<std::size_t>(i)] = gain(i);
+
+  while (true) {
+    double best_gain = -1.0;
+    int best_instant = -1;
+    for (int i = 0; i < n; ++i) {
+      if (cache[static_cast<std::size_t>(i)] <= best_gain) continue;
+      if (feasible_user(i) < 0) continue;
+      best_gain = cache[static_cast<std::size_t>(i)];
+      best_instant = i;
+    }
+    if (best_instant < 0) break;
+    const int user = feasible_user(best_instant);
+    matroid.Add({user, best_instant});
+    taken[static_cast<std::size_t>(best_instant) * k + user] = 1;
+    schedule.per_user[static_cast<std::size_t>(user)].push_back(best_instant);
+    for (std::size_t f = 0; f < p.features.size(); ++f) {
+      const CoverageKernel& kern = kernels[f];
+      const int sup = kern.support();
+      const int lo = std::max(0, best_instant - sup);
+      const int hi = std::min(n - 1, best_instant + sup);
+      for (int j = lo; j <= hi; ++j)
+        q[f][static_cast<std::size_t>(j)] *=
+            1.0 - kern.at(std::abs(j - best_instant));
+    }
+    const int lo = std::max(0, best_instant - 2 * max_support);
+    const int hi = std::min(n - 1, best_instant + 2 * max_support);
+    for (int i = lo; i <= hi; ++i) cache[static_cast<std::size_t>(i)] = gain(i);
+  }
+
+  for (auto& phi : schedule.per_user) std::sort(phi.begin(), phi.end());
+  return EvaluateMultiFeature(p, schedule);
+}
+
+}  // namespace sor::sched

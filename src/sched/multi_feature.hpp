@@ -1,0 +1,60 @@
+// Multi-feature sensing scheduling.
+//
+// §III prescribes per-feature kernel widths: "A large σ is used for those
+// sensing features whose readings do not change drastically over time
+// (such as temperature, humidity, etc), while a small σ is used for those
+// whose readings may change quickly (such as acceleration, orientation)".
+// A real application senses several features at once — one sensing event
+// reads all of the app's sensors — so the natural objective is the
+// weighted sum of per-feature coverages, each under its own kernel:
+//
+//     F(Φ) = Σ_f w_f · Σ_j [ 1 − Π_{t_i ∈ Φ} (1 − p_f(t_i, t_j)) ]
+//
+// Each term is non-negative, monotone and submodular; a non-negative
+// weighted sum of submodular functions is submodular, so the greedy over
+// the same budget matroid keeps the 1/2 guarantee. This module implements
+// that greedy plus an evaluator so alternative schedules (single-kernel
+// greedy, the periodic baseline) can be scored on the same multi-feature
+// objective.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sched/coverage.hpp"
+
+namespace sor::sched {
+
+struct FeatureKernelSpec {
+  std::string name;
+  double sigma_s = 10.0;
+  double weight = 1.0;  // user/application emphasis, >= 0
+};
+
+struct MultiFeatureProblem {
+  std::vector<SimTime> grid;
+  std::vector<UserWindow> users;
+  std::vector<FeatureKernelSpec> features;
+  double support_sigmas = 5.0;
+
+  [[nodiscard]] Status Validate() const;
+  // View as a single-feature Problem (for matroid construction).
+  [[nodiscard]] Problem Base() const;
+};
+
+struct MultiFeatureResult {
+  Schedule schedule;
+  double objective = 0.0;                    // F(Φ) as defined above
+  std::vector<double> per_feature_coverage;  // avg coverage ∈ [0,1] per f
+};
+
+// Score an arbitrary schedule on the multi-feature objective.
+[[nodiscard]] Result<MultiFeatureResult> EvaluateMultiFeature(
+    const MultiFeatureProblem& p, const Schedule& schedule);
+
+// Greedy maximization of F over the budget matroid.
+[[nodiscard]] Result<MultiFeatureResult> MultiFeatureGreedySchedule(
+    const MultiFeatureProblem& p);
+
+}  // namespace sor::sched

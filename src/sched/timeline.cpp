@@ -1,0 +1,68 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sor::sched {
+
+std::string RenderScheduleTimeline(const Problem& problem,
+                                   const Schedule& schedule,
+                                   const TimelineOptions& opts) {
+  const int n = problem.num_instants();
+  const int width = std::max(8, opts.width);
+  if (n == 0) return "(empty grid)\n";
+
+  auto bucket_of = [&](int instant) {
+    return std::min(width - 1, instant * width / n);
+  };
+
+  std::ostringstream out;
+  for (int k = 0; k < problem.num_users(); ++k) {
+    std::string row(static_cast<std::size_t>(width), '-');
+    for (int i : problem.UserInstants(k))
+      row[static_cast<std::size_t>(bucket_of(i))] = '.';
+    if (k < static_cast<int>(schedule.per_user.size())) {
+      for (int i : schedule.per_user[static_cast<std::size_t>(k)])
+        row[static_cast<std::size_t>(bucket_of(i))] = '#';
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "user %-3d |", k);
+    out << label << row << "|\n";
+  }
+
+  // Coverage footer: decile digit per bucket.
+  const CoverageEvaluator eval(problem);
+  std::vector<double> q = eval.UncoveredAfter(problem.existing_measurements);
+  const CoverageKernel& kern = eval.kernel();
+  for (const auto& phi : schedule.per_user) {
+    for (int i : phi) {
+      const int lo = std::max(0, i - kern.support());
+      const int hi = std::min(n - 1, i + kern.support());
+      for (int j = lo; j <= hi; ++j)
+        q[static_cast<std::size_t>(j)] *= 1.0 - kern.at(std::abs(j - i));
+    }
+  }
+  std::vector<double> bucket_cov(static_cast<std::size_t>(width), 0.0);
+  std::vector<int> bucket_n(static_cast<std::size_t>(width), 0);
+  for (int i = 0; i < n; ++i) {
+    bucket_cov[static_cast<std::size_t>(bucket_of(i))] +=
+        1.0 - q[static_cast<std::size_t>(i)];
+    ++bucket_n[static_cast<std::size_t>(bucket_of(i))];
+  }
+  out << "coverage |";
+  for (int b = 0; b < width; ++b) {
+    const double avg =
+        bucket_n[static_cast<std::size_t>(b)]
+            ? bucket_cov[static_cast<std::size_t>(b)] /
+                  bucket_n[static_cast<std::size_t>(b)]
+            : 0.0;
+    const int decile =
+        std::min(9, static_cast<int>(std::floor(avg * 10.0)));
+    out << static_cast<char>('0' + decile);
+  }
+  out << "|\n";
+  return out.str();
+}
+
+}  // namespace sor::sched

@@ -1,0 +1,21 @@
+// ASCII timeline rendering for sensing schedules — the scheduling
+// counterpart of the server's Visualization module. One row per user:
+// '-' outside the presence window, '.' present but idle, '#' sensing.
+// A footer row shows combined coverage per bucket (0–9 deciles).
+#pragma once
+
+#include <string>
+
+#include "sched/coverage.hpp"
+
+namespace sor::sched {
+
+struct TimelineOptions {
+  int width = 72;  // character buckets across the scheduling period
+};
+
+[[nodiscard]] std::string RenderScheduleTimeline(
+    const Problem& problem, const Schedule& schedule,
+    const TimelineOptions& opts = {});
+
+}  // namespace sor::sched

@@ -1,0 +1,79 @@
+// SenseScript interpreter.
+//
+// §II-A: "The script interpreter tells the task instance which Java
+// function to call to obtain data from sensors ... security can be enforced
+// here by only allowing a white list of unharmful functions to be called."
+// Here the host functions are C++ callbacks registered in a HostRegistry —
+// the registry IS the whitelist: a script calling anything unregistered
+// fails with kPermissionDenied (exercised by the failure-injection tests).
+//
+// Scripts also run under an instruction budget so a buggy or malicious
+// task description distributed by a server cannot spin a phone forever.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "script/ast.hpp"
+#include "script/value.hpp"
+
+namespace sor::script {
+
+// A host (native) function callable from scripts.
+using HostFn = std::function<Result<Value>(std::span<const Value>)>;
+
+class HostRegistry {
+ public:
+  // Register a callable under `name`. Re-registration replaces (used by
+  // tests to stub sensors).
+  void Register(const std::string& name, HostFn fn);
+
+  [[nodiscard]] const HostFn* Find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, HostFn> fns_;
+};
+
+struct InterpreterOptions {
+  // Maximum number of AST-node evaluations before the script is killed.
+  std::uint64_t max_steps = 2'000'000;
+  // Maximum call depth (scripts can define and call functions).
+  int max_call_depth = 64;
+};
+
+struct ExecutionResult {
+  Value return_value;        // value of a top-level `return`, else nil
+  std::uint64_t steps = 0;   // AST evaluations consumed
+  std::string output;        // everything print() emitted
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const HostRegistry& host,
+                       InterpreterOptions opts = {});
+
+  // Parse + execute in one go.
+  [[nodiscard]] Result<ExecutionResult> Run(std::string_view source);
+
+  // Execute an already-parsed program (reusable across phones).
+  [[nodiscard]] Result<ExecutionResult> Execute(const Program& program);
+
+ private:
+  class Impl;
+  const HostRegistry& host_;
+  InterpreterOptions opts_;
+};
+
+// Installs the pure builtin library (print, len, push, abs, floor, min,
+// max, tostring, tonumber, mean, stddev) into a registry. `print` appends
+// to ExecutionResult::output via an interpreter-internal hook, so it is
+// registered by the interpreter itself; this installs everything else.
+void InstallStdlib(HostRegistry& registry);
+
+}  // namespace sor::script

@@ -1,0 +1,244 @@
+#include "script/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace sor::script {
+
+const char* to_string(TokenType t) {
+  switch (t) {
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kName: return "name";
+    case TokenType::kLocal: return "local";
+    case TokenType::kIf: return "if";
+    case TokenType::kThen: return "then";
+    case TokenType::kElse: return "else";
+    case TokenType::kElseif: return "elseif";
+    case TokenType::kEnd: return "end";
+    case TokenType::kWhile: return "while";
+    case TokenType::kDo: return "do";
+    case TokenType::kFor: return "for";
+    case TokenType::kFunction: return "function";
+    case TokenType::kReturn: return "return";
+    case TokenType::kBreak: return "break";
+    case TokenType::kTrue: return "true";
+    case TokenType::kFalse: return "false";
+    case TokenType::kNil: return "nil";
+    case TokenType::kAnd: return "and";
+    case TokenType::kOr: return "or";
+    case TokenType::kNot: return "not";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kStar: return "*";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kAssign: return "=";
+    case TokenType::kEq: return "==";
+    case TokenType::kNe: return "~=";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kLBracket: return "[";
+    case TokenType::kRBracket: return "]";
+    case TokenType::kLBrace: return "{";
+    case TokenType::kRBrace: return "}";
+    case TokenType::kComma: return ",";
+    case TokenType::kConcat: return "..";
+    case TokenType::kHash: return "#";
+    case TokenType::kEof: return "<eof>";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenType>& Keywords() {
+  static const std::unordered_map<std::string_view, TokenType> kw = {
+      {"local", TokenType::kLocal},       {"if", TokenType::kIf},
+      {"then", TokenType::kThen},         {"else", TokenType::kElse},
+      {"elseif", TokenType::kElseif},     {"end", TokenType::kEnd},
+      {"while", TokenType::kWhile},       {"do", TokenType::kDo},
+      {"for", TokenType::kFor},           {"function", TokenType::kFunction},
+      {"return", TokenType::kReturn},     {"break", TokenType::kBreak},
+      {"true", TokenType::kTrue},         {"false", TokenType::kFalse},
+      {"nil", TokenType::kNil},           {"and", TokenType::kAnd},
+      {"or", TokenType::kOr},             {"not", TokenType::kNot},
+  };
+  return kw;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+
+  auto make = [&](TokenType t, std::string text = {}) {
+    out.push_back(Token{t, std::move(text), 0.0, line});
+  };
+  auto error = [&](const std::string& msg) {
+    return Error{Errc::kScriptError,
+                 "lex error at line " + std::to_string(line) + ": " + msg};
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comment: "--" to end of line (Lua style, as in Fig. 4's scripts).
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '-') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i;
+      while (j < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[j])) ||
+              src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      const std::string text(src.substr(i, j - i));
+      char* endp = nullptr;
+      const double v = std::strtod(text.c_str(), &endp);
+      if (endp != text.c_str() + text.size())
+        return error("malformed number '" + text + "'");
+      Token t{TokenType::kNumber, text, v, line};
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) ||
+              src[j] == '_')) {
+        ++j;
+      }
+      const std::string_view word = src.substr(i, j - i);
+      if (auto it = Keywords().find(word); it != Keywords().end()) {
+        make(it->second, std::string(word));
+      } else {
+        make(TokenType::kName, std::string(word));
+      }
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string text;
+      std::size_t j = i + 1;
+      bool closed = false;
+      while (j < src.size()) {
+        if (src[j] == '\\' && j + 1 < src.size()) {
+          const char esc = src[j + 1];
+          switch (esc) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            case '\'': text += '\''; break;
+            default: return error(std::string("bad escape '\\") + esc + "'");
+          }
+          j += 2;
+          continue;
+        }
+        if (src[j] == quote) {
+          closed = true;
+          ++j;
+          break;
+        }
+        if (src[j] == '\n') return error("newline in string literal");
+        text += src[j++];
+      }
+      if (!closed) return error("unterminated string literal");
+      make(TokenType::kString, std::move(text));
+      i = j;
+      continue;
+    }
+    // Symbols.
+    auto two = [&](char next) {
+      return i + 1 < src.size() && src[i + 1] == next;
+    };
+    switch (c) {
+      case '+': make(TokenType::kPlus); ++i; break;
+      case '-': make(TokenType::kMinus); ++i; break;
+      case '*': make(TokenType::kStar); ++i; break;
+      case '/': make(TokenType::kSlash); ++i; break;
+      case '%': make(TokenType::kPercent); ++i; break;
+      case '#': make(TokenType::kHash); ++i; break;
+      case '(': make(TokenType::kLParen); ++i; break;
+      case ')': make(TokenType::kRParen); ++i; break;
+      case '[': make(TokenType::kLBracket); ++i; break;
+      case ']': make(TokenType::kRBracket); ++i; break;
+      case '{': make(TokenType::kLBrace); ++i; break;
+      case '}': make(TokenType::kRBrace); ++i; break;
+      case ',': make(TokenType::kComma); ++i; break;
+      case '=':
+        if (two('=')) {
+          make(TokenType::kEq);
+          i += 2;
+        } else {
+          make(TokenType::kAssign);
+          ++i;
+        }
+        break;
+      case '~':
+        if (two('=')) {
+          make(TokenType::kNe);
+          i += 2;
+        } else {
+          return error("unexpected '~'");
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          make(TokenType::kLe);
+          i += 2;
+        } else {
+          make(TokenType::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          make(TokenType::kGe);
+          i += 2;
+        } else {
+          make(TokenType::kGt);
+          ++i;
+        }
+        break;
+      case '.':
+        if (two('.')) {
+          make(TokenType::kConcat);
+          i += 2;
+        } else {
+          return error("unexpected '.'");
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  make(TokenType::kEof);
+  return out;
+}
+
+}  // namespace sor::script

@@ -1,0 +1,16 @@
+// SenseScript lexer: source text → token stream.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "script/token.hpp"
+
+namespace sor::script {
+
+// Tokenizes the whole input (trailing kEof token included). Fails with
+// kScriptError on unterminated strings or unexpected characters.
+[[nodiscard]] Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace sor::script

@@ -1,0 +1,474 @@
+#include "script/parser.hpp"
+
+#include <utility>
+
+#include "script/lexer.hpp"
+
+namespace sor::script {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program prog;
+    while (!Check(TokenType::kEof)) {
+      Result<StmtPtr> s = ParseStatement();
+      if (!s.ok()) return s.error();
+      prog.statements.push_back(std::move(s).value());
+    }
+    return prog;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Prev() const { return tokens_[pos_ - 1]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t) {
+    if (!Check(t)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Error Err(const std::string& msg) const {
+    return Error{Errc::kScriptError, "parse error at line " +
+                                         std::to_string(Peek().line) + ": " +
+                                         msg + " (got '" +
+                                         std::string(to_string(Peek().type)) +
+                                         "')"};
+  }
+
+  Result<Token> Expect(TokenType t, const std::string& what) {
+    if (!Check(t)) return Err("expected " + what);
+    Token tok = Peek();
+    ++pos_;
+    return tok;
+  }
+
+  // Parse statements until one of the given terminator keywords (not
+  // consumed). Used for blocks of if/while/for/function bodies.
+  Result<std::vector<StmtPtr>> ParseBlock(
+      std::initializer_list<TokenType> terminators) {
+    std::vector<StmtPtr> body;
+    while (true) {
+      for (TokenType t : terminators) {
+        if (Check(t)) return body;
+      }
+      if (Check(TokenType::kEof)) return Err("unexpected end of script");
+      Result<StmtPtr> s = ParseStatement();
+      if (!s.ok()) return s.error();
+      body.push_back(std::move(s).value());
+    }
+  }
+
+  Result<StmtPtr> ParseStatement() {
+    const int line = Peek().line;
+    if (Match(TokenType::kLocal)) return ParseLocal(line);
+    if (Match(TokenType::kIf)) return ParseIf(line);
+    if (Match(TokenType::kWhile)) return ParseWhile(line);
+    if (Match(TokenType::kFor)) return ParseFor(line);
+    if (Match(TokenType::kFunction)) return ParseFunction(line);
+    if (Match(TokenType::kReturn)) {
+      auto st = std::make_unique<Stmt>();
+      st->kind = Stmt::Kind::kReturn;
+      st->line = line;
+      // `return` with no value: next token starts a block terminator.
+      if (!Check(TokenType::kEnd) && !Check(TokenType::kElse) &&
+          !Check(TokenType::kElseif) && !Check(TokenType::kEof)) {
+        Result<ExprPtr> e = ParseExpr();
+        if (!e.ok()) return e.error();
+        st->expr = std::move(e).value();
+      }
+      return StmtPtr(std::move(st));
+    }
+    if (Match(TokenType::kBreak)) {
+      auto st = std::make_unique<Stmt>();
+      st->kind = Stmt::Kind::kBreak;
+      st->line = line;
+      return StmtPtr(std::move(st));
+    }
+    // Assignment or call statement: parse a suffixed expression and decide.
+    Result<ExprPtr> e = ParseSuffixedExpr();
+    if (!e.ok()) return e.error();
+    ExprPtr expr = std::move(e).value();
+    if (Match(TokenType::kAssign)) {
+      Result<ExprPtr> value = ParseExpr();
+      if (!value.ok()) return value.error();
+      auto st = std::make_unique<Stmt>();
+      st->line = line;
+      if (expr->kind == Expr::Kind::kName) {
+        st->kind = Stmt::Kind::kAssign;
+        st->name = expr->text;
+      } else if (expr->kind == Expr::Kind::kIndex) {
+        st->kind = Stmt::Kind::kAssign;
+        st->target_index = std::move(expr);
+      } else {
+        return Err("invalid assignment target");
+      }
+      st->expr = std::move(value).value();
+      return StmtPtr(std::move(st));
+    }
+    if (expr->kind != Expr::Kind::kCall)
+      return Err("expected statement");
+    auto st = std::make_unique<Stmt>();
+    st->kind = Stmt::Kind::kExpr;
+    st->line = line;
+    st->expr = std::move(expr);
+    return StmtPtr(std::move(st));
+  }
+
+  Result<StmtPtr> ParseLocal(int line) {
+    Result<Token> name = Expect(TokenType::kName, "variable name");
+    if (!name.ok()) return name.error();
+    if (Result<Token> t = Expect(TokenType::kAssign, "'='"); !t.ok())
+      return t.error();
+    Result<ExprPtr> value = ParseExpr();
+    if (!value.ok()) return value.error();
+    auto st = std::make_unique<Stmt>();
+    st->kind = Stmt::Kind::kLocal;
+    st->line = line;
+    st->name = name.value().text;
+    st->expr = std::move(value).value();
+    return StmtPtr(std::move(st));
+  }
+
+  Result<StmtPtr> ParseIf(int line) {
+    Result<ExprPtr> cond = ParseExpr();
+    if (!cond.ok()) return cond.error();
+    if (Result<Token> t = Expect(TokenType::kThen, "'then'"); !t.ok())
+      return t.error();
+    Result<std::vector<StmtPtr>> body = ParseBlock(
+        {TokenType::kEnd, TokenType::kElse, TokenType::kElseif});
+    if (!body.ok()) return body.error();
+
+    auto st = std::make_unique<Stmt>();
+    st->kind = Stmt::Kind::kIf;
+    st->line = line;
+    st->expr = std::move(cond).value();
+    st->body = std::move(body).value();
+
+    if (Match(TokenType::kElseif)) {
+      // Desugar: elseif chain becomes a nested if in the else branch.
+      Result<StmtPtr> nested = ParseIf(Prev().line);
+      if (!nested.ok()) return nested.error();
+      st->else_body.push_back(std::move(nested).value());
+      return StmtPtr(std::move(st));  // nested ParseIf consumed the 'end'
+    }
+    if (Match(TokenType::kElse)) {
+      Result<std::vector<StmtPtr>> else_body = ParseBlock({TokenType::kEnd});
+      if (!else_body.ok()) return else_body.error();
+      st->else_body = std::move(else_body).value();
+    }
+    if (Result<Token> t = Expect(TokenType::kEnd, "'end'"); !t.ok())
+      return t.error();
+    return StmtPtr(std::move(st));
+  }
+
+  Result<StmtPtr> ParseWhile(int line) {
+    Result<ExprPtr> cond = ParseExpr();
+    if (!cond.ok()) return cond.error();
+    if (Result<Token> t = Expect(TokenType::kDo, "'do'"); !t.ok())
+      return t.error();
+    Result<std::vector<StmtPtr>> body = ParseBlock({TokenType::kEnd});
+    if (!body.ok()) return body.error();
+    if (Result<Token> t = Expect(TokenType::kEnd, "'end'"); !t.ok())
+      return t.error();
+    auto st = std::make_unique<Stmt>();
+    st->kind = Stmt::Kind::kWhile;
+    st->line = line;
+    st->expr = std::move(cond).value();
+    st->body = std::move(body).value();
+    return StmtPtr(std::move(st));
+  }
+
+  Result<StmtPtr> ParseFor(int line) {
+    Result<Token> name = Expect(TokenType::kName, "loop variable");
+    if (!name.ok()) return name.error();
+    if (Result<Token> t = Expect(TokenType::kAssign, "'='"); !t.ok())
+      return t.error();
+    Result<ExprPtr> start = ParseExpr();
+    if (!start.ok()) return start.error();
+    if (Result<Token> t = Expect(TokenType::kComma, "','"); !t.ok())
+      return t.error();
+    Result<ExprPtr> stop = ParseExpr();
+    if (!stop.ok()) return stop.error();
+    ExprPtr step;
+    if (Match(TokenType::kComma)) {
+      Result<ExprPtr> e = ParseExpr();
+      if (!e.ok()) return e.error();
+      step = std::move(e).value();
+    }
+    if (Result<Token> t = Expect(TokenType::kDo, "'do'"); !t.ok())
+      return t.error();
+    Result<std::vector<StmtPtr>> body = ParseBlock({TokenType::kEnd});
+    if (!body.ok()) return body.error();
+    if (Result<Token> t = Expect(TokenType::kEnd, "'end'"); !t.ok())
+      return t.error();
+    auto st = std::make_unique<Stmt>();
+    st->kind = Stmt::Kind::kNumericFor;
+    st->line = line;
+    st->name = name.value().text;
+    st->for_start = std::move(start).value();
+    st->for_stop = std::move(stop).value();
+    st->for_step = std::move(step);
+    st->body = std::move(body).value();
+    return StmtPtr(std::move(st));
+  }
+
+  Result<StmtPtr> ParseFunction(int line) {
+    Result<Token> name = Expect(TokenType::kName, "function name");
+    if (!name.ok()) return name.error();
+    if (Result<Token> t = Expect(TokenType::kLParen, "'('"); !t.ok())
+      return t.error();
+    std::vector<std::string> params;
+    if (!Check(TokenType::kRParen)) {
+      do {
+        Result<Token> p = Expect(TokenType::kName, "parameter name");
+        if (!p.ok()) return p.error();
+        params.push_back(p.value().text);
+      } while (Match(TokenType::kComma));
+    }
+    if (Result<Token> t = Expect(TokenType::kRParen, "')'"); !t.ok())
+      return t.error();
+    Result<std::vector<StmtPtr>> body = ParseBlock({TokenType::kEnd});
+    if (!body.ok()) return body.error();
+    if (Result<Token> t = Expect(TokenType::kEnd, "'end'"); !t.ok())
+      return t.error();
+    auto st = std::make_unique<Stmt>();
+    st->kind = Stmt::Kind::kFunction;
+    st->line = line;
+    st->name = name.value().text;
+    st->params = std::move(params);
+    st->body = std::move(body).value();
+    return StmtPtr(std::move(st));
+  }
+
+  // --- expressions (precedence climbing) -------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    Result<ExprPtr> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (Match(TokenType::kOr)) {
+      Result<ExprPtr> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(BinOp::kOr, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    Result<ExprPtr> lhs = ParseComparison();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (Match(TokenType::kAnd)) {
+      Result<ExprPtr> rhs = ParseComparison();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(BinOp::kAnd, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    Result<ExprPtr> lhs = ParseConcat();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (true) {
+      BinOp op;
+      if (Match(TokenType::kEq)) op = BinOp::kEq;
+      else if (Match(TokenType::kNe)) op = BinOp::kNe;
+      else if (Match(TokenType::kLt)) op = BinOp::kLt;
+      else if (Match(TokenType::kLe)) op = BinOp::kLe;
+      else if (Match(TokenType::kGt)) op = BinOp::kGt;
+      else if (Match(TokenType::kGe)) op = BinOp::kGe;
+      else break;
+      Result<ExprPtr> rhs = ParseConcat();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(op, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseConcat() {
+    Result<ExprPtr> lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (Match(TokenType::kConcat)) {
+      Result<ExprPtr> rhs = ParseAdditive();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(BinOp::kConcat, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    Result<ExprPtr> lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (true) {
+      BinOp op;
+      if (Match(TokenType::kPlus)) op = BinOp::kAdd;
+      else if (Match(TokenType::kMinus)) op = BinOp::kSub;
+      else break;
+      Result<ExprPtr> rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(op, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    Result<ExprPtr> lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (true) {
+      BinOp op;
+      if (Match(TokenType::kStar)) op = BinOp::kMul;
+      else if (Match(TokenType::kSlash)) op = BinOp::kDiv;
+      else if (Match(TokenType::kPercent)) op = BinOp::kMod;
+      else break;
+      Result<ExprPtr> rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(op, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    const int line = Peek().line;
+    UnOp op;
+    if (Match(TokenType::kMinus)) op = UnOp::kNeg;
+    else if (Match(TokenType::kNot)) op = UnOp::kNot;
+    else if (Match(TokenType::kHash)) op = UnOp::kLen;
+    else return ParseSuffixedExpr();
+    Result<ExprPtr> operand = ParseUnary();
+    if (!operand.ok()) return operand;
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kUnary;
+    e->line = line;
+    e->un_op = op;
+    e->lhs = std::move(operand).value();
+    return ExprPtr(std::move(e));
+  }
+
+  // primary with call/index suffixes: name(...)  list[i]  f(x)[2] ...
+  Result<ExprPtr> ParseSuffixedExpr() {
+    Result<ExprPtr> prim = ParsePrimary();
+    if (!prim.ok()) return prim;
+    ExprPtr e = std::move(prim).value();
+    while (true) {
+      if (Match(TokenType::kLParen)) {
+        if (e->kind != Expr::Kind::kName)
+          return Err("only named functions can be called");
+        auto call = std::make_unique<Expr>();
+        call->kind = Expr::Kind::kCall;
+        call->line = e->line;
+        call->text = e->text;
+        if (!Check(TokenType::kRParen)) {
+          do {
+            Result<ExprPtr> arg = ParseExpr();
+            if (!arg.ok()) return arg;
+            call->args.push_back(std::move(arg).value());
+          } while (Match(TokenType::kComma));
+        }
+        if (Result<Token> t = Expect(TokenType::kRParen, "')'"); !t.ok())
+          return t.error();
+        e = std::move(call);
+        continue;
+      }
+      if (Match(TokenType::kLBracket)) {
+        Result<ExprPtr> idx = ParseExpr();
+        if (!idx.ok()) return idx;
+        if (Result<Token> t = Expect(TokenType::kRBracket, "']'"); !t.ok())
+          return t.error();
+        auto index = std::make_unique<Expr>();
+        index->kind = Expr::Kind::kIndex;
+        index->line = e->line;
+        index->lhs = std::move(e);
+        index->rhs = std::move(idx).value();
+        e = std::move(index);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    auto e = std::make_unique<Expr>();
+    e->line = tok.line;
+    if (Match(TokenType::kNumber)) {
+      e->kind = Expr::Kind::kNumber;
+      e->number = Prev().number;
+      return ExprPtr(std::move(e));
+    }
+    if (Match(TokenType::kString)) {
+      e->kind = Expr::Kind::kString;
+      e->text = Prev().text;
+      return ExprPtr(std::move(e));
+    }
+    if (Match(TokenType::kTrue) || Match(TokenType::kFalse)) {
+      e->kind = Expr::Kind::kBool;
+      e->boolean = Prev().type == TokenType::kTrue;
+      return ExprPtr(std::move(e));
+    }
+    if (Match(TokenType::kNil)) {
+      e->kind = Expr::Kind::kNil;
+      return ExprPtr(std::move(e));
+    }
+    if (Match(TokenType::kName)) {
+      e->kind = Expr::Kind::kName;
+      e->text = Prev().text;
+      return ExprPtr(std::move(e));
+    }
+    if (Match(TokenType::kLParen)) {
+      Result<ExprPtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (Result<Token> t = Expect(TokenType::kRParen, "')'"); !t.ok())
+        return t.error();
+      return inner;
+    }
+    if (Match(TokenType::kLBrace)) {
+      e->kind = Expr::Kind::kListLiteral;
+      if (!Check(TokenType::kRBrace)) {
+        do {
+          Result<ExprPtr> el = ParseExpr();
+          if (!el.ok()) return el;
+          e->args.push_back(std::move(el).value());
+        } while (Match(TokenType::kComma));
+      }
+      if (Result<Token> t = Expect(TokenType::kRBrace, "'}'"); !t.ok())
+        return t.error();
+      return ExprPtr(std::move(e));
+    }
+    return Err("expected expression");
+  }
+
+  static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->line = lhs->line;
+    e->bin_op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseProgram();
+}
+
+}  // namespace sor::script

@@ -1,0 +1,14 @@
+// SenseScript recursive-descent parser: tokens → AST.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "script/ast.hpp"
+
+namespace sor::script {
+
+// Convenience: lex + parse. Errors carry line numbers.
+[[nodiscard]] Result<Program> Parse(std::string_view source);
+
+}  // namespace sor::script

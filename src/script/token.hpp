@@ -1,0 +1,39 @@
+// Token model for SenseScript.
+//
+// SenseScript is this reproduction's stand-in for the Lua scripts SOR uses
+// to describe sensing tasks (§II-A, Fig. 4): "How to sense, i.e., what data
+// to acquire, is described using the Lua scripting language". The grammar is
+// a compact Lua subset — enough to express every acquisition loop in the
+// paper (calls like get_light_readings()/get_location(), local variables,
+// numeric for, while, if/elseif/else, functions, lists) while remaining
+// fully sandboxed: scripts can only touch the host through a whitelist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sor::script {
+
+enum class TokenType : std::uint8_t {
+  // literals / identifiers
+  kNumber, kString, kName,
+  // keywords
+  kLocal, kIf, kThen, kElse, kElseif, kEnd, kWhile, kDo, kFor, kFunction,
+  kReturn, kBreak, kTrue, kFalse, kNil, kAnd, kOr, kNot,
+  // symbols
+  kPlus, kMinus, kStar, kSlash, kPercent, kAssign, kEq, kNe, kLt, kLe, kGt,
+  kGe, kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace, kComma,
+  kConcat, kHash,
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     // raw lexeme (unescaped payload for strings)
+  double number = 0.0;  // valid for kNumber
+  int line = 1;         // 1-based source line, for diagnostics
+};
+
+[[nodiscard]] const char* to_string(TokenType t);
+
+}  // namespace sor::script

@@ -1,0 +1,68 @@
+// Sensing energy model.
+//
+// The paper motivates both the shared provider buffers ("In this way,
+// energy consumed for sensing can be reduced", §II-A) and the budget
+// N^B_k ("the higher the sensing cost (such as energy consumption)",
+// §III) with energy. This model prices one physical acquisition per
+// sensor kind (millijoules, order-of-magnitude figures for a 2013-era
+// smartphone) so campaigns can report what sensing actually cost a phone
+// and how much the buffer saved.
+#pragma once
+
+#include "common/sensor_kind.hpp"
+#include "sensors/manager.hpp"
+
+namespace sor::sensors {
+
+// Energy of one physical sample, millijoules.
+[[nodiscard]] constexpr double AcquisitionEnergyMj(SensorKind kind) {
+  switch (kind) {
+    case SensorKind::kAccelerometer: return 0.5;
+    case SensorKind::kGyroscope: return 1.2;
+    case SensorKind::kCompass: return 0.6;
+    case SensorKind::kGps: return 150.0;   // fix acquisition dominates
+    case SensorKind::kMicrophone: return 5.0;
+    case SensorKind::kLight: return 0.3;
+    case SensorKind::kWifi: return 60.0;   // active scan
+    case SensorKind::kBarometer: return 0.4;
+    // Sensordrone channels pay a Bluetooth round trip on top of the
+    // sensor itself.
+    case SensorKind::kDroneTemperature:
+    case SensorKind::kDroneHumidity:
+    case SensorKind::kDroneLight:
+    case SensorKind::kDronePressure:
+    case SensorKind::kDroneGasCo:
+    case SensorKind::kDroneColor:
+      return 8.0;
+    case SensorKind::kCount: break;
+  }
+  return 1.0;
+}
+
+struct EnergyReport {
+  double spent_mj = 0.0;  // physical acquisitions actually paid for
+  double saved_mj = 0.0;  // acquisitions served from the shared buffer
+
+  EnergyReport& operator+=(const EnergyReport& o) {
+    spent_mj += o.spent_mj;
+    saved_mj += o.saved_mj;
+    return *this;
+  }
+};
+
+[[nodiscard]] inline EnergyReport EnergyOf(const Provider& provider) {
+  const double unit = AcquisitionEnergyMj(provider.kind());
+  return {unit * static_cast<double>(provider.stats().physical_acquisitions),
+          unit * static_cast<double>(provider.stats().buffered_hits)};
+}
+
+// Aggregate over every provider registered with a manager.
+[[nodiscard]] inline EnergyReport EnergyOf(SensorManager& manager) {
+  EnergyReport total;
+  for (SensorKind kind : manager.SupportedKinds()) {
+    if (const Provider* p = manager.provider(kind)) total += EnergyOf(*p);
+  }
+  return total;
+}
+
+}  // namespace sor::sensors

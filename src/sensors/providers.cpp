@@ -1,0 +1,77 @@
+#include "sensors/providers.hpp"
+
+namespace sor::sensors {
+
+SimDuration EmbeddedProvider::DefaultFreshness(SensorKind kind) {
+  switch (kind) {
+    // Fast-changing channels: buffered readings go stale almost instantly.
+    case SensorKind::kAccelerometer:
+    case SensorKind::kGyroscope:
+    case SensorKind::kCompass:
+      return SimDuration{100};
+    case SensorKind::kMicrophone:
+      return SimDuration{500};
+    case SensorKind::kGps:
+      return SimDuration{2'000};
+    case SensorKind::kLight:
+    case SensorKind::kWifi:
+      return SimDuration{3'000};
+    case SensorKind::kBarometer:
+      return SimDuration{10'000};
+    // Environmental channels change slowly: generous sharing window.
+    case SensorKind::kDroneTemperature:
+    case SensorKind::kDroneHumidity:
+    case SensorKind::kDroneLight:
+    case SensorKind::kDronePressure:
+    case SensorKind::kDroneGasCo:
+    case SensorKind::kDroneColor:
+      return SimDuration{15'000};
+    case SensorKind::kCount:
+      break;
+  }
+  return SimDuration{1'000};
+}
+
+EmbeddedProvider::EmbeddedProvider(SensorKind kind, SensorEnvironment& env)
+    : BufferedProvider(kind, env, DefaultFreshness(kind)) {}
+
+GpsProvider::GpsProvider(SensorEnvironment& env)
+    : BufferedProvider(SensorKind::kGps, env,
+                       EmbeddedProvider::DefaultFreshness(SensorKind::kGps)) {}
+
+Result<Reading> GpsProvider::ReadPhysical(SimTime t) {
+  Reading r;
+  r.kind = SensorKind::kGps;
+  r.time = t;
+  const GeoPoint fix = env().Position(t);
+  r.location = fix;
+  r.value = fix.alt_m;
+  return r;
+}
+
+SensordroneProvider::SensordroneProvider(SensorKind kind,
+                                         SensorEnvironment& env,
+                                         const BluetoothLink& link)
+    : BufferedProvider(kind, env,
+                       EmbeddedProvider::DefaultFreshness(kind)),
+      link_(link) {}
+
+Result<Reading> SensordroneProvider::ReadPhysical(SimTime t) {
+  if (!link_.paired())
+    return Error{Errc::kUnavailable, "sensordrone not paired"};
+  Reading r;
+  r.kind = kind();
+  r.time = t;
+  r.value = env().Sample(kind(), t);
+  return r;
+}
+
+std::unique_ptr<Provider> MakeProvider(SensorKind kind, SensorEnvironment& env,
+                                       const BluetoothLink& link) {
+  if (kind == SensorKind::kGps) return std::make_unique<GpsProvider>(env);
+  if (IsExternalSensor(kind))
+    return std::make_unique<SensordroneProvider>(kind, env, link);
+  return std::make_unique<EmbeddedProvider>(kind, env);
+}
+
+}  // namespace sor::sensors

@@ -1,0 +1,73 @@
+// Concrete providers: embedded (Nexus4) sensors, the GPS, and the external
+// Sensordrone reached over a (simulated) Bluetooth pairing.
+#pragma once
+
+#include <memory>
+
+#include "sensors/provider.hpp"
+
+namespace sor::sensors {
+
+// Generic embedded scalar sensor (light, microphone, WiFi RSSI,
+// accelerometer magnitude, ...). Freshness defaults are per-kind: slowly
+// varying channels tolerate older buffered readings.
+class EmbeddedProvider final : public BufferedProvider {
+ public:
+  EmbeddedProvider(SensorKind kind, SensorEnvironment& env);
+
+  [[nodiscard]] SimDuration latency() const override {
+    return SimDuration{20};  // on-board bus, fast
+  }
+
+  // Per-kind default buffer freshness.
+  [[nodiscard]] static SimDuration DefaultFreshness(SensorKind kind);
+};
+
+// GPS: readings carry a location fix; the scalar channel reports altitude
+// (used for the "altitude change" trail feature alongside the barometer).
+class GpsProvider final : public BufferedProvider {
+ public:
+  explicit GpsProvider(SensorEnvironment& env);
+
+  [[nodiscard]] SimDuration latency() const override {
+    return SimDuration{800};  // fix acquisition is slow
+  }
+
+ protected:
+  [[nodiscard]] Result<Reading> ReadPhysical(SimTime t) override;
+};
+
+// Simulated Bluetooth link state for the Sensordrone.
+class BluetoothLink {
+ public:
+  void Pair() { paired_ = true; }
+  void Unpair() { paired_ = false; }
+  [[nodiscard]] bool paired() const { return paired_; }
+
+ private:
+  bool paired_ = false;
+};
+
+// External Sensordrone sensor: fails with kUnavailable when the drone is
+// not paired (the failure-injection path for external sensors).
+class SensordroneProvider final : public BufferedProvider {
+ public:
+  SensordroneProvider(SensorKind kind, SensorEnvironment& env,
+                      const BluetoothLink& link);
+
+  [[nodiscard]] SimDuration latency() const override {
+    return SimDuration{150};  // Bluetooth round trip
+  }
+
+ protected:
+  [[nodiscard]] Result<Reading> ReadPhysical(SimTime t) override;
+
+ private:
+  const BluetoothLink& link_;
+};
+
+// Factory covering every SensorKind.
+[[nodiscard]] std::unique_ptr<Provider> MakeProvider(
+    SensorKind kind, SensorEnvironment& env, const BluetoothLink& link);
+
+}  // namespace sor::sensors

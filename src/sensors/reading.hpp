@@ -1,0 +1,37 @@
+// A single sensor reading.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/geo.hpp"
+#include "common/sensor_kind.hpp"
+#include "common/sim_time.hpp"
+
+namespace sor::sensors {
+
+struct Reading {
+  SensorKind kind = SensorKind::kAccelerometer;
+  SimTime time;
+  double value = 0.0;                // scalar channel (unit per SensorKind)
+  std::optional<GeoPoint> location;  // populated by GPS fixes
+
+  friend bool operator==(const Reading&, const Reading&) = default;
+};
+
+// The physical world as one phone's sensors see it. Implemented by
+// src/world (ground-truth signals + per-phone noise + mobility); sensors
+// depends only on this interface so the module is testable with synthetic
+// lambdas.
+class SensorEnvironment {
+ public:
+  virtual ~SensorEnvironment() = default;
+
+  // Instantaneous (already noisy) value of `kind` at this phone at `t`.
+  [[nodiscard]] virtual double Sample(SensorKind kind, SimTime t) = 0;
+
+  // The phone's position at `t` (GPS provider; participation checks).
+  [[nodiscard]] virtual GeoPoint Position(SimTime t) = 0;
+};
+
+}  // namespace sor::sensors

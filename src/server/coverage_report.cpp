@@ -1,0 +1,77 @@
+#include "server/coverage_report.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/coverage.hpp"
+#include "sched/timeline.hpp"
+
+namespace sor::server {
+
+std::map<TaskId, std::vector<int>> ExecutedInstantsByTask(
+    const db::Database& db, AppId app, const std::vector<SimTime>& grid) {
+  std::map<TaskId, std::vector<int>> executed;
+  const db::Table* raw = db.table(db::tables::kRawData);
+  if (raw == nullptr || grid.empty()) return executed;
+  for (const db::Row& row :
+       raw->FindWhereEq("app_id", db::Value(app.value()))) {
+    Result<Message> decoded =
+        DecodeBody(MessageType::kSensedDataUpload, row[3].as_blob());
+    if (!decoded.ok()) continue;
+    const auto& upload = std::get<SensedDataUpload>(decoded.value());
+    auto& instants = executed[upload.task];
+    std::int64_t prev_ms = std::numeric_limits<std::int64_t>::min();
+    for (const ReadingTuple& t : upload.batches) {
+      if (t.t.ms == prev_ms) continue;  // one measurement per tuple time
+      prev_ms = t.t.ms;
+      const auto it = std::lower_bound(grid.begin(), grid.end(), t.t);
+      int idx = static_cast<int>(it - grid.begin());
+      if (idx > 0 &&
+          (idx == static_cast<int>(grid.size()) ||
+           (grid[static_cast<std::size_t>(idx)] - t.t).ms >
+               (t.t - grid[static_cast<std::size_t>(idx - 1)]).ms)) {
+        --idx;
+      }
+      if (idx >= 0 && idx < static_cast<int>(grid.size()))
+        instants.push_back(idx);
+    }
+  }
+  return executed;
+}
+
+Result<CoverageReport> ReportCoverage(
+    const db::Database& db, const ApplicationRecord& app,
+    const ParticipationManager& participations) {
+  sched::Problem problem;
+  problem.grid = MakeInstantGrid(app.spec.period, app.spec.n_instants);
+  problem.sigma_s = app.spec.sigma_s;
+
+  const std::vector<ParticipationRecord> all =
+      participations.AllForApp(app.id);
+  const std::map<TaskId, std::vector<int>> executed =
+      ExecutedInstantsByTask(db, app.id, problem.grid);
+
+  sched::Schedule schedule = sched::Schedule::Empty(
+      static_cast<int>(all.size()));
+  CoverageReport report;
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    const ParticipationRecord& rec = all[k];
+    problem.users.push_back(sched::UserWindow{
+        SimInterval{rec.arrive, rec.leave.value_or(app.spec.period.end)}
+            .intersect(app.spec.period),
+        rec.budget});
+    if (auto it = executed.find(rec.task); it != executed.end()) {
+      schedule.per_user[k] = it->second;
+      std::sort(schedule.per_user[k].begin(), schedule.per_user[k].end());
+      report.executed_measurements +=
+          static_cast<int>(it->second.size());
+    }
+  }
+
+  const sched::CoverageEvaluator eval(problem);
+  report.average_coverage = eval.AverageCoverage(schedule);
+  report.timeline = RenderScheduleTimeline(problem, schedule);
+  return report;
+}
+
+}  // namespace sor::server

@@ -1,0 +1,34 @@
+// Coverage reporting: what sensing actually happened for an application.
+//
+// The scheduler plans coverage; this module measures it, straight from the
+// raw uploads in the database — per-task executed instants, the combined
+// average coverage probability achieved so far, and an ASCII timeline
+// (the operator's view of "is my place being sensed enough?").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "db/database.hpp"
+#include "server/managers.hpp"
+
+namespace sor::server {
+
+// Grid indices of the measurements each task actually uploaded (snapped
+// to the nearest instant; one entry per distinct tuple time).
+[[nodiscard]] std::map<TaskId, std::vector<int>> ExecutedInstantsByTask(
+    const db::Database& db, AppId app, const std::vector<SimTime>& grid);
+
+struct CoverageReport {
+  int executed_measurements = 0;
+  double average_coverage = 0.0;  // Eq. 1 over executed, / N
+  std::string timeline;           // per-participant rows + coverage footer
+};
+
+[[nodiscard]] Result<CoverageReport> ReportCoverage(
+    const db::Database& db, const ApplicationRecord& app,
+    const ParticipationManager& participations);
+
+}  // namespace sor::server

@@ -1,0 +1,228 @@
+#include "server/data_processor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace sor::server {
+
+namespace {
+
+using db::Row;
+using db::Table;
+using db::Value;
+
+// Decoded raw data of one application, grouped for feature extraction.
+struct AppRawData {
+  // Per sensor kind: every tuple uploaded for this app.
+  std::map<SensorKind, std::vector<ReadingTuple>> by_kind;
+  // GPS fixes grouped per task (each task is one phone walking the trail;
+  // curvature must be computed along one phone's track, not a shuffle of
+  // all phones).
+  std::map<std::uint64_t, std::vector<ReadingTuple>> gps_by_task;
+};
+
+double ExtractFeature(const FeatureDef& def, const AppRawData& data,
+                      const DataProcessorOptions& options,
+                      std::size_t* n_samples) {
+  *n_samples = 0;
+  const auto it = data.by_kind.find(def.sensor);
+  switch (def.method) {
+    case ExtractMethod::kMeanOfAll: {
+      if (it == data.by_kind.end()) return 0.0;
+      std::vector<double> all;
+      for (const ReadingTuple& t : it->second)
+        all.insert(all.end(), t.values.begin(), t.values.end());
+      *n_samples = all.size();
+      if (options.reject_outliers)
+        return RobustMean(all, options.outlier_z_threshold);
+      return Mean(all);
+    }
+    case ExtractMethod::kMeanOfWindowStddev: {
+      // §V-A: "an average of the standard deviations of all accelerometer's
+      // readings within Δt".
+      if (it == data.by_kind.end()) return 0.0;
+      RunningStats outer;
+      for (const ReadingTuple& t : it->second) {
+        if (t.values.size() < 2) continue;
+        outer.add(StdDev(t.values));
+        *n_samples += t.values.size();
+      }
+      return outer.mean();
+    }
+    case ExtractMethod::kStddevOfWindowMeans: {
+      // §V-A: "the standard deviation of averages of all altitude sensor
+      // readings within Δt".
+      if (it == data.by_kind.end()) return 0.0;
+      RunningStats outer;
+      for (const ReadingTuple& t : it->second) {
+        if (t.values.empty()) continue;
+        outer.add(Mean(t.values));
+        *n_samples += t.values.size();
+      }
+      return outer.stddev();
+    }
+    case ExtractMethod::kGpsCurvature: {
+      // §V-A: "calculated based on GPS locations using the method presented
+      // in [17]" — polyline turn density along each phone's track, averaged
+      // across phones; reported in mrad/m. Fixes within a tuple carry no
+      // individual timestamps on the wire, but they are evenly spread over
+      // [t, t+Δt], so their times are reconstructed, the whole track is
+      // sorted, lightly smoothed (3-point moving average) against GPS
+      // noise, and near-stationary segments are dropped.
+      RunningStats per_track;
+      for (const auto& [task, tuples] : data.gps_by_task) {
+        std::vector<std::pair<std::int64_t, GeoPoint>> timed;
+        for (const ReadingTuple& t : tuples) {
+          const std::size_t n = t.locations.size();
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::int64_t offset =
+                n > 1 ? t.dt.ms * static_cast<std::int64_t>(i) /
+                            static_cast<std::int64_t>(n - 1)
+                      : 0;
+            timed.emplace_back(t.t.ms + offset, t.locations[i]);
+          }
+        }
+        std::stable_sort(timed.begin(), timed.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first < b.first;
+                         });
+        std::vector<GeoPoint> fixes;
+        fixes.reserve(timed.size());
+        for (const auto& [ms, p] : timed) fixes.push_back(p);
+        if (fixes.size() < 5) continue;
+
+        // 3-point moving-average smoothing.
+        std::vector<GeoPoint> smooth(fixes.size());
+        smooth.front() = fixes.front();
+        smooth.back() = fixes.back();
+        for (std::size_t i = 1; i + 1 < fixes.size(); ++i) {
+          smooth[i].lat_deg = (fixes[i - 1].lat_deg + fixes[i].lat_deg +
+                               fixes[i + 1].lat_deg) / 3.0;
+          smooth[i].lon_deg = (fixes[i - 1].lon_deg + fixes[i].lon_deg +
+                               fixes[i + 1].lon_deg) / 3.0;
+          smooth[i].alt_m = (fixes[i - 1].alt_m + fixes[i].alt_m +
+                             fixes[i + 1].alt_m) / 3.0;
+        }
+
+        RunningStats curv;
+        for (std::size_t i = 1; i + 1 < smooth.size(); ++i) {
+          // Skip near-stationary vertices: angle is undefined noise there.
+          if (HaversineMeters(smooth[i - 1], smooth[i]) < 5.0 ||
+              HaversineMeters(smooth[i], smooth[i + 1]) < 5.0)
+            continue;
+          curv.add(PolylineCurvature(smooth[i - 1], smooth[i],
+                                     smooth[i + 1]));
+        }
+        if (curv.count() == 0) continue;
+        *n_samples += fixes.size();
+        per_track.add(curv.mean() * 1000.0);
+      }
+      return per_track.mean();
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
+                                      SimTime now) {
+  Table* raw = db_.table(db::tables::kRawData);
+  Table* features = db_.table(db::tables::kFeatureData);
+  if (!raw || !features)
+    return Error{Errc::kInternal, "raw/feature tables missing"};
+
+  // Decode every upload body for this app (the stored bodies are the exact
+  // binary message payloads as received, §II-B).
+  AppRawData data;
+  const std::vector<Row> rows =
+      raw->FindWhereEq("app_id", Value(app.id.value()));
+  for (const Row& row : rows) {
+    const db::Blob& body = row[3].as_blob();
+    Result<Message> decoded =
+        DecodeBody(MessageType::kSensedDataUpload, body);
+    if (!decoded.ok()) {
+      ++stats_.blobs_rejected;
+      SOR_LOG(kWarn, "processor",
+              "rejecting malformed upload blob: " << decoded.error().str());
+      continue;
+    }
+    ++stats_.blobs_decoded;
+    const auto& upload = std::get<SensedDataUpload>(decoded.value());
+    for (const ReadingTuple& t : upload.batches) {
+      ++stats_.tuples_processed;
+      data.by_kind[t.kind].push_back(t);
+      if (t.kind == SensorKind::kGps && !t.locations.empty())
+        data.gps_by_task[upload.task.value()].push_back(t);
+    }
+  }
+
+  // Sort GPS tuples per task by time so curvature follows the walk order.
+  for (auto& [task, tuples] : data.gps_by_task) {
+    std::stable_sort(tuples.begin(), tuples.end(),
+                     [](const ReadingTuple& a, const ReadingTuple& b) {
+                       return a.t < b.t;
+                     });
+  }
+
+  int written = 0;
+  for (std::size_t j = 0; j < app.spec.features.size(); ++j) {
+    const FeatureDef& def = app.spec.features[j];
+    std::size_t n_samples = 0;
+    const double value = ExtractFeature(def, data, options_, &n_samples);
+    // Deterministic key per (app, feature): recomputation upserts.
+    const std::uint64_t feature_id = app.id.value() * 1000 + j + 1;
+    Result<db::RowId> r = features->Upsert(
+        {Value(feature_id), Value(app.id.value()),
+         Value(app.spec.place.value()), Value(def.name), Value(value),
+         Value(static_cast<std::int64_t>(n_samples)), Value(now.ms)});
+    if (!r.ok()) return r.error();
+    ++stats_.features_written;
+    ++written;
+  }
+
+  // Flag the consumed raw rows as processed.
+  (void)raw->Update(
+      [&](const Row& row) {
+        return row[2].as_int() == static_cast<std::int64_t>(app.id.value()) &&
+               !row[5].as_bool();
+      },
+      [](Row& row) { row[5] = Value(true); });
+
+  return written;
+}
+
+Result<double> DataProcessor::FeatureValue(AppId app,
+                                           const std::string& feature) const {
+  const Table* features = db_.table(db::tables::kFeatureData);
+  for (const Row& row : features->FindWhereEq("app_id", Value(app.value()))) {
+    if (row[3].as_text() == feature) return row[4].as_double();
+  }
+  return Error{Errc::kNotFound,
+               "no feature '" + feature + "' for app " + app.str()};
+}
+
+Result<rank::FeatureMatrix> DataProcessor::BuildFeatureMatrix(
+    const std::vector<ApplicationRecord>& apps,
+    const std::vector<rank::FeatureSpec>& feature_specs) const {
+  if (apps.empty())
+    return Error{Errc::kInvalidArgument, "no applications"};
+  std::vector<std::string> names;
+  names.reserve(apps.size());
+  for (const ApplicationRecord& a : apps) names.push_back(a.spec.place_name);
+
+  rank::FeatureMatrix m(std::move(names), feature_specs);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    for (std::size_t j = 0; j < feature_specs.size(); ++j) {
+      Result<double> v = FeatureValue(apps[i].id, feature_specs[j].name);
+      if (!v.ok()) return v.error();
+      m.set(static_cast<int>(i), static_cast<int>(j), v.value());
+    }
+  }
+  return m;
+}
+
+}  // namespace sor::server

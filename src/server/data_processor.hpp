@@ -1,0 +1,76 @@
+// Data Processor (§II-B / §IV-A).
+//
+// "The Data Processor periodically checks if there are any binary sensed
+// data in the database, and if any, it decodes the data and stores useful
+// information into corresponding tables ... it also processes raw data to
+// generate more meaningful data for various sensing features (temperature,
+// humidity, roughness of road surface, etc), which will then be stored into
+// the database to serve as input for the Personalizable Ranker."
+//
+// ProcessApp() decodes every raw upload blob of an application, runs the
+// app's FeatureDef extraction methods, and upserts one feature_data row per
+// feature. BuildFeatureMatrix() assembles the ranker's H matrix from those
+// rows across the applications of one category.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "db/database.hpp"
+#include "rank/personalizable_ranker.hpp"
+#include "server/managers.hpp"
+
+namespace sor::server {
+
+struct DataProcessorStats {
+  std::uint64_t blobs_decoded = 0;
+  std::uint64_t blobs_rejected = 0;  // malformed bodies (decode failures)
+  std::uint64_t tuples_processed = 0;
+  std::uint64_t features_written = 0;
+};
+
+struct DataProcessorOptions {
+  // Robust extraction for mean-type features: readings whose modified
+  // z-score exceeds the threshold are excluded, so one phone with a
+  // broken or miscalibrated sensor cannot drag a place's feature value.
+  bool reject_outliers = true;
+  double outlier_z_threshold = 6.0;
+};
+
+class DataProcessor {
+ public:
+  explicit DataProcessor(db::Database& database,
+                         DataProcessorOptions options = {})
+      : db_(database), options_(options) {}
+
+  [[nodiscard]] const DataProcessorOptions& options() const {
+    return options_;
+  }
+  void set_options(const DataProcessorOptions& o) { options_ = o; }
+
+  // Decode + process all raw data of `app`; write feature_data rows.
+  // Returns the number of feature values written.
+  Result<int> ProcessApp(const ApplicationRecord& app, SimTime now);
+
+  // Fetch one computed feature value (for tests/visualization).
+  [[nodiscard]] Result<double> FeatureValue(AppId app,
+                                            const std::string& feature) const;
+
+  // Assemble H for the given applications (same category, identical
+  // feature lists). Row order follows `apps`; column order follows
+  // `feature_specs`.
+  [[nodiscard]] Result<rank::FeatureMatrix> BuildFeatureMatrix(
+      const std::vector<ApplicationRecord>& apps,
+      const std::vector<rank::FeatureSpec>& feature_specs) const;
+
+  [[nodiscard]] const DataProcessorStats& stats() const { return stats_; }
+
+ private:
+  db::Database& db_;
+  DataProcessorOptions options_;
+  DataProcessorStats stats_;
+};
+
+}  // namespace sor::server

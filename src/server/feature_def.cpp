@@ -1,0 +1,93 @@
+#include "server/feature_def.hpp"
+
+#include <sstream>
+
+#include "common/features.hpp"
+
+namespace sor::server {
+
+const char* to_string(ExtractMethod m) {
+  switch (m) {
+    case ExtractMethod::kMeanOfAll: return "mean";
+    case ExtractMethod::kMeanOfWindowStddev: return "window_stddev_mean";
+    case ExtractMethod::kStddevOfWindowMeans: return "window_mean_stddev";
+    case ExtractMethod::kGpsCurvature: return "gps_curvature";
+  }
+  return "?";
+}
+
+Result<ExtractMethod> ExtractMethodFromString(const std::string& s) {
+  if (s == "mean") return ExtractMethod::kMeanOfAll;
+  if (s == "window_stddev_mean") return ExtractMethod::kMeanOfWindowStddev;
+  if (s == "window_mean_stddev") return ExtractMethod::kStddevOfWindowMeans;
+  if (s == "gps_curvature") return ExtractMethod::kGpsCurvature;
+  return Error{Errc::kDecodeError, "unknown extract method '" + s + "'"};
+}
+
+std::string EncodeFeatureDefs(const std::vector<FeatureDef>& defs) {
+  std::string out;
+  for (const FeatureDef& d : defs) {
+    if (!out.empty()) out += ';';
+    out += d.name;
+    out += ':';
+    out += to_string(d.sensor);
+    out += ':';
+    out += to_string(d.method);
+  }
+  return out;
+}
+
+Result<std::vector<FeatureDef>> DecodeFeatureDefs(const std::string& encoded) {
+  std::vector<FeatureDef> defs;
+  std::istringstream stream(encoded);
+  std::string entry;
+  while (std::getline(stream, entry, ';')) {
+    if (entry.empty()) continue;
+    const std::size_t c1 = entry.find(':');
+    const std::size_t c2 = entry.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos)
+      return Error{Errc::kDecodeError, "malformed feature def '" + entry + "'"};
+    FeatureDef d;
+    d.name = entry.substr(0, c1);
+    const std::string sensor = entry.substr(c1 + 1, c2 - c1 - 1);
+    const auto kind = SensorKindFromString(sensor);
+    if (!kind.has_value())
+      return Error{Errc::kDecodeError, "unknown sensor '" + sensor + "'"};
+    d.sensor = *kind;
+    Result<ExtractMethod> method =
+        ExtractMethodFromString(entry.substr(c2 + 1));
+    if (!method.ok()) return method.error();
+    d.method = method.value();
+    defs.push_back(std::move(d));
+  }
+  if (defs.empty())
+    return Error{Errc::kDecodeError, "no feature definitions"};
+  return defs;
+}
+
+std::vector<FeatureDef> HikingTrailFeatures() {
+  return {
+      {features::kTemperature, SensorKind::kDroneTemperature,
+       ExtractMethod::kMeanOfAll},
+      {features::kHumidity, SensorKind::kDroneHumidity,
+       ExtractMethod::kMeanOfAll},
+      {features::kRoughness, SensorKind::kAccelerometer,
+       ExtractMethod::kMeanOfWindowStddev},
+      {features::kCurvature, SensorKind::kGps, ExtractMethod::kGpsCurvature},
+      {features::kAltitudeChange, SensorKind::kBarometer,
+       ExtractMethod::kStddevOfWindowMeans},
+  };
+}
+
+std::vector<FeatureDef> CoffeeShopFeatures() {
+  return {
+      {features::kTemperature, SensorKind::kDroneTemperature,
+       ExtractMethod::kMeanOfAll},
+      {features::kBrightness, SensorKind::kDroneLight,
+       ExtractMethod::kMeanOfAll},
+      {features::kNoise, SensorKind::kMicrophone, ExtractMethod::kMeanOfAll},
+      {features::kWifi, SensorKind::kWifi, ExtractMethod::kMeanOfAll},
+  };
+}
+
+}  // namespace sor::server

@@ -1,0 +1,58 @@
+// Feature definitions: how the Data Processor turns raw readings into one
+// "humanly understandable feature" value per place (§IV-A).
+//
+// "The methods for calculating these values from raw data may vary with
+// features. For example, for temperature, we take an average over all
+// temperature sensors' readings; however, for roughness of road surface, we
+// take an average of standard deviations of accelerometers' readings within
+// Δt."  The §V-A/§V-B recipes map onto four extraction methods:
+//
+//   kMeanOfAll            — mean over every reading (temperature, humidity,
+//                           brightness, noise, WiFi)
+//   kMeanOfWindowStddev   — mean over tuples of stddev within Δt (roughness)
+//   kStddevOfWindowMeans  — stddev over tuples of mean within Δt
+//                           (altitude change)
+//   kGpsCurvature         — polyline curvature from ordered GPS fixes,
+//                           mrad/m (curvature, method of [17])
+//
+// An application's feature list is stored in the database as text
+// ("name:sensor:method;..."), so the Data Processor is fully table-driven.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sensor_kind.hpp"
+
+namespace sor::server {
+
+enum class ExtractMethod {
+  kMeanOfAll,
+  kMeanOfWindowStddev,
+  kStddevOfWindowMeans,
+  kGpsCurvature,
+};
+
+[[nodiscard]] const char* to_string(ExtractMethod m);
+[[nodiscard]] Result<ExtractMethod> ExtractMethodFromString(
+    const std::string& s);
+
+struct FeatureDef {
+  std::string name;          // canonical feature name (common/features.hpp)
+  SensorKind sensor = SensorKind::kDroneTemperature;
+  ExtractMethod method = ExtractMethod::kMeanOfAll;
+
+  friend bool operator==(const FeatureDef&, const FeatureDef&) = default;
+};
+
+[[nodiscard]] std::string EncodeFeatureDefs(
+    const std::vector<FeatureDef>& defs);
+[[nodiscard]] Result<std::vector<FeatureDef>> DecodeFeatureDefs(
+    const std::string& encoded);
+
+// The paper's two evaluation categories, ready-made.
+[[nodiscard]] std::vector<FeatureDef> HikingTrailFeatures();
+[[nodiscard]] std::vector<FeatureDef> CoffeeShopFeatures();
+
+}  // namespace sor::server

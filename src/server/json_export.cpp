@@ -1,0 +1,96 @@
+#include "server/json_export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sor::server {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// JSON has no NaN/Inf; emit null for non-finite values.
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderFeatureJson(const rank::FeatureMatrix& m) {
+  std::ostringstream out;
+  out << "{\"places\":[";
+  for (int i = 0; i < m.num_places(); ++i) {
+    if (i) out << ',';
+    out << '"'
+        << JsonEscape(m.place_names()[static_cast<std::size_t>(i)]) << '"';
+  }
+  out << "],\"features\":[";
+  for (int j = 0; j < m.num_features(); ++j) {
+    if (j) out << ',';
+    out << "{\"name\":\""
+        << JsonEscape(m.features()[static_cast<std::size_t>(j)].name)
+        << "\"}";
+  }
+  out << "],\"values\":[";
+  for (int i = 0; i < m.num_places(); ++i) {
+    if (i) out << ',';
+    out << '[';
+    for (int j = 0; j < m.num_features(); ++j) {
+      if (j) out << ',';
+      out << Num(m.at(i, j));
+    }
+    out << ']';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string RenderRankingJson(
+    const rank::FeatureMatrix& m,
+    const std::vector<std::pair<std::string, rank::Ranking>>& user_rankings) {
+  std::ostringstream out;
+  out << "{\"rankings\":[";
+  bool first_user = true;
+  for (const auto& [user, ranking] : user_rankings) {
+    if (!first_user) out << ',';
+    first_user = false;
+    out << "{\"user\":\"" << JsonEscape(user) << "\",\"order\":[";
+    for (int pos = 0; pos < ranking.size(); ++pos) {
+      if (pos) out << ',';
+      out << '"'
+          << JsonEscape(m.place_names()[static_cast<std::size_t>(
+                 ranking.item_at(pos))])
+          << '"';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace sor::server

@@ -1,0 +1,28 @@
+// JSON export of feature data and rankings.
+//
+// The paper's server feeds a Visualization module "such that users can
+// view them easily"; modern consumers want machine-readable output too.
+// This is a minimal, dependency-free JSON emitter (proper string escaping,
+// no floats-as-locale surprises) for the two artifacts downstream systems
+// consume: the feature matrix H and per-user rankings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rank/personalizable_ranker.hpp"
+
+namespace sor::server {
+
+// {"places":[...], "features":[{"name":...},...], "values":[[...],...]}
+[[nodiscard]] std::string RenderFeatureJson(const rank::FeatureMatrix& m);
+
+// {"rankings":[{"user":"Alice","order":["Cliff Trail",...]},...]}
+[[nodiscard]] std::string RenderRankingJson(
+    const rank::FeatureMatrix& m,
+    const std::vector<std::pair<std::string, rank::Ranking>>& user_rankings);
+
+// Escape a string for embedding in JSON (quotes added by the caller).
+[[nodiscard]] std::string JsonEscape(const std::string& s);
+
+}  // namespace sor::server

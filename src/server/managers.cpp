@@ -1,0 +1,254 @@
+#include "server/managers.hpp"
+
+#include <functional>
+
+#include "phone/task_instance.hpp"
+#include "script/parser.hpp"
+
+namespace sor::server {
+
+namespace {
+
+using db::Row;
+using db::Table;
+using db::Value;
+
+}  // namespace
+
+// --- UserInfoManager ------------------------------------------------------
+
+Result<UserId> UserInfoManager::RegisterUser(const std::string& name,
+                                             const Token& token) {
+  Table* users = db_.table(db::tables::kUsers);
+  if (!users) return Error{Errc::kInternal, "users table missing"};
+  if (!users->FindWhereEq("token", Value(token.value)).empty())
+    return Error{Errc::kAlreadyExists,
+                 "token already registered: " + token.value};
+  const UserId id = ids_.next();
+  Result<db::RowId> r = users->Insert(
+      {Value(id.value()), Value(name), Value(token.value)});
+  if (!r.ok()) return r.error();
+  return id;
+}
+
+std::optional<UserId> UserInfoManager::FindByToken(const Token& token) const {
+  const Table* users = db_.table(db::tables::kUsers);
+  const auto rows = users->FindWhereEq("token", Value(token.value));
+  if (rows.empty()) return std::nullopt;
+  return UserId{static_cast<std::uint64_t>(rows[0][0].as_int())};
+}
+
+Status UserInfoManager::VerifyUser(UserId user, const Token& token) const {
+  const Table* users = db_.table(db::tables::kUsers);
+  const auto row = users->FindByKey(Value(user.value()));
+  if (!row.has_value())
+    return Status(Errc::kNotFound, "unknown user " + user.str());
+  if ((*row)[2].as_text() != token.value)
+    return Status(Errc::kPermissionDenied, "token mismatch for user " +
+                                               user.str());
+  return Status::Ok();
+}
+
+std::size_t UserInfoManager::count() const {
+  return db_.table(db::tables::kUsers)->size();
+}
+
+// --- ApplicationManager -----------------------------------------------------
+
+Result<AppId> ApplicationManager::CreateApplication(
+    const ApplicationSpec& spec) {
+  if (spec.n_instants < 1)
+    return Error{Errc::kInvalidArgument, "n_instants must be >= 1"};
+  if (spec.sigma_s <= 0.0)
+    return Error{Errc::kInvalidArgument, "sigma must be positive"};
+  if (spec.period.empty())
+    return Error{Errc::kInvalidArgument, "empty scheduling period"};
+  if (spec.features.empty())
+    return Error{Errc::kInvalidArgument, "application needs features"};
+
+  // Script validation: must parse, and every function it could call must
+  // be a known acquisition function or stdlib name — the server never
+  // distributes a script phones would reject.
+  Result<script::Program> parsed = script::Parse(spec.script);
+  if (!parsed.ok()) return parsed.error();
+
+  Table* apps = db_.table(db::tables::kApplications);
+  const AppId id = ids_.next();
+  Result<db::RowId> r = apps->Insert(
+      {Value(id.value()), Value(spec.creator), Value(spec.place.value()),
+       Value(spec.place_name), Value(spec.location.lat_deg),
+       Value(spec.location.lon_deg), Value(spec.location.alt_m),
+       Value(spec.radius_m), Value(spec.script),
+       Value(EncodeFeatureDefs(spec.features)),
+       Value(spec.period.begin.ms), Value(spec.period.end.ms),
+       Value(static_cast<std::int64_t>(spec.n_instants)),
+       Value(spec.sigma_s)});
+  if (!r.ok()) return r.error();
+  return id;
+}
+
+Result<ApplicationRecord> ApplicationManager::Get(AppId id) const {
+  const Table* apps = db_.table(db::tables::kApplications);
+  const auto row = apps->FindByKey(Value(id.value()));
+  if (!row.has_value())
+    return Error{Errc::kNotFound, "unknown application " + id.str()};
+  const Row& r = *row;
+  ApplicationRecord rec;
+  rec.id = id;
+  rec.spec.creator = r[1].as_text();
+  rec.spec.place = PlaceId{static_cast<std::uint64_t>(r[2].as_int())};
+  rec.spec.place_name = r[3].as_text();
+  rec.spec.location = GeoPoint{r[4].as_double(), r[5].as_double(),
+                               r[6].as_double()};
+  rec.spec.radius_m = r[7].as_double();
+  rec.spec.script = r[8].as_text();
+  Result<std::vector<FeatureDef>> defs = DecodeFeatureDefs(r[9].as_text());
+  if (!defs.ok()) return defs.error();
+  rec.spec.features = std::move(defs).value();
+  rec.spec.period = SimInterval{SimTime{r[10].as_int()},
+                                SimTime{r[11].as_int()}};
+  rec.spec.n_instants = static_cast<int>(r[12].as_int());
+  rec.spec.sigma_s = r[13].as_double();
+  return rec;
+}
+
+std::vector<ApplicationRecord> ApplicationManager::All() const {
+  std::vector<ApplicationRecord> out;
+  const Table* apps = db_.table(db::tables::kApplications);
+  for (const Row& row : apps->ScanOrderedBy("app_id")) {
+    Result<ApplicationRecord> rec =
+        Get(AppId{static_cast<std::uint64_t>(row[0].as_int())});
+    if (rec.ok()) out.push_back(std::move(rec).value());
+  }
+  return out;
+}
+
+Result<BarcodePayload> ApplicationManager::BarcodeFor(
+    AppId id, const std::string& server_endpoint) const {
+  Result<ApplicationRecord> rec = Get(id);
+  if (!rec.ok()) return rec.error();
+  BarcodePayload p;
+  p.app = id;
+  p.place = rec.value().spec.place;
+  p.place_name = rec.value().spec.place_name;
+  p.location = rec.value().spec.location;
+  p.server = server_endpoint;
+  p.radius_m = rec.value().spec.radius_m;
+  return p;
+}
+
+// --- ParticipationManager ----------------------------------------------------
+
+namespace {
+
+ParticipationRecord RecordFromRow(const Row& r) {
+  ParticipationRecord rec;
+  rec.task = TaskId{static_cast<std::uint64_t>(r[0].as_int())};
+  rec.user = UserId{static_cast<std::uint64_t>(r[1].as_int())};
+  rec.app = AppId{static_cast<std::uint64_t>(r[2].as_int())};
+  rec.token = Token{r[3].as_text()};
+  rec.budget = static_cast<int>(r[4].as_int());
+  rec.budget_left = static_cast<int>(r[5].as_int());
+  rec.status = r[6].as_text();
+  rec.arrive = SimTime{r[7].as_int()};
+  if (!r[8].is_null()) rec.leave = SimTime{r[8].as_int()};
+  return rec;
+}
+
+}  // namespace
+
+Result<TaskId> ParticipationManager::HandleRequest(
+    const ParticipationRequest& req, const ApplicationRecord& app,
+    const UserInfoManager& users) {
+  if (Status s = users.VerifyUser(req.user, req.token); !s.ok())
+    return s.error();
+  if (req.budget <= 0)
+    return Error{Errc::kInvalidArgument, "budget must be positive"};
+
+  // Truthfulness check: claimed location must be inside the place radius.
+  const double dist = HaversineMeters(req.location, app.spec.location);
+  if (dist > app.spec.radius_m) {
+    return Error{Errc::kNotInPlace,
+                 "location is " + std::to_string(static_cast<int>(dist)) +
+                     "m from " + app.spec.place_name + " (radius " +
+                     std::to_string(static_cast<int>(app.spec.radius_m)) +
+                     "m)"};
+  }
+
+  // One active participation per (user, app): a re-scan while active is
+  // idempotent and returns the existing task.
+  for (const ParticipationRecord& rec : ActiveForApp(app.id)) {
+    if (rec.user == req.user) return rec.task;
+  }
+
+  Table* parts = db_.table(db::tables::kParticipations);
+  const TaskId task = ids_.next();
+  Result<db::RowId> r = parts->Insert(
+      {Value(task.value()), Value(req.user.value()), Value(app.id.value()),
+       Value(req.token.value), Value(static_cast<std::int64_t>(req.budget)),
+       Value(static_cast<std::int64_t>(req.budget)),
+       Value("waiting_for_schedule"), Value(req.scan_time.ms), Value(db::Null{})});
+  if (!r.ok()) return r.error();
+  return task;
+}
+
+Status ParticipationManager::MarkRunning(TaskId task) {
+  Table* parts = db_.table(db::tables::kParticipations);
+  return parts->UpdateByKey(Value(task.value()),
+                            [](Row& row) { row[6] = Value("running"); });
+}
+
+Status ParticipationManager::MarkFinished(TaskId task, SimTime when) {
+  Table* parts = db_.table(db::tables::kParticipations);
+  return parts->UpdateByKey(Value(task.value()), [&](Row& row) {
+    row[6] = Value("finished");
+    row[8] = Value(when.ms);
+  });
+}
+
+Status ParticipationManager::MarkError(TaskId task, const std::string& why) {
+  Table* parts = db_.table(db::tables::kParticipations);
+  return parts->UpdateByKey(Value(task.value()), [&](Row& row) {
+    row[6] = Value("error:" + why);
+  });
+}
+
+Status ParticipationManager::ConsumeBudget(TaskId task, int executions) {
+  if (executions < 0)
+    return Status(Errc::kInvalidArgument, "negative executions");
+  Table* parts = db_.table(db::tables::kParticipations);
+  return parts->UpdateByKey(Value(task.value()), [&](Row& row) {
+    const std::int64_t left =
+        std::max<std::int64_t>(0, row[5].as_int() - executions);
+    row[5] = Value(left);
+  });
+}
+
+Result<ParticipationRecord> ParticipationManager::Get(TaskId task) const {
+  const Table* parts = db_.table(db::tables::kParticipations);
+  const auto row = parts->FindByKey(Value(task.value()));
+  if (!row.has_value())
+    return Error{Errc::kNotFound, "unknown task " + task.str()};
+  return RecordFromRow(*row);
+}
+
+std::vector<ParticipationRecord> ParticipationManager::ActiveForApp(
+    AppId app) const {
+  std::vector<ParticipationRecord> out;
+  for (const ParticipationRecord& rec : AllForApp(app)) {
+    if (rec.status == "waiting_for_schedule" || rec.status == "running")
+      out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<ParticipationRecord> ParticipationManager::AllForApp(
+    AppId app) const {
+  const Table* parts = db_.table(db::tables::kParticipations);
+  std::vector<ParticipationRecord> out;
+  for (const Row& row : parts->FindWhereEq("app_id", Value(app.value())))
+    out.push_back(RecordFromRow(row));
+  return out;
+}
+
+}  // namespace sor::server

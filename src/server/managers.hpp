@@ -1,0 +1,130 @@
+// User Info Manager, Application Manager, Participation Manager (§II-B).
+//
+// All three are thin, table-backed managers over the shared Database —
+// mirroring the prototype, where they are PostgreSQL-backed components of
+// the sensing server.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codec/barcode.hpp"
+#include "codec/messages.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "db/database.hpp"
+#include "server/feature_def.hpp"
+
+namespace sor::server {
+
+// --- User Info Manager ----------------------------------------------------
+// "maintains user information, including userID, name, token (used to
+// uniquely identify a mobile device)".
+class UserInfoManager {
+ public:
+  explicit UserInfoManager(db::Database& database) : db_(database) {}
+
+  Result<UserId> RegisterUser(const std::string& name, const Token& token);
+  [[nodiscard]] std::optional<UserId> FindByToken(const Token& token) const;
+  [[nodiscard]] Status VerifyUser(UserId user, const Token& token) const;
+  [[nodiscard]] std::size_t count() const;
+
+ private:
+  db::Database& db_;
+  IdGenerator<UserId> ids_;
+};
+
+// --- Application Manager ----------------------------------------------------
+// "an application is defined as a procedure of acquiring data from sensors
+// for a target place ... AppID, its creator (which could be the
+// owner/manager/operator of the corresponding target place), and the Lua
+// scripts defining the corresponding data acquisition procedure."
+struct ApplicationSpec {
+  std::string creator;
+  PlaceId place;
+  std::string place_name;
+  GeoPoint location;
+  double radius_m = 75.0;
+  std::string script;               // SenseScript source
+  std::vector<FeatureDef> features; // what the Data Processor computes
+  SimInterval period;               // scheduling period [tS, tE]
+  int n_instants = 1080;            // N
+  double sigma_s = 10.0;            // coverage kernel σ
+};
+
+struct ApplicationRecord {
+  AppId id;
+  ApplicationSpec spec;
+};
+
+class ApplicationManager {
+ public:
+  explicit ApplicationManager(db::Database& database) : db_(database) {}
+
+  // Validates the script (must parse; every called acquisition function
+  // must be in the supported-sensor whitelist) before storing.
+  Result<AppId> CreateApplication(const ApplicationSpec& spec);
+  [[nodiscard]] Result<ApplicationRecord> Get(AppId id) const;
+  [[nodiscard]] std::vector<ApplicationRecord> All() const;
+
+  // The 2D barcode deployed at the target place (§II).
+  [[nodiscard]] Result<BarcodePayload> BarcodeFor(
+      AppId id, const std::string& server_endpoint) const;
+
+ private:
+  db::Database& db_;
+  IdGenerator<AppId> ids_;
+};
+
+// --- Participation Manager --------------------------------------------------
+// "keeps track of a list of sensing tasks and their information, including
+// participating userID, the corresponding token, the corresponding
+// application, the location of the target place, the sensing budget and its
+// status". Status transitions: waiting_for_schedule → running → finished
+// (or error). Budget is decremented as uploads arrive.
+struct ParticipationRecord {
+  TaskId task;
+  UserId user;
+  AppId app;
+  Token token;
+  int budget = 0;
+  int budget_left = 0;
+  std::string status;
+  SimTime arrive;
+  std::optional<SimTime> leave;
+};
+
+class ParticipationManager {
+ public:
+  ParticipationManager(db::Database& database, const SimClock& clock)
+      : db_(database), clock_(clock) {}
+
+  // Handle a barcode-triggered request: verify the user's identity and that
+  // the claimed location lies within the app's participation radius
+  // ("verify whether the user is actually in the target place ... create a
+  // task for it if the user is considered as a truthful user").
+  Result<TaskId> HandleRequest(const ParticipationRequest& req,
+                               const ApplicationRecord& app,
+                               const UserInfoManager& users);
+
+  Status MarkRunning(TaskId task);
+  Status MarkFinished(TaskId task, SimTime when);
+  Status MarkError(TaskId task, const std::string& why);
+
+  // Deduct `executions` acquisitions from the task's remaining budget.
+  Status ConsumeBudget(TaskId task, int executions);
+
+  [[nodiscard]] Result<ParticipationRecord> Get(TaskId task) const;
+  // Active (not finished/error) participations of one application.
+  [[nodiscard]] std::vector<ParticipationRecord> ActiveForApp(AppId app) const;
+  [[nodiscard]] std::vector<ParticipationRecord> AllForApp(AppId app) const;
+
+ private:
+  db::Database& db_;
+  const SimClock& clock_;
+  IdGenerator<TaskId> ids_;
+};
+
+}  // namespace sor::server

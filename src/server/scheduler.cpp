@@ -1,0 +1,119 @@
+#include "server/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hpp"
+#include "sched/baseline.hpp"
+#include "server/coverage_report.hpp"
+
+namespace sor::server {
+
+std::vector<int> SensingScheduler::ExecutedInstants(
+    const ApplicationRecord& app, const std::vector<SimTime>& grid) const {
+  std::vector<int> executed;
+  for (const auto& [task, instants] :
+       ExecutedInstantsByTask(db_, app.id, grid)) {
+    executed.insert(executed.end(), instants.begin(), instants.end());
+  }
+  return executed;
+}
+
+Status SensingScheduler::RescheduleApp(const ApplicationRecord& app,
+                                       ParticipationManager& participations,
+                                       SimDuration sample_window,
+                                       int samples_per_window) {
+  const std::vector<ParticipationRecord> active =
+      participations.ActiveForApp(app.id);
+  if (active.empty()) return Status::Ok();
+
+  // Build the §III problem instance: the app's instant grid plus one
+  // presence window per active participant. A user with no recorded leave
+  // time is assumed present until the period ends (online assumption; a
+  // later leave triggers another reschedule).
+  sched::Problem problem;
+  problem.grid = MakeInstantGrid(app.spec.period, app.spec.n_instants);
+  problem.sigma_s = app.spec.sigma_s;
+  const SimTime now = clock_.now();
+  for (const ParticipationRecord& rec : active) {
+    sched::UserWindow w;
+    SimTime begin = rec.arrive;
+    if (online_aware_ && now > begin) begin = now;  // the past is gone
+    w.presence = SimInterval{begin, rec.leave.value_or(app.spec.period.end)}
+                     .intersect(app.spec.period);
+    if (w.presence.empty()) {
+      // Window fully in the past: keep the user with an empty-but-valid
+      // window so indices still line up with `active`.
+      w.presence = SimInterval{app.spec.period.end, app.spec.period.end};
+      w.budget = 0;
+    } else {
+      w.budget = rec.budget_left;
+    }
+    problem.users.push_back(w);
+  }
+  if (online_aware_) {
+    problem.existing_measurements = ExecutedInstants(app, problem.grid);
+  }
+
+  Result<sched::ScheduleResult> scheduled = [&]() {
+    switch (algorithm_) {
+      case SchedulerAlgorithm::kGreedy:
+        return sched::GreedySchedule(problem);
+      case SchedulerAlgorithm::kLazyGreedy:
+        return sched::LazyGreedySchedule(problem);
+      case SchedulerAlgorithm::kPeriodic:
+        return sched::PeriodicBaselineSchedule(problem);
+    }
+    return Result<sched::ScheduleResult>(
+        Error{Errc::kInvalidArgument, "unknown algorithm"});
+  }();
+  if (!scheduled.ok()) return scheduled.error();
+
+  ++stats_.reschedules;
+  stats_.last_objective = scheduled.value().objective;
+  stats_.last_average_coverage =
+      scheduled.value().objective / static_cast<double>(app.spec.n_instants);
+
+  db::Table* schedules = db_.table(db::tables::kSchedules);
+  Status overall = Status::Ok();
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    const ParticipationRecord& rec = active[k];
+    ScheduleDistribution msg;
+    msg.task = rec.task;
+    msg.app = app.id;
+    msg.script = app.spec.script;
+    msg.sample_window = sample_window;
+    msg.samples_per_window = samples_per_window;
+    for (int idx : scheduled.value().schedule.per_user[k])
+      msg.instants.push_back(problem.grid[static_cast<std::size_t>(idx)]);
+
+    // Persist the schedule (delta-encoded instants) before distribution.
+    ByteWriter blob;
+    blob.varint(msg.instants.size());
+    std::int64_t prev = 0;
+    for (SimTime t : msg.instants) {
+      blob.svarint(t.ms - prev);
+      prev = t.ms;
+    }
+    (void)schedules->Insert({db::Value(schedule_ids_.next().value()),
+                             db::Value(rec.task.value()),
+                             db::Value(app.id.value()), db::Value(blob.take()),
+                             db::Value(clock_.now().ms)});
+
+    Result<Message> reply =
+        network_.Send("phone:" + rec.token.value, msg);
+    if (reply.ok()) {
+      ++stats_.schedules_distributed;
+      (void)participations.MarkRunning(rec.task);
+    } else {
+      ++stats_.distribution_failures;
+      SOR_LOG(kWarn, "scheduler",
+              "failed to distribute schedule for task "
+                  << rec.task.str() << ": " << reply.error().str());
+      overall = Status(reply.error());
+    }
+  }
+  return overall;
+}
+
+}  // namespace sor::server

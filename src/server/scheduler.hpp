@@ -1,0 +1,80 @@
+// SensingScheduler (§II-B): bridges the Participation Manager's runtime
+// state to the scheduling algorithm of §III, then distributes the computed
+// schedules (with the app's SenseScript) to the participating phones and
+// stores them in the database.
+//
+// "For each application, the Sensing Scheduler applies an online algorithm
+// to calculate a sensing schedule ... based on runtime participation
+// information (such as current participating users, their sensing budgets)
+// ... The Sensing Scheduler will also distribute the calculated schedules
+// along with the corresponding Lua scripts to participating mobile phones,
+// and store them into the database."
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "db/database.hpp"
+#include "net/transport.hpp"
+#include "sched/greedy.hpp"
+#include "server/managers.hpp"
+
+namespace sor::server {
+
+enum class SchedulerAlgorithm {
+  kGreedy,       // Algorithm 1 (incremental-gain implementation)
+  kLazyGreedy,   // Minoux variant — same objective, fewer evaluations
+  kPeriodic,     // §V-C baseline, for head-to-head system experiments
+};
+
+struct SchedulerStats {
+  std::uint64_t reschedules = 0;
+  std::uint64_t schedules_distributed = 0;
+  std::uint64_t distribution_failures = 0;
+  double last_objective = 0.0;
+  double last_average_coverage = 0.0;
+};
+
+class SensingScheduler {
+ public:
+  SensingScheduler(db::Database& database, net::LoopbackNetwork& network,
+                   const SimClock& clock)
+      : db_(database), network_(network), clock_(clock) {}
+
+  void set_algorithm(SchedulerAlgorithm a) { algorithm_ = a; }
+  [[nodiscard]] SchedulerAlgorithm algorithm() const { return algorithm_; }
+
+  // Online-aware re-planning (default on): a mid-period reschedule only
+  // places measurements at future instants, and seeds the coverage state
+  // with the measurements already uploaded for this app — so budget is
+  // spent where coverage is still missing, not on re-covering the past.
+  // Turning it off reproduces the naive full-period recompute (ablation).
+  void set_online_aware(bool v) { online_aware_ = v; }
+  [[nodiscard]] bool online_aware() const { return online_aware_; }
+
+  // Recompute the app's schedule from current participation state and push
+  // a ScheduleDistribution to every active participant. Called whenever a
+  // user joins or leaves (the "online" behaviour).
+  Status RescheduleApp(const ApplicationRecord& app,
+                       ParticipationManager& participations,
+                       SimDuration sample_window, int samples_per_window);
+
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
+
+ private:
+  db::Database& db_;
+  net::LoopbackNetwork& network_;
+  const SimClock& clock_;
+  // Grid indices of measurements already uploaded for an app.
+  [[nodiscard]] std::vector<int> ExecutedInstants(
+      const ApplicationRecord& app,
+      const std::vector<SimTime>& grid) const;
+
+  SchedulerAlgorithm algorithm_ = SchedulerAlgorithm::kGreedy;
+  bool online_aware_ = true;
+  SchedulerStats stats_;
+  IdGenerator<ScheduleId> schedule_ids_;
+};
+
+}  // namespace sor::server

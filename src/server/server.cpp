@@ -1,0 +1,204 @@
+#include "server/server.hpp"
+
+#include <set>
+
+#include "common/log.hpp"
+
+namespace sor::server {
+
+SensingServer::SensingServer(ServerConfig config,
+                             net::LoopbackNetwork& network,
+                             const SimClock& clock)
+    : config_(std::move(config)),
+      network_(network),
+      clock_(clock),
+      users_(db_),
+      apps_(db_),
+      parts_(db_, clock_),
+      scheduler_(db_, network_, clock_),
+      processor_(db_) {
+  db::MakeSorSchema(db_);
+  network_.Register(config_.endpoint_name, this);
+}
+
+SensingServer::~SensingServer() { network_.Unregister(config_.endpoint_name); }
+
+Result<BarcodePayload> SensingServer::DeployApplication(
+    const ApplicationSpec& spec) {
+  Result<AppId> id = apps_.CreateApplication(spec);
+  if (!id.ok()) return id.error();
+  return apps_.BarcodeFor(id.value(), config_.endpoint_name);
+}
+
+Result<int> SensingServer::ProcessAllData() {
+  int total = 0;
+  for (const ApplicationRecord& app : apps_.All()) {
+    Result<int> n = processor_.ProcessApp(app, clock_.now());
+    if (!n.ok()) return n;
+    total += n.value();
+  }
+  return total;
+}
+
+Result<rank::RankingOutcome> SensingServer::RankPlaces(
+    const std::vector<AppId>& app_ids,
+    const std::vector<rank::FeatureSpec>& feature_specs,
+    const rank::UserProfile& profile, rank::AggregationMethod method) const {
+  std::vector<ApplicationRecord> records;
+  records.reserve(app_ids.size());
+  for (AppId id : app_ids) {
+    Result<ApplicationRecord> rec = apps_.Get(id);
+    if (!rec.ok()) return rec.error();
+    records.push_back(std::move(rec).value());
+  }
+  Result<rank::FeatureMatrix> matrix =
+      processor_.BuildFeatureMatrix(records, feature_specs);
+  if (!matrix.ok()) return matrix.error();
+  const rank::PersonalizableRanker ranker(std::move(matrix).value());
+  return ranker.Rank(profile, method);
+}
+
+Result<PingReply> SensingServer::PingPhone(const Token& token) {
+  Result<Message> reply =
+      network_.Send("phone:" + token.value, Ping{PhoneId{1}});
+  if (!reply.ok()) return reply.error();
+  const auto* pong = std::get_if<PingReply>(&reply.value());
+  if (pong == nullptr)
+    return Error{Errc::kDecodeError, "unexpected reply to ping"};
+  return *pong;
+}
+
+Result<int> SensingServer::VerifyParticipants(AppId app_id) {
+  Result<ApplicationRecord> app = apps_.Get(app_id);
+  if (!app.ok()) return app.error();
+
+  int removed = 0;
+  for (const ParticipationRecord& rec : parts_.ActiveForApp(app_id)) {
+    Result<PingReply> pong = PingPhone(rec.token);
+    if (!pong.ok()) {
+      // Lost track of the phone entirely: the task can make no progress.
+      (void)parts_.MarkError(rec.task, "unreachable: " +
+                                           pong.error().str());
+      ++removed;
+      continue;
+    }
+    const double dist =
+        HaversineMeters(pong.value().location, app.value().spec.location);
+    if (dist > app.value().spec.radius_m) {
+      SOR_LOG(kInfo, "server",
+              "user " << rec.user.str() << " left "
+                      << app.value().spec.place_name << " ("
+                      << static_cast<int>(dist) << "m away)");
+      (void)parts_.MarkFinished(rec.task, clock_.now());
+      ++removed;
+    }
+  }
+  if (removed > 0) {
+    (void)scheduler_.RescheduleApp(app.value(), parts_,
+                                   config_.sample_window,
+                                   config_.samples_per_window);
+  }
+  return removed;
+}
+
+Bytes SensingServer::HandleFrame(std::span<const std::uint8_t> frame) {
+  ++stats_.requests_handled;
+  Result<Message> decoded = DecodeFrame(frame);
+  if (!decoded.ok()) {
+    ++stats_.decode_failures;
+    return EncodeFrame(
+        ErrorReply{static_cast<std::uint8_t>(decoded.error().code),
+                   decoded.error().message});
+  }
+  return EncodeFrame(HandleMessage(decoded.value()));
+}
+
+Message SensingServer::HandleMessage(const Message& m) {
+  if (const auto* req = std::get_if<ParticipationRequest>(&m))
+    return OnParticipation(*req);
+  if (const auto* upload = std::get_if<SensedDataUpload>(&m))
+    return OnUpload(*upload);
+  if (const auto* note = std::get_if<LeaveNotification>(&m))
+    return OnLeave(*note);
+  if (std::get_if<PingReply>(&m) != nullptr) return Ack{};
+  return ErrorReply{static_cast<std::uint8_t>(Errc::kInvalidArgument),
+                    "server cannot handle this message type"};
+}
+
+Message SensingServer::OnParticipation(const ParticipationRequest& req) {
+  Result<ApplicationRecord> app = apps_.Get(req.app);
+  if (!app.ok()) {
+    ++stats_.participations_rejected;
+    return ParticipationReply{TaskId{}, false, app.error().str()};
+  }
+  Result<TaskId> task = parts_.HandleRequest(req, app.value(), users_);
+  if (!task.ok()) {
+    ++stats_.participations_rejected;
+    SOR_LOG(kInfo, "server",
+            "participation rejected: " << task.error().str());
+    return ParticipationReply{TaskId{}, false, task.error().str()};
+  }
+  ++stats_.participations_accepted;
+
+  // Online scheduling: every join re-plans the app's remaining period and
+  // redistributes schedules to all of its active phones.
+  Status sched = scheduler_.RescheduleApp(app.value(), parts_,
+                                          config_.sample_window,
+                                          config_.samples_per_window);
+  if (!sched.ok()) {
+    SOR_LOG(kWarn, "server",
+            "reschedule after join failed: " << sched.str());
+  }
+  return ParticipationReply{task.value(), true, ""};
+}
+
+Message SensingServer::OnUpload(const SensedDataUpload& upload) {
+  Result<ParticipationRecord> rec = parts_.Get(upload.task);
+  if (!rec.ok())
+    return ErrorReply{static_cast<std::uint8_t>(Errc::kNotFound),
+                      "unknown task " + upload.task.str()};
+  if (rec.value().user != upload.user)
+    return ErrorReply{static_cast<std::uint8_t>(Errc::kPermissionDenied),
+                      "upload user does not own task"};
+
+  // "it will directly store the binary message body into the database,
+  // which will be processed later by the Data Processor."
+  ByteWriter body;
+  EncodeBody(Message(upload), body);
+  db::Table* raw = db_.table(db::tables::kRawData);
+  Result<db::RowId> stored = raw->Insert(
+      {db::Value(raw_ids_.next().value()), db::Value(upload.task.value()),
+       db::Value(rec.value().app.value()), db::Value(body.take()),
+       db::Value(clock_.now().ms), db::Value(false)});
+  if (!stored.ok())
+    return ErrorReply{static_cast<std::uint8_t>(stored.error().code),
+                      stored.error().message};
+  ++stats_.uploads_stored;
+
+  // Budget bookkeeping: one acquisition per distinct scheduled instant in
+  // the batch ("Initially, it is set to the maximum number of times the
+  // mobile user is willing to acquire data ... updated at runtime").
+  std::set<std::int64_t> instants;
+  for (const ReadingTuple& t : upload.batches) instants.insert(t.t.ms);
+  (void)parts_.ConsumeBudget(upload.task,
+                             static_cast<int>(instants.size()));
+  return Ack{upload.task.value()};
+}
+
+Message SensingServer::OnLeave(const LeaveNotification& note) {
+  Result<ParticipationRecord> rec = parts_.Get(note.task);
+  if (!rec.ok())
+    return ErrorReply{static_cast<std::uint8_t>(Errc::kNotFound),
+                      "unknown task " + note.task.str()};
+  (void)parts_.MarkFinished(note.task, note.time);
+
+  // Re-plan for the remaining participants.
+  Result<ApplicationRecord> app = apps_.Get(rec.value().app);
+  if (app.ok()) {
+    (void)scheduler_.RescheduleApp(app.value(), parts_, config_.sample_window,
+                                   config_.samples_per_window);
+  }
+  return Ack{note.task.value()};
+}
+
+}  // namespace sor::server

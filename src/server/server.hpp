@@ -1,0 +1,114 @@
+// SensingServer — the backend facade (§II-B, Fig. 5).
+//
+// Owns the database and every server-side component: Message Handler (the
+// net::Endpoint implementation), User Info Manager, Application Manager,
+// Participation Manager, Sensing Scheduler, Data Processor and the
+// Personalizable Ranker entry point. One instance == one sensing server;
+// multiple servers can coexist on the same LoopbackNetwork under different
+// endpoint names (the paper allows "one or multiple sensing servers").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/sim_time.hpp"
+#include "db/database.hpp"
+#include "net/transport.hpp"
+#include "rank/personalizable_ranker.hpp"
+#include "server/data_processor.hpp"
+#include "server/managers.hpp"
+#include "server/scheduler.hpp"
+
+namespace sor::server {
+
+struct ServerConfig {
+  std::string endpoint_name = "server";
+  // Δt and the per-window sample count distributed with every schedule
+  // (§IV-A: "SOR takes multiple (instead of one) readings within [t, t+Δt]
+  // to ensure high sensing quality").
+  SimDuration sample_window = SimDuration{5'000};
+  int samples_per_window = 5;
+};
+
+struct ServerStats {
+  std::uint64_t requests_handled = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t uploads_stored = 0;
+  std::uint64_t participations_accepted = 0;
+  std::uint64_t participations_rejected = 0;
+};
+
+class SensingServer final : public net::Endpoint {
+ public:
+  SensingServer(ServerConfig config, net::LoopbackNetwork& network,
+                const SimClock& clock);
+  ~SensingServer() override;
+
+  SensingServer(const SensingServer&) = delete;
+  SensingServer& operator=(const SensingServer&) = delete;
+
+  [[nodiscard]] const std::string& endpoint_name() const {
+    return config_.endpoint_name;
+  }
+
+  // --- component access --------------------------------------------------
+  [[nodiscard]] db::Database& database() { return db_; }
+  [[nodiscard]] UserInfoManager& users() { return users_; }
+  [[nodiscard]] ApplicationManager& applications() { return apps_; }
+  [[nodiscard]] ParticipationManager& participations() { return parts_; }
+  [[nodiscard]] SensingScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] DataProcessor& data_processor() { return processor_; }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+
+  // --- high-level operations ----------------------------------------------
+  // Deploys a new application and returns the barcode to place on site.
+  Result<BarcodePayload> DeployApplication(const ApplicationSpec& spec);
+
+  // Run the Data Processor over every application (the "periodic check").
+  Result<int> ProcessAllData();
+
+  // Rank the places covered by `apps` for one user profile (Algorithm 2 on
+  // the feature matrix assembled from the database).
+  [[nodiscard]] Result<rank::RankingOutcome> RankPlaces(
+      const std::vector<AppId>& apps,
+      const std::vector<rank::FeatureSpec>& feature_specs,
+      const rank::UserProfile& profile,
+      rank::AggregationMethod method =
+          rank::AggregationMethod::kFootruleMcmf) const;
+
+  // Locate a phone through the cloud-messaging detour (§II-A): ping it and
+  // return the reported position.
+  [[nodiscard]] Result<PingReply> PingPhone(const Token& token);
+
+  // Re-verify that the app's active participants are still at the target
+  // place ("a mobile user's status ... will be changed to 'finished' if
+  // according to his/her location, he/she leaves the target place",
+  // §II-B): ping every active phone; mark participants outside the radius
+  // finished and unreachable ones as errored, then re-plan once for the
+  // remaining users. Returns the number of participants removed.
+  Result<int> VerifyParticipants(AppId app);
+
+  // --- net::Endpoint -------------------------------------------------------
+  [[nodiscard]] Bytes HandleFrame(std::span<const std::uint8_t> frame) override;
+
+ private:
+  [[nodiscard]] Message HandleMessage(const Message& m);
+  [[nodiscard]] Message OnParticipation(const ParticipationRequest& req);
+  [[nodiscard]] Message OnUpload(const SensedDataUpload& upload);
+  [[nodiscard]] Message OnLeave(const LeaveNotification& note);
+
+  ServerConfig config_;
+  net::LoopbackNetwork& network_;
+  const SimClock& clock_;
+
+  db::Database db_;
+  UserInfoManager users_;
+  ApplicationManager apps_;
+  ParticipationManager parts_;
+  SensingScheduler scheduler_;
+  DataProcessor processor_;
+  ServerStats stats_;
+  IdGenerator<ScheduleId> raw_ids_;  // raw_data PK source
+};
+
+}  // namespace sor::server

@@ -1,0 +1,118 @@
+#include "server/visualization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sor::server {
+
+std::string RenderFeatureBars(const rank::FeatureMatrix& m,
+                              const ChartOptions& opts) {
+  std::ostringstream out;
+  const int n = m.num_places();
+  std::size_t name_width = 0;
+  for (const std::string& p : m.place_names())
+    name_width = std::max(name_width, p.size());
+
+  for (int j = 0; j < m.num_features(); ++j) {
+    const auto& spec = m.features()[static_cast<std::size_t>(j)];
+    out << spec.name << "\n";
+    double lo = 0.0;
+    double hi = 0.0;
+    for (int i = 0; i < n; ++i) {
+      lo = std::min(lo, m.at(i, j));
+      hi = std::max(hi, m.at(i, j));
+    }
+    const double span = hi - lo;
+    for (int i = 0; i < n; ++i) {
+      const double v = m.at(i, j);
+      const double frac = span > 0 ? (v - lo) / span : 1.0;
+      const int filled = static_cast<int>(
+          std::lround(frac * opts.bar_width));
+      out << "  ";
+      const std::string& name = m.place_names()[static_cast<std::size_t>(i)];
+      out << name << std::string(name_width - name.size() + 2, ' ');
+      out << '|';
+      for (int b = 0; b < opts.bar_width; ++b)
+        out << (b < filled ? '#' : '.');
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "| %10.3f", v);
+      out << buf << "\n";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderFeatureCsv(const rank::FeatureMatrix& m) {
+  std::ostringstream out;
+  out << "place";
+  for (const auto& f : m.features()) out << ',' << f.name;
+  out << "\n";
+  for (int i = 0; i < m.num_places(); ++i) {
+    out << m.place_names()[static_cast<std::size_t>(i)];
+    for (int j = 0; j < m.num_features(); ++j) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ",%.6g", m.at(i, j));
+      out << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderRankingTable(
+    const rank::FeatureMatrix& m,
+    const std::vector<std::pair<std::string, rank::Ranking>>& user_rankings) {
+  std::ostringstream out;
+  std::size_t col = 6;
+  for (const std::string& p : m.place_names()) col = std::max(col, p.size());
+  for (const auto& [user, _] : user_rankings) col = std::max(col, user.size());
+  col += 2;
+
+  auto pad = [&](const std::string& s) {
+    return s + std::string(col - s.size(), ' ');
+  };
+
+  out << pad("User");
+  for (int i = 0; i < m.num_places(); ++i)
+    out << pad("No. " + std::to_string(i + 1));
+  out << "\n";
+  for (const auto& [user, ranking] : user_rankings) {
+    out << pad(user);
+    for (int pos = 0; pos < ranking.size(); ++pos) {
+      out << pad(m.place_names()[static_cast<std::size_t>(
+          ranking.item_at(pos))]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderRankingExplanation(const rank::FeatureMatrix& m,
+                                     const rank::RankingOutcome& outcome) {
+  std::ostringstream out;
+  auto join = [&](const rank::Ranking& r) {
+    std::string s;
+    for (int pos = 0; pos < r.size(); ++pos) {
+      if (pos) s += " > ";
+      s += m.place_names()[static_cast<std::size_t>(r.item_at(pos))];
+    }
+    return s;
+  };
+  for (std::size_t j = 0; j < outcome.individual.size(); ++j) {
+    const std::string name =
+        j < static_cast<std::size_t>(m.num_features())
+            ? m.features()[j].name
+            : "subjective";  // hybrid ranking appends the community column
+    char head[64];
+    std::snprintf(head, sizeof(head), "%-16s (weight %g): ", name.c_str(),
+                  outcome.weights[j]);
+    out << head << join(outcome.individual[j]) << "\n";
+  }
+  out << "=> final: " << join(outcome.final_ranking) << "\n";
+  return out.str();
+}
+
+}  // namespace sor::server

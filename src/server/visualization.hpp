@@ -1,0 +1,46 @@
+// Visualization module (§II-B): "a simple Visualization module, which can
+// generate figures for feature data in the database such that users can
+// view them easily". Renders ASCII bar charts (the terminal's Fig. 6 /
+// Fig. 10) and CSV exports of the feature matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rank/personalizable_ranker.hpp"
+
+namespace sor::server {
+
+// One horizontal bar chart per feature, places as rows:
+//   temperature [degF]
+//     Green Lake Trail  |############............|  38.02
+//     ...
+struct ChartOptions {
+  int bar_width = 40;
+  bool include_units = true;
+};
+
+[[nodiscard]] std::string RenderFeatureBars(const rank::FeatureMatrix& m,
+                                            const ChartOptions& opts = {});
+
+// CSV: header "place,<f1>,<f2>,..." then one row per place.
+[[nodiscard]] std::string RenderFeatureCsv(const rank::FeatureMatrix& m);
+
+// Render a ranking table like Table I / Table II:
+//   User     No. 1          No. 2        No. 3
+//   Alice    Cliff Trail    Long Trail   Green Lake Trail
+[[nodiscard]] std::string RenderRankingTable(
+    const rank::FeatureMatrix& m,
+    const std::vector<std::pair<std::string, rank::Ranking>>& user_rankings);
+
+// Explain one user's ranking: per-feature individual rankings (Step 2 of
+// Algorithm 2) with their weights, then the aggregated result — the "why"
+// behind a recommendation.
+//
+//   roughness (weight 5): Cliff Trail > Long Trail > Green Lake Trail
+//   ...
+//   => final: Cliff Trail > Long Trail > Green Lake Trail
+[[nodiscard]] std::string RenderRankingExplanation(
+    const rank::FeatureMatrix& m, const rank::RankingOutcome& outcome);
+
+}  // namespace sor::server

@@ -1,0 +1,27 @@
+#include "world/arrivals.hpp"
+
+namespace sor::world {
+
+std::vector<sched::UserWindow> GenerateArrivals(const ArrivalConfig& config,
+                                                Rng& rng) {
+  std::vector<sched::UserWindow> users;
+  users.reserve(static_cast<std::size_t>(config.num_users));
+  for (int k = 0; k < config.num_users; ++k) {
+    const double arrive = rng.uniform(0.0, config.period_s);
+    double leave;
+    if (config.model == ArrivalModel::kExponentialDwell) {
+      // Inverse-CDF exponential dwell, clipped to the period end.
+      const double u = rng.uniform(1e-12, 1.0);
+      leave = std::min(config.period_s,
+                       arrive - config.mean_dwell_s * std::log(u));
+    } else {
+      leave = rng.uniform(arrive, config.period_s);
+    }
+    users.push_back(sched::UserWindow{
+        SimInterval{SimTime::FromSeconds(arrive), SimTime::FromSeconds(leave)},
+        config.budget});
+  }
+  return users;
+}
+
+}  // namespace sor::world

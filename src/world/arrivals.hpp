@@ -1,0 +1,38 @@
+// Arrival/leave process for the scheduling simulation (§V-C).
+//
+// "The arrival (leaving) times of mobile users were randomly generated,
+// following a uniform distribution between 0 (the corresponding arrival
+// time) and 10800 s": arrival_k ~ U(0, period), leave_k ~ U(arrival_k,
+// period).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "sched/coverage.hpp"
+
+namespace sor::world {
+
+enum class ArrivalModel {
+  // The paper's model: arrival ~ U(0, period), leave ~ U(arrival, period).
+  kUniform,
+  // Churn model: arrivals ~ U(0, period) with exponential dwell times
+  // (mean `mean_dwell_s`, clipped to the period) — shorter, more
+  // realistic visits for robustness checks of the §V-C conclusions.
+  kExponentialDwell,
+};
+
+struct ArrivalConfig {
+  int num_users = 40;
+  double period_s = 10'800.0;  // 3 hours
+  int budget = 17;             // N^B_k, identical across users as in §V-C
+  ArrivalModel model = ArrivalModel::kUniform;
+  double mean_dwell_s = 1'800.0;  // kExponentialDwell only
+};
+
+// Generate the K user windows for one simulation run.
+[[nodiscard]] std::vector<sched::UserWindow> GenerateArrivals(
+    const ArrivalConfig& config, Rng& rng);
+
+}  // namespace sor::world

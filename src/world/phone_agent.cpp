@@ -1,0 +1,66 @@
+#include "world/phone_agent.hpp"
+
+#include <cmath>
+
+namespace sor::world {
+
+PhoneAgent::PhoneAgent(const PlaceModel& place, PhoneAgentConfig config)
+    : place_(place), config_(config), rng_(config.seed) {
+  // Fixed seat: uniform offset within half the participation radius.
+  const double r = rng_.uniform(0.0, place_.radius_m * 0.5);
+  const double theta = rng_.uniform(0.0, 2.0 * kPi);
+  static_offset_ = OffsetMeters(place_.center, r * std::cos(theta),
+                                r * std::sin(theta));
+  static_offset_.alt_m = place_.center.alt_m;
+
+  // Per-device calibration bias, proportional to each channel's noise.
+  for (int k = 0; k < kSensorKindCount; ++k) {
+    const Signal* sig = place_.signal(static_cast<SensorKind>(k));
+    const double spread =
+        sig != nullptr ? sig->noise_stddev * config_.bias_factor : 0.0;
+    bias_[static_cast<std::size_t>(k)] =
+        spread > 0.0 ? rng_.gaussian(0.0, spread) : 0.0;
+  }
+}
+
+GeoPoint PhoneAgent::Position(SimTime t) {
+  if (config_.mobility == Mobility::kTrailWalk && place_.trail.has_value()) {
+    const double elapsed_s = (t - config_.enter_time).seconds();
+    const double s = std::max(0.0, elapsed_s) * config_.walk_speed_mps;
+    GeoPoint p = place_.trail->PositionAt(s);
+    // GPS fix noise: ~1.5 m horizontal (modern receivers), ~1 m vertical.
+    return GeoPoint{
+        p.lat_deg + rng_.gaussian(0.0, 1.5 / kEarthRadiusMeters) * 180.0 / kPi,
+        p.lon_deg + rng_.gaussian(0.0, 1.5 / kEarthRadiusMeters) * 180.0 / kPi,
+        p.alt_m + rng_.gaussian(0.0, 1.0)};
+  }
+  return static_offset_;
+}
+
+double PhoneAgent::Sample(SensorKind kind, SimTime t) {
+  switch (kind) {
+    case SensorKind::kAccelerometer:
+      // Gravity plus surface-roughness vibration: the paper's roughness
+      // feature is the std-dev of these readings within Δt, which equals
+      // surface_roughness by construction.
+      return 9.81 + rng_.gaussian(0.0, place_.surface_roughness);
+    case SensorKind::kGyroscope:
+      return rng_.gaussian(0.0, 0.1 + place_.surface_roughness);
+    case SensorKind::kCompass:
+      return rng_.uniform(0.0, 360.0);
+    case SensorKind::kBarometer: {
+      // Reported as altitude (m); providers of "altitude" features read it.
+      return Position(t).alt_m + rng_.gaussian(0.0, 0.4);
+    }
+    case SensorKind::kGps:
+      return Position(t).alt_m;
+    default: {
+      const Signal* sig = place_.signal(kind);
+      if (sig == nullptr) return 0.0;
+      return sig->Observe(t, rng_) +
+             bias_[static_cast<std::size_t>(kind)];
+    }
+  }
+}
+
+}  // namespace sor::world

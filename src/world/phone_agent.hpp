@@ -1,0 +1,53 @@
+// PhoneAgent: one simulated smartphone inside a target place.
+//
+// Implements sensors::SensorEnvironment — the bridge between the Provider
+// layer and the physical world. A phone has a mobility model (sitting in a
+// coffee shop at a fixed offset, or hiking along the trail at walking
+// speed), a small per-device calibration bias per channel, and its own
+// deterministic noise stream.
+#pragma once
+
+#include <array>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sensors/reading.hpp"
+#include "world/place.hpp"
+
+namespace sor::world {
+
+enum class Mobility {
+  kStatic,     // seated customer: fixed offset within the place
+  kTrailWalk,  // hiker: follows the trail polyline at constant speed
+};
+
+struct PhoneAgentConfig {
+  PhoneId id;
+  Mobility mobility = Mobility::kStatic;
+  double walk_speed_mps = 1.3;  // typical hiking pace
+  SimTime enter_time;           // when the phone arrived at the place
+  std::uint64_t seed = 7;
+  // Calibration spread: per-channel constant bias drawn once per phone as
+  // N(0, bias_stddev * channel_noise).
+  double bias_factor = 0.5;
+};
+
+class PhoneAgent final : public sensors::SensorEnvironment {
+ public:
+  PhoneAgent(const PlaceModel& place, PhoneAgentConfig config);
+
+  [[nodiscard]] double Sample(SensorKind kind, SimTime t) override;
+  [[nodiscard]] GeoPoint Position(SimTime t) override;
+
+  [[nodiscard]] PhoneId id() const { return config_.id; }
+  [[nodiscard]] const PlaceModel& place() const { return place_; }
+
+ private:
+  const PlaceModel& place_;
+  PhoneAgentConfig config_;
+  Rng rng_;
+  GeoPoint static_offset_;  // for kStatic mobility
+  std::array<double, kSensorKindCount> bias_{};
+};
+
+}  // namespace sor::world

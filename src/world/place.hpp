@@ -1,0 +1,41 @@
+// PlaceModel: the ground truth of one target place.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/sensor_kind.hpp"
+#include "world/signal.hpp"
+#include "world/trail.hpp"
+
+namespace sor::world {
+
+enum class PlaceCategory { kCoffeeShop, kHikingTrail };
+
+struct PlaceModel {
+  PlaceId id;
+  std::string name;
+  PlaceCategory category = PlaceCategory::kCoffeeShop;
+  GeoPoint center;
+  double radius_m = 75.0;  // participation-verification radius
+
+  // Per-channel ground-truth signals (temperature, light, noise, ...).
+  std::map<SensorKind, Signal> signals;
+
+  // Accelerometer fluctuation magnitude — the "roughness of road surface"
+  // ground truth: phones walking here observe accel readings with this
+  // standard deviation inside each Δt window (§V-A method 3).
+  double surface_roughness = 0.05;
+
+  // Hiking trails carry geometry (GPS track, altitude profile, curvature).
+  std::optional<Trail> trail;
+
+  [[nodiscard]] const Signal* signal(SensorKind kind) const {
+    auto it = signals.find(kind);
+    return it == signals.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace sor::world

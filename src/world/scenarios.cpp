@@ -1,0 +1,209 @@
+#include "world/scenarios.hpp"
+
+#include "common/features.hpp"
+
+namespace sor::world {
+
+namespace {
+
+using rank::FeaturePreference;
+using rank::FeatureSpec;
+using rank::PrefDirection;
+using rank::UserProfile;
+
+// Syracuse, NY-ish coordinates for flavor; distances are what matter.
+constexpr GeoPoint kGreenLake{43.053, -75.970, 150.0};
+constexpr GeoPoint kClarkLong{42.996, -76.091, 180.0};
+constexpr GeoPoint kClarkCliff{42.994, -76.085, 190.0};
+constexpr GeoPoint kTimHortons{43.017, -76.137, 120.0};
+constexpr GeoPoint kBnCafe{43.045, -76.073, 130.0};
+constexpr GeoPoint kStarbucks{43.041, -76.135, 125.0};
+
+Signal Env(double base, double drift, double noise) {
+  Signal s;
+  s.base = base;
+  s.drift_amp = drift;
+  s.drift_period_s = 5400.0;  // slow weather/sunlight swing over the test
+  s.noise_stddev = noise;
+  return s;
+}
+
+// Ground-truth feature targets. Trails (Fig. 6): temperature °F, humidity
+// %RH, roughness m/s², curvature mrad/m, altitude-change m. A mid-November
+// day in Syracuse: all three cold; Green Lake by the water — most humid and
+// a bit cooler; Cliff rocky, twisty and steep; Green Lake "almost entirely
+// flat".
+struct TrailTruth {
+  const char* name;
+  GeoPoint center;
+  double temp_f, humidity, roughness, curvature, alt_change;
+};
+constexpr TrailTruth kTrails[] = {
+    {"Green Lake Trail", kGreenLake, 38.0, 65.0, 0.15, 18.0, 4.0},
+    {"Long Trail", kClarkLong, 43.0, 45.0, 0.35, 38.0, 22.0},
+    {"Cliff Trail", kClarkCliff, 45.0, 50.0, 0.60, 55.0, 45.0},
+};
+
+// Coffee shops (Fig. 10): temperature °F, brightness lux, noise
+// (normalized SPL 0..1), WiFi RSSI dBm. Starbucks crowded/noisy/dark;
+// Tim Hortons very bright (big window) but a little colder than B&N.
+struct ShopTruth {
+  const char* name;
+  GeoPoint center;
+  double temp_f, brightness, noise, wifi_dbm;
+};
+constexpr ShopTruth kShops[] = {
+    {"Tim Hortons", kTimHortons, 68.0, 900.0, 0.25, -75.0},
+    {"B&N Cafe", kBnCafe, 72.0, 500.0, 0.20, -65.0},
+    {"Starbucks", kStarbucks, 74.0, 200.0, 0.55, -55.0},
+};
+
+}  // namespace
+
+Scenario MakeHikingTrailScenario() {
+  Scenario s;
+  s.category = PlaceCategory::kHikingTrail;
+  s.phones_per_place = 7;  // §V-A: 7 participating Nexus4 phones
+
+  s.features = {
+      {features::kTemperature, PrefDirection::kTarget, 73.0},
+      {features::kHumidity, PrefDirection::kTarget, 45.0},
+      {features::kRoughness, PrefDirection::kMinimize, 0.0},
+      {features::kCurvature, PrefDirection::kMinimize, 0.0},
+      {features::kAltitudeChange, PrefDirection::kMinimize, 0.0},
+  };
+
+  std::uint64_t place_id = 1;
+  for (const TrailTruth& t : kTrails) {
+    PlaceModel p;
+    p.id = PlaceId{place_id};
+    p.name = t.name;
+    p.category = PlaceCategory::kHikingTrail;
+    p.center = t.center;
+    p.radius_m = 400.0;  // trails are long; generous verification radius
+    p.surface_roughness = t.roughness;
+    p.signals[SensorKind::kDroneTemperature] = Env(t.temp_f, 1.0, 0.6);
+    p.signals[SensorKind::kDroneHumidity] = Env(t.humidity, 2.0, 1.5);
+    // Trails also have ambient channels nobody ranks on; present so the
+    // provider stack is exercised uniformly.
+    p.signals[SensorKind::kLight] = Env(5000.0, 1500.0, 400.0);
+    p.signals[SensorKind::kMicrophone] = Env(0.08, 0.02, 0.02);
+    p.signals[SensorKind::kWifi] = Env(-92.0, 1.0, 2.0);
+
+    TrailSpec spec;
+    spec.start = t.center;
+    spec.length_m = 2500.0;
+    spec.curvature_mrad_per_m = t.curvature;
+    spec.altitude_base_m = t.center.alt_m;
+    // The altitude-change feature is the stddev of windowed altitude means;
+    // a sinusoid of amplitude A has stddev A/√2, so scale the target up.
+    spec.altitude_amplitude_m = t.alt_change * 1.4142135623730951;
+    spec.altitude_period_m = 700.0;
+    spec.seed = place_id * 97;
+    p.trail = Trail::Generate(spec);
+
+    s.places.push_back(std::move(p));
+    ++place_id;
+  }
+
+  // Fig. 7 profiles, from the §V-A prose. Feature order matches s.features.
+  UserProfile alice;  // experienced hiker who prefers difficult trails
+  alice.name = "Alice";
+  alice.prefs = {
+      FeaturePreference::DontCare(),        // temperature
+      FeaturePreference::DontCare(),        // humidity
+      FeaturePreference::PreferMax(5),      // roughness: MAX, weight 5
+      FeaturePreference::PreferMax(5),      // curvature: MAX, weight 5
+      FeaturePreference::PreferMax(5),      // altitude change: MAX, weight 5
+  };
+  UserProfile bob;  // beginner who likes dry and even trails; humidity
+                    // outweighs difficulty ("cares more about humidity")
+  bob.name = "Bob";
+  bob.prefs = {
+      FeaturePreference::DontCare(),
+      FeaturePreference::PreferMin(5),  // dry: low humidity, dominant weight
+      FeaturePreference::PreferMin(1),  // even/easy, light weights
+      FeaturePreference::PreferMin(1),
+      FeaturePreference::PreferMin(1),
+  };
+  UserProfile chris;  // beginner who likes jogging near a lake/sea/river
+  chris.name = "Chris";
+  chris.prefs = {
+      FeaturePreference::DontCare(),
+      FeaturePreference::PreferMax(3),  // near water → humid microclimate
+      FeaturePreference::PreferMin(2),  // still a beginner: easy trail
+      FeaturePreference::PreferMin(2),
+      FeaturePreference::PreferMin(2),
+  };
+  s.profiles = {alice, bob, chris};
+  return s;
+}
+
+Scenario MakeCoffeeShopScenario() {
+  Scenario s;
+  s.category = PlaceCategory::kCoffeeShop;
+  s.phones_per_place = 12;  // §V-B: 12 participating phones
+
+  s.features = {
+      {features::kTemperature, PrefDirection::kTarget, 73.0},
+      {features::kBrightness, PrefDirection::kMaximize, 0.0},
+      {features::kNoise, PrefDirection::kMinimize, 0.0},
+      {features::kWifi, PrefDirection::kMaximize, 0.0},
+  };
+
+  std::uint64_t place_id = 101;
+  for (const ShopTruth& t : kShops) {
+    PlaceModel p;
+    p.id = PlaceId{place_id};
+    p.name = t.name;
+    p.category = PlaceCategory::kCoffeeShop;
+    p.center = t.center;
+    p.radius_m = 60.0;
+    p.surface_roughness = 0.02;  // phones sit on tables
+    p.signals[SensorKind::kDroneTemperature] = Env(t.temp_f, 0.5, 0.4);
+    p.signals[SensorKind::kDroneLight] = Env(t.brightness, 40.0, 25.0);
+    p.signals[SensorKind::kMicrophone] = Env(t.noise, 0.03, 0.03);
+    p.signals[SensorKind::kWifi] = Env(t.wifi_dbm, 1.0, 2.5);
+    p.signals[SensorKind::kDroneHumidity] = Env(35.0, 2.0, 1.5);
+    s.places.push_back(std::move(p));
+    ++place_id;
+  }
+
+  // Fig. 11 profiles, from the §V-B prose.
+  UserProfile david;  // social; prefers not-so-bright and warm; noise: meh
+  david.name = "David";
+  david.prefs = {
+      FeaturePreference::Prefer(75.0, 4),  // warm
+      FeaturePreference::PreferMin(4),     // not-so-bright
+      FeaturePreference::DontCare(),       // doesn't care about noise
+      FeaturePreference::PreferMax(2),     // good WiFi never hurts
+  };
+  UserProfile emma;  // student; reads/studies in relatively warm shops
+  emma.name = "Emma";
+  emma.prefs = {
+      FeaturePreference::Prefer(72.0, 4),  // relatively warm
+      FeaturePreference::PreferMax(3),     // bright enough to read
+      FeaturePreference::PreferMin(5),     // quiet above all
+      FeaturePreference::PreferMax(2),     // WiFi for studying
+  };
+  s.profiles = {david, emma};
+  return s;
+}
+
+std::vector<double> GroundTruthFeatures(const Scenario& s) {
+  std::vector<double> out;
+  if (s.category == PlaceCategory::kHikingTrail) {
+    for (const TrailTruth& t : kTrails) {
+      out.insert(out.end(),
+                 {t.temp_f, t.humidity, t.roughness, t.curvature,
+                  t.alt_change});
+    }
+  } else {
+    for (const ShopTruth& t : kShops) {
+      out.insert(out.end(), {t.temp_f, t.brightness, t.noise, t.wifi_dbm});
+    }
+  }
+  return out;
+}
+
+}  // namespace sor::world

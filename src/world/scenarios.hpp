@@ -1,0 +1,43 @@
+// The paper's two field-test scenarios, rebuilt synthetically:
+//
+//   * three hiking trails in/around Syracuse (§V-A): Green Lake Trail,
+//     Long Trail, Cliff Trail — 7 phones each, 11:00–14:00, 5 features;
+//   * three coffee shops in Syracuse (§V-B): Tim Hortons, B&N Cafe,
+//     Starbucks — 12 phones each, 4 features.
+//
+// Ground-truth signal parameters are set from the paper's qualitative
+// descriptions and reported feature plots (Fig. 6 / Fig. 10): the Cliff
+// Trail is rocky and steep, the Green Lake Trail flat, humid and cooler;
+// Starbucks is crowded/noisy/dark, Tim Hortons very bright and a little
+// colder than the B&N Cafe. The virtual user profiles (Fig. 7 / Fig. 11 —
+// Alice, Bob, Chris, David, Emma) are encoded from the §V prose; pushing
+// the synthetic field-test data through the real pipeline reproduces the
+// Table I / Table II rankings.
+#pragma once
+
+#include <vector>
+
+#include "rank/personalizable_ranker.hpp"
+#include "world/place.hpp"
+
+namespace sor::world {
+
+struct Scenario {
+  PlaceCategory category;
+  std::vector<PlaceModel> places;
+  std::vector<rank::FeatureSpec> features;       // column order of H
+  std::vector<rank::UserProfile> profiles;       // the virtual users
+  int phones_per_place = 7;
+  double period_s = 10'800.0;                    // 11:00AM–2:00PM
+};
+
+[[nodiscard]] Scenario MakeHikingTrailScenario();
+[[nodiscard]] Scenario MakeCoffeeShopScenario();
+
+// The ground-truth per-place feature values each scenario is built to
+// produce (row-major: places × features, same order as the Scenario
+// vectors). Used by tests to check the sensing pipeline's output and by
+// EXPERIMENTS.md as the Fig. 6 / Fig. 10 reference series.
+[[nodiscard]] std::vector<double> GroundTruthFeatures(const Scenario& s);
+
+}  // namespace sor::world

@@ -1,0 +1,41 @@
+// Ground-truth environmental signals.
+//
+// Each target place owns one Signal per sensing channel: a base value, a
+// slow sinusoidal drift (weather/sunlight over the 3-hour field-test
+// window), and a per-reading Gaussian noise level applied by the phone
+// when sampling. The per-place *statistics* (what Fig. 6 / Fig. 10 report)
+// equal the base values by construction, so the reproduction feeds the
+// data-processing and ranking pipeline inputs of the paper's shape.
+#pragma once
+
+#include <cmath>
+
+#include "common/geo.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace sor::world {
+
+struct Signal {
+  double base = 0.0;
+  double drift_amp = 0.0;      // amplitude of the slow sinusoidal drift
+  double drift_period_s = 3600.0;
+  double drift_phase = 0.0;    // radians
+  double noise_stddev = 0.0;   // per-reading sampling noise
+
+  // Smooth (noise-free) ground truth at time t.
+  [[nodiscard]] double Truth(SimTime t) const {
+    if (drift_amp == 0.0) return base;
+    return base + drift_amp * std::sin(2.0 * kPi * t.seconds() /
+                                           drift_period_s +
+                                       drift_phase);
+  }
+
+  // One noisy observation (what a phone's sensor reports).
+  [[nodiscard]] double Observe(SimTime t, Rng& rng) const {
+    return Truth(t) + (noise_stddev > 0.0 ? rng.gaussian(0.0, noise_stddev)
+                                          : 0.0);
+  }
+};
+
+}  // namespace sor::world

@@ -1,0 +1,86 @@
+#include "world/trail.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sor::world {
+
+Trail Trail::Generate(const TrailSpec& spec) {
+  assert(spec.segment_m > 0 && spec.length_m >= spec.segment_m);
+  Trail trail;
+  Rng rng(spec.seed);
+
+  const int segments =
+      std::max(1, static_cast<int>(spec.length_m / spec.segment_m));
+  // Per-vertex turn magnitude that realizes the curvature-density target:
+  // curvature at a vertex = turn / segment_m, so turn = target * segment.
+  const double turn_rad =
+      spec.curvature_mrad_per_m / 1000.0 * spec.segment_m;
+
+  double heading = rng.uniform(0.0, 2.0 * kPi);
+  double x = 0.0;
+  double y = 0.0;
+  // Direction of turning flips randomly but with inertia, giving winding
+  // paths rather than circles.
+  double turn_sign = rng.chance(0.5) ? 1.0 : -1.0;
+
+  trail.points_.reserve(static_cast<std::size_t>(segments) + 1);
+  trail.cum_length_m_.reserve(static_cast<std::size_t>(segments) + 1);
+
+  auto append = [&](double dist_along) {
+    GeoPoint p = OffsetMeters(spec.start, x, y);
+    p.alt_m = spec.altitude_base_m +
+              spec.altitude_amplitude_m *
+                  std::sin(2.0 * kPi * dist_along / spec.altitude_period_m);
+    trail.points_.push_back(p);
+    trail.cum_length_m_.push_back(dist_along);
+  };
+
+  append(0.0);
+  for (int i = 1; i <= segments; ++i) {
+    if (rng.chance(0.15)) turn_sign = -turn_sign;
+    heading += turn_sign * turn_rad;
+    x += spec.segment_m * std::cos(heading);
+    y += spec.segment_m * std::sin(heading);
+    append(static_cast<double>(i) * spec.segment_m);
+  }
+  trail.length_m_ = trail.cum_length_m_.back();
+  return trail;
+}
+
+GeoPoint Trail::PositionAt(double s_m) const {
+  assert(!points_.empty());
+  if (points_.size() == 1) return points_[0];
+  // Ping-pong: reflect s into [0, L].
+  const double L = length_m_;
+  double s = std::fmod(std::fabs(s_m), 2.0 * L);
+  if (s > L) s = 2.0 * L - s;
+
+  const auto it =
+      std::upper_bound(cum_length_m_.begin(), cum_length_m_.end(), s);
+  const std::size_t hi = std::min<std::size_t>(
+      static_cast<std::size_t>(it - cum_length_m_.begin()),
+      points_.size() - 1);
+  const std::size_t lo = hi - 1;
+  const double seg = cum_length_m_[hi] - cum_length_m_[lo];
+  const double frac = seg > 0 ? (s - cum_length_m_[lo]) / seg : 0.0;
+
+  const GeoPoint& a = points_[lo];
+  const GeoPoint& b = points_[hi];
+  GeoPoint p;
+  p.lat_deg = a.lat_deg + (b.lat_deg - a.lat_deg) * frac;
+  p.lon_deg = a.lon_deg + (b.lon_deg - a.lon_deg) * frac;
+  p.alt_m = a.alt_m + (b.alt_m - a.alt_m) * frac;
+  return p;
+}
+
+double Trail::MeanCurvatureMradPerM() const {
+  if (points_.size() < 3) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i + 1 < points_.size(); ++i)
+    total += PolylineCurvature(points_[i - 1], points_[i], points_[i + 1]);
+  return total / static_cast<double>(points_.size() - 2) * 1000.0;
+}
+
+}  // namespace sor::world

@@ -1,0 +1,53 @@
+// Trail geometry: a polyline a hiker walks along.
+//
+// Built generatively from three target characteristics so that the features
+// the Data Processor later computes from GPS fixes land on the intended
+// values (the §V-A methods):
+//   * curvature  — computed from GPS locations: here, mean turn angle per
+//     meter (reported in mrad/m);
+//   * altitude profile — sinusoidal elevation along the path; the paper's
+//     "altitude change" feature is the standard deviation of windowed
+//     altitude means over the hike;
+//   * length — total path length in meters.
+#pragma once
+
+#include <vector>
+
+#include "common/geo.hpp"
+#include "common/rng.hpp"
+
+namespace sor::world {
+
+struct TrailSpec {
+  GeoPoint start;
+  double length_m = 2000.0;
+  double segment_m = 10.0;          // polyline resolution
+  double curvature_mrad_per_m = 20; // mean |turn| density target
+  double altitude_base_m = 150.0;
+  double altitude_amplitude_m = 10.0;  // elevation swing along the trail
+  double altitude_period_m = 800.0;    // wavelength of the elevation swing
+  std::uint64_t seed = 1;              // turn-direction randomness
+};
+
+class Trail {
+ public:
+  [[nodiscard]] static Trail Generate(const TrailSpec& spec);
+
+  [[nodiscard]] const std::vector<GeoPoint>& points() const { return points_; }
+  [[nodiscard]] double length_m() const { return length_m_; }
+
+  // Position at arc-length s from the start; s beyond the end ping-pongs
+  // (the hiker turns around), so any s >= 0 is valid.
+  [[nodiscard]] GeoPoint PositionAt(double s_m) const;
+
+  // Mean discrete curvature over all interior vertices, mrad/m — the
+  // ground-truth value the GPS-derived feature should approximate.
+  [[nodiscard]] double MeanCurvatureMradPerM() const;
+
+ private:
+  std::vector<GeoPoint> points_;
+  std::vector<double> cum_length_m_;  // arc length at each vertex
+  double length_m_ = 0.0;
+};
+
+}  // namespace sor::world

@@ -1,0 +1,182 @@
+// Unit tests for the 2D-barcode codec: byte/text/matrix round-trips and
+// damage detection (the participation trigger of §II must be robust).
+#include <gtest/gtest.h>
+
+#include "codec/barcode.hpp"
+#include "common/rng.hpp"
+
+namespace sor {
+namespace {
+
+BarcodePayload Sample() {
+  BarcodePayload p;
+  p.app = AppId{7};
+  p.place = PlaceId{101};
+  p.place_name = "B&N Cafe";
+  p.location = GeoPoint{43.045, -76.073, 130.0};
+  p.server = "server";
+  p.radius_m = 60.0;
+  return p;
+}
+
+TEST(Barcode, BytesRoundTrip) {
+  const BarcodePayload p = Sample();
+  Result<BarcodePayload> decoded = DecodeBarcodeBytes(EncodeBarcodeBytes(p));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().str();
+  EXPECT_TRUE(decoded.value() == p);
+}
+
+TEST(Barcode, TextRoundTrip) {
+  const BarcodePayload p = Sample();
+  const std::string text = EncodeBarcodeText(p);
+  // Base32: only A-Z and 2-7.
+  for (char c : text) {
+    EXPECT_TRUE((c >= 'A' && c <= 'Z') || (c >= '2' && c <= '7')) << c;
+  }
+  Result<BarcodePayload> decoded = DecodeBarcodeText(text);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().str();
+  EXPECT_TRUE(decoded.value() == p);
+}
+
+TEST(Barcode, TextLowercaseAccepted) {
+  const BarcodePayload p = Sample();
+  std::string text = EncodeBarcodeText(p);
+  for (char& c : text) c = static_cast<char>(std::tolower(c));
+  EXPECT_TRUE(DecodeBarcodeText(text).ok());
+}
+
+TEST(Barcode, TextInvalidCharactersRejected) {
+  EXPECT_EQ(DecodeBarcodeText("NOT!VALID").code(), Errc::kDecodeError);
+  EXPECT_EQ(DecodeBarcodeText("0189").code(), Errc::kDecodeError);  // 0,1,8,9 not in alphabet
+}
+
+TEST(Barcode, SingleByteCorruptionCorrectedByReedSolomon) {
+  // The barcode carries RS parity: any single damaged byte inside a block
+  // is corrected, and the decoded payload is exactly the original.
+  const BarcodePayload p = Sample();
+  Bytes data = EncodeBarcodeBytes(p);
+  int corrected = 0;
+  for (std::size_t i = 1; i < data.size(); ++i) {  // byte 0 = block header
+    Bytes mutated = data;
+    mutated[i] ^= 0x10;
+    Result<BarcodePayload> decoded = DecodeBarcodeBytes(mutated);
+    if (decoded.ok()) {
+      EXPECT_TRUE(decoded.value() == p) << "byte " << i;
+      ++corrected;
+    }
+  }
+  // Every in-block flip must be corrected (block-length bytes are armor
+  // framing and legitimately fail instead).
+  EXPECT_GE(corrected, static_cast<int>(data.size()) - 3);
+}
+
+TEST(Barcode, HeavyCorruptionRejected) {
+  Bytes data = EncodeBarcodeBytes(Sample());
+  // 20 spread-out flips exceed the 8-error correction capacity.
+  for (std::size_t i = 1; i < data.size(); i += data.size() / 20) {
+    data[i] ^= 0xff;
+  }
+  EXPECT_FALSE(DecodeBarcodeBytes(data).ok());
+}
+
+TEST(Barcode, EmptyAndShortInputRejected) {
+  EXPECT_FALSE(DecodeBarcodeBytes({}).ok());
+  const Bytes four = {1, 2, 3, 4};
+  EXPECT_FALSE(DecodeBarcodeBytes(four).ok());
+}
+
+TEST(Barcode, MatrixRoundTrip) {
+  const BarcodePayload p = Sample();
+  const BitMatrix m = RenderBarcodeMatrix(p);
+  EXPECT_GE(m.size(), 12);
+  Result<BarcodePayload> decoded = ScanBarcodeMatrix(m);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().str();
+  EXPECT_TRUE(decoded.value() == p);
+}
+
+TEST(Barcode, MatrixGrowsWithPayload) {
+  BarcodePayload small = Sample();
+  small.place_name = "X";
+  BarcodePayload large = Sample();
+  large.place_name = std::string(200, 'Y');
+  EXPECT_GT(RenderBarcodeMatrix(large).size(),
+            RenderBarcodeMatrix(small).size());
+  Result<BarcodePayload> decoded =
+      ScanBarcodeMatrix(RenderBarcodeMatrix(large));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().place_name, large.place_name);
+}
+
+TEST(Barcode, DamagedFinderPatternRejected) {
+  BitMatrix m = RenderBarcodeMatrix(Sample());
+  m.flip(0, 0);  // corner of a finder pattern
+  EXPECT_EQ(ScanBarcodeMatrix(m).code(), Errc::kDecodeError);
+}
+
+TEST(Barcode, DamagedDataModuleCorrectedByReedSolomon) {
+  // A physically smudged module inside the data region is recovered.
+  const BarcodePayload p = Sample();
+  const BitMatrix clean = RenderBarcodeMatrix(p);
+  BitMatrix m = clean;
+  m.flip(m.size() / 2, m.size() / 2);
+  Result<BarcodePayload> decoded = ScanBarcodeMatrix(m);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().str();
+  EXPECT_TRUE(decoded.value() == p);
+}
+
+TEST(Barcode, RandomModuleDamageSweep) {
+  // Any single flipped module either decodes to the exact original
+  // payload (RS-corrected) or is rejected (finder/armor damage) — never a
+  // silently wrong payload.
+  const BarcodePayload p = Sample();
+  const BitMatrix clean = RenderBarcodeMatrix(p);
+  Rng rng(5);
+  int recovered = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    BitMatrix m = clean;
+    m.flip(static_cast<int>(rng.uniform_int(0, m.size() - 1)),
+           static_cast<int>(rng.uniform_int(0, m.size() - 1)));
+    Result<BarcodePayload> decoded = ScanBarcodeMatrix(m);
+    if (decoded.ok()) {
+      EXPECT_TRUE(decoded.value() == p) << "trial " << i;
+      ++recovered;
+    }
+  }
+  // The data region dominates the grid, so most single flips recover.
+  EXPECT_GE(recovered, trials / 2);
+}
+
+TEST(Barcode, MultipleDamagedModulesStillRecoverable) {
+  const BarcodePayload p = Sample();
+  BitMatrix m = RenderBarcodeMatrix(p);
+  // Five flips in one byte-sized neighbourhood: at most a few damaged
+  // bytes — well within the per-block correction capacity of 8.
+  const int mid = m.size() / 2;
+  for (int c = 0; c < 5; ++c) m.flip(mid, mid - 2 + c);
+  Result<BarcodePayload> decoded = ScanBarcodeMatrix(m);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().str();
+  EXPECT_TRUE(decoded.value() == p);
+}
+
+TEST(Barcode, TooSmallMatrixRejected) {
+  EXPECT_FALSE(ScanBarcodeMatrix(BitMatrix(4)).ok());
+  EXPECT_FALSE(ScanBarcodeMatrix(BitMatrix()).ok());
+}
+
+TEST(Barcode, AsciiRenderingShape) {
+  const BitMatrix m = RenderBarcodeMatrix(Sample());
+  const std::string art = m.ascii();
+  // size rows, each 2*size chars + newline.
+  EXPECT_EQ(art.size(),
+            static_cast<std::size_t>(m.size()) * (2 * m.size() + 1));
+}
+
+TEST(Barcode, CorruptArmorHeaderRejected) {
+  Bytes data = EncodeBarcodeBytes(Sample());
+  data[0] = 99;  // impossible RS block count
+  EXPECT_FALSE(DecodeBarcodeBytes(data).ok());
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,370 @@
+// Unit tests for the binary codec: byte primitives, CRC-32, message
+// round-trips, frame integrity and malformed-input rejection (including a
+// deterministic fuzz sweep — a corrupted frame must never decode).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "codec/bytes.hpp"
+#include "codec/crc32.hpp"
+#include "codec/messages.hpp"
+#include "codec/reed_solomon.hpp"
+#include "common/rng.hpp"
+
+namespace sor {
+namespace {
+
+// --- byte primitives ---------------------------------------------------------
+
+TEST(Bytes, VarintRoundTrip) {
+  const std::uint64_t cases[] = {0,      1,        127,       128,
+                                 16'383, 16'384,   1u << 21,  1ull << 42,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    ByteWriter w;
+    w.varint(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.finish().ok());
+  }
+}
+
+TEST(Bytes, SignedVarintRoundTrip) {
+  const std::int64_t cases[] = {0,  1,  -1, 63, -64, 1'000'000, -1'000'000,
+                                std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t v : cases) {
+    ByteWriter w;
+    w.svarint(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.svarint(), v);
+    EXPECT_TRUE(r.finish().ok());
+  }
+}
+
+TEST(Bytes, ZigzagSmallMagnitudesStaySmall) {
+  ByteWriter w;
+  w.svarint(-1);
+  EXPECT_EQ(w.size(), 1u);  // -1 encodes to a single byte (zigzag: 1)
+}
+
+TEST(Bytes, DoubleRoundTrip) {
+  const double cases[] = {0.0, -0.0, 1.5, -273.15, 1e300, -1e-300,
+                          std::numeric_limits<double>::infinity()};
+  for (double v : cases) {
+    ByteWriter w;
+    w.f64(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.f64(), v);
+  }
+}
+
+TEST(Bytes, NanRoundTrip) {
+  ByteWriter w;
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(std::isnan(r.f64()));
+}
+
+TEST(Bytes, StringAndBlobRoundTrip) {
+  ByteWriter w;
+  w.str("hello sensing");
+  w.str("");
+  const Bytes blob = {0x00, 0xff, 0x7f, 0x80};
+  w.blob(blob);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello sensing");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.blob(), blob);
+  EXPECT_TRUE(r.finish().ok());
+}
+
+TEST(Bytes, TruncatedReadsFailAndStick) {
+  ByteWriter w;
+  w.u32_fixed(0xDEADBEEF);
+  Bytes data = w.bytes();
+  data.pop_back();
+  ByteReader r(data);
+  (void)r.u32_fixed();
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay failed and return zero values.
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_FALSE(r.finish().ok());
+}
+
+TEST(Bytes, OversizedLengthPrefixRejected) {
+  ByteWriter w;
+  w.varint(1'000'000);  // claims a million bytes...
+  w.u8('x');            // ...but provides one
+  ByteReader r(w.bytes());
+  (void)r.str();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, TrailingBytesRejectedByFinish) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.bytes());
+  (void)r.u8();
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.finish().ok());  // one byte left over
+}
+
+TEST(Bytes, OverlongVarintRejected) {
+  // 11 continuation bytes exceed a 64-bit varint.
+  Bytes data(11, 0x80);
+  ByteReader r(data);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+// --- CRC-32 ---------------------------------------------------------------
+
+TEST(Crc32, KnownVector) {
+  const std::string s = "123456789";
+  const Bytes data(s.begin(), s.end());
+  EXPECT_EQ(Crc32(data), 0xCBF43926u);  // standard check value
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(Crc32({}), 0u); }
+
+TEST(Crc32, SensitiveToEveryByte) {
+  Bytes data = {1, 2, 3, 4, 5};
+  const std::uint32_t base = Crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Bytes mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(Crc32(mutated), base) << "byte " << i;
+  }
+}
+
+// --- message round-trips -----------------------------------------------------
+
+Message SampleParticipation() {
+  ParticipationRequest req;
+  req.user = UserId{42};
+  req.token = Token{"tok-42"};
+  req.app = AppId{7};
+  req.location = GeoPoint{43.05, -76.15, 120.5};
+  req.budget = 17;
+  req.scan_time = SimTime{123'456};
+  return req;
+}
+
+Message SampleUpload() {
+  SensedDataUpload up;
+  up.task = TaskId{9};
+  up.user = UserId{42};
+  ReadingTuple t1;
+  t1.kind = SensorKind::kDroneTemperature;
+  t1.t = SimTime{5'000};
+  t1.dt = SimDuration{5'000};
+  t1.values = {68.2, 68.4, 68.1};
+  ReadingTuple t2;
+  t2.kind = SensorKind::kGps;
+  t2.t = SimTime{6'000};
+  t2.dt = SimDuration{300'000};
+  t2.values = {150.0, 151.0};
+  t2.locations = {{43.05, -76.15, 150.0}, {43.051, -76.149, 151.0}};
+  up.batches = {t1, t2};
+  return up;
+}
+
+std::vector<Message> AllSampleMessages() {
+  return {
+      SampleParticipation(),
+      ParticipationReply{TaskId{3}, true, ""},
+      ParticipationReply{TaskId{}, false, "not in target place"},
+      ScheduleDistribution{TaskId{3}, AppId{7}, "local x = 1",
+                           {SimTime{10'000}, SimTime{20'000}, SimTime{35'000}},
+                           SimDuration{5'000}, 5},
+      SampleUpload(),
+      LeaveNotification{TaskId{3}, UserId{42}, SimTime{99'000}},
+      Ping{PhoneId{5}},
+      PingReply{PhoneId{5}, GeoPoint{43.0, -76.0, 0}, SimTime{88'000}},
+      Ack{12345},
+      ErrorReply{3, "bad things"},
+  };
+}
+
+TEST(Messages, FrameRoundTripAllTypes) {
+  for (const Message& m : AllSampleMessages()) {
+    const Bytes frame = EncodeFrame(m);
+    Result<Message> decoded = DecodeFrame(frame);
+    ASSERT_TRUE(decoded.ok())
+        << to_string(TypeOf(m)) << ": " << decoded.error().str();
+    EXPECT_EQ(TypeOf(decoded.value()), TypeOf(m));
+    EXPECT_TRUE(decoded.value() == m) << to_string(TypeOf(m));
+  }
+}
+
+TEST(Messages, ScheduleInstantsDeltaEncodingPreservesOrder) {
+  ScheduleDistribution s;
+  s.task = TaskId{1};
+  s.app = AppId{1};
+  s.script = "x = 1";
+  for (int i = 0; i < 100; ++i) s.instants.push_back(SimTime{i * 10'000});
+  s.sample_window = SimDuration{2'000};
+  s.samples_per_window = 3;
+  Result<Message> decoded = DecodeFrame(EncodeFrame(s));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(std::get<ScheduleDistribution>(decoded.value()) == s);
+}
+
+TEST(Messages, CorruptedFrameRejected) {
+  Bytes frame = EncodeFrame(SampleUpload());
+  frame[frame.size() / 2] ^= 0x01;
+  EXPECT_EQ(DecodeFrame(frame).code(), Errc::kDecodeError);
+}
+
+TEST(Messages, TruncatedFrameRejected) {
+  Bytes frame = EncodeFrame(SampleParticipation());
+  frame.resize(frame.size() - 3);
+  EXPECT_EQ(DecodeFrame(frame).code(), Errc::kDecodeError);
+}
+
+TEST(Messages, EmptyAndTinyFramesRejected) {
+  EXPECT_FALSE(DecodeFrame({}).ok());
+  const Bytes tiny = {1, 2, 3};
+  EXPECT_FALSE(DecodeFrame(tiny).ok());
+}
+
+TEST(Messages, BadMagicRejected) {
+  Bytes frame = EncodeFrame(Ack{1});
+  frame[0] ^= 0xff;
+  EXPECT_FALSE(DecodeFrame(frame).ok());
+}
+
+TEST(Messages, UnknownSensorKindInUploadRejected) {
+  // Hand-craft an upload body with a sensor kind beyond kCount.
+  ByteWriter w;
+  w.varint(1);   // task
+  w.varint(1);   // user
+  w.varint(1);   // one batch
+  w.u8(250);     // invalid sensor kind
+  Result<Message> decoded =
+      DecodeBody(MessageType::kSensedDataUpload, w.bytes());
+  EXPECT_EQ(decoded.code(), Errc::kDecodeError);
+}
+
+// Deterministic fuzz: flip every single byte of each frame, and also try
+// random mutations — decode must fail or produce *some* valid message, but
+// never crash. (CRC catches essentially everything.)
+TEST(Messages, FuzzSingleByteFlipsNeverDecodeSilently) {
+  for (const Message& m : AllSampleMessages()) {
+    const Bytes frame = EncodeFrame(m);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      Bytes mutated = frame;
+      mutated[i] ^= 0x41;
+      Result<Message> decoded = DecodeFrame(mutated);
+      EXPECT_FALSE(decoded.ok())
+          << "byte " << i << " of " << to_string(TypeOf(m));
+    }
+  }
+}
+
+TEST(Messages, FuzzRandomGarbageNeverCrashes) {
+  Rng rng(1234);
+  for (int round = 0; round < 500; ++round) {
+    Bytes garbage(static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : garbage)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    (void)DecodeFrame(garbage);  // must not crash; result ignored
+  }
+  SUCCEED();
+}
+
+// --- Reed–Solomon -------------------------------------------------------------
+
+TEST(ReedSolomon, RoundTripNoErrors) {
+  const Bytes data = {1, 2, 3, 4, 5, 250, 0, 7};
+  Result<Bytes> enc = RsEncode(data, 8);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc.value().size(), data.size() + 8);
+  // Systematic code: message bytes appear verbatim.
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_EQ(enc.value()[i], data[i]);
+  Result<Bytes> dec = RsDecode(enc.value(), 8);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.value(), data);
+}
+
+TEST(ReedSolomon, CorrectsUpToCapacity) {
+  Rng rng(71);
+  for (int round = 0; round < 200; ++round) {
+    const int len = 10 + static_cast<int>(rng.uniform_int(0, 150));
+    Bytes data(static_cast<std::size_t>(len));
+    for (auto& b : data)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const int nsym = 16;
+    Bytes cw = RsEncode(data, nsym).value();
+    // Exactly t = nsym/2 errors at distinct positions.
+    std::vector<std::size_t> positions;
+    while (positions.size() < 8) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(0, len + nsym - 1));
+      if (std::find(positions.begin(), positions.end(), pos) ==
+          positions.end())
+        positions.push_back(pos);
+    }
+    for (std::size_t pos : positions) {
+      cw[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    Result<Bytes> dec = RsDecode(cw, nsym);
+    ASSERT_TRUE(dec.ok()) << "round " << round;
+    EXPECT_EQ(dec.value(), data) << "round " << round;
+  }
+}
+
+TEST(ReedSolomon, BeyondCapacityDetectedOrNeverSilentlyWrongLength) {
+  Rng rng(72);
+  int clean_failures = 0;
+  for (int round = 0; round < 100; ++round) {
+    Bytes data(50);
+    for (auto& b : data)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    Bytes cw = RsEncode(data, 16).value();
+    for (int e = 0; e < 20; ++e) {  // far beyond t = 8
+      cw[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(cw.size()) - 1))] ^=
+          static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    Result<Bytes> dec = RsDecode(cw, 16);
+    if (!dec.ok()) ++clean_failures;
+    // (An RS code can miscorrect beyond capacity — that is mathematics,
+    // not a bug — the barcode's inner CRC catches those.)
+  }
+  EXPECT_GE(clean_failures, 95);  // overwhelmingly detected
+}
+
+TEST(ReedSolomon, RandomGarbageNeverCrashes) {
+  Rng rng(73);
+  for (int round = 0; round < 500; ++round) {
+    Bytes garbage(static_cast<std::size_t>(rng.uniform_int(0, 300)));
+    for (auto& b : garbage)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    (void)RsDecode(garbage, 16);  // any outcome but a crash is fine
+  }
+  SUCCEED();
+}
+
+TEST(ReedSolomon, ParameterValidation) {
+  const Bytes data(10);
+  EXPECT_FALSE(RsEncode(data, 0).ok());
+  EXPECT_FALSE(RsEncode(data, 300).ok());
+  EXPECT_FALSE(RsEncode(Bytes(250), 16).ok());  // block too long
+  EXPECT_FALSE(RsDecode(Bytes(4), 16).ok());    // shorter than parity
+}
+
+TEST(Messages, TypeNames) {
+  EXPECT_STREQ(to_string(MessageType::kParticipationRequest),
+               "participation_request");
+  EXPECT_STREQ(to_string(MessageType::kSensedDataUpload),
+               "sensed_data_upload");
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,344 @@
+// Unit tests for src/common: ids, Result/Status, SimTime, Rng, statistics,
+// and geographic primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/geo.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/sensor_kind.hpp"
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+
+namespace sor {
+namespace {
+
+// --- ids -------------------------------------------------------------------
+
+TEST(Ids, DefaultIsInvalid) {
+  UserId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(Ids, GeneratorStartsAtOneAndIncrements) {
+  IdGenerator<TaskId> gen;
+  EXPECT_EQ(gen.next().value(), 1u);
+  EXPECT_EQ(gen.next().value(), 2u);
+  EXPECT_TRUE(gen.next().valid());
+}
+
+TEST(Ids, DistinctTagTypesDoNotCompare) {
+  // Compile-time property: UserId and AppId are different types. This test
+  // documents the intent; the real check is that this file compiles.
+  UserId user{7};
+  AppId app{7};
+  EXPECT_EQ(user.value(), app.value());
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<PlaceId> set;
+  set.insert(PlaceId{1});
+  set.insert(PlaceId{2});
+  set.insert(PlaceId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(TaskId{1}, TaskId{2});
+  EXPECT_EQ(TaskId{3}, TaskId{3});
+}
+
+// --- Result / Status --------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), Errc::kOk);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Errc::kNotFound, "nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kNotFound);
+  EXPECT_EQ(r.error().str(), "not found: nope");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.str(), "ok");
+}
+
+TEST(Status, CarriesError) {
+  Status s(Errc::kTimeout, "sensor");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kTimeout);
+}
+
+TEST(Errc, AllValuesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(Errc::kInternal); ++i) {
+    EXPECT_STRNE(to_string(static_cast<Errc>(i)), "unknown");
+  }
+}
+
+// --- SimTime ---------------------------------------------------------------
+
+TEST(SimTime, Arithmetic) {
+  SimTime t{1'000};
+  SimDuration d{500};
+  EXPECT_EQ((t + d).ms, 1'500);
+  EXPECT_EQ((t - d).ms, 500);
+  EXPECT_EQ((SimTime{2'000} - t).ms, 1'000);
+  EXPECT_DOUBLE_EQ(SimTime::FromSeconds(1.5).seconds(), 1.5);
+}
+
+TEST(SimTime, IntervalContains) {
+  SimInterval iv{SimTime{100}, SimTime{200}};
+  EXPECT_TRUE(iv.contains(SimTime{100}));
+  EXPECT_TRUE(iv.contains(SimTime{200}));
+  EXPECT_FALSE(iv.contains(SimTime{99}));
+  EXPECT_FALSE(iv.contains(SimTime{201}));
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE((SimInterval{SimTime{5}, SimTime{4}}).empty());
+}
+
+TEST(SimTime, IntervalIntersect) {
+  SimInterval a{SimTime{0}, SimTime{100}};
+  SimInterval b{SimTime{50}, SimTime{150}};
+  const SimInterval c = a.intersect(b);
+  EXPECT_EQ(c.begin.ms, 50);
+  EXPECT_EQ(c.end.ms, 100);
+  EXPECT_TRUE(a.intersect(SimInterval{SimTime{200}, SimTime{300}}).empty());
+}
+
+TEST(SimTime, InstantGridUniform) {
+  const auto grid =
+      MakeInstantGrid(SimInterval{SimTime{0}, SimTime{10'800'000}}, 1080);
+  ASSERT_EQ(grid.size(), 1080u);
+  // Equal spacing of 10 s and the last instant at the period end.
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    EXPECT_EQ((grid[i] - grid[i - 1]).ms, 10'000);
+  EXPECT_EQ(grid.back().ms, 10'800'000);
+}
+
+TEST(SimTime, ClockAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.now().ms, 0);
+  clock.advance(SimDuration{250});
+  clock.advance_to(SimTime{1'000});
+  EXPECT_EQ(clock.now().ms, 1'000);
+}
+
+TEST(SimTime, ToStringFormat) {
+  EXPECT_EQ(to_string(SimTime{3'723'004}), "01:02:03.004");
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(7), b(7), c(8);
+  const double x = a.uniform(0, 1);
+  EXPECT_DOUBLE_EQ(x, b.uniform(0, 1));
+  EXPECT_NE(x, c.uniform(0, 1));
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+    const auto n = rng.uniform_int(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20'000; ++i) stats.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.uniform(0, 1), child.uniform(0, 1));
+}
+
+// --- statistics --------------------------------------------------------------
+
+TEST(Stats, BasicMoments) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(Min(xs), 2.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 9.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(Mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  Rng rng(21);
+  std::vector<double> xs;
+  RunningStats running;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-10, 10);
+    xs.push_back(v);
+    running.add(v);
+  }
+  EXPECT_NEAR(running.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(running.variance(), Variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(running.min(), Min(xs));
+  EXPECT_DOUBLE_EQ(running.max(), Max(xs));
+}
+
+TEST(Stats, RunningMerge) {
+  Rng rng(22);
+  RunningStats all, left, right;
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.gaussian(0, 3);
+    xs.push_back(v);
+    all.add(v);
+    (i < 120 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(Stats, MedianOddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(Stats, MadKnownValue) {
+  const std::vector<double> xs = {1, 1, 2, 2, 4, 6, 9};
+  const double med = Median(xs);  // 2
+  EXPECT_DOUBLE_EQ(med, 2.0);
+  // deviations: 1,1,0,0,2,4,7 -> median 1.
+  EXPECT_DOUBLE_EQ(Mad(xs, med), 1.0);
+}
+
+TEST(Stats, RobustMeanRejectsOutliers) {
+  // 20 well-behaved readings plus one broken-sensor spike.
+  std::vector<double> xs;
+  Rng rng(55);
+  for (int i = 0; i < 20; ++i) xs.push_back(70.0 + rng.gaussian(0, 0.5));
+  xs.push_back(10'000.0);
+  const double plain = Mean(xs);
+  const double robust = RobustMean(xs, 6.0);
+  EXPECT_GT(plain, 500.0);          // the spike wrecks the plain mean
+  EXPECT_NEAR(robust, 70.0, 0.5);   // the robust mean shrugs it off
+}
+
+TEST(Stats, RobustMeanOnCleanDataMatchesMean) {
+  std::vector<double> xs;
+  Rng rng(56);
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.gaussian(5.0, 1.0));
+  EXPECT_NEAR(RobustMean(xs, 6.0), Mean(xs), 0.05);
+  // Constant data: MAD = 0, falls back to the mean.
+  const std::vector<double> constant = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(RobustMean(constant), 3.0);
+  EXPECT_DOUBLE_EQ(RobustMean({}), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.0);
+}
+
+// --- geo ----------------------------------------------------------------------
+
+TEST(Geo, HaversineKnownDistance) {
+  // Syracuse -> Tempe is about 3290 km.
+  const GeoPoint syracuse{43.05, -76.15, 0};
+  const GeoPoint tempe{33.43, -111.94, 0};
+  EXPECT_NEAR(HaversineMeters(syracuse, tempe), 3.29e6, 5e4);
+  EXPECT_DOUBLE_EQ(HaversineMeters(syracuse, syracuse), 0.0);
+}
+
+TEST(Geo, OffsetRoundTrip) {
+  const GeoPoint origin{43.0, -76.0, 100.0};
+  const GeoPoint moved = OffsetMeters(origin, 120.0, -60.0);
+  const LocalXY xy = ProjectLocal(origin, moved);
+  EXPECT_NEAR(xy.x_m, 120.0, 0.01);
+  EXPECT_NEAR(xy.y_m, -60.0, 0.01);
+  EXPECT_NEAR(HaversineMeters(origin, moved), std::hypot(120.0, 60.0), 0.5);
+}
+
+TEST(Geo, Distance3dIncludesAltitude) {
+  const GeoPoint a{43.0, -76.0, 0.0};
+  GeoPoint b = a;
+  b.alt_m = 30.0;
+  EXPECT_NEAR(Distance3dMeters(a, b), 30.0, 1e-6);
+}
+
+TEST(Geo, CurvatureStraightLineIsZero) {
+  const GeoPoint a{43.0, -76.0, 0};
+  const GeoPoint b = OffsetMeters(a, 10, 0);
+  const GeoPoint c = OffsetMeters(a, 20, 0);
+  EXPECT_NEAR(PolylineCurvature(a, b, c), 0.0, 1e-6);
+}
+
+TEST(Geo, CurvatureRightAngleTurn) {
+  const GeoPoint a{43.0, -76.0, 0};
+  const GeoPoint b = OffsetMeters(a, 10, 0);
+  const GeoPoint c = OffsetMeters(a, 10, 10);
+  // 90-degree turn over 10 m mean segment length: pi/2 / 10.
+  EXPECT_NEAR(PolylineCurvature(a, b, c), kPi / 2.0 / 10.0, 1e-3);
+}
+
+TEST(Geo, CurvatureDegenerateSegments) {
+  const GeoPoint a{43.0, -76.0, 0};
+  EXPECT_DOUBLE_EQ(PolylineCurvature(a, a, a), 0.0);
+}
+
+// --- sensor kinds ---------------------------------------------------------
+
+TEST(SensorKind, RoundTripNames) {
+  for (int i = 0; i < kSensorKindCount; ++i) {
+    const auto kind = static_cast<SensorKind>(i);
+    const auto parsed = SensorKindFromString(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(SensorKindFromString("flux_capacitor").has_value());
+}
+
+TEST(SensorKind, ExternalClassification) {
+  EXPECT_TRUE(IsExternalSensor(SensorKind::kDroneTemperature));
+  EXPECT_TRUE(IsExternalSensor(SensorKind::kDroneColor));
+  EXPECT_FALSE(IsExternalSensor(SensorKind::kAccelerometer));
+  EXPECT_FALSE(IsExternalSensor(SensorKind::kGps));
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,268 @@
+// Unit tests for the embedded relational store: schema enforcement, primary
+// keys, secondary indexes, scans, updates, and the concrete SOR schema.
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+
+namespace sor::db {
+namespace {
+
+Schema PeopleSchema() {
+  Schema s;
+  s.table_name = "people";
+  s.columns = {{"id", ColumnType::kInt64},
+               {"name", ColumnType::kText},
+               {"score", ColumnType::kDouble},
+               {"active", ColumnType::kBool},
+               {"note", ColumnType::kText, /*nullable=*/true}};
+  return s;
+}
+
+TEST(Value, TypePredicatesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(5).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("hi").is_text());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(Blob{1, 2}).is_blob());
+  EXPECT_EQ(Value(5).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value(5).numeric(), 5.0);
+  EXPECT_DOUBLE_EQ(Value(true).numeric(), 1.0);
+}
+
+TEST(Value, IntMatchesDoubleColumn) {
+  EXPECT_TRUE(Value(5).matches(ColumnType::kDouble));
+  EXPECT_FALSE(Value(5.0).matches(ColumnType::kInt64));
+}
+
+TEST(Value, CompareTotalOrder) {
+  EXPECT_LT(Value::Compare(Value(1), Value(2)), 0);
+  EXPECT_EQ(Value::Compare(Value("a"), Value("a")), 0);
+  EXPECT_GT(Value::Compare(Value("b"), Value("a")), 0);
+  // Null sorts before everything.
+  EXPECT_LT(Value::Compare(Value(), Value(false)), 0);
+  // Numeric comparison crosses int/double.
+  EXPECT_LT(Value::Compare(Value(1), Value(1.5)), 0);
+}
+
+TEST(Schema, ValidateChecksArityTypesAndNulls) {
+  const Schema s = PeopleSchema();
+  EXPECT_TRUE(s.Validate({Value(1), Value("a"), Value(1.0), Value(true),
+                          Value()})
+                  .ok());
+  // wrong arity
+  EXPECT_FALSE(s.Validate({Value(1)}).ok());
+  // wrong type
+  EXPECT_FALSE(s.Validate({Value(1), Value(2), Value(1.0), Value(true),
+                           Value()})
+                   .ok());
+  // null in non-nullable column
+  EXPECT_FALSE(s.Validate({Value(1), Value(), Value(1.0), Value(true),
+                           Value()})
+                   .ok());
+}
+
+TEST(Table, InsertAndFindByKey) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("ann"), Value(3.5), Value(true),
+                        Value()})
+                  .ok());
+  ASSERT_TRUE(t.Insert({Value(2), Value("bob"), Value(1.5), Value(false),
+                        Value("x")})
+                  .ok());
+  EXPECT_EQ(t.size(), 2u);
+  const auto row = t.FindByKey(Value(2));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[1].as_text(), "bob");
+  EXPECT_FALSE(t.FindByKey(Value(99)).has_value());
+}
+
+TEST(Table, DuplicateKeyRejected) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("ann"), Value(0.0), Value(true),
+                        Value()})
+                  .ok());
+  Result<RowId> dup =
+      t.Insert({Value(1), Value("eve"), Value(0.0), Value(true), Value()});
+  EXPECT_EQ(dup.code(), Errc::kAlreadyExists);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Table, UpsertInsertsThenReplaces) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Upsert({Value(1), Value("ann"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  ASSERT_TRUE(t.Upsert({Value(1), Value("ann2"), Value(2.0), Value(true),
+                        Value()})
+                  .ok());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ((*t.FindByKey(Value(1)))[1].as_text(), "ann2");
+}
+
+TEST(Table, SecondaryIndexFindWhereEq) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i), Value(i % 2 ? "odd" : "even"),
+                          Value(double(i)), Value(true), Value()})
+                    .ok());
+  }
+  EXPECT_EQ(t.FindWhereEq("name", Value("odd")).size(), 5u);
+  EXPECT_EQ(t.FindWhereEq("name", Value("even")).size(), 5u);
+  EXPECT_TRUE(t.FindWhereEq("name", Value("none")).empty());
+  EXPECT_FALSE(t.CreateIndex("no_such_column").ok());
+}
+
+TEST(Table, IndexBackfillOnLateCreation) {
+  Table t(PeopleSchema());
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i), Value("x"), Value(0.0), Value(true),
+                          Value()})
+                    .ok());
+  }
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  EXPECT_EQ(t.FindWhereEq("name", Value("x")).size(), 4u);
+}
+
+TEST(Table, UnindexedEqScanStillWorks) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  EXPECT_EQ(t.FindWhereEq("score", Value(1.0)).size(), 1u);
+}
+
+TEST(Table, ScanWithPredicateAndOrdering) {
+  Table t(PeopleSchema());
+  const double scores[] = {3.0, 1.0, 2.0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i + 1), Value("p"), Value(scores[i]),
+                          Value(true), Value()})
+                    .ok());
+  }
+  const auto all = t.ScanOrderedBy("score");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0][2].as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(all[2][2].as_double(), 3.0);
+  const auto some =
+      t.Scan([](const Row& r) { return r[2].as_double() >= 2.0; });
+  EXPECT_EQ(some.size(), 2u);
+}
+
+TEST(Table, UpdateMutatesAndReindexes) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  Result<std::size_t> n = t.Update(
+      [](const Row& r) { return r[0].as_int() == 1; },
+      [](Row& r) { r[1] = Value("renamed"); });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1u);
+  EXPECT_EQ(t.FindWhereEq("name", Value("a")).size(), 0u);
+  EXPECT_EQ(t.FindWhereEq("name", Value("renamed")).size(), 1u);
+}
+
+TEST(Table, UpdateByKeyNotFound) {
+  Table t(PeopleSchema());
+  EXPECT_EQ(t.UpdateByKey(Value(9), [](Row&) {}).code(), Errc::kNotFound);
+}
+
+TEST(Table, UpdateRejectsInvalidRows) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  Result<std::size_t> bad = t.Update(
+      {}, [](Row& r) { r[1] = Value(); });  // NULL into non-nullable
+  EXPECT_FALSE(bad.ok());
+  // Original row unchanged (two-phase commit).
+  EXPECT_EQ((*t.FindByKey(Value(1)))[1].as_text(), "a");
+}
+
+TEST(Table, UpdateRejectsDuplicatePrimaryKey) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  ASSERT_TRUE(t.Insert({Value(2), Value("b"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  Result<std::size_t> bad = t.Update(
+      [](const Row& r) { return r[0].as_int() == 2; },
+      [](Row& r) { r[0] = Value(1); });
+  EXPECT_EQ(bad.code(), Errc::kAlreadyExists);
+}
+
+TEST(Table, PrimaryKeySwapWithinUpdateSetAllowed) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  ASSERT_TRUE(t.Insert({Value(2), Value("b"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  // Shift both keys up by 10: transiently overlapping, finally disjoint.
+  Result<std::size_t> n = t.Update(
+      {}, [](Row& r) { r[0] = Value(r[0].as_int() + 10); });
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(t.FindByKey(Value(11)).has_value());
+  EXPECT_TRUE(t.FindByKey(Value(12)).has_value());
+}
+
+TEST(Table, EraseRemovesAndUnindexes) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i), Value(i <= 3 ? "del" : "keep"),
+                          Value(0.0), Value(true), Value()})
+                    .ok());
+  }
+  EXPECT_EQ(t.Erase([](const Row& r) { return r[1].as_text() == "del"; }),
+            3u);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.FindWhereEq("name", Value("del")).empty());
+  // Re-inserting an erased key works (index fully cleaned).
+  EXPECT_TRUE(t.Insert({Value(1), Value("back"), Value(0.0), Value(true),
+                        Value()})
+                  .ok());
+}
+
+TEST(Table, DoubleKeysDoNotAlias) {
+  Schema s;
+  s.table_name = "d";
+  s.columns = {{"k", ColumnType::kDouble}};
+  Table t(std::move(s));
+  ASSERT_TRUE(t.Insert({Value(1.0000000000000002)}).ok());
+  EXPECT_TRUE(t.Insert({Value(1.0)}).ok());  // distinct doubles, both fit
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Database, CreateLookupDrop) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(PeopleSchema()).ok());
+  EXPECT_NE(db.table("people"), nullptr);
+  EXPECT_EQ(db.table("ghosts"), nullptr);
+  EXPECT_EQ(db.CreateTable(PeopleSchema()).code(), Errc::kAlreadyExists);
+  EXPECT_TRUE(db.DropTable("people").ok());
+  EXPECT_EQ(db.DropTable("people").code(), Errc::kNotFound);
+}
+
+TEST(Database, SorSchemaComplete) {
+  Database db;
+  MakeSorSchema(db);
+  for (const char* name :
+       {tables::kUsers, tables::kApplications, tables::kParticipations,
+        tables::kRawData, tables::kFeatureData, tables::kSchedules}) {
+    EXPECT_NE(db.table(name), nullptr) << name;
+  }
+  // Spot-check a couple of schema facts the server relies on.
+  EXPECT_EQ(db.table(tables::kParticipations)->col("status"), 6);
+  EXPECT_EQ(db.table(tables::kRawData)->col("processed"), 5);
+  EXPECT_EQ(db.table(tables::kApplications)->col("features"), 9);
+}
+
+}  // namespace
+}  // namespace sor::db

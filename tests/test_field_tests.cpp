@@ -1,0 +1,197 @@
+// Field-test reproduction tests: Table I and Table II of the paper must
+// come out of the full pipeline exactly, and the ground truths the paper
+// established from photos and web comments (Figs. 8/9 and 12/13) are
+// encoded as orderings the sensed data must respect.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace sor::core {
+namespace {
+
+// Full-size field tests, matching the paper's phone counts. Run once per
+// scenario and share across the assertions below.
+const FieldTestResult& TrailResult() {
+  static const FieldTestResult result = [] {
+    System system;
+    FieldTestConfig config;
+    config.budget_per_user = 40;
+    config.sigma_s = 60.0;
+    Result<FieldTestResult> run =
+        system.RunFieldTest(world::MakeHikingTrailScenario(), config);
+    EXPECT_TRUE(run.ok()) << (run.ok() ? "" : run.error().str());
+    return std::move(run).value();
+  }();
+  return result;
+}
+
+const FieldTestResult& CoffeeResult() {
+  static const FieldTestResult result = [] {
+    System system;
+    FieldTestConfig config;
+    config.budget_per_user = 40;
+    Result<FieldTestResult> run =
+        system.RunFieldTest(world::MakeCoffeeShopScenario(), config);
+    EXPECT_TRUE(run.ok()) << (run.ok() ? "" : run.error().str());
+    return std::move(run).value();
+  }();
+  return result;
+}
+
+std::vector<std::string> Ranked(const FieldTestResult& r,
+                                const std::string& user) {
+  for (std::size_t i = 0; i < r.rankings.size(); ++i) {
+    if (r.rankings[i].first == user) return r.RankedNames(i);
+  }
+  ADD_FAILURE() << "no ranking for " << user;
+  return {};
+}
+
+// --- Table I: rankings of hiking trails computed by SOR --------------------
+
+TEST(TableI, AliceCliffLongGreenLake) {
+  EXPECT_EQ(Ranked(TrailResult(), "Alice"),
+            (std::vector<std::string>{"Cliff Trail", "Long Trail",
+                                      "Green Lake Trail"}));
+}
+
+TEST(TableI, BobLongCliffGreenLake) {
+  EXPECT_EQ(Ranked(TrailResult(), "Bob"),
+            (std::vector<std::string>{"Long Trail", "Cliff Trail",
+                                      "Green Lake Trail"}));
+}
+
+TEST(TableI, ChrisGreenLakeLongCliff) {
+  EXPECT_EQ(Ranked(TrailResult(), "Chris"),
+            (std::vector<std::string>{"Green Lake Trail", "Long Trail",
+                                      "Cliff Trail"}));
+}
+
+// --- Table II: rankings of coffee shops computed by SOR ---------------------
+
+TEST(TableII, DavidStarbucksBnNTimHortons) {
+  EXPECT_EQ(Ranked(CoffeeResult(), "David"),
+            (std::vector<std::string>{"Starbucks", "B&N Cafe",
+                                      "Tim Hortons"}));
+}
+
+TEST(TableII, EmmaBnNTimHortonsStarbucks) {
+  EXPECT_EQ(Ranked(CoffeeResult(), "Emma"),
+            (std::vector<std::string>{"B&N Cafe", "Tim Hortons",
+                                      "Starbucks"}));
+}
+
+// --- Fig. 8/9 ground truths (trails) ----------------------------------------
+// "the Cliff Trail is rocky so it is indeed a difficult trail. The other two
+// trails are flat and fairly easy, especially the Green Lake trail ... This
+// trail is almost entirely flat ... the Green Lake Trail is around a lake so
+// it is supposed to be humid and a little cooler."
+
+TEST(TrailGroundTruth, CliffIsTheDifficultTrail) {
+  const rank::FeatureMatrix& m = TrailResult().matrix;
+  const int rough = m.feature_index("roughness");
+  const int curv = m.feature_index("curvature");
+  const int alt = m.feature_index("altitude_change");
+  // Cliff (index 2) tops every difficulty feature.
+  for (int j : {rough, curv, alt}) {
+    EXPECT_GT(m.at(2, j), m.at(0, j)) << "feature " << j;
+    EXPECT_GT(m.at(2, j), m.at(1, j)) << "feature " << j;
+  }
+}
+
+TEST(TrailGroundTruth, GreenLakeAlmostEntirelyFlat) {
+  const rank::FeatureMatrix& m = TrailResult().matrix;
+  const int alt = m.feature_index("altitude_change");
+  EXPECT_LT(m.at(0, alt), 8.0);          // nearly flat in absolute terms
+  EXPECT_LT(m.at(0, alt), m.at(1, alt));  // flattest of the three
+}
+
+TEST(TrailGroundTruth, GreenLakeHumidAndCooler) {
+  const rank::FeatureMatrix& m = TrailResult().matrix;
+  const int temp = m.feature_index("temperature");
+  const int hum = m.feature_index("humidity");
+  EXPECT_GT(m.at(0, hum), m.at(1, hum));
+  EXPECT_GT(m.at(0, hum), m.at(2, hum));
+  EXPECT_LT(m.at(0, temp), m.at(1, temp));
+  EXPECT_LT(m.at(0, temp), m.at(2, temp));
+}
+
+TEST(TrailGroundTruth, CliffDrierThanGreenLake) {
+  // "...the Cliff trail, which is difficult but drier than the Green Lake
+  // Trail" — the reason Bob ranks Cliff above Green Lake.
+  const rank::FeatureMatrix& m = TrailResult().matrix;
+  const int hum = m.feature_index("humidity");
+  EXPECT_LT(m.at(2, hum), m.at(0, hum));
+}
+
+// --- Fig. 12/13 ground truths (coffee shops) ---------------------------------
+// "the Starbucks is crowded, noisy and dark. While the other two coffee
+// shops are quiet and bright. The Tim Hortons is a little colder than the
+// B&N Cafe, however, very bright due to a big window."
+
+TEST(CoffeeGroundTruth, StarbucksNoisyAndDark) {
+  const rank::FeatureMatrix& m = CoffeeResult().matrix;
+  const int noise = m.feature_index("noise");
+  const int bright = m.feature_index("brightness");
+  EXPECT_GT(m.at(2, noise), m.at(0, noise));
+  EXPECT_GT(m.at(2, noise), m.at(1, noise));
+  EXPECT_LT(m.at(2, bright), m.at(0, bright));
+  EXPECT_LT(m.at(2, bright), m.at(1, bright));
+}
+
+TEST(CoffeeGroundTruth, TimHortonsColdestButBrightest) {
+  const rank::FeatureMatrix& m = CoffeeResult().matrix;
+  const int temp = m.feature_index("temperature");
+  const int bright = m.feature_index("brightness");
+  EXPECT_LT(m.at(0, temp), m.at(1, temp));   // TH colder than B&N
+  EXPECT_GT(m.at(0, bright), m.at(1, bright));  // TH brightest
+}
+
+// --- measured values stay close to the world's ground truth -------------------
+
+TEST(FieldTests, TrailFeaturesNearGroundTruth) {
+  const FieldTestResult& r = TrailResult();
+  const world::Scenario scenario = world::MakeHikingTrailScenario();
+  const std::vector<double> truth = world::GroundTruthFeatures(scenario);
+  const int m = r.matrix.num_features();
+  for (int i = 0; i < r.matrix.num_places(); ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double want = truth[static_cast<std::size_t>(i) * m + j];
+      const double got = r.matrix.at(i, j);
+      // Curvature (j == 3) is GPS-estimated: allow 35%; everything else 10%
+      // or a small absolute floor.
+      const double tol =
+          j == 3 ? std::max(5.0, want * 0.35)
+                 : std::max(1.5, std::fabs(want) * 0.10);
+      EXPECT_NEAR(got, want, tol) << "place " << i << " feature " << j;
+    }
+  }
+}
+
+TEST(FieldTests, PaperScaleParticipation) {
+  // §V-A: 7 phones per trail; §V-B: 12 per shop — all accepted.
+  EXPECT_EQ(TrailResult().server_stats.participations_accepted, 21u);
+  EXPECT_EQ(CoffeeResult().server_stats.participations_accepted, 36u);
+  EXPECT_EQ(TrailResult().server_stats.participations_rejected, 0u);
+}
+
+TEST(FieldTests, RankingsAreTrueForEveryAggregationMethod) {
+  // Table I/II should be stable across all four aggregation algorithms on
+  // this data (the methods agree when the evidence is clear-cut).
+  const rank::PersonalizableRanker trail_ranker(TrailResult().matrix);
+  const world::Scenario trails = world::MakeHikingTrailScenario();
+  for (auto method :
+       {rank::AggregationMethod::kFootruleHungarian,
+        rank::AggregationMethod::kExactKemeny,
+        rank::AggregationMethod::kBorda}) {
+    Result<rank::RankingOutcome> alice =
+        trail_ranker.Rank(trails.profiles[0], method);
+    ASSERT_TRUE(alice.ok());
+    EXPECT_EQ(alice.value().OrderedNames(TrailResult().matrix),
+              (std::vector<std::string>{"Cliff Trail", "Long Trail",
+                                        "Green Lake Trail"}));
+  }
+}
+
+}  // namespace
+}  // namespace sor::core

@@ -1,0 +1,197 @@
+// Unit + property tests for min-cost flow and the assignment solvers.
+// The flow solver is the engine behind the paper's rank-aggregation
+// reduction (§IV-B), so both solvers are cross-checked against each other
+// and against exhaustive search on random instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "flow/assignment.hpp"
+#include "flow/min_cost_flow.hpp"
+
+namespace sor::flow {
+namespace {
+
+TEST(MinCostFlow, SimplePath) {
+  // s=0 -> 1 -> t=2, capacities 5, costs 1 and 2.
+  MinCostFlow g(3);
+  g.AddEdge(0, 1, 5, 1);
+  g.AddEdge(1, 2, 5, 2);
+  Result<FlowResult> r = g.Solve(0, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().flow, 5);
+  EXPECT_EQ(r.value().cost, 15);
+}
+
+TEST(MinCostFlow, PrefersCheaperPath) {
+  // Two parallel paths: cost 1 (cap 1) and cost 10 (cap 1). Push 1 unit.
+  MinCostFlow g(4);
+  const int cheap = g.AddEdge(0, 1, 1, 1);
+  g.AddEdge(1, 3, 1, 0);
+  const int dear = g.AddEdge(0, 2, 1, 10);
+  g.AddEdge(2, 3, 1, 0);
+  Result<FlowResult> r = g.Solve(0, 3, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().flow, 1);
+  EXPECT_EQ(r.value().cost, 1);
+  EXPECT_EQ(g.flow_on(cheap), 1);
+  EXPECT_EQ(g.flow_on(dear), 0);
+}
+
+TEST(MinCostFlow, RespectsMaxFlowLimit) {
+  MinCostFlow g(2);
+  g.AddEdge(0, 1, 100, 3);
+  Result<FlowResult> r = g.Solve(0, 1, 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().flow, 7);
+  EXPECT_EQ(r.value().cost, 21);
+}
+
+TEST(MinCostFlow, DisconnectedGraphPushesZero) {
+  MinCostFlow g(4);
+  g.AddEdge(0, 1, 1, 1);  // t=3 unreachable
+  Result<FlowResult> r = g.Solve(0, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().flow, 0);
+  EXPECT_EQ(r.value().cost, 0);
+}
+
+TEST(MinCostFlow, NegativeCostsHandledByBellmanFord) {
+  // Path with a negative edge: s->1 cost -5, 1->t cost 2.
+  MinCostFlow g(3);
+  g.AddEdge(0, 1, 2, -5);
+  g.AddEdge(1, 2, 2, 2);
+  Result<FlowResult> r = g.Solve(0, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().flow, 2);
+  EXPECT_EQ(r.value().cost, -6);
+}
+
+TEST(MinCostFlow, InvalidArgumentsRejected) {
+  MinCostFlow g(3);
+  g.AddEdge(0, 1, 1, 1);
+  EXPECT_FALSE(g.Solve(0, 0).ok());
+  EXPECT_FALSE(g.Solve(-1, 2).ok());
+  EXPECT_FALSE(g.Solve(0, 5).ok());
+}
+
+TEST(MinCostFlow, SolveIsOneShot) {
+  MinCostFlow g(2);
+  g.AddEdge(0, 1, 1, 1);
+  ASSERT_TRUE(g.Solve(0, 1).ok());
+  EXPECT_FALSE(g.Solve(0, 1).ok());
+}
+
+// --- assignment ---------------------------------------------------------------
+
+CostMatrix RandomCosts(int n, Rng& rng, std::int64_t max_cost = 50) {
+  CostMatrix m;
+  m.n = n;
+  m.cost.resize(static_cast<std::size_t>(n) * n);
+  for (auto& c : m.cost) c = rng.uniform_int(0, max_cost);
+  return m;
+}
+
+std::int64_t BruteForceAssignment(const CostMatrix& m) {
+  std::vector<int> perm(static_cast<std::size_t>(m.n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  do {
+    std::int64_t cost = 0;
+    for (int i = 0; i < m.n; ++i) cost += m.at(i, perm[i]);
+    best = std::min(best, cost);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+void CheckIsPermutation(const std::vector<int>& a) {
+  std::vector<int> seen(a.size(), 0);
+  for (int v : a) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, static_cast<int>(a.size()));
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Assignment, KnownInstance) {
+  // Classic 3x3 with unique optimum 5: (0,1),(1,0),(2,2).
+  CostMatrix m;
+  m.n = 3;
+  m.cost = {4, 1, 3,
+            2, 0, 5,
+            3, 2, 2};
+  Result<AssignmentResult> flow = SolveAssignmentFlow(m);
+  Result<AssignmentResult> hung = SolveAssignmentHungarian(m);
+  ASSERT_TRUE(flow.ok());
+  ASSERT_TRUE(hung.ok());
+  EXPECT_EQ(flow.value().total_cost, 5);
+  EXPECT_EQ(hung.value().total_cost, 5);
+  EXPECT_EQ(flow.value().column_of_row, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(Assignment, SingleElement) {
+  CostMatrix m;
+  m.n = 1;
+  m.cost = {7};
+  Result<AssignmentResult> r = SolveAssignmentFlow(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().total_cost, 7);
+  EXPECT_EQ(r.value().column_of_row, (std::vector<int>{0}));
+}
+
+TEST(Assignment, EmptyOrMalformedRejected) {
+  CostMatrix empty;
+  EXPECT_FALSE(SolveAssignmentFlow(empty).ok());
+  EXPECT_FALSE(SolveAssignmentHungarian(empty).ok());
+  CostMatrix bad;
+  bad.n = 2;
+  bad.cost = {1, 2, 3};  // 3 != 4
+  EXPECT_FALSE(SolveAssignmentFlow(bad).ok());
+}
+
+// Property: on random instances, both solvers produce permutations whose
+// costs equal the brute-force optimum.
+class AssignmentRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentRandomTest, MatchesBruteForce) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 7919 + 13);
+  for (int round = 0; round < 20; ++round) {
+    const CostMatrix m = RandomCosts(n, rng);
+    const std::int64_t optimum = BruteForceAssignment(m);
+    Result<AssignmentResult> flow = SolveAssignmentFlow(m);
+    Result<AssignmentResult> hung = SolveAssignmentHungarian(m);
+    ASSERT_TRUE(flow.ok());
+    ASSERT_TRUE(hung.ok());
+    EXPECT_EQ(flow.value().total_cost, optimum);
+    EXPECT_EQ(hung.value().total_cost, optimum);
+    CheckIsPermutation(flow.value().column_of_row);
+    CheckIsPermutation(hung.value().column_of_row);
+    // Reported cost must equal the cost of the reported assignment.
+    std::int64_t recomputed = 0;
+    for (int i = 0; i < n; ++i)
+      recomputed += m.at(i, flow.value().column_of_row[i]);
+    EXPECT_EQ(recomputed, flow.value().total_cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AssignmentRandomTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+TEST(Assignment, SolversAgreeOnLargerInstances) {
+  Rng rng(99);
+  for (int n : {10, 20, 40}) {
+    const CostMatrix m = RandomCosts(n, rng, 1'000);
+    Result<AssignmentResult> flow = SolveAssignmentFlow(m);
+    Result<AssignmentResult> hung = SolveAssignmentHungarian(m);
+    ASSERT_TRUE(flow.ok());
+    ASSERT_TRUE(hung.ok());
+    EXPECT_EQ(flow.value().total_cost, hung.value().total_cost) << n;
+  }
+}
+
+}  // namespace
+}  // namespace sor::flow

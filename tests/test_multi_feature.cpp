@@ -1,0 +1,237 @@
+// Tests for multi-feature scheduling (per-feature σ kernels, one shared
+// budget) and for server-side participant re-verification.
+#include <gtest/gtest.h>
+
+#include "phone/frontend.hpp"
+#include "sched/greedy.hpp"
+#include "sched/multi_feature.hpp"
+#include "server/feature_def.hpp"
+#include "server/server.hpp"
+#include "world/scenarios.hpp"
+
+namespace sor {
+namespace {
+
+using sched::FeatureKernelSpec;
+using sched::MultiFeatureProblem;
+
+MultiFeatureProblem TwoFeatureProblem(int n = 120, double period_s = 1'200) {
+  MultiFeatureProblem p;
+  p.grid = MakeInstantGrid(
+      SimInterval{SimTime{0}, SimTime::FromSeconds(period_s)}, n);
+  p.users.push_back(sched::UserWindow{
+      SimInterval{SimTime{0}, SimTime::FromSeconds(period_s)}, 10});
+  p.features = {
+      {"acceleration", 10.0, 1.0},   // fast feature, narrow kernel
+      {"temperature", 120.0, 1.0},   // slow feature, wide kernel
+  };
+  return p;
+}
+
+TEST(MultiFeature, Validation) {
+  MultiFeatureProblem p = TwoFeatureProblem();
+  EXPECT_TRUE(p.Validate().ok());
+  p.features.clear();
+  EXPECT_FALSE(p.Validate().ok());
+  p = TwoFeatureProblem();
+  p.features[0].sigma_s = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TwoFeatureProblem();
+  p.features[1].weight = -0.5;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(MultiFeature, SingleFeatureReducesToPlainGreedy) {
+  MultiFeatureProblem mp = TwoFeatureProblem();
+  mp.features = {{"only", 20.0, 1.0}};
+  Result<sched::MultiFeatureResult> multi =
+      sched::MultiFeatureGreedySchedule(mp);
+  ASSERT_TRUE(multi.ok());
+
+  sched::Problem p = mp.Base();
+  p.sigma_s = 20.0;
+  Result<sched::ScheduleResult> plain = sched::GreedySchedule(p);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NEAR(multi.value().objective, plain.value().objective, 1e-6);
+}
+
+TEST(MultiFeature, EvaluatorMatchesManualComputation) {
+  MultiFeatureProblem p = TwoFeatureProblem(10, 100);
+  sched::Schedule s = sched::Schedule::Empty(1);
+  s.per_user[0] = {5};
+  Result<sched::MultiFeatureResult> r = sched::EvaluateMultiFeature(p, s);
+  ASSERT_TRUE(r.ok());
+  // Per-feature objective = Σ kernel values around instant 5.
+  double expected = 0.0;
+  for (const FeatureKernelSpec& f : p.features) {
+    const sched::CoverageKernel kern(f.sigma_s, 10.0, p.support_sigmas);
+    double cov = 0.0;
+    for (int j = 0; j < 10; ++j) cov += kern.at(std::abs(j - 5));
+    expected += f.weight * cov;
+  }
+  EXPECT_NEAR(r.value().objective, expected, 1e-9);
+  ASSERT_EQ(r.value().per_feature_coverage.size(), 2u);
+  // Wide kernel covers more of the grid than the narrow one.
+  EXPECT_GT(r.value().per_feature_coverage[1],
+            r.value().per_feature_coverage[0]);
+}
+
+TEST(MultiFeature, GreedyBeatsSingleKernelSchedulesOnBlendedObjective) {
+  MultiFeatureProblem mp = TwoFeatureProblem(240, 2'400);
+  Result<sched::MultiFeatureResult> multi =
+      sched::MultiFeatureGreedySchedule(mp);
+  ASSERT_TRUE(multi.ok());
+
+  // Schedules optimized for one kernel only, scored on the blend.
+  for (double sigma : {10.0, 120.0}) {
+    sched::Problem p = mp.Base();
+    p.sigma_s = sigma;
+    Result<sched::ScheduleResult> single = sched::GreedySchedule(p);
+    ASSERT_TRUE(single.ok());
+    Result<sched::MultiFeatureResult> scored =
+        sched::EvaluateMultiFeature(mp, single.value().schedule);
+    ASSERT_TRUE(scored.ok());
+    EXPECT_GE(multi.value().objective, scored.value().objective - 1e-6)
+        << "sigma " << sigma;
+  }
+}
+
+TEST(MultiFeature, RespectsBudgets) {
+  MultiFeatureProblem mp = TwoFeatureProblem();
+  mp.users.push_back(sched::UserWindow{
+      SimInterval{SimTime{0}, SimTime::FromSeconds(600)}, 3});
+  Result<sched::MultiFeatureResult> r =
+      sched::MultiFeatureGreedySchedule(mp);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().schedule.per_user[0].size(), 10u);
+  EXPECT_LE(r.value().schedule.per_user[1].size(), 3u);
+  for (int i : r.value().schedule.per_user[1]) {
+    EXPECT_LE(mp.grid[static_cast<std::size_t>(i)].seconds(), 600.0);
+  }
+}
+
+TEST(MultiFeature, ZeroWeightFeatureIgnored) {
+  MultiFeatureProblem focused = TwoFeatureProblem();
+  focused.features[1].weight = 0.0;  // only the fast feature matters
+  Result<sched::MultiFeatureResult> r =
+      sched::MultiFeatureGreedySchedule(focused);
+  ASSERT_TRUE(r.ok());
+
+  sched::Problem p = focused.Base();
+  p.sigma_s = 10.0;
+  Result<sched::ScheduleResult> plain = sched::GreedySchedule(p);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NEAR(r.value().objective, plain.value().objective, 1e-6);
+}
+
+// --- participant re-verification ---------------------------------------------
+
+// An environment whose position can be teleported mid-test.
+class MovableEnvironment final : public sensors::SensorEnvironment {
+ public:
+  explicit MovableEnvironment(GeoPoint at) : at_(at) {}
+  double Sample(SensorKind, SimTime) override { return 1.0; }
+  GeoPoint Position(SimTime) override { return at_; }
+  void MoveTo(GeoPoint p) { at_ = p; }
+
+ private:
+  GeoPoint at_;
+};
+
+TEST(Verification, WanderingParticipantIsRetired) {
+  SimClock clock;
+  net::LoopbackNetwork network;
+  server::SensingServer server(server::ServerConfig{}, network, clock);
+
+  server::ApplicationSpec spec;
+  spec.creator = "op";
+  spec.place = PlaceId{1};
+  spec.place_name = "Cafe";
+  spec.location = GeoPoint{43.0, -76.0, 0};
+  spec.radius_m = 80;
+  spec.script = "local xs = get_noise_readings(2)";
+  spec.features = server::CoffeeShopFeatures();
+  spec.period = SimInterval{SimTime{0}, SimTime{600'000}};
+  spec.n_instants = 60;
+  spec.sigma_s = 20.0;
+  const BarcodePayload barcode = server.DeployApplication(spec).value();
+
+  MovableEnvironment env(spec.location);
+  phone::FrontendConfig cfg;
+  cfg.phone_id = PhoneId{1};
+  cfg.user_name = "wanderer";
+  cfg.token = Token{"tok-w"};
+  cfg.user_id =
+      server.users().RegisterUser(cfg.user_name, cfg.token).value();
+  phone::MobileFrontend frontend(cfg, network, env, clock);
+  Result<TaskId> task = frontend.ScanBarcode(barcode, 5);
+  ASSERT_TRUE(task.ok());
+
+  // Still at the cafe: verification keeps the participant.
+  Result<int> removed = server.VerifyParticipants(barcode.app);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 0);
+  EXPECT_EQ(server.participations().Get(task.value()).value().status,
+            "running");
+
+  // Wander 2 km away; the next verification retires the task.
+  env.MoveTo(GeoPoint{43.02, -76.0, 0});
+  clock.advance(SimDuration{120'000});
+  removed = server.VerifyParticipants(barcode.app);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 1);
+  const auto rec = server.participations().Get(task.value()).value();
+  EXPECT_EQ(rec.status, "finished");
+  ASSERT_TRUE(rec.leave.has_value());
+  EXPECT_EQ(rec.leave->ms, clock.now().ms);
+}
+
+TEST(Verification, UnreachablePhoneMarkedErrored) {
+  SimClock clock;
+  net::LoopbackNetwork network;
+  server::SensingServer server(server::ServerConfig{}, network, clock);
+
+  server::ApplicationSpec spec;
+  spec.creator = "op";
+  spec.place = PlaceId{1};
+  spec.place_name = "Cafe";
+  spec.location = GeoPoint{43.0, -76.0, 0};
+  spec.radius_m = 80;
+  spec.script = "local xs = get_noise_readings(2)";
+  spec.features = server::CoffeeShopFeatures();
+  spec.period = SimInterval{SimTime{0}, SimTime{600'000}};
+  spec.n_instants = 60;
+  spec.sigma_s = 20.0;
+  const BarcodePayload barcode = server.DeployApplication(spec).value();
+
+  TaskId task;
+  {
+    MovableEnvironment env(spec.location);
+    phone::FrontendConfig cfg;
+    cfg.phone_id = PhoneId{1};
+    cfg.user_name = "ghost";
+    cfg.token = Token{"tok-g"};
+    cfg.user_id =
+        server.users().RegisterUser(cfg.user_name, cfg.token).value();
+    phone::MobileFrontend frontend(cfg, network, env, clock);
+    task = frontend.ScanBarcode(barcode, 5).value();
+    // frontend unregisters from the network when it goes out of scope —
+    // the phone powered off.
+  }
+
+  Result<int> removed = server.VerifyParticipants(barcode.app);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 1);
+  const auto rec = server.participations().Get(task).value();
+  EXPECT_EQ(rec.status.rfind("error", 0), 0u) << rec.status;
+}
+
+TEST(Verification, UnknownAppRejected) {
+  SimClock clock;
+  net::LoopbackNetwork network;
+  server::SensingServer server(server::ServerConfig{}, network, clock);
+  EXPECT_FALSE(server.VerifyParticipants(AppId{404}).ok());
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,109 @@
+// Unit tests for the loopback transport: round trips, routing, error
+// surfacing and fault injection.
+#include <gtest/gtest.h>
+
+#include "net/transport.hpp"
+
+namespace sor::net {
+namespace {
+
+// Echo endpoint: replies with an Ack carrying a recognizable value, or
+// propagates decode failures like a real handler.
+class EchoEndpoint final : public Endpoint {
+ public:
+  Bytes HandleFrame(std::span<const std::uint8_t> frame) override {
+    ++frames_;
+    Result<Message> decoded = DecodeFrame(frame);
+    if (!decoded.ok()) {
+      ++decode_failures_;
+      return EncodeFrame(ErrorReply{
+          static_cast<std::uint8_t>(decoded.error().code),
+          decoded.error().message});
+    }
+    return EncodeFrame(Ack{1234});
+  }
+  int frames_ = 0;
+  int decode_failures_ = 0;
+};
+
+TEST(Transport, RoundTrip) {
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  Result<Message> reply = net.Send("echo", Ping{PhoneId{1}});
+  ASSERT_TRUE(reply.ok()) << reply.error().str();
+  ASSERT_TRUE(std::holds_alternative<Ack>(reply.value()));
+  EXPECT_EQ(std::get<Ack>(reply.value()).in_reply_to, 1234u);
+  EXPECT_EQ(echo.frames_, 1);
+  EXPECT_EQ(net.stats().delivered, 1u);
+  EXPECT_GT(net.stats().bytes_sent, 0u);
+}
+
+TEST(Transport, UnknownEndpoint) {
+  LoopbackNetwork net;
+  Result<Message> reply = net.Send("ghost", Ack{});
+  EXPECT_EQ(reply.code(), Errc::kUnavailable);
+}
+
+TEST(Transport, UnregisterStopsDelivery) {
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  net.Unregister("echo");
+  EXPECT_FALSE(net.Send("echo", Ack{}).ok());
+}
+
+TEST(Transport, RemoteErrorSurfacesAsLocalError) {
+  class FailingEndpoint final : public Endpoint {
+   public:
+    Bytes HandleFrame(std::span<const std::uint8_t>) override {
+      return EncodeFrame(ErrorReply{
+          static_cast<std::uint8_t>(Errc::kOutOfBudget), "budget gone"});
+    }
+  };
+  LoopbackNetwork net;
+  FailingEndpoint failing;
+  net.Register("f", &failing);
+  Result<Message> reply = net.Send("f", Ack{});
+  EXPECT_EQ(reply.code(), Errc::kOutOfBudget);
+  EXPECT_EQ(reply.error().message, "budget gone");
+}
+
+TEST(Transport, DropFaultInjection) {
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  net.faults().drop_next = 2;
+  EXPECT_EQ(net.Send("echo", Ack{}).code(), Errc::kTimeout);
+  EXPECT_EQ(net.Send("echo", Ack{}).code(), Errc::kTimeout);
+  EXPECT_TRUE(net.Send("echo", Ack{}).ok());  // back to normal
+  EXPECT_EQ(echo.frames_, 1);                 // dropped frames never arrived
+  EXPECT_EQ(net.stats().dropped, 2u);
+}
+
+TEST(Transport, CorruptionFaultInjectionDetectedByReceiver) {
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  net.faults().corrupt_next = 1;
+  Result<Message> reply = net.Send("echo", Ping{PhoneId{7}});
+  // The receiver detects the corrupt frame (CRC) and returns an error
+  // reply, which surfaces as a decode error on the sender side.
+  EXPECT_EQ(reply.code(), Errc::kDecodeError);
+  EXPECT_EQ(echo.decode_failures_, 1);
+  EXPECT_EQ(net.stats().corrupted, 1u);
+  // Next message is clean.
+  EXPECT_TRUE(net.Send("echo", Ping{PhoneId{7}}).ok());
+}
+
+TEST(Transport, StatsAccumulate) {
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(net.Send("echo", Ack{}).ok());
+  EXPECT_EQ(net.stats().delivered, 5u);
+  EXPECT_GT(net.stats().bytes_received, net.stats().delivered);
+}
+
+}  // namespace
+}  // namespace sor::net

@@ -1,0 +1,200 @@
+// Property tests of the paper's theoretical claims, checked directly:
+//   * the coverage objective is non-negative, monotone and submodular
+//     (the premises of the 1/2-approximation guarantee, §III / [31]);
+//   * KemenyDistanceFast ≡ KemenyDistance (inversion-count equivalence);
+//   * the Kemeny distance is a metric (triangle inequality, symmetry);
+//   * multiple sensing servers coexist on one network (§II: "One or
+//     multiple sensing servers need to be deployed").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "rank/distances.hpp"
+#include "sched/coverage.hpp"
+#include "server/server.hpp"
+
+namespace sor {
+namespace {
+
+// --- submodularity of the coverage objective ---------------------------------
+
+// Evaluate f over an explicit multiset of instants.
+double F(const sched::CoverageEvaluator& eval, const std::vector<int>& set) {
+  double total = 0.0;
+  for (double q : eval.UncoveredAfter(set)) total += 1.0 - q;
+  return total;
+}
+
+class CoveragePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoveragePropertyTest, MonotoneAndSubmodular) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+  sched::Problem p = sched::Problem::UniformGrid(300.0, 30, 15.0);
+  const sched::CoverageEvaluator eval(p);
+
+  for (int round = 0; round < 50; ++round) {
+    // Random nested sets A ⊆ B and a fresh element x.
+    std::vector<int> b;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.chance(0.3)) b.push_back(i);
+    }
+    std::vector<int> a;
+    for (int i : b) {
+      if (rng.chance(0.5)) a.push_back(i);
+    }
+    const int x = static_cast<int>(rng.uniform_int(0, 29));
+
+    std::vector<int> ax = a;
+    ax.push_back(x);
+    std::vector<int> bx = b;
+    bx.push_back(x);
+
+    const double fa = F(eval, a);
+    const double fb = F(eval, b);
+    const double fax = F(eval, ax);
+    const double fbx = F(eval, bx);
+
+    // Non-negativity and monotonicity.
+    EXPECT_GE(fa, -1e-12);
+    EXPECT_GE(fb + 1e-12, fa);     // A ⊆ B → f(A) <= f(B)
+    EXPECT_GE(fax + 1e-12, fa);    // adding x never hurts
+    // Submodularity: marginal gain shrinks on the larger set.
+    EXPECT_GE((fax - fa) - (fbx - fb), -1e-9)
+        << "round " << round << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoveragePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CoverageProperty, BoundedByInstantCount) {
+  sched::Problem p = sched::Problem::UniformGrid(300.0, 30, 15.0);
+  const sched::CoverageEvaluator eval(p);
+  std::vector<int> everything;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 30; ++i) everything.push_back(i);
+  }
+  const double f = F(eval, everything);
+  EXPECT_LE(f, 30.0 + 1e-9);
+  EXPECT_GT(f, 29.0);  // saturated
+}
+
+// --- Kemeny fast path ----------------------------------------------------------
+
+rank::Ranking RandomRanking(int n, Rng& rng) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  return rank::Ranking::FromOrder(std::move(order)).value();
+}
+
+class KemenyFastTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KemenyFastTest, MatchesQuadraticReference) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 7 + 5);
+  for (int round = 0; round < 50; ++round) {
+    const rank::Ranking a = RandomRanking(n, rng);
+    const rank::Ranking b = RandomRanking(n, rng);
+    EXPECT_EQ(rank::KemenyDistanceFast(a, b), rank::KemenyDistance(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KemenyFastTest,
+                         ::testing::Values(1, 2, 3, 8, 33, 100));
+
+TEST(KemenyFast, ExtremesAndPaperExample) {
+  const rank::Ranking id = rank::Ranking::Identity(5);
+  EXPECT_EQ(rank::KemenyDistanceFast(id, id), 0);
+  const rank::Ranking rev =
+      rank::Ranking::FromOrder({4, 3, 2, 1, 0}).value();
+  EXPECT_EQ(rank::KemenyDistanceFast(id, rev), 10);  // C(5,2)
+  const rank::Ranking r1 = rank::Ranking::FromOrder({0, 1, 2}).value();
+  const rank::Ranking r2 = rank::Ranking::FromOrder({1, 2, 0}).value();
+  EXPECT_EQ(rank::KemenyDistanceFast(r1, r2), 2);  // the paper's example
+}
+
+TEST(KemenyMetric, TriangleInequalityAndSymmetry) {
+  Rng rng(31);
+  for (int round = 0; round < 100; ++round) {
+    const rank::Ranking a = RandomRanking(7, rng);
+    const rank::Ranking b = RandomRanking(7, rng);
+    const rank::Ranking c = RandomRanking(7, rng);
+    const auto dab = rank::KemenyDistanceFast(a, b);
+    const auto dba = rank::KemenyDistanceFast(b, a);
+    const auto dbc = rank::KemenyDistanceFast(b, c);
+    const auto dac = rank::KemenyDistanceFast(a, c);
+    EXPECT_EQ(dab, dba);
+    EXPECT_LE(dac, dab + dbc);
+    EXPECT_GE(dab, 0);
+  }
+}
+
+// --- multiple sensing servers ----------------------------------------------------
+
+TEST(MultiServer, TwoServersShareOneNetwork) {
+  SimClock clock;
+  net::LoopbackNetwork network;
+  server::SensingServer east(server::ServerConfig{.endpoint_name = "east"},
+                             network, clock);
+  server::SensingServer west(server::ServerConfig{.endpoint_name = "west"},
+                             network, clock);
+
+  auto deploy = [&](server::SensingServer& srv, const char* place) {
+    server::ApplicationSpec spec;
+    spec.creator = "op";
+    spec.place = PlaceId{1};
+    spec.place_name = place;
+    spec.location = GeoPoint{43.0, -76.0, 0};
+    spec.radius_m = 100;
+    spec.script = "local xs = get_noise_readings(2)";
+    spec.features = server::CoffeeShopFeatures();
+    spec.period = SimInterval{SimTime{0}, SimTime{600'000}};
+    spec.n_instants = 60;
+    spec.sigma_s = 20.0;
+    return srv.DeployApplication(spec).value();
+  };
+  const BarcodePayload east_code = deploy(east, "East Cafe");
+  const BarcodePayload west_code = deploy(west, "West Cafe");
+  EXPECT_EQ(east_code.server, "east");
+  EXPECT_EQ(west_code.server, "west");
+
+  // A user registered with each server; one phone endpoint answers both.
+  struct NullPhone final : net::Endpoint {
+    Bytes HandleFrame(std::span<const std::uint8_t>) override {
+      return EncodeFrame(Ack{});
+    }
+  };
+  NullPhone phone;
+  network.Register("phone:tok-x", &phone);
+  const UserId ue = east.users().RegisterUser("x", Token{"tok-x"}).value();
+  const UserId uw = west.users().RegisterUser("x", Token{"tok-x"}).value();
+
+  ParticipationRequest req;
+  req.user = ue;
+  req.token = Token{"tok-x"};
+  req.app = east_code.app;
+  req.location = GeoPoint{43.0, -76.0, 0};
+  req.budget = 5;
+  Result<Message> r1 = network.Send(east_code.server, req);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(std::get<ParticipationReply>(r1.value()).accepted);
+
+  req.user = uw;
+  req.app = west_code.app;
+  Result<Message> r2 = network.Send(west_code.server, req);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(std::get<ParticipationReply>(r2.value()).accepted);
+
+  // State is fully isolated per server.
+  EXPECT_EQ(east.stats().participations_accepted, 1u);
+  EXPECT_EQ(west.stats().participations_accepted, 1u);
+  EXPECT_EQ(east.database().table(db::tables::kParticipations)->size(), 1u);
+  EXPECT_EQ(west.database().table(db::tables::kParticipations)->size(), 1u);
+  network.Unregister("phone:tok-x");
+}
+
+}  // namespace
+}  // namespace sor

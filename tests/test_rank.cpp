@@ -1,0 +1,242 @@
+// Unit + property tests for rankings, rank distances (incl. the paper's
+// worked Kemeny example and the Diaconis–Graham inequality of Eq. 10), and
+// the four aggregation algorithms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "rank/aggregate.hpp"
+#include "rank/distances.hpp"
+
+namespace sor::rank {
+namespace {
+
+Ranking R(std::vector<int> order) {
+  Result<Ranking> r = Ranking::FromOrder(std::move(order));
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+Ranking RandomRanking(int n, Rng& rng) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  return R(std::move(order));
+}
+
+// --- Ranking type -----------------------------------------------------------
+
+TEST(Ranking, FromOrderValidates) {
+  EXPECT_TRUE(Ranking::FromOrder({0, 1, 2}).ok());
+  EXPECT_FALSE(Ranking::FromOrder({0, 0, 2}).ok());  // duplicate
+  EXPECT_FALSE(Ranking::FromOrder({0, 3}).ok());     // out of range
+  EXPECT_TRUE(Ranking::FromOrder({}).ok());          // empty is fine
+}
+
+TEST(Ranking, PositionOfIsInverseOfItemAt) {
+  const Ranking r = R({2, 0, 1});
+  EXPECT_EQ(r.position_of(2), 0);
+  EXPECT_EQ(r.position_of(0), 1);
+  EXPECT_EQ(r.position_of(1), 2);
+  for (int pos = 0; pos < r.size(); ++pos)
+    EXPECT_EQ(r.position_of(r.item_at(pos)), pos);
+}
+
+TEST(Ranking, Identity) {
+  const Ranking id = Ranking::Identity(4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(id.position_of(i), i);
+}
+
+// --- distances ---------------------------------------------------------------
+
+TEST(Distances, PaperExampleKemeny) {
+  // R1: A,B,C  R2: B,C,A with A=0,B=1,C=2 — the paper reports d_K = 2.
+  const Ranking r1 = R({0, 1, 2});
+  const Ranking r2 = R({1, 2, 0});
+  EXPECT_EQ(KemenyDistance(r1, r2), 2);
+}
+
+TEST(Distances, KemenyIdenticalIsZeroReversedIsMax) {
+  const Ranking r = R({0, 1, 2, 3});
+  EXPECT_EQ(KemenyDistance(r, r), 0);
+  EXPECT_EQ(KemenyDistance(r, R({3, 2, 1, 0})), 6);  // C(4,2)
+}
+
+TEST(Distances, FootruleKnownValues) {
+  const Ranking r1 = R({0, 1, 2});
+  const Ranking r2 = R({1, 2, 0});
+  // positions in r2: item0 -> 2, item1 -> 0, item2 -> 1 => |0-2|+|1-0|+|2-1|.
+  EXPECT_EQ(FootruleDistance(r1, r2), 4);
+  EXPECT_EQ(FootruleDistance(r1, r1), 0);
+}
+
+TEST(Distances, Symmetry) {
+  Rng rng(4);
+  for (int round = 0; round < 50; ++round) {
+    const Ranking a = RandomRanking(6, rng);
+    const Ranking b = RandomRanking(6, rng);
+    EXPECT_EQ(KemenyDistance(a, b), KemenyDistance(b, a));
+    EXPECT_EQ(FootruleDistance(a, b), FootruleDistance(b, a));
+  }
+}
+
+// Eq. (10): d_K <= d_f <= 2 d_K on random pairs (Diaconis–Graham).
+class DiaconisGrahamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiaconisGrahamTest, FootruleSandwich) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  for (int round = 0; round < 100; ++round) {
+    const Ranking a = RandomRanking(n, rng);
+    const Ranking b = RandomRanking(n, rng);
+    const std::int64_t dk = KemenyDistance(a, b);
+    const std::int64_t df = FootruleDistance(a, b);
+    EXPECT_LE(dk, df);
+    EXPECT_LE(df, 2 * dk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DiaconisGrahamTest,
+                         ::testing::Values(2, 3, 5, 8, 12, 20));
+
+TEST(Distances, WeightedSumsMatchManualComputation) {
+  const Ranking r = R({0, 1, 2});
+  const std::vector<Ranking> omega = {R({1, 2, 0}), R({0, 1, 2})};
+  const std::vector<double> w = {2.0, 5.0};
+  EXPECT_DOUBLE_EQ(WeightedKemeny(r, omega, w), 2.0 * 2 + 5.0 * 0);
+  EXPECT_DOUBLE_EQ(WeightedFootrule(r, omega, w), 2.0 * 4 + 5.0 * 0);
+}
+
+// --- aggregation ---------------------------------------------------------------
+
+TEST(Aggregate, InputValidation) {
+  const std::vector<Ranking> omega = {R({0, 1}), R({1, 0})};
+  const std::vector<double> w2 = {1.0, 1.0};
+  EXPECT_TRUE(ValidateAggregationInput(omega, w2).ok());
+  const std::vector<double> w1 = {1.0};
+  EXPECT_FALSE(ValidateAggregationInput(omega, w1).ok());
+  const std::vector<double> neg = {1.0, -1.0};
+  EXPECT_FALSE(ValidateAggregationInput(omega, neg).ok());
+  const std::vector<Ranking> mixed = {R({0, 1}), R({0, 1, 2})};
+  EXPECT_FALSE(ValidateAggregationInput(mixed, w2).ok());
+  EXPECT_FALSE(ValidateAggregationInput({}, {}).ok());
+}
+
+TEST(Aggregate, UnanimousInputIsReturned) {
+  const Ranking consensus = R({2, 0, 3, 1});
+  const std::vector<Ranking> omega = {consensus, consensus, consensus};
+  const std::vector<double> w = {1, 2, 3};
+  for (auto method : {FootruleMcmfAggregate, FootruleHungarianAggregate,
+                      BordaAggregate}) {
+    Result<Ranking> r = method(omega, w);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), consensus);
+  }
+  Result<Ranking> exact = ExactKemenyAggregate(omega, w);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value(), consensus);
+}
+
+TEST(Aggregate, ZeroWeightRankingIgnored) {
+  const Ranking main = R({0, 1, 2});
+  const Ranking noise = R({2, 1, 0});
+  Result<Ranking> r = FootruleMcmfAggregate(
+      std::vector<Ranking>{main, noise}, std::vector<double>{3.0, 0.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), main);
+}
+
+TEST(Aggregate, DominantWeightWins) {
+  const Ranking heavy = R({3, 2, 1, 0});
+  const Ranking light = R({0, 1, 2, 3});
+  Result<Ranking> r = FootruleMcmfAggregate(
+      std::vector<Ranking>{heavy, light}, std::vector<double>{10.0, 1.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), heavy);
+}
+
+// Property: the footrule aggregate minimizes the weighted footrule distance
+// exactly (checked against all permutations), and is within a factor 2 of
+// the Kemeny-optimal aggregate (the paper's approximation guarantee).
+class AggregateOptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregateOptimalityTest, FootruleExactAndKemenyWithinFactor2) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  for (int round = 0; round < 15; ++round) {
+    std::vector<Ranking> omega;
+    std::vector<double> weights;
+    const int m = 3 + round % 3;
+    for (int j = 0; j < m; ++j) {
+      omega.push_back(RandomRanking(n, rng));
+      weights.push_back(static_cast<double>(rng.uniform_int(0, 5)));
+    }
+    if (std::accumulate(weights.begin(), weights.end(), 0.0) == 0.0)
+      weights[0] = 1.0;
+
+    Result<Ranking> footrule = FootruleMcmfAggregate(omega, weights);
+    Result<Ranking> hungarian = FootruleHungarianAggregate(omega, weights);
+    Result<Ranking> kemeny = ExactKemenyAggregate(omega, weights);
+    ASSERT_TRUE(footrule.ok());
+    ASSERT_TRUE(hungarian.ok());
+    ASSERT_TRUE(kemeny.ok());
+
+    // (a) footrule objective is exactly optimal: enumerate permutations.
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    double best_f = std::numeric_limits<double>::infinity();
+    double best_k = std::numeric_limits<double>::infinity();
+    do {
+      const Ranking cand = R(perm);
+      best_f = std::min(best_f, WeightedFootrule(cand, omega, weights));
+      best_k = std::min(best_k, WeightedKemeny(cand, omega, weights));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    EXPECT_NEAR(WeightedFootrule(footrule.value(), omega, weights), best_f,
+                1e-9);
+    EXPECT_NEAR(WeightedFootrule(hungarian.value(), omega, weights), best_f,
+                1e-9);
+    // (b) the exact-Kemeny aggregator really is optimal.
+    EXPECT_NEAR(WeightedKemeny(kemeny.value(), omega, weights), best_k,
+                1e-9);
+    // (c) the footrule solution approximates the Kemeny optimum within 2x
+    // (follows from Eq. 10; the paper states the same bound as "1/2").
+    EXPECT_LE(WeightedKemeny(footrule.value(), omega, weights),
+              2.0 * best_k + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AggregateOptimalityTest,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(Aggregate, ExactKemenyRefusesLargeN) {
+  std::vector<Ranking> omega = {Ranking::Identity(12)};
+  std::vector<double> w = {1.0};
+  EXPECT_FALSE(ExactKemenyAggregate(omega, w).ok());
+}
+
+TEST(Aggregate, BordaMatchesWeightedMeanPositionOrder) {
+  // Borda on two rankings with weights: item order by weighted mean pos.
+  const std::vector<Ranking> omega = {R({0, 1, 2}), R({2, 1, 0})};
+  const std::vector<double> w = {3.0, 1.0};
+  // scores: item0: 0*3+2*1=2; item1: 1*3+1*1=4; item2: 2*3+0*1=6.
+  Result<Ranking> r = BordaAggregate(omega, w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), R({0, 1, 2}));
+}
+
+TEST(Aggregate, SingleItemTrivial) {
+  const std::vector<Ranking> omega = {R({0})};
+  const std::vector<double> w = {5.0};
+  for (auto method : {FootruleMcmfAggregate, FootruleHungarianAggregate,
+                      BordaAggregate}) {
+    Result<Ranking> r = method(omega, w);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().size(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace sor::rank

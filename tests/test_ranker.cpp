@@ -1,0 +1,188 @@
+// Unit tests for Algorithm 2 (PersonalizableRanker): the Γ matrix, default
+// preferences (73°F / MAX / MIN sentinels), per-feature rankings and the
+// final weighted aggregation.
+#include <gtest/gtest.h>
+
+#include "rank/personalizable_ranker.hpp"
+
+namespace sor::rank {
+namespace {
+
+FeatureMatrix CoffeeMatrix() {
+  FeatureMatrix m({"TimHortons", "BnN", "Starbucks"},
+                  {{"temperature", PrefDirection::kTarget, 73.0},
+                   {"brightness", PrefDirection::kMaximize, 0.0},
+                   {"noise", PrefDirection::kMinimize, 0.0}});
+  const double values[3][3] = {
+      {68.0, 900.0, 0.25},
+      {72.0, 500.0, 0.20},
+      {74.0, 200.0, 0.55},
+  };
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) m.set(i, j, values[i][j]);
+  return m;
+}
+
+TEST(FeatureMatrix, Accessors) {
+  const FeatureMatrix m = CoffeeMatrix();
+  EXPECT_EQ(m.num_places(), 3);
+  EXPECT_EQ(m.num_features(), 3);
+  EXPECT_EQ(m.feature_index("noise"), 2);
+  EXPECT_EQ(m.feature_index("nope"), -1);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 500.0);
+}
+
+TEST(Ranker, GammaIsAbsoluteDistanceToPreferredValue) {
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile p;
+  p.name = "t";
+  p.prefs = {FeaturePreference::Prefer(70.0, 5),
+             FeaturePreference::DontCare(),
+             FeaturePreference::DontCare()};
+  Result<RankingOutcome> r = ranker.Rank(p);
+  ASSERT_TRUE(r.ok());
+  // Γ for temperature column: |68-70|, |72-70|, |74-70|.
+  EXPECT_DOUBLE_EQ(r.value().gamma[0 * 3 + 0], 2.0);
+  EXPECT_DOUBLE_EQ(r.value().gamma[1 * 3 + 0], 2.0);
+  EXPECT_DOUBLE_EQ(r.value().gamma[2 * 3 + 0], 4.0);
+}
+
+TEST(Ranker, DefaultTargetUses73F) {
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile p;
+  p.name = "d";
+  // kDefault on a kTarget feature -> default preference 73°F.
+  p.prefs = {{FeaturePreference::Kind::kDefault, 0.0, 5},
+             FeaturePreference::DontCare(),
+             FeaturePreference::DontCare()};
+  Result<RankingOutcome> r = ranker.Rank(p);
+  ASSERT_TRUE(r.ok());
+  // |68-73|=5, |72-73|=1, |74-73|=1 — BnN and Starbucks tie, ties break by
+  // index; individual temperature ranking: BnN(1), Starbucks(2), TH(0).
+  EXPECT_EQ(r.value().individual[0].order(), (std::vector<int>{1, 2, 0}));
+}
+
+TEST(Ranker, MaximizeDefaultPrefersLargest) {
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile p;
+  p.name = "bright";
+  p.prefs = {FeaturePreference::DontCare(),
+             {FeaturePreference::Kind::kDefault, 0.0, 5},  // maximize
+             FeaturePreference::DontCare()};
+  Result<RankingOutcome> r = ranker.Rank(p);
+  ASSERT_TRUE(r.ok());
+  // Brightness 900 > 500 > 200 -> TH, BnN, SB.
+  EXPECT_EQ(r.value().final_ranking.order(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Ranker, MinimizeDefaultPrefersSmallest) {
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile p;
+  p.name = "quiet";
+  p.prefs = {FeaturePreference::DontCare(), FeaturePreference::DontCare(),
+             {FeaturePreference::Kind::kDefault, 0.0, 4}};  // minimize noise
+  Result<RankingOutcome> r = ranker.Rank(p);
+  ASSERT_TRUE(r.ok());
+  // Noise 0.20 < 0.25 < 0.55 -> BnN, TH, SB.
+  EXPECT_EQ(r.value().final_ranking.order(), (std::vector<int>{1, 0, 2}));
+}
+
+TEST(Ranker, ExplicitMaxMinSentinelsOverrideDirection) {
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile p;
+  p.name = "loud";  // someone who *wants* noise (PreferMax on a minimize
+                    // feature must flip the ordering)
+  p.prefs = {FeaturePreference::DontCare(), FeaturePreference::DontCare(),
+             FeaturePreference::PreferMax(5)};
+  Result<RankingOutcome> r = ranker.Rank(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().final_ranking.order(), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(Ranker, WeightsResolvedFromProfile) {
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile p;
+  p.name = "w";
+  p.prefs = {FeaturePreference::Prefer(70, 2), FeaturePreference::PreferMax(0),
+             FeaturePreference::PreferMin(5)};
+  Result<RankingOutcome> r = ranker.Rank(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().weights, (std::vector<double>{2.0, 0.0, 5.0}));
+}
+
+TEST(Ranker, ProfileArityMismatchRejected) {
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile p;
+  p.name = "bad";
+  p.prefs = {FeaturePreference::DontCare()};  // 1 pref, 3 features
+  EXPECT_EQ(ranker.Rank(p).code(), Errc::kInvalidArgument);
+}
+
+TEST(Ranker, WeightOutOfRangeRejected) {
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile p;
+  p.name = "bad";
+  p.prefs = {FeaturePreference::Prefer(70, 6), FeaturePreference::DontCare(),
+             FeaturePreference::DontCare()};
+  EXPECT_EQ(ranker.Rank(p).code(), Errc::kInvalidArgument);
+  p.prefs[0].weight = -1;
+  EXPECT_EQ(ranker.Rank(p).code(), Errc::kInvalidArgument);
+}
+
+TEST(Ranker, EmptyMatrixRejected) {
+  const PersonalizableRanker ranker{FeatureMatrix{}};
+  UserProfile p;
+  EXPECT_FALSE(ranker.Rank(p).ok());
+}
+
+TEST(Ranker, AllMethodsProduceValidPermutations) {
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile p;
+  p.name = "emma";
+  p.prefs = {FeaturePreference::Prefer(72, 4), FeaturePreference::PreferMax(3),
+             FeaturePreference::PreferMin(5)};
+  for (auto method :
+       {AggregationMethod::kFootruleMcmf, AggregationMethod::kFootruleHungarian,
+        AggregationMethod::kExactKemeny, AggregationMethod::kBorda}) {
+    Result<RankingOutcome> r = ranker.Rank(p, method);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().final_ranking.size(), 3);
+    EXPECT_EQ(r.value().individual.size(), 3u);
+  }
+}
+
+TEST(Ranker, OrderedNamesMatchRanking) {
+  const FeatureMatrix m = CoffeeMatrix();
+  const PersonalizableRanker ranker(m);
+  UserProfile p;
+  p.name = "quiet";
+  p.prefs = {FeaturePreference::DontCare(), FeaturePreference::DontCare(),
+             FeaturePreference::PreferMin(5)};
+  Result<RankingOutcome> r = ranker.Rank(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().OrderedNames(m),
+            (std::vector<std::string>{"BnN", "TimHortons", "Starbucks"}));
+}
+
+TEST(Ranker, SamePlaceDataDifferentUsersDifferentRankings) {
+  // The paper's headline property: identical sensed data, personalized
+  // outcomes.
+  const PersonalizableRanker ranker(CoffeeMatrix());
+  UserProfile dark;
+  dark.name = "dark";
+  dark.prefs = {FeaturePreference::DontCare(), FeaturePreference::PreferMin(5),
+                FeaturePreference::DontCare()};
+  UserProfile bright;
+  bright.name = "bright";
+  bright.prefs = {FeaturePreference::DontCare(),
+                  FeaturePreference::PreferMax(5),
+                  FeaturePreference::DontCare()};
+  Result<RankingOutcome> a = ranker.Rank(dark);
+  Result<RankingOutcome> b = ranker.Rank(bright);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().final_ranking.order(), b.value().final_ranking.order());
+}
+
+}  // namespace
+}  // namespace sor::rank

@@ -1,0 +1,182 @@
+// Unit tests for the sensor layer: buffered providers (shared-buffer energy
+// saving, §II-A), the GPS provider, the Sensordrone Bluetooth dependency,
+// and the SensorManager's routing + timeout cancellation.
+#include <gtest/gtest.h>
+
+#include "sensors/manager.hpp"
+#include "sensors/providers.hpp"
+
+namespace sor::sensors {
+namespace {
+
+// Deterministic scripted environment: value = base + t_seconds.
+class FakeEnvironment final : public SensorEnvironment {
+ public:
+  double Sample(SensorKind kind, SimTime t) override {
+    ++samples_;
+    return static_cast<double>(static_cast<int>(kind)) * 100.0 + t.seconds();
+  }
+  GeoPoint Position(SimTime t) override {
+    ++position_calls_;
+    return GeoPoint{43.0 + t.seconds() * 1e-5, -76.0, 100.0 + t.seconds()};
+  }
+  int samples_ = 0;
+  int position_calls_ = 0;
+};
+
+TEST(BufferedProvider, AcquiresRequestedSamples) {
+  FakeEnvironment env;
+  EmbeddedProvider p(SensorKind::kLight, env);
+  Result<std::vector<Reading>> r =
+      p.Acquire({SimTime{10'000}, SimDuration{4'000}, 5});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 5u);
+  // Samples evenly spread over [t, t+Δt].
+  EXPECT_EQ(r.value().front().time.ms, 10'000);
+  EXPECT_EQ(r.value().back().time.ms, 14'000);
+  EXPECT_EQ(r.value()[0].kind, SensorKind::kLight);
+  EXPECT_EQ(p.stats().physical_acquisitions, 5u);
+}
+
+TEST(BufferedProvider, SingleSampleAtWindowStart) {
+  FakeEnvironment env;
+  EmbeddedProvider p(SensorKind::kLight, env);
+  Result<std::vector<Reading>> r =
+      p.Acquire({SimTime{5'000}, SimDuration{10'000}, 1});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].time.ms, 5'000);
+}
+
+TEST(BufferedProvider, SharedBufferServesOverlappingTasks) {
+  // Two tasks requesting the same window: the second is served from the
+  // buffer (light freshness = 3 s), saving sensor energy.
+  FakeEnvironment env;
+  EmbeddedProvider p(SensorKind::kLight, env);
+  ASSERT_TRUE(p.Acquire({SimTime{10'000}, SimDuration{2'000}, 3}).ok());
+  const auto before = p.stats().physical_acquisitions;
+  ASSERT_TRUE(p.Acquire({SimTime{10'500}, SimDuration{2'000}, 3}).ok());
+  EXPECT_EQ(p.stats().physical_acquisitions, before);  // all buffered
+  EXPECT_EQ(p.stats().buffered_hits, 3u);
+}
+
+TEST(BufferedProvider, StaleBufferNotReused) {
+  FakeEnvironment env;
+  EmbeddedProvider p(SensorKind::kAccelerometer, env);  // freshness 100 ms
+  ASSERT_TRUE(p.Acquire({SimTime{0}, SimDuration{0}, 1}).ok());
+  ASSERT_TRUE(p.Acquire({SimTime{1'000}, SimDuration{0}, 1}).ok());
+  EXPECT_EQ(p.stats().physical_acquisitions, 2u);
+  EXPECT_EQ(p.stats().buffered_hits, 0u);
+}
+
+TEST(BufferedProvider, FreshnessVariesByKind) {
+  EXPECT_LT(EmbeddedProvider::DefaultFreshness(SensorKind::kAccelerometer),
+            EmbeddedProvider::DefaultFreshness(SensorKind::kDroneTemperature));
+}
+
+TEST(BufferedProvider, InvalidRequestsRejected) {
+  FakeEnvironment env;
+  EmbeddedProvider p(SensorKind::kLight, env);
+  EXPECT_FALSE(p.Acquire({SimTime{0}, SimDuration{1'000}, 0}).ok());
+  EXPECT_FALSE(p.Acquire({SimTime{0}, SimDuration{-5}, 1}).ok());
+  EXPECT_EQ(p.stats().failures, 2u);
+}
+
+TEST(BufferedProvider, TrimBufferDropsOldReadings) {
+  FakeEnvironment env;
+  EmbeddedProvider p(SensorKind::kLight, env);
+  ASSERT_TRUE(p.Acquire({SimTime{0}, SimDuration{1'000}, 4}).ok());
+  EXPECT_EQ(p.buffer_size(), 4u);
+  p.TrimBuffer(SimTime{900});
+  EXPECT_EQ(p.buffer_size(), 1u);
+}
+
+TEST(GpsProvider, ReadingsCarryLocationFixes) {
+  FakeEnvironment env;
+  GpsProvider p(env);
+  Result<std::vector<Reading>> r =
+      p.Acquire({SimTime{60'000}, SimDuration{30'000}, 3});
+  ASSERT_TRUE(r.ok());
+  for (const Reading& reading : r.value()) {
+    ASSERT_TRUE(reading.location.has_value());
+    EXPECT_GT(reading.location->lat_deg, 42.9);
+    EXPECT_DOUBLE_EQ(reading.value, reading.location->alt_m);
+  }
+  EXPECT_EQ(env.position_calls_, 3);
+}
+
+TEST(Sensordrone, RequiresPairing) {
+  FakeEnvironment env;
+  BluetoothLink link;  // not paired
+  SensordroneProvider p(SensorKind::kDroneTemperature, env, link);
+  Result<std::vector<Reading>> r =
+      p.Acquire({SimTime{0}, SimDuration{1'000}, 2});
+  EXPECT_EQ(r.code(), Errc::kUnavailable);
+  EXPECT_EQ(p.stats().failures, 1u);
+
+  link.Pair();
+  EXPECT_TRUE(p.Acquire({SimTime{0}, SimDuration{1'000}, 2}).ok());
+  link.Unpair();
+  EXPECT_FALSE(p.Acquire({SimTime{60'000}, SimDuration{1'000}, 2}).ok());
+}
+
+TEST(Factory, CoversEveryKind) {
+  FakeEnvironment env;
+  BluetoothLink link;
+  link.Pair();
+  for (int k = 0; k < kSensorKindCount; ++k) {
+    const auto kind = static_cast<SensorKind>(k);
+    auto p = MakeProvider(kind, env, link);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->kind(), kind);
+    EXPECT_TRUE(p->Acquire({SimTime{0}, SimDuration{1'000}, 1}).ok())
+        << to_string(kind);
+  }
+}
+
+TEST(Manager, RoutesToRegisteredProvider) {
+  FakeEnvironment env;
+  BluetoothLink link;
+  link.Pair();
+  SensorManager manager;
+  manager.RegisterProvider(MakeProvider(SensorKind::kLight, env, link));
+  EXPECT_TRUE(manager.Supports(SensorKind::kLight));
+  EXPECT_FALSE(manager.Supports(SensorKind::kWifi));
+  Result<std::vector<Reading>> r =
+      manager.Acquire(SensorKind::kLight, {SimTime{0}, SimDuration{0}, 1});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(manager.Acquire(SensorKind::kWifi,
+                            {SimTime{0}, SimDuration{0}, 1})
+                .code(),
+            Errc::kUnavailable);
+}
+
+TEST(Manager, TimeoutCancelsSlowProviders) {
+  FakeEnvironment env;
+  SensorManager manager;
+  manager.RegisterProvider(std::make_unique<GpsProvider>(env));  // 800 ms
+  // Tight timeout: the acquisition is cancelled (§II-A).
+  Result<std::vector<Reading>> r = manager.Acquire(
+      SensorKind::kGps, {SimTime{0}, SimDuration{0}, 1}, SimDuration{100});
+  EXPECT_EQ(r.code(), Errc::kTimeout);
+  EXPECT_EQ(manager.timeouts(), 1u);
+  EXPECT_EQ(env.position_calls_, 0);  // sensor never touched
+  // Generous timeout: fine.
+  EXPECT_TRUE(manager
+                  .Acquire(SensorKind::kGps,
+                           {SimTime{0}, SimDuration{0}, 1},
+                           SimDuration{5'000})
+                  .ok());
+}
+
+TEST(Manager, ReplacingProviderKeepsLatest) {
+  FakeEnvironment env;
+  BluetoothLink link;
+  SensorManager manager;
+  manager.RegisterProvider(MakeProvider(SensorKind::kLight, env, link));
+  manager.RegisterProvider(MakeProvider(SensorKind::kLight, env, link));
+  EXPECT_EQ(manager.SupportedKinds().size(), 1u);
+}
+
+}  // namespace
+}  // namespace sor::sensors

@@ -1,0 +1,735 @@
+// Unit tests for the sensing server's components: feature definitions, the
+// three managers, the scheduler bridge, the data processor and the
+// visualization module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/features.hpp"
+#include "server/server.hpp"
+#include "server/coverage_report.hpp"
+#include "server/json_export.hpp"
+#include "server/visualization.hpp"
+
+namespace sor::server {
+namespace {
+
+ApplicationSpec TestAppSpec() {
+  ApplicationSpec spec;
+  spec.creator = "tester";
+  spec.place = PlaceId{11};
+  spec.place_name = "Test Cafe";
+  spec.location = GeoPoint{43.0, -76.0, 100.0};
+  spec.radius_m = 80.0;
+  spec.script = "local xs = get_noise_readings(3)";
+  spec.features = CoffeeShopFeatures();
+  spec.period = SimInterval{SimTime{0}, SimTime{600'000}};  // 10 min
+  spec.n_instants = 60;
+  spec.sigma_s = 10.0;
+  return spec;
+}
+
+struct ServerFixture {
+  SimClock clock;
+  net::LoopbackNetwork net;
+  SensingServer server{ServerConfig{}, net, clock};
+};
+
+// --- feature definitions ---------------------------------------------------
+
+TEST(FeatureDefs, EncodeDecodeRoundTrip) {
+  const std::vector<FeatureDef> defs = HikingTrailFeatures();
+  Result<std::vector<FeatureDef>> decoded =
+      DecodeFeatureDefs(EncodeFeatureDefs(defs));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().str();
+  EXPECT_EQ(decoded.value(), defs);
+}
+
+TEST(FeatureDefs, MalformedRejected) {
+  EXPECT_FALSE(DecodeFeatureDefs("").ok());
+  EXPECT_FALSE(DecodeFeatureDefs("novalidcolons").ok());
+  EXPECT_FALSE(DecodeFeatureDefs("x:not_a_sensor:mean").ok());
+  EXPECT_FALSE(DecodeFeatureDefs("x:gps:not_a_method").ok());
+}
+
+TEST(FeatureDefs, PaperRecipes) {
+  const auto trail = HikingTrailFeatures();
+  ASSERT_EQ(trail.size(), 5u);
+  EXPECT_EQ(trail[2].method, ExtractMethod::kMeanOfWindowStddev);  // roughness
+  EXPECT_EQ(trail[3].method, ExtractMethod::kGpsCurvature);        // curvature
+  EXPECT_EQ(trail[4].method, ExtractMethod::kStddevOfWindowMeans); // altitude
+  const auto coffee = CoffeeShopFeatures();
+  ASSERT_EQ(coffee.size(), 4u);
+  for (const FeatureDef& d : coffee)
+    EXPECT_EQ(d.method, ExtractMethod::kMeanOfAll);
+}
+
+// --- UserInfoManager --------------------------------------------------------
+
+TEST(UserInfo, RegisterAndLookup) {
+  ServerFixture f;
+  Result<UserId> alice =
+      f.server.users().RegisterUser("alice", Token{"tok-a"});
+  ASSERT_TRUE(alice.ok());
+  Result<UserId> bob = f.server.users().RegisterUser("bob", Token{"tok-b"});
+  ASSERT_TRUE(bob.ok());
+  EXPECT_NE(alice.value(), bob.value());
+  EXPECT_EQ(f.server.users().FindByToken(Token{"tok-a"}), alice.value());
+  EXPECT_EQ(f.server.users().FindByToken(Token{"tok-z"}), std::nullopt);
+  EXPECT_EQ(f.server.users().count(), 2u);
+}
+
+TEST(UserInfo, DuplicateTokenRejected) {
+  ServerFixture f;
+  ASSERT_TRUE(f.server.users().RegisterUser("a", Token{"t"}).ok());
+  EXPECT_EQ(f.server.users().RegisterUser("b", Token{"t"}).code(),
+            Errc::kAlreadyExists);
+}
+
+TEST(UserInfo, VerifyUserChecksToken) {
+  ServerFixture f;
+  const UserId id =
+      f.server.users().RegisterUser("a", Token{"t"}).value();
+  EXPECT_TRUE(f.server.users().VerifyUser(id, Token{"t"}).ok());
+  EXPECT_EQ(f.server.users().VerifyUser(id, Token{"wrong"}).code(),
+            Errc::kPermissionDenied);
+  EXPECT_EQ(f.server.users().VerifyUser(UserId{999}, Token{"t"}).code(),
+            Errc::kNotFound);
+}
+
+// --- ApplicationManager --------------------------------------------------------
+
+TEST(Applications, CreateGetRoundTrip) {
+  ServerFixture f;
+  Result<AppId> id = f.server.applications().CreateApplication(TestAppSpec());
+  ASSERT_TRUE(id.ok()) << id.error().str();
+  Result<ApplicationRecord> rec = f.server.applications().Get(id.value());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().spec.place_name, "Test Cafe");
+  EXPECT_EQ(rec.value().spec.features, CoffeeShopFeatures());
+  EXPECT_EQ(rec.value().spec.n_instants, 60);
+  EXPECT_EQ(f.server.applications().All().size(), 1u);
+}
+
+TEST(Applications, ScriptValidatedAtCreation) {
+  ServerFixture f;
+  ApplicationSpec bad = TestAppSpec();
+  bad.script = "local = syntax error";
+  EXPECT_EQ(f.server.applications().CreateApplication(bad).code(),
+            Errc::kScriptError);
+}
+
+TEST(Applications, ParameterValidation) {
+  ServerFixture f;
+  ApplicationSpec s = TestAppSpec();
+  s.n_instants = 0;
+  EXPECT_FALSE(f.server.applications().CreateApplication(s).ok());
+  s = TestAppSpec();
+  s.sigma_s = 0;
+  EXPECT_FALSE(f.server.applications().CreateApplication(s).ok());
+  s = TestAppSpec();
+  s.features.clear();
+  EXPECT_FALSE(f.server.applications().CreateApplication(s).ok());
+  s = TestAppSpec();
+  s.period = SimInterval{SimTime{10}, SimTime{5}};
+  EXPECT_FALSE(f.server.applications().CreateApplication(s).ok());
+}
+
+TEST(Applications, BarcodeCarriesAppIdentity) {
+  ServerFixture f;
+  const AppId id =
+      f.server.applications().CreateApplication(TestAppSpec()).value();
+  Result<BarcodePayload> barcode =
+      f.server.applications().BarcodeFor(id, "server");
+  ASSERT_TRUE(barcode.ok());
+  EXPECT_EQ(barcode.value().app, id);
+  EXPECT_EQ(barcode.value().place_name, "Test Cafe");
+  EXPECT_EQ(barcode.value().server, "server");
+  EXPECT_FALSE(f.server.applications().BarcodeFor(AppId{99}, "s").ok());
+}
+
+// --- ParticipationManager -------------------------------------------------------
+
+struct ParticipationFixture : ServerFixture {
+  AppId app;
+  UserId user;
+  ParticipationFixture() {
+    app = server.applications().CreateApplication(TestAppSpec()).value();
+    user = server.users().RegisterUser("alice", Token{"tok-a"}).value();
+  }
+  ParticipationRequest Request(GeoPoint loc, int budget = 5) {
+    ParticipationRequest req;
+    req.user = user;
+    req.token = Token{"tok-a"};
+    req.app = app;
+    req.location = loc;
+    req.budget = budget;
+    req.scan_time = clock.now();
+    return req;
+  }
+};
+
+TEST(Participation, AcceptsTruthfulUser) {
+  ParticipationFixture f;
+  const auto rec = f.server.applications().Get(f.app).value();
+  Result<TaskId> task = f.server.participations().HandleRequest(
+      f.Request(GeoPoint{43.0001, -76.0001, 100}), rec, f.server.users());
+  ASSERT_TRUE(task.ok()) << task.error().str();
+  Result<ParticipationRecord> p = f.server.participations().Get(task.value());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().status, "waiting_for_schedule");
+  EXPECT_EQ(p.value().budget_left, 5);
+}
+
+TEST(Participation, RejectsDistantUser) {
+  ParticipationFixture f;
+  const auto rec = f.server.applications().Get(f.app).value();
+  // ~1.1 km away; radius is 80 m.
+  Result<TaskId> task = f.server.participations().HandleRequest(
+      f.Request(GeoPoint{43.01, -76.0, 100}), rec, f.server.users());
+  EXPECT_EQ(task.code(), Errc::kNotInPlace);
+}
+
+TEST(Participation, RejectsBadTokenAndBudget) {
+  ParticipationFixture f;
+  const auto rec = f.server.applications().Get(f.app).value();
+  ParticipationRequest req = f.Request(GeoPoint{43.0, -76.0, 100});
+  req.token = Token{"stolen"};
+  EXPECT_EQ(f.server.participations()
+                .HandleRequest(req, rec, f.server.users())
+                .code(),
+            Errc::kPermissionDenied);
+  req = f.Request(GeoPoint{43.0, -76.0, 100}, 0);
+  EXPECT_EQ(f.server.participations()
+                .HandleRequest(req, rec, f.server.users())
+                .code(),
+            Errc::kInvalidArgument);
+}
+
+TEST(Participation, RescanIsIdempotent) {
+  ParticipationFixture f;
+  const auto rec = f.server.applications().Get(f.app).value();
+  const TaskId first =
+      f.server.participations()
+          .HandleRequest(f.Request(GeoPoint{43.0, -76.0, 100}), rec,
+                         f.server.users())
+          .value();
+  const TaskId second =
+      f.server.participations()
+          .HandleRequest(f.Request(GeoPoint{43.0, -76.0, 100}), rec,
+                         f.server.users())
+          .value();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Participation, StatusTransitionsAndBudget) {
+  ParticipationFixture f;
+  const auto rec = f.server.applications().Get(f.app).value();
+  const TaskId task =
+      f.server.participations()
+          .HandleRequest(f.Request(GeoPoint{43.0, -76.0, 100}), rec,
+                         f.server.users())
+          .value();
+  EXPECT_TRUE(f.server.participations().MarkRunning(task).ok());
+  EXPECT_EQ(f.server.participations().Get(task).value().status, "running");
+  EXPECT_TRUE(f.server.participations().ConsumeBudget(task, 3).ok());
+  EXPECT_EQ(f.server.participations().Get(task).value().budget_left, 2);
+  // Budget floors at zero.
+  EXPECT_TRUE(f.server.participations().ConsumeBudget(task, 10).ok());
+  EXPECT_EQ(f.server.participations().Get(task).value().budget_left, 0);
+  EXPECT_TRUE(
+      f.server.participations().MarkFinished(task, SimTime{123}).ok());
+  const auto finished = f.server.participations().Get(task).value();
+  EXPECT_EQ(finished.status, "finished");
+  ASSERT_TRUE(finished.leave.has_value());
+  EXPECT_EQ(finished.leave->ms, 123);
+  EXPECT_TRUE(f.server.participations().ActiveForApp(f.app).empty());
+}
+
+// --- end-to-end server message handling ----------------------------------------
+
+// A minimal phone endpoint that records schedule distributions.
+class RecordingPhone final : public net::Endpoint {
+ public:
+  RecordingPhone(net::LoopbackNetwork& net, const std::string& name)
+      : net_(net), name_(name) {
+    net_.Register(name_, this);
+  }
+  ~RecordingPhone() override { net_.Unregister(name_); }
+
+  Bytes HandleFrame(std::span<const std::uint8_t> frame) override {
+    Result<Message> decoded = DecodeFrame(frame);
+    if (decoded.ok()) {
+      if (const auto* sched =
+              std::get_if<ScheduleDistribution>(&decoded.value())) {
+        schedules_.push_back(*sched);
+      }
+    }
+    return EncodeFrame(Ack{});
+  }
+
+  net::LoopbackNetwork& net_;
+  std::string name_;
+  std::vector<ScheduleDistribution> schedules_;
+};
+
+TEST(ServerEndToEnd, ParticipationTriggersScheduleDistribution) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  const UserId user =
+      f.server.users().RegisterUser("alice", Token{"tok-a"}).value();
+  RecordingPhone phone(f.net, "phone:tok-a");
+
+  ParticipationRequest req;
+  req.user = user;
+  req.token = Token{"tok-a"};
+  req.app = barcode.value().app;
+  req.location = GeoPoint{43.0, -76.0, 100};
+  req.budget = 4;
+  req.scan_time = f.clock.now();
+  Result<Message> reply = f.net.Send("server", req);
+  ASSERT_TRUE(reply.ok()) << reply.error().str();
+  const auto& accepted = std::get<ParticipationReply>(reply.value());
+  EXPECT_TRUE(accepted.accepted);
+
+  ASSERT_EQ(phone.schedules_.size(), 1u);
+  const ScheduleDistribution& sched = phone.schedules_[0];
+  EXPECT_EQ(sched.task, accepted.task);
+  EXPECT_LE(sched.instants.size(), 4u);  // within budget
+  EXPECT_GT(sched.instants.size(), 0u);
+  EXPECT_FALSE(sched.script.empty());
+  // Participation is now "running"; schedule persisted in the database.
+  EXPECT_EQ(f.server.participations().Get(accepted.task).value().status,
+            "running");
+  EXPECT_EQ(f.server.database().table(db::tables::kSchedules)->size(), 1u);
+}
+
+TEST(ServerEndToEnd, UploadStoredAndBudgetConsumed) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  const UserId user =
+      f.server.users().RegisterUser("alice", Token{"tok-a"}).value();
+  RecordingPhone phone(f.net, "phone:tok-a");
+  ParticipationRequest req;
+  req.user = user;
+  req.token = Token{"tok-a"};
+  req.app = barcode.value().app;
+  req.location = GeoPoint{43.0, -76.0, 100};
+  req.budget = 4;
+  Result<Message> reply = f.net.Send("server", req);
+  ASSERT_TRUE(reply.ok());
+  const TaskId task = std::get<ParticipationReply>(reply.value()).task;
+
+  SensedDataUpload upload;
+  upload.task = task;
+  upload.user = user;
+  ReadingTuple t;
+  t.kind = SensorKind::kMicrophone;
+  t.t = SimTime{30'000};
+  t.dt = SimDuration{1'000};
+  t.values = {0.2, 0.3};
+  upload.batches = {t};
+  ASSERT_TRUE(f.net.Send("server", upload).ok());
+  EXPECT_EQ(f.server.stats().uploads_stored, 1u);
+  EXPECT_EQ(f.server.participations().Get(task).value().budget_left, 3);
+
+  // Upload from the wrong user is rejected.
+  upload.user = UserId{999};
+  EXPECT_EQ(f.net.Send("server", upload).code(), Errc::kPermissionDenied);
+  // Upload against an unknown task is rejected.
+  upload.user = user;
+  upload.task = TaskId{404};
+  EXPECT_EQ(f.net.Send("server", upload).code(), Errc::kNotFound);
+}
+
+TEST(ServerEndToEnd, LeaveFinishesAndReschedules) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  RecordingPhone phone_a(f.net, "phone:tok-a");
+  RecordingPhone phone_b(f.net, "phone:tok-b");
+  const UserId ua = f.server.users().RegisterUser("a", Token{"tok-a"}).value();
+  const UserId ub = f.server.users().RegisterUser("b", Token{"tok-b"}).value();
+  TaskId task_a;
+  for (const auto& [user, token] :
+       std::vector<std::pair<UserId, std::string>>{{ua, "tok-a"},
+                                                   {ub, "tok-b"}}) {
+    ParticipationRequest req;
+    req.user = user;
+    req.token = Token{token};
+    req.app = barcode.value().app;
+    req.location = GeoPoint{43.0, -76.0, 100};
+    req.budget = 4;
+    Result<Message> reply = f.net.Send("server", req);
+    ASSERT_TRUE(reply.ok());
+    if (user == ua)
+      task_a = std::get<ParticipationReply>(reply.value()).task;
+  }
+  const std::size_t schedules_before = phone_b.schedules_.size();
+
+  LeaveNotification note{task_a, ua, SimTime{60'000}};
+  ASSERT_TRUE(f.net.Send("server", note).ok());
+  EXPECT_EQ(f.server.participations().Get(task_a).value().status,
+            "finished");
+  // Phone B got a refreshed schedule after A left.
+  EXPECT_GT(phone_b.schedules_.size(), schedules_before);
+}
+
+TEST(ServerEndToEnd, MalformedFrameAnsweredWithError) {
+  ServerFixture f;
+  const Bytes garbage = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  // Talk to the endpoint directly (bypassing Send's own encode).
+  const Bytes reply_frame = f.server.HandleFrame(garbage);
+  Result<Message> reply = DecodeFrame(reply_frame);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(std::holds_alternative<ErrorReply>(reply.value()));
+  EXPECT_EQ(f.server.stats().decode_failures, 1u);
+}
+
+// --- DataProcessor ---------------------------------------------------------------
+
+TEST(DataProcessor, ExtractsMeanFeatures) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  const AppId app = barcode.value().app;
+  const UserId user =
+      f.server.users().RegisterUser("a", Token{"tok-a"}).value();
+  RecordingPhone phone(f.net, "phone:tok-a");
+  ParticipationRequest req;
+  req.user = user;
+  req.token = Token{"tok-a"};
+  req.app = app;
+  req.location = GeoPoint{43.0, -76.0, 100};
+  req.budget = 10;
+  Result<Message> reply = f.net.Send("server", req);
+  ASSERT_TRUE(reply.ok());
+  const TaskId task = std::get<ParticipationReply>(reply.value()).task;
+
+  SensedDataUpload upload;
+  upload.task = task;
+  upload.user = user;
+  ReadingTuple noise;
+  noise.kind = SensorKind::kMicrophone;
+  noise.t = SimTime{10'000};
+  noise.dt = SimDuration{1'000};
+  noise.values = {0.2, 0.4};
+  ReadingTuple temp;
+  temp.kind = SensorKind::kDroneTemperature;
+  temp.t = SimTime{10'000};
+  temp.dt = SimDuration{1'000};
+  temp.values = {70.0, 72.0};
+  upload.batches = {noise, temp};
+  ASSERT_TRUE(f.net.Send("server", upload).ok());
+
+  Result<int> n = f.server.ProcessAllData();
+  ASSERT_TRUE(n.ok()) << n.error().str();
+  EXPECT_EQ(n.value(), 4);  // 4 coffee-shop features written
+  EXPECT_DOUBLE_EQ(
+      f.server.data_processor().FeatureValue(app, features::kNoise).value(),
+      0.3);
+  EXPECT_DOUBLE_EQ(f.server.data_processor()
+                       .FeatureValue(app, features::kTemperature)
+                       .value(),
+                   71.0);
+  // No data for brightness: value 0, still written.
+  EXPECT_DOUBLE_EQ(f.server.data_processor()
+                       .FeatureValue(app, features::kBrightness)
+                       .value(),
+                   0.0);
+  EXPECT_FALSE(
+      f.server.data_processor().FeatureValue(app, "bogus").ok());
+  // Raw rows flagged processed.
+  EXPECT_TRUE(f.server.database()
+                  .table(db::tables::kRawData)
+                  ->FindWhereEq("processed", db::Value(false))
+                  .empty());
+  // Reprocessing is idempotent (upserts).
+  ASSERT_TRUE(f.server.ProcessAllData().ok());
+  EXPECT_EQ(f.server.database().table(db::tables::kFeatureData)->size(), 4u);
+}
+
+TEST(DataProcessor, WindowStatisticsMethods) {
+  ServerFixture f;
+  ApplicationSpec spec = TestAppSpec();
+  spec.features = HikingTrailFeatures();
+  Result<BarcodePayload> barcode = f.server.DeployApplication(spec);
+  ASSERT_TRUE(barcode.ok());
+  const AppId app = barcode.value().app;
+  const UserId user =
+      f.server.users().RegisterUser("a", Token{"tok-a"}).value();
+  RecordingPhone phone(f.net, "phone:tok-a");
+  ParticipationRequest req;
+  req.user = user;
+  req.token = Token{"tok-a"};
+  req.app = app;
+  req.location = GeoPoint{43.0, -76.0, 100};
+  req.budget = 10;
+  Result<Message> reply = f.net.Send("server", req);
+  ASSERT_TRUE(reply.ok());
+  const TaskId task = std::get<ParticipationReply>(reply.value()).task;
+
+  SensedDataUpload upload;
+  upload.task = task;
+  upload.user = user;
+  // Two accelerometer windows with stddevs 1.0 and 3.0 -> roughness 2.0.
+  ReadingTuple a1;
+  a1.kind = SensorKind::kAccelerometer;
+  a1.t = SimTime{1'000};
+  a1.dt = SimDuration{1'000};
+  a1.values = {9.0, 11.0};  // stddev 1
+  ReadingTuple a2 = a1;
+  a2.t = SimTime{2'000};
+  a2.values = {7.0, 13.0};  // stddev 3
+  // Two altitude windows with means 100 and 104 -> stddev 2.0.
+  ReadingTuple b1;
+  b1.kind = SensorKind::kBarometer;
+  b1.t = SimTime{1'000};
+  b1.dt = SimDuration{1'000};
+  b1.values = {100.0, 100.0};
+  ReadingTuple b2 = b1;
+  b2.t = SimTime{2'000};
+  b2.values = {104.0, 104.0};
+  upload.batches = {a1, a2, b1, b2};
+  ASSERT_TRUE(f.net.Send("server", upload).ok());
+  ASSERT_TRUE(f.server.ProcessAllData().ok());
+
+  EXPECT_DOUBLE_EQ(f.server.data_processor()
+                       .FeatureValue(app, features::kRoughness)
+                       .value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(f.server.data_processor()
+                       .FeatureValue(app, features::kAltitudeChange)
+                       .value(),
+                   2.0);
+}
+
+TEST(DataProcessor, CurvatureFromGpsTrack) {
+  ServerFixture f;
+  ApplicationSpec spec = TestAppSpec();
+  spec.features = HikingTrailFeatures();
+  Result<BarcodePayload> barcode = f.server.DeployApplication(spec);
+  ASSERT_TRUE(barcode.ok());
+  const AppId app = barcode.value().app;
+  const UserId user =
+      f.server.users().RegisterUser("a", Token{"tok-a"}).value();
+  RecordingPhone phone(f.net, "phone:tok-a");
+  ParticipationRequest req;
+  req.user = user;
+  req.token = Token{"tok-a"};
+  req.app = app;
+  req.location = GeoPoint{43.0, -76.0, 100};
+  req.budget = 10;
+  Result<Message> reply = f.net.Send("server", req);
+  ASSERT_TRUE(reply.ok());
+  const TaskId task = std::get<ParticipationReply>(reply.value()).task;
+
+  // A clean zig-zag track: 20 m segments, constant 0.2 rad turns ->
+  // curvature 10 mrad/m before smoothing. With 3-point smoothing the turn
+  // density drops but stays clearly positive; a straight track must give
+  // ~0. We compare the two.
+  auto MakeTrack = [&](bool curved) {
+    ReadingTuple gps;
+    gps.kind = SensorKind::kGps;
+    gps.t = SimTime{curved ? 10'000 : 500'000};
+    gps.dt = SimDuration{200'000};
+    const GeoPoint origin{43.0, curved ? -76.0 : -75.9, 100.0};
+    double heading = 0.0;
+    double x = 0, y = 0;
+    double sign = 1.0;
+    for (int i = 0; i < 30; ++i) {
+      gps.locations.push_back(OffsetMeters(origin, x, y));
+      gps.values.push_back(100.0);
+      if (curved) {
+        heading += sign * 0.2;
+        sign = -sign;  // zig-zag
+      }
+      x += 20.0 * std::cos(heading);
+      y += 20.0 * std::sin(heading);
+    }
+    return gps;
+  };
+
+  SensedDataUpload upload;
+  upload.task = task;
+  upload.user = user;
+  upload.batches = {MakeTrack(true)};
+  ASSERT_TRUE(f.net.Send("server", upload).ok());
+  ASSERT_TRUE(f.server.ProcessAllData().ok());
+  const double curved_value = f.server.data_processor()
+                                  .FeatureValue(app, features::kCurvature)
+                                  .value();
+  EXPECT_GT(curved_value, 1.0);
+}
+
+TEST(DataProcessor, BrokenSensorOutlierRejected) {
+  // One phone uploads wildly wrong temperatures among three honest ones;
+  // with outlier rejection (default) the feature barely moves, without it
+  // the mean is dragged far off.
+  auto run = [&](bool robust) {
+    ServerFixture f;
+    f.server.data_processor().set_options(
+        DataProcessorOptions{robust, 6.0});
+    Result<BarcodePayload> barcode =
+        f.server.DeployApplication(TestAppSpec());
+    EXPECT_TRUE(barcode.ok());
+    const AppId app = barcode.value().app;
+    const UserId user =
+        f.server.users().RegisterUser("a", Token{"tok-a"}).value();
+    RecordingPhone phone(f.net, "phone:tok-a");
+    ParticipationRequest req;
+    req.user = user;
+    req.token = Token{"tok-a"};
+    req.app = app;
+    req.location = GeoPoint{43.0, -76.0, 100};
+    req.budget = 50;
+    Result<Message> reply = f.net.Send("server", req);
+    EXPECT_TRUE(reply.ok());
+    const TaskId task = std::get<ParticipationReply>(reply.value()).task;
+
+    SensedDataUpload upload;
+    upload.task = task;
+    upload.user = user;
+    for (int i = 0; i < 30; ++i) {
+      ReadingTuple t;
+      t.kind = SensorKind::kDroneTemperature;
+      t.t = SimTime{(i + 1) * 1'000};
+      t.dt = SimDuration{500};
+      t.values = {70.0 + 0.01 * i};
+      upload.batches.push_back(std::move(t));
+    }
+    // The broken sensor: three absurd readings.
+    for (int i = 0; i < 3; ++i) {
+      ReadingTuple t;
+      t.kind = SensorKind::kDroneTemperature;
+      t.t = SimTime{(100 + i) * 1'000};
+      t.dt = SimDuration{500};
+      t.values = {9'999.0};
+      upload.batches.push_back(std::move(t));
+    }
+    EXPECT_TRUE(f.net.Send("server", upload).ok());
+    EXPECT_TRUE(f.server.ProcessAllData().ok());
+    return f.server.data_processor()
+        .FeatureValue(app, features::kTemperature)
+        .value();
+  };
+
+  const double robust_value = run(true);
+  const double naive_value = run(false);
+  EXPECT_NEAR(robust_value, 70.1, 0.5);
+  EXPECT_GT(naive_value, 500.0);
+}
+
+TEST(CoverageReport, ReportsExecutedMeasurements) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  const AppId app = barcode.value().app;
+  const UserId user =
+      f.server.users().RegisterUser("a", Token{"tok-a"}).value();
+  RecordingPhone phone(f.net, "phone:tok-a");
+  ParticipationRequest req;
+  req.user = user;
+  req.token = Token{"tok-a"};
+  req.app = app;
+  req.location = GeoPoint{43.0, -76.0, 100};
+  req.budget = 10;
+  Result<Message> reply = f.net.Send("server", req);
+  ASSERT_TRUE(reply.ok());
+  const TaskId task = std::get<ParticipationReply>(reply.value()).task;
+
+  const auto rec = f.server.applications().Get(app).value();
+  // Before any upload: zero coverage, empty-but-valid report.
+  Result<CoverageReport> before =
+      ReportCoverage(f.server.database(), rec, f.server.participations());
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().executed_measurements, 0);
+  EXPECT_DOUBLE_EQ(before.value().average_coverage, 0.0);
+
+  SensedDataUpload upload;
+  upload.task = task;
+  upload.user = user;
+  for (int i = 0; i < 4; ++i) {
+    ReadingTuple t;
+    t.kind = SensorKind::kMicrophone;
+    t.t = SimTime{(i + 1) * 100'000};  // 100 s apart on a 10 s grid
+    t.dt = SimDuration{1'000};
+    t.values = {0.2};
+    upload.batches.push_back(std::move(t));
+  }
+  ASSERT_TRUE(f.net.Send("server", upload).ok());
+
+  Result<CoverageReport> after =
+      ReportCoverage(f.server.database(), rec, f.server.participations());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().executed_measurements, 4);
+  EXPECT_GT(after.value().average_coverage, 0.0);
+  EXPECT_LT(after.value().average_coverage, 1.0);
+  EXPECT_NE(after.value().timeline.find('#'), std::string::npos);
+
+  const auto by_task =
+      ExecutedInstantsByTask(f.server.database(), app,
+                             MakeInstantGrid(rec.spec.period,
+                                             rec.spec.n_instants));
+  ASSERT_EQ(by_task.size(), 1u);
+  EXPECT_EQ(by_task.at(task).size(), 4u);
+}
+
+// --- visualization ------------------------------------------------------------
+
+TEST(JsonExport, EscapingAndStructure) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+
+  rank::FeatureMatrix m({"B&N \"Cafe\"", "A"},
+                        {{"noise", rank::PrefDirection::kMinimize, 0}});
+  m.set(0, 0, 0.25);
+  m.set(1, 0, 0.5);
+  const std::string json = RenderFeatureJson(m);
+  EXPECT_NE(json.find("\"B&N \\\"Cafe\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"values\":[[0.25],[0.5]]"), std::string::npos);
+  EXPECT_NE(json.find("\"features\":[{\"name\":\"noise\"}]"),
+            std::string::npos);
+
+  const std::string rankings = RenderRankingJson(
+      m, {{"Emma", rank::Ranking::FromOrder({1, 0}).value()}});
+  EXPECT_EQ(rankings,
+            "{\"rankings\":[{\"user\":\"Emma\",\"order\":"
+            "[\"A\",\"B&N \\\"Cafe\\\"\"]}]}");
+}
+
+TEST(JsonExport, NonFiniteValuesBecomeNull) {
+  rank::FeatureMatrix m({"A"}, {{"x", rank::PrefDirection::kTarget, 0}});
+  m.set(0, 0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_NE(RenderFeatureJson(m).find("\"values\":[[null]]"),
+            std::string::npos);
+}
+
+TEST(Visualization, BarsCsvAndTable) {
+  rank::FeatureMatrix m({"A", "B"},
+                        {{"temp", rank::PrefDirection::kTarget, 73},
+                         {"noise", rank::PrefDirection::kMinimize, 0}});
+  m.set(0, 0, 70.0);
+  m.set(0, 1, 0.3);
+  m.set(1, 0, 75.0);
+  m.set(1, 1, 0.1);
+  const std::string bars = RenderFeatureBars(m);
+  EXPECT_NE(bars.find("temp"), std::string::npos);
+  EXPECT_NE(bars.find("A"), std::string::npos);
+  EXPECT_NE(bars.find('#'), std::string::npos);
+
+  const std::string csv = RenderFeatureCsv(m);
+  EXPECT_NE(csv.find("place,temp,noise"), std::string::npos);
+  EXPECT_NE(csv.find("A,70,0.3"), std::string::npos);
+
+  const std::string table = RenderRankingTable(
+      m, {{"UserX", rank::Ranking::Identity(2)}});
+  EXPECT_NE(table.find("No. 1"), std::string::npos);
+  EXPECT_NE(table.find("UserX"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sor::server

@@ -1,0 +1,245 @@
+// Unit tests for the simulated world: signals, trail geometry, phone
+// agents, arrival processes and the two paper scenarios.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "world/arrivals.hpp"
+#include "world/phone_agent.hpp"
+#include "world/scenarios.hpp"
+
+namespace sor::world {
+namespace {
+
+TEST(Signal, TruthAndDrift) {
+  Signal s;
+  s.base = 70.0;
+  s.drift_amp = 2.0;
+  s.drift_period_s = 3600.0;
+  EXPECT_DOUBLE_EQ(s.Truth(SimTime{0}), 70.0);
+  // Quarter period: base + amplitude.
+  EXPECT_NEAR(s.Truth(SimTime::FromSeconds(900)), 72.0, 1e-9);
+}
+
+TEST(Signal, ObservationNoiseStatistics) {
+  Signal s;
+  s.base = 50.0;
+  s.noise_stddev = 1.5;
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 20'000; ++i) stats.add(s.Observe(SimTime{0}, rng));
+  EXPECT_NEAR(stats.mean(), 50.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 1.5, 0.1);
+}
+
+TEST(Trail, GeneratedLengthAndResolution) {
+  TrailSpec spec;
+  spec.start = GeoPoint{43.0, -76.0, 150.0};
+  spec.length_m = 1'000.0;
+  spec.segment_m = 10.0;
+  const Trail trail = Trail::Generate(spec);
+  EXPECT_EQ(trail.points().size(), 101u);
+  EXPECT_DOUBLE_EQ(trail.length_m(), 1'000.0);
+}
+
+TEST(Trail, CurvatureTracksSpec) {
+  for (double target : {15.0, 40.0, 60.0}) {
+    TrailSpec spec;
+    spec.start = GeoPoint{43.0, -76.0, 150.0};
+    spec.length_m = 3'000.0;
+    spec.curvature_mrad_per_m = target;
+    spec.seed = static_cast<std::uint64_t>(target);
+    const Trail trail = Trail::Generate(spec);
+    EXPECT_NEAR(trail.MeanCurvatureMradPerM(), target, target * 0.1)
+        << "target " << target;
+  }
+}
+
+TEST(Trail, AltitudeProfileSinusoid) {
+  TrailSpec spec;
+  spec.start = GeoPoint{43.0, -76.0, 150.0};
+  spec.length_m = 2'800.0;
+  spec.altitude_base_m = 150.0;
+  spec.altitude_amplitude_m = 20.0;
+  spec.altitude_period_m = 700.0;
+  const Trail trail = Trail::Generate(spec);
+  RunningStats alt;
+  for (double s = 0; s <= trail.length_m(); s += 5.0)
+    alt.add(trail.PositionAt(s).alt_m);
+  EXPECT_NEAR(alt.mean(), 150.0, 1.0);
+  // Sinusoid with amplitude A has stddev A/sqrt(2).
+  EXPECT_NEAR(alt.stddev(), 20.0 / std::sqrt(2.0), 1.0);
+}
+
+TEST(Trail, PositionPingPongsAtEnds) {
+  TrailSpec spec;
+  spec.start = GeoPoint{43.0, -76.0, 150.0};
+  spec.length_m = 100.0;
+  const Trail trail = Trail::Generate(spec);
+  const GeoPoint at_end = trail.PositionAt(100.0);
+  const GeoPoint reflected = trail.PositionAt(120.0);  // = position at 80
+  const GeoPoint at_80 = trail.PositionAt(80.0);
+  EXPECT_NEAR(HaversineMeters(reflected, at_80), 0.0, 1e-6);
+  EXPECT_GT(HaversineMeters(reflected, at_end), 1.0);
+  // Way beyond: 2 full lengths = back at start.
+  EXPECT_NEAR(HaversineMeters(trail.PositionAt(200.0), trail.PositionAt(0.0)),
+              0.0, 1e-6);
+}
+
+TEST(PhoneAgent, StaticCustomerStaysPut) {
+  const Scenario scenario = MakeCoffeeShopScenario();
+  PhoneAgentConfig cfg;
+  cfg.id = PhoneId{1};
+  cfg.mobility = Mobility::kStatic;
+  cfg.seed = 5;
+  PhoneAgent agent(scenario.places[0], cfg);
+  const GeoPoint a = agent.Position(SimTime{0});
+  const GeoPoint b = agent.Position(SimTime{1'000'000});
+  EXPECT_DOUBLE_EQ(a.lat_deg, b.lat_deg);
+  // Seated within the participation radius.
+  EXPECT_LE(HaversineMeters(a, scenario.places[0].center),
+            scenario.places[0].radius_m);
+}
+
+TEST(PhoneAgent, HikerMovesAlongTrail) {
+  const Scenario scenario = MakeHikingTrailScenario();
+  PhoneAgentConfig cfg;
+  cfg.id = PhoneId{1};
+  cfg.mobility = Mobility::kTrailWalk;
+  cfg.walk_speed_mps = 1.3;
+  cfg.seed = 6;
+  PhoneAgent agent(scenario.places[0], cfg);
+  const GeoPoint start = agent.Position(SimTime{0});
+  const GeoPoint later = agent.Position(SimTime::FromSeconds(600));
+  // 600 s at 1.3 m/s = 780 m along the trail; displacement is large.
+  EXPECT_GT(HaversineMeters(start, later), 50.0);
+}
+
+TEST(PhoneAgent, AccelerometerReflectsRoughness) {
+  const Scenario scenario = MakeHikingTrailScenario();
+  // Cliff Trail (index 2) is much rougher than Green Lake (index 0).
+  PhoneAgentConfig cfg;
+  cfg.id = PhoneId{1};
+  cfg.seed = 7;
+  PhoneAgent smooth(scenario.places[0], cfg);
+  PhoneAgent rough(scenario.places[2], cfg);
+  RunningStats s_smooth, s_rough;
+  for (int i = 0; i < 5'000; ++i) {
+    s_smooth.add(smooth.Sample(SensorKind::kAccelerometer, SimTime{i}));
+    s_rough.add(rough.Sample(SensorKind::kAccelerometer, SimTime{i}));
+  }
+  EXPECT_NEAR(s_smooth.mean(), 9.81, 0.05);
+  EXPECT_NEAR(s_smooth.stddev(), scenario.places[0].surface_roughness, 0.02);
+  EXPECT_NEAR(s_rough.stddev(), scenario.places[2].surface_roughness, 0.05);
+}
+
+TEST(PhoneAgent, EnvironmentalChannelMatchesSignal) {
+  const Scenario scenario = MakeCoffeeShopScenario();
+  PhoneAgentConfig cfg;
+  cfg.id = PhoneId{2};
+  cfg.seed = 8;
+  PhoneAgent agent(scenario.places[2], cfg);  // Starbucks, 74 F
+  RunningStats stats;
+  for (int i = 0; i < 5'000; ++i)
+    stats.add(agent.Sample(SensorKind::kDroneTemperature,
+                           SimTime{i * 1'000}));
+  EXPECT_NEAR(stats.mean(), 74.0, 1.0);
+}
+
+TEST(PhoneAgent, UnknownChannelIsZero) {
+  const Scenario scenario = MakeCoffeeShopScenario();
+  PhoneAgentConfig cfg;
+  cfg.id = PhoneId{3};
+  PhoneAgent agent(scenario.places[0], cfg);
+  EXPECT_DOUBLE_EQ(agent.Sample(SensorKind::kDroneGasCo, SimTime{0}), 0.0);
+}
+
+TEST(Arrivals, WindowsWithinPeriodAndOrdered) {
+  Rng rng(9);
+  ArrivalConfig cfg;
+  cfg.num_users = 200;
+  cfg.period_s = 10'800;
+  cfg.budget = 17;
+  const auto users = GenerateArrivals(cfg, rng);
+  ASSERT_EQ(users.size(), 200u);
+  for (const sched::UserWindow& u : users) {
+    EXPECT_GE(u.presence.begin.ms, 0);
+    EXPECT_LE(u.presence.end.ms, 10'800'000);
+    EXPECT_LE(u.presence.begin, u.presence.end);
+    EXPECT_EQ(u.budget, 17);
+  }
+}
+
+TEST(Arrivals, ArrivalsRoughlyUniform) {
+  Rng rng(10);
+  ArrivalConfig cfg;
+  cfg.num_users = 20'000;
+  const auto users = GenerateArrivals(cfg, rng);
+  RunningStats arrivals;
+  for (const auto& u : users) arrivals.add(u.presence.begin.seconds());
+  // U(0, 10800): mean 5400, stddev 10800/sqrt(12) ≈ 3118.
+  EXPECT_NEAR(arrivals.mean(), 5'400.0, 100.0);
+  EXPECT_NEAR(arrivals.stddev(), 3'118.0, 100.0);
+}
+
+TEST(Arrivals, ExponentialDwellModel) {
+  Rng rng(11);
+  ArrivalConfig cfg;
+  cfg.num_users = 20'000;
+  cfg.model = ArrivalModel::kExponentialDwell;
+  cfg.mean_dwell_s = 900.0;
+  const auto users = GenerateArrivals(cfg, rng);
+  RunningStats dwell;
+  for (const auto& u : users) {
+    EXPECT_LE(u.presence.end.ms, 10'800'000);
+    EXPECT_LE(u.presence.begin, u.presence.end);
+    dwell.add((u.presence.end - u.presence.begin).seconds());
+  }
+  // Clipping at the period end pulls the mean slightly below 900 s.
+  EXPECT_GT(dwell.mean(), 700.0);
+  EXPECT_LT(dwell.mean(), 900.0);
+  // Far shorter visits than the paper's uniform model (mean ~2700 s).
+}
+
+TEST(Scenarios, TrailScenarioShape) {
+  const Scenario s = MakeHikingTrailScenario();
+  EXPECT_EQ(s.places.size(), 3u);
+  EXPECT_EQ(s.features.size(), 5u);   // the 5 trail features of §V-A
+  EXPECT_EQ(s.profiles.size(), 3u);   // Alice, Bob, Chris
+  EXPECT_EQ(s.phones_per_place, 7);   // §V-A
+  for (const PlaceModel& p : s.places) {
+    EXPECT_TRUE(p.trail.has_value()) << p.name;
+    EXPECT_NE(p.signal(SensorKind::kDroneTemperature), nullptr);
+  }
+  EXPECT_EQ(GroundTruthFeatures(s).size(), 15u);
+}
+
+TEST(Scenarios, CoffeeScenarioShape) {
+  const Scenario s = MakeCoffeeShopScenario();
+  EXPECT_EQ(s.places.size(), 3u);
+  EXPECT_EQ(s.features.size(), 4u);   // the 4 coffee-shop features of §V-B
+  EXPECT_EQ(s.profiles.size(), 2u);   // David, Emma
+  EXPECT_EQ(s.phones_per_place, 12);  // §V-B
+  EXPECT_EQ(GroundTruthFeatures(s).size(), 12u);
+  // Ground-truth narrative: Starbucks darkest & noisiest, TH brightest.
+  const auto truth = GroundTruthFeatures(s);
+  const int M = 4;
+  EXPECT_GT(truth[0 * M + 1], truth[1 * M + 1]);  // TH brighter than B&N
+  EXPECT_GT(truth[1 * M + 1], truth[2 * M + 1]);  // B&N brighter than SB
+  EXPECT_GT(truth[2 * M + 2], truth[0 * M + 2]);  // SB noisier than TH
+}
+
+TEST(Scenarios, TrailGroundTruthNarrative) {
+  const Scenario s = MakeHikingTrailScenario();
+  const auto truth = GroundTruthFeatures(s);
+  const int M = 5;
+  // Cliff Trail (2) is the roughest, twistiest and steepest.
+  EXPECT_GT(truth[2 * M + 2], truth[1 * M + 2]);
+  EXPECT_GT(truth[2 * M + 3], truth[1 * M + 3]);
+  EXPECT_GT(truth[2 * M + 4], truth[1 * M + 4]);
+  // Green Lake (0) is the most humid and coolest.
+  EXPECT_GT(truth[0 * M + 1], truth[1 * M + 1]);
+  EXPECT_LT(truth[0 * M + 0], truth[1 * M + 0]);
+}
+
+}  // namespace
+}  // namespace sor::world

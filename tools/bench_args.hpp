@@ -1,0 +1,56 @@
+// Minimal --flag / --key value argument parser for the CLI tool.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace sor::cli {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "expected --flag, got '" + arg + "'";
+        return;
+      }
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  [[nodiscard]] bool Has(const std::string& key) const {
+    return values_.contains(key);
+  }
+  [[nodiscard]] std::string Get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] double GetDouble(const std::string& key,
+                                 double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+}  // namespace sor::cli

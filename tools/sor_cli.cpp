@@ -1,0 +1,247 @@
+// sor — command-line front door to the SOR reproduction.
+//
+//   sor fieldtest --scenario trails|coffee [--budget N] [--method M] [--csv]
+//       run a full sensing campaign and print feature data + rankings
+//   sor simulate [--users N] [--budget B] [--runs R] [--sigma S]
+//       scheduling simulation: greedy vs baseline average coverage
+//   sor barcode --scenario trails|coffee --place IDX [--ascii]
+//       print the deployable 2D barcode for one target place
+//   sor rank --scenario trails|coffee --user NAME [--method M]
+//       run one profile's personalizable ranking on a fresh campaign
+//   sor help
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench_args.hpp"
+#include "core/system.hpp"
+#include "server/json_export.hpp"
+#include "sched/baseline.hpp"
+#include "sched/greedy.hpp"
+#include "world/arrivals.hpp"
+
+using namespace sor;
+
+namespace {
+
+int Usage() {
+  std::printf(
+      "sor — mobile-phone-sensing objective ranking (SOR, ICDCS'14)\n\n"
+      "usage:\n"
+      "  sor fieldtest --scenario trails|coffee [--budget N] [--method M]"
+      " [--csv|--json]\n"
+      "  sor simulate  [--users N] [--budget B] [--runs R] [--sigma S]\n"
+      "  sor barcode   --scenario trails|coffee --place IDX [--ascii]\n"
+      "  sor rank      --scenario trails|coffee --user NAME [--method M]"
+      " [--explain]\n"
+      "  sor help\n\n"
+      "methods: mcmf (default), hungarian, kemeny, borda\n");
+  return 2;
+}
+
+Result<world::Scenario> ScenarioByName(const std::string& name) {
+  if (name == "trails" || name == "hiking")
+    return world::MakeHikingTrailScenario();
+  if (name == "coffee" || name == "shops")
+    return world::MakeCoffeeShopScenario();
+  return Error{Errc::kInvalidArgument,
+               "unknown scenario '" + name + "' (trails|coffee)"};
+}
+
+Result<rank::AggregationMethod> MethodByName(const std::string& name) {
+  if (name == "mcmf" || name.empty())
+    return rank::AggregationMethod::kFootruleMcmf;
+  if (name == "hungarian")
+    return rank::AggregationMethod::kFootruleHungarian;
+  if (name == "kemeny") return rank::AggregationMethod::kExactKemeny;
+  if (name == "borda") return rank::AggregationMethod::kBorda;
+  return Error{Errc::kInvalidArgument, "unknown method '" + name + "'"};
+}
+
+Result<core::FieldTestResult> Campaign(const world::Scenario& scenario,
+                                       int budget,
+                                       rank::AggregationMethod method) {
+  core::System system;
+  core::FieldTestConfig config;
+  config.budget_per_user = budget;
+  config.aggregation = method;
+  config.sigma_s = 60.0;
+  return system.RunFieldTest(scenario, config);
+}
+
+int CmdFieldTest(const cli::Args& args) {
+  Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().str().c_str());
+    return 2;
+  }
+  Result<rank::AggregationMethod> method = MethodByName(args.Get("method"));
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.error().str().c_str());
+    return 2;
+  }
+  Result<core::FieldTestResult> run = Campaign(
+      scenario.value(), args.GetInt("budget", 40), method.value());
+  if (!run.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", run.error().str().c_str());
+    return 1;
+  }
+  const core::FieldTestResult& result = run.value();
+  if (args.Has("csv")) {
+    std::printf("%s", server::RenderFeatureCsv(result.matrix).c_str());
+    return 0;
+  }
+  std::vector<std::pair<std::string, rank::Ranking>> table;
+  for (const auto& [user, outcome] : result.rankings)
+    table.emplace_back(user, outcome.final_ranking);
+  if (args.Has("json")) {
+    std::printf("{\"features\":%s,\"rankings\":%s}\n",
+                server::RenderFeatureJson(result.matrix).c_str(),
+                server::RenderRankingJson(result.matrix, table).c_str());
+    return 0;
+  }
+  std::printf("%s", server::RenderFeatureBars(result.matrix).c_str());
+  std::printf("%s", server::RenderRankingTable(result.matrix, table).c_str());
+  std::printf("\nuploads: %llu, energy: %.0f mJ spent / %.0f mJ saved\n",
+              static_cast<unsigned long long>(result.total_uploads),
+              result.energy_spent_mj, result.energy_saved_mj);
+  return 0;
+}
+
+int CmdSimulate(const cli::Args& args) {
+  const int users = args.GetInt("users", 40);
+  const int budget = args.GetInt("budget", 17);
+  const int runs = args.GetInt("runs", 10);
+  const double sigma = args.GetDouble("sigma", 10.0);
+  if (users < 1 || budget < 1 || runs < 1 || sigma <= 0) {
+    std::fprintf(stderr, "invalid simulate parameters\n");
+    return 2;
+  }
+  double greedy_sum = 0.0;
+  double base_sum = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    Rng rng(777 + static_cast<std::uint64_t>(run) * 101);
+    world::ArrivalConfig cfg;
+    cfg.num_users = users;
+    cfg.budget = budget;
+    sched::Problem p = sched::Problem::UniformGrid(10'800.0, 1'080, sigma);
+    p.users = world::GenerateArrivals(cfg, rng);
+    const auto greedy = sched::GreedySchedule(p);
+    const auto base = sched::PeriodicBaselineSchedule(p);
+    if (!greedy.ok() || !base.ok()) {
+      std::fprintf(stderr, "scheduling failed\n");
+      return 1;
+    }
+    const sched::CoverageEvaluator eval(p);
+    greedy_sum += eval.AverageCoverage(greedy.value().schedule);
+    base_sum += eval.AverageCoverage(base.value().schedule);
+  }
+  std::printf("users=%d budget=%d sigma=%.1fs runs=%d\n", users, budget,
+              sigma, runs);
+  std::printf("greedy   average coverage: %.4f\n", greedy_sum / runs);
+  std::printf("baseline average coverage: %.4f\n", base_sum / runs);
+  std::printf("improvement: %.1f%%\n",
+              (greedy_sum / base_sum - 1.0) * 100.0);
+  return 0;
+}
+
+int CmdBarcode(const cli::Args& args) {
+  Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().str().c_str());
+    return 2;
+  }
+  const int place = args.GetInt("place", 0);
+  if (place < 0 ||
+      place >= static_cast<int>(scenario.value().places.size())) {
+    std::fprintf(stderr, "place index out of range\n");
+    return 2;
+  }
+  const world::PlaceModel& p =
+      scenario.value().places[static_cast<std::size_t>(place)];
+  BarcodePayload payload;
+  payload.app = AppId{static_cast<std::uint64_t>(place + 1)};
+  payload.place = p.id;
+  payload.place_name = p.name;
+  payload.location = p.center;
+  payload.server = "server";
+  payload.radius_m = p.radius_m;
+  std::printf("place: %s\n", p.name.c_str());
+  std::printf("text:  %s\n", EncodeBarcodeText(payload).c_str());
+  if (args.Has("ascii")) {
+    std::printf("\n%s", RenderBarcodeMatrix(payload).ascii().c_str());
+  }
+  return 0;
+}
+
+int CmdRank(const cli::Args& args) {
+  Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().str().c_str());
+    return 2;
+  }
+  Result<rank::AggregationMethod> method = MethodByName(args.Get("method"));
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.error().str().c_str());
+    return 2;
+  }
+  const std::string user = args.Get("user");
+  const rank::UserProfile* profile = nullptr;
+  for (const rank::UserProfile& p : scenario.value().profiles) {
+    if (p.name == user) profile = &p;
+  }
+  if (profile == nullptr) {
+    std::fprintf(stderr, "unknown user '%s'; profiles:", user.c_str());
+    for (const rank::UserProfile& p : scenario.value().profiles)
+      std::fprintf(stderr, " %s", p.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  Result<core::FieldTestResult> run =
+      Campaign(scenario.value(), 40, method.value());
+  if (!run.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", run.error().str().c_str());
+    return 1;
+  }
+  const rank::PersonalizableRanker ranker(run.value().matrix);
+  Result<rank::RankingOutcome> outcome =
+      ranker.Rank(*profile, method.value());
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "ranking failed: %s\n",
+                 outcome.error().str().c_str());
+    return 1;
+  }
+  std::printf("ranking for %s:\n", profile->name.c_str());
+  const auto names = outcome.value().OrderedNames(run.value().matrix);
+  for (std::size_t i = 0; i < names.size(); ++i)
+    std::printf("  No. %zu  %s\n", i + 1, names[i].c_str());
+  if (args.Has("explain")) {
+    std::printf("\n%s", server::RenderRankingExplanation(
+                            run.value().matrix, outcome.value())
+                            .c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const cli::Args args(argc - 2, argv + 2);
+  if (!args.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", args.error().c_str());
+    return 2;
+  }
+  if (cmd == "fieldtest") return CmdFieldTest(args);
+  if (cmd == "simulate") return CmdSimulate(args);
+  if (cmd == "barcode") return CmdBarcode(args);
+  if (cmd == "rank") return CmdRank(args);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    Usage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return Usage();
+}

@@ -8,7 +8,10 @@ namespace sor {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x31524F53;  // "SOR1" little-endian
+// "SOR2" little-endian. Bumped from "SOR1" (0x31524F53) when seq fields were
+// added to SensedDataUpload and Ack; old frames fail the magic check rather
+// than being mis-decoded positionally.
+constexpr std::uint32_t kMagic = 0x32524F53;
 
 void EncodeGeo(const GeoPoint& p, ByteWriter& w) {
   w.f64(p.lat_deg);
@@ -140,6 +143,7 @@ void EncodeBody(const Message& m, ByteWriter& w) {
     void operator()(const SensedDataUpload& u) const {
       w.varint(u.task.value());
       w.varint(u.user.value());
+      w.varint(u.seq);
       w.varint(u.batches.size());
       for (const ReadingTuple& b : u.batches) EncodeReadingTuple(b, w);
     }
@@ -154,7 +158,10 @@ void EncodeBody(const Message& m, ByteWriter& w) {
       EncodeGeo(p.location, w);
       EncodeTime(p.time, w);
     }
-    void operator()(const Ack& a) const { w.varint(a.in_reply_to); }
+    void operator()(const Ack& a) const {
+      w.varint(a.in_reply_to);
+      w.varint(a.seq);
+    }
     void operator()(const ErrorReply& e) const {
       w.u8(e.code);
       w.str(e.message);
@@ -208,6 +215,7 @@ Result<Message> DecodeBody(MessageType type,
       SensedDataUpload m;
       m.task = TaskId{r.varint()};
       m.user = UserId{r.varint()};
+      m.seq = r.varint();
       const std::uint64_t n = r.varint();
       if (n > r.remaining() + 1) return Error{Errc::kDecodeError, "bad count"};
       for (std::uint64_t i = 0; i < n && r.ok(); ++i)
@@ -236,7 +244,10 @@ Result<Message> DecodeBody(MessageType type,
       break;
     }
     case MessageType::kAck: {
-      out = Ack{r.varint()};
+      Ack m;
+      m.in_reply_to = r.varint();
+      m.seq = r.varint();
+      out = m;
       break;
     }
     case MessageType::kErrorReply: {

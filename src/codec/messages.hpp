@@ -78,6 +78,11 @@ struct SensedDataUpload {
   TaskId task;
   UserId user;
   std::vector<ReadingTuple> batches;
+  // Monotonically increasing per-phone sequence number. Retries after a
+  // lost Ack re-send the same seq; the server deduplicates on (task, seq)
+  // so at-least-once delivery never double-inserts raw rows or
+  // double-consumes budget. 0 means "no seq" (legacy sender, not deduped).
+  std::uint64_t seq = 0;
 
   friend bool operator==(const SensedDataUpload&,
                          const SensedDataUpload&) = default;
@@ -105,6 +110,10 @@ struct PingReply {
 
 struct Ack {
   std::uint64_t in_reply_to = 0;
+  // Echo of SensedDataUpload::seq. A phone treats an upload as settled only
+  // when the Ack echoes the seq it sent; 0 acknowledges a legacy (unseq'd)
+  // message.
+  std::uint64_t seq = 0;
   friend bool operator==(const Ack&, const Ack&) = default;
 };
 
@@ -140,8 +149,10 @@ void EncodeBody(const Message& m, ByteWriter& w);
 [[nodiscard]] Result<Message> DecodeBody(MessageType type,
                                          std::span<const std::uint8_t> body);
 
-// Framed envelope: magic "SOR1" | type u8 | body varint-len+bytes | crc32 of
-// everything before it. This is the unit handed to the transport.
+// Framed envelope: magic "SOR2" | type u8 | body varint-len+bytes | crc32 of
+// everything before it. This is the unit handed to the transport. The magic
+// doubles as the wire version; it was bumped from "SOR1" when seq fields
+// were added to SensedDataUpload and Ack.
 [[nodiscard]] Bytes EncodeFrame(const Message& m);
 [[nodiscard]] Result<Message> DecodeFrame(std::span<const std::uint8_t> frame);
 

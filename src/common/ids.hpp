@@ -62,6 +62,12 @@ class IdGenerator {
  public:
   [[nodiscard]] IdT next() { return IdT{next_++}; }
 
+  // After restoring state from a snapshot the generator must not re-issue
+  // ids already present in the database; bump it past the largest seen.
+  void advance_past(std::uint64_t v) {
+    if (v >= next_) next_ = v + 1;
+  }
+
  private:
   std::uint64_t next_ = 1;
 };

@@ -35,6 +35,7 @@ end
 }
 
 System::System() {
+  network_.set_clock(&clock_);  // partition windows run on simulated time
   server_ = std::make_unique<server::SensingServer>(
       server::ServerConfig{}, network_, clock_);
 }
@@ -120,11 +121,29 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
     }
   }
 
-  // 3. Advance simulated time across the scheduling period; every tick the
+  // 3. Arm the chaos rules now that deployment and participation are done —
+  // the campaign exists; everything after this point must survive faults.
+  if (!config.chaos_rules.empty()) {
+    network_.faults().set_seed(config.chaos_seed);
+    for (const net::FaultRule& rule : config.chaos_rules)
+      network_.faults().AddRule(rule);
+  }
+
+  // Advance simulated time across the scheduling period; every tick the
   // phones execute due sensing activities and upload.
   while (clock_.now() < period.end) {
     clock_.advance(config.tick);
     for (auto& frontend : frontends_) frontend->Tick();
+  }
+
+  // Drain: clear the faults and give the phones fault-free ticks so
+  // store-and-forward queues and pending leaves flush before evaluation.
+  if (!config.chaos_rules.empty()) {
+    network_.faults().Clear();
+    for (int i = 0; i < config.drain_ticks; ++i) {
+      clock_.advance(config.tick);
+      for (auto& frontend : frontends_) frontend->Tick();
+    }
   }
 
   // 4. Users leave; the Participation Manager flips their tasks to
@@ -168,6 +187,9 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
   for (const auto& frontend : frontends_) {
     result.total_uploads += frontend->stats().uploads_sent;
     result.total_upload_failures += frontend->stats().upload_failures;
+    result.total_uploads_retried += frontend->stats().uploads_retried;
+    result.total_uploads_dropped += frontend->stats().uploads_dropped;
+    result.total_leaves_retried += frontend->stats().leaves_retried;
     const sensors::EnergyReport energy =
         sensors::EnergyOf(frontend->sensor_manager());
     result.energy_spent_mj += energy.spent_mj;

@@ -38,6 +38,14 @@ struct FieldTestConfig {
   server::SchedulerAlgorithm scheduler_algorithm =
       server::SchedulerAlgorithm::kGreedy;
   bool leave_at_end = true;            // send LeaveNotifications at tE
+
+  // --- chaos harness -----------------------------------------------------
+  // Fault rules armed AFTER deployment + participation succeed (the
+  // campaign must start; the paper's field test assumes the scan worked)
+  // and cleared again before the drain phase, so queued retries can flush.
+  std::vector<net::FaultRule> chaos_rules;
+  std::uint64_t chaos_seed = 0;       // seed for the fault-decision stream
+  int drain_ticks = 8;                // fault-free ticks after the period
 };
 
 struct FieldTestResult {
@@ -52,6 +60,10 @@ struct FieldTestResult {
   net::TransportStats transport_stats;
   std::uint64_t total_uploads = 0;
   std::uint64_t total_upload_failures = 0;
+  // Aggregated robustness counters across all phones (chaos reporting).
+  std::uint64_t total_uploads_retried = 0;
+  std::uint64_t total_uploads_dropped = 0;
+  std::uint64_t total_leaves_retried = 0;
   // Sensing energy across all phones (mJ): what was spent on physical
   // acquisitions and what the shared provider buffers saved.
   double energy_spent_mj = 0.0;

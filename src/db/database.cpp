@@ -83,18 +83,23 @@ void MakeSorSchema(Database& db) {
     (void)t->CreateIndex("user_id");
     (void)t->CreateIndex("status");
   }
-  // raw_data(raw_id PK, task_id, app_id, body BLOB, received_ms, processed)
-  // — the message handler "directly store[s] the binary message body into
-  // the database, which will be processed later by the Data Processor".
+  // raw_data(raw_id PK, task_id, app_id, body BLOB, received_ms, processed,
+  //          seq) — the message handler "directly store[s] the binary
+  // message body into the database, which will be processed later by the
+  // Data Processor". `seq` is the upload sequence number; together with
+  // task_id it is the server's dedup key for retried uploads, and it is
+  // appended last so older positional column reads stay valid.
   {
     Schema s;
     s.table_name = tables::kRawData;
     s.columns = {{"raw_id", CT::kInt64},     {"task_id", CT::kInt64},
                  {"app_id", CT::kInt64},     {"body", CT::kBlob},
-                 {"received_ms", CT::kInt64}, {"processed", CT::kBool}};
+                 {"received_ms", CT::kInt64}, {"processed", CT::kBool},
+                 {"seq", CT::kInt64}};
     Table* t = db.CreateTable(std::move(s)).value();
     (void)t->CreateIndex("processed");
     (void)t->CreateIndex("app_id");
+    (void)t->CreateIndex("task_id");
   }
   // feature_data(feature_id PK, app_id, place_id, feature, value, n_samples,
   //              computed_ms) — the Data Processor's output, the ranker's

@@ -1,0 +1,59 @@
+#include "net/fault_injector.hpp"
+
+namespace sor::net {
+
+bool FaultInjector::Matches(const std::string& pattern,
+                            const std::string& name) {
+  if (pattern == "*") return true;
+  if (!pattern.empty() && pattern.back() == '*')
+    return name.compare(0, pattern.size() - 1, pattern, 0,
+                        pattern.size() - 1) == 0;
+  return pattern == name;
+}
+
+FaultDecision FaultInjector::Decide(const std::string& from,
+                                    const std::string& to,
+                                    Direction direction, SimTime now) {
+  FaultDecision d;
+
+  // Scripted one-shot counters first: exact, randomness-free.
+  if (direction == Direction::kRequest) {
+    if (drop_next > 0) {
+      --drop_next;
+      d.drop = true;
+      return d;
+    }
+    if (corrupt_next > 0) {
+      --corrupt_next;
+      d.corrupt = true;
+    }
+  }
+
+  for (const FaultRule& rule : rules_) {
+    if (direction == Direction::kRequest && !rule.on_request) continue;
+    if (direction == Direction::kResponse && !rule.on_response) continue;
+    if (!Matches(rule.from, from) || !Matches(rule.to, to)) continue;
+
+    if (!rule.partition.empty() && rule.partition.contains(now)) {
+      d.drop = true;
+      d.partitioned = true;
+      // A partition beats every probabilistic outcome, but the stream must
+      // still advance identically to a run where the window is closed —
+      // otherwise two runs with the same seed diverge after the partition.
+    }
+    if (rule.drop > 0.0 && rng_.chance(rule.drop)) d.drop = true;
+    if (rule.corrupt > 0.0 && rng_.chance(rule.corrupt)) d.corrupt = true;
+    if (rule.duplicate > 0.0 && rng_.chance(rule.duplicate) &&
+        direction == Direction::kRequest) {
+      d.duplicate = true;
+    }
+    d.latency = d.latency + rule.latency;
+  }
+  if (d.drop) {
+    d.corrupt = false;
+    d.duplicate = false;
+  }
+  return d;
+}
+
+}  // namespace sor::net

@@ -1,0 +1,98 @@
+// Seeded, deterministic fault injection for the loopback transport.
+//
+// The SOR field tests (§V) ran over real cellular links where dropped
+// requests, lost Acks and flaky phones are the norm. This module models
+// that wire: per-link rules — matched on source/destination endpoint name —
+// carry independent probabilities for dropping, corrupting or duplicating a
+// frame, added latency, and hard partition windows over simulated time.
+// Rules apply to the request and/or the response leg of a round trip, so a
+// lost *Ack* (handler executed, reply gone — the trigger for every
+// duplicate-upload bug) is a first-class, reproducible event.
+//
+// All randomness comes from one seeded stream: the same seed, rules and
+// message sequence replay the exact same fault schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace sor::net {
+
+// Which leg of the synchronous round trip a rule applies to.
+enum class Direction : std::uint8_t {
+  kRequest,   // sender → receiver (the frame carrying the Message)
+  kResponse,  // receiver → sender (the reply frame)
+};
+
+struct FaultRule {
+  // Endpoint-name matchers. "*" matches everything; a trailing '*' is a
+  // prefix wildcard ("phone:*" matches every phone). The anonymous sender
+  // (two-argument Send) has the empty name, matched only by "*".
+  std::string from = "*";
+  std::string to = "*";
+
+  bool on_request = true;
+  bool on_response = true;
+
+  double drop = 0.0;       // P(frame lost in transit)
+  double corrupt = 0.0;    // P(one byte flipped mid-frame)
+  double duplicate = 0.0;  // P(frame delivered twice); request leg only
+  SimDuration latency{0};  // added to every matching traversal
+
+  // Hard partition: while now ∈ [partition.begin, partition.end] every
+  // matching traversal is lost. Default-empty interval = no partition.
+  SimInterval partition{SimTime{1}, SimTime{0}};
+};
+
+// The fate of one frame traversal, decided before delivery.
+struct FaultDecision {
+  bool drop = false;
+  bool corrupt = false;
+  bool duplicate = false;
+  bool partitioned = false;  // drop was caused by a partition window
+  SimDuration latency{0};
+};
+
+class FaultInjector {
+ public:
+  // One-shot global counters (request leg, any link): drop/corrupt the next
+  // N sends. Tests use these to script exact fault sequences; they take
+  // precedence over the probabilistic rules and consume no randomness.
+  int drop_next = 0;
+  int corrupt_next = 0;
+
+  // Reset the random stream. Decisions are a pure function of (seed, rule
+  // set, traversal sequence), which is what makes chaos runs replayable.
+  void set_seed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  void AddRule(FaultRule rule) { rules_.push_back(std::move(rule)); }
+  void Clear() {
+    rules_.clear();
+    drop_next = 0;
+    corrupt_next = 0;
+  }
+  [[nodiscard]] const std::vector<FaultRule>& rules() const { return rules_; }
+  [[nodiscard]] bool empty() const {
+    return rules_.empty() && drop_next == 0 && corrupt_next == 0;
+  }
+
+  // Decide the fate of one traversal. Consumes the seeded stream, so the
+  // caller must invoke it in a deterministic order.
+  [[nodiscard]] FaultDecision Decide(const std::string& from,
+                                     const std::string& to,
+                                     Direction direction, SimTime now);
+
+  // "*" wildcard / "prefix*" match helper (exposed for tests).
+  [[nodiscard]] static bool Matches(const std::string& pattern,
+                                    const std::string& name);
+
+ private:
+  std::vector<FaultRule> rules_;
+  Rng rng_;
+};
+
+}  // namespace sor::net

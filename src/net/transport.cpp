@@ -10,29 +10,94 @@ void LoopbackNetwork::Unregister(const std::string& name) {
   endpoints_.erase(name);
 }
 
-Result<Message> LoopbackNetwork::Send(const std::string& to,
+TransportStats LoopbackNetwork::link_stats(const std::string& from,
+                                           const std::string& to) const {
+  const auto it = link_stats_.find({from, to});
+  return it == link_stats_.end() ? TransportStats{} : it->second;
+}
+
+Result<Message> LoopbackNetwork::Send(const std::string& from,
+                                      const std::string& to,
                                       const Message& m) {
   auto it = endpoints_.find(to);
   if (it == endpoints_.end() || it->second == nullptr)
     return Error{Errc::kUnavailable, "no endpoint '" + to + "'"};
 
+  TransportStats& link = link_stats_[{from, to}];
   Bytes frame = EncodeFrame(m);
   stats_.bytes_sent += frame.size();
+  link.bytes_sent += frame.size();
 
-  if (faults_.drop_next > 0) {
-    --faults_.drop_next;
+  const SimTime now = clock_ != nullptr ? clock_->now() : SimTime{};
+
+  // --- request leg ---------------------------------------------------------
+  const FaultDecision req =
+      faults_.Decide(from, to, Direction::kRequest, now);
+  if (req.latency.ms > 0) {
+    stats_.latency_injected_ms += static_cast<std::uint64_t>(req.latency.ms);
+    link.latency_injected_ms += static_cast<std::uint64_t>(req.latency.ms);
+  }
+  if (req.drop) {
     ++stats_.dropped;
+    ++link.dropped;
+    if (req.partitioned) {
+      ++stats_.partitioned;
+      ++link.partitioned;
+      return Error{Errc::kUnavailable,
+                   "link to '" + to + "' is partitioned"};
+    }
     return Error{Errc::kTimeout, "request to '" + to + "' lost in transit"};
   }
-  if (faults_.corrupt_next > 0 && !frame.empty()) {
-    --faults_.corrupt_next;
+  if (req.corrupt && !frame.empty()) {
+    // A corrupted request reaches the handler but fails its CRC there; the
+    // send is accounted as corrupted, *not* delivered.
     ++stats_.corrupted;
+    ++link.corrupted;
     frame[frame.size() / 2] ^= 0x5a;  // flip bits mid-frame
+  } else {
+    ++stats_.delivered;
+    ++link.delivered;
   }
 
-  const Bytes response = it->second->HandleFrame(frame);
-  ++stats_.delivered;
+  // Duplicate delivery: the handler runs twice on the same frame — the
+  // at-least-once case idempotent endpoints must absorb. The reply to the
+  // *last* delivery is what travels back.
+  Bytes response = it->second->HandleFrame(frame);
+  if (req.duplicate) {
+    ++stats_.duplicated;
+    ++link.duplicated;
+    response = it->second->HandleFrame(frame);
+  }
+
+  // --- response leg --------------------------------------------------------
+  const FaultDecision resp =
+      faults_.Decide(from, to, Direction::kResponse, now);
+  if (resp.latency.ms > 0) {
+    stats_.latency_injected_ms += static_cast<std::uint64_t>(resp.latency.ms);
+    link.latency_injected_ms += static_cast<std::uint64_t>(resp.latency.ms);
+  }
+  if (resp.drop) {
+    // The handler DID run; only the reply is gone. To the sender this is
+    // indistinguishable from a dropped request — exactly the lost-Ack
+    // ambiguity that forces retries to be idempotent.
+    ++stats_.responses_dropped;
+    ++link.responses_dropped;
+    if (resp.partitioned) {
+      ++stats_.partitioned;
+      ++link.partitioned;
+      return Error{Errc::kUnavailable,
+                   "link to '" + to + "' is partitioned"};
+    }
+    return Error{Errc::kTimeout,
+                 "reply from '" + to + "' lost in transit"};
+  }
+  if (resp.corrupt && !response.empty()) {
+    ++stats_.responses_corrupted;
+    ++link.responses_corrupted;
+    response[response.size() / 2] ^= 0x5a;
+  }
   stats_.bytes_received += response.size();
+  link.bytes_received += response.size();
 
   Result<Message> decoded = DecodeFrame(response);
   if (!decoded.ok()) return decoded.error();

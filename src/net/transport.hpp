@@ -10,15 +10,20 @@
 //
 // Everything crosses this boundary as bytes — no object sneaks through —
 // so codec bugs, truncation, and corruption behave exactly as they would
-// on a real wire.
+// on a real wire. Faults (see net/fault_injector.hpp) can hit both legs of
+// the round trip: a request lost before the handler runs, or a response
+// lost *after* it ran — the at-least-once case every endpoint must survive.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "codec/messages.hpp"
 #include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "net/fault_injector.hpp"
 
 namespace sor::net {
 
@@ -35,17 +40,19 @@ class Endpoint {
 };
 
 struct TransportStats {
-  std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t corrupted = 0;
+  std::uint64_t delivered = 0;   // request reached the handler intact
+  std::uint64_t dropped = 0;     // request lost in transit (never handled)
+  std::uint64_t corrupted = 0;   // request delivered with a flipped byte
+  std::uint64_t duplicated = 0;  // request delivered twice (handler ran 2×)
+  std::uint64_t partitioned = 0; // loss caused by a partition window
+  std::uint64_t responses_dropped = 0;    // handler ran, reply lost (lost Ack)
+  std::uint64_t responses_corrupted = 0;  // handler ran, reply mangled
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
-};
+  std::uint64_t latency_injected_ms = 0;
 
-// Fault injection knobs (used by the failure-injection tests).
-struct FaultPlan {
-  int drop_next = 0;     // drop this many upcoming sends
-  int corrupt_next = 0;  // flip a byte in this many upcoming sends
+  friend bool operator==(const TransportStats&,
+                         const TransportStats&) = default;
 };
 
 class LoopbackNetwork {
@@ -54,16 +61,40 @@ class LoopbackNetwork {
   void Register(const std::string& name, Endpoint* endpoint);
   void Unregister(const std::string& name);
 
-  // Synchronous round trip: encode, deliver, decode the response.
-  [[nodiscard]] Result<Message> Send(const std::string& to, const Message& m);
+  // Synchronous round trip: encode, deliver, decode the response. The
+  // three-argument form names the sender so per-link fault rules and stats
+  // can see who is talking; the two-argument form sends anonymously (empty
+  // source name, matched only by the "*" wildcard).
+  [[nodiscard]] Result<Message> Send(const std::string& from,
+                                     const std::string& to, const Message& m);
+  [[nodiscard]] Result<Message> Send(const std::string& to, const Message& m) {
+    return Send(std::string(), to, m);
+  }
 
+  // Aggregate over every link.
   [[nodiscard]] const TransportStats& stats() const { return stats_; }
-  FaultPlan& faults() { return faults_; }
+  // One link = one (source, destination) endpoint-name pair. Zero-valued
+  // stats for links that never carried a frame.
+  [[nodiscard]] TransportStats link_stats(const std::string& from,
+                                          const std::string& to) const;
+  [[nodiscard]] const std::map<std::pair<std::string, std::string>,
+                               TransportStats>&
+  all_link_stats() const {
+    return link_stats_;
+  }
+
+  FaultInjector& faults() { return faults_; }
+
+  // Clock for time-windowed fault rules (partitions). Without one, rules
+  // see time frozen at the epoch. Not owned.
+  void set_clock(const SimClock* clock) { clock_ = clock; }
 
  private:
   std::map<std::string, Endpoint*> endpoints_;
   TransportStats stats_;
-  FaultPlan faults_;
+  std::map<std::pair<std::string, std::string>, TransportStats> link_stats_;
+  FaultInjector faults_;
+  const SimClock* clock_ = nullptr;
 };
 
 }  // namespace sor::net

@@ -1,6 +1,8 @@
 #include "phone/frontend.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/log.hpp"
 
@@ -10,7 +12,8 @@ MobileFrontend::MobileFrontend(FrontendConfig config,
                                net::LoopbackNetwork& network,
                                sensors::SensorEnvironment& env,
                                const SimClock& clock)
-    : config_(std::move(config)), network_(network), env_(env), clock_(clock) {
+    : config_(std::move(config)), network_(network), env_(env), clock_(clock),
+      retry_rng_(config_.retry_seed) {
   if (config_.has_sensordrone) bluetooth_.Pair();
   // Register a Provider for every supported sensor (§II-A: "Currently, SOR
   // can support all sensors available on a Google Nexus4 smartphone and all
@@ -51,7 +54,7 @@ Result<TaskId> MobileFrontend::ScanBarcode(const BarcodePayload& payload,
   req.budget = budget;
   req.scan_time = clock_.now();
 
-  Result<Message> reply = network_.Send(server_, req);
+  Result<Message> reply = network_.Send(EndpointName(), server_, req);
   if (!reply.ok()) return reply.error();
   const auto* accepted = std::get_if<ParticipationReply>(&reply.value());
   if (accepted == nullptr)
@@ -88,41 +91,106 @@ Status MobileFrontend::LeavePlace() {
     // finished locally (all instants executed): the Participation Manager
     // flips its status to "finished" only on this notification.
     LeaveNotification note{id, config_.user_id, clock_.now()};
-    Result<Message> reply = network_.Send(server_, note);
-    if (!reply.ok()) overall = Status(reply.error());
+    Result<Message> reply = network_.Send(EndpointName(), server_, note);
+    if (!reply.ok()) {
+      // The server may never have heard this; queue it so Tick() keeps
+      // retrying until it is acknowledged (OnLeave is idempotent).
+      pending_leaves_.push_back(note);
+      overall = Status(reply.error());
+    }
     task.Finish();
   }
   return overall;
 }
 
+SimDuration MobileFrontend::Backoff(int attempts) {
+  std::int64_t delay = config_.retry_base.ms;
+  for (int i = 1; i < attempts && delay < config_.retry_max.ms; ++i)
+    delay *= 2;
+  delay = std::min(delay, config_.retry_max.ms);
+  // Jitter into [50%, 100%] so a fleet of phones that failed together does
+  // not retry in lockstep; the stream is seeded, so runs stay replayable.
+  const double jittered = static_cast<double>(delay) *
+                          retry_rng_.uniform(0.5, 1.0);
+  return SimDuration{std::max<std::int64_t>(1,
+      static_cast<std::int64_t>(jittered))};
+}
+
+bool MobileFrontend::TrySendUpload(TaskId task, std::uint64_t seq,
+                                   const std::vector<ReadingTuple>& batches) {
+  SensedDataUpload up{task, config_.user_id, batches, seq};
+  Result<Message> r = network_.Send(EndpointName(), server_, up);
+  if (!r.ok()) return false;
+  // Settled only when the Ack echoes our seq; anything else (wrong type,
+  // stale ack) counts as a failure and the upload stays queued.
+  const auto* ack = std::get_if<Ack>(&r.value());
+  return ack != nullptr && ack->seq == seq;
+}
+
+void MobileFrontend::EnqueueUpload(TaskId task, std::uint64_t seq,
+                                   std::vector<ReadingTuple> batches,
+                                   int attempts) {
+  if (pending_uploads_.size() >= config_.max_pending_uploads &&
+      !pending_uploads_.empty()) {
+    pending_uploads_.pop_front();  // evict the oldest; the bound holds
+    ++stats_.uploads_dropped;
+  }
+  PendingUpload p;
+  p.task = task;
+  p.seq = seq;
+  p.batches = std::move(batches);
+  p.attempts = attempts;
+  p.next_attempt = clock_.now() + Backoff(attempts);
+  pending_uploads_.push_back(std::move(p));
+}
+
 void MobileFrontend::Tick() {
   const SimTime now = clock_.now();
 
-  // Retry uploads that previously failed (e.g. a dropped frame).
-  for (auto it = pending_upload_.begin(); it != pending_upload_.end();) {
-    SensedDataUpload up{it->first, config_.user_id, it->second};
-    Result<Message> r = network_.Send(server_, up);
-    if (r.ok()) {
+  // Queued leave notifications first: the server needs to know who is gone
+  // before it replans anything.
+  for (auto it = pending_leaves_.begin(); it != pending_leaves_.end();) {
+    Result<Message> reply = network_.Send(EndpointName(), server_, *it);
+    if (reply.ok()) {
+      ++stats_.leaves_retried;
+      it = pending_leaves_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Re-send queued uploads whose backoff has elapsed, oldest first. Each
+  // keeps its original seq, so the server recognizes a retry of data it
+  // already stored (the lost-Ack case) and just re-acknowledges.
+  const std::size_t due = pending_uploads_.size();
+  // A re-enqueue can evict the oldest entry when the queue is full, so the
+  // queue may shrink mid-loop; never pop past what is actually there.
+  for (std::size_t i = 0; i < due && !pending_uploads_.empty(); ++i) {
+    PendingUpload p = std::move(pending_uploads_.front());
+    pending_uploads_.pop_front();
+    if (p.next_attempt > now) {
+      pending_uploads_.push_back(std::move(p));  // not yet; keep queued
+      continue;
+    }
+    ++stats_.uploads_retried;
+    if (TrySendUpload(p.task, p.seq, p.batches)) {
       ++stats_.uploads_sent;
-      it = pending_upload_.erase(it);
     } else {
       ++stats_.upload_failures;
-      ++it;
+      EnqueueUpload(p.task, p.seq, std::move(p.batches), p.attempts + 1);
     }
   }
 
   for (auto& [id, task] : tasks_) {
     std::vector<ReadingTuple> collected = task.RunDue(now, sensors_, prefs_);
     if (collected.empty()) continue;
-    SensedDataUpload up{id, config_.user_id, collected};
-    Result<Message> r = network_.Send(server_, up);
-    if (r.ok()) {
+    const std::uint64_t seq = next_seq_++;
+    if (TrySendUpload(id, seq, collected)) {
       ++stats_.uploads_sent;
     } else {
       ++stats_.upload_failures;
-      // Keep the data; retry on the next tick (store-and-forward).
-      auto& queue = pending_upload_[id];
-      queue.insert(queue.end(), collected.begin(), collected.end());
+      // Keep the data; retry with backoff (store-and-forward).
+      EnqueueUpload(id, seq, std::move(collected), 1);
     }
   }
   last_tick_ = now;

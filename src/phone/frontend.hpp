@@ -12,10 +12,13 @@
 // sensing budget, and wait for the server's schedule.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "codec/barcode.hpp"
+#include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "net/transport.hpp"
 #include "phone/task_instance.hpp"
@@ -30,11 +33,20 @@ struct FrontendConfig {
   std::string user_name;
   Token token;
   bool has_sensordrone = true;  // pair the external sensor at startup
+
+  // --- retry policy (at-least-once uploads over a lossy link) -------------
+  std::uint64_t retry_seed = 0x9e77;     // seed for the backoff jitter stream
+  SimDuration retry_base{1'000};         // first-retry delay ceiling
+  SimDuration retry_max{60'000};         // exponential backoff cap
+  std::size_t max_pending_uploads = 64;  // store-and-forward queue bound
 };
 
 struct FrontendStats {
   std::uint64_t uploads_sent = 0;
   std::uint64_t upload_failures = 0;
+  std::uint64_t uploads_retried = 0;   // re-sends of a queued upload
+  std::uint64_t uploads_dropped = 0;   // oldest entries evicted, queue full
+  std::uint64_t leaves_retried = 0;    // queued LeaveNotifications re-sent
   std::uint64_t schedules_received = 0;
   std::uint64_t pings_answered = 0;
   std::uint64_t decode_failures = 0;
@@ -71,24 +83,53 @@ class MobileFrontend final : public net::Endpoint {
   [[nodiscard]] Result<TaskId> ScanBarcodeMatrix(const BitMatrix& matrix,
                                                  int budget);
 
-  // Tell the server the user left the place; finishes all tasks.
+  // Tell the server the user left the place; finishes all tasks. A
+  // notification the server never acknowledged is queued and retried from
+  // Tick() until it lands (the server must learn the user is gone, or the
+  // scheduler keeps planning for a phone that will never upload again).
   [[nodiscard]] Status LeavePlace();
 
   // --- time advance ------------------------------------------------------
-  // Execute every sensing activity due at the current clock time and upload
-  // the collected data. Failed uploads are retried on the next tick.
+  // Flush queued leave notifications, re-send queued uploads whose backoff
+  // has elapsed, then execute every sensing activity due at the current
+  // clock time and upload the collected data. A failed upload keeps its
+  // seq and re-enters the queue with exponential backoff + seeded jitter.
   void Tick();
 
   // --- task inspection ---------------------------------------------------
   [[nodiscard]] const TaskInstance* task(TaskId id) const;
   [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t pending_uploads() const {
+    return pending_uploads_.size();
+  }
+  [[nodiscard]] std::size_t pending_leaves() const {
+    return pending_leaves_.size();
+  }
 
   // --- net::Endpoint -----------------------------------------------------
   [[nodiscard]] Bytes HandleFrame(std::span<const std::uint8_t> frame) override;
 
  private:
+  // One queued upload attempt. The seq is assigned when the upload is first
+  // built and never changes across retries — it IS the server's dedup key,
+  // so a retry after a lost Ack is recognized as the same upload.
+  struct PendingUpload {
+    TaskId task;
+    std::uint64_t seq = 0;
+    std::vector<ReadingTuple> batches;
+    int attempts = 0;       // sends tried so far
+    SimTime next_attempt;   // earliest time to try again
+  };
+
   [[nodiscard]] Message HandleMessage(const Message& m);
   [[nodiscard]] GeoPoint ReportedLocation();
+  // Send one upload; true only when the server's Ack echoed `seq`.
+  [[nodiscard]] bool TrySendUpload(TaskId task, std::uint64_t seq,
+                                   const std::vector<ReadingTuple>& batches);
+  // min(retry_max, retry_base·2^(attempts-1)), jittered into [50%, 100%].
+  [[nodiscard]] SimDuration Backoff(int attempts);
+  void EnqueueUpload(TaskId task, std::uint64_t seq,
+                     std::vector<ReadingTuple> batches, int attempts);
 
   FrontendConfig config_;
   net::LoopbackNetwork& network_;
@@ -101,9 +142,14 @@ class MobileFrontend final : public net::Endpoint {
   sensors::SensorManager sensors_;
 
   std::map<TaskId, TaskInstance> tasks_;
-  // Store-and-forward queue for failed uploads, kept per task so batches
-  // from concurrent tasks can never be attributed to the wrong one.
-  std::map<TaskId, std::vector<ReadingTuple>> pending_upload_;
+  // Bounded store-and-forward queue (FIFO by age): when it is full the
+  // oldest entry is evicted — recent data beats stale data, and the bound
+  // keeps a long partition from growing memory without limit.
+  std::deque<PendingUpload> pending_uploads_;
+  // Leave notifications the server has not yet acknowledged.
+  std::vector<LeaveNotification> pending_leaves_;
+  std::uint64_t next_seq_ = 1;  // upload sequence numbers, per phone
+  Rng retry_rng_{0};            // re-seeded from config in the constructor
   SimTime last_tick_;
   FrontendStats stats_;
 };

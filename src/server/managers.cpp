@@ -53,6 +53,11 @@ std::size_t UserInfoManager::count() const {
   return db_.table(db::tables::kUsers)->size();
 }
 
+void UserInfoManager::ResyncIds() {
+  for (const Row& r : db_.table(db::tables::kUsers)->Scan())
+    ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
+}
+
 // --- ApplicationManager -----------------------------------------------------
 
 Result<AppId> ApplicationManager::CreateApplication(
@@ -135,6 +140,11 @@ Result<BarcodePayload> ApplicationManager::BarcodeFor(
   p.server = server_endpoint;
   p.radius_m = rec.value().spec.radius_m;
   return p;
+}
+
+void ApplicationManager::ResyncIds() {
+  for (const Row& r : db_.table(db::tables::kApplications)->Scan())
+    ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
 }
 
 // --- ParticipationManager ----------------------------------------------------
@@ -249,6 +259,11 @@ std::vector<ParticipationRecord> ParticipationManager::AllForApp(
   for (const Row& row : parts->FindWhereEq("app_id", Value(app.value())))
     out.push_back(RecordFromRow(row));
   return out;
+}
+
+void ParticipationManager::ResyncIds() {
+  for (const Row& r : db_.table(db::tables::kParticipations)->Scan())
+    ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
 }
 
 }  // namespace sor::server

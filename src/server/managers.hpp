@@ -31,6 +31,10 @@ class UserInfoManager {
   [[nodiscard]] Status VerifyUser(UserId user, const Token& token) const;
   [[nodiscard]] std::size_t count() const;
 
+  // After a snapshot restore the id generator must skip every id already in
+  // the table (generators are process state, not database state).
+  void ResyncIds();
+
  private:
   db::Database& db_;
   IdGenerator<UserId> ids_;
@@ -72,6 +76,9 @@ class ApplicationManager {
   // The 2D barcode deployed at the target place (§II).
   [[nodiscard]] Result<BarcodePayload> BarcodeFor(
       AppId id, const std::string& server_endpoint) const;
+
+  // See UserInfoManager::ResyncIds.
+  void ResyncIds();
 
  private:
   db::Database& db_;
@@ -120,6 +127,9 @@ class ParticipationManager {
   // Active (not finished/error) participations of one application.
   [[nodiscard]] std::vector<ParticipationRecord> ActiveForApp(AppId app) const;
   [[nodiscard]] std::vector<ParticipationRecord> AllForApp(AppId app) const;
+
+  // See UserInfoManager::ResyncIds.
+  void ResyncIds();
 
  private:
   db::Database& db_;

@@ -101,7 +101,7 @@ Status SensingScheduler::RescheduleApp(const ApplicationRecord& app,
                              db::Value(clock_.now().ms)});
 
     Result<Message> reply =
-        network_.Send("phone:" + rec.token.value, msg);
+        network_.Send(origin_, "phone:" + rec.token.value, msg);
     if (reply.ok()) {
       ++stats_.schedules_distributed;
       (void)participations.MarkRunning(rec.task);
@@ -114,6 +114,11 @@ Status SensingScheduler::RescheduleApp(const ApplicationRecord& app,
     }
   }
   return overall;
+}
+
+void SensingScheduler::ResyncIds() {
+  for (const db::Row& r : db_.table(db::tables::kSchedules)->Scan())
+    schedule_ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
 }
 
 }  // namespace sor::server

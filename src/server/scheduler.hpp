@@ -38,9 +38,12 @@ struct SchedulerStats {
 
 class SensingScheduler {
  public:
+  // `origin` names the sending endpoint so per-link fault rules and
+  // transport stats can attribute schedule distributions to this server.
   SensingScheduler(db::Database& database, net::LoopbackNetwork& network,
-                   const SimClock& clock)
-      : db_(database), network_(network), clock_(clock) {}
+                   const SimClock& clock, std::string origin = "server")
+      : db_(database), network_(network), clock_(clock),
+        origin_(std::move(origin)) {}
 
   void set_algorithm(SchedulerAlgorithm a) { algorithm_ = a; }
   [[nodiscard]] SchedulerAlgorithm algorithm() const { return algorithm_; }
@@ -62,10 +65,14 @@ class SensingScheduler {
 
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
 
+  // After a snapshot restore, skip schedule ids already in the table.
+  void ResyncIds();
+
  private:
   db::Database& db_;
   net::LoopbackNetwork& network_;
   const SimClock& clock_;
+  std::string origin_;
   // Grid indices of measurements already uploaded for an app.
   [[nodiscard]] std::vector<int> ExecutedInstants(
       const ApplicationRecord& app,

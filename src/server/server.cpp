@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/log.hpp"
+#include "db/snapshot.hpp"
 
 namespace sor::server {
 
@@ -15,7 +16,7 @@ SensingServer::SensingServer(ServerConfig config,
       users_(db_),
       apps_(db_),
       parts_(db_, clock_),
-      scheduler_(db_, network_, clock_),
+      scheduler_(db_, network_, clock_, config_.endpoint_name),
       processor_(db_) {
   db::MakeSorSchema(db_);
   network_.Register(config_.endpoint_name, this);
@@ -59,8 +60,9 @@ Result<rank::RankingOutcome> SensingServer::RankPlaces(
 }
 
 Result<PingReply> SensingServer::PingPhone(const Token& token) {
-  Result<Message> reply =
-      network_.Send("phone:" + token.value, Ping{PhoneId{1}});
+  Result<Message> reply = network_.Send(config_.endpoint_name,
+                                        "phone:" + token.value,
+                                        Ping{PhoneId{1}});
   if (!reply.ok()) return reply.error();
   const auto* pong = std::get_if<PingReply>(&reply.value());
   if (pong == nullptr)
@@ -161,6 +163,20 @@ Message SensingServer::OnUpload(const SensedDataUpload& upload) {
     return ErrorReply{static_cast<std::uint8_t>(Errc::kPermissionDenied),
                       "upload user does not own task"};
 
+  MaybeResyncAfterRestart(upload.task);
+
+  // At-least-once dedup: a retry after a lost Ack (or a duplicated frame)
+  // carries the seq the server already stored. Acknowledge it again —
+  // that is the answer the phone never received — but store nothing and
+  // consume no budget. seq 0 marks a legacy sender with no dedup key.
+  if (upload.seq != 0) {
+    const auto it = seen_upload_seqs_.find(upload.task.value());
+    if (it != seen_upload_seqs_.end() && it->second.contains(upload.seq)) {
+      ++stats_.duplicate_uploads_ignored;
+      return Ack{upload.task.value(), upload.seq};
+    }
+  }
+
   // "it will directly store the binary message body into the database,
   // which will be processed later by the Data Processor."
   ByteWriter body;
@@ -169,11 +185,14 @@ Message SensingServer::OnUpload(const SensedDataUpload& upload) {
   Result<db::RowId> stored = raw->Insert(
       {db::Value(raw_ids_.next().value()), db::Value(upload.task.value()),
        db::Value(rec.value().app.value()), db::Value(body.take()),
-       db::Value(clock_.now().ms), db::Value(false)});
+       db::Value(clock_.now().ms), db::Value(false),
+       db::Value(static_cast<std::int64_t>(upload.seq))});
   if (!stored.ok())
     return ErrorReply{static_cast<std::uint8_t>(stored.error().code),
                       stored.error().message};
   ++stats_.uploads_stored;
+  if (upload.seq != 0)
+    seen_upload_seqs_[upload.task.value()].insert(upload.seq);
 
   // Budget bookkeeping: one acquisition per distinct scheduled instant in
   // the batch ("Initially, it is set to the maximum number of times the
@@ -182,7 +201,7 @@ Message SensingServer::OnUpload(const SensedDataUpload& upload) {
   for (const ReadingTuple& t : upload.batches) instants.insert(t.t.ms);
   (void)parts_.ConsumeBudget(upload.task,
                              static_cast<int>(instants.size()));
-  return Ack{upload.task.value()};
+  return Ack{upload.task.value(), upload.seq};
 }
 
 Message SensingServer::OnLeave(const LeaveNotification& note) {
@@ -190,6 +209,7 @@ Message SensingServer::OnLeave(const LeaveNotification& note) {
   if (!rec.ok())
     return ErrorReply{static_cast<std::uint8_t>(Errc::kNotFound),
                       "unknown task " + note.task.str()};
+  needs_resync_.erase(note.task);  // leaving; no schedule to re-push
   (void)parts_.MarkFinished(note.task, note.time);
 
   // Re-plan for the remaining participants.
@@ -199,6 +219,83 @@ Message SensingServer::OnLeave(const LeaveNotification& note) {
                                    config_.samples_per_window);
   }
   return Ack{note.task.value()};
+}
+
+void SensingServer::MaybeResyncAfterRestart(TaskId task) {
+  if (!needs_resync_.contains(task)) return;
+  Result<ParticipationRecord> rec = parts_.Get(task);
+  if (!rec.ok()) {
+    needs_resync_.erase(task);
+    return;
+  }
+  Result<ApplicationRecord> app = apps_.Get(rec.value().app);
+  if (!app.ok()) {
+    needs_resync_.erase(task);
+    return;
+  }
+  Status sched = scheduler_.RescheduleApp(app.value(), parts_,
+                                          config_.sample_window,
+                                          config_.samples_per_window);
+  if (!sched.ok()) {
+    // Some phone did not get its schedule (e.g. the link dropped it); keep
+    // the app's tasks marked so the next contact retries the push.
+    SOR_LOG(kWarn, "server",
+            "post-restart resync incomplete: " << sched.str());
+    return;
+  }
+  ++stats_.resyncs_triggered;
+  // One reschedule redistributed to every active participant of the app.
+  for (const ParticipationRecord& r : parts_.ActiveForApp(rec.value().app))
+    needs_resync_.erase(r.task);
+  needs_resync_.erase(task);
+}
+
+Bytes SensingServer::SnapshotState() const { return db::SnapshotDatabase(db_); }
+
+Status SensingServer::RestoreFromSnapshot(
+    std::span<const std::uint8_t> snapshot) {
+  // RestoreDatabase is all-or-nothing and refuses a non-empty target, so
+  // stage into a fresh database and commit by move. Managers hold a
+  // reference to db_ (whose address is stable), so they see the restored
+  // tables immediately.
+  db::Database fresh;
+  if (Status s = db::RestoreDatabase(snapshot, fresh); !s.ok()) return s;
+  db_ = std::move(fresh);
+
+  // Id generators are process state, not database state: re-sync each one
+  // past the ids already issued before the crash.
+  users_.ResyncIds();
+  apps_.ResyncIds();
+  parts_.ResyncIds();
+  scheduler_.ResyncIds();
+
+  // Rebuild the upload dedup index (and the raw-row id source) from the
+  // restored raw_data, so a phone retrying an upload the pre-crash server
+  // already stored still gets deduplicated.
+  seen_upload_seqs_.clear();
+  for (const db::Row& r : db_.table(db::tables::kRawData)->Scan()) {
+    raw_ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
+    const std::int64_t seq = r[6].as_int();
+    if (seq != 0) {
+      seen_upload_seqs_[static_cast<std::uint64_t>(r[1].as_int())].insert(
+          static_cast<std::uint64_t>(seq));
+    }
+  }
+
+  // Phones still hold pre-crash schedules; re-push each app's schedule the
+  // first time any of its participants makes contact.
+  needs_resync_.clear();
+  for (const ApplicationRecord& app : apps_.All()) {
+    for (const ParticipationRecord& rec : parts_.ActiveForApp(app.id))
+      needs_resync_.insert(rec.task);
+  }
+
+  ++stats_.recoveries;
+  SOR_LOG(kInfo, "server",
+          "recovered from snapshot: " << db_.table(db::tables::kRawData)->size()
+                                      << " raw rows, " << needs_resync_.size()
+                                      << " tasks awaiting resync");
+  return Status::Ok();
 }
 
 }  // namespace sor::server

@@ -9,7 +9,10 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/sim_time.hpp"
 #include "db/database.hpp"
@@ -36,6 +39,11 @@ struct ServerStats {
   std::uint64_t uploads_stored = 0;
   std::uint64_t participations_accepted = 0;
   std::uint64_t participations_rejected = 0;
+  // Retried uploads whose (task, seq) was already stored: acknowledged
+  // again, but neither re-inserted nor re-billed against the budget.
+  std::uint64_t duplicate_uploads_ignored = 0;
+  std::uint64_t recoveries = 0;        // successful RestoreFromSnapshot calls
+  std::uint64_t resyncs_triggered = 0; // post-restart schedule re-pushes
 };
 
 class SensingServer final : public net::Endpoint {
@@ -80,6 +88,21 @@ class SensingServer final : public net::Endpoint {
   // return the reported position.
   [[nodiscard]] Result<PingReply> PingPhone(const Token& token);
 
+  // --- crash recovery ------------------------------------------------------
+  // Serialize the full database (the durable state: users, apps,
+  // participations, raw uploads with their seqs, features, schedules) into
+  // one restorable buffer — what the prototype got from PostgreSQL.
+  [[nodiscard]] Bytes SnapshotState() const;
+
+  // Rebuild this server from a snapshot, as a freshly started process would
+  // after a crash: replaces the database wholesale, re-syncs every id
+  // generator past the ids already issued, rebuilds the (task, seq) upload
+  // dedup index from raw_data, and marks every active task as needing a
+  // schedule re-push on its next contact (phones keep uploading against
+  // their last known schedule; the first message from any of an app's
+  // participants triggers one reschedule for that app).
+  Status RestoreFromSnapshot(std::span<const std::uint8_t> snapshot);
+
   // Re-verify that the app's active participants are still at the target
   // place ("a mobile user's status ... will be changed to 'finished' if
   // according to his/her location, he/she leaves the target place",
@@ -96,6 +119,9 @@ class SensingServer final : public net::Endpoint {
   [[nodiscard]] Message OnParticipation(const ParticipationRequest& req);
   [[nodiscard]] Message OnUpload(const SensedDataUpload& upload);
   [[nodiscard]] Message OnLeave(const LeaveNotification& note);
+  // First post-restart contact from a task whose app still needs a schedule
+  // re-push: reschedule the app (which redistributes to all of its phones).
+  void MaybeResyncAfterRestart(TaskId task);
 
   ServerConfig config_;
   net::LoopbackNetwork& network_;
@@ -109,6 +135,13 @@ class SensingServer final : public net::Endpoint {
   DataProcessor processor_;
   ServerStats stats_;
   IdGenerator<ScheduleId> raw_ids_;  // raw_data PK source
+
+  // Upload dedup index: task id → seqs already stored. Rebuilt from
+  // raw_data on restore, so it survives crashes with the database.
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
+      seen_upload_seqs_;
+  // Tasks whose phones have not been re-contacted since the last restore.
+  std::set<TaskId> needs_resync_;
 };
 
 }  // namespace sor::server

@@ -1,0 +1,274 @@
+// Chaos-grade end-to-end tests: the full coffee-shop pipeline replayed
+// under seeded fault injection (drops, corruption, duplication, partition
+// windows on both legs of every round trip), plus a server kill/restart
+// mid-campaign. The invariants:
+//   * no duplicate raw rows — every stored (task, seq) pair is unique;
+//   * budget is never over-consumed — what each task was billed equals the
+//     distinct instants actually stored for it (capped by the budget);
+//   * store-and-forward queues stay bounded and drain to empty;
+//   * the final rankings are identical to a fault-free run — chaos may
+//     delay the data, it must not change the answer.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "core/system.hpp"
+#include "db/snapshot.hpp"
+#include "server/feature_def.hpp"
+#include "world/phone_agent.hpp"
+
+namespace sor::core {
+namespace {
+
+// Shrunk coffee-shop campaign: same three places, fewer phones and a
+// 30-minute period, so ten chaos replays stay fast.
+world::Scenario SmallCoffeeScenario() {
+  world::Scenario s = world::MakeCoffeeShopScenario();
+  s.phones_per_place = 4;
+  s.period_s = 1'800.0;
+  return s;
+}
+
+FieldTestConfig BaseConfig() {
+  FieldTestConfig c;
+  c.budget_per_user = 20;
+  c.n_instants = 120;
+  c.sigma_s = 60.0;
+  return c;
+}
+
+// Aggressive-but-recoverable wire: probabilities at the acceptance ceiling
+// (0.3), applied to request AND response legs, plus a one-minute hard
+// partition in the middle of the period.
+std::vector<net::FaultRule> ChaosRules() {
+  net::FaultRule lossy;
+  lossy.drop = 0.3;
+  lossy.corrupt = 0.2;
+  lossy.duplicate = 0.2;
+  net::FaultRule partition;
+  partition.partition = SimInterval{SimTime{600'000}, SimTime{660'000}};
+  return {lossy, partition};
+}
+
+// Decode every stored raw row and check the dedup + budget invariants.
+void CheckStorageInvariants(server::SensingServer& srv) {
+  const db::Table* raw = srv.database().table(db::tables::kRawData);
+  std::set<std::pair<std::int64_t, std::int64_t>> keys;
+  std::map<std::int64_t, std::set<std::int64_t>> instants_per_task;
+  for (const db::Row& r : raw->Scan()) {
+    const std::int64_t task = r[1].as_int();
+    const std::int64_t seq = r[6].as_int();
+    if (seq != 0) {
+      EXPECT_TRUE(keys.insert({task, seq}).second)
+          << "duplicate raw row for task " << task << " seq " << seq;
+    }
+    Result<Message> body =
+        DecodeBody(MessageType::kSensedDataUpload, r[3].as_blob());
+    ASSERT_TRUE(body.ok()) << body.error().str();
+    for (const ReadingTuple& t :
+         std::get<SensedDataUpload>(body.value()).batches) {
+      instants_per_task[task].insert(t.t.ms);
+    }
+  }
+  // Billing matches storage exactly: each task paid one acquisition per
+  // distinct stored instant — never more (no double-billing on retries).
+  const db::Table* parts =
+      srv.database().table(db::tables::kParticipations);
+  for (const db::Row& r : parts->Scan()) {
+    const std::int64_t task = r[0].as_int();
+    const std::int64_t budget = r[4].as_int();
+    const std::int64_t left = r[5].as_int();
+    const auto stored =
+        static_cast<std::int64_t>(instants_per_task[task].size());
+    EXPECT_GE(left, 0) << "task " << task;
+    EXPECT_EQ(budget - left, std::min(budget, stored)) << "task " << task;
+  }
+}
+
+TEST(Chaos, TenSeedsConvergeToTheFaultFreeRankings) {
+  const world::Scenario scenario = SmallCoffeeScenario();
+
+  System baseline_system;
+  Result<FieldTestResult> baseline =
+      baseline_system.RunFieldTest(scenario, BaseConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.error().str();
+
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    FieldTestConfig config = BaseConfig();
+    config.chaos_rules = ChaosRules();
+    config.chaos_seed = seed;
+
+    System system;
+    Result<FieldTestResult> run = system.RunFieldTest(scenario, config);
+    ASSERT_TRUE(run.ok()) << run.error().str();
+
+    // The chaos actually happened (this is not a vacuous pass)...
+    const net::TransportStats& t = run.value().transport_stats;
+    EXPECT_GT(t.dropped + t.responses_dropped, 0u);
+    EXPECT_GT(t.partitioned, 0u);
+    EXPECT_GT(run.value().total_uploads_retried, 0u);
+    EXPECT_GT(run.value().server_stats.duplicate_uploads_ignored, 0u);
+
+    // ...queues drained within the drain window, nothing was evicted...
+    EXPECT_EQ(run.value().total_uploads_dropped, 0u);
+    for (const auto& frontend : system.frontends()) {
+      EXPECT_EQ(frontend->pending_uploads(), 0u);
+      EXPECT_EQ(frontend->pending_leaves(), 0u);
+    }
+
+    // ...storage and billing invariants hold...
+    CheckStorageInvariants(system.server());
+
+    // ...and the answer is byte-for-byte the fault-free answer.
+    ASSERT_EQ(run.value().rankings.size(), baseline.value().rankings.size());
+    for (std::size_t p = 0; p < baseline.value().rankings.size(); ++p) {
+      EXPECT_EQ(run.value().RankedNames(p), baseline.value().RankedNames(p))
+          << "profile " << baseline.value().rankings[p].first;
+    }
+    const rank::FeatureMatrix& want = baseline.value().matrix;
+    const rank::FeatureMatrix& got = run.value().matrix;
+    ASSERT_EQ(got.num_places(), want.num_places());
+    ASSERT_EQ(got.num_features(), want.num_features());
+    for (int i = 0; i < want.num_places(); ++i) {
+      for (int j = 0; j < want.num_features(); ++j) {
+        EXPECT_NEAR(got.at(i, j), want.at(i, j), 1e-6)
+            << "place " << i << " feature " << j;
+      }
+    }
+  }
+}
+
+TEST(Chaos, SameSeedSameOutcome) {
+  // The whole chaos run — not just the fault schedule — is replayable.
+  const world::Scenario scenario = SmallCoffeeScenario();
+  FieldTestConfig config = BaseConfig();
+  config.chaos_rules = ChaosRules();
+  config.chaos_seed = 99;
+
+  System a;
+  Result<FieldTestResult> ra = a.RunFieldTest(scenario, config);
+  System b;
+  Result<FieldTestResult> rb = b.RunFieldTest(scenario, config);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.value().transport_stats, rb.value().transport_stats);
+  EXPECT_EQ(ra.value().total_uploads_retried,
+            rb.value().total_uploads_retried);
+  EXPECT_EQ(ra.value().server_stats.duplicate_uploads_ignored,
+            rb.value().server_stats.duplicate_uploads_ignored);
+}
+
+TEST(Chaos, ServerCrashMidCampaignRecoversFromSnapshot) {
+  // One place, three phones, driven by hand so the server can be killed
+  // and restarted halfway through the period.
+  const world::Scenario scenario = SmallCoffeeScenario();
+  const world::PlaceModel& place = scenario.places[0];
+  const SimInterval period{SimTime{0}, SimTime::FromSeconds(600.0)};
+  const SimDuration tick{10'000};
+
+  SimClock clock;
+  net::LoopbackNetwork net;
+  net.set_clock(&clock);
+  auto server = std::make_unique<server::SensingServer>(
+      server::ServerConfig{}, net, clock);
+
+  server::ApplicationSpec spec;
+  spec.creator = "operator";
+  spec.place = place.id;
+  spec.place_name = place.name;
+  spec.location = place.center;
+  spec.radius_m = place.radius_m;
+  spec.script = DefaultScript(scenario.category);
+  spec.features = server::CoffeeShopFeatures();
+  spec.period = period;
+  spec.n_instants = 60;
+  spec.sigma_s = 60.0;
+  Result<BarcodePayload> barcode = server->DeployApplication(spec);
+  ASSERT_TRUE(barcode.ok()) << barcode.error().str();
+
+  std::vector<std::unique_ptr<world::PhoneAgent>> agents;
+  std::vector<std::unique_ptr<phone::MobileFrontend>> phones;
+  std::vector<TaskId> tasks;
+  Rng rng(7);
+  for (int i = 0; i < 3; ++i) {
+    const Token token{"tok-" + std::to_string(i)};
+    Result<UserId> user =
+        server->users().RegisterUser("user_" + std::to_string(i), token);
+    ASSERT_TRUE(user.ok());
+    world::PhoneAgentConfig agent_cfg;
+    agent_cfg.id = PhoneId{static_cast<std::uint64_t>(i + 1)};
+    agent_cfg.mobility = world::Mobility::kStatic;
+    agent_cfg.enter_time = SimTime{0};
+    agent_cfg.seed = rng.fork().engine()();
+    agents.push_back(std::make_unique<world::PhoneAgent>(place, agent_cfg));
+    phone::FrontendConfig cfg;
+    cfg.phone_id = agent_cfg.id;
+    cfg.user_id = user.value();
+    cfg.user_name = "user_" + std::to_string(i);
+    cfg.token = token;
+    phones.push_back(std::make_unique<phone::MobileFrontend>(
+        cfg, net, *agents.back(), clock));
+    Result<TaskId> task = phones.back()->ScanBarcode(barcode.value(), 10);
+    ASSERT_TRUE(task.ok()) << task.error().str();
+    tasks.push_back(task.value());
+  }
+
+  // First half: lossy but alive.
+  net.faults().set_seed(13);
+  net::FaultRule lossy;
+  lossy.drop = 0.2;
+  net.faults().AddRule(lossy);
+  while (clock.now() < SimTime{300'000}) {
+    clock.advance(tick);
+    for (auto& p : phones) p->Tick();
+  }
+
+  // Crash: snapshot the durable state, then the process dies.
+  const Bytes snapshot = server->SnapshotState();
+  server.reset();
+
+  // Phones keep ticking against a dead server; everything queues.
+  for (int i = 0; i < 6; ++i) {
+    clock.advance(tick);
+    for (auto& p : phones) p->Tick();
+  }
+
+  // Restart from the snapshot.
+  server = std::make_unique<server::SensingServer>(server::ServerConfig{},
+                                                   net, clock);
+  ASSERT_TRUE(server->RestoreFromSnapshot(snapshot).ok());
+  EXPECT_EQ(server->stats().recoveries, 1u);
+  net.faults().Clear();
+
+  // Second half plus drain: queues flush, schedules re-sync on contact.
+  while (clock.now() < period.end + tick * 8) {
+    clock.advance(tick);
+    for (auto& p : phones) p->Tick();
+  }
+  EXPECT_GE(server->stats().resyncs_triggered, 1u);
+  for (auto& p : phones) {
+    EXPECT_EQ(p->pending_uploads(), 0u);
+    EXPECT_TRUE(p->LeavePlace().ok());
+  }
+
+  // No permanently lost tasks: every participation survived the crash and
+  // reached "finished"; storage and billing stayed consistent throughout.
+  for (TaskId task : tasks) {
+    Result<server::ParticipationRecord> rec =
+        server->participations().Get(task);
+    ASSERT_TRUE(rec.ok()) << "task " << task.str() << " lost in crash";
+    EXPECT_EQ(rec.value().status, "finished");
+  }
+  CheckStorageInvariants(*server);
+  EXPECT_GT(server->database().table(db::tables::kRawData)->size(), 0u);
+
+  // The recovered pipeline still produces features end to end.
+  EXPECT_TRUE(server->ProcessAllData().ok());
+}
+
+}  // namespace
+}  // namespace sor::core

@@ -186,7 +186,7 @@ TEST(Snapshot, RoundTripPreservesEverything) {
   db::Table* raw = original.table(db::tables::kRawData);
   ASSERT_TRUE(raw->Insert({db::Value(1), db::Value(2), db::Value(3),
                            db::Value(db::Blob{1, 2, 3}), db::Value(42),
-                           db::Value(false)})
+                           db::Value(false), db::Value(7)})
                   .ok());
 
   const Bytes snapshot = db::SnapshotDatabase(original);

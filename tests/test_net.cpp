@@ -105,5 +105,164 @@ TEST(Transport, StatsAccumulate) {
   EXPECT_GT(net.stats().bytes_received, net.stats().delivered);
 }
 
+TEST(Transport, CorruptedRequestNotCountedDelivered) {
+  // A send is accounted as corrupted XOR delivered — never both.
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  net.faults().corrupt_next = 1;
+  EXPECT_FALSE(net.Send("echo", Ack{}).ok());
+  EXPECT_EQ(net.stats().corrupted, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(Transport, ResponseDropIsLostAck) {
+  // The handler runs — the server-side effect happened — but the sender
+  // sees a timeout it cannot distinguish from a dropped request.
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  FaultRule rule;
+  rule.on_request = false;
+  rule.drop = 1.0;
+  net.faults().AddRule(rule);
+  EXPECT_EQ(net.Send("me", "echo", Ack{}).code(), Errc::kTimeout);
+  EXPECT_EQ(echo.frames_, 1);  // the request DID arrive
+  EXPECT_EQ(net.stats().delivered, 1u);
+  EXPECT_EQ(net.stats().responses_dropped, 1u);
+  EXPECT_EQ(net.stats().dropped, 0u);
+}
+
+TEST(Transport, ResponseCorruptionFailsDecodeAtSender) {
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  FaultRule rule;
+  rule.on_request = false;
+  rule.corrupt = 1.0;
+  net.faults().AddRule(rule);
+  EXPECT_EQ(net.Send("me", "echo", Ack{}).code(), Errc::kDecodeError);
+  EXPECT_EQ(echo.decode_failures_, 0);  // request was clean
+  EXPECT_EQ(net.stats().responses_corrupted, 1u);
+}
+
+TEST(Transport, DuplicateDeliveryRunsHandlerTwice) {
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  FaultRule rule;
+  rule.on_response = false;
+  rule.duplicate = 1.0;
+  net.faults().AddRule(rule);
+  EXPECT_TRUE(net.Send("me", "echo", Ack{}).ok());
+  EXPECT_EQ(echo.frames_, 2);  // at-least-once: the handler ran twice
+  EXPECT_EQ(net.stats().duplicated, 1u);
+}
+
+TEST(Transport, PartitionWindowBlocksOnlyWhileOpen) {
+  SimClock clock;
+  LoopbackNetwork net;
+  net.set_clock(&clock);
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  FaultRule rule;
+  rule.partition = SimInterval{SimTime{1'000}, SimTime{2'000}};
+  net.faults().AddRule(rule);
+
+  EXPECT_TRUE(net.Send("me", "echo", Ack{}).ok());  // before the window
+  clock.advance_to(SimTime{1'500});
+  EXPECT_EQ(net.Send("me", "echo", Ack{}).code(), Errc::kUnavailable);
+  EXPECT_EQ(net.stats().partitioned, 1u);
+  clock.advance_to(SimTime{3'000});
+  EXPECT_TRUE(net.Send("me", "echo", Ack{}).ok());  // healed
+}
+
+TEST(Transport, PerLinkRulesMatchEndpointNames) {
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  FaultRule rule;
+  rule.from = "phone:*";  // only phones suffer on this wire
+  rule.drop = 1.0;
+  net.faults().AddRule(rule);
+
+  EXPECT_FALSE(net.Send("phone:tok-1", "echo", Ack{}).ok());
+  EXPECT_TRUE(net.Send("laptop", "echo", Ack{}).ok());
+  // Per-link accounting keeps the two senders apart.
+  EXPECT_EQ(net.link_stats("phone:tok-1", "echo").dropped, 1u);
+  EXPECT_EQ(net.link_stats("phone:tok-1", "echo").delivered, 0u);
+  EXPECT_EQ(net.link_stats("laptop", "echo").delivered, 1u);
+  // The anonymous two-argument Send has the empty source name, which a
+  // prefix rule does not match.
+  EXPECT_TRUE(net.Send("echo", Ack{}).ok());
+}
+
+TEST(FaultInjector, WildcardMatching) {
+  EXPECT_TRUE(FaultInjector::Matches("*", "anything"));
+  EXPECT_TRUE(FaultInjector::Matches("*", ""));
+  EXPECT_TRUE(FaultInjector::Matches("phone:*", "phone:tok-9"));
+  EXPECT_TRUE(FaultInjector::Matches("phone:*", "phone:"));
+  EXPECT_FALSE(FaultInjector::Matches("phone:*", "server"));
+  EXPECT_FALSE(FaultInjector::Matches("phone:*", ""));
+  EXPECT_TRUE(FaultInjector::Matches("server", "server"));
+  EXPECT_FALSE(FaultInjector::Matches("server", "server2"));
+}
+
+TEST(FaultInjector, SameSeedSameFaultSchedule) {
+  // The chaos contract: (seed, rules, traversal sequence) fully determine
+  // every fault decision, down to identical per-link transport stats.
+  auto run = [](std::uint64_t seed) {
+    SimClock clock;
+    LoopbackNetwork net;
+    net.set_clock(&clock);
+    EchoEndpoint echo;
+    net.Register("echo", &echo);
+    net.faults().set_seed(seed);
+    FaultRule rule;
+    rule.drop = 0.3;
+    rule.corrupt = 0.2;
+    rule.duplicate = 0.2;
+    // A partition in the middle must not desynchronize the stream.
+    FaultRule part;
+    part.partition = SimInterval{SimTime{40}, SimTime{60}};
+    net.faults().AddRule(rule);
+    net.faults().AddRule(part);
+    for (int i = 0; i < 100; ++i) {
+      clock.advance(SimDuration{1});
+      (void)net.Send("phone:a", "echo", Ping{PhoneId{1}});
+      (void)net.Send("phone:b", "echo", Ack{42});
+    }
+    return net.all_link_stats();
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_EQ(a, b);
+  // And faults actually fired (the schedule is not trivially empty).
+  TransportStats total;
+  for (const auto& [link, s] : a) {
+    total.dropped += s.dropped;
+    total.corrupted += s.corrupted;
+    total.duplicated += s.duplicated;
+    total.partitioned += s.partitioned;
+  }
+  EXPECT_GT(total.dropped, 0u);
+  EXPECT_GT(total.partitioned, 0u);
+}
+
+TEST(FaultInjector, ScriptedCountersTakePrecedenceAndClearResets) {
+  LoopbackNetwork net;
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  FaultRule rule;
+  rule.drop = 1.0;
+  net.faults().AddRule(rule);
+  net.faults().drop_next = 1;
+  EXPECT_FALSE(net.faults().empty());
+  EXPECT_FALSE(net.Send("me", "echo", Ack{}).ok());
+  net.faults().Clear();
+  EXPECT_TRUE(net.faults().empty());
+  EXPECT_TRUE(net.Send("me", "echo", Ack{}).ok());
+}
+
 }  // namespace
 }  // namespace sor::net

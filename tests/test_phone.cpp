@@ -248,7 +248,9 @@ class FakeServer final : public net::Endpoint {
     if (const auto* upload =
             std::get_if<SensedDataUpload>(&decoded.value())) {
       uploads_ += static_cast<int>(upload->batches.size());
-      return EncodeFrame(Ack{upload->task.value()});
+      seqs_.push_back(upload->seq);
+      // Echo the seq — the phone settles an upload only on a matching echo.
+      return EncodeFrame(Ack{upload->task.value(), upload->seq});
     }
     if (std::get_if<LeaveNotification>(&decoded.value()) != nullptr) {
       ++leaves_;
@@ -262,6 +264,7 @@ class FakeServer final : public net::Endpoint {
   Token last_token_;
   int uploads_ = 0;
   int leaves_ = 0;
+  std::vector<std::uint64_t> seqs_;  // seq of every upload received
 };
 
 BarcodePayload TestBarcode() {
@@ -380,6 +383,102 @@ TEST(Frontend, RetryQueueKeepsConcurrentTasksSeparate) {
   f.frontend.Tick();  // both retried
   EXPECT_EQ(f.frontend.stats().uploads_sent, 2u);
   EXPECT_GE(f.server.uploads_, 2);
+}
+
+TEST(Frontend, RetryKeepsSameSeqAcrossAttempts) {
+  // The seq assigned at first send IS the dedup key: the retry must carry
+  // the same one so a server that stored the data (lost-Ack case) can tell.
+  FrontendFixture f;
+  ASSERT_TRUE(f.frontend.ScanBarcode(TestBarcode(), 10).ok());
+  f.clock.advance_to(SimTime{15'000});
+  f.net.faults().drop_next = 1;
+  f.frontend.Tick();
+  EXPECT_EQ(f.frontend.pending_uploads(), 1u);
+  f.clock.advance_to(SimTime{16'000});
+  f.frontend.Tick();  // retry lands
+  ASSERT_EQ(f.server.seqs_.size(), 1u);
+  EXPECT_EQ(f.server.seqs_[0], 1u);
+  EXPECT_EQ(f.frontend.stats().uploads_retried, 1u);
+  EXPECT_EQ(f.frontend.pending_uploads(), 0u);
+  // The next fresh upload advances the sequence.
+  f.clock.advance_to(SimTime{30'000});
+  f.frontend.Tick();
+  ASSERT_EQ(f.server.seqs_.size(), 2u);
+  EXPECT_EQ(f.server.seqs_[1], 2u);
+}
+
+TEST(Frontend, FailedLeaveQueuedAndRetried) {
+  FrontendFixture f;
+  ASSERT_TRUE(f.frontend.ScanBarcode(TestBarcode(), 10).ok());
+  f.net.faults().drop_next = 1;
+  EXPECT_FALSE(f.frontend.LeavePlace().ok());
+  EXPECT_EQ(f.server.leaves_, 0);
+  // The notification was not abandoned: it waits in the leave queue.
+  EXPECT_EQ(f.frontend.pending_leaves(), 1u);
+  f.clock.advance_to(SimTime{1'000});
+  f.frontend.Tick();
+  EXPECT_EQ(f.server.leaves_, 1);
+  EXPECT_EQ(f.frontend.pending_leaves(), 0u);
+  EXPECT_EQ(f.frontend.stats().leaves_retried, 1u);
+}
+
+TEST(Frontend, UploadQueueBoundedDropsOldest) {
+  SimClock clock;
+  net::LoopbackNetwork net;
+  FakeServer server{net, clock};
+  FakeEnvironment env;
+  FrontendConfig config{PhoneId{1}, UserId{1}, "tester", Token{"tok-x"},
+                        true};
+  config.max_pending_uploads = 1;
+  MobileFrontend frontend{config, net, env, clock};
+  ASSERT_TRUE(frontend.ScanBarcode(TestBarcode(), 10).ok());
+
+  net::FaultRule outage;  // every upload fails while this rule is armed
+  outage.drop = 1.0;
+  net.faults().AddRule(outage);
+
+  clock.advance_to(SimTime{15'000});
+  frontend.Tick();  // first instant's upload fails -> queued
+  clock.advance_to(SimTime{25'000});
+  frontend.Tick();  // retry fails; second instant's upload evicts the first
+  EXPECT_EQ(frontend.pending_uploads(), 1u);
+  EXPECT_EQ(frontend.stats().uploads_dropped, 1u);
+
+  net.faults().Clear();
+  clock.advance_to(SimTime{60'000});
+  frontend.Tick();  // surviving entry flushes once the link heals
+  EXPECT_EQ(frontend.pending_uploads(), 0u);
+  // Only the newest upload (seq 2) made it; seq 1 was evicted, never sent.
+  ASSERT_EQ(server.seqs_.size(), 1u);
+  EXPECT_EQ(server.seqs_[0], 2u);
+}
+
+TEST(Frontend, BackoffGrowsAndIsCapped) {
+  FrontendFixture f;
+  ASSERT_TRUE(f.frontend.ScanBarcode(TestBarcode(), 10).ok());
+  net::FaultRule outage;
+  outage.drop = 1.0;
+  f.net.faults().AddRule(outage);
+  f.clock.advance_to(SimTime{15'000});
+  f.frontend.Tick();  // queue the first instant's upload
+  ASSERT_EQ(f.frontend.pending_uploads(), 1u);
+
+  // Drive many failed retries; the retry *attempt* count is bounded by the
+  // exponential backoff — with a 1 s tick and a 60 s cap, 100 ticks can
+  // hold at most ~20 attempts (1+2+4+...+60+60+... spacing), far fewer
+  // than the 100 a retry-every-tick policy would burn.
+  std::uint64_t attempts_before = f.frontend.stats().uploads_retried;
+  for (int i = 0; i < 100; ++i) {
+    f.clock.advance(SimDuration{1'000});
+    f.frontend.Tick();
+  }
+  const std::uint64_t attempts =
+      f.frontend.stats().uploads_retried - attempts_before;
+  EXPECT_GE(attempts, 4u);   // it IS still retrying...
+  EXPECT_LE(attempts, 30u);  // ...but exponentially spaced
+  // Data is never abandoned (later instants may have queued up too).
+  EXPECT_GE(f.frontend.pending_uploads(), 1u);
+  EXPECT_EQ(f.frontend.stats().uploads_dropped, 0u);
 }
 
 TEST(Frontend, LeaveNotifiesServerAndFinishesTasks) {

@@ -731,5 +731,150 @@ TEST(Visualization, BarsCsvAndTable) {
   EXPECT_NE(table.find("UserX"), std::string::npos);
 }
 
+// --- upload idempotency & crash recovery -----------------------------------
+
+// Join one user to a freshly deployed app and return their task id.
+TaskId JoinOneUser(ServerFixture& f, AppId app, const std::string& tok) {
+  const UserId user = f.server.users().RegisterUser(tok, Token{tok}).value();
+  ParticipationRequest req;
+  req.user = user;
+  req.token = Token{tok};
+  req.app = app;
+  req.location = GeoPoint{43.0, -76.0, 100};
+  req.budget = 10;
+  Result<Message> reply = f.net.Send("server", req);
+  return std::get<ParticipationReply>(reply.value()).task;
+}
+
+SensedDataUpload MakeUpload(TaskId task, UserId user, std::uint64_t seq,
+                            std::int64_t instant_ms) {
+  SensedDataUpload up;
+  up.task = task;
+  up.user = user;
+  up.seq = seq;
+  ReadingTuple noise;
+  noise.kind = SensorKind::kMicrophone;
+  noise.t = SimTime{instant_ms};
+  noise.dt = SimDuration{1'000};
+  noise.values = {0.5};
+  up.batches = {noise};
+  return up;
+}
+
+TEST(UploadIdempotency, DuplicateSeqStoredOnceAndBudgetChargedOnce) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  RecordingPhone phone(f.net, "phone:tok-a");
+  const TaskId task = JoinOneUser(f, barcode.value().app, "tok-a");
+  const UserId user = f.server.participations().Get(task).value().user;
+
+  const SensedDataUpload up = MakeUpload(task, user, /*seq=*/1, 10'000);
+  // Deliver the SAME upload twice — the retry-after-lost-Ack case.
+  Result<Message> first = f.net.Send("server", up);
+  Result<Message> second = f.net.Send("server", up);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Both deliveries acknowledged, and both Acks echo the seq.
+  EXPECT_EQ(std::get<Ack>(first.value()).seq, 1u);
+  EXPECT_EQ(std::get<Ack>(second.value()).seq, 1u);
+  // One raw row, one budget decrement, and the duplicate is accounted.
+  EXPECT_EQ(f.server.database().table(db::tables::kRawData)->size(), 1u);
+  EXPECT_EQ(f.server.participations().Get(task).value().budget_left, 9);
+  EXPECT_EQ(f.server.stats().uploads_stored, 1u);
+  EXPECT_EQ(f.server.stats().duplicate_uploads_ignored, 1u);
+
+  // A different seq from the same task is new data.
+  ASSERT_TRUE(f.net.Send("server", MakeUpload(task, user, 2, 20'000)).ok());
+  EXPECT_EQ(f.server.database().table(db::tables::kRawData)->size(), 2u);
+  EXPECT_EQ(f.server.participations().Get(task).value().budget_left, 8);
+}
+
+TEST(UploadIdempotency, SeqZeroIsLegacyAndNeverDeduped) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  RecordingPhone phone(f.net, "phone:tok-a");
+  const TaskId task = JoinOneUser(f, barcode.value().app, "tok-a");
+  const UserId user = f.server.participations().Get(task).value().user;
+  ASSERT_TRUE(f.net.Send("server", MakeUpload(task, user, 0, 10'000)).ok());
+  ASSERT_TRUE(f.net.Send("server", MakeUpload(task, user, 0, 10'000)).ok());
+  EXPECT_EQ(f.server.database().table(db::tables::kRawData)->size(), 2u);
+  EXPECT_EQ(f.server.stats().duplicate_uploads_ignored, 0u);
+}
+
+TEST(CrashRecovery, RestoreRebuildsStateAndDedupIndex) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  const AppId app = barcode.value().app;
+  RecordingPhone phone(f.net, "phone:tok-a");
+  const TaskId task = JoinOneUser(f, app, "tok-a");
+  const UserId user = f.server.participations().Get(task).value().user;
+  ASSERT_TRUE(f.net.Send("server", MakeUpload(task, user, 1, 10'000)).ok());
+  const Bytes snapshot = f.server.SnapshotState();
+
+  // "Crash": stand up a brand-new server process on the same network and
+  // feed it the snapshot.
+  f.net.Unregister("server");
+  SensingServer reborn{ServerConfig{}, f.net, f.clock};
+  ASSERT_TRUE(reborn.RestoreFromSnapshot(snapshot).ok());
+  EXPECT_EQ(reborn.stats().recoveries, 1u);
+
+  // Durable state survived.
+  EXPECT_EQ(reborn.users().count(), 1u);
+  EXPECT_EQ(reborn.applications().All().size(), 1u);
+  EXPECT_EQ(reborn.participations().Get(task).value().budget_left, 9);
+  EXPECT_EQ(reborn.database().table(db::tables::kRawData)->size(), 1u);
+
+  // The dedup index survived the crash: a phone retrying the pre-crash
+  // upload (it never saw the Ack) is recognized, not double-stored.
+  const std::size_t schedules_before = phone.schedules_.size();
+  ASSERT_TRUE(f.net.Send("server", MakeUpload(task, user, 1, 10'000)).ok());
+  EXPECT_EQ(reborn.database().table(db::tables::kRawData)->size(), 1u);
+  EXPECT_EQ(reborn.participations().Get(task).value().budget_left, 9);
+  EXPECT_EQ(reborn.stats().duplicate_uploads_ignored, 1u);
+
+  // First post-restart contact transparently re-pushed the schedule.
+  EXPECT_GT(phone.schedules_.size(), schedules_before);
+  EXPECT_EQ(reborn.stats().resyncs_triggered, 1u);
+
+  // Id generators resumed past the restored ids: a new user and a new
+  // participation get fresh ids, not collisions.
+  Result<UserId> ub = reborn.users().RegisterUser("b", Token{"tok-b"});
+  ASSERT_TRUE(ub.ok());
+  EXPECT_GT(ub.value().value(), user.value());
+  RecordingPhone phone_b(f.net, "phone:tok-b");
+  ParticipationRequest req;
+  req.user = ub.value();
+  req.token = Token{"tok-b"};
+  req.app = app;
+  req.location = GeoPoint{43.0, -76.0, 100};
+  req.budget = 5;
+  Result<Message> reply = f.net.Send("server", req);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_GT(std::get<ParticipationReply>(reply.value()).task.value(),
+            task.value());
+
+  // New uploads (fresh seqs) flow normally after recovery.
+  ASSERT_TRUE(f.net.Send("server", MakeUpload(task, user, 2, 20'000)).ok());
+  EXPECT_EQ(reborn.database().table(db::tables::kRawData)->size(), 2u);
+}
+
+TEST(CrashRecovery, CorruptSnapshotRejectedWithoutStateChange) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  Bytes snapshot = f.server.SnapshotState();
+  snapshot[snapshot.size() / 2] ^= 0x5a;
+
+  f.net.Unregister("server");
+  SensingServer reborn{ServerConfig{}, f.net, f.clock};
+  EXPECT_FALSE(reborn.RestoreFromSnapshot(snapshot).ok());
+  EXPECT_EQ(reborn.stats().recoveries, 0u);
+  // The fresh server's (empty) schema is untouched — still usable.
+  EXPECT_TRUE(reborn.DeployApplication(TestAppSpec()).ok());
+}
+
 }  // namespace
 }  // namespace sor::server

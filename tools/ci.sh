@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the default preset, then the asan-ubsan
+# preset. The chaos suite (test_chaos) runs under both, so every seeded
+# fault schedule is exercised with memory/UB checking on.
+#
+# Usage: tools/ci.sh [--with-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESETS=(default asan-ubsan)
+if [[ "${1:-}" == "--with-tsan" ]]; then
+  PRESETS+=(tsan)
+fi
+
+# CMake presets need >= 3.21; fall back to a plain build on older CMake.
+if ! cmake --list-presets >/dev/null 2>&1; then
+  echo "ci: cmake too old for presets; plain build" >&2
+  cmake -S . -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "$(nproc)"
+  ctest --test-dir build -j "$(nproc)" --output-on-failure
+  exit 0
+fi
+
+for preset in "${PRESETS[@]}"; do
+  echo "=== preset: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}" -j "$(nproc)"
+done

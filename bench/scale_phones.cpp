@@ -1,0 +1,93 @@
+// scale_phones — throughput of the sharded runtime vs phone count.
+//
+// Runs the coffee-shop campaign at ~50/200/1000 phones on 1/2/4/8 threads
+// and emits one JSON object per line-printer run: campaign wall time and
+// tick throughput per (phones, threads) cell. Deferred setup reschedules
+// keep the join storm O(P) so the measurement is dominated by the tick
+// loop, which is what the sharded executor parallelizes.
+//
+// Output is JSON on stdout (redirect to BENCH_scale_phones.json). The
+// speedup a given host shows is bounded by "host_threads": on a
+// single-core container every thread count measures the same serial
+// machine plus coordination overhead.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace {
+
+struct Cell {
+  int phones = 0;
+  int threads = 0;
+  int ticks = 0;
+  double wall_ms = 0.0;
+  double ticks_per_sec = 0.0;
+};
+
+Cell RunCell(int phones_per_place, int threads) {
+  sor::world::Scenario scenario = sor::world::MakeCoffeeShopScenario();
+  scenario.phones_per_place = phones_per_place;
+  scenario.period_s = 600.0;
+
+  sor::core::FieldTestConfig config;
+  config.budget_per_user = 10;
+  config.n_instants = 60;
+  config.sigma_s = 60.0;
+  config.threads = threads;
+  config.defer_setup_reschedules = true;
+
+  sor::core::System system;
+  const auto t0 = std::chrono::steady_clock::now();
+  sor::Result<sor::core::FieldTestResult> run =
+      system.RunFieldTest(scenario, config);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!run.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", run.error().str().c_str());
+    std::exit(1);
+  }
+
+  Cell cell;
+  cell.phones =
+      phones_per_place * static_cast<int>(scenario.places.size());
+  cell.threads = threads;
+  cell.ticks = static_cast<int>(
+      (sor::SimTime::FromSeconds(scenario.period_s).ms + config.tick.ms - 1) /
+      config.tick.ms);
+  cell.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  cell.ticks_per_sec = cell.wall_ms > 0.0
+                           ? 1000.0 * cell.ticks / cell.wall_ms
+                           : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> per_place = {17, 67, 334};  // ×3 places ≈ 50/200/1000
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::printf("{\n  \"bench\": \"scale_phones\",\n");
+  std::printf("  \"host_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"results\": [\n");
+  bool first = true;
+  for (int ppp : per_place) {
+    for (int threads : thread_counts) {
+      const Cell c = RunCell(ppp, threads);
+      std::printf("%s    {\"phones\": %d, \"threads\": %d, \"ticks\": %d, "
+                  "\"wall_ms\": %.1f, \"ticks_per_sec\": %.2f}",
+                  first ? "" : ",\n", c.phones, c.threads, c.ticks,
+                  c.wall_ms, c.ticks_per_sec);
+      first = false;
+      std::fflush(stdout);
+      std::fprintf(stderr, "phones=%d threads=%d wall=%.0fms\n", c.phones,
+                   c.threads, c.wall_ms);
+    }
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "common/sharded_executor.hpp"
+
+namespace sor {
+
+ShardedExecutor::ShardedExecutor(int threads)
+    : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int s = 1; s < threads_; ++s)
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+}
+
+ShardedExecutor::~ShardedExecutor() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ShardedExecutor::RunShard(int shard, std::size_t n,
+                               const std::function<void(std::size_t)>& fn)
+    const {
+  for (std::size_t i = static_cast<std::size_t>(shard); i < n;
+       i += static_cast<std::size_t>(threads_)) {
+    fn(i);
+  }
+}
+
+void ShardedExecutor::WorkerLoop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || round_ != seen; });
+      if (stop_) return;
+      seen = round_;
+      fn = job_;
+      n = job_size_;
+    }
+    RunShard(shard, n, *fn);
+    {
+      std::lock_guard lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ShardedExecutor::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    pending_ = threads_ - 1;
+    ++round_;
+  }
+  start_cv_.notify_all();
+  RunShard(0, n, fn);  // the caller is shard 0
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+}  // namespace sor

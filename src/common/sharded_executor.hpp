@@ -1,0 +1,61 @@
+// ShardedExecutor — a fixed pool of worker threads for the deterministic
+// parallel runtime (docs/runtime.md).
+//
+// ParallelFor(n, fn) partitions the index space [0, n) round-robin across
+// `threads` shards (index i belongs to shard i % threads) and runs every
+// shard concurrently; within one shard, indices run in ascending order on a
+// single thread. The call is a barrier: it returns only after fn has run
+// for every index. The calling thread participates as shard 0, so
+// `threads` is the total parallelism, not the number of helpers.
+//
+// Round-robin (rather than contiguous blocks) keeps shards in lockstep
+// when callers impose a global index order on a shared resource — the
+// LoopbackNetwork's ordered delivery admits sender i only after senders
+// 0..i-1 finished, and with round-robin shards those predecessors sit at
+// earlier positions of every shard instead of piling up in one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sor {
+
+class ShardedExecutor {
+ public:
+  // Spawns threads-1 workers (shard 0 runs on the calling thread).
+  explicit ShardedExecutor(int threads);
+  ~ShardedExecutor();
+
+  ShardedExecutor(const ShardedExecutor&) = delete;
+  ShardedExecutor& operator=(const ShardedExecutor&) = delete;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  // Run fn(i) for every i in [0, n); blocks until all are done. fn must not
+  // throw. Reentrant calls (fn calling ParallelFor on the same executor)
+  // are not supported.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop(int shard);
+  void RunShard(int shard, std::size_t n,
+                const std::function<void(std::size_t)>& fn) const;
+
+  const int threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::uint64_t round_ = 0;  // bumped once per ParallelFor
+  int pending_ = 0;          // workers still running the current round
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sor

@@ -42,6 +42,37 @@ System::System() {
 
 System::~System() = default;
 
+void System::RunTicks(int n, SimDuration tick) {
+  if (n <= 0) return;
+  if (executor_ == nullptr || executor_->threads() <= 1) {
+    for (int i = 0; i < n; ++i) {
+      clock_.advance(tick);
+      for (auto& frontend : frontends_) frontend->Tick();
+    }
+    return;
+  }
+
+  // Parallel rounds under the network's ordered phase: phone k's sends are
+  // admitted only after phones 0..k-1 finished their tick, so the server
+  // handles the exact message sequence the serial loop produces (and the
+  // fault-decision stream replays identically). A phone that sends nothing
+  // this tick still completes its rank, unblocking the ranks above it.
+  std::vector<std::string> names;
+  names.reserve(frontends_.size());
+  for (const auto& frontend : frontends_)
+    names.push_back(frontend->EndpointName());
+  network_.BeginOrderedPhase(std::move(names));
+  for (int i = 0; i < n; ++i) {
+    clock_.advance(tick);
+    network_.StartRound();
+    executor_->ParallelFor(frontends_.size(), [&](std::size_t k) {
+      frontends_[k]->Tick();
+      network_.CompleteSender(k);
+    });
+  }
+  network_.EndOrderedPhase();
+}
+
 Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
                                              const FieldTestConfig& config) {
   if (scenario.places.empty())
@@ -53,6 +84,17 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
   agents_.clear();
   frontends_.clear();
   server_->scheduler().set_algorithm(config.scheduler_algorithm);
+
+  // Stand up the worker pool for this campaign (threads==1 → pure serial
+  // paths everywhere; see docs/runtime.md for the determinism contract).
+  const int threads = config.threads > 1 ? config.threads : 1;
+  if (threads > 1) {
+    executor_ = std::make_unique<ShardedExecutor>(threads);
+    server_->set_executor(executor_.get());
+  } else {
+    executor_.reset();
+    server_->set_executor(nullptr);
+  }
 
   const SimInterval period{SimTime{0},
                            SimTime::FromSeconds(scenario.period_s)};
@@ -86,6 +128,10 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
 
   // 2. Spawn phones: register users, then trigger participation through
   // the real barcode scan (render to the 2D matrix and scan it back).
+  // Every scan triggers a reschedule of the whole app; deferred mode
+  // batches that storm into one plan per app after the last scan.
+  if (config.defer_setup_reschedules)
+    server_->scheduler().set_deferred(true);
   for (std::size_t p = 0; p < scenario.places.size(); ++p) {
     const world::PlaceModel& place = scenario.places[p];
     for (int i = 0; i < scenario.phones_per_place; ++i, ++next_phone_) {
@@ -120,6 +166,12 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
       if (!task.ok()) return task.error();
     }
   }
+  if (config.defer_setup_reschedules) {
+    server_->scheduler().set_deferred(false);
+    if (Status s = server_->FlushReschedules(); !s.ok()) {
+      SOR_LOG(kWarn, "system", "deferred reschedule flush: " << s.str());
+    }
+  }
 
   // 3. Arm the chaos rules now that deployment and participation are done —
   // the campaign exists; everything after this point must survive faults.
@@ -131,19 +183,16 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
 
   // Advance simulated time across the scheduling period; every tick the
   // phones execute due sensing activities and upload.
-  while (clock_.now() < period.end) {
-    clock_.advance(config.tick);
-    for (auto& frontend : frontends_) frontend->Tick();
-  }
+  const std::int64_t remaining = period.end.ms - clock_.now().ms;
+  const int main_ticks = static_cast<int>(
+      (remaining + config.tick.ms - 1) / config.tick.ms);
+  RunTicks(main_ticks, config.tick);
 
   // Drain: clear the faults and give the phones fault-free ticks so
   // store-and-forward queues and pending leaves flush before evaluation.
   if (!config.chaos_rules.empty()) {
     network_.faults().Clear();
-    for (int i = 0; i < config.drain_ticks; ++i) {
-      clock_.advance(config.tick);
-      for (auto& frontend : frontends_) frontend->Tick();
-    }
+    RunTicks(config.drain_ticks, config.tick);
   }
 
   // 4. Users leave; the Participation Manager flips their tasks to

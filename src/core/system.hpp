@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/sharded_executor.hpp"
 #include "common/sim_time.hpp"
 #include "net/transport.hpp"
 #include "phone/frontend.hpp"
@@ -38,6 +39,19 @@ struct FieldTestConfig {
   server::SchedulerAlgorithm scheduler_algorithm =
       server::SchedulerAlgorithm::kGreedy;
   bool leave_at_end = true;            // send LeaveNotifications at tE
+
+  // --- sharded runtime (docs/runtime.md) ---------------------------------
+  // Worker threads for the tick loop and server-side batch stages. 1 (the
+  // default) is the legacy serial path, bit-for-bit. Any value yields
+  // byte-identical results — the ordered network phase serializes handler
+  // invocations in exact phone order; threads only overlap the pure
+  // per-phone compute (scripts, sensors, frame encoding).
+  int threads = 1;
+  // Batch the per-join reschedule storm during setup: joins mark apps dirty
+  // and one plan per app is flushed after the last scan. O(P) instead of
+  // O(P²) scheduler work — results differ from eager per-join replanning
+  // (fewer intermediate schedules), so it is opt-in; large benches use it.
+  bool defer_setup_reschedules = false;
 
   // --- chaos harness -----------------------------------------------------
   // Fault rules armed AFTER deployment + participation succeed (the
@@ -101,8 +115,14 @@ class System {
   }
 
  private:
+  // Advance the clock `n` ticks, ticking every frontend each step. With
+  // threads <= 1 this is the legacy serial loop; otherwise phones tick in
+  // parallel shards under the network's ordered phase.
+  void RunTicks(int n, SimDuration tick);
+
   SimClock clock_;
   net::LoopbackNetwork network_;
+  std::unique_ptr<ShardedExecutor> executor_;  // non-null while threads > 1
   std::unique_ptr<server::SensingServer> server_;
   std::vector<std::unique_ptr<world::PhoneAgent>> agents_;
   std::vector<std::unique_ptr<phone::MobileFrontend>> frontends_;

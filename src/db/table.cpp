@@ -89,7 +89,7 @@ Result<RowId> Table::Upsert(Row row) {
 }
 
 std::optional<Row> Table::FindByKey(const Value& key) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   auto it = pk_index_.find(KeyString(key));
   if (it == pk_index_.end()) return std::nullopt;
   return rows_.at(it->second);
@@ -97,7 +97,7 @@ std::optional<Row> Table::FindByKey(const Value& key) const {
 
 std::vector<Row> Table::FindWhereEq(const std::string& column,
                                     const Value& v) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const int ci = schema_.column_index(column);
   std::vector<Row> out;
   if (ci < 0) return out;
@@ -118,12 +118,41 @@ std::vector<Row> Table::FindWhereEq(const std::string& column,
 }
 
 std::vector<Row> Table::Scan(const Predicate& pred) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   std::vector<Row> out;
   for (const auto& [id, row] : rows_) {
     if (!pred || pred(row)) out.push_back(row);
   }
   return out;
+}
+
+void Table::ForEach(const RowVisitor& visit) const {
+  std::shared_lock lock(mu_);
+  for (const auto& [id, row] : rows_) {
+    if (!visit(row)) return;
+  }
+}
+
+void Table::ForEachWhereEq(const std::string& column, const Value& v,
+                           const RowVisitor& visit) const {
+  std::shared_lock lock(mu_);
+  const int ci = schema_.column_index(column);
+  if (ci < 0) return;
+  if (auto idx = secondary_.find(ci); idx != secondary_.end()) {
+    auto [lo, hi] = idx->second.equal_range(KeyString(v));
+    for (auto it = lo; it != hi; ++it) {
+      if (!visit(rows_.at(it->second))) return;
+    }
+    return;
+  }
+  if (ci == schema_.primary_key) {
+    if (auto it = pk_index_.find(KeyString(v)); it != pk_index_.end())
+      (void)visit(rows_.at(it->second));
+    return;
+  }
+  for (const auto& [id, row] : rows_) {
+    if (row[ci] == v && !visit(row)) return;
+  }
 }
 
 std::vector<Row> Table::ScanOrderedBy(const std::string& column,
@@ -151,6 +180,47 @@ Result<std::size_t> Table::Update(const Predicate& pred,
     if (Status s = schema_.Validate(next); !s.ok()) return s.error();
     changed.emplace_back(id, std::move(next));
   }
+  return CommitUpdate(std::move(changed));
+}
+
+Result<std::size_t> Table::UpdateWhereEq(
+    const std::string& column, const Value& v, const Predicate& pred,
+    const std::function<void(Row&)>& mutate) {
+  std::lock_guard lock(mu_);
+  const int ci = schema_.column_index(column);
+  if (ci < 0)
+    return Error{Errc::kInvalidArgument, "no column named " + column};
+
+  // Candidate ids from the index (or a walk when unindexed), sorted so the
+  // change set commits in the same RowId order a full Update would use.
+  std::vector<RowId> candidates;
+  if (auto idx = secondary_.find(ci); idx != secondary_.end()) {
+    auto [lo, hi] = idx->second.equal_range(KeyString(v));
+    for (auto it = lo; it != hi; ++it) candidates.push_back(it->second);
+    std::sort(candidates.begin(), candidates.end());
+  } else if (ci == schema_.primary_key) {
+    if (auto it = pk_index_.find(KeyString(v)); it != pk_index_.end())
+      candidates.push_back(it->second);
+  } else {
+    for (const auto& [id, row] : rows_) {
+      if (row[ci] == v) candidates.push_back(id);
+    }
+  }
+
+  std::vector<std::pair<RowId, Row>> changed;
+  for (RowId id : candidates) {
+    const Row& row = rows_.at(id);
+    if (pred && !pred(row)) continue;
+    Row next = row;
+    mutate(next);
+    if (Status s = schema_.Validate(next); !s.ok()) return s.error();
+    changed.emplace_back(id, std::move(next));
+  }
+  return CommitUpdate(std::move(changed));
+}
+
+Result<std::size_t> Table::CommitUpdate(
+    std::vector<std::pair<RowId, Row>> changed) {
   // PK-uniqueness check against unchanged rows and within the change set.
   std::map<std::string, RowId> new_keys;
   for (const auto& [id, next] : changed) {
@@ -201,12 +271,12 @@ std::size_t Table::Erase(const Predicate& pred) {
 }
 
 std::size_t Table::size() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   return rows_.size();
 }
 
 std::vector<std::string> Table::IndexedColumns() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   std::vector<std::string> cols;
   cols.reserve(secondary_.size());
   for (const auto& [ci, _] : secondary_)

@@ -11,8 +11,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +26,10 @@ using RowId = std::uint64_t;  // stable internal handle, never reused
 
 // A filter over rows; empty function means "all rows".
 using Predicate = std::function<bool(const Row&)>;
+
+// A visitor over rows; return false to stop the iteration early. Runs under
+// the table's shared lock: it must not call back into the same table.
+using RowVisitor = std::function<bool(const Row&)>;
 
 class Table {
  public:
@@ -57,6 +61,14 @@ class Table {
   // Filtered scan (all rows if pred is empty).
   [[nodiscard]] std::vector<Row> Scan(const Predicate& pred = {}) const;
 
+  // Allocation-free visitation in RowId (insertion) order; the visitor
+  // returns false to stop. Hot read paths use these instead of Scan /
+  // FindWhereEq so they never copy whole row vectors (blobs included).
+  void ForEach(const RowVisitor& visit) const;
+  // Indexed equality visitation: same row set and order as FindWhereEq.
+  void ForEachWhereEq(const std::string& column, const Value& v,
+                      const RowVisitor& visit) const;
+
   // Filtered scan, sorted ascending by a column.
   [[nodiscard]] std::vector<Row> ScanOrderedBy(const std::string& column,
                                                const Predicate& pred = {}) const;
@@ -69,6 +81,14 @@ class Table {
 
   // Update the single row whose primary key equals `key`.
   Status UpdateByKey(const Value& key, const std::function<void(Row&)>& mutate);
+
+  // Indexed update: like Update, but candidate rows come from the equality
+  // index on `column` (falling back to a full walk when unindexed), and
+  // `pred` further filters them. Candidates are mutated in ascending RowId
+  // order — exactly the row set and order Update(pred && column==v) visits.
+  Result<std::size_t> UpdateWhereEq(const std::string& column, const Value& v,
+                                    const Predicate& pred,
+                                    const std::function<void(Row&)>& mutate);
 
   // Delete rows matching pred; returns rows removed.
   std::size_t Erase(const Predicate& pred);
@@ -88,8 +108,15 @@ class Table {
   void UnindexRow(RowId id, const Row& row);
   [[nodiscard]] std::string KeyString(const Value& v) const;
 
+  // Commits a validated change set (ids paired with their new rows) under
+  // an already-held exclusive lock; shared by Update and UpdateWhereEq.
+  Result<std::size_t> CommitUpdate(std::vector<std::pair<RowId, Row>> changed);
+
   Schema schema_;
-  mutable std::mutex mu_;
+  // Readers (point lookups, scans, visitors) share the lock; writers are
+  // exclusive. Lock hierarchy: executor round → network inbox gate → table
+  // lock (see docs/runtime.md); visitors must not re-enter the table.
+  mutable std::shared_mutex mu_;
   std::map<RowId, Row> rows_;
   RowId next_id_ = 1;
   // Primary-key → RowId (unique).

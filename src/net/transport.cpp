@@ -16,15 +16,72 @@ TransportStats LoopbackNetwork::link_stats(const std::string& from,
   return it == link_stats_.end() ? TransportStats{} : it->second;
 }
 
+void LoopbackNetwork::BeginOrderedPhase(std::vector<std::string> senders) {
+  ordered_.rank_of.clear();
+  for (std::size_t i = 0; i < senders.size(); ++i)
+    ordered_.rank_of.emplace(std::move(senders[i]), i);
+  ordered_.done.assign(ordered_.rank_of.size(), 0);
+  ordered_.low = 0;
+  ordered_.active = true;
+}
+
+void LoopbackNetwork::StartRound() {
+  // Runs on the driver thread between rounds; the executor's barrier
+  // orders it against every worker of the previous and the next round.
+  ordered_.done.assign(ordered_.done.size(), 0);
+  ordered_.low = 0;
+}
+
+void LoopbackNetwork::CompleteSender(std::size_t rank) {
+  std::lock_guard lock(ordered_.mu);
+  ordered_.done[rank] = 1;
+  while (ordered_.low < ordered_.done.size() &&
+         ordered_.done[ordered_.low] != 0) {
+    ++ordered_.low;
+  }
+  ordered_.cv.notify_all();
+}
+
+void LoopbackNetwork::EndOrderedPhase() {
+  ordered_.active = false;
+  ordered_.rank_of.clear();
+  ordered_.done.clear();
+}
+
+void LoopbackNetwork::AwaitTurn(std::size_t rank) {
+  std::unique_lock lock(ordered_.mu);
+  ordered_.cv.wait(lock, [&] { return ordered_.low >= rank; });
+  // From here until CompleteSender(rank), this sender is the only ranked
+  // sender past the gate: every lower rank is done for the round, and every
+  // higher rank is still waiting on this one.
+}
+
 Result<Message> LoopbackNetwork::Send(const std::string& from,
                                       const std::string& to,
                                       const Message& m) {
+  constexpr std::size_t kUnranked = static_cast<std::size_t>(-1);
+  std::size_t rank = kUnranked;
+  if (ordered_.active) {
+    if (auto r = ordered_.rank_of.find(from); r != ordered_.rank_of.end()) {
+      rank = r->second;
+    } else if (ordered_.rank_of.contains(to)) {
+      // A push into an endpoint that may be mid-tick on another shard.
+      // Refusing is deterministic; racing into its handler is not.
+      return Error{Errc::kUnavailable,
+                   "endpoint '" + to + "' is ticking in a parallel round"};
+    }
+  }
+
   auto it = endpoints_.find(to);
   if (it == endpoints_.end() || it->second == nullptr)
     return Error{Errc::kUnavailable, "no endpoint '" + to + "'"};
 
-  TransportStats& link = link_stats_[{from, to}];
+  // Encoding is pure per-message work: do it before taking the turn so
+  // shards overlap the CPU cost and serialize only the delivery itself.
   Bytes frame = EncodeFrame(m);
+  if (rank != kUnranked) AwaitTurn(rank);
+
+  TransportStats& link = link_stats_[{from, to}];
   stats_.bytes_sent += frame.size();
   link.bytes_sent += frame.size();
 

@@ -15,10 +15,14 @@
 // lost *after* it ran — the at-least-once case every endpoint must survive.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "codec/messages.hpp"
 #include "common/result.hpp"
@@ -89,12 +93,47 @@ class LoopbackNetwork {
   // see time frozen at the epoch. Not owned.
   void set_clock(const SimClock* clock) { clock_ = clock; }
 
+  // --- deterministic parallel delivery (docs/runtime.md) ------------------
+  // During a parallel tick round, concurrent senders must not race into a
+  // shared receiver: each registered sender owns an inbox slot with a fixed
+  // rank, and its frames are admitted only after every lower-ranked sender
+  // has completed the round — so the server handles messages in exactly the
+  // order a serial loop would produce, and the fault-decision stream stays
+  // replayable. A phase brackets a sequence of rounds (ticks):
+  //
+  //   BeginOrderedPhase(names);          // rank i = names[i]
+  //   for each tick: StartRound();       // reset completion state
+  //     ... senders call Send() concurrently; the executor calls
+  //     CompleteSender(rank) after sender `rank` finished its tick ...
+  //   EndOrderedPhase();
+  //
+  // While a phase is active, a Send() *to* a ranked endpoint (a push into a
+  // phone that may be mid-tick) fails deterministically with kUnavailable
+  // instead of racing into its handler.
+  void BeginOrderedPhase(std::vector<std::string> senders);
+  void StartRound();
+  void CompleteSender(std::size_t rank);
+  void EndOrderedPhase();
+
  private:
+  // Block until every sender ranked below `rank` completed this round.
+  void AwaitTurn(std::size_t rank);
+
   std::map<std::string, Endpoint*> endpoints_;
   TransportStats stats_;
   std::map<std::pair<std::string, std::string>, TransportStats> link_stats_;
   FaultInjector faults_;
   const SimClock* clock_ = nullptr;
+
+  struct OrderedPhase {
+    bool active = false;
+    std::unordered_map<std::string, std::size_t> rank_of;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::uint8_t> done;  // per-rank completion, this round
+    std::size_t low = 0;             // all ranks < low are complete
+  };
+  OrderedPhase ordered_;
 };
 
 }  // namespace sor::net

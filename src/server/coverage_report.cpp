@@ -13,11 +13,14 @@ std::map<TaskId, std::vector<int>> ExecutedInstantsByTask(
   std::map<TaskId, std::vector<int>> executed;
   const db::Table* raw = db.table(db::tables::kRawData);
   if (raw == nullptr || grid.empty()) return executed;
-  for (const db::Row& row :
-       raw->FindWhereEq("app_id", db::Value(app.value()))) {
+  // Visitor (not FindWhereEq) so the blob bodies decode in place without
+  // copying every row; this runs on the scheduler's plan path, possibly
+  // from several planner threads at once (shared table lock).
+  raw->ForEachWhereEq(
+      "app_id", db::Value(app.value()), [&](const db::Row& row) {
     Result<Message> decoded =
         DecodeBody(MessageType::kSensedDataUpload, row[3].as_blob());
-    if (!decoded.ok()) continue;
+    if (!decoded.ok()) return true;
     const auto& upload = std::get<SensedDataUpload>(decoded.value());
     auto& instants = executed[upload.task];
     std::int64_t prev_ms = std::numeric_limits<std::int64_t>::min();
@@ -35,7 +38,8 @@ std::map<TaskId, std::vector<int>> ExecutedInstantsByTask(
       if (idx >= 0 && idx < static_cast<int>(grid.size()))
         instants.push_back(idx);
     }
-  }
+    return true;
+  });
   return executed;
 }
 

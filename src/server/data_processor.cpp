@@ -135,30 +135,62 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
   if (!raw || !features)
     return Error{Errc::kInternal, "raw/feature tables missing"};
 
+  const std::int64_t app_key = static_cast<std::int64_t>(app.id.value());
+
+  // "Periodically checks if there are any binary sensed data" (§II-B):
+  // consult the processed-column index instead of walking every blob. If
+  // nothing new arrived since the last pass AND the app's features are
+  // already in the database, the whole pass is a no-op. (Features are
+  // aggregates over the app's *full* history, so any new blob forces a
+  // recompute over all of its rows, not just the new ones.)
+  bool has_unprocessed = false;
+  raw->ForEachWhereEq("processed", Value(false), [&](const Row& r) {
+    if (r[2].as_int() == app_key) {
+      has_unprocessed = true;
+      return false;  // stop: one hit is enough
+    }
+    return true;
+  });
+  if (!has_unprocessed) {
+    bool features_exist = false;
+    features->ForEachWhereEq("app_id", Value(app.id.value()),
+                             [&](const Row&) {
+                               features_exist = true;
+                               return false;
+                             });
+    if (features_exist) {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.apps_skipped;
+      return 0;
+    }
+    // No uploads yet but no features either: fall through and write the
+    // zero-valued feature rows the ranker's matrix assembly expects.
+  }
+
   // Decode every upload body for this app (the stored bodies are the exact
-  // binary message payloads as received, §II-B).
+  // binary message payloads as received, §II-B). Stats accumulate locally
+  // and merge once at the end so concurrent per-app calls never contend.
+  DataProcessorStats local;
   AppRawData data;
-  const std::vector<Row> rows =
-      raw->FindWhereEq("app_id", Value(app.id.value()));
-  for (const Row& row : rows) {
+  raw->ForEachWhereEq("app_id", Value(app.id.value()), [&](const Row& row) {
     const db::Blob& body = row[3].as_blob();
-    Result<Message> decoded =
-        DecodeBody(MessageType::kSensedDataUpload, body);
+    Result<Message> decoded = DecodeBody(MessageType::kSensedDataUpload, body);
     if (!decoded.ok()) {
-      ++stats_.blobs_rejected;
+      ++local.blobs_rejected;
       SOR_LOG(kWarn, "processor",
               "rejecting malformed upload blob: " << decoded.error().str());
-      continue;
+      return true;
     }
-    ++stats_.blobs_decoded;
+    ++local.blobs_decoded;
     const auto& upload = std::get<SensedDataUpload>(decoded.value());
     for (const ReadingTuple& t : upload.batches) {
-      ++stats_.tuples_processed;
+      ++local.tuples_processed;
       data.by_kind[t.kind].push_back(t);
       if (t.kind == SensorKind::kGps && !t.locations.empty())
         data.gps_by_task[upload.task.value()].push_back(t);
     }
-  }
+    return true;
+  });
 
   // Sort GPS tuples per task by time so curvature follows the walk order.
   for (auto& [task, tuples] : data.gps_by_task) {
@@ -179,30 +211,38 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
         {Value(feature_id), Value(app.id.value()),
          Value(app.spec.place.value()), Value(def.name), Value(value),
          Value(static_cast<std::int64_t>(n_samples)), Value(now.ms)});
-    if (!r.ok()) return r.error();
-    ++stats_.features_written;
+    if (!r.ok()) {
+      std::lock_guard lock(stats_mu_);
+      stats_ += local;
+      return r.error();
+    }
+    ++local.features_written;
     ++written;
   }
 
-  // Flag the consumed raw rows as processed.
-  (void)raw->Update(
-      [&](const Row& row) {
-        return row[2].as_int() == static_cast<std::int64_t>(app.id.value()) &&
-               !row[5].as_bool();
-      },
+  // Flag the consumed raw rows as processed — candidates via the app_id
+  // index rather than a full-table walk.
+  (void)raw->UpdateWhereEq(
+      "app_id", Value(app.id.value()),
+      [](const Row& row) { return !row[5].as_bool(); },
       [](Row& row) { row[5] = Value(true); });
 
+  std::lock_guard lock(stats_mu_);
+  stats_ += local;
   return written;
 }
 
 Result<double> DataProcessor::FeatureValue(AppId app,
                                            const std::string& feature) const {
   const Table* features = db_.table(db::tables::kFeatureData);
-  for (const Row& row : features->FindWhereEq("app_id", Value(app.value()))) {
-    if (row[3].as_text() == feature) return row[4].as_double();
-  }
-  return Error{Errc::kNotFound,
-               "no feature '" + feature + "' for app " + app.str()};
+  Result<double> out = Error{
+      Errc::kNotFound, "no feature '" + feature + "' for app " + app.str()};
+  features->ForEachWhereEq("app_id", Value(app.value()), [&](const Row& row) {
+    if (row[3].as_text() != feature) return true;
+    out = row[4].as_double();
+    return false;
+  });
+  return out;
 }
 
 Result<rank::FeatureMatrix> DataProcessor::BuildFeatureMatrix(

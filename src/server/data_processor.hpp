@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/result.hpp"
@@ -29,6 +30,18 @@ struct DataProcessorStats {
   std::uint64_t blobs_rejected = 0;  // malformed bodies (decode failures)
   std::uint64_t tuples_processed = 0;
   std::uint64_t features_written = 0;
+  // Periodic checks that found nothing new for an app and skipped it (the
+  // processed-column index makes this O(unprocessed), not O(all blobs)).
+  std::uint64_t apps_skipped = 0;
+
+  DataProcessorStats& operator+=(const DataProcessorStats& o) {
+    blobs_decoded += o.blobs_decoded;
+    blobs_rejected += o.blobs_rejected;
+    tuples_processed += o.tuples_processed;
+    features_written += o.features_written;
+    apps_skipped += o.apps_skipped;
+    return *this;
+  }
 };
 
 struct DataProcessorOptions {
@@ -50,8 +63,12 @@ class DataProcessor {
   }
   void set_options(const DataProcessorOptions& o) { options_ = o; }
 
-  // Decode + process all raw data of `app`; write feature_data rows.
-  // Returns the number of feature values written.
+  // Decode + process the raw data of `app`; write feature_data rows.
+  // Returns the number of feature values written. Incremental: when the
+  // processed-column index shows nothing new for the app and its features
+  // are already in the database, the call is a cheap no-op. Safe to run
+  // concurrently for *different* apps (stats merge under a mutex; row sets
+  // are disjoint per app).
   Result<int> ProcessApp(const ApplicationRecord& app, SimTime now);
 
   // Fetch one computed feature value (for tests/visualization).
@@ -71,6 +88,7 @@ class DataProcessor {
   db::Database& db_;
   DataProcessorOptions options_;
   DataProcessorStats stats_;
+  std::mutex stats_mu_;  // guards stats_ during parallel ProcessApp calls
 };
 
 }  // namespace sor::server

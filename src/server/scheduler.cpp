@@ -23,9 +23,27 @@ Status SensingScheduler::RescheduleApp(const ApplicationRecord& app,
                                        ParticipationManager& participations,
                                        SimDuration sample_window,
                                        int samples_per_window) {
-  const std::vector<ParticipationRecord> active =
-      participations.ActiveForApp(app.id);
-  if (active.empty()) return Status::Ok();
+  if (deferred_) {
+    // Batch mode: remember that this app needs a fresh plan; the owner
+    // plans once per dirty app instead of once per join/leave event.
+    dirty_.insert(app.id.value());
+    return Status::Ok();
+  }
+  Result<SchedulePlan> plan = PlanApp(app, participations);
+  if (!plan.ok()) return plan.error();
+  return DistributePlan(app, plan.value(), participations, sample_window,
+                        samples_per_window);
+}
+
+Result<SchedulePlan> SensingScheduler::PlanApp(
+    const ApplicationRecord& app,
+    const ParticipationManager& participations) const {
+  SchedulePlan plan;
+  plan.active = participations.ActiveForApp(app.id);
+  if (plan.active.empty()) {
+    plan.empty = true;
+    return plan;
+  }
 
   // Build the §III problem instance: the app's instant grid plus one
   // presence window per active participant. A user with no recorded leave
@@ -35,7 +53,7 @@ Status SensingScheduler::RescheduleApp(const ApplicationRecord& app,
   problem.grid = MakeInstantGrid(app.spec.period, app.spec.n_instants);
   problem.sigma_s = app.spec.sigma_s;
   const SimTime now = clock_.now();
-  for (const ParticipationRecord& rec : active) {
+  for (const ParticipationRecord& rec : plan.active) {
     sched::UserWindow w;
     SimTime begin = rec.arrive;
     if (online_aware_ && now > begin) begin = now;  // the past is gone
@@ -69,23 +87,35 @@ Status SensingScheduler::RescheduleApp(const ApplicationRecord& app,
   }();
   if (!scheduled.ok()) return scheduled.error();
 
+  plan.grid = std::move(problem.grid);
+  plan.result = std::move(scheduled.value());
+  return plan;
+}
+
+Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
+                                        const SchedulePlan& plan,
+                                        ParticipationManager& participations,
+                                        SimDuration sample_window,
+                                        int samples_per_window) {
+  if (plan.empty) return Status::Ok();
+
   ++stats_.reschedules;
-  stats_.last_objective = scheduled.value().objective;
+  stats_.last_objective = plan.result.objective;
   stats_.last_average_coverage =
-      scheduled.value().objective / static_cast<double>(app.spec.n_instants);
+      plan.result.objective / static_cast<double>(app.spec.n_instants);
 
   db::Table* schedules = db_.table(db::tables::kSchedules);
   Status overall = Status::Ok();
-  for (std::size_t k = 0; k < active.size(); ++k) {
-    const ParticipationRecord& rec = active[k];
+  for (std::size_t k = 0; k < plan.active.size(); ++k) {
+    const ParticipationRecord& rec = plan.active[k];
     ScheduleDistribution msg;
     msg.task = rec.task;
     msg.app = app.id;
     msg.script = app.spec.script;
     msg.sample_window = sample_window;
     msg.samples_per_window = samples_per_window;
-    for (int idx : scheduled.value().schedule.per_user[k])
-      msg.instants.push_back(problem.grid[static_cast<std::size_t>(idx)]);
+    for (int idx : plan.result.schedule.per_user[k])
+      msg.instants.push_back(plan.grid[static_cast<std::size_t>(idx)]);
 
     // Persist the schedule (delta-encoded instants) before distribution.
     ByteWriter blob;
@@ -114,6 +144,12 @@ Status SensingScheduler::RescheduleApp(const ApplicationRecord& app,
     }
   }
   return overall;
+}
+
+std::vector<std::uint64_t> SensingScheduler::TakeDirtyApps() {
+  std::vector<std::uint64_t> out(dirty_.begin(), dirty_.end());
+  dirty_.clear();
+  return out;
 }
 
 void SensingScheduler::ResyncIds() {

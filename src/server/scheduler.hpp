@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
+#include <vector>
 
 #include "common/result.hpp"
 #include "common/sim_time.hpp"
@@ -36,6 +38,17 @@ struct SchedulerStats {
   double last_average_coverage = 0.0;
 };
 
+// The pure output of the §III optimization for one app: everything the
+// distribution stage needs, with no references into scheduler state. Plans
+// for different apps can be computed concurrently (PlanApp is const and
+// only reads the database).
+struct SchedulePlan {
+  std::vector<ParticipationRecord> active;  // row k ↔ result.per_user[k]
+  std::vector<SimTime> grid;
+  sched::ScheduleResult result;
+  bool empty = false;  // no active participants: nothing to distribute
+};
+
 class SensingScheduler {
  public:
   // `origin` names the sending endpoint so per-link fault rules and
@@ -58,10 +71,33 @@ class SensingScheduler {
 
   // Recompute the app's schedule from current participation state and push
   // a ScheduleDistribution to every active participant. Called whenever a
-  // user joins or leaves (the "online" behaviour).
+  // user joins or leaves (the "online" behaviour). In deferred mode the
+  // app is only marked dirty; the owner later drains TakeDirtyApps() and
+  // runs Plan/Distribute itself (see Server::FlushReschedules).
   Status RescheduleApp(const ApplicationRecord& app,
                        ParticipationManager& participations,
                        SimDuration sample_window, int samples_per_window);
+
+  // Stage 1 (thread-safe, const): build the §III problem from current
+  // participation state and solve it. Safe to call concurrently for
+  // different apps — it only takes shared database reads.
+  [[nodiscard]] Result<SchedulePlan> PlanApp(
+      const ApplicationRecord& app,
+      const ParticipationManager& participations) const;
+
+  // Stage 2 (serial): persist the plan's schedules, push them to the
+  // phones, update stats. Must run on one thread at a time; callers flush
+  // plans in ascending app-id order to keep the send stream deterministic.
+  Status DistributePlan(const ApplicationRecord& app, const SchedulePlan& plan,
+                        ParticipationManager& participations,
+                        SimDuration sample_window, int samples_per_window);
+
+  // Deferred mode: RescheduleApp only records the app id. Used to batch the
+  // O(joins) reschedule storm during field-test setup into one plan per app.
+  void set_deferred(bool v) { deferred_ = v; }
+  [[nodiscard]] bool deferred() const { return deferred_; }
+  // Drain the dirty set (ascending app id).
+  [[nodiscard]] std::vector<std::uint64_t> TakeDirtyApps();
 
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
 
@@ -80,6 +116,8 @@ class SensingScheduler {
 
   SchedulerAlgorithm algorithm_ = SchedulerAlgorithm::kGreedy;
   bool online_aware_ = true;
+  bool deferred_ = false;
+  std::set<std::uint64_t> dirty_;  // apps awaiting a deferred reschedule
   SchedulerStats stats_;
   IdGenerator<ScheduleId> schedule_ids_;
 };

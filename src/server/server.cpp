@@ -1,8 +1,10 @@
 #include "server/server.hpp"
 
+#include <optional>
 #include <set>
 
 #include "common/log.hpp"
+#include "common/sharded_executor.hpp"
 #include "db/snapshot.hpp"
 
 namespace sor::server {
@@ -32,13 +34,69 @@ Result<BarcodePayload> SensingServer::DeployApplication(
 }
 
 Result<int> SensingServer::ProcessAllData() {
+  const std::vector<ApplicationRecord> all = apps_.All();
+  if (executor_ == nullptr || executor_->threads() <= 1) {
+    int total = 0;
+    for (const ApplicationRecord& app : all) {
+      Result<int> n = processor_.ProcessApp(app, clock_.now());
+      if (!n.ok()) return n;
+      total += n.value();
+    }
+    return total;
+  }
+
+  // Parallel path: one ProcessApp per app; per-app row sets are disjoint.
+  // The serial loop stops at the first failure; here every app runs, then
+  // the first error *in app order* is reported — same error, same total
+  // when everything succeeds (integer sum is order-independent).
+  std::vector<std::optional<Result<int>>> results(all.size());
+  const SimTime now = clock_.now();
+  executor_->ParallelFor(all.size(), [&](std::size_t i) {
+    results[i] = processor_.ProcessApp(all[i], now);
+  });
   int total = 0;
-  for (const ApplicationRecord& app : apps_.All()) {
-    Result<int> n = processor_.ProcessApp(app, clock_.now());
-    if (!n.ok()) return n;
-    total += n.value();
+  for (const std::optional<Result<int>>& r : results) {
+    if (!r.has_value()) continue;
+    if (!r->ok()) return *r;
+    total += r->value();
   }
   return total;
+}
+
+Status SensingServer::FlushReschedules() {
+  const std::vector<std::uint64_t> dirty = scheduler_.TakeDirtyApps();
+  if (dirty.empty()) return Status::Ok();
+
+  std::vector<ApplicationRecord> records;
+  records.reserve(dirty.size());
+  for (std::uint64_t id : dirty) {
+    Result<ApplicationRecord> rec = apps_.Get(AppId{id});
+    if (!rec.ok()) return rec.error();
+    records.push_back(std::move(rec).value());
+  }
+
+  // Plan in parallel (const, shared reads only), distribute serially in
+  // ascending app-id order — `dirty` is already sorted.
+  std::vector<std::optional<Result<SchedulePlan>>> plans(records.size());
+  if (executor_ != nullptr && executor_->threads() > 1) {
+    executor_->ParallelFor(records.size(), [&](std::size_t i) {
+      plans[i] = scheduler_.PlanApp(records[i], parts_);
+    });
+  } else {
+    for (std::size_t i = 0; i < records.size(); ++i)
+      plans[i] = scheduler_.PlanApp(records[i], parts_);
+  }
+
+  Status overall = Status::Ok();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!plans[i].has_value()) continue;
+    if (!plans[i]->ok()) return plans[i]->error();
+    Status s = scheduler_.DistributePlan(records[i], plans[i]->value(), parts_,
+                                         config_.sample_window,
+                                         config_.samples_per_window);
+    if (!s.ok()) overall = s;
+  }
+  return overall;
 }
 
 Result<rank::RankingOutcome> SensingServer::RankPlaces(
@@ -273,14 +331,15 @@ Status SensingServer::RestoreFromSnapshot(
   // restored raw_data, so a phone retrying an upload the pre-crash server
   // already stored still gets deduplicated.
   seen_upload_seqs_.clear();
-  for (const db::Row& r : db_.table(db::tables::kRawData)->Scan()) {
+  db_.table(db::tables::kRawData)->ForEach([&](const db::Row& r) {
     raw_ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
     const std::int64_t seq = r[6].as_int();
     if (seq != 0) {
       seen_upload_seqs_[static_cast<std::uint64_t>(r[1].as_int())].insert(
           static_cast<std::uint64_t>(seq));
     }
-  }
+    return true;
+  });
 
   // Phones still hold pre-crash schedules; re-push each app's schedule the
   // first time any of its participants makes contact.

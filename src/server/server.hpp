@@ -22,6 +22,10 @@
 #include "server/managers.hpp"
 #include "server/scheduler.hpp"
 
+namespace sor {
+class ShardedExecutor;
+}
+
 namespace sor::server {
 
 struct ServerConfig {
@@ -73,7 +77,22 @@ class SensingServer final : public net::Endpoint {
   Result<BarcodePayload> DeployApplication(const ApplicationSpec& spec);
 
   // Run the Data Processor over every application (the "periodic check").
+  // With an executor attached, apps are processed in parallel: each app's
+  // row set is disjoint and the table locks are shared for reads, so the
+  // only cross-app state is the stats counters, which merge under a mutex.
+  // Results (features, processed flags, returned total) are independent of
+  // thread count.
   Result<int> ProcessAllData();
+
+  // Borrow a worker pool for ProcessAllData / FlushReschedules. Not owned;
+  // nullptr (the default) restores the serial path.
+  void set_executor(ShardedExecutor* executor) { executor_ = executor; }
+
+  // Drain the scheduler's deferred dirty set: plan every dirty app (in
+  // parallel when an executor is attached — planning is const), then
+  // distribute serially in ascending app-id order so the schedule table
+  // and the send stream are identical to planning serially.
+  Status FlushReschedules();
 
   // Rank the places covered by `apps` for one user profile (Algorithm 2 on
   // the feature matrix assembled from the database).
@@ -133,6 +152,7 @@ class SensingServer final : public net::Endpoint {
   ParticipationManager parts_;
   SensingScheduler scheduler_;
   DataProcessor processor_;
+  ShardedExecutor* executor_ = nullptr;  // not owned
   ServerStats stats_;
   IdGenerator<ScheduleId> raw_ids_;  // raw_data PK source
 

@@ -162,6 +162,51 @@ TEST(Chaos, SameSeedSameOutcome) {
             rb.value().server_stats.duplicate_uploads_ignored);
 }
 
+TEST(Chaos, ParallelRuntimeSurvivesEveryFaultSchedule) {
+  // The sharded runtime under the same chaos battery: every fault schedule
+  // must produce the exact serial outcome (transport counters included —
+  // the fault-decision stream itself is replayed), and the storage/billing
+  // invariants must hold with phones ticking on 4 threads.
+  const world::Scenario scenario = SmallCoffeeScenario();
+  for (std::uint64_t seed : {1ULL, 5ULL, 9ULL}) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    FieldTestConfig config = BaseConfig();
+    config.chaos_rules = ChaosRules();
+    config.chaos_seed = seed;
+
+    System serial_system;
+    Result<FieldTestResult> serial =
+        serial_system.RunFieldTest(scenario, config);
+    ASSERT_TRUE(serial.ok()) << serial.error().str();
+
+    config.threads = 4;
+    System parallel_system;
+    Result<FieldTestResult> parallel =
+        parallel_system.RunFieldTest(scenario, config);
+    ASSERT_TRUE(parallel.ok()) << parallel.error().str();
+
+    EXPECT_EQ(parallel.value().transport_stats,
+              serial.value().transport_stats);
+    EXPECT_EQ(parallel.value().total_uploads, serial.value().total_uploads);
+    EXPECT_EQ(parallel.value().total_uploads_retried,
+              serial.value().total_uploads_retried);
+    EXPECT_EQ(parallel.value().server_stats.duplicate_uploads_ignored,
+              serial.value().server_stats.duplicate_uploads_ignored);
+    ASSERT_EQ(parallel.value().rankings.size(),
+              serial.value().rankings.size());
+    for (std::size_t p = 0; p < serial.value().rankings.size(); ++p) {
+      EXPECT_EQ(parallel.value().rankings[p].second.final_ranking,
+                serial.value().rankings[p].second.final_ranking)
+          << "profile " << serial.value().rankings[p].first;
+    }
+    for (const auto& frontend : parallel_system.frontends()) {
+      EXPECT_EQ(frontend->pending_uploads(), 0u);
+      EXPECT_EQ(frontend->pending_leaves(), 0u);
+    }
+    CheckStorageInvariants(parallel_system.server());
+  }
+}
+
 TEST(Chaos, ServerCrashMidCampaignRecoversFromSnapshot) {
   // One place, three phones, driven by hand so the server can be killed
   // and restarted halfway through the period.

@@ -1,0 +1,167 @@
+// Determinism contract of the sharded runtime (docs/runtime.md): for any
+// thread count, a field test is BYTE-IDENTICAL to the serial (threads=1)
+// run — same feature matrix, same rankings (final, individual, gamma,
+// weights), same server/processor/transport counters, same energy totals.
+// Parallelism may only change wall-clock time, never a single observable
+// bit. Checked over two scenario shapes, five seeds, a chaos fault
+// schedule, and the deferred-reschedule setup mode.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "core/system.hpp"
+
+namespace sor::core {
+namespace {
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void Append(std::ostringstream& os, const rank::Ranking& r) {
+  for (int item : r.order()) os << item << ',';
+  os << ';';
+}
+
+// Serialize every observable field of a FieldTestResult. Two runs are
+// "the same" iff their fingerprints are equal strings.
+std::string Fingerprint(const FieldTestResult& r) {
+  std::ostringstream os;
+  os << "matrix:";
+  for (const std::string& name : r.matrix.place_names()) os << name << ',';
+  for (int i = 0; i < r.matrix.num_places(); ++i)
+    for (int j = 0; j < r.matrix.num_features(); ++j)
+      os << Num(r.matrix.at(i, j)) << ',';
+  os << "\nrankings:";
+  for (const auto& [profile, outcome] : r.rankings) {
+    os << profile << ':';
+    Append(os, outcome.final_ranking);
+    for (const rank::Ranking& ind : outcome.individual) Append(os, ind);
+    for (double g : outcome.gamma) os << Num(g) << ',';
+    for (double w : outcome.weights) os << Num(w) << ',';
+  }
+  const server::ServerStats& s = r.server_stats;
+  os << "\nserver:" << s.requests_handled << ',' << s.decode_failures << ','
+     << s.uploads_stored << ',' << s.participations_accepted << ','
+     << s.participations_rejected << ',' << s.duplicate_uploads_ignored << ','
+     << s.recoveries << ',' << s.resyncs_triggered;
+  const server::DataProcessorStats& p = r.processor_stats;
+  os << "\nprocessor:" << p.blobs_decoded << ',' << p.blobs_rejected << ','
+     << p.tuples_processed << ',' << p.features_written << ','
+     << p.apps_skipped;
+  const net::TransportStats& t = r.transport_stats;
+  os << "\ntransport:" << t.delivered << ',' << t.dropped << ','
+     << t.corrupted << ',' << t.duplicated << ',' << t.partitioned << ','
+     << t.responses_dropped << ',' << t.responses_corrupted << ','
+     << t.bytes_sent << ',' << t.bytes_received << ','
+     << t.latency_injected_ms;
+  os << "\ntotals:" << r.total_uploads << ',' << r.total_upload_failures
+     << ',' << r.total_uploads_retried << ',' << r.total_uploads_dropped
+     << ',' << r.total_leaves_retried << ',' << Num(r.energy_spent_mj) << ','
+     << Num(r.energy_saved_mj);
+  return os.str();
+}
+
+world::Scenario SmallCoffee() {
+  world::Scenario s = world::MakeCoffeeShopScenario();
+  s.phones_per_place = 4;
+  s.period_s = 1'800.0;
+  return s;
+}
+
+world::Scenario SmallTrail() {
+  world::Scenario s = world::MakeHikingTrailScenario();
+  s.phones_per_place = 3;
+  s.period_s = 1'800.0;
+  return s;
+}
+
+FieldTestConfig SmallConfig(std::uint64_t seed) {
+  FieldTestConfig c;
+  c.budget_per_user = 20;
+  c.n_instants = 120;
+  c.sigma_s = 60.0;
+  c.seed = seed;
+  return c;
+}
+
+std::string RunFingerprint(const world::Scenario& scenario,
+                           FieldTestConfig config, int threads) {
+  config.threads = threads;
+  System system;
+  Result<FieldTestResult> run = system.RunFieldTest(scenario, config);
+  EXPECT_TRUE(run.ok()) << run.error().str();
+  if (!run.ok()) return "<error>";
+  return Fingerprint(run.value());
+}
+
+TEST(Determinism, CoffeeShopIdenticalAcrossThreadCounts) {
+  const world::Scenario scenario = SmallCoffee();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string serial =
+        RunFingerprint(scenario, SmallConfig(seed), 1);
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      EXPECT_EQ(RunFingerprint(scenario, SmallConfig(seed), threads), serial);
+    }
+  }
+}
+
+TEST(Determinism, HikingTrailIdenticalAcrossThreadCounts) {
+  const world::Scenario scenario = SmallTrail();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string serial =
+        RunFingerprint(scenario, SmallConfig(seed), 1);
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      EXPECT_EQ(RunFingerprint(scenario, SmallConfig(seed), threads), serial);
+    }
+  }
+}
+
+TEST(Determinism, ChaosScheduleIdenticalAcrossThreadCounts) {
+  // Fault decisions are consumed in Send() order, so the injected fault
+  // schedule itself is part of the contract: a dropped frame must be THE
+  // SAME dropped frame at every thread count.
+  const world::Scenario scenario = SmallCoffee();
+  FieldTestConfig config = SmallConfig(3);
+  net::FaultRule lossy;
+  lossy.drop = 0.3;
+  lossy.corrupt = 0.2;
+  lossy.duplicate = 0.2;
+  net::FaultRule partition;
+  partition.partition = SimInterval{SimTime{600'000}, SimTime{660'000}};
+  config.chaos_rules = {lossy, partition};
+  config.chaos_seed = 17;
+
+  const std::string serial = RunFingerprint(scenario, config, 1);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EXPECT_EQ(RunFingerprint(scenario, config, threads), serial);
+  }
+}
+
+TEST(Determinism, DeferredSetupReschedulesIdenticalAcrossThreadCounts) {
+  // Deferred mode changes the setup schedule stream (one plan per app, not
+  // one per join) so it is NOT byte-identical to eager mode — but it must
+  // still be thread-count-invariant, since FlushReschedules plans in
+  // parallel and distributes serially.
+  const world::Scenario scenario = SmallCoffee();
+  FieldTestConfig config = SmallConfig(4);
+  config.defer_setup_reschedules = true;
+
+  const std::string serial = RunFingerprint(scenario, config, 1);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EXPECT_EQ(RunFingerprint(scenario, config, threads), serial);
+  }
+}
+
+}  // namespace
+}  // namespace sor::core

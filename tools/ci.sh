@@ -3,13 +3,18 @@
 # preset. The chaos suite (test_chaos) runs under both, so every seeded
 # fault schedule is exercised with memory/UB checking on.
 #
+# A ThreadSanitizer stage always runs the multi-threaded tests (the
+# determinism contract and the chaos suite drive the sharded runtime with
+# threads > 1); pass --with-tsan to run the FULL suite under TSan too.
+#
 # Usage: tools/ci.sh [--with-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRESETS=(default asan-ubsan)
+FULL_TSAN=0
 if [[ "${1:-}" == "--with-tsan" ]]; then
-  PRESETS+=(tsan)
+  FULL_TSAN=1
 fi
 
 # CMake presets need >= 3.21; fall back to a plain build on older CMake.
@@ -27,3 +32,16 @@ for preset in "${PRESETS[@]}"; do
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}" -j "$(nproc)"
 done
+
+echo "=== preset: tsan (sharded runtime) ==="
+cmake --preset tsan
+if [[ "${FULL_TSAN}" == "1" ]]; then
+  cmake --build --preset tsan -j "$(nproc)"
+  ctest --preset tsan -j "$(nproc)"
+else
+  # Default stage: only the tests that exercise threads > 1 — the
+  # determinism contract and the chaos battery on the parallel runtime.
+  cmake --build --preset tsan -j "$(nproc)" \
+    --target test_determinism test_chaos
+  ctest --preset tsan -j "$(nproc)" -R 'Determinism\.|Chaos\.'
+fi

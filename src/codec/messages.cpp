@@ -8,10 +8,11 @@ namespace sor {
 
 namespace {
 
-// "SOR2" little-endian. Bumped from "SOR1" (0x31524F53) when seq fields were
-// added to SensedDataUpload and Ack; old frames fail the magic check rather
-// than being mis-decoded positionally.
-constexpr std::uint32_t kMagic = 0x32524F53;
+// "SOR3" little-endian. Bumped from "SOR1" (0x31524F53) when seq fields were
+// added to SensedDataUpload and Ack, and from "SOR2" (0x32524F53) when
+// ScheduleDistribution grew the required-sensor manifest; old frames fail the
+// magic check rather than being mis-decoded positionally.
+constexpr std::uint32_t kMagic = 0x33524F53;  // "SOR3"
 
 void EncodeGeo(const GeoPoint& p, ByteWriter& w) {
   w.f64(p.lat_deg);
@@ -139,6 +140,9 @@ void EncodeBody(const Message& m, ByteWriter& w) {
       }
       w.svarint(s.sample_window.ms);
       w.svarint(s.samples_per_window);
+      w.varint(s.required_sensors.size());
+      for (SensorKind k : s.required_sensors)
+        w.u8(static_cast<std::uint8_t>(k));
     }
     void operator()(const SensedDataUpload& u) const {
       w.varint(u.task.value());
@@ -208,6 +212,15 @@ Result<Message> DecodeBody(MessageType type,
       }
       m.sample_window = SimDuration{r.svarint()};
       m.samples_per_window = static_cast<int>(r.svarint());
+      const std::uint64_t n_sensors = r.varint();
+      if (n_sensors > r.remaining() + 1)
+        return Error{Errc::kDecodeError, "bad count"};
+      for (std::uint64_t i = 0; i < n_sensors && r.ok(); ++i) {
+        const std::uint8_t raw = r.u8();
+        if (raw >= static_cast<std::uint8_t>(SensorKind::kCount))
+          return Error{Errc::kDecodeError, "unknown sensor kind"};
+        m.required_sensors.push_back(static_cast<SensorKind>(raw));
+      }
       out = m;
       break;
     }

@@ -69,6 +69,10 @@ struct ScheduleDistribution {
   std::vector<SimTime> instants;   // Φ_k: when this phone should sense
   SimDuration sample_window;       // Δt per acquisition
   int samples_per_window = 1;      // readings taken within [t, t+Δt]
+  // The script's statically derived sensor manifest. A phone missing any of
+  // these refuses the task up front (ErrorReply kUnsupported) instead of
+  // discovering mid-campaign that every acquisition comes back empty.
+  std::vector<SensorKind> required_sensors;
 
   friend bool operator==(const ScheduleDistribution&,
                          const ScheduleDistribution&) = default;
@@ -149,10 +153,11 @@ void EncodeBody(const Message& m, ByteWriter& w);
 [[nodiscard]] Result<Message> DecodeBody(MessageType type,
                                          std::span<const std::uint8_t> body);
 
-// Framed envelope: magic "SOR2" | type u8 | body varint-len+bytes | crc32 of
+// Framed envelope: magic "SOR3" | type u8 | body varint-len+bytes | crc32 of
 // everything before it. This is the unit handed to the transport. The magic
 // doubles as the wire version; it was bumped from "SOR1" when seq fields
-// were added to SensedDataUpload and Ack.
+// were added to SensedDataUpload and Ack, and from "SOR2" when
+// ScheduleDistribution grew the required-sensor manifest.
 [[nodiscard]] Bytes EncodeFrame(const Message& m);
 [[nodiscard]] Result<Message> DecodeFrame(std::span<const std::uint8_t> frame);
 

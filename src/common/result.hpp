@@ -31,6 +31,8 @@ enum class Errc {
   kUnavailable,       // endpoint/sensor not reachable
   kScriptError,       // SenseScript compile/runtime error
   kInternal,          // invariant violation; indicates a bug
+  kUnsupported,       // device lacks a capability the task requires —
+                      // permanent, unlike the transient kUnavailable
 };
 
 [[nodiscard]] constexpr const char* to_string(Errc e) {
@@ -47,14 +49,19 @@ enum class Errc {
     case Errc::kUnavailable: return "unavailable";
     case Errc::kScriptError: return "script error";
     case Errc::kInternal: return "internal error";
+    case Errc::kUnsupported: return "unsupported";
   }
   return "unknown";
 }
 
-// An error code plus a human-readable detail message.
+// An error code plus a human-readable detail message. Errors that originate
+// from a specific line of a SenseScript source (lexer, parser, interpreter,
+// static analyzer) also carry the 1-based line number so callers can render
+// uniform, line-addressed diagnostics without re-parsing the message text.
 struct Error {
   Errc code = Errc::kInternal;
   std::string message;
+  int line = 0;  // 0 = not tied to a script line
 
   [[nodiscard]] std::string str() const {
     std::string s = to_string(code);

@@ -49,10 +49,14 @@ void MakeSorSchema(Database& db) {
   }
   // applications(app_id PK, creator, place_id, place_name, lat, lon, alt,
   //              radius_m, script, features, period_begin_ms, period_end_ms,
-  //              n_instants, sigma_s) — §II-B Application Manager; the
+  //              n_instants, sigma_s, required_sensors, energy_budget_mj)
+  // — §II-B Application Manager; the
   // creator also specifies the scheduling-period duration. `features` is
   // the encoded list of feature definitions (name:sensor:method) the Data
-  // Processor computes for this app.
+  // Processor computes for this app. `required_sensors` is the script's
+  // statically derived sensor manifest and `energy_budget_mj` the per-run
+  // ceiling the analyzer enforced at registration; both appended last so
+  // older positional column reads stay valid.
   {
     Schema s;
     s.table_name = tables::kApplications;
@@ -63,7 +67,9 @@ void MakeSorSchema(Database& db) {
                  {"script", CT::kText},       {"features", CT::kText},
                  {"period_begin_ms", CT::kInt64},
                  {"period_end_ms", CT::kInt64}, {"n_instants", CT::kInt64},
-                 {"sigma_s", CT::kDouble}};
+                 {"sigma_s", CT::kDouble},
+                 {"required_sensors", CT::kText},
+                 {"energy_budget_mj", CT::kDouble}};
     (void)db.CreateTable(std::move(s)).value();
   }
   // participations(task_id PK, user_id, app_id, token, budget,

@@ -214,6 +214,25 @@ Bytes MobileFrontend::HandleFrame(std::span<const std::uint8_t> frame) {
 
 Message MobileFrontend::HandleMessage(const Message& m) {
   if (const auto* sched = std::get_if<ScheduleDistribution>(&m)) {
+    // Capability gate: if the script needs a sensor this phone does not
+    // have (e.g. the Sensordrone was never paired), refuse the task up
+    // front so the scheduler can mark it errored and replan, instead of
+    // collecting empty acquisitions for the whole campaign.
+    for (SensorKind kind : sched->required_sensors) {
+      if (!sensors_.Supports(kind)) {
+        ++stats_.schedules_refused;
+        SOR_LOG(kWarn, "frontend",
+                "refusing task " << sched->task.str() << ": no provider for '"
+                                 << to_string(kind) << "'");
+        // kUnsupported (not kUnavailable): the transport uses kUnavailable
+        // for transient partitions, while a missing sensor is permanent —
+        // the scheduler marks the participation as errored on this code.
+        return ErrorReply{
+            static_cast<std::uint8_t>(Errc::kUnsupported),
+            "phone lacks required sensor '" +
+                std::string(to_string(kind)) + "'"};
+      }
+    }
     // New or refreshed schedule. On refresh, drop instants that are already
     // in the past so re-planning never re-executes old work.
     std::vector<SimTime> instants;

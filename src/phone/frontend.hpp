@@ -48,6 +48,7 @@ struct FrontendStats {
   std::uint64_t uploads_dropped = 0;   // oldest entries evicted, queue full
   std::uint64_t leaves_retried = 0;    // queued LeaveNotifications re-sent
   std::uint64_t schedules_received = 0;
+  std::uint64_t schedules_refused = 0;  // required sensor not on this phone
   std::uint64_t pings_answered = 0;
   std::uint64_t decode_failures = 0;
 };

@@ -3,49 +3,26 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "script/analysis/analyzer.hpp"
+#include "script/analysis/host_api.hpp"
 #include "script/parser.hpp"
 
 namespace sor::phone {
 
-namespace {
-
-struct FnMapping {
-  const char* name;
-  SensorKind kind;
-};
-
-// The acquisition vocabulary. Names follow the paper's Lua samples
-// (get_light_readings, get_location); one per supported sensor.
-constexpr FnMapping kAcquisitionFns[] = {
-    {"get_accelerometer_readings", SensorKind::kAccelerometer},
-    {"get_gyroscope_readings", SensorKind::kGyroscope},
-    {"get_compass_readings", SensorKind::kCompass},
-    {"get_location", SensorKind::kGps},
-    {"get_noise_readings", SensorKind::kMicrophone},
-    {"get_light_readings", SensorKind::kDroneLight},
-    {"get_ambient_light_readings", SensorKind::kLight},
-    {"get_wifi_readings", SensorKind::kWifi},
-    {"get_altitude_readings", SensorKind::kBarometer},
-    {"get_temperature_readings", SensorKind::kDroneTemperature},
-    {"get_humidity_readings", SensorKind::kDroneHumidity},
-    {"get_pressure_readings", SensorKind::kDronePressure},
-    {"get_gas_co_readings", SensorKind::kDroneGasCo},
-    {"get_color_readings", SensorKind::kDroneColor},
-};
-
-}  // namespace
-
+// The acquisition vocabulary lives in the analyzer's host-API table
+// (script/analysis/host_api.cpp) — one shared row per sensor, so the
+// server-side checker and the phone-side registrations can never drift.
 std::optional<SensorKind> AcquisitionFunctionSensor(
     const std::string& fn_name) {
-  for (const FnMapping& m : kAcquisitionFns) {
-    if (fn_name == m.name) return m.kind;
-  }
-  return std::nullopt;
+  return script::analysis::AcquisitionSensor(fn_name);
 }
 
 std::vector<std::string> AcquisitionFunctionNames() {
   std::vector<std::string> names;
-  for (const FnMapping& m : kAcquisitionFns) names.emplace_back(m.name);
+  for (const script::analysis::HostSignature& sig :
+       script::analysis::HostSignatures()) {
+    if (sig.sensor.has_value()) names.emplace_back(sig.name);
+  }
   return names;
 }
 
@@ -58,8 +35,28 @@ TaskInstance::TaskInstance(TaskId id, AppId app, const std::string& script,
       sample_window_(sample_window),
       samples_per_window_(std::max(1, samples_per_window)) {
   std::sort(schedule_.begin(), schedule_.end());
+  // Compile = parse + static analysis. The phone re-checks what the server
+  // should already have verified — a defense against a stale or hostile
+  // server build — so a script that would crash or never terminate is
+  // refused before its first scheduled instant. Warnings only get logged.
+  script::analysis::AnalyzerOptions options;
+  options.default_samples_per_window = samples_per_window_;
+  script::analysis::AnalysisReport report =
+      script::analysis::AnalyzeSource(script, options);
+  for (const script::analysis::Diagnostic& d : report.diagnostics) {
+    if (d.severity == script::analysis::Severity::kWarning)
+      SOR_LOG(kWarn, "task", id_.str() << ": " << Render(d));
+  }
+  if (!report.ok()) {
+    status_ = TaskStatus::kError;
+    last_error_ = report.RenderErrors();
+    ++stats_.script_errors;
+    return;
+  }
   Result<script::Program> parsed = script::Parse(script);
   if (!parsed.ok()) {
+    // Unreachable when the analyzer passed (it parses first), kept as a
+    // belt-and-braces guard.
     status_ = TaskStatus::kError;
     last_error_ = parsed.error().str();
     ++stats_.script_errors;
@@ -112,10 +109,12 @@ void TaskInstance::ExecuteOnce(SimTime t, sensors::SensorManager& sensors,
                   return script::Value(static_cast<double>(
                       schedule_.size() - next_instant_ - 1));
                 });
-  for (const FnMapping& m : kAcquisitionFns) {
-    const SensorKind kind = m.kind;
+  for (const script::analysis::HostSignature& sig :
+       script::analysis::HostSignatures()) {
+    if (!sig.sensor.has_value()) continue;
+    const SensorKind kind = *sig.sensor;
     host.Register(
-        m.name,
+        std::string(sig.name),
         [this, kind, t, &sensors, &prefs,
          &out](std::span<const script::Value> args)
             -> Result<script::Value> {

@@ -52,8 +52,9 @@ struct TaskRunStats {
 
 class TaskInstance {
  public:
-  // `script` is compiled immediately; a parse failure puts the task in
-  // kError and Describe() carries the diagnostic.
+  // `script` is compiled immediately (parse + static analysis); a parse
+  // failure or any analyzer error puts the task in kError and last_error()
+  // carries the rendered diagnostics.
   TaskInstance(TaskId id, AppId app, const std::string& script,
                std::vector<SimTime> schedule, SimDuration sample_window,
                int samples_per_window);

@@ -1,0 +1,99 @@
+#include "script/analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace sor::script::analysis {
+
+std::string Render(const Diagnostic& d) {
+  std::string s = to_string(d.severity);
+  s += ' ';
+  s += d.code;
+  if (d.line > 0) {
+    s += " at line ";
+    s += std::to_string(d.line);
+  }
+  s += ": ";
+  s += d.message;
+  return s;
+}
+
+std::string Render(std::span<const Diagnostic> ds) {
+  std::string out;
+  for (const Diagnostic& d : ds) {
+    if (!out.empty()) out += '\n';
+    out += Render(d);
+  }
+  return out;
+}
+
+Diagnostic FromError(const Error& err) {
+  return Diagnostic{"SA001", Severity::kError, err.line, err.str()};
+}
+
+void SortAndDedupe(std::vector<Diagnostic>& ds) {
+  auto key = [](const Diagnostic& d) {
+    return std::tie(d.line, d.code, d.message);
+  };
+  std::sort(ds.begin(), ds.end(),
+            [&](const Diagnostic& a, const Diagnostic& b) {
+              return key(a) < key(b);
+            });
+  ds.erase(std::unique(ds.begin(), ds.end()), ds.end());
+}
+
+bool AnalysisReport::ok() const { return error_count() == 0; }
+
+std::size_t AnalysisReport::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+std::vector<Diagnostic> AnalysisReport::errors() const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) out.push_back(d);
+  }
+  return out;
+}
+
+bool AnalysisReport::Has(std::string_view code) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+std::string AnalysisReport::RenderErrors() const {
+  return Render(std::span<const Diagnostic>(errors()));
+}
+
+std::string EncodeSensorList(std::span<const SensorKind> kinds) {
+  std::string out;
+  for (SensorKind k : kinds) {
+    if (!out.empty()) out += ',';
+    out += to_string(k);
+  }
+  return out;
+}
+
+Result<std::vector<SensorKind>> DecodeSensorList(std::string_view text) {
+  std::vector<SensorKind> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string_view name = text.substr(pos, comma - pos);
+    std::optional<SensorKind> kind = SensorKindFromString(name);
+    if (!kind.has_value()) {
+      return Error{Errc::kDecodeError,
+                   "unknown sensor name '" + std::string(name) + "'"};
+    }
+    out.push_back(*kind);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace sor::script::analysis

@@ -1,0 +1,86 @@
+#include "script/analysis/host_api.hpp"
+
+namespace sor::script::analysis {
+
+namespace {
+
+using enum ArgType;
+
+constexpr HostSignature kSignatures[] = {
+    // --- interpreter-internal ------------------------------------------
+    {"print", 0, -1, {kAny, kAny}, kAny, SType::kNil, std::nullopt},
+
+    // --- pure stdlib (script/stdlib.cpp) -------------------------------
+    {"len", 1, 1, {kListOrString, kAny}, kAny, SType::kNumber, std::nullopt},
+    {"push", 2, 2, {kList, kAny}, kAny, SType::kNumber, std::nullopt},
+    {"abs", 1, 1, {kNumber, kAny}, kAny, SType::kNumber, std::nullopt},
+    {"floor", 1, 1, {kNumber, kAny}, kAny, SType::kNumber, std::nullopt},
+    {"ceil", 1, 1, {kNumber, kAny}, kAny, SType::kNumber, std::nullopt},
+    {"sqrt", 1, 1, {kNumber, kAny}, kAny, SType::kNumber, std::nullopt},
+    {"min", 1, -1, {kNumber, kNumber}, kNumber, SType::kNumber, std::nullopt},
+    {"max", 1, -1, {kNumber, kNumber}, kNumber, SType::kNumber, std::nullopt},
+    {"tostring", 1, 1, {kAny, kAny}, kAny, SType::kString, std::nullopt},
+    // tonumber returns number-or-nil, so its static type is `any`.
+    {"tonumber", 1, 1, {kAny, kAny}, kAny, SType::kAny, std::nullopt},
+    {"mean", 1, 1, {kList, kAny}, kAny, SType::kNumber, std::nullopt},
+    {"stddev", 1, 1, {kList, kAny}, kAny, SType::kNumber, std::nullopt},
+    {"variance", 1, 1, {kList, kAny}, kAny, SType::kNumber, std::nullopt},
+
+    // --- per-execution introspection (phone/task_instance.cpp) ---------
+    {"get_time_s", 0, 0, {kAny, kAny}, kAny, SType::kNumber, std::nullopt},
+    {"get_sample_window_s", 0, 0, {kAny, kAny}, kAny, SType::kNumber,
+     std::nullopt},
+    {"get_remaining_instants", 0, 0, {kAny, kAny}, kAny, SType::kNumber,
+     std::nullopt},
+
+    // --- data acquisition (one per supported sensor) --------------------
+    // Signature: get_*(samples?, window_s?) -> list of readings. Names
+    // follow the paper's Lua samples (get_light_readings, get_location).
+    {"get_accelerometer_readings", 0, 2, {kNumber, kNumber}, kAny,
+     SType::kList, SensorKind::kAccelerometer},
+    {"get_gyroscope_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kGyroscope},
+    {"get_compass_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kCompass},
+    {"get_location", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kGps},
+    {"get_noise_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kMicrophone},
+    {"get_light_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kDroneLight},
+    {"get_ambient_light_readings", 0, 2, {kNumber, kNumber}, kAny,
+     SType::kList, SensorKind::kLight},
+    {"get_wifi_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kWifi},
+    {"get_altitude_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kBarometer},
+    {"get_temperature_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kDroneTemperature},
+    {"get_humidity_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kDroneHumidity},
+    {"get_pressure_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kDronePressure},
+    {"get_gas_co_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kDroneGasCo},
+    {"get_color_readings", 0, 2, {kNumber, kNumber}, kAny, SType::kList,
+     SensorKind::kDroneColor},
+};
+
+}  // namespace
+
+std::span<const HostSignature> HostSignatures() { return kSignatures; }
+
+const HostSignature* FindHostSignature(std::string_view name) {
+  for (const HostSignature& s : kSignatures) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::optional<SensorKind> AcquisitionSensor(std::string_view fn_name) {
+  const HostSignature* s = FindHostSignature(fn_name);
+  if (s == nullptr) return std::nullopt;
+  return s->sensor;
+}
+
+}  // namespace sor::script::analysis

@@ -1,0 +1,66 @@
+// The SenseScript host API, described statically.
+//
+// One table describing every function a phone registers for a sensing task:
+// the pure stdlib, the interpreter-internal `print`, the per-execution
+// introspection helpers, and the data-acquisition vocabulary (one function
+// per supported sensor, §II-A's "data acquisition functions we defined").
+//
+// This table is the shared contract between three consumers:
+//   * the phone's TaskInstance, which registers the acquisition functions
+//     listed here (src/phone/task_instance.cpp),
+//   * the server's ApplicationManager, which refuses to store scripts that
+//     call anything else (src/server/managers.cpp), and
+//   * the static analyzer, which checks call arity/types against the
+//     signatures and derives the per-app required-sensor manifest.
+// Adding a sensor means adding one row here and one Provider — both sides
+// of the wire pick it up.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "common/sensor_kind.hpp"
+
+namespace sor::script::analysis {
+
+// Argument/return types as the analyzer's lattice sees them.
+enum class SType { kNil, kBool, kNumber, kString, kList, kAny };
+
+[[nodiscard]] constexpr const char* to_string(SType t) {
+  switch (t) {
+    case SType::kNil: return "nil";
+    case SType::kBool: return "boolean";
+    case SType::kNumber: return "number";
+    case SType::kString: return "string";
+    case SType::kList: return "list";
+    case SType::kAny: return "any";
+  }
+  return "?";
+}
+
+// One argument slot. kListOrString models len()'s union-typed argument.
+enum class ArgType { kNumber, kString, kList, kListOrString, kAny };
+
+struct HostSignature {
+  std::string_view name;
+  int min_args = 0;
+  int max_args = 0;              // -1: variadic (extra args typed `rest`)
+  ArgType args[2] = {ArgType::kAny, ArgType::kAny};  // first two slots
+  ArgType rest = ArgType::kAny;  // type of args beyond the first two
+  SType ret = SType::kAny;
+  // Set for data-acquisition functions: the sensor this call powers up.
+  std::optional<SensorKind> sensor;
+};
+
+// Whole-table access (the phone iterates this to register providers).
+[[nodiscard]] std::span<const HostSignature> HostSignatures();
+
+// nullptr when `name` is not part of the host API.
+[[nodiscard]] const HostSignature* FindHostSignature(std::string_view name);
+
+// Sensor behind an acquisition function, nullopt for non-acquisition names.
+[[nodiscard]] std::optional<SensorKind> AcquisitionSensor(
+    std::string_view fn_name);
+
+}  // namespace sor::script::analysis

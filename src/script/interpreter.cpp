@@ -63,9 +63,12 @@ class Interpreter::Impl {
     return Status::Ok();
   }
 
+  // Line in the message and in the structured field — same contract as the
+  // lexer/parser error paths.
   static Error RuntimeError(int line, const std::string& msg) {
     return Error{Errc::kScriptError,
-                 "runtime error at line " + std::to_string(line) + ": " + msg};
+                 "runtime error at line " + std::to_string(line) + ": " + msg,
+                 line};
   }
 
   // --- variable lookup ---------------------------------------------------
@@ -431,7 +434,8 @@ class Interpreter::Impl {
     }
     return Error{Errc::kPermissionDenied,
                  "line " + std::to_string(e.line) + ": function '" + e.text +
-                     "' is not in the allowed function whitelist"};
+                     "' is not in the allowed function whitelist",
+                 e.line};
   }
 
   const HostRegistry& host_;

@@ -83,8 +83,12 @@ Result<std::vector<Token>> Tokenize(std::string_view src) {
     out.push_back(Token{t, std::move(text), 0.0, line});
   };
   auto error = [&](const std::string& msg) {
+    // The line rides both in the rendered message and in the structured
+    // field, so analyzer diagnostics (SA001) and registration replies can
+    // address it without re-parsing the string.
     return Error{Errc::kScriptError,
-                 "lex error at line " + std::to_string(line) + ": " + msg};
+                 "lex error at line " + std::to_string(line) + ": " + msg,
+                 line};
   };
 
   while (i < src.size()) {

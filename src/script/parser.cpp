@@ -32,12 +32,14 @@ class Parser {
     return true;
   }
 
+  // The line rides both in the rendered message and in the structured
+  // Error::line field (see lexer.cpp's error lambda for the same contract).
   Error Err(const std::string& msg) const {
-    return Error{Errc::kScriptError, "parse error at line " +
-                                         std::to_string(Peek().line) + ": " +
-                                         msg + " (got '" +
-                                         std::string(to_string(Peek().type)) +
-                                         "')"};
+    return Error{Errc::kScriptError,
+                 "parse error at line " + std::to_string(Peek().line) + ": " +
+                     msg + " (got '" +
+                     std::string(to_string(Peek().type)) + "')",
+                 Peek().line};
   }
 
   Result<Token> Expect(TokenType t, const std::string& what) {

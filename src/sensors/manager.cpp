@@ -8,6 +8,10 @@ void SensorManager::RegisterProvider(std::unique_ptr<Provider> provider) {
   providers_[provider->kind()] = std::move(provider);
 }
 
+bool SensorManager::UnregisterProvider(SensorKind kind) {
+  return providers_.erase(kind) != 0;
+}
+
 bool SensorManager::Supports(SensorKind kind) const {
   return providers_.contains(kind);
 }

@@ -22,6 +22,9 @@ class SensorManager {
  public:
   // Register a provider; replaces any previous provider of the same kind.
   void RegisterProvider(std::unique_ptr<Provider> provider);
+  // Remove a provider (e.g. an external sensor that was unpaired). Returns
+  // false when no provider of that kind was registered.
+  bool UnregisterProvider(SensorKind kind);
 
   [[nodiscard]] bool Supports(SensorKind kind) const;
   [[nodiscard]] std::vector<SensorKind> SupportedKinds() const;

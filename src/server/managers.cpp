@@ -3,7 +3,6 @@
 #include <functional>
 
 #include "phone/task_instance.hpp"
-#include "script/parser.hpp"
 
 namespace sor::server {
 
@@ -61,7 +60,7 @@ void UserInfoManager::ResyncIds() {
 // --- ApplicationManager -----------------------------------------------------
 
 Result<AppId> ApplicationManager::CreateApplication(
-    const ApplicationSpec& spec) {
+    const ApplicationSpec& spec, script::analysis::AnalysisReport* report) {
   if (spec.n_instants < 1)
     return Error{Errc::kInvalidArgument, "n_instants must be >= 1"};
   if (spec.sigma_s <= 0.0)
@@ -71,11 +70,21 @@ Result<AppId> ApplicationManager::CreateApplication(
   if (spec.features.empty())
     return Error{Errc::kInvalidArgument, "application needs features"};
 
-  // Script validation: must parse, and every function it could call must
-  // be a known acquisition function or stdlib name — the server never
-  // distributes a script phones would reject.
-  Result<script::Program> parsed = script::Parse(spec.script);
-  if (!parsed.ok()) return parsed.error();
+  // Script validation: full static analysis, not just a parse. A script with
+  // scope/type errors, calls outside the acquisition whitelist, unboundable
+  // loops or an over-budget worst-case energy estimate is rejected here with
+  // line-addressed diagnostics — the server never distributes a script
+  // phones would reject or could not afford to run.
+  script::analysis::AnalyzerOptions options;
+  options.energy_budget_mj = spec.energy_budget_mj;
+  script::analysis::AnalysisReport analysis =
+      script::analysis::AnalyzeSource(spec.script, options);
+  if (report) *report = analysis;
+  if (!analysis.ok()) {
+    const auto errors = analysis.errors();
+    return Error{Errc::kScriptError, analysis.RenderErrors(),
+                 errors.empty() ? 0 : errors.front().line};
+  }
 
   Table* apps = db_.table(db::tables::kApplications);
   const AppId id = ids_.next();
@@ -87,7 +96,10 @@ Result<AppId> ApplicationManager::CreateApplication(
        Value(EncodeFeatureDefs(spec.features)),
        Value(spec.period.begin.ms), Value(spec.period.end.ms),
        Value(static_cast<std::int64_t>(spec.n_instants)),
-       Value(spec.sigma_s)});
+       Value(spec.sigma_s),
+       Value(script::analysis::EncodeSensorList(
+           analysis.manifest.required_sensors)),
+       Value(spec.energy_budget_mj)});
   if (!r.ok()) return r.error();
   return id;
 }
@@ -114,6 +126,11 @@ Result<ApplicationRecord> ApplicationManager::Get(AppId id) const {
                                 SimTime{r[11].as_int()}};
   rec.spec.n_instants = static_cast<int>(r[12].as_int());
   rec.spec.sigma_s = r[13].as_double();
+  Result<std::vector<SensorKind>> sensors =
+      script::analysis::DecodeSensorList(r[14].as_text());
+  if (!sensors.ok()) return sensors.error();
+  rec.required_sensors = std::move(sensors).value();
+  rec.spec.energy_budget_mj = r[15].as_double();
   return rec;
 }
 

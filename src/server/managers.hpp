@@ -15,6 +15,7 @@
 #include "common/result.hpp"
 #include "common/sim_time.hpp"
 #include "db/database.hpp"
+#include "script/analysis/analyzer.hpp"
 #include "server/feature_def.hpp"
 
 namespace sor::server {
@@ -56,20 +57,35 @@ struct ApplicationSpec {
   SimInterval period;               // scheduling period [tS, tE]
   int n_instants = 1080;            // N
   double sigma_s = 10.0;            // coverage kernel σ
+  // Per-run energy ceiling the static analyzer enforces at registration
+  // (SA403). <= 0 disables the check. The default admits every script a
+  // 2013-era phone could reasonably run once per scheduled instant.
+  double energy_budget_mj = 5000.0;
 };
 
 struct ApplicationRecord {
   AppId id;
   ApplicationSpec spec;
+  // Statically derived at registration: the sensors the script acquires
+  // from. Shipped inside every ScheduleDistribution so phones can refuse
+  // tasks their hardware cannot serve.
+  std::vector<SensorKind> required_sensors;
 };
 
 class ApplicationManager {
  public:
   explicit ApplicationManager(db::Database& database) : db_(database) {}
 
-  // Validates the script (must parse; every called acquisition function
-  // must be in the supported-sensor whitelist) before storing.
-  Result<AppId> CreateApplication(const ApplicationSpec& spec);
+  // Validates the script with the full static analyzer before storing:
+  // scope/type errors, non-whitelisted calls, unboundable loops and
+  // over-budget energy estimates are all rejected here, so a bad script
+  // never reaches a phone. On rejection the returned Error carries
+  // Errc::kScriptError, the rendered error diagnostics as its message and
+  // the first offending line; pass `report` to receive every structured
+  // diagnostic (including warnings) from the registration response.
+  Result<AppId> CreateApplication(
+      const ApplicationSpec& spec,
+      script::analysis::AnalysisReport* report = nullptr);
   [[nodiscard]] Result<ApplicationRecord> Get(AppId id) const;
   [[nodiscard]] std::vector<ApplicationRecord> All() const;
 

@@ -114,6 +114,7 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
     msg.script = app.spec.script;
     msg.sample_window = sample_window;
     msg.samples_per_window = samples_per_window;
+    msg.required_sensors = app.required_sensors;
     for (int idx : plan.result.schedule.per_user[k])
       msg.instants.push_back(plan.grid[static_cast<std::size_t>(idx)]);
 
@@ -140,6 +141,13 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
       SOR_LOG(kWarn, "scheduler",
               "failed to distribute schedule for task "
                   << rec.task.str() << ": " << reply.error().str());
+      // The transport unwraps a delivered ErrorReply into a local error, so
+      // the phone's capability refusal arrives here as kUnsupported. That
+      // code is permanent (the sensor will not appear), so mark the
+      // participation errored; transient faults (kUnavailable partitions,
+      // kTimeout drops) leave the task waiting for the next reschedule.
+      if (reply.error().code == Errc::kUnsupported)
+        (void)participations.MarkError(rec.task, reply.error().message);
       overall = Status(reply.error());
     }
   }

@@ -1,0 +1,540 @@
+// SenseScript static analyzer: one rejecting test and one accepting
+// near-miss per diagnostic code, manifest/cost checks, the diagnostics
+// plumbing, and a seeded random-source property test that drives
+// lexer→parser→analyzer without crashing (runs under asan-ubsan in CI).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "script/analysis/analyzer.hpp"
+#include "script/analysis/diagnostics.hpp"
+#include "script/analysis/host_api.hpp"
+
+namespace sor::script::analysis {
+namespace {
+
+AnalysisReport Analyzed(const std::string& source,
+                   const AnalyzerOptions& options = {}) {
+  return AnalyzeSource(source, options);
+}
+
+// --- SA001: lex/parse failure ----------------------------------------------
+
+TEST(Analyzer, SA001ParseErrorBecomesDiagnostic) {
+  const AnalysisReport r = Analyzed("local = 3\n");
+  EXPECT_TRUE(r.Has("SA001"));
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_EQ(r.diagnostics[0].line, 1);
+  EXPECT_FALSE(r.manifest.cost_bounded);
+}
+
+TEST(Analyzer, SA001NearMissValidLocalPasses) {
+  const AnalysisReport r = Analyzed("local x = 3\nprint(x)\n");
+  EXPECT_FALSE(r.Has("SA001"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA101: undefined name ---------------------------------------------------
+
+TEST(Analyzer, SA101UndefinedNameRejected) {
+  const AnalysisReport r = Analyzed("print(nowhere)\n");
+  EXPECT_TRUE(r.Has("SA101"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analyzer, SA101NearMissAssignedNamePasses) {
+  const AnalysisReport r = Analyzed("somewhere = 1\nprint(somewhere)\n");
+  EXPECT_FALSE(r.Has("SA101"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA102: use of possibly-unassigned variable ------------------------------
+
+TEST(Analyzer, SA102OneBranchAssignmentWarns) {
+  const AnalysisReport r = Analyzed(
+      "local a = get_time_s()\n"
+      "if a > 0 then\n"
+      "  b = 1\n"
+      "end\n"
+      "print(b)\n");
+  EXPECT_TRUE(r.Has("SA102"));
+  EXPECT_TRUE(r.ok());  // warning, not error
+}
+
+TEST(Analyzer, SA102NearMissBothBranchesAssignPasses) {
+  const AnalysisReport r = Analyzed(
+      "local a = get_time_s()\n"
+      "if a > 0 then\n"
+      "  b = 1\n"
+      "else\n"
+      "  b = 2\n"
+      "end\n"
+      "print(b)\n");
+  EXPECT_FALSE(r.Has("SA102"));
+}
+
+// --- SA103: shadowing --------------------------------------------------------
+
+TEST(Analyzer, SA103InnerLocalShadowsOuterWarns) {
+  const AnalysisReport r = Analyzed(
+      "local x = 1\n"
+      "if x > 0 then\n"
+      "  local x = 2\n"
+      "  print(x)\n"
+      "end\n");
+  EXPECT_TRUE(r.Has("SA103"));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Analyzer, SA103NearMissDistinctNamesPass) {
+  const AnalysisReport r = Analyzed(
+      "local x = 1\n"
+      "if x > 0 then\n"
+      "  local y = 2\n"
+      "  print(y)\n"
+      "end\n");
+  EXPECT_FALSE(r.Has("SA103"));
+}
+
+// --- SA104: unreachable statement --------------------------------------------
+
+TEST(Analyzer, SA104StatementAfterReturnWarns) {
+  const AnalysisReport r = Analyzed(
+      "function f()\n"
+      "  return 1\n"
+      "  print(\"dead\")\n"
+      "end\n"
+      "local r = f()\n"
+      "print(r)\n");
+  EXPECT_TRUE(r.Has("SA104"));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Analyzer, SA104NearMissReturnLastPasses) {
+  const AnalysisReport r = Analyzed(
+      "function f()\n"
+      "  print(\"live\")\n"
+      "  return 1\n"
+      "end\n"
+      "local r = f()\n"
+      "print(r)\n");
+  EXPECT_FALSE(r.Has("SA104"));
+}
+
+// --- SA105: break outside loop -----------------------------------------------
+
+TEST(Analyzer, SA105TopLevelBreakRejected) {
+  const AnalysisReport r = Analyzed("break\n");
+  EXPECT_TRUE(r.Has("SA105"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analyzer, SA105NearMissBreakInsideLoopPasses) {
+  const AnalysisReport r = Analyzed(
+      "while true do\n"
+      "  break\n"
+      "end\n");
+  EXPECT_FALSE(r.Has("SA105"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA106: function shadows a host function ---------------------------------
+
+TEST(Analyzer, SA106RedefiningHostFunctionRejected) {
+  const AnalysisReport r = Analyzed(
+      "function mean(xs)\n"
+      "  return 0\n"
+      "end\n");
+  EXPECT_TRUE(r.Has("SA106"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analyzer, SA106NearMissFreshNamePasses) {
+  const AnalysisReport r = Analyzed(
+      "function center(xs)\n"
+      "  return mean(xs)\n"
+      "end\n"
+      "local c = center({1, 2, 3})\n"
+      "print(c)\n");
+  EXPECT_FALSE(r.Has("SA106"));
+}
+
+// --- SA107: top-level call before definition ---------------------------------
+
+TEST(Analyzer, SA107CallBeforeDefinitionWarns) {
+  const AnalysisReport r = Analyzed(
+      "early()\n"
+      "function early()\n"
+      "  print(\"hi\")\n"
+      "end\n");
+  EXPECT_TRUE(r.Has("SA107"));
+}
+
+TEST(Analyzer, SA107NearMissDefinitionFirstPasses) {
+  const AnalysisReport r = Analyzed(
+      "function early()\n"
+      "  print(\"hi\")\n"
+      "end\n"
+      "early()\n");
+  EXPECT_FALSE(r.Has("SA107"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA201: operator type mismatch -------------------------------------------
+
+TEST(Analyzer, SA201StringPlusNumberRejected) {
+  const AnalysisReport r = Analyzed("local x = \"a\" + 1\nprint(x)\n");
+  EXPECT_TRUE(r.Has("SA201"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analyzer, SA201NearMissConcatPasses) {
+  const AnalysisReport r = Analyzed(
+      "local x = \"a\" .. tostring(1)\nprint(x)\n");
+  EXPECT_FALSE(r.Has("SA201"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA202: host-function argument mismatch ----------------------------------
+
+TEST(Analyzer, SA202LenOfNumberRejected) {
+  const AnalysisReport r = Analyzed("local n = len(5)\nprint(n)\n");
+  EXPECT_TRUE(r.Has("SA202"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analyzer, SA202NearMissLenOfStringPasses) {
+  const AnalysisReport r = Analyzed("local n = len(\"abc\")\nprint(n)\n");
+  EXPECT_FALSE(r.Has("SA202"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA203: script-function arity mismatch -----------------------------------
+
+TEST(Analyzer, SA203WrongArgumentCountRejected) {
+  const AnalysisReport r = Analyzed(
+      "function add(a, b)\n"
+      "  return a + b\n"
+      "end\n"
+      "local r = add(1)\n"
+      "print(r)\n");
+  EXPECT_TRUE(r.Has("SA203"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analyzer, SA203NearMissCorrectArityPasses) {
+  const AnalysisReport r = Analyzed(
+      "function add(a, b)\n"
+      "  return a + b\n"
+      "end\n"
+      "local r = add(1, 2)\n"
+      "print(r)\n");
+  EXPECT_FALSE(r.Has("SA203"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA301: call outside the whitelist ---------------------------------------
+
+TEST(Analyzer, SA301UnknownFunctionRejected) {
+  const AnalysisReport r = Analyzed("delete_all_files()\n");
+  EXPECT_TRUE(r.Has("SA301"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analyzer, SA301NearMissExtraHostFnAccepted) {
+  AnalyzerOptions options;
+  options.extra_host_fns = {"delete_all_files"};
+  const AnalysisReport r = Analyzed("delete_all_files()\n", options);
+  EXPECT_FALSE(r.Has("SA301"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA302: sensor unavailable on target device ------------------------------
+
+TEST(Analyzer, SA302MissingSensorRejected) {
+  AnalyzerOptions options;
+  options.available_sensors = {{SensorKind::kMicrophone}};
+  const AnalysisReport r = Analyzed("local fix = get_location()\nprint(fix)\n",
+                               options);
+  EXPECT_TRUE(r.Has("SA302"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analyzer, SA302NearMissSensorPresentPasses) {
+  AnalyzerOptions options;
+  options.available_sensors = {{SensorKind::kGps}};
+  const AnalysisReport r = Analyzed("local fix = get_location()\nprint(fix)\n",
+                               options);
+  EXPECT_FALSE(r.Has("SA302"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA401: unboundable loop -------------------------------------------------
+
+TEST(Analyzer, SA401WhileTrueWithoutBreakRejected) {
+  const AnalysisReport r = Analyzed(
+      "while true do\n"
+      "  print(\"spin\")\n"
+      "end\n");
+  EXPECT_TRUE(r.Has("SA401"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.manifest.cost_bounded);
+}
+
+TEST(Analyzer, SA401NearMissInductionBoundPasses) {
+  const AnalysisReport r = Analyzed(
+      "local i = 0\n"
+      "while i < 10 do\n"
+      "  i = i + 1\n"
+      "end\n"
+      "print(i)\n");
+  EXPECT_FALSE(r.Has("SA401"));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.manifest.cost_bounded);
+}
+
+// --- SA402: recursion --------------------------------------------------------
+
+TEST(Analyzer, SA402RecursionRejected) {
+  const AnalysisReport r = Analyzed(
+      "function f(n)\n"
+      "  return f(n)\n"
+      "end\n"
+      "local r = f(1)\n"
+      "print(r)\n");
+  EXPECT_TRUE(r.Has("SA402"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.manifest.cost_bounded);
+}
+
+TEST(Analyzer, SA402NearMissNonRecursiveChainPasses) {
+  const AnalysisReport r = Analyzed(
+      "function g(n)\n"
+      "  return n + 1\n"
+      "end\n"
+      "function f(n)\n"
+      "  return g(n)\n"
+      "end\n"
+      "local r = f(1)\n"
+      "print(r)\n");
+  EXPECT_FALSE(r.Has("SA402"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA403: energy over budget -----------------------------------------------
+
+TEST(Analyzer, SA403OverBudgetRejectedWithLine) {
+  AnalyzerOptions options;
+  options.energy_budget_mj = 100.0;  // 3 GPS fixes cost 450 mJ
+  const AnalysisReport r = Analyzed(
+      "local warmup = get_time_s()\n"
+      "local fix = get_location(3)\n"
+      "print(warmup)\n",
+      options);
+  ASSERT_TRUE(r.Has("SA403"));
+  EXPECT_FALSE(r.ok());
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.code == "SA403") {
+      EXPECT_EQ(d.line, 2);
+    }
+  }
+}
+
+TEST(Analyzer, SA403NearMissWithinBudgetPasses) {
+  AnalyzerOptions options;
+  options.energy_budget_mj = 1000.0;
+  const AnalysisReport r = Analyzed("local fix = get_location(3)\nprint(fix)\n",
+                               options);
+  EXPECT_FALSE(r.Has("SA403"));
+  EXPECT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.manifest.worst_case_energy_mj, 450.0);
+}
+
+// --- SA404: steps exceed interpreter budget ----------------------------------
+
+TEST(Analyzer, SA404HugeBoundedLoopRejected) {
+  const AnalysisReport r = Analyzed(
+      "for i = 1, 10000000 do\n"
+      "  print(i)\n"
+      "end\n");
+  EXPECT_TRUE(r.Has("SA404"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.manifest.cost_bounded);  // bounded — just too expensive
+}
+
+TEST(Analyzer, SA404NearMissModestLoopPasses) {
+  const AnalysisReport r = Analyzed(
+      "for i = 1, 1000 do\n"
+      "  print(i)\n"
+      "end\n");
+  EXPECT_FALSE(r.Has("SA404"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- SA405: non-static sample count ------------------------------------------
+
+TEST(Analyzer, SA405DynamicSampleCountWarns) {
+  const AnalysisReport r = Analyzed(
+      "local n = get_time_s()\n"
+      "local readings = get_noise_readings(n)\n"
+      "print(len(readings))\n");
+  EXPECT_TRUE(r.Has("SA405"));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Analyzer, SA405NearMissLiteralCountPasses) {
+  const AnalysisReport r = Analyzed(
+      "local readings = get_noise_readings(4)\n"
+      "print(len(readings))\n");
+  EXPECT_FALSE(r.Has("SA405"));
+  EXPECT_TRUE(r.ok());
+}
+
+// --- manifest & cost ---------------------------------------------------------
+
+TEST(Analyzer, DefaultTrailScriptCleanWithExpectedManifest) {
+  const AnalysisReport r = Analyzed(
+      core::DefaultScript(world::PlaceCategory::kHikingTrail));
+  EXPECT_TRUE(r.diagnostics.empty())
+      << Render(std::span<const Diagnostic>(r.diagnostics));
+  const std::vector<SensorKind> want = {
+      SensorKind::kAccelerometer, SensorKind::kGps, SensorKind::kBarometer,
+      SensorKind::kDroneTemperature, SensorKind::kDroneHumidity};
+  EXPECT_EQ(r.manifest.required_sensors, want);
+  // 5×8 (temp) + 5×8 (humidity) + 12×0.5 (accel) + 6×0.4 (baro) + 15×150
+  // (GPS) = 2338.4 mJ.
+  EXPECT_NEAR(r.manifest.worst_case_energy_mj, 2338.4, 1e-9);
+  EXPECT_TRUE(r.manifest.cost_bounded);
+}
+
+TEST(Analyzer, DefaultCoffeeScriptClean) {
+  const AnalysisReport r = Analyzed(
+      core::DefaultScript(world::PlaceCategory::kCoffeeShop));
+  EXPECT_TRUE(r.diagnostics.empty())
+      << Render(std::span<const Diagnostic>(r.diagnostics));
+  EXPECT_NEAR(r.manifest.worst_case_energy_mj, 420.0, 1e-9);
+}
+
+TEST(Analyzer, ManifestCountsLoopScaledAcquisitions) {
+  const AnalysisReport r = Analyzed(
+      "local i = 0\n"
+      "while i < 3 do\n"
+      "  local xs = get_noise_readings(4)\n"
+      "  print(len(xs))\n"
+      "  i = i + 1\n"
+      "end\n");
+  EXPECT_TRUE(r.ok());
+  // Induction bound over-approximates to (3-0)/1 + 2 = 5 iterations.
+  EXPECT_DOUBLE_EQ(r.manifest.worst_case_acquisitions, 20.0);
+  EXPECT_DOUBLE_EQ(r.manifest.worst_case_energy_mj, 100.0);
+}
+
+// --- diagnostics plumbing ----------------------------------------------------
+
+TEST(Diagnostics, RenderMatchesParserStyle) {
+  const Diagnostic d{"SA101", Severity::kError, 3, "undefined name 'foo'"};
+  EXPECT_EQ(Render(d), "error SA101 at line 3: undefined name 'foo'");
+}
+
+TEST(Diagnostics, SortAndDedupeIsDeterministic) {
+  std::vector<Diagnostic> ds = {
+      {"SA102", Severity::kWarning, 5, "b"},
+      {"SA101", Severity::kError, 5, "a"},
+      {"SA101", Severity::kError, 2, "c"},
+      {"SA101", Severity::kError, 5, "a"},  // exact duplicate
+  };
+  SortAndDedupe(ds);
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds[0].line, 2);
+  EXPECT_EQ(ds[1].code, "SA101");
+  EXPECT_EQ(ds[2].code, "SA102");
+}
+
+TEST(Diagnostics, SensorListRoundTrip) {
+  const std::vector<SensorKind> kinds = {SensorKind::kGps,
+                                         SensorKind::kBarometer};
+  const std::string text = EncodeSensorList(kinds);
+  Result<std::vector<SensorKind>> back = DecodeSensorList(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), kinds);
+  EXPECT_TRUE(DecodeSensorList("").value().empty());
+  EXPECT_FALSE(DecodeSensorList("gps,flux_capacitor").ok());
+}
+
+TEST(HostApi, AcquisitionTableConsistent) {
+  int acquisition_rows = 0;
+  for (const HostSignature& sig : HostSignatures()) {
+    if (sig.sensor.has_value()) {
+      ++acquisition_rows;
+      EXPECT_EQ(AcquisitionSensor(sig.name), sig.sensor);
+      EXPECT_EQ(FindHostSignature(sig.name), &sig);
+    }
+  }
+  EXPECT_EQ(acquisition_rows, 14);
+  EXPECT_EQ(FindHostSignature("not_a_function"), nullptr);
+  EXPECT_EQ(AcquisitionSensor("mean"), std::nullopt);
+}
+
+// --- property test: random source never crashes the pipeline -----------------
+
+TEST(AnalyzerProperty, RandomTokenSoupNeverCrashes) {
+  // Deterministic LCG so failures reproduce from the seed printed below.
+  const char* const vocab[] = {
+      "local", "if", "then", "else", "elseif", "end", "while", "do", "for",
+      "function", "return", "break", "and", "or", "not", "true", "false",
+      "nil", "x", "y", "readings", "f", "get_location", "get_noise_readings",
+      "len", "mean", "print", "0", "1", "42", "3.5", "\"s\"", "+", "-", "*",
+      "/", "%", "..", "==", "~=", "<", "<=", ">", ">=", "=", "(", ")", "{",
+      "}", "[", "]", ",", "\n"};
+  constexpr std::size_t kVocab = sizeof(vocab) / sizeof(vocab[0]);
+  std::uint64_t state = 0x5eedULL;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string source;
+    const std::size_t tokens = 1 + next() % 60;
+    for (std::size_t t = 0; t < tokens; ++t) {
+      source += vocab[next() % kVocab];
+      source += ' ';
+    }
+    const AnalysisReport r = AnalyzeSource(source);
+    // Whatever came out must be internally consistent.
+    for (const Diagnostic& d : r.diagnostics) {
+      EXPECT_FALSE(d.code.empty()) << "iter " << iter << ": " << source;
+      EXPECT_GE(d.line, 0) << "iter " << iter << ": " << source;
+    }
+  }
+}
+
+// Structured variant: mutate a known-good script by splicing random tokens
+// into random positions — exercises deeper parser states than pure soup.
+TEST(AnalyzerProperty, MutatedTrailScriptNeverCrashes) {
+  const std::string base =
+      core::DefaultScript(world::PlaceCategory::kHikingTrail);
+  const char* const splices[] = {"end", "do", "then", "(", ")", "=", "local",
+                                 "while", "\"", "..", "[", "9e99", "--[["};
+  constexpr std::size_t kSplices = sizeof(splices) / sizeof(splices[0]);
+  std::uint64_t state = 0xfeedULL;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string source = base;
+    const int cuts = 1 + static_cast<int>(next() % 4);
+    for (int c = 0; c < cuts; ++c) {
+      const std::size_t at = next() % (source.size() + 1);
+      source.insert(at, splices[next() % kSplices]);
+    }
+    const AnalysisReport r = AnalyzeSource(source);
+    (void)r;  // surviving the pipeline (under asan/ubsan) is the property
+  }
+}
+
+}  // namespace
+}  // namespace sor::script::analysis

@@ -99,6 +99,18 @@ TEST(TaskInstance, BadScriptBecomesError) {
   EXPECT_TRUE(task.RunDue(SimTime{5'000}, sensors, prefs).empty());
 }
 
+TEST(TaskInstance, AnalyzerRejectsUnboundedLoopAtCompile) {
+  // The static analyzer runs at task construction: a loop with no
+  // derivable bound never reaches its first scheduled instant.
+  TaskInstance task(TaskId{1}, AppId{1},
+                    "while true do\n  print(\"spin\")\nend",
+                    {SimTime{1'000}}, SimDuration{100}, 1);
+  EXPECT_EQ(task.status(), TaskStatus::kError);
+  EXPECT_NE(task.last_error().find("SA401"), std::string::npos)
+      << task.last_error();
+  EXPECT_EQ(task.stats().script_errors, 1u);
+}
+
 TEST(TaskInstance, RuntimeScriptErrorSetsErrorStatus) {
   FakeEnvironment env;
   sensors::BluetoothLink link;
@@ -296,6 +308,43 @@ TEST(Frontend, ScanTriggersParticipationAndSchedule) {
   EXPECT_EQ(f.frontend.stats().schedules_received, 1u);
   EXPECT_EQ(f.frontend.num_tasks(), 1u);
   EXPECT_EQ(f.server.last_token_.value, "tok-x");
+}
+
+ScheduleDistribution TestSchedule(std::vector<SensorKind> required) {
+  ScheduleDistribution sched;
+  sched.task = TaskId{88};
+  sched.app = AppId{5};
+  sched.script = "local xs = get_wifi_readings(2)";
+  sched.instants = {SimTime{10'000}};
+  sched.sample_window = SimDuration{1'000};
+  sched.samples_per_window = 2;
+  sched.required_sensors = std::move(required);
+  return sched;
+}
+
+TEST(Frontend, RefusesScheduleRequiringMissingSensor) {
+  FrontendFixture f;
+  // Simulate a phone whose GPS hardware is gone (or was never there).
+  ASSERT_TRUE(
+      f.frontend.sensor_manager().UnregisterProvider(SensorKind::kGps));
+  Result<Message> reply =
+      f.net.Send("phone:tok-x", TestSchedule({SensorKind::kGps}));
+  // The loopback transport unwraps the phone's ErrorReply into a local
+  // error, so the refusal surfaces as a failed Result with kUnsupported.
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, Errc::kUnsupported);
+  EXPECT_EQ(f.frontend.stats().schedules_refused, 1u);
+  EXPECT_EQ(f.frontend.num_tasks(), 0u);  // task was never created
+}
+
+TEST(Frontend, AcceptsScheduleWhenRequiredSensorsPresent) {
+  FrontendFixture f;
+  Result<Message> reply =
+      f.net.Send("phone:tok-x", TestSchedule({SensorKind::kWifi}));
+  ASSERT_TRUE(reply.ok()) << reply.error().str();
+  EXPECT_NE(std::get_if<Ack>(&reply.value()), nullptr);
+  EXPECT_EQ(f.frontend.stats().schedules_refused, 0u);
+  EXPECT_EQ(f.frontend.num_tasks(), 1u);
 }
 
 TEST(Frontend, ScanViaTextAndMatrix) {

@@ -120,6 +120,49 @@ TEST(Applications, ScriptValidatedAtCreation) {
             Errc::kScriptError);
 }
 
+TEST(Applications, AnalyzerRejectsUnboundedLoopWithLineDiagnostic) {
+  ServerFixture f;
+  ApplicationSpec bad = TestAppSpec();
+  bad.script =
+      "local xs = get_noise_readings(3)\n"
+      "while true do\n"
+      "  print(\"spin\")\n"
+      "end\n";
+  script::analysis::AnalysisReport report;
+  Result<AppId> id = f.server.applications().CreateApplication(bad, &report);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.code(), Errc::kScriptError);
+  EXPECT_EQ(id.error().line, 2);  // the while statement
+  EXPECT_TRUE(report.Has("SA401"));
+  EXPECT_NE(id.error().message.find("SA401"), std::string::npos);
+}
+
+TEST(Applications, AnalyzerEnforcesEnergyBudget) {
+  ServerFixture f;
+  ApplicationSpec spec = TestAppSpec();
+  spec.script = "local track = get_location(40)";  // 40×150 = 6000 mJ
+  script::analysis::AnalysisReport report;
+  Result<AppId> id = f.server.applications().CreateApplication(spec, &report);
+  ASSERT_FALSE(id.ok());  // default budget is 5000 mJ
+  EXPECT_TRUE(report.Has("SA403"));
+  EXPECT_EQ(id.error().line, 1);
+  // The creator can raise the app's budget; the same script then registers.
+  spec.energy_budget_mj = 10'000.0;
+  EXPECT_TRUE(f.server.applications().CreateApplication(spec).ok());
+}
+
+TEST(Applications, ManifestStoredAndReadBack) {
+  ServerFixture f;
+  // TestAppSpec's script acquires from the microphone only.
+  Result<AppId> id = f.server.applications().CreateApplication(TestAppSpec());
+  ASSERT_TRUE(id.ok()) << id.error().str();
+  Result<ApplicationRecord> rec = f.server.applications().Get(id.value());
+  ASSERT_TRUE(rec.ok());
+  const std::vector<SensorKind> want = {SensorKind::kMicrophone};
+  EXPECT_EQ(rec.value().required_sensors, want);
+  EXPECT_DOUBLE_EQ(rec.value().spec.energy_budget_mj, 5000.0);
+}
+
 TEST(Applications, ParameterValidation) {
   ServerFixture f;
   ApplicationSpec s = TestAppSpec();
@@ -300,10 +343,70 @@ TEST(ServerEndToEnd, ParticipationTriggersScheduleDistribution) {
   EXPECT_LE(sched.instants.size(), 4u);  // within budget
   EXPECT_GT(sched.instants.size(), 0u);
   EXPECT_FALSE(sched.script.empty());
+  // The statically derived sensor manifest rides with the schedule.
+  const std::vector<SensorKind> want_sensors = {SensorKind::kMicrophone};
+  EXPECT_EQ(sched.required_sensors, want_sensors);
   // Participation is now "running"; schedule persisted in the database.
   EXPECT_EQ(f.server.participations().Get(accepted.task).value().status,
             "running");
   EXPECT_EQ(f.server.database().table(db::tables::kSchedules)->size(), 1u);
+}
+
+// A phone that refuses every schedule with kUnsupported, as the real
+// frontend does when the required-sensor manifest names hardware it lacks.
+class RefusingPhone final : public net::Endpoint {
+ public:
+  RefusingPhone(net::LoopbackNetwork& net, const std::string& name)
+      : net_(net), name_(name) {
+    net_.Register(name_, this);
+  }
+  ~RefusingPhone() override { net_.Unregister(name_); }
+
+  Bytes HandleFrame(std::span<const std::uint8_t> frame) override {
+    Result<Message> decoded = DecodeFrame(frame);
+    if (decoded.ok() &&
+        std::get_if<ScheduleDistribution>(&decoded.value()) != nullptr) {
+      ++refusals_;
+      return EncodeFrame(
+          ErrorReply{static_cast<std::uint8_t>(Errc::kUnsupported),
+                     "phone lacks required sensor 'microphone'"});
+    }
+    return EncodeFrame(Ack{});
+  }
+
+  net::LoopbackNetwork& net_;
+  std::string name_;
+  int refusals_ = 0;
+};
+
+TEST(ServerEndToEnd, PhoneRefusalMarksParticipationError) {
+  ServerFixture f;
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  const UserId user =
+      f.server.users().RegisterUser("alice", Token{"tok-a"}).value();
+  RefusingPhone phone(f.net, "phone:tok-a");
+
+  ParticipationRequest req;
+  req.user = user;
+  req.token = Token{"tok-a"};
+  req.app = barcode.value().app;
+  req.location = GeoPoint{43.0, -76.0, 100};
+  req.budget = 4;
+  req.scan_time = f.clock.now();
+  Result<Message> reply = f.net.Send("server", req);
+  ASSERT_TRUE(reply.ok()) << reply.error().str();
+  const auto& accepted = std::get<ParticipationReply>(reply.value());
+  EXPECT_TRUE(accepted.accepted);  // participation itself was fine
+  EXPECT_EQ(phone.refusals_, 1);
+
+  // The refusal (a decodable ErrorReply, not a transport failure) must not
+  // count as a delivered schedule: the task goes to error, not running.
+  const std::string status =
+      f.server.participations().Get(accepted.task).value().status;
+  EXPECT_EQ(status.rfind("error:", 0), 0u) << status;
+  EXPECT_EQ(f.server.scheduler().stats().schedules_distributed, 0u);
+  EXPECT_EQ(f.server.scheduler().stats().distribution_failures, 1u);
 }
 
 TEST(ServerEndToEnd, UploadStoredAndBudgetConsumed) {

@@ -3,6 +3,15 @@
 # preset. The chaos suite (test_chaos) runs under both, so every seeded
 # fault schedule is exercised with memory/UB checking on.
 #
+# The default preset's ctest run includes the ScriptLint.* gate (sor lint
+# --strict over examples/scripts/*.sor and both built-in scripts); a
+# separate stage below re-runs the linter explicitly so its diagnostics
+# appear in the CI log even on success.
+#
+# A clang-tidy stage (bugprone/performance/concurrency, config in
+# .clang-tidy) runs when clang-tidy is installed and is skipped with a
+# notice otherwise — the container image does not ship it.
+#
 # A ThreadSanitizer stage always runs the multi-threaded tests (the
 # determinism contract and the chaos suite drive the sharded runtime with
 # threads > 1); pass --with-tsan to run the FULL suite under TSan too.
@@ -32,6 +41,29 @@ for preset in "${PRESETS[@]}"; do
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}" -j "$(nproc)"
 done
+
+echo "=== stage: sensescript lint ==="
+SOR_BIN=build/tools/sor
+if [[ -x "${SOR_BIN}" ]]; then
+  for script in examples/scripts/*.sor; do
+    "${SOR_BIN}" lint "${script}" --strict
+  done
+  "${SOR_BIN}" lint --builtin trails --strict
+  "${SOR_BIN}" lint --builtin coffee --strict
+else
+  echo "ci: ${SOR_BIN} not built; lint already covered by ScriptLint.* tests" >&2
+fi
+
+echo "=== stage: clang-tidy ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The default preset's compile_commands.json drives the analysis; limit
+  # it to first-party sources (deps under build/ are not ours to fix).
+  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t tidy_sources < <(find src tools -name '*.cpp' | sort)
+  clang-tidy -p build --quiet "${tidy_sources[@]}"
+else
+  echo "ci: clang-tidy not installed; skipping C++ lint stage" >&2
+fi
 
 echo "=== preset: tsan (sharded runtime) ==="
 cmake --preset tsan

@@ -8,14 +8,20 @@
 //       print the deployable 2D barcode for one target place
 //   sor rank --scenario trails|coffee --user NAME [--method M]
 //       run one profile's personalizable ranking on a fresh campaign
+//   sor lint FILE.sor | sor lint --builtin trails|coffee
+//       run the SenseScript static analyzer on a script and print its
+//       diagnostics and required-sensor manifest (exit 1 on errors)
 //   sor help
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "bench_args.hpp"
 #include "core/system.hpp"
+#include "script/analysis/analyzer.hpp"
 #include "server/json_export.hpp"
 #include "sched/baseline.hpp"
 #include "sched/greedy.hpp"
@@ -35,6 +41,9 @@ int Usage() {
       "  sor barcode   --scenario trails|coffee --place IDX [--ascii]\n"
       "  sor rank      --scenario trails|coffee --user NAME [--method M]"
       " [--explain]\n"
+      "  sor lint      FILE.sor [--energy-budget MJ] [--samples N]"
+      " [--strict]\n"
+      "  sor lint      --builtin trails|coffee [same options]\n"
       "  sor help\n\n"
       "methods: mcmf (default), hungarian, kemeny, borda\n");
   return 2;
@@ -224,11 +233,93 @@ int CmdRank(const cli::Args& args) {
   return 0;
 }
 
+// sor lint FILE.sor — the registration-time analyzer as a local gate: same
+// passes, same diagnostic codes, so CI catches a script the server would
+// reject before it is ever deployed.
+int CmdLint(const std::string& source_name, const std::string& source,
+            const cli::Args& args) {
+  namespace analysis = script::analysis;
+  analysis::AnalyzerOptions options;
+  options.energy_budget_mj = args.GetDouble("energy-budget", 0.0);
+  options.default_samples_per_window = args.GetInt("samples", 5);
+  options.max_steps = args.GetDouble("max-steps", 2'000'000.0);
+  const analysis::AnalysisReport report =
+      analysis::AnalyzeSource(source, options);
+
+  for (const analysis::Diagnostic& d : report.diagnostics)
+    std::printf("%s: %s\n", source_name.c_str(),
+                analysis::Render(d).c_str());
+
+  const analysis::ScriptManifest& m = report.manifest;
+  std::printf("%s: required sensors: %s\n", source_name.c_str(),
+              m.required_sensors.empty()
+                  ? "(none)"
+                  : analysis::EncodeSensorList(m.required_sensors).c_str());
+  if (m.cost_bounded) {
+    std::printf(
+        "%s: worst case per run: %.0f samples, %.1f mJ, %.0f steps\n",
+        source_name.c_str(), m.worst_case_acquisitions,
+        m.worst_case_energy_mj, m.worst_case_steps);
+  } else {
+    std::printf("%s: cost not statically bounded\n", source_name.c_str());
+  }
+
+  const std::size_t errors = report.error_count();
+  const std::size_t warnings = report.diagnostics.size() - errors;
+  std::printf("%s: %zu error(s), %zu warning(s)\n", source_name.c_str(),
+              errors, warnings);
+  if (errors > 0) return 1;
+  if (args.Has("strict") && warnings > 0) return 1;
+  return 0;
+}
+
+int CmdLintEntry(int argc, char** argv) {
+  // Optional positional FILE before the --flags.
+  std::string file;
+  if (argc > 0 && std::string(argv[0]).rfind("--", 0) != 0) {
+    file = argv[0];
+    ++argv;
+    --argc;
+  }
+  const cli::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", args.error().c_str());
+    return 2;
+  }
+  if (args.Has("builtin")) {
+    const std::string which = args.Get("builtin");
+    if (which != "trails" && which != "coffee") {
+      std::fprintf(stderr, "--builtin expects trails|coffee\n");
+      return 2;
+    }
+    const std::string source = core::DefaultScript(
+        which == "trails" ? world::PlaceCategory::kHikingTrail
+                          : world::PlaceCategory::kCoffeeShop);
+    return CmdLint("builtin:" + which, source, args);
+  }
+  if (file.empty()) {
+    std::fprintf(stderr,
+                 "usage: sor lint FILE.sor | sor lint --builtin "
+                 "trails|coffee\n");
+    return 2;
+  }
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", file.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return CmdLint(file, buf.str(), args);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
+  // lint takes a positional FILE argument, so it parses its own flags.
+  if (cmd == "lint") return CmdLintEntry(argc - 2, argv + 2);
   const cli::Args args(argc - 2, argv + 2);
   if (!args.ok()) {
     std::fprintf(stderr, "bad arguments: %s\n", args.error().c_str());

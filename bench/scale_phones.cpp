@@ -71,8 +71,15 @@ int main() {
   const std::vector<int> thread_counts = {1, 2, 4, 8};
 
   std::printf("{\n  \"bench\": \"scale_phones\",\n");
-  std::printf("  \"host_threads\": %u,\n",
-              std::thread::hardware_concurrency());
+  const unsigned host_threads = std::thread::hardware_concurrency();
+  std::printf("  \"host_threads\": %u,\n", host_threads);
+  std::printf("  \"build_type\": \"%s\",\n", SOR_BUILD_TYPE);
+  std::printf("  \"git_sha\": \"%s\",\n", SOR_GIT_SHA);
+  // On a single-core host every thread count measures the same serial
+  // machine plus coordination overhead — flag that in the data itself so a
+  // flat speedup curve is not misread as a scaling regression.
+  std::printf("  \"single_core_host\": %s,\n",
+              host_threads <= 1 ? "true" : "false");
   std::printf("  \"results\": [\n");
   bool first = true;
   for (int ppp : per_place) {

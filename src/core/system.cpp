@@ -36,8 +36,10 @@ end
 
 System::System() {
   network_.set_clock(&clock_);  // partition windows run on simulated time
+  network_.set_metrics(&registry_);  // transport counters live here too
   server_ = std::make_unique<server::SensingServer>(
       server::ServerConfig{}, network_, clock_);
+  server_->AttachObservability(&registry_, nullptr);
 }
 
 System::~System() = default;
@@ -84,6 +86,19 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
   agents_.clear();
   frontends_.clear();
   server_->scheduler().set_algorithm(config.scheduler_algorithm);
+
+  // Telemetry: one trace per campaign. Clearing invalidates stream ids, so
+  // every component re-registers: the server here (stream 0), the system
+  // stream next (1), phones in spawn order, then the transport's per-link
+  // lookups and the data processor's per-app streams — the same serial
+  // order at any thread count.
+  tracer_.Clear();
+  tracer_.set_capacity(config.trace_ring_capacity);
+  tracer_.set_enabled(config.trace);
+  obs::Tracer* tracer = config.trace ? &tracer_ : nullptr;
+  network_.set_tracer(tracer);
+  server_->AttachObservability(&registry_, tracer);
+  system_stream_ = config.trace ? tracer_.RegisterStream("system") : 0;
 
   // Stand up the worker pool for this campaign (threads==1 → pure serial
   // paths everywhere; see docs/runtime.md for the determinism contract).
@@ -159,6 +174,8 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
       phone_cfg.token = token;
       frontends_.push_back(std::make_unique<phone::MobileFrontend>(
           phone_cfg, network_, *agents_.back(), clock_));
+      frontends_.back()->AttachObservability(
+          &registry_, config.trace ? &tracer_ : nullptr);
 
       const BitMatrix matrix = RenderBarcodeMatrix(barcodes[p]);
       Result<TaskId> task = frontends_.back()->ScanBarcodeMatrix(
@@ -228,6 +245,12 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
     if (!outcome.ok()) return outcome.error();
     result.rankings.emplace_back(profile.name, std::move(outcome).value());
   }
+  // The end of every upload span: each place's final ranking exists.
+  if (config.trace) {
+    for (AppId id : result.app_ids)
+      tracer_.Emit(system_stream_, clock_.now(),
+                   obs::EventKind::kRankingDone, id.value());
+  }
 
   // 7. Statistics snapshot.
   result.server_stats = server_->stats();
@@ -244,6 +267,7 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
     result.energy_spent_mj += energy.spent_mj;
     result.energy_saved_mj += energy.saved_mj;
   }
+  result.trace_fingerprint = tracer_.Fingerprint();
   return result;
 }
 

@@ -19,6 +19,8 @@
 #include "common/sharded_executor.hpp"
 #include "common/sim_time.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phone/frontend.hpp"
 #include "rank/personalizable_ranker.hpp"
 #include "server/server.hpp"
@@ -60,6 +62,13 @@ struct FieldTestConfig {
   std::vector<net::FaultRule> chaos_rules;
   std::uint64_t chaos_seed = 0;       // seed for the fault-decision stream
   int drain_ticks = 8;                // fault-free ticks after the period
+
+  // --- telemetry (src/obs, docs/observability.md) --------------------------
+  // Record the deterministic event trace of the campaign. The trace (and
+  // its fingerprint in FieldTestResult) is byte-identical across `threads`
+  // values; read it back via System::tracer() after the run.
+  bool trace = false;
+  std::size_t trace_ring_capacity = 1 << 16;  // events retained per stream
 };
 
 struct FieldTestResult {
@@ -82,6 +91,10 @@ struct FieldTestResult {
   // acquisitions and what the shared provider buffers saved.
   double energy_spent_mj = 0.0;
   double energy_saved_mj = 0.0;
+
+  // FNV-1a over the campaign's merged trace (0-events hash when tracing is
+  // off): the value the determinism tests compare across thread counts.
+  std::uint64_t trace_fingerprint = 0;
 
   // Place names in final order for a given profile index.
   [[nodiscard]] std::vector<std::string> RankedNames(std::size_t profile) const {
@@ -113,6 +126,11 @@ class System {
   frontends() {
     return frontends_;
   }
+  // The system-wide telemetry: every component (transport links, phones,
+  // server, scheduler, data processor) reports into this one registry, and
+  // — with FieldTestConfig::trace — into this one tracer.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return registry_; }
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
 
  private:
   // Advance the clock `n` ticks, ticking every frontend each step. With
@@ -121,6 +139,9 @@ class System {
   void RunTicks(int n, SimDuration tick);
 
   SimClock clock_;
+  obs::MetricsRegistry registry_;
+  obs::Tracer tracer_;
+  obs::StreamId system_stream_ = 0;  // campaign-level events (ranking_done)
   net::LoopbackNetwork network_;
   std::unique_ptr<ShardedExecutor> executor_;  // non-null while threads > 1
   std::unique_ptr<server::SensingServer> server_;

@@ -2,6 +2,21 @@
 
 namespace sor::net {
 
+namespace {
+
+// Endpoint names double as trace stream names; the anonymous sender gets a
+// stable placeholder so its events still land on a stream.
+const std::string& StreamNameFor(const std::string& endpoint) {
+  static const std::string kAnon = "client";
+  return endpoint.empty() ? kAnon : endpoint;
+}
+
+}  // namespace
+
+LoopbackNetwork::LoopbackNetwork()
+    : own_registry_(std::make_unique<obs::MetricsRegistry>()),
+      registry_(own_registry_.get()) {}
+
 void LoopbackNetwork::Register(const std::string& name, Endpoint* endpoint) {
   endpoints_[name] = endpoint;
 }
@@ -10,10 +25,88 @@ void LoopbackNetwork::Unregister(const std::string& name) {
   endpoints_.erase(name);
 }
 
+void LoopbackNetwork::set_metrics(obs::MetricsRegistry* registry) {
+  registry_ = registry != nullptr ? registry : own_registry_.get();
+  links_.clear();  // cached handles point into the old registry
+}
+
+void LoopbackNetwork::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& [key, cells] : links_) cells.have_streams = false;
+}
+
+LoopbackNetwork::LinkCells& LoopbackNetwork::Cells(const std::string& from,
+                                                   const std::string& to) {
+  auto [it, inserted] = links_.try_emplace({from, to});
+  LinkCells& c = it->second;
+  if (inserted) {
+    auto counter = [this, &from, &to](std::string_view base) {
+      return &registry_->counter(
+          obs::LabeledName(base, {{"from", from}, {"to", to}}));
+    };
+    c.delivered = counter("net.delivered");
+    c.dropped = counter("net.dropped");
+    c.corrupted = counter("net.corrupted");
+    c.duplicated = counter("net.duplicated");
+    c.partitioned = counter("net.partitioned");
+    c.responses_dropped = counter("net.responses_dropped");
+    c.responses_corrupted = counter("net.responses_corrupted");
+    c.bytes_sent = counter("net.bytes_sent");
+    c.bytes_received = counter("net.bytes_received");
+    c.latency_injected_ms = counter("net.latency_injected_ms");
+  }
+  if (!c.have_streams && tracer_ != nullptr) {
+    c.from_stream = tracer_->RegisterStream(StreamNameFor(from));
+    c.to_stream = tracer_->RegisterStream(StreamNameFor(to));
+    c.have_streams = true;
+  }
+  return c;
+}
+
+TransportStats LoopbackNetwork::ReadCells(const LinkCells& c) {
+  TransportStats s;
+  s.delivered = c.delivered->value();
+  s.dropped = c.dropped->value();
+  s.corrupted = c.corrupted->value();
+  s.duplicated = c.duplicated->value();
+  s.partitioned = c.partitioned->value();
+  s.responses_dropped = c.responses_dropped->value();
+  s.responses_corrupted = c.responses_corrupted->value();
+  s.bytes_sent = c.bytes_sent->value();
+  s.bytes_received = c.bytes_received->value();
+  s.latency_injected_ms = c.latency_injected_ms->value();
+  return s;
+}
+
+TransportStats LoopbackNetwork::stats() const {
+  TransportStats total;
+  for (const auto& [key, cells] : links_) {
+    const TransportStats s = ReadCells(cells);
+    total.delivered += s.delivered;
+    total.dropped += s.dropped;
+    total.corrupted += s.corrupted;
+    total.duplicated += s.duplicated;
+    total.partitioned += s.partitioned;
+    total.responses_dropped += s.responses_dropped;
+    total.responses_corrupted += s.responses_corrupted;
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
+    total.latency_injected_ms += s.latency_injected_ms;
+  }
+  return total;
+}
+
 TransportStats LoopbackNetwork::link_stats(const std::string& from,
                                            const std::string& to) const {
-  const auto it = link_stats_.find({from, to});
-  return it == link_stats_.end() ? TransportStats{} : it->second;
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? TransportStats{} : ReadCells(it->second);
+}
+
+std::map<std::pair<std::string, std::string>, TransportStats>
+LoopbackNetwork::all_link_stats() const {
+  std::map<std::pair<std::string, std::string>, TransportStats> out;
+  for (const auto& [key, cells] : links_) out.emplace(key, ReadCells(cells));
+  return out;
 }
 
 void LoopbackNetwork::BeginOrderedPhase(std::vector<std::string> senders) {
@@ -81,25 +174,34 @@ Result<Message> LoopbackNetwork::Send(const std::string& from,
   Bytes frame = EncodeFrame(m);
   if (rank != kUnranked) AwaitTurn(rank);
 
-  TransportStats& link = link_stats_[{from, to}];
-  stats_.bytes_sent += frame.size();
-  link.bytes_sent += frame.size();
+  // Behind the gate (or in serial code): all bookkeeping below — counter
+  // cache creation, stream registration, fault decisions, trace emits —
+  // happens in a globally deterministic order.
+  LinkCells& link = Cells(from, to);
+  link.bytes_sent->Inc(frame.size());
 
   const SimTime now = clock_ != nullptr ? clock_->now() : SimTime{};
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  auto trace = [&](obs::EventKind kind, std::uint64_t b = 0,
+                   std::uint64_t c = 0) {
+    if (tracing) tracer_->Emit(link.from_stream, now, kind, link.to_stream, b, c);
+  };
+  trace(obs::EventKind::kMsgSend, frame.size(),
+        static_cast<std::uint64_t>(TypeOf(m)));
 
   // --- request leg ---------------------------------------------------------
   const FaultDecision req =
       faults_.Decide(from, to, Direction::kRequest, now);
   if (req.latency.ms > 0) {
-    stats_.latency_injected_ms += static_cast<std::uint64_t>(req.latency.ms);
-    link.latency_injected_ms += static_cast<std::uint64_t>(req.latency.ms);
+    link.latency_injected_ms->Inc(static_cast<std::uint64_t>(req.latency.ms));
+    trace(obs::EventKind::kFaultLatency,
+          static_cast<std::uint64_t>(req.latency.ms), 0);
   }
   if (req.drop) {
-    ++stats_.dropped;
-    ++link.dropped;
+    link.dropped->Inc();
+    trace(obs::EventKind::kMsgDropped, req.partitioned ? 1 : 0);
     if (req.partitioned) {
-      ++stats_.partitioned;
-      ++link.partitioned;
+      link.partitioned->Inc();
       return Error{Errc::kUnavailable,
                    "link to '" + to + "' is partitioned"};
     }
@@ -108,12 +210,12 @@ Result<Message> LoopbackNetwork::Send(const std::string& from,
   if (req.corrupt && !frame.empty()) {
     // A corrupted request reaches the handler but fails its CRC there; the
     // send is accounted as corrupted, *not* delivered.
-    ++stats_.corrupted;
-    ++link.corrupted;
+    link.corrupted->Inc();
+    trace(obs::EventKind::kMsgCorrupted);
     frame[frame.size() / 2] ^= 0x5a;  // flip bits mid-frame
   } else {
-    ++stats_.delivered;
-    ++link.delivered;
+    link.delivered->Inc();
+    trace(obs::EventKind::kMsgDelivered);
   }
 
   // Duplicate delivery: the handler runs twice on the same frame — the
@@ -121,8 +223,8 @@ Result<Message> LoopbackNetwork::Send(const std::string& from,
   // *last* delivery is what travels back.
   Bytes response = it->second->HandleFrame(frame);
   if (req.duplicate) {
-    ++stats_.duplicated;
-    ++link.duplicated;
+    link.duplicated->Inc();
+    trace(obs::EventKind::kMsgDuplicated);
     response = it->second->HandleFrame(frame);
   }
 
@@ -130,18 +232,18 @@ Result<Message> LoopbackNetwork::Send(const std::string& from,
   const FaultDecision resp =
       faults_.Decide(from, to, Direction::kResponse, now);
   if (resp.latency.ms > 0) {
-    stats_.latency_injected_ms += static_cast<std::uint64_t>(resp.latency.ms);
-    link.latency_injected_ms += static_cast<std::uint64_t>(resp.latency.ms);
+    link.latency_injected_ms->Inc(static_cast<std::uint64_t>(resp.latency.ms));
+    trace(obs::EventKind::kFaultLatency,
+          static_cast<std::uint64_t>(resp.latency.ms), 1);
   }
   if (resp.drop) {
     // The handler DID run; only the reply is gone. To the sender this is
     // indistinguishable from a dropped request — exactly the lost-Ack
     // ambiguity that forces retries to be idempotent.
-    ++stats_.responses_dropped;
-    ++link.responses_dropped;
+    link.responses_dropped->Inc();
+    trace(obs::EventKind::kMsgRespDropped, resp.partitioned ? 1 : 0);
     if (resp.partitioned) {
-      ++stats_.partitioned;
-      ++link.partitioned;
+      link.partitioned->Inc();
       return Error{Errc::kUnavailable,
                    "link to '" + to + "' is partitioned"};
     }
@@ -149,12 +251,11 @@ Result<Message> LoopbackNetwork::Send(const std::string& from,
                  "reply from '" + to + "' lost in transit"};
   }
   if (resp.corrupt && !response.empty()) {
-    ++stats_.responses_corrupted;
-    ++link.responses_corrupted;
+    link.responses_corrupted->Inc();
+    trace(obs::EventKind::kMsgRespCorrupted);
     response[response.size() / 2] ^= 0x5a;
   }
-  stats_.bytes_received += response.size();
-  link.bytes_received += response.size();
+  link.bytes_received->Inc(response.size());
 
   Result<Message> decoded = DecodeFrame(response);
   if (!decoded.ok()) return decoded.error();

@@ -13,11 +13,17 @@
 // on a real wire. Faults (see net/fault_injector.hpp) can hit both legs of
 // the round trip: a request lost before the handler runs, or a response
 // lost *after* it ran — the at-least-once case every endpoint must survive.
+//
+// Observability: all delivery accounting lives in an obs::MetricsRegistry
+// (one labeled counter family per link); TransportStats is a *view* over
+// those counters, kept for ergonomic assertions. An optional obs::Tracer
+// records a typed event per delivery outcome on the sender's stream.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -28,6 +34,8 @@
 #include "common/result.hpp"
 #include "common/sim_time.hpp"
 #include "net/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sor::net {
 
@@ -43,6 +51,8 @@ class Endpoint {
       std::span<const std::uint8_t> frame) = 0;
 };
 
+// Read-out view over one link's (or the whole network's) delivery counters.
+// The registry owns the live values; this struct is what reads return.
 struct TransportStats {
   std::uint64_t delivered = 0;   // request reached the handler intact
   std::uint64_t dropped = 0;     // request lost in transit (never handled)
@@ -61,6 +71,8 @@ struct TransportStats {
 
 class LoopbackNetwork {
  public:
+  LoopbackNetwork();
+
   // Register/replace the endpoint reachable under `name`.
   void Register(const std::string& name, Endpoint* endpoint);
   void Unregister(const std::string& name);
@@ -75,23 +87,33 @@ class LoopbackNetwork {
     return Send(std::string(), to, m);
   }
 
-  // Aggregate over every link.
-  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  // Aggregate view over every link, summed from the registry's counters.
+  [[nodiscard]] TransportStats stats() const;
   // One link = one (source, destination) endpoint-name pair. Zero-valued
   // stats for links that never carried a frame.
   [[nodiscard]] TransportStats link_stats(const std::string& from,
                                           const std::string& to) const;
-  [[nodiscard]] const std::map<std::pair<std::string, std::string>,
-                               TransportStats>&
-  all_link_stats() const {
-    return link_stats_;
-  }
+  [[nodiscard]] std::map<std::pair<std::string, std::string>, TransportStats>
+  all_link_stats() const;
 
   FaultInjector& faults() { return faults_; }
 
   // Clock for time-windowed fault rules (partitions). Without one, rules
   // see time frozen at the epoch. Not owned.
   void set_clock(const SimClock* clock) { clock_ = clock; }
+
+  // Metrics sink. The network owns a private registry by default so
+  // standalone use keeps full accounting; pass a shared registry (System
+  // does) to fold transport counters into the system-wide export, or
+  // nullptr to fall back to the private one. Swapping resets per-link
+  // counter caches; prior counts stay in whichever registry received them.
+  void set_metrics(obs::MetricsRegistry* registry);
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *registry_; }
+
+  // Event sink; nullptr (default) disables transport tracing. Streams are
+  // registered per endpoint name on first post-gate use, so ids are
+  // deterministic whenever senders are deterministic.
+  void set_tracer(obs::Tracer* tracer);
 
   // --- deterministic parallel delivery (docs/runtime.md) ------------------
   // During a parallel tick round, concurrent senders must not race into a
@@ -116,12 +138,36 @@ class LoopbackNetwork {
   void EndOrderedPhase();
 
  private:
+  // Cached registry handles + trace stream ids for one (from, to) link.
+  // Created behind the ordered gate (or from serial code), so creation
+  // order — and with it metric names and stream ids — is deterministic.
+  struct LinkCells {
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* corrupted = nullptr;
+    obs::Counter* duplicated = nullptr;
+    obs::Counter* partitioned = nullptr;
+    obs::Counter* responses_dropped = nullptr;
+    obs::Counter* responses_corrupted = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* latency_injected_ms = nullptr;
+    obs::StreamId from_stream = 0;
+    obs::StreamId to_stream = 0;
+    bool have_streams = false;
+  };
+
+  LinkCells& Cells(const std::string& from, const std::string& to);
+  static TransportStats ReadCells(const LinkCells& c);
+
   // Block until every sender ranked below `rank` completed this round.
   void AwaitTurn(std::size_t rank);
 
   std::map<std::string, Endpoint*> endpoints_;
-  TransportStats stats_;
-  std::map<std::pair<std::string, std::string>, TransportStats> link_stats_;
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;  // never null
+  obs::Tracer* tracer_ = nullptr;             // null = no tracing
+  std::map<std::pair<std::string, std::string>, LinkCells> links_;
   FaultInjector faults_;
   const SimClock* clock_ = nullptr;
 

@@ -1,0 +1,251 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace sor::obs {
+
+namespace detail {
+
+std::size_t ThreadCell() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t cell =
+      next.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return cell;
+}
+
+}  // namespace detail
+
+Counter::Counter(Sharding sharding)
+    : sharding_(sharding),
+      cells_(sharding == Sharding::kPerThread ? detail::kCells : 1) {}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const detail::PaddedCell& c : cells_)
+    total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (detail::PaddedCell& c : cells_)
+    c.v.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds, Sharding sharding)
+    : bounds_(std::move(upper_bounds)), sharding_(sharding) {
+  std::sort(bounds_.begin(), bounds_.end());
+  const std::size_t n =
+      sharding_ == Sharding::kPerThread ? detail::kCells : 1;
+  cells_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    cells_.push_back(std::make_unique<Cells>(bounds_.size() + 1));
+}
+
+void Histogram::Observe(double x) {
+  const std::size_t slot =
+      sharding_ == Sharding::kPerThread ? detail::ThreadCell() : 0;
+  Cells& c = *cells_[slot];
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  c.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  // Double accumulation via CAS: uncontended in practice (one writer per
+  // cell); the loop only spins when two threads share a cell.
+  std::uint64_t old = c.sum_bits.load(std::memory_order_relaxed);
+  while (!c.sum_bits.compare_exchange_weak(
+      old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + x),
+      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Read() const {
+  Snapshot s;
+  s.upper_bounds = bounds_;
+  s.counts.assign(bounds_.size() + 1, 0);
+  for (const std::unique_ptr<Cells>& c : cells_) {
+    for (std::size_t i = 0; i < s.counts.size(); ++i)
+      s.counts[i] += c->buckets[i].load(std::memory_order_relaxed);
+    s.count += c->count.load(std::memory_order_relaxed);
+    s.sum += std::bit_cast<double>(c->sum_bits.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void Histogram::Reset() {
+  for (const std::unique_ptr<Cells>& c : cells_) {
+    for (auto& b : c->buckets) b.store(0, std::memory_order_relaxed);
+    c->count.store(0, std::memory_order_relaxed);
+    c->sum_bits.store(std::bit_cast<std::uint64_t>(0.0),
+                      std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, int n) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string name(base);
+  for (const auto& [k, v] : labels) {
+    name += '|';
+    name += k;
+    name += '=';
+    name += v;
+  }
+  return name;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Sharding s) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>(s))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      Sharding s) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds), s))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Read() const {
+  std::lock_guard lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Entry e;
+    e.name = name;
+    e.kind = Entry::Kind::kCounter;
+    e.counter_value = c->value();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Entry e;
+    e.name = name;
+    e.kind = Entry::Kind::kGauge;
+    e.gauge_value = g->value();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Entry e;
+    e.name = name;
+    e.kind = Entry::Kind::kHistogram;
+    e.histogram = h->Read();
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+namespace {
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const {
+  std::ostringstream os;
+  for (const Entry& e : Read()) {
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        os << e.name << " " << e.counter_value << "\n";
+        break;
+      case Entry::Kind::kGauge:
+        os << e.name << " " << Num(e.gauge_value) << "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        os << e.name << " count=" << e.histogram.count
+           << " sum=" << Num(e.histogram.sum);
+        for (std::size_t i = 0; i < e.histogram.upper_bounds.size(); ++i)
+          os << " le" << Num(e.histogram.upper_bounds[i]) << "="
+             << e.histogram.counts[i];
+        os << " inf=" << e.histogram.counts.back() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const Entry& e : Read()) {
+    os << (first ? "" : ",") << "\n  \"";
+    first = false;
+    // Metric names are from a fixed internal alphabet (no quotes or
+    // backslashes), so escaping is not needed here.
+    os << e.name << "\": ";
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        os << e.counter_value;
+        break;
+      case Entry::Kind::kGauge:
+        os << Num(e.gauge_value);
+        break;
+      case Entry::Kind::kHistogram: {
+        os << "{\"count\": " << e.histogram.count
+           << ", \"sum\": " << Num(e.histogram.sum) << ", \"buckets\": [";
+        for (std::size_t i = 0; i < e.histogram.counts.size(); ++i) {
+          os << (i ? ", " : "") << "[";
+          if (i < e.histogram.upper_bounds.size())
+            os << Num(e.histogram.upper_bounds[i]);
+          else
+            os << "null";
+          os << ", " << e.histogram.counts[i] << "]";
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace sor::obs

@@ -1,0 +1,180 @@
+// MetricsRegistry — the unified counter/gauge/histogram store (the
+// measurement substrate the paper built by hand-instrumenting its Android
+// client and sensing server for §V's energy/latency/coverage figures).
+//
+// Design goals, in order:
+//   1. Lock-cheap on the hot path. An increment is one relaxed atomic add;
+//      metrics the parallel tick loop hammers from many shards use
+//      per-thread cells (64-byte padded) that merge on read, so the
+//      ShardedExecutor's workers never bounce a cache line.
+//   2. Deterministic readouts. Counter and histogram values are sums —
+//      order-independent, so any thread count yields the same numbers.
+//      Gauges are last-write; components only set them from serialized
+//      contexts (the ordered network phase or serial driver code).
+//   3. Stable handles. counter()/gauge()/histogram() return references
+//      that stay valid for the registry's lifetime, so call sites resolve
+//      the name once and keep the pointer — the string map is off the hot
+//      path entirely.
+//
+// Naming scheme (docs/observability.md): dotted lowercase
+// "<layer>.<noun>[_<verb>]", e.g. "net.delivered", "phone.uploads_sent",
+// "sched.reschedules". Per-link metrics append |from=<endpoint>|to=<endpoint>
+// label suffixes via LabeledName().
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sor::obs {
+
+// How a metric's storage is laid out.
+enum class Sharding {
+  kSingle,     // one atomic cell — for metrics whose writers are serialized
+               // (per-link transport counters behind the ordered gate)
+  kPerThread,  // padded per-thread cells, merged on read — for metrics the
+               // parallel tick loop updates from every shard
+};
+
+namespace detail {
+
+inline constexpr std::size_t kCells = 16;
+
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+// Stable small index for the calling thread, assigned on first use. Two
+// threads may share a cell (kCells is a bound, not a guarantee); sharing
+// costs contention, never correctness — cells are summed on read.
+std::size_t ThreadCell();
+
+}  // namespace detail
+
+class Counter {
+ public:
+  explicit Counter(Sharding sharding);
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(std::uint64_t n = 1) {
+    cell(sharding_ == Sharding::kPerThread ? detail::ThreadCell() : 0)
+        .fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const;
+  void Reset();
+
+ private:
+  [[nodiscard]] std::atomic<std::uint64_t>& cell(std::size_t i) {
+    return cells_[i].v;
+  }
+  Sharding sharding_;
+  // kSingle uses cells_[0] only; kPerThread spreads across all of them.
+  std::vector<detail::PaddedCell> cells_;
+};
+
+// Last-write-wins double value (queue depths, last objective, ...). Writers
+// must be serialized for deterministic readouts; every current caller sets
+// gauges from serial driver code or behind the ordered network gate.
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+// Fixed-bucket histogram: counts of observations <= each upper bound, plus
+// a +inf overflow bucket, a running sum and a count. Buckets are fixed at
+// creation so merge-on-read is a plain per-bucket sum.
+class Histogram {
+ public:
+  Histogram(std::vector<double> upper_bounds, Sharding sharding);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double x);
+
+  struct Snapshot {
+    std::vector<double> upper_bounds;   // one per finite bucket
+    std::vector<std::uint64_t> counts;  // size = upper_bounds.size() + 1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  [[nodiscard]] Snapshot Read() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Cells {
+    explicit Cells(std::size_t n) : buckets(n) {}
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_bits{0};  // double, CAS-accumulated
+  };
+  std::vector<double> bounds_;
+  Sharding sharding_;
+  std::vector<std::unique_ptr<Cells>> cells_;
+};
+
+// Common bucket ladders.
+[[nodiscard]] std::vector<double> ExponentialBuckets(double start,
+                                                     double factor, int n);
+
+// "name|k1=v1|k2=v2" — the labeled-metric convention used for per-link
+// transport counters. Keys must be given in a fixed order by the caller so
+// the same link always maps to the same metric name.
+[[nodiscard]] std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. The sharding/buckets of an existing metric win; callers
+  // that disagree get the original (names are the identity).
+  Counter& counter(std::string_view name, Sharding s = Sharding::kSingle);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       Sharding s = Sharding::kSingle);
+
+  // Merged read of everything, sorted by name (deterministic export order).
+  struct Entry {
+    std::string name;
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    std::uint64_t counter_value = 0;      // kCounter
+    double gauge_value = 0.0;             // kGauge
+    Histogram::Snapshot histogram;        // kHistogram
+  };
+  [[nodiscard]] std::vector<Entry> Read() const;
+
+  // Human/machine readouts of Read().
+  [[nodiscard]] std::string RenderText() const;
+  [[nodiscard]] std::string RenderJson() const;
+
+  // Zero every metric (campaign boundaries in benches). Handles stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; values are internally atomic
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sor::obs

@@ -1,0 +1,203 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/stats.hpp"
+
+namespace sor::obs {
+
+std::vector<UploadSpan> BuildUploadSpans(const TraceData& trace) {
+  // (task, seq) -> span under construction. std::map keeps the output in
+  // (task, seq) order without a final sort.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, UploadSpan> spans;
+  // app id -> time the app's ranking became available.
+  std::map<std::uint64_t, std::int64_t> ranked_at;
+
+  auto at = [&spans](std::uint64_t task, std::uint64_t seq) -> UploadSpan& {
+    UploadSpan& s = spans[{task, seq}];
+    s.task = task;
+    s.seq = seq;
+    return s;
+  };
+
+  for (const TraceEvent& e : trace.events) {
+    switch (e.kind) {
+      case EventKind::kSenseBatch: {
+        UploadSpan& s = at(e.a, e.b);
+        if (s.t_sense < 0) s.t_sense = e.time_ms;
+        break;
+      }
+      case EventKind::kUploadFailed:
+        ++at(e.a, e.b).attempts;
+        break;
+      case EventKind::kUploadAcked: {
+        UploadSpan& s = at(e.a, e.b);
+        if (s.t_acked < 0) {
+          s.t_acked = e.time_ms;
+          ++s.attempts;  // the attempt that landed
+        }
+        break;
+      }
+      case EventKind::kUploadStored:
+      case EventKind::kUploadDeduped: {
+        UploadSpan& s = at(e.a, e.b);
+        if (s.t_stored < 0) {
+          s.t_stored = e.time_ms;
+          s.app = e.c;
+        }
+        break;
+      }
+      case EventKind::kBlobProcessed: {
+        UploadSpan& s = at(e.a, e.b);
+        if (s.t_processed < 0) s.t_processed = e.time_ms;
+        if (s.app == 0) s.app = e.c;
+        break;
+      }
+      case EventKind::kRankingDone: {
+        auto [it, inserted] = ranked_at.try_emplace(e.a, e.time_ms);
+        if (!inserted) it->second = e.time_ms;  // last ranking wins
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::vector<UploadSpan> out;
+  out.reserve(spans.size());
+  for (auto& [key, s] : spans) {
+    if (s.app != 0) {
+      if (auto it = ranked_at.find(s.app); it != ranked_at.end())
+        s.t_ranked = it->second;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TraceSummary Summarize(const TraceData& trace) {
+  TraceSummary s;
+  s.events = trace.events.size();
+  s.events_dropped = trace.dropped;
+
+  const std::vector<UploadSpan> spans = BuildUploadSpans(trace);
+  s.spans = spans.size();
+  std::vector<double> e2e;
+  std::vector<double> ack;
+  for (const UploadSpan& sp : spans) {
+    if (sp.t_acked >= 0) {
+      ++s.acked;
+      if (sp.t_sense >= 0)
+        ack.push_back(static_cast<double>(sp.t_acked - sp.t_sense));
+    }
+    if (sp.t_processed >= 0) ++s.processed;
+    if (sp.t_ranked >= 0) ++s.ranked;
+    if (const std::int64_t ms = sp.EndToEndMs(); ms >= 0)
+      e2e.push_back(static_cast<double>(ms));
+  }
+  if (!e2e.empty()) {
+    s.e2e_p50 = Percentile(e2e, 50.0);
+    s.e2e_p95 = Percentile(e2e, 95.0);
+    s.e2e_p99 = Percentile(e2e, 99.0);
+  }
+  if (!ack.empty()) {
+    s.ack_p50 = Percentile(ack, 50.0);
+    s.ack_p95 = Percentile(ack, 95.0);
+    s.ack_p99 = Percentile(ack, 99.0);
+  }
+
+  // Per-link delivery, keyed by (sender stream, peer stream). The transport
+  // records every msg_* event on the sender's stream with a = peer id.
+  std::map<std::pair<StreamId, StreamId>, LinkSummary> links;
+  auto name_of = [&trace](StreamId id) -> std::string {
+    if (id < trace.stream_names.size()) return trace.stream_names[id];
+    return "stream:" + std::to_string(id);
+  };
+  for (const TraceEvent& e : trace.events) {
+    switch (e.kind) {
+      case EventKind::kMsgSend:
+      case EventKind::kMsgDropped:
+      case EventKind::kMsgRespDropped:
+      case EventKind::kMsgCorrupted:
+      case EventKind::kMsgRespCorrupted:
+        break;
+      default:
+        continue;
+    }
+    LinkSummary& l = links[{e.stream, static_cast<StreamId>(e.a)}];
+    switch (e.kind) {
+      case EventKind::kMsgSend:
+        ++l.sends;
+        break;
+      case EventKind::kMsgDropped:
+        ++l.dropped;
+        break;
+      case EventKind::kMsgRespDropped:
+        ++l.resp_dropped;
+        break;
+      case EventKind::kMsgCorrupted:
+      case EventKind::kMsgRespCorrupted:
+        ++l.corrupted;
+        break;
+      default:
+        break;
+    }
+  }
+  s.links.reserve(links.size());
+  for (auto& [key, l] : links) {
+    l.from = name_of(key.first);
+    l.to = name_of(key.second);
+    s.links.push_back(std::move(l));
+  }
+  std::sort(s.links.begin(), s.links.end(),
+            [](const LinkSummary& a, const LinkSummary& b) {
+              return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+            });
+  return s;
+}
+
+namespace {
+
+// Percentiles are sim-time millisecond interpolations: render with %g so
+// "1500" stays "1500" and "1512.5" keeps its half — stable across platforms
+// since the inputs are exact ticks.
+std::string Ms(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string Pct(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderSummary(const TraceSummary& s) {
+  std::ostringstream os;
+  os << "trace summary\n";
+  os << "  events " << s.events << " (ring-dropped " << s.events_dropped
+     << ")\n";
+  os << "  upload spans " << s.spans << " (acked " << s.acked << ", processed "
+     << s.processed << ", ranked " << s.ranked << ")\n";
+  os << "  sense->ack ms  p50=" << Ms(s.ack_p50) << " p95=" << Ms(s.ack_p95)
+     << " p99=" << Ms(s.ack_p99) << "\n";
+  os << "  sense->end ms  p50=" << Ms(s.e2e_p50) << " p95=" << Ms(s.e2e_p95)
+     << " p99=" << Ms(s.e2e_p99) << "\n";
+  os << "  links\n";
+  for (const LinkSummary& l : s.links) {
+    os << "    " << l.from << " -> " << l.to << "  sends=" << l.sends
+       << " dropped=" << l.dropped << " resp_dropped=" << l.resp_dropped
+       << " corrupted=" << l.corrupted << " drop_rate=" << Pct(l.drop_rate())
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sor::obs

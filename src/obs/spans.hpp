@@ -1,0 +1,90 @@
+// Span timelines — stitch trace events into end-to-end latency records.
+//
+// The unit of work SOR ships through its pipeline is one upload batch: a
+// task instance executes its scheduled instants (sense), the frontend
+// sends the batch (upload), the server commits it to raw_data and
+// acknowledges (ack), the Data Processor decodes it into feature data
+// (process), and the Personalizable Ranker folds the features into a
+// ranking (rank). BuildUploadSpans() keys each batch by (task, seq) and
+// extracts one milestone timestamp per stage from the trace, so the
+// latencies the paper measured by hand-instrumenting its prototype fall
+// out of any recorded trace.
+//
+// All timestamps are simulated milliseconds; -1 marks a milestone the
+// batch never reached (e.g. an upload still queued when the trace ended).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace sor::obs {
+
+struct UploadSpan {
+  std::uint64_t task = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t app = 0;          // learned at the server (0 = never arrived)
+  std::int64_t t_sense = -1;      // batch collected on the phone
+  std::int64_t t_acked = -1;      // phone saw the server's Ack
+  std::int64_t t_stored = -1;     // raw_data row committed
+  std::int64_t t_processed = -1;  // Data Processor decoded the blob
+  std::int64_t t_ranked = -1;     // app's final ranking available
+  int attempts = 0;               // sends tried (1 = first try landed)
+
+  // Milliseconds from sense to the furthest milestone reached, or -1 when
+  // the batch never produced a server-visible effect.
+  [[nodiscard]] std::int64_t EndToEndMs() const {
+    const std::int64_t end =
+        t_ranked >= 0 ? t_ranked
+        : t_processed >= 0 ? t_processed
+        : t_stored >= 0 ? t_stored
+        : t_acked;
+    return end >= 0 && t_sense >= 0 ? end - t_sense : -1;
+  }
+
+  friend bool operator==(const UploadSpan&, const UploadSpan&) = default;
+};
+
+// Spans in (task, seq) order — deterministic for a deterministic trace.
+[[nodiscard]] std::vector<UploadSpan> BuildUploadSpans(const TraceData& trace);
+
+// One (from, to) endpoint pair's delivery record, from the msg_* events.
+struct LinkSummary {
+  std::string from;
+  std::string to;
+  std::uint64_t sends = 0;
+  std::uint64_t dropped = 0;        // request leg (incl. partition windows)
+  std::uint64_t resp_dropped = 0;   // lost Acks
+  std::uint64_t corrupted = 0;
+
+  [[nodiscard]] double drop_rate() const {
+    return sends == 0
+               ? 0.0
+               : static_cast<double>(dropped + resp_dropped) /
+                     static_cast<double>(sends);
+  }
+};
+
+struct TraceSummary {
+  std::size_t events = 0;
+  std::uint64_t events_dropped = 0;  // lost to ring bounds
+  std::size_t spans = 0;             // upload batches seen
+  std::size_t acked = 0;
+  std::size_t processed = 0;
+  std::size_t ranked = 0;
+  // Percentiles over EndToEndMs() of completed spans (ms).
+  double e2e_p50 = 0.0, e2e_p95 = 0.0, e2e_p99 = 0.0;
+  // Percentiles over (t_acked - t_sense) of acked spans (ms): the
+  // phone-visible upload latency, including every retry backoff.
+  double ack_p50 = 0.0, ack_p95 = 0.0, ack_p99 = 0.0;
+  std::vector<LinkSummary> links;  // sorted by (from, to)
+};
+
+[[nodiscard]] TraceSummary Summarize(const TraceData& trace);
+
+// The `sor trace --summary` output (golden-tested in tests/test_obs.cpp).
+[[nodiscard]] std::string RenderSummary(const TraceSummary& s);
+
+}  // namespace sor::obs

@@ -1,0 +1,215 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace sor::obs {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr std::array kKindNames = {
+    KindName{EventKind::kMsgSend, "msg_send"},
+    KindName{EventKind::kMsgDelivered, "msg_delivered"},
+    KindName{EventKind::kMsgDropped, "msg_dropped"},
+    KindName{EventKind::kMsgCorrupted, "msg_corrupted"},
+    KindName{EventKind::kMsgDuplicated, "msg_duplicated"},
+    KindName{EventKind::kMsgRespDropped, "msg_resp_dropped"},
+    KindName{EventKind::kMsgRespCorrupted, "msg_resp_corrupted"},
+    KindName{EventKind::kFaultLatency, "fault_latency"},
+    KindName{EventKind::kTaskScheduled, "task_scheduled"},
+    KindName{EventKind::kTaskRefused, "task_refused"},
+    KindName{EventKind::kSenseBatch, "sense_batch"},
+    KindName{EventKind::kUploadAcked, "upload_acked"},
+    KindName{EventKind::kUploadFailed, "upload_failed"},
+    KindName{EventKind::kUploadEvicted, "upload_evicted"},
+    KindName{EventKind::kLeaveQueued, "leave_queued"},
+    KindName{EventKind::kLeaveAcked, "leave_acked"},
+    KindName{EventKind::kParticipationAccepted, "participation_accepted"},
+    KindName{EventKind::kParticipationRejected, "participation_rejected"},
+    KindName{EventKind::kUploadStored, "upload_stored"},
+    KindName{EventKind::kUploadDeduped, "upload_deduped"},
+    KindName{EventKind::kTaskFinished, "task_finished"},
+    KindName{EventKind::kServerRestored, "server_restored"},
+    KindName{EventKind::kSchedulePlanned, "schedule_planned"},
+    KindName{EventKind::kScheduleCommitted, "schedule_committed"},
+    KindName{EventKind::kScheduleDistributed, "schedule_distributed"},
+    KindName{EventKind::kBlobProcessed, "blob_processed"},
+    KindName{EventKind::kAppProcessed, "app_processed"},
+    KindName{EventKind::kRankingDone, "ranking_done"},
+};
+
+}  // namespace
+
+const char* to_string(EventKind k) {
+  for (const KindName& kn : kKindNames)
+    if (kn.kind == k) return kn.name;
+  return "unknown";
+}
+
+bool ParseEventKind(std::string_view name, EventKind* out) {
+  for (const KindName& kn : kKindNames) {
+    if (name == kn.name) {
+      *out = kn.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+Tracer::Tracer(std::size_t capacity_per_stream)
+    : capacity_(capacity_per_stream) {}
+
+StreamId Tracer::RegisterStream(std::string_view name) {
+  std::lock_guard lock(mu_);
+  if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  const StreamId id = static_cast<StreamId>(streams_.size());
+  streams_.push_back(std::make_unique<Stream>(std::string(name)));
+  streams_.back()->capacity = capacity_ > 0 ? capacity_ : 1;
+  streams_.back()->ring.reserve(
+      std::min<std::size_t>(streams_.back()->capacity, 1024));
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+const std::string& Tracer::stream_name(StreamId id) const {
+  std::lock_guard lock(mu_);
+  static const std::string kUnknown = "?";
+  if (id >= streams_.size()) return kUnknown;
+  return streams_[id]->name;
+}
+
+std::size_t Tracer::num_streams() const {
+  std::lock_guard lock(mu_);
+  return streams_.size();
+}
+
+void Tracer::Emit(StreamId stream, SimTime t, EventKind kind, std::uint64_t a,
+                  std::uint64_t b, std::uint64_t c) {
+  if (!enabled()) return;
+  Stream* s;
+  {
+    std::lock_guard lock(mu_);
+    if (stream >= streams_.size()) return;
+    s = streams_[stream].get();
+  }
+  TraceEvent e;
+  e.time_ms = t.ms;
+  e.stream = stream;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  std::lock_guard lock(s->mu);
+  e.seq = s->next_seq++;
+  if (s->ring.size() < s->capacity) {
+    s->ring.push_back(e);
+  } else {
+    // Overwrite the oldest slot; seq keeps counting so the gap is visible.
+    s->ring[static_cast<std::size_t>(e.seq % s->capacity)] = e;
+    ++s->dropped;
+  }
+}
+
+std::vector<TraceEvent> Tracer::Merged() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mu_);
+    for (const std::unique_ptr<Stream>& s : streams_) {
+      std::lock_guard ring_lock(s->mu);
+      out.insert(out.end(), s->ring.begin(), s->ring.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.time_ms != y.time_ms) return x.time_ms < y.time_ms;
+              if (x.stream != y.stream) return x.stream < y.stream;
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+TraceData Tracer::Snapshot() const {
+  TraceData data;
+  {
+    std::lock_guard lock(mu_);
+    data.stream_names.reserve(streams_.size());
+    for (const std::unique_ptr<Stream>& s : streams_)
+      data.stream_names.push_back(s->name);
+  }
+  data.events = Merged();
+  data.dropped = total_dropped();
+  return data;
+}
+
+std::uint64_t Tracer::dropped(StreamId stream) const {
+  std::lock_guard lock(mu_);
+  if (stream >= streams_.size()) return 0;
+  std::lock_guard ring_lock(streams_[stream]->mu);
+  return streams_[stream]->dropped;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<Stream>& s : streams_) {
+    std::lock_guard ring_lock(s->mu);
+    total += s->dropped;
+  }
+  return total;
+}
+
+std::size_t Tracer::total_events() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const std::unique_ptr<Stream>& s : streams_) {
+    std::lock_guard ring_lock(s->mu);
+    total += s->ring.size();
+  }
+  return total;
+}
+
+namespace {
+
+inline void FnvMix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+}
+
+}  // namespace
+
+std::uint64_t Fingerprint(const TraceData& trace) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::string& name : trace.stream_names) {
+    for (char c : name) FnvMix(h, static_cast<std::uint8_t>(c));
+  }
+  FnvMix(h, trace.dropped);
+  for (const TraceEvent& e : trace.events) {
+    FnvMix(h, static_cast<std::uint64_t>(e.time_ms));
+    FnvMix(h, e.stream);
+    FnvMix(h, e.seq);
+    FnvMix(h, static_cast<std::uint64_t>(e.kind));
+    FnvMix(h, e.a);
+    FnvMix(h, e.b);
+    FnvMix(h, e.c);
+  }
+  return h;
+}
+
+std::uint64_t Tracer::Fingerprint() const {
+  return obs::Fingerprint(Snapshot());
+}
+
+void Tracer::Clear() {
+  std::lock_guard lock(mu_);
+  streams_.clear();
+  by_name_.clear();
+}
+
+}  // namespace sor::obs

@@ -1,0 +1,175 @@
+// Deterministic event tracer.
+//
+// Every traced component owns a *stream* — a bounded ring buffer of typed
+// events stamped with sim-time and a per-stream sequence number (the
+// event's rank inside its stream). Streams are single-writer by
+// construction: a phone's stream is written only by the shard ticking that
+// phone, and the server-side streams are written behind the network's
+// ordered-delivery gate, which admits one ranked sender at a time (see
+// docs/runtime.md). A mutex per stream keeps the rings safe for any stray
+// concurrent writer, but ordering never depends on it.
+//
+// Determinism contract: with deterministically ordered writers (the
+// sharded runtime's contract), the (stream, seq) assignment of every event
+// is independent of thread count, so Merged() — a stable sort by
+// (time, stream, seq) — and Fingerprint() are byte-identical across
+// threads ∈ {1, 2, 8, ...}. This is verified by ObsDeterminism.* in
+// tests/test_obs.cpp and by the CI observability stage.
+//
+// Ring bound: when a stream overflows, the oldest events are overwritten
+// and counted in dropped(); seq keeps counting, so a truncated trace still
+// exposes exactly *what* was lost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace sor::obs {
+
+// Typed events across the phone↔server pipeline. Payload fields a/b/c are
+// kind-specific (documented per enumerator and in docs/observability.md).
+enum class EventKind : std::uint8_t {
+  // --- transport (recorded on the *sender's* stream; a = peer stream id) --
+  kMsgSend = 1,        // b = frame bytes, c = message type
+  kMsgDelivered,       // request reached the handler intact
+  kMsgDropped,         // request lost; b = 1 when a partition caused it
+  kMsgCorrupted,       // request delivered with a flipped byte
+  kMsgDuplicated,      // handler ran twice on the same frame
+  kMsgRespDropped,     // handler ran, reply lost (lost Ack); b = 1 partition
+  kMsgRespCorrupted,   // reply mangled in transit
+  kFaultLatency,       // b = injected ms, c = leg (0 request, 1 response)
+  // --- phone -------------------------------------------------------------
+  kTaskScheduled,      // a = task, b = #instants
+  kTaskRefused,        // a = task, b = sensor kind (capability gate)
+  kSenseBatch,         // a = task, b = upload seq, c = #tuples collected
+  kUploadAcked,        // a = task, b = upload seq
+  kUploadFailed,       // a = task, b = upload seq, c = attempt number
+  kUploadEvicted,      // a = task, b = upload seq (queue bound hit)
+  kLeaveQueued,        // a = task (leave not yet acknowledged)
+  kLeaveAcked,         // a = task
+  // --- server ------------------------------------------------------------
+  kParticipationAccepted,  // a = task, b = app
+  kParticipationRejected,  // a = app
+  kUploadStored,       // db commit of a raw_data row: a = task, b = seq, c = app
+  kUploadDeduped,      // a = task, b = seq (retry of stored data, re-acked)
+  kTaskFinished,       // a = task (leave processed)
+  kServerRestored,     // a = raw rows recovered from snapshot
+  // --- scheduler ---------------------------------------------------------
+  kSchedulePlanned,     // a = app, b = #active users, c = objective (milli)
+  kScheduleCommitted,   // db commit of a schedules row: a = task, c = app
+  kScheduleDistributed, // a = task, b = #instants, c = app
+  // --- data processor ----------------------------------------------------
+  kBlobProcessed,      // a = task, b = seq, c = app
+  kAppProcessed,       // a = app, b = #feature values written
+  // --- system ------------------------------------------------------------
+  kRankingDone,        // a = app (place's final rankings are available)
+};
+
+[[nodiscard]] const char* to_string(EventKind k);
+// Inverse of to_string; returns false for an unknown name.
+[[nodiscard]] bool ParseEventKind(std::string_view name, EventKind* out);
+
+using StreamId = std::uint32_t;
+
+struct TraceEvent {
+  std::int64_t time_ms = 0;  // sim-time stamp
+  StreamId stream = 0;
+  std::uint64_t seq = 0;     // rank within the stream (monotone, gap-free)
+  EventKind kind = EventKind::kMsgSend;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+// A self-contained trace: the canonical event order plus the stream-name
+// table payload stream ids refer to. This is what the exporters write, the
+// JSONL reader reconstructs, and the span builder consumes.
+struct TraceData {
+  std::vector<std::string> stream_names;  // index == StreamId
+  std::vector<TraceEvent> events;         // (time, stream, seq) order
+  std::uint64_t dropped = 0;              // events lost to ring bounds
+
+  friend bool operator==(const TraceData&, const TraceData&) = default;
+};
+
+// FNV-1a over the stream names, drop count, and canonical event order — the
+// value the determinism tests compare across thread counts.
+// Tracer::Fingerprint() is exactly Fingerprint(Snapshot()), so a trace read
+// back from JSONL fingerprints identically to the tracer that recorded it.
+[[nodiscard]] std::uint64_t Fingerprint(const TraceData& trace);
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity_per_stream = 1 << 16);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Tracing is off by default: Emit() is a single relaxed load + branch.
+  void set_enabled(bool v) { enabled_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Applies to streams registered afterwards.
+  void set_capacity(std::size_t c) { capacity_ = c; }
+
+  // Find-or-create the stream for `name`. Deterministic stream ids require
+  // deterministic registration order: components register their streams
+  // from serial setup code or behind the ordered network gate (both are
+  // thread-count invariant). Handles stay valid for the tracer's lifetime.
+  StreamId RegisterStream(std::string_view name);
+  [[nodiscard]] const std::string& stream_name(StreamId id) const;
+  [[nodiscard]] std::size_t num_streams() const;
+
+  void Emit(StreamId stream, SimTime t, EventKind kind, std::uint64_t a = 0,
+            std::uint64_t b = 0, std::uint64_t c = 0);
+
+  // All retained events in the canonical deterministic order:
+  // (time_ms, stream, seq). (stream, seq) is unique, so the order is total.
+  [[nodiscard]] std::vector<TraceEvent> Merged() const;
+
+  // Merged events + stream names + drop total, ready for export/analysis.
+  [[nodiscard]] TraceData Snapshot() const;
+
+  [[nodiscard]] std::uint64_t dropped(StreamId stream) const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+  [[nodiscard]] std::size_t total_events() const;
+
+  // FNV-1a over the merged events, stream names and drop counts — the
+  // fingerprint the determinism tests compare across thread counts.
+  [[nodiscard]] std::uint64_t Fingerprint() const;
+
+  // Forget all streams and events (campaign boundary). Stream ids from
+  // before the clear are invalidated.
+  void Clear();
+
+ private:
+  struct Stream {
+    explicit Stream(std::string n) : name(std::move(n)) {}
+    std::string name;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;  // capacity-bounded, ring[seq % cap]
+    std::size_t capacity = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_;
+  mutable std::mutex mu_;  // guards streams_ layout (not the rings)
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::map<std::string, StreamId, std::less<>> by_name_;
+};
+
+}  // namespace sor::obs

@@ -1,0 +1,324 @@
+#include "obs/trace_io.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/spans.hpp"
+
+namespace sor::obs {
+
+namespace {
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+// --- minimal strict scanner for the two line shapes we emit ---------------
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view s) : s_(s) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char ch = s_[pos_++];
+      if (ch == '"') return true;
+      if (ch == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return false;
+            }
+            if (v > 0x7f) return false;  // we only ever escape control chars
+            out->push_back(static_cast<char>(v));
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(ch);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseU64(std::uint64_t* out) {
+    SkipWs();
+    if (pos_ >= s_.size() ||
+        !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      return false;
+    std::uint64_t v = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(s_[pos_] - '0');
+      ++pos_;
+    }
+    *out = v;
+    return true;
+  }
+
+  bool ParseI64(std::int64_t* out) {
+    SkipWs();
+    bool neg = false;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    std::uint64_t v = 0;
+    if (!ParseU64(&v)) return false;
+    *out = neg ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+    return true;
+  }
+
+  // Expects  "key":  next (after an optional leading comma was consumed).
+  bool ParseKey(std::string_view key) {
+    std::string k;
+    return ParseString(&k) && k == key && Consume(':');
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= s_.size();
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool Fail(std::string* error, std::size_t line_no, std::string_view why) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + std::string(why);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string WriteJsonLines(const TraceData& trace) {
+  std::string out;
+  out += "{\"streams\":[";
+  for (std::size_t i = 0; i < trace.stream_names.size(); ++i) {
+    if (i) out += ',';
+    AppendJsonString(out, trace.stream_names[i]);
+  }
+  out += "],\"dropped\":";
+  out += std::to_string(trace.dropped);
+  out += "}\n";
+  for (const TraceEvent& e : trace.events) {
+    out += "{\"t\":";
+    out += std::to_string(e.time_ms);
+    out += ",\"s\":";
+    out += std::to_string(e.stream);
+    out += ",\"q\":";
+    out += std::to_string(e.seq);
+    out += ",\"k\":\"";
+    out += to_string(e.kind);
+    out += "\",\"a\":";
+    out += std::to_string(e.a);
+    out += ",\"b\":";
+    out += std::to_string(e.b);
+    out += ",\"c\":";
+    out += std::to_string(e.c);
+    out += "}\n";
+  }
+  return out;
+}
+
+bool ReadJsonLines(std::string_view text, TraceData* out, std::string* error) {
+  TraceData data;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  bool saw_header = false;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    // Skip blank lines (trailing newline produces one).
+    bool blank = true;
+    for (char c : line)
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    if (blank) {
+      if (start > text.size()) break;
+      continue;
+    }
+
+    Scanner sc(line);
+    if (!sc.Consume('{')) return Fail(error, line_no, "expected '{'");
+    if (!saw_header) {
+      if (!sc.ParseKey("streams") || !sc.Consume('['))
+        return Fail(error, line_no, "bad header: expected \"streams\":[");
+      if (!sc.Consume(']')) {
+        do {
+          std::string name;
+          if (!sc.ParseString(&name))
+            return Fail(error, line_no, "bad stream name");
+          data.stream_names.push_back(std::move(name));
+        } while (sc.Consume(','));
+        if (!sc.Consume(']'))
+          return Fail(error, line_no, "unterminated stream list");
+      }
+      if (!sc.Consume(',') || !sc.ParseKey("dropped") ||
+          !sc.ParseU64(&data.dropped))
+        return Fail(error, line_no, "bad header: expected \"dropped\":N");
+      if (!sc.Consume('}') || !sc.AtEnd())
+        return Fail(error, line_no, "trailing content in header");
+      saw_header = true;
+      continue;
+    }
+
+    TraceEvent e;
+    std::string kind_name;
+    std::uint64_t stream = 0;
+    if (!sc.ParseKey("t") || !sc.ParseI64(&e.time_ms) || !sc.Consume(',') ||
+        !sc.ParseKey("s") || !sc.ParseU64(&stream) || !sc.Consume(',') ||
+        !sc.ParseKey("q") || !sc.ParseU64(&e.seq) || !sc.Consume(',') ||
+        !sc.ParseKey("k") || !sc.ParseString(&kind_name) || !sc.Consume(',') ||
+        !sc.ParseKey("a") || !sc.ParseU64(&e.a) || !sc.Consume(',') ||
+        !sc.ParseKey("b") || !sc.ParseU64(&e.b) || !sc.Consume(',') ||
+        !sc.ParseKey("c") || !sc.ParseU64(&e.c))
+      return Fail(error, line_no, "bad event");
+    if (!sc.Consume('}') || !sc.AtEnd())
+      return Fail(error, line_no, "trailing content in event");
+    if (!ParseEventKind(kind_name, &e.kind))
+      return Fail(error, line_no, "unknown event kind '" + kind_name + "'");
+    if (stream >= data.stream_names.size())
+      return Fail(error, line_no, "stream id out of range");
+    e.stream = static_cast<StreamId>(stream);
+    data.events.push_back(e);
+  }
+  if (!saw_header) return Fail(error, line_no, "missing header line");
+  *out = std::move(data);
+  return true;
+}
+
+std::string WriteChromeTrace(const TraceData& trace) {
+  std::string out;
+  out += "[";
+  bool first = true;
+  auto sep = [&out, &first]() {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  // Track names: one "thread" per stream inside pid 0.
+  for (std::size_t i = 0; i < trace.stream_names.size(); ++i) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(i) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    AppendJsonString(out, trace.stream_names[i]);
+    out += "}}";
+  }
+  for (const TraceEvent& e : trace.events) {
+    sep();
+    out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" +
+           std::to_string(e.stream) +
+           ",\"ts\":" + std::to_string(e.time_ms * 1000) + ",\"name\":\"" +
+           to_string(e.kind) + "\",\"args\":{\"a\":" + std::to_string(e.a) +
+           ",\"b\":" + std::to_string(e.b) + ",\"c\":" + std::to_string(e.c) +
+           "}}";
+  }
+  // Stitched upload spans as duration slices on a dedicated track.
+  const std::uint64_t span_tid = trace.stream_names.size();
+  bool emitted_span = false;
+  for (const UploadSpan& s : BuildUploadSpans(trace)) {
+    const std::int64_t dur = s.EndToEndMs();
+    if (dur < 0) continue;
+    if (!emitted_span) {
+      sep();
+      out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(span_tid) +
+             ",\"name\":\"thread_name\",\"args\":{\"name\":\"spans\"}}";
+      emitted_span = true;
+    }
+    sep();
+    out += "{\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(span_tid) +
+           ",\"ts\":" + std::to_string(s.t_sense * 1000) +
+           ",\"dur\":" + std::to_string(dur * 1000) + ",\"name\":\"task" +
+           std::to_string(s.task) + "/seq" + std::to_string(s.seq) +
+           "\",\"args\":{\"app\":" + std::to_string(s.app) +
+           ",\"attempts\":" + std::to_string(s.attempts) + "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace sor::obs

@@ -1,0 +1,35 @@
+// Trace export/import.
+//
+// Two formats:
+//   * JSON-lines — the interchange format. Line 1 is a header carrying the
+//     stream-name table and the ring-drop count; every following line is
+//     one event. Writing a TraceData and reading it back reproduces it
+//     exactly (round-trip tested), so `sor trace --summary <file>` analyses
+//     offline what the simulator recorded online.
+//   * Chrome trace_event JSON — load in chrome://tracing or Perfetto.
+//     Each stream becomes a named track; events are instants and stitched
+//     upload spans become duration slices on a "spans" track.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace sor::obs {
+
+// Header: {"streams":["name",...],"dropped":N}
+// Event:  {"t":<ms>,"s":<stream id>,"q":<seq>,"k":"<kind>","a":..,"b":..,"c":..}
+[[nodiscard]] std::string WriteJsonLines(const TraceData& trace);
+
+// Strict inverse of WriteJsonLines. Returns false (and leaves *out
+// untouched) on any malformed line; *error gets a one-line reason when
+// non-null.
+[[nodiscard]] bool ReadJsonLines(std::string_view text, TraceData* out,
+                                 std::string* error = nullptr);
+
+// Chrome trace_event "JSON Array Format" (chrome://tracing / Perfetto).
+// Sim-time milliseconds map to trace microseconds (ts = ms * 1000).
+[[nodiscard]] std::string WriteChromeTrace(const TraceData& trace);
+
+}  // namespace sor::obs

@@ -27,6 +27,42 @@ MobileFrontend::MobileFrontend(FrontendConfig config,
 
 MobileFrontend::~MobileFrontend() { network_.Unregister(EndpointName()); }
 
+void MobileFrontend::AttachObservability(obs::MetricsRegistry* registry,
+                                         obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) stream_ = tracer_->RegisterStream(EndpointName());
+  if (registry == nullptr) {
+    obs_ = PhoneCounters{};
+    return;
+  }
+  const auto per_thread = obs::Sharding::kPerThread;
+  obs_.uploads_sent = &registry->counter("phone.uploads_sent", per_thread);
+  obs_.upload_failures =
+      &registry->counter("phone.upload_failures", per_thread);
+  obs_.uploads_retried =
+      &registry->counter("phone.uploads_retried", per_thread);
+  obs_.uploads_evicted =
+      &registry->counter("phone.uploads_evicted", per_thread);
+  obs_.leaves_retried = &registry->counter("phone.leaves_retried", per_thread);
+  obs_.schedules_received =
+      &registry->counter("phone.schedules_received", per_thread);
+  obs_.schedules_refused =
+      &registry->counter("phone.schedules_refused", per_thread);
+  obs_.pings_answered = &registry->counter("phone.pings_answered", per_thread);
+  obs_.decode_failures =
+      &registry->counter("phone.decode_failures", per_thread);
+  obs_.tuples_collected =
+      &registry->counter("phone.tuples_collected", per_thread);
+  obs_.upload_attempts = &registry->histogram(
+      "phone.upload_attempts", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}, per_thread);
+}
+
+void MobileFrontend::Trace(obs::EventKind kind, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c) {
+  if (tracer_ != nullptr && tracer_->enabled())
+    tracer_->Emit(stream_, clock_.now(), kind, a, b, c);
+}
+
 GeoPoint MobileFrontend::ReportedLocation() {
   GeoPoint p = env_.Position(clock_.now());
   if (prefs_.coarse_location()) {
@@ -96,7 +132,10 @@ Status MobileFrontend::LeavePlace() {
       // The server may never have heard this; queue it so Tick() keeps
       // retrying until it is acknowledged (OnLeave is idempotent).
       pending_leaves_.push_back(note);
+      Trace(obs::EventKind::kLeaveQueued, id.value());
       overall = Status(reply.error());
+    } else {
+      Trace(obs::EventKind::kLeaveAcked, id.value());
     }
     task.Finish();
   }
@@ -132,8 +171,11 @@ void MobileFrontend::EnqueueUpload(TaskId task, std::uint64_t seq,
                                    int attempts) {
   if (pending_uploads_.size() >= config_.max_pending_uploads &&
       !pending_uploads_.empty()) {
+    const PendingUpload& oldest = pending_uploads_.front();
+    Trace(obs::EventKind::kUploadEvicted, oldest.task.value(), oldest.seq);
     pending_uploads_.pop_front();  // evict the oldest; the bound holds
     ++stats_.uploads_dropped;
+    if (obs_.uploads_evicted != nullptr) obs_.uploads_evicted->Inc();
   }
   PendingUpload p;
   p.task = task;
@@ -153,6 +195,8 @@ void MobileFrontend::Tick() {
     Result<Message> reply = network_.Send(EndpointName(), server_, *it);
     if (reply.ok()) {
       ++stats_.leaves_retried;
+      if (obs_.leaves_retried != nullptr) obs_.leaves_retried->Inc();
+      Trace(obs::EventKind::kLeaveAcked, it->task.value());
       it = pending_leaves_.erase(it);
     } else {
       ++it;
@@ -173,10 +217,18 @@ void MobileFrontend::Tick() {
       continue;
     }
     ++stats_.uploads_retried;
+    if (obs_.uploads_retried != nullptr) obs_.uploads_retried->Inc();
     if (TrySendUpload(p.task, p.seq, p.batches)) {
       ++stats_.uploads_sent;
+      if (obs_.uploads_sent != nullptr) obs_.uploads_sent->Inc();
+      if (obs_.upload_attempts != nullptr)
+        obs_.upload_attempts->Observe(static_cast<double>(p.attempts + 1));
+      Trace(obs::EventKind::kUploadAcked, p.task.value(), p.seq);
     } else {
       ++stats_.upload_failures;
+      if (obs_.upload_failures != nullptr) obs_.upload_failures->Inc();
+      Trace(obs::EventKind::kUploadFailed, p.task.value(), p.seq,
+            static_cast<std::uint64_t>(p.attempts + 1));
       EnqueueUpload(p.task, p.seq, std::move(p.batches), p.attempts + 1);
     }
   }
@@ -185,10 +237,18 @@ void MobileFrontend::Tick() {
     std::vector<ReadingTuple> collected = task.RunDue(now, sensors_, prefs_);
     if (collected.empty()) continue;
     const std::uint64_t seq = next_seq_++;
+    if (obs_.tuples_collected != nullptr)
+      obs_.tuples_collected->Inc(collected.size());
+    Trace(obs::EventKind::kSenseBatch, id.value(), seq, collected.size());
     if (TrySendUpload(id, seq, collected)) {
       ++stats_.uploads_sent;
+      if (obs_.uploads_sent != nullptr) obs_.uploads_sent->Inc();
+      if (obs_.upload_attempts != nullptr) obs_.upload_attempts->Observe(1.0);
+      Trace(obs::EventKind::kUploadAcked, id.value(), seq);
     } else {
       ++stats_.upload_failures;
+      if (obs_.upload_failures != nullptr) obs_.upload_failures->Inc();
+      Trace(obs::EventKind::kUploadFailed, id.value(), seq, 1);
       // Keep the data; retry with backoff (store-and-forward).
       EnqueueUpload(id, seq, std::move(collected), 1);
     }
@@ -205,6 +265,7 @@ Bytes MobileFrontend::HandleFrame(std::span<const std::uint8_t> frame) {
   Result<Message> decoded = DecodeFrame(frame);
   if (!decoded.ok()) {
     ++stats_.decode_failures;
+    if (obs_.decode_failures != nullptr) obs_.decode_failures->Inc();
     return EncodeFrame(ErrorReply{
         static_cast<std::uint8_t>(decoded.error().code),
         decoded.error().message});
@@ -221,6 +282,9 @@ Message MobileFrontend::HandleMessage(const Message& m) {
     for (SensorKind kind : sched->required_sensors) {
       if (!sensors_.Supports(kind)) {
         ++stats_.schedules_refused;
+        if (obs_.schedules_refused != nullptr) obs_.schedules_refused->Inc();
+        Trace(obs::EventKind::kTaskRefused, sched->task.value(),
+              static_cast<std::uint64_t>(kind));
         SOR_LOG(kWarn, "frontend",
                 "refusing task " << sched->task.str() << ": no provider for '"
                                  << to_string(kind) << "'");
@@ -240,6 +304,9 @@ Message MobileFrontend::HandleMessage(const Message& m) {
       if (t > last_tick_) instants.push_back(t);
     }
     ++stats_.schedules_received;
+    if (obs_.schedules_received != nullptr) obs_.schedules_received->Inc();
+    Trace(obs::EventKind::kTaskScheduled, sched->task.value(),
+          instants.size());
     tasks_.insert_or_assign(
         sched->task,
         TaskInstance(sched->task, sched->app, sched->script,
@@ -252,6 +319,7 @@ Message MobileFrontend::HandleMessage(const Message& m) {
   }
   if (std::get_if<Ping>(&m) != nullptr) {
     ++stats_.pings_answered;
+    if (obs_.pings_answered != nullptr) obs_.pings_answered->Inc();
     return PingReply{config_.phone_id, ReportedLocation(), clock_.now()};
   }
   return ErrorReply{static_cast<std::uint8_t>(Errc::kInvalidArgument),

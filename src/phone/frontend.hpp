@@ -21,6 +21,8 @@
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phone/task_instance.hpp"
 #include "sensors/manager.hpp"
 #include "sensors/providers.hpp"
@@ -72,6 +74,14 @@ class MobileFrontend final : public net::Endpoint {
   [[nodiscard]] sensors::BluetoothLink& bluetooth() { return bluetooth_; }
   [[nodiscard]] const FrontendStats& stats() const { return stats_; }
   [[nodiscard]] const FrontendConfig& config() const { return config_; }
+
+  // Hook this phone into the shared telemetry. Fleet-wide "phone.*"
+  // counters (per-thread sharded — every shard's phones bump the same
+  // names) complement the per-phone FrontendStats; the tracer gets one
+  // stream named EndpointName(). Call from serial setup code only: stream
+  // ids must be assigned in a thread-count-invariant order.
+  void AttachObservability(obs::MetricsRegistry* registry,
+                           obs::Tracer* tracer);
 
   // --- user actions ------------------------------------------------------
   // Scan the barcode deployed at the target place. On success the server
@@ -131,6 +141,9 @@ class MobileFrontend final : public net::Endpoint {
   [[nodiscard]] SimDuration Backoff(int attempts);
   void EnqueueUpload(TaskId task, std::uint64_t seq,
                      std::vector<ReadingTuple> batches, int attempts);
+  // Emit on this phone's trace stream (no-op when tracing is off).
+  void Trace(obs::EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
+             std::uint64_t c = 0);
 
   FrontendConfig config_;
   net::LoopbackNetwork& network_;
@@ -153,6 +166,24 @@ class MobileFrontend final : public net::Endpoint {
   Rng retry_rng_{0};            // re-seeded from config in the constructor
   SimTime last_tick_;
   FrontendStats stats_;
+
+  // Shared-telemetry handles (null until AttachObservability).
+  obs::Tracer* tracer_ = nullptr;
+  obs::StreamId stream_ = 0;
+  struct PhoneCounters {
+    obs::Counter* uploads_sent = nullptr;
+    obs::Counter* upload_failures = nullptr;
+    obs::Counter* uploads_retried = nullptr;
+    obs::Counter* uploads_evicted = nullptr;
+    obs::Counter* leaves_retried = nullptr;
+    obs::Counter* schedules_received = nullptr;
+    obs::Counter* schedules_refused = nullptr;
+    obs::Counter* pings_answered = nullptr;
+    obs::Counter* decode_failures = nullptr;
+    obs::Counter* tuples_collected = nullptr;
+    obs::Histogram* upload_attempts = nullptr;  // attempts until the Ack
+  };
+  PhoneCounters obs_;
 };
 
 }  // namespace sor::phone

@@ -128,6 +128,25 @@ double ExtractFeature(const FeatureDef& def, const AppRawData& data,
 
 }  // namespace
 
+void DataProcessor::AttachObservability(obs::MetricsRegistry* registry,
+                                        obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    obs_ = ProcessorCounters{};
+    return;
+  }
+  const auto per_thread = obs::Sharding::kPerThread;
+  obs_.blobs_decoded =
+      &registry->counter("processor.blobs_decoded", per_thread);
+  obs_.blobs_rejected =
+      &registry->counter("processor.blobs_rejected", per_thread);
+  obs_.tuples_processed =
+      &registry->counter("processor.tuples_processed", per_thread);
+  obs_.features_written =
+      &registry->counter("processor.features_written", per_thread);
+  obs_.apps_skipped = &registry->counter("processor.apps_skipped", per_thread);
+}
+
 Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
                                       SimTime now) {
   Table* raw = db_.table(db::tables::kRawData);
@@ -159,6 +178,7 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
                                return false;
                              });
     if (features_exist) {
+      if (obs_.apps_skipped != nullptr) obs_.apps_skipped->Inc();
       std::lock_guard lock(stats_mu_);
       ++stats_.apps_skipped;
       return 0;
@@ -172,6 +192,11 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
   // and merge once at the end so concurrent per-app calls never contend.
   DataProcessorStats local;
   AppRawData data;
+  // This app's stream was pre-registered serially (ProcessAllData), so the
+  // find-by-name here is deterministic even on a worker thread.
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  const obs::StreamId stream =
+      tracing ? tracer_->RegisterStream(StreamNameForApp(app.id)) : 0;
   raw->ForEachWhereEq("app_id", Value(app.id.value()), [&](const Row& row) {
     const db::Blob& body = row[3].as_blob();
     Result<Message> decoded = DecodeBody(MessageType::kSensedDataUpload, body);
@@ -183,6 +208,10 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
     }
     ++local.blobs_decoded;
     const auto& upload = std::get<SensedDataUpload>(decoded.value());
+    if (tracing) {
+      tracer_->Emit(stream, now, obs::EventKind::kBlobProcessed,
+                    upload.task.value(), upload.seq, app.id.value());
+    }
     for (const ReadingTuple& t : upload.batches) {
       ++local.tuples_processed;
       data.by_kind[t.kind].push_back(t);
@@ -212,6 +241,7 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
          Value(app.spec.place.value()), Value(def.name), Value(value),
          Value(static_cast<std::int64_t>(n_samples)), Value(now.ms)});
     if (!r.ok()) {
+      FlushCounters(local);
       std::lock_guard lock(stats_mu_);
       stats_ += local;
       return r.error();
@@ -227,9 +257,25 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
       [](const Row& row) { return !row[5].as_bool(); },
       [](Row& row) { row[5] = Value(true); });
 
+  if (tracing) {
+    tracer_->Emit(stream, now, obs::EventKind::kAppProcessed, app.id.value(),
+                  static_cast<std::uint64_t>(written));
+  }
+  FlushCounters(local);
   std::lock_guard lock(stats_mu_);
   stats_ += local;
   return written;
+}
+
+void DataProcessor::FlushCounters(const DataProcessorStats& local) {
+  if (obs_.blobs_decoded == nullptr) return;
+  if (local.blobs_decoded > 0) obs_.blobs_decoded->Inc(local.blobs_decoded);
+  if (local.blobs_rejected > 0) obs_.blobs_rejected->Inc(local.blobs_rejected);
+  if (local.tuples_processed > 0)
+    obs_.tuples_processed->Inc(local.tuples_processed);
+  if (local.features_written > 0)
+    obs_.features_written->Inc(local.features_written);
+  if (local.apps_skipped > 0) obs_.apps_skipped->Inc(local.apps_skipped);
 }
 
 Result<double> DataProcessor::FeatureValue(AppId app,

@@ -15,11 +15,14 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/result.hpp"
 #include "common/sim_time.hpp"
 #include "db/database.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rank/personalizable_ranker.hpp"
 #include "server/managers.hpp"
 
@@ -84,11 +87,36 @@ class DataProcessor {
 
   [[nodiscard]] const DataProcessorStats& stats() const { return stats_; }
 
+  // Hook into the shared telemetry: "processor.*" counters are per-thread
+  // sharded (ProcessApp runs concurrently across apps); trace events land
+  // on one stream per app. Those streams MUST be pre-registered serially
+  // (StreamNameForApp) before any parallel ProcessApp — the server facade
+  // does this in ProcessAllData — so stream ids are thread-count invariant.
+  void AttachObservability(obs::MetricsRegistry* registry,
+                           obs::Tracer* tracer);
+  [[nodiscard]] static std::string StreamNameForApp(AppId app) {
+    return "processor:app:" + std::to_string(app.value());
+  }
+
  private:
+  // Add one ProcessApp call's local stats to the registry counters.
+  void FlushCounters(const DataProcessorStats& local);
+
   db::Database& db_;
   DataProcessorOptions options_;
   DataProcessorStats stats_;
   std::mutex stats_mu_;  // guards stats_ during parallel ProcessApp calls
+
+  // Shared-telemetry handles (null until AttachObservability).
+  obs::Tracer* tracer_ = nullptr;
+  struct ProcessorCounters {
+    obs::Counter* blobs_decoded = nullptr;
+    obs::Counter* blobs_rejected = nullptr;
+    obs::Counter* tuples_processed = nullptr;
+    obs::Counter* features_written = nullptr;
+    obs::Counter* apps_skipped = nullptr;
+  };
+  ProcessorCounters obs_;
 };
 
 }  // namespace sor::server

@@ -92,6 +92,25 @@ Result<SchedulePlan> SensingScheduler::PlanApp(
   return plan;
 }
 
+void SensingScheduler::AttachObservability(obs::MetricsRegistry* registry,
+                                           obs::Tracer* tracer,
+                                           obs::StreamId stream) {
+  tracer_ = tracer;
+  stream_ = stream;
+  if (registry == nullptr) {
+    obs_ = SchedCounters{};
+    return;
+  }
+  obs_.reschedules = &registry->counter("sched.reschedules");
+  obs_.schedules_distributed =
+      &registry->counter("sched.schedules_distributed");
+  obs_.distribution_failures =
+      &registry->counter("sched.distribution_failures");
+  obs_.last_objective = &registry->gauge("sched.last_objective");
+  obs_.last_average_coverage =
+      &registry->gauge("sched.last_average_coverage");
+}
+
 Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
                                         const SchedulePlan& plan,
                                         ParticipationManager& participations,
@@ -103,6 +122,20 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
   stats_.last_objective = plan.result.objective;
   stats_.last_average_coverage =
       plan.result.objective / static_cast<double>(app.spec.n_instants);
+  if (obs_.reschedules != nullptr) {
+    obs_.reschedules->Inc();
+    obs_.last_objective->Set(stats_.last_objective);
+    obs_.last_average_coverage->Set(stats_.last_average_coverage);
+  }
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  if (tracing) {
+    // The planning milestone is emitted here, not from PlanApp: PlanApp may
+    // run on a worker thread (FlushReschedules), while distribution is
+    // always serial — so the event order is thread-count invariant.
+    tracer_->Emit(stream_, clock_.now(), obs::EventKind::kSchedulePlanned,
+                  app.id.value(), plan.active.size(),
+                  static_cast<std::uint64_t>(plan.result.objective * 1000.0));
+  }
 
   db::Table* schedules = db_.table(db::tables::kSchedules);
   Status overall = Status::Ok();
@@ -130,14 +163,28 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
                              db::Value(rec.task.value()),
                              db::Value(app.id.value()), db::Value(blob.take()),
                              db::Value(clock_.now().ms)});
+    if (tracing) {
+      tracer_->Emit(stream_, clock_.now(),
+                    obs::EventKind::kScheduleCommitted, rec.task.value(), 0,
+                    app.id.value());
+    }
 
     Result<Message> reply =
         network_.Send(origin_, "phone:" + rec.token.value, msg);
     if (reply.ok()) {
       ++stats_.schedules_distributed;
+      if (obs_.schedules_distributed != nullptr)
+        obs_.schedules_distributed->Inc();
+      if (tracing) {
+        tracer_->Emit(stream_, clock_.now(),
+                      obs::EventKind::kScheduleDistributed, rec.task.value(),
+                      msg.instants.size(), app.id.value());
+      }
       (void)participations.MarkRunning(rec.task);
     } else {
       ++stats_.distribution_failures;
+      if (obs_.distribution_failures != nullptr)
+        obs_.distribution_failures->Inc();
       SOR_LOG(kWarn, "scheduler",
               "failed to distribute schedule for task "
                   << rec.task.str() << ": " << reply.error().str());

@@ -101,6 +101,13 @@ class SensingScheduler {
 
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
 
+  // Hook into the shared telemetry: "sched.*" counters/gauges plus plan/
+  // commit/distribute events on the owning server's stream. DistributePlan
+  // is the only emitting path and it always runs serially, so single-cell
+  // counters and one shared stream are safe and deterministic.
+  void AttachObservability(obs::MetricsRegistry* registry, obs::Tracer* tracer,
+                           obs::StreamId stream);
+
   // After a snapshot restore, skip schedule ids already in the table.
   void ResyncIds();
 
@@ -120,6 +127,18 @@ class SensingScheduler {
   std::set<std::uint64_t> dirty_;  // apps awaiting a deferred reschedule
   SchedulerStats stats_;
   IdGenerator<ScheduleId> schedule_ids_;
+
+  // Shared-telemetry handles (null until AttachObservability).
+  obs::Tracer* tracer_ = nullptr;
+  obs::StreamId stream_ = 0;
+  struct SchedCounters {
+    obs::Counter* reschedules = nullptr;
+    obs::Counter* schedules_distributed = nullptr;
+    obs::Counter* distribution_failures = nullptr;
+    obs::Gauge* last_objective = nullptr;
+    obs::Gauge* last_average_coverage = nullptr;
+  };
+  SchedCounters obs_;
 };
 
 }  // namespace sor::server

@@ -26,6 +26,37 @@ SensingServer::SensingServer(ServerConfig config,
 
 SensingServer::~SensingServer() { network_.Unregister(config_.endpoint_name); }
 
+void SensingServer::AttachObservability(obs::MetricsRegistry* registry,
+                                        obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr)
+    stream_ = tracer_->RegisterStream(config_.endpoint_name);
+  scheduler_.AttachObservability(registry, tracer, stream_);
+  processor_.AttachObservability(registry, tracer);
+  if (registry == nullptr) {
+    obs_ = ServerCounters{};
+    return;
+  }
+  obs_.requests_handled = &registry->counter("server.requests_handled");
+  obs_.decode_failures = &registry->counter("server.decode_failures");
+  obs_.uploads_stored = &registry->counter("server.uploads_stored");
+  obs_.uploads_deduped = &registry->counter("server.uploads_deduped");
+  obs_.participations_accepted =
+      &registry->counter("server.participations_accepted");
+  obs_.participations_rejected =
+      &registry->counter("server.participations_rejected");
+  obs_.recoveries = &registry->counter("server.recoveries");
+  obs_.resyncs_triggered = &registry->counter("server.resyncs_triggered");
+  obs_.upload_batch_tuples = &registry->histogram(
+      "server.upload_batch_tuples", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+}
+
+void SensingServer::Trace(obs::EventKind kind, std::uint64_t a,
+                          std::uint64_t b, std::uint64_t c) {
+  if (tracer_ != nullptr && tracer_->enabled())
+    tracer_->Emit(stream_, clock_.now(), kind, a, b, c);
+}
+
 Result<BarcodePayload> SensingServer::DeployApplication(
     const ApplicationSpec& spec) {
   Result<AppId> id = apps_.CreateApplication(spec);
@@ -35,6 +66,13 @@ Result<BarcodePayload> SensingServer::DeployApplication(
 
 Result<int> SensingServer::ProcessAllData() {
   const std::vector<ApplicationRecord> all = apps_.All();
+  // Pre-register the processor's per-app streams here — serially, in app
+  // order — so the parallel path below assigns the same stream ids as the
+  // serial one (ProcessApp only looks the names up).
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    for (const ApplicationRecord& app : all)
+      (void)tracer_->RegisterStream(DataProcessor::StreamNameForApp(app.id));
+  }
   if (executor_ == nullptr || executor_->threads() <= 1) {
     int total = 0;
     for (const ApplicationRecord& app : all) {
@@ -163,9 +201,11 @@ Result<int> SensingServer::VerifyParticipants(AppId app_id) {
 
 Bytes SensingServer::HandleFrame(std::span<const std::uint8_t> frame) {
   ++stats_.requests_handled;
+  if (obs_.requests_handled != nullptr) obs_.requests_handled->Inc();
   Result<Message> decoded = DecodeFrame(frame);
   if (!decoded.ok()) {
     ++stats_.decode_failures;
+    if (obs_.decode_failures != nullptr) obs_.decode_failures->Inc();
     return EncodeFrame(
         ErrorReply{static_cast<std::uint8_t>(decoded.error().code),
                    decoded.error().message});
@@ -189,16 +229,26 @@ Message SensingServer::OnParticipation(const ParticipationRequest& req) {
   Result<ApplicationRecord> app = apps_.Get(req.app);
   if (!app.ok()) {
     ++stats_.participations_rejected;
+    if (obs_.participations_rejected != nullptr)
+      obs_.participations_rejected->Inc();
+    Trace(obs::EventKind::kParticipationRejected, req.app.value());
     return ParticipationReply{TaskId{}, false, app.error().str()};
   }
   Result<TaskId> task = parts_.HandleRequest(req, app.value(), users_);
   if (!task.ok()) {
     ++stats_.participations_rejected;
+    if (obs_.participations_rejected != nullptr)
+      obs_.participations_rejected->Inc();
+    Trace(obs::EventKind::kParticipationRejected, req.app.value());
     SOR_LOG(kInfo, "server",
             "participation rejected: " << task.error().str());
     return ParticipationReply{TaskId{}, false, task.error().str()};
   }
   ++stats_.participations_accepted;
+  if (obs_.participations_accepted != nullptr)
+    obs_.participations_accepted->Inc();
+  Trace(obs::EventKind::kParticipationAccepted, task.value().value(),
+        req.app.value());
 
   // Online scheduling: every join re-plans the app's remaining period and
   // redistributes schedules to all of its active phones.
@@ -231,6 +281,9 @@ Message SensingServer::OnUpload(const SensedDataUpload& upload) {
     const auto it = seen_upload_seqs_.find(upload.task.value());
     if (it != seen_upload_seqs_.end() && it->second.contains(upload.seq)) {
       ++stats_.duplicate_uploads_ignored;
+      if (obs_.uploads_deduped != nullptr) obs_.uploads_deduped->Inc();
+      Trace(obs::EventKind::kUploadDeduped, upload.task.value(), upload.seq,
+            rec.value().app.value());
       return Ack{upload.task.value(), upload.seq};
     }
   }
@@ -249,6 +302,14 @@ Message SensingServer::OnUpload(const SensedDataUpload& upload) {
     return ErrorReply{static_cast<std::uint8_t>(stored.error().code),
                       stored.error().message};
   ++stats_.uploads_stored;
+  if (obs_.uploads_stored != nullptr) {
+    obs_.uploads_stored->Inc();
+    obs_.upload_batch_tuples->Observe(
+        static_cast<double>(upload.batches.size()));
+  }
+  // The db-commit milestone of the upload span: the raw_data row exists.
+  Trace(obs::EventKind::kUploadStored, upload.task.value(), upload.seq,
+        rec.value().app.value());
   if (upload.seq != 0)
     seen_upload_seqs_[upload.task.value()].insert(upload.seq);
 
@@ -269,6 +330,7 @@ Message SensingServer::OnLeave(const LeaveNotification& note) {
                       "unknown task " + note.task.str()};
   needs_resync_.erase(note.task);  // leaving; no schedule to re-push
   (void)parts_.MarkFinished(note.task, note.time);
+  Trace(obs::EventKind::kTaskFinished, note.task.value());
 
   // Re-plan for the remaining participants.
   Result<ApplicationRecord> app = apps_.Get(rec.value().app);
@@ -302,6 +364,7 @@ void SensingServer::MaybeResyncAfterRestart(TaskId task) {
     return;
   }
   ++stats_.resyncs_triggered;
+  if (obs_.resyncs_triggered != nullptr) obs_.resyncs_triggered->Inc();
   // One reschedule redistributed to every active participant of the app.
   for (const ParticipationRecord& r : parts_.ActiveForApp(rec.value().app))
     needs_resync_.erase(r.task);
@@ -350,6 +413,9 @@ Status SensingServer::RestoreFromSnapshot(
   }
 
   ++stats_.recoveries;
+  if (obs_.recoveries != nullptr) obs_.recoveries->Inc();
+  Trace(obs::EventKind::kServerRestored,
+        db_.table(db::tables::kRawData)->size());
   SOR_LOG(kInfo, "server",
           "recovered from snapshot: " << db_.table(db::tables::kRawData)->size()
                                       << " raw rows, " << needs_resync_.size()

@@ -17,6 +17,8 @@
 #include "common/sim_time.hpp"
 #include "db/database.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rank/personalizable_ranker.hpp"
 #include "server/data_processor.hpp"
 #include "server/managers.hpp"
@@ -88,6 +90,14 @@ class SensingServer final : public net::Endpoint {
   // nullptr (the default) restores the serial path.
   void set_executor(ShardedExecutor* executor) { executor_ = executor; }
 
+  // Hook the server (and its scheduler + data processor) into the shared
+  // telemetry. The server's handler runs behind the network's ordered gate,
+  // so its "server.*"/"sched.*" counters are single-cell and its trace
+  // stream stays single-writer. Call from serial code; safe to call again
+  // after a Tracer::Clear() to re-register streams.
+  void AttachObservability(obs::MetricsRegistry* registry,
+                           obs::Tracer* tracer);
+
   // Drain the scheduler's deferred dirty set: plan every dirty app (in
   // parallel when an executor is attached — planning is const), then
   // distribute serially in ascending app-id order so the schedule table
@@ -141,6 +151,9 @@ class SensingServer final : public net::Endpoint {
   // First post-restart contact from a task whose app still needs a schedule
   // re-push: reschedule the app (which redistributes to all of its phones).
   void MaybeResyncAfterRestart(TaskId task);
+  // Emit on the server's trace stream (no-op when tracing is off).
+  void Trace(obs::EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
+             std::uint64_t c = 0);
 
   ServerConfig config_;
   net::LoopbackNetwork& network_;
@@ -155,6 +168,22 @@ class SensingServer final : public net::Endpoint {
   ShardedExecutor* executor_ = nullptr;  // not owned
   ServerStats stats_;
   IdGenerator<ScheduleId> raw_ids_;  // raw_data PK source
+
+  // Shared-telemetry handles (null until AttachObservability).
+  obs::Tracer* tracer_ = nullptr;
+  obs::StreamId stream_ = 0;
+  struct ServerCounters {
+    obs::Counter* requests_handled = nullptr;
+    obs::Counter* decode_failures = nullptr;
+    obs::Counter* uploads_stored = nullptr;
+    obs::Counter* uploads_deduped = nullptr;
+    obs::Counter* participations_accepted = nullptr;
+    obs::Counter* participations_rejected = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* resyncs_triggered = nullptr;
+    obs::Histogram* upload_batch_tuples = nullptr;  // tuples per stored blob
+  };
+  ServerCounters obs_;
 
   // Upload dedup index: task id → seqs already stored. Rebuilt from
   // raw_data on restore, so it survives crashes with the database.

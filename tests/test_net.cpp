@@ -249,6 +249,111 @@ TEST(FaultInjector, SameSeedSameFaultSchedule) {
   EXPECT_GT(total.partitioned, 0u);
 }
 
+TEST(Transport, StatsViewMatchesRegistry) {
+  // TransportStats is a *view* over the metrics registry: every field must
+  // equal the sum of the corresponding per-link "net.*|from=..|to=.."
+  // counters. Exercise every outcome class so no field is trivially zero.
+  SimClock clock;
+  LoopbackNetwork net;
+  net.set_clock(&clock);
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  net.faults().set_seed(11);
+  FaultRule rule;
+  rule.drop = 0.3;
+  rule.corrupt = 0.2;
+  rule.duplicate = 0.2;
+  rule.latency = SimDuration{5};
+  net.faults().AddRule(rule);
+  for (int i = 0; i < 200; ++i) {
+    clock.advance(SimDuration{1});
+    (void)net.Send("phone:a", "echo", Ping{PhoneId{1}});
+    (void)net.Send("phone:b", "echo", Ack{7});
+  }
+
+  // Rebuild the aggregate straight from the registry export.
+  std::map<std::string, std::uint64_t> by_base;
+  for (const auto& e : net.metrics().Read()) {
+    const std::size_t bar = e.name.find('|');
+    ASSERT_NE(bar, std::string::npos) << e.name;
+    by_base[e.name.substr(0, bar)] += e.counter_value;
+  }
+  const TransportStats s = net.stats();
+  EXPECT_EQ(by_base["net.delivered"], s.delivered);
+  EXPECT_EQ(by_base["net.dropped"], s.dropped);
+  EXPECT_EQ(by_base["net.corrupted"], s.corrupted);
+  EXPECT_EQ(by_base["net.duplicated"], s.duplicated);
+  EXPECT_EQ(by_base["net.responses_dropped"], s.responses_dropped);
+  EXPECT_EQ(by_base["net.responses_corrupted"], s.responses_corrupted);
+  EXPECT_EQ(by_base["net.bytes_sent"], s.bytes_sent);
+  EXPECT_EQ(by_base["net.bytes_received"], s.bytes_received);
+  EXPECT_EQ(by_base["net.latency_injected_ms"], s.latency_injected_ms);
+  EXPECT_GT(s.delivered, 0u);
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_GT(s.latency_injected_ms, 0u);
+
+  // And the per-link view must match the labeled counters exactly.
+  const TransportStats a = net.link_stats("phone:a", "echo");
+  EXPECT_EQ(a.delivered,
+            net.metrics()
+                .counter(obs::LabeledName("net.delivered",
+                                          {{"from", "phone:a"}, {"to", "echo"}}))
+                .value());
+  // The two links plus nothing else account for the aggregate.
+  const TransportStats b = net.link_stats("phone:b", "echo");
+  EXPECT_EQ(a.delivered + b.delivered, s.delivered);
+}
+
+TEST(Transport, SharedRegistryInjection) {
+  // System injects its own registry; transport counters must land there.
+  obs::MetricsRegistry shared;
+  LoopbackNetwork net;
+  net.set_metrics(&shared);
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+  ASSERT_TRUE(net.Send("me", "echo", Ack{}).ok());
+  EXPECT_EQ(shared
+                .counter(obs::LabeledName("net.delivered",
+                                          {{"from", "me"}, {"to", "echo"}}))
+                .value(),
+            1u);
+  EXPECT_EQ(net.stats().delivered, 1u);
+  // Reverting to the private registry starts a fresh view.
+  net.set_metrics(nullptr);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(Transport, TraceEventsRecordDeliveryOutcomes) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  SimClock clock;
+  clock.advance(SimDuration{42});
+  LoopbackNetwork net;
+  net.set_clock(&clock);
+  net.set_tracer(&tracer);
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+
+  ASSERT_TRUE(net.Send("phone:a", "echo", Ping{PhoneId{1}}).ok());
+  net.faults().drop_next = 1;
+  EXPECT_FALSE(net.Send("phone:a", "echo", Ack{}).ok());
+
+  const auto events = tracer.Merged();
+  // send+delivered for the clean round trip, send+dropped for the loss.
+  ASSERT_EQ(events.size(), 4u);
+  const obs::StreamId phone = tracer.RegisterStream("phone:a");
+  const obs::StreamId server = tracer.RegisterStream("echo");
+  EXPECT_EQ(events[0].kind, obs::EventKind::kMsgSend);
+  EXPECT_EQ(events[0].stream, phone);
+  EXPECT_EQ(events[0].a, server);  // payload a = peer stream
+  EXPECT_EQ(events[0].time_ms, 42);
+  EXPECT_EQ(events[0].c, static_cast<std::uint64_t>(TypeOf(Message{Ping{}})));
+  EXPECT_EQ(events[1].kind, obs::EventKind::kMsgDelivered);
+  EXPECT_EQ(events[2].kind, obs::EventKind::kMsgSend);
+  EXPECT_EQ(events[3].kind, obs::EventKind::kMsgDropped);
+  EXPECT_EQ(events[3].b, 0u);  // not a partition
+}
+
 TEST(FaultInjector, ScriptedCountersTakePrecedenceAndClearResets) {
   LoopbackNetwork net;
   EchoEndpoint echo;

@@ -1,0 +1,421 @@
+// Tests for the telemetry subsystem (src/obs): the metrics registry, the
+// deterministic event tracer, span stitching + the `sor trace --summary`
+// golden output, JSONL round-trips, and — the subsystem's core promise —
+// byte-identical chaos-campaign traces across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/system.hpp"
+#include "net/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
+
+namespace sor {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterSingleAndSharded) {
+  obs::MetricsRegistry registry;
+  obs::Counter& single = registry.counter("t.single");
+  obs::Counter& sharded =
+      registry.counter("t.sharded", obs::Sharding::kPerThread);
+  single.Inc();
+  single.Inc(41);
+  sharded.Inc(7);
+  EXPECT_EQ(single.value(), 42u);
+  EXPECT_EQ(sharded.value(), 7u);
+
+  // Find-or-create: the same name is the same counter, and the original's
+  // sharding wins over a disagreeing later caller.
+  EXPECT_EQ(&registry.counter("t.single", obs::Sharding::kPerThread),
+            &single);
+
+  single.Reset();
+  EXPECT_EQ(single.value(), 0u);
+}
+
+TEST(Metrics, ShardedCounterSumsAcrossThreads) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("t.mt", obs::Sharding::kPerThread);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < 10'000; ++i) c.Inc();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), 80'000u);
+}
+
+TEST(Metrics, GaugeIsLastWrite) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& g = registry.gauge("t.gauge");
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(2.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Metrics, HistogramBucketsSumAndOverflow) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h =
+      registry.histogram("t.hist", obs::ExponentialBuckets(1.0, 2.0, 4));
+  // Bounds: 1, 2, 4, 8 (+inf overflow). lower_bound puts x on the first
+  // bound >= x: 0.5→[0], 2.0→[1], 3.0→[2], 100→overflow.
+  h.Observe(0.5);
+  h.Observe(2.0);
+  h.Observe(3.0);
+  h.Observe(100.0);
+  const obs::Histogram::Snapshot s = h.Read();
+  ASSERT_EQ(s.upper_bounds, (std::vector<double>{1, 2, 4, 8}));
+  EXPECT_EQ(s.counts, (std::vector<std::uint64_t>{1, 1, 1, 0, 1}));
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 105.5);
+  h.Reset();
+  EXPECT_EQ(h.Read().count, 0u);
+}
+
+TEST(Metrics, LabeledNameAndSortedRead) {
+  EXPECT_EQ(obs::LabeledName("net.delivered",
+                             {{"from", "phone:tok-1"}, {"to", "server"}}),
+            "net.delivered|from=phone:tok-1|to=server");
+
+  obs::MetricsRegistry registry;
+  registry.counter("z.last").Inc(3);
+  registry.gauge("a.first").Set(1.5);
+  registry.histogram("m.middle", {10.0}).Observe(4.0);
+  const std::vector<obs::MetricsRegistry::Entry> entries = registry.Read();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "a.first");
+  EXPECT_EQ(entries[1].name, "m.middle");
+  EXPECT_EQ(entries[2].name, "z.last");
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("z.last 3"), std::string::npos);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"a.first\": 1.5"), std::string::npos);
+
+  registry.Reset();
+  EXPECT_EQ(registry.counter("z.last").value(), 0u);
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Tracer, DisabledEmitIsDropped) {
+  obs::Tracer tracer;
+  const obs::StreamId s = tracer.RegisterStream("a");
+  tracer.Emit(s, SimTime{1}, obs::EventKind::kSenseBatch);
+  EXPECT_EQ(tracer.total_events(), 0u);
+}
+
+TEST(Tracer, RegisterStreamDedupsByName) {
+  obs::Tracer tracer;
+  const obs::StreamId a = tracer.RegisterStream("a");
+  const obs::StreamId b = tracer.RegisterStream("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.RegisterStream("a"), a);
+  EXPECT_EQ(tracer.num_streams(), 2u);
+  EXPECT_EQ(tracer.stream_name(b), "b");
+}
+
+TEST(Tracer, MergedOrdersByTimeStreamSeq) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  const obs::StreamId a = tracer.RegisterStream("a");
+  const obs::StreamId b = tracer.RegisterStream("b");
+  tracer.Emit(b, SimTime{20}, obs::EventKind::kSenseBatch, 1);
+  tracer.Emit(a, SimTime{10}, obs::EventKind::kSenseBatch, 2);
+  tracer.Emit(a, SimTime{20}, obs::EventKind::kSenseBatch, 3);
+  tracer.Emit(a, SimTime{20}, obs::EventKind::kSenseBatch, 4);
+
+  const std::vector<obs::TraceEvent> merged = tracer.Merged();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].a, 2u);  // t=10
+  EXPECT_EQ(merged[1].a, 3u);  // t=20 stream a seq 1
+  EXPECT_EQ(merged[2].a, 4u);  // t=20 stream a seq 2
+  EXPECT_EQ(merged[3].a, 1u);  // t=20 stream b
+  EXPECT_EQ(merged[1].seq + 1, merged[2].seq);
+}
+
+TEST(Tracer, RingOverwritesOldestAndKeepsCounting) {
+  obs::Tracer tracer(4);
+  tracer.set_enabled(true);
+  const obs::StreamId s = tracer.RegisterStream("a");
+  for (int i = 0; i < 10; ++i)
+    tracer.Emit(s, SimTime{i}, obs::EventKind::kSenseBatch,
+                static_cast<std::uint64_t>(i));
+  EXPECT_EQ(tracer.total_events(), 4u);
+  EXPECT_EQ(tracer.dropped(s), 6u);
+  EXPECT_EQ(tracer.total_dropped(), 6u);
+  const std::vector<obs::TraceEvent> merged = tracer.Merged();
+  ASSERT_EQ(merged.size(), 4u);
+  // The survivors are the newest four, their seq numbers untouched — the
+  // gap from 0 to 6 shows exactly what the ring lost.
+  EXPECT_EQ(merged.front().seq, 6u);
+  EXPECT_EQ(merged.back().seq, 9u);
+}
+
+TEST(Tracer, FingerprintDetectsAnyChange) {
+  auto record = [](std::uint64_t payload) {
+    obs::Tracer tracer;
+    tracer.set_enabled(true);
+    const obs::StreamId s = tracer.RegisterStream("a");
+    tracer.Emit(s, SimTime{5}, obs::EventKind::kUploadAcked, payload);
+    return tracer.Fingerprint();
+  };
+  EXPECT_EQ(record(1), record(1));
+  EXPECT_NE(record(1), record(2));
+}
+
+TEST(Tracer, FingerprintMatchesFreeFunctionOnSnapshot) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  const obs::StreamId s = tracer.RegisterStream("a");
+  tracer.Emit(s, SimTime{1}, obs::EventKind::kSenseBatch, 1, 2, 3);
+  tracer.Emit(s, SimTime{2}, obs::EventKind::kUploadAcked, 1, 2);
+  EXPECT_EQ(tracer.Fingerprint(), obs::Fingerprint(tracer.Snapshot()));
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.num_streams(), 0u);
+  EXPECT_EQ(tracer.total_events(), 0u);
+  EXPECT_EQ(tracer.Fingerprint(), obs::Fingerprint(obs::TraceData{}));
+}
+
+TEST(Tracer, EventKindNamesRoundTrip) {
+  for (int k = static_cast<int>(obs::EventKind::kMsgSend);
+       k <= static_cast<int>(obs::EventKind::kRankingDone); ++k) {
+    const obs::EventKind kind = static_cast<obs::EventKind>(k);
+    obs::EventKind parsed;
+    ASSERT_TRUE(obs::ParseEventKind(obs::to_string(kind), &parsed))
+        << "kind " << k << " name " << obs::to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  obs::EventKind parsed;
+  EXPECT_FALSE(obs::ParseEventKind("not_a_kind", &parsed));
+}
+
+// ------------------------------------------------------------------ spans
+
+// The synthetic pipeline trace the span/golden tests share: one upload
+// batch (task 1, seq 1) that needs two attempts, then flows sense → ack →
+// store → process → rank.
+obs::TraceData PipelineTrace() {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  const obs::StreamId server = tracer.RegisterStream("server");
+  const obs::StreamId phone = tracer.RegisterStream("phone:tok-1");
+  tracer.Emit(phone, SimTime{100}, obs::EventKind::kSenseBatch, 1, 1, 5);
+  tracer.Emit(phone, SimTime{100}, obs::EventKind::kMsgSend, server, 64, 3);
+  tracer.Emit(phone, SimTime{100}, obs::EventKind::kMsgDropped, server);
+  tracer.Emit(phone, SimTime{100}, obs::EventKind::kUploadFailed, 1, 1, 1);
+  tracer.Emit(phone, SimTime{200}, obs::EventKind::kMsgSend, server, 64, 3);
+  tracer.Emit(phone, SimTime{200}, obs::EventKind::kMsgDelivered, server);
+  tracer.Emit(server, SimTime{200}, obs::EventKind::kUploadStored, 1, 1, 9);
+  tracer.Emit(phone, SimTime{200}, obs::EventKind::kUploadAcked, 1, 1);
+  tracer.Emit(server, SimTime{300}, obs::EventKind::kBlobProcessed, 1, 1, 9);
+  tracer.Emit(server, SimTime{400}, obs::EventKind::kRankingDone, 9);
+  return tracer.Snapshot();
+}
+
+TEST(Spans, StitchesMilestonesAndAttempts) {
+  const std::vector<obs::UploadSpan> spans =
+      obs::BuildUploadSpans(PipelineTrace());
+  ASSERT_EQ(spans.size(), 1u);
+  const obs::UploadSpan& s = spans[0];
+  EXPECT_EQ(s.task, 1u);
+  EXPECT_EQ(s.seq, 1u);
+  EXPECT_EQ(s.app, 9u);
+  EXPECT_EQ(s.t_sense, 100);
+  EXPECT_EQ(s.t_acked, 200);
+  EXPECT_EQ(s.t_stored, 200);
+  EXPECT_EQ(s.t_processed, 300);
+  EXPECT_EQ(s.t_ranked, 400);
+  EXPECT_EQ(s.attempts, 2);
+  EXPECT_EQ(s.EndToEndMs(), 300);
+}
+
+TEST(Spans, IncompleteSpanHasNoEndToEnd) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  const obs::StreamId phone = tracer.RegisterStream("phone:tok-1");
+  tracer.Emit(phone, SimTime{100}, obs::EventKind::kSenseBatch, 1, 1, 5);
+  tracer.Emit(phone, SimTime{100}, obs::EventKind::kUploadFailed, 1, 1, 1);
+  const std::vector<obs::UploadSpan> spans =
+      obs::BuildUploadSpans(tracer.Snapshot());
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].t_acked, -1);
+  EXPECT_EQ(spans[0].attempts, 1);
+  EXPECT_EQ(spans[0].EndToEndMs(), -1);
+}
+
+// Golden output of `sor trace --summary` (RenderSummary): locked down
+// character for character so the CLI surface only changes deliberately.
+TEST(Spans, GoldenSummary) {
+  const std::string rendered =
+      obs::RenderSummary(obs::Summarize(PipelineTrace()));
+  const std::string expected =
+      "trace summary\n"
+      "  events 10 (ring-dropped 0)\n"
+      "  upload spans 1 (acked 1, processed 1, ranked 1)\n"
+      "  sense->ack ms  p50=100 p95=100 p99=100\n"
+      "  sense->end ms  p50=300 p95=300 p99=300\n"
+      "  links\n"
+      "    phone:tok-1 -> server  sends=2 dropped=1 resp_dropped=0"
+      " corrupted=0 drop_rate=50.0%\n";
+  EXPECT_EQ(rendered, expected);
+}
+
+// --------------------------------------------------------------- trace IO
+
+TEST(TraceIo, JsonLinesRoundTripsExactly) {
+  const obs::TraceData trace = PipelineTrace();
+  const std::string text = obs::WriteJsonLines(trace);
+  obs::TraceData back;
+  std::string error;
+  ASSERT_TRUE(obs::ReadJsonLines(text, &back, &error)) << error;
+  EXPECT_EQ(back, trace);
+  EXPECT_EQ(obs::Fingerprint(back), obs::Fingerprint(trace));
+}
+
+TEST(TraceIo, ReaderRejectsMalformedInput) {
+  obs::TraceData out;
+  std::string error;
+  EXPECT_FALSE(obs::ReadJsonLines("", &out, &error));
+  EXPECT_FALSE(obs::ReadJsonLines("{\"streams\":[\"a\"]}", &out, &error));
+
+  const std::string header = "{\"streams\":[\"a\"],\"dropped\":0}\n";
+  // Unknown kind name.
+  EXPECT_FALSE(obs::ReadJsonLines(
+      header + "{\"t\":1,\"s\":0,\"q\":0,\"k\":\"bogus\",\"a\":0,\"b\":0,"
+               "\"c\":0}\n",
+      &out, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  // Stream id beyond the name table.
+  EXPECT_FALSE(obs::ReadJsonLines(
+      header + "{\"t\":1,\"s\":7,\"q\":0,\"k\":\"msg_send\",\"a\":0,\"b\":0,"
+               "\"c\":0}\n",
+      &out, &error));
+  // Truncated event line.
+  EXPECT_FALSE(obs::ReadJsonLines(
+      header + "{\"t\":1,\"s\":0,\"q\":0\n", &out, &error));
+
+  const std::string good =
+      header +
+      "{\"t\":1,\"s\":0,\"q\":0,\"k\":\"msg_send\",\"a\":1,\"b\":2,"
+      "\"c\":3}\n";
+  ASSERT_TRUE(obs::ReadJsonLines(good, &out, &error)) << error;
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].kind, obs::EventKind::kMsgSend);
+}
+
+TEST(TraceIo, ChromeTraceHasTracksInstantsAndSpans) {
+  const std::string text = obs::WriteChromeTrace(PipelineTrace());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"phone:tok-1\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);  // instants
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // span slices
+  EXPECT_NE(text.find("task1/seq1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ determinism
+
+core::FieldTestConfig ChaosTraceConfig(std::uint64_t seed, int threads) {
+  core::FieldTestConfig config;
+  config.budget_per_user = 10;
+  config.n_instants = 60;
+  config.sigma_s = 60.0;
+  config.seed = seed;
+  config.threads = threads;
+  config.trace = true;
+  net::FaultRule lossy;
+  lossy.drop = 0.25;
+  lossy.corrupt = 0.15;
+  lossy.duplicate = 0.15;
+  net::FaultRule partition;
+  partition.partition = SimInterval{SimTime{200'000}, SimTime{260'000}};
+  config.chaos_rules = {lossy, partition};
+  config.chaos_seed = seed * 31 + 7;
+  return config;
+}
+
+struct TraceRun {
+  std::uint64_t fingerprint = 0;
+  std::string jsonl;
+};
+
+TraceRun RunChaosTrace(std::uint64_t seed, int threads) {
+  world::Scenario scenario = world::MakeCoffeeShopScenario();
+  scenario.period_s = 600.0;
+  core::System system;
+  Result<core::FieldTestResult> run =
+      system.RunFieldTest(scenario, ChaosTraceConfig(seed, threads));
+  EXPECT_TRUE(run.ok()) << (run.ok() ? "" : run.error().str());
+  TraceRun out;
+  if (run.ok()) {
+    out.fingerprint = run.value().trace_fingerprint;
+    EXPECT_EQ(out.fingerprint, system.tracer().Fingerprint());
+    out.jsonl = obs::WriteJsonLines(system.tracer().Snapshot());
+  }
+  return out;
+}
+
+// The acceptance gate: a chaos campaign's trace is byte-identical across
+// thread counts, for several seeds. Fingerprint equality is the cheap
+// check; the JSONL comparison proves the fingerprint isn't hiding a
+// collision.
+TEST(ObsDeterminism, ChaosTraceIdenticalAcrossThreadCounts) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const TraceRun serial = RunChaosTrace(seed, 1);
+    ASSERT_FALSE(serial.jsonl.empty());
+    for (int threads : {2, 8}) {
+      const TraceRun parallel = RunChaosTrace(seed, threads);
+      EXPECT_EQ(parallel.fingerprint, serial.fingerprint)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(parallel.jsonl, serial.jsonl)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// A bounded ring drops deterministically too: same survivors, same drop
+// counts, same fingerprint at any thread count.
+TEST(ObsDeterminism, BoundedRingStaysDeterministic) {
+  auto run = [](int threads) {
+    world::Scenario scenario = world::MakeCoffeeShopScenario();
+    scenario.period_s = 600.0;
+    core::System system;
+    core::FieldTestConfig config = ChaosTraceConfig(3, threads);
+    config.trace_ring_capacity = 64;
+    Result<core::FieldTestResult> r = system.RunFieldTest(scenario, config);
+    EXPECT_TRUE(r.ok());
+    EXPECT_GT(system.tracer().total_dropped(), 0u);
+    return r.ok() ? r.value().trace_fingerprint : 0;
+  };
+  const std::uint64_t serial = run(1);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ObsDeterminism, TracingOffYieldsEmptyFingerprint) {
+  world::Scenario scenario = world::MakeCoffeeShopScenario();
+  scenario.period_s = 600.0;
+  core::System system;
+  core::FieldTestConfig config;
+  config.budget_per_user = 10;
+  config.n_instants = 60;
+  Result<core::FieldTestResult> run = system.RunFieldTest(scenario, config);
+  ASSERT_TRUE(run.ok()) << run.error().str();
+  EXPECT_EQ(run.value().trace_fingerprint,
+            obs::Fingerprint(obs::TraceData{}));
+  EXPECT_EQ(system.tracer().total_events(), 0u);
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,155 @@
+// Tests for the Visualization module's renderers (src/server/
+// visualization.hpp) and the JSON exporters (src/server/json_export.hpp):
+// degenerate inputs first (an app nobody sensed for, a single sample), then
+// the real thing — exports of a post-chaos campaign's feature matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "net/fault_injector.hpp"
+#include "rank/personalizable_ranker.hpp"
+#include "server/json_export.hpp"
+#include "server/visualization.hpp"
+
+namespace sor {
+namespace {
+
+rank::FeatureMatrix EmptyMatrix() { return rank::FeatureMatrix{}; }
+
+// One place, one feature, one (robust-mean) sample value.
+rank::FeatureMatrix SingleSampleMatrix() {
+  rank::FeatureMatrix m({"Lonely Cafe"},
+                        {{"noise [dB]", rank::PrefDirection::kMinimize, 0.0}});
+  m.set(0, 0, 48.25);
+  return m;
+}
+
+// ------------------------------------------------------------- empty app
+
+TEST(Visualization, EmptyMatrixRendersNothingButStaysWellFormed) {
+  const rank::FeatureMatrix m = EmptyMatrix();
+  EXPECT_EQ(server::RenderFeatureBars(m), "");
+  EXPECT_EQ(server::RenderFeatureCsv(m), "place\n");
+  const std::string table = server::RenderRankingTable(m, {});
+  EXPECT_EQ(table, "User    \n");  // header only, no place columns
+}
+
+TEST(JsonExport, EmptyMatrixIsValidJson) {
+  const std::string json = server::RenderFeatureJson(EmptyMatrix());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"places\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"features\":[]"), std::string::npos);
+
+  const std::string rankings =
+      server::RenderRankingJson(EmptyMatrix(), {});
+  EXPECT_NE(rankings.find("\"rankings\":[]"), std::string::npos);
+}
+
+// ---------------------------------------------------------- single sample
+
+TEST(Visualization, SingleSampleBarsAndCsv) {
+  const rank::FeatureMatrix m = SingleSampleMatrix();
+  const std::string bars = server::RenderFeatureBars(m);
+  EXPECT_NE(bars.find("noise [dB]"), std::string::npos);
+  EXPECT_NE(bars.find("Lonely Cafe"), std::string::npos);
+  EXPECT_NE(bars.find("48.250"), std::string::npos);
+  // A lone value spans the whole bar (span == 0 → full fill).
+  EXPECT_NE(bars.find("|########################################|"),
+            std::string::npos);
+
+  EXPECT_EQ(server::RenderFeatureCsv(m),
+            "place,noise [dB]\nLonely Cafe,48.25\n");
+}
+
+TEST(JsonExport, SingleSampleValuesAndEscaping) {
+  const std::string json = server::RenderFeatureJson(SingleSampleMatrix());
+  EXPECT_NE(json.find("\"Lonely Cafe\""), std::string::npos);
+  EXPECT_NE(json.find("48.25"), std::string::npos);
+
+  EXPECT_EQ(server::JsonEscape("plain"), "plain");
+  EXPECT_EQ(server::JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+TEST(Visualization, SingleUserRankingTable) {
+  const rank::FeatureMatrix m = SingleSampleMatrix();
+  const rank::PersonalizableRanker ranker(m);
+  rank::UserProfile profile;
+  profile.name = "Solo";
+  profile.prefs = {rank::FeaturePreference::PreferMin(5)};
+  Result<rank::RankingOutcome> outcome =
+      ranker.Rank(profile, rank::AggregationMethod::kFootruleMcmf);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().str();
+
+  const std::string table = server::RenderRankingTable(
+      m, {{profile.name, outcome.value().final_ranking}});
+  EXPECT_NE(table.find("No. 1"), std::string::npos);
+  EXPECT_NE(table.find("Solo"), std::string::npos);
+  EXPECT_NE(table.find("Lonely Cafe"), std::string::npos);
+
+  const std::string explain =
+      server::RenderRankingExplanation(m, outcome.value());
+  EXPECT_NE(explain.find("=> final: Lonely Cafe"), std::string::npos);
+}
+
+// ------------------------------------------------------------- post-chaos
+
+// A campaign that survived a lossy wire must still export a complete,
+// well-formed feature matrix: every place row present, every feature
+// column populated, and the JSON/CSV/bars views consistent with it.
+TEST(Visualization, PostChaosExportsAreComplete) {
+  world::Scenario scenario = world::MakeCoffeeShopScenario();
+  scenario.period_s = 600.0;
+
+  core::FieldTestConfig config;
+  config.budget_per_user = 10;
+  config.n_instants = 60;
+  config.sigma_s = 60.0;
+  net::FaultRule lossy;
+  lossy.drop = 0.25;
+  lossy.corrupt = 0.15;
+  lossy.duplicate = 0.15;
+  config.chaos_rules = {lossy};
+  config.chaos_seed = 11;
+
+  core::System system;
+  Result<core::FieldTestResult> run =
+      system.RunFieldTest(scenario, config);
+  ASSERT_TRUE(run.ok()) << run.error().str();
+  const rank::FeatureMatrix& m = run.value().matrix;
+  ASSERT_EQ(m.num_places(), static_cast<int>(scenario.places.size()));
+  ASSERT_GT(m.num_features(), 0);
+
+  const std::string csv = server::RenderFeatureCsv(m);
+  // Header + one line per place.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            m.num_places() + 1);
+  for (const std::string& place : m.place_names())
+    EXPECT_NE(csv.find(place), std::string::npos) << place;
+
+  const std::string bars = server::RenderFeatureBars(m);
+  for (const auto& f : m.features())
+    EXPECT_NE(bars.find(f.name), std::string::npos) << f.name;
+
+  const std::string json = server::RenderFeatureJson(m);
+  for (const std::string& place : m.place_names())
+    EXPECT_NE(json.find(server::JsonEscape(place)), std::string::npos);
+
+  std::vector<std::pair<std::string, rank::Ranking>> table;
+  for (const auto& [user, outcome] : run.value().rankings)
+    table.emplace_back(user, outcome.final_ranking);
+  ASSERT_FALSE(table.empty());
+  const std::string rankings_json = server::RenderRankingJson(m, table);
+  for (const auto& [user, _] : table)
+    EXPECT_NE(rankings_json.find("\"" + server::JsonEscape(user) + "\""),
+              std::string::npos);
+  const std::string rendered = server::RenderRankingTable(m, table);
+  EXPECT_NE(rendered.find("No. " + std::to_string(m.num_places())),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sor

@@ -11,6 +11,12 @@
 //   sor lint FILE.sor | sor lint --builtin trails|coffee
 //       run the SenseScript static analyzer on a script and print its
 //       diagnostics and required-sensor manifest (exit 1 on errors)
+//   sor metrics --scenario trails|coffee [--chaos] [--threads N] [--json]
+//       run a campaign and dump the metrics registry
+//   sor trace [--scenario ...] [--chaos] [--threads N] [--seed S]
+//             [--out F.jsonl] [--chrome F.json] [--summary] [--fingerprint]
+//       record the deterministic campaign trace, or analyse one recorded
+//       earlier with --in F.jsonl
 //   sor help
 #include <cstdio>
 #include <cstring>
@@ -21,6 +27,9 @@
 
 #include "bench_args.hpp"
 #include "core/system.hpp"
+#include "net/fault_injector.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace_io.hpp"
 #include "script/analysis/analyzer.hpp"
 #include "server/json_export.hpp"
 #include "sched/baseline.hpp"
@@ -44,6 +53,13 @@ int Usage() {
       "  sor lint      FILE.sor [--energy-budget MJ] [--samples N]"
       " [--strict]\n"
       "  sor lint      --builtin trails|coffee [same options]\n"
+      "  sor metrics   [--scenario trails|coffee] [--chaos] [--threads N]"
+      " [--json]\n"
+      "  sor trace     [--scenario trails|coffee] [--chaos] [--seed S]"
+      " [--threads N]\n"
+      "                [--out F.jsonl] [--chrome F.json] [--summary]"
+      " [--fingerprint]\n"
+      "  sor trace     --in F.jsonl [--summary] [--fingerprint]\n"
       "  sor help\n\n"
       "methods: mcmf (default), hungarian, kemeny, borda\n");
   return 2;
@@ -233,6 +249,129 @@ int CmdRank(const cli::Args& args) {
   return 0;
 }
 
+// The CLI's canned chaos wire for `--chaos`: the aggressive-but-recoverable
+// profile the chaos tests run (lossy request+response legs plus a one-minute
+// hard partition mid-period). Fixed here so the CI determinism stage can
+// compare fingerprints of the exact same campaign across thread counts.
+std::vector<net::FaultRule> ChaosRules() {
+  net::FaultRule lossy;
+  lossy.drop = 0.25;
+  lossy.corrupt = 0.15;
+  lossy.duplicate = 0.15;
+  net::FaultRule partition;
+  partition.partition = SimInterval{SimTime{600'000}, SimTime{660'000}};
+  return {lossy, partition};
+}
+
+// Shared campaign setup for `sor metrics` / `sor trace`. The System outlives
+// the call so the caller can read its registry and tracer.
+Result<core::FieldTestResult> ObservedCampaign(core::System& system,
+                                               const cli::Args& args,
+                                               bool trace) {
+  Result<world::Scenario> scenario =
+      ScenarioByName(args.Get("scenario", "coffee"));
+  if (!scenario.ok()) return scenario.error();
+  core::FieldTestConfig config;
+  config.budget_per_user = args.GetInt("budget", 40);
+  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+  config.threads = args.GetInt("threads", 1);
+  config.trace = trace;
+  if (args.Has("chaos")) {
+    config.chaos_rules = ChaosRules();
+    // Derived from --seed by default: each seed is a distinct fault
+    // schedule, so the CI fingerprint sweep covers distinct campaigns.
+    config.chaos_seed = static_cast<std::uint64_t>(
+        args.GetInt("chaos-seed",
+                    static_cast<int>(config.seed * 31 + 7)));
+  }
+  return system.RunFieldTest(scenario.value(), config);
+}
+
+int CmdMetrics(const cli::Args& args) {
+  core::System system;
+  Result<core::FieldTestResult> run =
+      ObservedCampaign(system, args, /*trace=*/false);
+  if (!run.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", run.error().str().c_str());
+    return 1;
+  }
+  if (args.Has("json")) {
+    std::printf("%s\n", system.metrics().RenderJson().c_str());
+  } else {
+    std::printf("%s", system.metrics().RenderText().c_str());
+  }
+  return 0;
+}
+
+bool WriteFileOrStdout(const std::string& path, const std::string& content,
+                       const char* what) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !(out << content)) {
+    std::fprintf(stderr, "cannot write %s to '%s'\n", what, path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
+int CmdTrace(const cli::Args& args) {
+  obs::TraceData trace;
+  if (args.Has("in")) {
+    // Offline mode: analyse a previously recorded JSONL trace.
+    std::ifstream in(args.Get("in"), std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", args.Get("in").c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!obs::ReadJsonLines(buf.str(), &trace, &error)) {
+      std::fprintf(stderr, "%s: %s\n", args.Get("in").c_str(),
+                   error.c_str());
+      return 1;
+    }
+  } else {
+    core::System system;
+    Result<core::FieldTestResult> run =
+        ObservedCampaign(system, args, /*trace=*/true);
+    if (!run.ok()) {
+      std::fprintf(stderr, "campaign failed: %s\n",
+                   run.error().str().c_str());
+      return 1;
+    }
+    trace = system.tracer().Snapshot();
+  }
+
+  bool did_something = false;
+  if (args.Has("out")) {
+    if (!WriteFileOrStdout(args.Get("out"), obs::WriteJsonLines(trace),
+                           "trace"))
+      return 1;
+    did_something = true;
+  }
+  if (args.Has("chrome")) {
+    if (!WriteFileOrStdout(args.Get("chrome"), obs::WriteChromeTrace(trace),
+                           "chrome trace"))
+      return 1;
+    did_something = true;
+  }
+  if (args.Has("fingerprint")) {
+    std::printf("fingerprint=%016llx\n",
+                static_cast<unsigned long long>(obs::Fingerprint(trace)));
+    did_something = true;
+  }
+  // Summary is the default action when nothing else was requested.
+  if (args.Has("summary") || !did_something) {
+    std::printf("%s", obs::RenderSummary(obs::Summarize(trace)).c_str());
+  }
+  return 0;
+}
+
 // sor lint FILE.sor — the registration-time analyzer as a local gate: same
 // passes, same diagnostic codes, so CI catches a script the server would
 // reject before it is ever deployed.
@@ -329,6 +468,8 @@ int main(int argc, char** argv) {
   if (cmd == "simulate") return CmdSimulate(args);
   if (cmd == "barcode") return CmdBarcode(args);
   if (cmd == "rank") return CmdRank(args);
+  if (cmd == "metrics") return CmdMetrics(args);
+  if (cmd == "trace") return CmdTrace(args);
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     Usage();
     return 0;

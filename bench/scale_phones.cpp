@@ -11,6 +11,8 @@
 // single-core container every thread count measures the same serial
 // machine plus coordination overhead.
 #include <chrono>
+#include <cstdlib>
+#include <string_view>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -66,7 +68,15 @@ Cell RunCell(int phones_per_place, int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `scale_phones --cell PPP THREADS` runs one cell and prints its wall
+  // time only — the shape profilers and quick A/B comparisons want.
+  if (argc == 4 && std::string_view(argv[1]) == "--cell") {
+    const Cell c = RunCell(std::atoi(argv[2]), std::atoi(argv[3]));
+    std::printf("{\"phones\": %d, \"threads\": %d, \"wall_ms\": %.1f}\n",
+                c.phones, c.threads, c.wall_ms);
+    return 0;
+  }
   const std::vector<int> per_place = {17, 67, 334};  // ×3 places ≈ 50/200/1000
   const std::vector<int> thread_counts = {1, 2, 4, 8};
 

@@ -36,6 +36,22 @@ class RunningStats {
   [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
+  // Raw second central moment (Σ(x−mean)²). Together with count/mean/min/max
+  // it is the full internal state, so an accumulator can be serialized and
+  // rebuilt bit-for-bit via FromMoments.
+  [[nodiscard]] double m2() const { return m2_; }
+
+  [[nodiscard]] static RunningStats FromMoments(std::size_t n, double mean,
+                                                double m2, double min,
+                                                double max) {
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
 
   void merge(const RunningStats& o) {
     if (o.n_ == 0) return;

@@ -86,6 +86,12 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
   agents_.clear();
   frontends_.clear();
   server_->scheduler().set_algorithm(config.scheduler_algorithm);
+  {
+    server::DataProcessorOptions opts =
+        server_->data_processor().options();
+    opts.incremental = config.incremental_processing;
+    server_->data_processor().set_options(opts);
+  }
 
   // Telemetry: one trace per campaign. Clearing invalidates stream ids, so
   // every component re-registers: the server here (stream 0), the system

@@ -54,6 +54,11 @@ struct FieldTestConfig {
   // O(P²) scheduler work — results differ from eager per-join replanning
   // (fewer intermediate schedules), so it is opt-in; large benches use it.
   bool defer_setup_reschedules = false;
+  // Streaming feature extraction (docs/performance.md): per-app
+  // accumulators fed only by new uploads. false selects the
+  // decode-everything recompute — bit-identical results, the equivalence
+  // tests rely on it as the oracle.
+  bool incremental_processing = true;
 
   // --- chaos harness -----------------------------------------------------
   // Fault rules armed AFTER deployment + participation succeed (the

@@ -8,8 +8,18 @@ Result<Table*> Database::CreateTable(Schema schema) {
     return Error{Errc::kAlreadyExists, "table exists: " + name};
   auto table = std::make_unique<Table>(std::move(schema));
   Table* ptr = table.get();
+  ptr->set_full_scan_counter(full_scans_);
   tables_.emplace(name, std::move(table));
   return ptr;
+}
+
+void Database::AttachObservability(obs::MetricsRegistry* registry) {
+  // Per-thread sharding: ProcessApp streams read tables from worker threads.
+  full_scans_ = registry == nullptr
+                    ? nullptr
+                    : &registry->counter("db.full_scans",
+                                         obs::Sharding::kPerThread);
+  for (auto& [_, table] : tables_) table->set_full_scan_counter(full_scans_);
 }
 
 Table* Database::table(const std::string& name) {
@@ -103,7 +113,9 @@ void MakeSorSchema(Database& db) {
                  {"received_ms", CT::kInt64}, {"processed", CT::kBool},
                  {"seq", CT::kInt64}};
     Table* t = db.CreateTable(std::move(s)).value();
-    (void)t->CreateIndex("processed");
+    // No index on `processed`: the Data Processor tracks unprocessed work
+    // with per-app watermarks (see DataProcessor::NoteUploadStored), and an
+    // index here would forbid the in-place flip of the flag.
     (void)t->CreateIndex("app_id");
     (void)t->CreateIndex("task_id");
   }
@@ -132,6 +144,19 @@ void MakeSorSchema(Database& db) {
                  {"created_ms", CT::kInt64}};
     Table* t = db.CreateTable(std::move(s)).value();
     (void)t->CreateIndex("task_id");
+  }
+  // processor_state(app_id PK, cursor, state BLOB) — the Data Processor's
+  // persistent per-app accumulator state (raw_id cursor + encoded sufficient
+  // statistics). Stored as a table so snapshot/restore carries it and crash
+  // recovery (PR 1) resumes the incremental path instead of re-decoding
+  // history.
+  {
+    Schema s;
+    s.table_name = tables::kProcessorState;
+    s.columns = {{"app_id", CT::kInt64},
+                 {"cursor", CT::kInt64},
+                 {"state", CT::kBlob}};
+    (void)db.CreateTable(std::move(s)).value();
   }
 }
 

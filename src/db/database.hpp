@@ -38,8 +38,14 @@ class Database {
 
   Status DropTable(const std::string& name);
 
+  // Wire every table's full-scan counter to `registry` (the shared
+  // `db.full_scans` counter); tables created later inherit it. nullptr
+  // detaches. Call again after replacing the database by move (restore).
+  void AttachObservability(obs::MetricsRegistry* registry);
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  obs::Counter* full_scans_ = nullptr;  // not owned; nullable
 };
 
 // Table names used by the sensing server.
@@ -50,9 +56,10 @@ inline constexpr const char* kParticipations = "participations";
 inline constexpr const char* kRawData = "raw_data";
 inline constexpr const char* kFeatureData = "feature_data";
 inline constexpr const char* kSchedules = "schedules";
+inline constexpr const char* kProcessorState = "processor_state";
 }  // namespace tables
 
-// Instantiate the full SOR schema (all six tables + indexes) on `db`.
+// Instantiate the full SOR schema (all seven tables + indexes) on `db`.
 void MakeSorSchema(Database& db);
 
 }  // namespace sor::db

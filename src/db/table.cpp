@@ -10,21 +10,23 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {
          schema_.primary_key < static_cast<int>(schema_.columns.size()));
 }
 
-std::string Table::KeyString(const Value& v) const {
-  // Values of one column share a type (schema-enforced), so a typed prefix
-  // plus the printed form is a collision-free key. Doubles get full
-  // precision to avoid aliasing distinct keys.
-  if (v.is_double()) {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "d%.17g", v.as_double());
-    return buf;
+void Table::AddPosting(Postings& p, RowId id) {
+  // Postings stay sorted ascending; appends dominate (new rows get the
+  // largest RowId), re-adds after an update binary-insert.
+  if (p.empty() || p.back() < id) {
+    p.push_back(id);
+    return;
   }
-  if (v.is_int()) return "i" + std::to_string(v.as_int());
-  if (v.is_text()) return "t" + v.as_text();
-  if (v.is_bool()) return v.as_bool() ? "b1" : "b0";
-  if (v.is_null()) return "n";
-  const Blob& b = v.as_blob();
-  return "x" + std::string(b.begin(), b.end());
+  p.insert(std::lower_bound(p.begin(), p.end(), id), id);
+}
+
+void Table::RemovePosting(SecondaryIndex& idx, const Value& key, RowId id) {
+  auto it = idx.find(key);
+  if (it == idx.end()) return;
+  Postings& p = it->second;
+  auto pos = std::lower_bound(p.begin(), p.end(), id);
+  if (pos != p.end() && *pos == id) p.erase(pos);
+  if (p.empty()) idx.erase(it);
 }
 
 Status Table::CreateIndex(const std::string& column) {
@@ -34,65 +36,91 @@ Status Table::CreateIndex(const std::string& column) {
     return Status(Errc::kInvalidArgument, "no column named " + column);
   if (secondary_.contains(ci)) return Status::Ok();
   auto& idx = secondary_[ci];
-  for (const auto& [id, row] : rows_) idx.emplace(KeyString(row[ci]), id);
+  // Back-fill in RowId order, so every postings list is born sorted.
+  for (RowId id = 1; id < next_id_; ++id) {
+    const auto& slot = slots_[static_cast<std::size_t>(id - 1)];
+    if (slot.has_value())
+      AddPosting(idx[(*slot)[static_cast<std::size_t>(ci)]], id);
+  }
   return Status::Ok();
 }
 
 void Table::IndexRow(RowId id, const Row& row) {
-  pk_index_.emplace(KeyString(row[schema_.primary_key]), id);
-  for (auto& [ci, idx] : secondary_) idx.emplace(KeyString(row[ci]), id);
+  pk_index_.emplace(row[static_cast<std::size_t>(schema_.primary_key)], id);
+  for (auto& [ci, idx] : secondary_)
+    AddPosting(idx[row[static_cast<std::size_t>(ci)]], id);
 }
 
 void Table::UnindexRow(RowId id, const Row& row) {
-  pk_index_.erase(KeyString(row[schema_.primary_key]));
-  for (auto& [ci, idx] : secondary_) {
-    auto [lo, hi] = idx.equal_range(KeyString(row[ci]));
-    for (auto it = lo; it != hi; ++it) {
-      if (it->second == id) {
-        idx.erase(it);
-        break;
-      }
-    }
-  }
+  pk_index_.erase(row[static_cast<std::size_t>(schema_.primary_key)]);
+  for (auto& [ci, idx] : secondary_)
+    RemovePosting(idx, row[static_cast<std::size_t>(ci)], id);
 }
 
 Result<RowId> Table::Insert(Row row) {
   if (Status s = schema_.Validate(row); !s.ok()) return s.error();
   std::lock_guard lock(mu_);
-  const std::string key = KeyString(row[schema_.primary_key]);
-  if (pk_index_.contains(key)) {
+  if (pk_index_.contains(row[static_cast<std::size_t>(schema_.primary_key)])) {
     return Error{Errc::kAlreadyExists,
                  schema_.table_name + ": duplicate key " +
-                     row[schema_.primary_key].str()};
+                     row[static_cast<std::size_t>(schema_.primary_key)].str()};
   }
   const RowId id = next_id_++;
-  IndexRow(id, row);
-  rows_.emplace(id, std::move(row));
+  slots_.push_back(std::move(row));
+  ++live_;
+  IndexRow(id, *slots_.back());
   return id;
 }
 
 Result<RowId> Table::Upsert(Row row) {
   if (Status s = schema_.Validate(row); !s.ok()) return s.error();
   std::lock_guard lock(mu_);
-  const std::string key = KeyString(row[schema_.primary_key]);
-  if (auto it = pk_index_.find(key); it != pk_index_.end()) {
+  const auto it =
+      pk_index_.find(row[static_cast<std::size_t>(schema_.primary_key)]);
+  if (it != pk_index_.end()) {
     const RowId id = it->second;
-    UnindexRow(id, rows_.at(id));
-    IndexRow(id, row);
-    rows_[id] = std::move(row);
+    Row& old = row_at(id);
+    // Fast path: the replacement leaves every indexed cell unchanged (the
+    // pk matches by construction), so the row moves into its slot without
+    // any index maintenance — this is the feature-recompute hot path.
+    for (auto& [ci, idx] : secondary_) {
+      const auto c = static_cast<std::size_t>(ci);
+      if (old[c] == row[c]) continue;
+      RemovePosting(idx, old[c], id);
+      AddPosting(idx[row[c]], id);
+    }
+    old = std::move(row);
     return id;
   }
   const RowId id = next_id_++;
-  IndexRow(id, row);
-  rows_.emplace(id, std::move(row));
+  slots_.push_back(std::move(row));
+  ++live_;
+  IndexRow(id, *slots_.back());
   return id;
 }
 
 std::optional<Row> Table::FindByKey(const Value& key) const {
   std::shared_lock lock(mu_);
-  auto it = pk_index_.find(KeyString(key));
+  auto it = pk_index_.find(key);
   if (it == pk_index_.end()) return std::nullopt;
-  return rows_.at(it->second);
+  return row_at(it->second);
+}
+
+Result<Value> Table::ReadCell(const Value& key, int column) const {
+  std::shared_lock lock(mu_);
+  if (column < 0 || column >= static_cast<int>(schema_.columns.size()))
+    return Error{Errc::kInvalidArgument, "column out of range"};
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end())
+    return Error{Errc::kNotFound,
+                 schema_.table_name + ": no row with key " + key.str()};
+  return row_at(it->second)[static_cast<std::size_t>(column)];
+}
+
+std::optional<Value> Table::MaxPrimaryKey() const {
+  std::shared_lock lock(mu_);
+  if (pk_index_.empty()) return std::nullopt;
+  return std::prev(pk_index_.end())->first;
 }
 
 std::vector<Row> Table::FindWhereEq(const std::string& column,
@@ -102,34 +130,40 @@ std::vector<Row> Table::FindWhereEq(const std::string& column,
   std::vector<Row> out;
   if (ci < 0) return out;
   if (auto idx = secondary_.find(ci); idx != secondary_.end()) {
-    auto [lo, hi] = idx->second.equal_range(KeyString(v));
-    for (auto it = lo; it != hi; ++it) out.push_back(rows_.at(it->second));
+    if (auto p = idx->second.find(v); p != idx->second.end()) {
+      out.reserve(p->second.size());
+      for (RowId id : p->second) out.push_back(row_at(id));
+    }
     return out;
   }
   if (ci == schema_.primary_key) {
-    if (auto it = pk_index_.find(KeyString(v)); it != pk_index_.end())
-      out.push_back(rows_.at(it->second));
+    if (auto it = pk_index_.find(v); it != pk_index_.end())
+      out.push_back(row_at(it->second));
     return out;
   }
-  for (const auto& [id, row] : rows_) {
-    if (row[ci] == v) out.push_back(row);
+  CountFullScan();
+  for (const auto& slot : slots_) {
+    if (slot.has_value() && (*slot)[static_cast<std::size_t>(ci)] == v)
+      out.push_back(*slot);
   }
   return out;
 }
 
 std::vector<Row> Table::Scan(const Predicate& pred) const {
   std::shared_lock lock(mu_);
+  CountFullScan();
   std::vector<Row> out;
-  for (const auto& [id, row] : rows_) {
-    if (!pred || pred(row)) out.push_back(row);
+  for (const auto& slot : slots_) {
+    if (slot.has_value() && (!pred || pred(*slot))) out.push_back(*slot);
   }
   return out;
 }
 
 void Table::ForEach(const RowVisitor& visit) const {
   std::shared_lock lock(mu_);
-  for (const auto& [id, row] : rows_) {
-    if (!visit(row)) return;
+  CountFullScan();
+  for (const auto& slot : slots_) {
+    if (slot.has_value() && !visit(*slot)) return;
   }
 }
 
@@ -139,19 +173,56 @@ void Table::ForEachWhereEq(const std::string& column, const Value& v,
   const int ci = schema_.column_index(column);
   if (ci < 0) return;
   if (auto idx = secondary_.find(ci); idx != secondary_.end()) {
-    auto [lo, hi] = idx->second.equal_range(KeyString(v));
-    for (auto it = lo; it != hi; ++it) {
-      if (!visit(rows_.at(it->second))) return;
+    if (auto p = idx->second.find(v); p != idx->second.end()) {
+      for (RowId id : p->second) {
+        if (!visit(row_at(id))) return;
+      }
     }
     return;
   }
   if (ci == schema_.primary_key) {
-    if (auto it = pk_index_.find(KeyString(v)); it != pk_index_.end())
-      (void)visit(rows_.at(it->second));
+    if (auto it = pk_index_.find(v); it != pk_index_.end())
+      (void)visit(row_at(it->second));
     return;
   }
-  for (const auto& [id, row] : rows_) {
-    if (row[ci] == v && !visit(row)) return;
+  CountFullScan();
+  for (const auto& slot : slots_) {
+    if (slot.has_value() && (*slot)[static_cast<std::size_t>(ci)] == v &&
+        !visit(*slot))
+      return;
+  }
+}
+
+void Table::ForEachWhereEqFromPk(const std::string& column, const Value& v,
+                                 const Value& pk_after,
+                                 const RowVisitor& visit) const {
+  std::shared_lock lock(mu_);
+  const int ci = schema_.column_index(column);
+  if (ci < 0) return;
+  const auto pk = static_cast<std::size_t>(schema_.primary_key);
+  if (auto idx = secondary_.find(ci); idx != secondary_.end()) {
+    auto p = idx->second.find(v);
+    if (p == idx->second.end()) return;
+    const Postings& postings = p->second;
+    // Postings are ascending RowId; with pk order == insertion order the
+    // rows past the cursor form a suffix, found by binary search.
+    auto it = std::partition_point(
+        postings.begin(), postings.end(), [&](RowId id) {
+          return Value::Compare(row_at(id)[pk], pk_after) <= 0;
+        });
+    for (; it != postings.end(); ++it) {
+      if (!visit(row_at(*it))) return;
+    }
+    return;
+  }
+  // Unindexed fallback: filtered walk (counted — this is the degradation
+  // the counter exists to expose).
+  CountFullScan();
+  for (const auto& slot : slots_) {
+    if (!slot.has_value()) continue;
+    if ((*slot)[static_cast<std::size_t>(ci)] != v) continue;
+    if (Value::Compare((*slot)[pk], pk_after) <= 0) continue;
+    if (!visit(*slot)) return;
   }
 }
 
@@ -161,7 +232,8 @@ std::vector<Row> Table::ScanOrderedBy(const std::string& column,
   const int ci = schema_.column_index(column);
   if (ci < 0) return out;
   std::stable_sort(out.begin(), out.end(), [ci](const Row& a, const Row& b) {
-    return Value::Compare(a[ci], b[ci]) < 0;
+    return Value::Compare(a[static_cast<std::size_t>(ci)],
+                          b[static_cast<std::size_t>(ci)]) < 0;
   });
   return out;
 }
@@ -169,13 +241,16 @@ std::vector<Row> Table::ScanOrderedBy(const std::string& column,
 Result<std::size_t> Table::Update(const Predicate& pred,
                                   const std::function<void(Row&)>& mutate) {
   std::lock_guard lock(mu_);
+  CountFullScan();
   // Two-phase: compute all new rows first, validate (including pk
   // uniqueness among survivors), then commit. Keeps the table consistent on
   // failure.
   std::vector<std::pair<RowId, Row>> changed;
-  for (const auto& [id, row] : rows_) {
-    if (pred && !pred(row)) continue;
-    Row next = row;
+  for (RowId id = 1; id < next_id_; ++id) {
+    const auto& slot = slots_[static_cast<std::size_t>(id - 1)];
+    if (!slot.has_value()) continue;
+    if (pred && !pred(*slot)) continue;
+    Row next = *slot;
     mutate(next);
     if (Status s = schema_.Validate(next); !s.ok()) return s.error();
     changed.emplace_back(id, std::move(next));
@@ -191,25 +266,27 @@ Result<std::size_t> Table::UpdateWhereEq(
   if (ci < 0)
     return Error{Errc::kInvalidArgument, "no column named " + column};
 
-  // Candidate ids from the index (or a walk when unindexed), sorted so the
-  // change set commits in the same RowId order a full Update would use.
+  // Candidate ids from the index (or a walk when unindexed); postings are
+  // already in ascending RowId order, the order a full Update would use.
   std::vector<RowId> candidates;
   if (auto idx = secondary_.find(ci); idx != secondary_.end()) {
-    auto [lo, hi] = idx->second.equal_range(KeyString(v));
-    for (auto it = lo; it != hi; ++it) candidates.push_back(it->second);
-    std::sort(candidates.begin(), candidates.end());
+    if (auto p = idx->second.find(v); p != idx->second.end())
+      candidates = p->second;
   } else if (ci == schema_.primary_key) {
-    if (auto it = pk_index_.find(KeyString(v)); it != pk_index_.end())
+    if (auto it = pk_index_.find(v); it != pk_index_.end())
       candidates.push_back(it->second);
   } else {
-    for (const auto& [id, row] : rows_) {
-      if (row[ci] == v) candidates.push_back(id);
+    CountFullScan();
+    for (RowId id = 1; id < next_id_; ++id) {
+      const auto& slot = slots_[static_cast<std::size_t>(id - 1)];
+      if (slot.has_value() && (*slot)[static_cast<std::size_t>(ci)] == v)
+        candidates.push_back(id);
     }
   }
 
   std::vector<std::pair<RowId, Row>> changed;
   for (RowId id : candidates) {
-    const Row& row = rows_.at(id);
+    const Row& row = row_at(id);
     if (pred && !pred(row)) continue;
     Row next = row;
     mutate(next);
@@ -221,11 +298,11 @@ Result<std::size_t> Table::UpdateWhereEq(
 
 Result<std::size_t> Table::CommitUpdate(
     std::vector<std::pair<RowId, Row>> changed) {
+  const auto pk = static_cast<std::size_t>(schema_.primary_key);
   // PK-uniqueness check against unchanged rows and within the change set.
-  std::map<std::string, RowId> new_keys;
+  std::map<Value, RowId, ValueLess> new_keys;
   for (const auto& [id, next] : changed) {
-    const std::string key = KeyString(next[schema_.primary_key]);
-    if (auto it = pk_index_.find(key);
+    if (auto it = pk_index_.find(next[pk]);
         it != pk_index_.end() && it->second != id) {
       // Key collides with a row not in the change set?
       const bool collides_with_changed =
@@ -234,45 +311,126 @@ Result<std::size_t> Table::CommitUpdate(
       if (!collides_with_changed)
         return Error{Errc::kAlreadyExists, "update would duplicate key"};
     }
-    if (!new_keys.emplace(key, id).second)
+    if (!new_keys.emplace(next[pk], id).second)
       return Error{Errc::kAlreadyExists, "update would duplicate key"};
   }
-  for (auto& [id, next] : changed) {
-    UnindexRow(id, rows_.at(id));
-    IndexRow(id, next);
-    rows_[id] = std::move(next);
+  // Diff-aware commit, two passes per index so transiently-overlapping key
+  // swaps inside one change set cannot collide mid-commit: drop all stale
+  // entries first, then add the new ones, then move the rows in.
+  for (const auto& [id, next] : changed) {
+    const Row& old = row_at(id);
+    if (old[pk] != next[pk]) pk_index_.erase(old[pk]);
+    for (auto& [ci, idx] : secondary_) {
+      const auto c = static_cast<std::size_t>(ci);
+      if (old[c] != next[c]) RemovePosting(idx, old[c], id);
+    }
   }
+  for (const auto& [id, next] : changed) {
+    const Row& old = row_at(id);
+    if (old[pk] != next[pk]) pk_index_.emplace(next[pk], id);
+    for (auto& [ci, idx] : secondary_) {
+      const auto c = static_cast<std::size_t>(ci);
+      if (old[c] != next[c]) AddPosting(idx[next[c]], id);
+    }
+  }
+  for (auto& [id, next] : changed) row_at(id) = std::move(next);
   return changed.size();
 }
 
 Status Table::UpdateByKey(const Value& key,
                           const std::function<void(Row&)>& mutate) {
-  const int pk = schema_.primary_key;
-  Result<std::size_t> n = Update(
-      [&](const Row& row) { return row[pk] == key; }, mutate);
-  if (!n.ok()) return n.error();
-  if (n.value() == 0)
+  std::lock_guard lock(mu_);
+  const auto it = pk_index_.find(key);
+  if (it == pk_index_.end())
     return Status(Errc::kNotFound,
                   schema_.table_name + ": no row with key " + key.str());
+  Row next = row_at(it->second);
+  mutate(next);
+  if (Status s = schema_.Validate(next); !s.ok()) return s;
+  std::vector<std::pair<RowId, Row>> changed;
+  changed.emplace_back(it->second, std::move(next));
+  Result<std::size_t> n = CommitUpdate(std::move(changed));
+  if (!n.ok()) return Status(n.error());
+  return Status::Ok();
+}
+
+Status Table::CheckInPlaceColumn(int column, const Value& v) const {
+  if (column < 0 || column >= static_cast<int>(schema_.columns.size()))
+    return Status(Errc::kInvalidArgument, "column out of range");
+  if (column == schema_.primary_key)
+    return Status(Errc::kInvalidArgument,
+                  "in-place update cannot touch the primary key");
+  if (secondary_.contains(column))
+    return Status(Errc::kInvalidArgument,
+                  "in-place update cannot touch indexed column " +
+                      schema_.columns[static_cast<std::size_t>(column)].name);
+  const ColumnSpec& spec = schema_.columns[static_cast<std::size_t>(column)];
+  if (v.is_null()) {
+    if (!spec.nullable)
+      return Status(Errc::kInvalidArgument,
+                    "null into non-nullable column " + spec.name);
+    return Status::Ok();
+  }
+  if (!v.matches(spec.type))
+    return Status(Errc::kInvalidArgument,
+                  "type mismatch for column " + spec.name);
+  return Status::Ok();
+}
+
+Status Table::UpdateInPlace(const Value& key, int column, Value v) {
+  const std::pair<int, Value> cell{column, std::move(v)};
+  return UpdateInPlace(key, std::span<const std::pair<int, Value>>(&cell, 1));
+}
+
+Status Table::UpdateInPlace(const Value& key,
+                            std::span<const std::pair<int, Value>> cells) {
+  std::lock_guard lock(mu_);
+  for (const auto& [column, v] : cells) {
+    if (Status s = CheckInPlaceColumn(column, v); !s.ok()) return s;
+  }
+  const auto it = pk_index_.find(key);
+  if (it == pk_index_.end())
+    return Status(Errc::kNotFound,
+                  schema_.table_name + ": no row with key " + key.str());
+  Row& row = row_at(it->second);
+  for (const auto& [column, v] : cells)
+    row[static_cast<std::size_t>(column)] = v;
   return Status::Ok();
 }
 
 std::size_t Table::Erase(const Predicate& pred) {
   std::lock_guard lock(mu_);
-  std::vector<RowId> doomed;
-  for (const auto& [id, row] : rows_) {
-    if (!pred || pred(row)) doomed.push_back(id);
+  CountFullScan();
+  std::size_t erased = 0;
+  for (RowId id = 1; id < next_id_; ++id) {
+    auto& slot = slots_[static_cast<std::size_t>(id - 1)];
+    if (!slot.has_value()) continue;
+    if (pred && !pred(*slot)) continue;
+    UnindexRow(id, *slot);
+    slot.reset();
+    --live_;
+    ++erased;
   }
-  for (RowId id : doomed) {
-    UnindexRow(id, rows_.at(id));
-    rows_.erase(id);
-  }
-  return doomed.size();
+  return erased;
+}
+
+Status Table::EraseByKey(const Value& key) {
+  std::lock_guard lock(mu_);
+  const auto it = pk_index_.find(key);
+  if (it == pk_index_.end())
+    return Status(Errc::kNotFound,
+                  schema_.table_name + ": no row with key " + key.str());
+  const RowId id = it->second;
+  auto& slot = slots_[static_cast<std::size_t>(id - 1)];
+  UnindexRow(id, *slot);
+  slot.reset();
+  --live_;
+  return Status::Ok();
 }
 
 std::size_t Table::size() const {
   std::shared_lock lock(mu_);
-  return rows_.size();
+  return live_;
 }
 
 std::vector<std::string> Table::IndexedColumns() const {

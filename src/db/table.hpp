@@ -6,6 +6,19 @@
 // data by place), and in-place updates (task status transitions). All of
 // those are first-class here; anything fancier (joins) is composed by the
 // caller.
+//
+// Storage layout (docs/performance.md):
+//   * rows live in a contiguous slot vector addressed by RowId (monotone,
+//     never reused; erased slots become tombstones), so visitation is a
+//     linear walk instead of a std::map pointer chase;
+//   * index keys are typed Values ordered by Value::Compare — no string
+//     materialization, so indexing a blob column never copies the blob;
+//   * secondary postings lists are kept sorted by RowId, which makes every
+//     equality visitation deterministic insertion order and enables the
+//     cursored ForEachWhereEqFromPk access path;
+//   * updates that touch only non-key, non-indexed columns can go through
+//     UpdateInPlace, which assigns the cells in place — no row copy, no
+//     re-index.
 #pragma once
 
 #include <cstdint>
@@ -13,12 +26,15 @@
 #include <map>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
 #include "db/value.hpp"
+#include "obs/metrics.hpp"
 
 namespace sor::db {
 
@@ -49,10 +65,19 @@ class Table {
   Result<RowId> Insert(Row row);
 
   // Upsert on primary key: replaces the existing row if the key exists.
+  // When the replacement changes no indexed cell (the common recompute
+  // case, e.g. feature_data), the row moves into its slot without touching
+  // any index.
   Result<RowId> Upsert(Row row);
 
   // Point lookup by primary-key value.
   [[nodiscard]] std::optional<Row> FindByKey(const Value& key) const;
+
+  // Point read of one cell — no row copy (blobs stay put).
+  [[nodiscard]] Result<Value> ReadCell(const Value& key, int column) const;
+
+  // Largest primary-key value present, or nullopt on an empty table. O(1).
+  [[nodiscard]] std::optional<Value> MaxPrimaryKey() const;
 
   // Equality scan on any column; uses a secondary index if one exists.
   [[nodiscard]] std::vector<Row> FindWhereEq(const std::string& column,
@@ -69,6 +94,18 @@ class Table {
   void ForEachWhereEq(const std::string& column, const Value& v,
                       const RowVisitor& visit) const;
 
+  // Cursored equality visitation: rows with `column == v` AND primary key
+  // strictly greater than `pk_after`, ascending RowId order. Requires that
+  // primary-key order matches insertion order for the matching rows (true
+  // for append-only tables with monotone keys, e.g. raw_data), which lets
+  // the cursor position resolve by binary search over the postings list —
+  // O(log matches + new rows), never O(history). Falls back to a filtered
+  // walk of the equality set when the assumption cannot apply (unindexed
+  // column).
+  void ForEachWhereEqFromPk(const std::string& column, const Value& v,
+                            const Value& pk_after,
+                            const RowVisitor& visit) const;
+
   // Filtered scan, sorted ascending by a column.
   [[nodiscard]] std::vector<Row> ScanOrderedBy(const std::string& column,
                                                const Predicate& pred = {}) const;
@@ -79,8 +116,20 @@ class Table {
   Result<std::size_t> Update(const Predicate& pred,
                              const std::function<void(Row&)>& mutate);
 
-  // Update the single row whose primary key equals `key`.
+  // Update the single row whose primary key equals `key` (pk-index point
+  // lookup, not a scan). Only indexes whose column actually changed are
+  // touched on commit.
   Status UpdateByKey(const Value& key, const std::function<void(Row&)>& mutate);
+
+  // In-place fast path: assign `v` to `column` of the row with primary key
+  // `key`, without copying the row or touching any index. Restricted to
+  // non-key, non-indexed columns (kInvalidArgument otherwise) — the
+  // index-safety contract is documented in docs/performance.md. The value
+  // is schema-validated before assignment.
+  Status UpdateInPlace(const Value& key, int column, Value v);
+  // Multi-column variant; all columns must satisfy the same contract.
+  Status UpdateInPlace(const Value& key,
+                       std::span<const std::pair<int, Value>> cells);
 
   // Indexed update: like Update, but candidate rows come from the equality
   // index on `column` (falling back to a full walk when unindexed), and
@@ -93,6 +142,9 @@ class Table {
   // Delete rows matching pred; returns rows removed.
   std::size_t Erase(const Predicate& pred);
 
+  // Delete the single row whose primary key equals `key` (point lookup).
+  Status EraseByKey(const Value& key);
+
   [[nodiscard]] std::size_t size() const;
 
   // Column-index helper that throws away the string lookup for hot paths.
@@ -103,13 +155,38 @@ class Table {
   // Names of columns carrying a secondary index (snapshot/restore).
   [[nodiscard]] std::vector<std::string> IndexedColumns() const;
 
+  // Observability hook: every full-table walk (Scan/ForEach/Erase-by-pred
+  // and the unindexed equality fallbacks) bumps this counter, so a query
+  // silently degrading to O(table) shows up in `db.full_scans`. nullptr
+  // (the default) disables counting.
+  void set_full_scan_counter(obs::Counter* counter) { full_scans_ = counter; }
+
  private:
+  // Sorted-by-RowId postings of one index key.
+  using Postings = std::vector<RowId>;
+  using SecondaryIndex = std::map<Value, Postings, ValueLess>;
+
   void IndexRow(RowId id, const Row& row);
   void UnindexRow(RowId id, const Row& row);
-  [[nodiscard]] std::string KeyString(const Value& v) const;
+  static void AddPosting(Postings& p, RowId id);
+  static void RemovePosting(SecondaryIndex& idx, const Value& key, RowId id);
+
+  [[nodiscard]] const Row& row_at(RowId id) const {
+    return *slots_[static_cast<std::size_t>(id - 1)];
+  }
+  [[nodiscard]] Row& row_at(RowId id) {
+    return *slots_[static_cast<std::size_t>(id - 1)];
+  }
+  void CountFullScan() const {
+    if (full_scans_ != nullptr) full_scans_->Inc();
+  }
+  // Shared checks for the in-place contract; returns the error or Ok.
+  [[nodiscard]] Status CheckInPlaceColumn(int column, const Value& v) const;
 
   // Commits a validated change set (ids paired with their new rows) under
   // an already-held exclusive lock; shared by Update and UpdateWhereEq.
+  // Diff-aware: only indexes whose column value actually changed are
+  // rewritten.
   Result<std::size_t> CommitUpdate(std::vector<std::pair<RowId, Row>> changed);
 
   Schema schema_;
@@ -117,12 +194,16 @@ class Table {
   // exclusive. Lock hierarchy: executor round → network inbox gate → table
   // lock (see docs/runtime.md); visitors must not re-enter the table.
   mutable std::shared_mutex mu_;
-  std::map<RowId, Row> rows_;
+  // Slot i holds the row with RowId i+1; erased rows leave tombstones
+  // (RowIds are never reused, so the mapping is permanent).
+  std::vector<std::optional<Row>> slots_;
+  std::size_t live_ = 0;
   RowId next_id_ = 1;
-  // Primary-key → RowId (unique).
-  std::map<std::string, RowId> pk_index_;
-  // column index → (value-key → row ids); non-unique secondary indexes.
-  std::unordered_map<int, std::multimap<std::string, RowId>> secondary_;
+  // Primary-key → RowId (unique), ordered by Value::Compare.
+  std::map<Value, RowId, ValueLess> pk_index_;
+  // column index → (value → sorted row ids); non-unique secondary indexes.
+  std::unordered_map<int, SecondaryIndex> secondary_;
+  obs::Counter* full_scans_ = nullptr;  // not owned; nullable
 };
 
 }  // namespace sor::db

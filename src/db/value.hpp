@@ -114,6 +114,14 @@ class Value {
 
 using Row = std::vector<Value>;
 
+// Strict weak order over Values via Value::Compare; the comparator behind
+// typed index keys (no string materialization of keys).
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return Value::Compare(a, b) < 0;
+  }
+};
+
 struct ColumnSpec {
   std::string name;
   ColumnType type = ColumnType::kInt64;

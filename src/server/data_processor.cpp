@@ -14,7 +14,13 @@ using db::Row;
 using db::Table;
 using db::Value;
 
-// Decoded raw data of one application, grouped for feature extraction.
+// raw_data column positions (MakeSorSchema).
+constexpr int kRawIdCol = 0;
+constexpr int kRawBodyCol = 3;
+constexpr int kRawProcessedCol = 5;
+
+// Decoded raw data of one application, grouped for feature extraction
+// (the full-recompute oracle path).
 struct AppRawData {
   // Per sensor kind: every tuple uploaded for this app.
   std::map<SensorKind, std::vector<ReadingTuple>> by_kind;
@@ -64,64 +70,10 @@ double ExtractFeature(const FeatureDef& def, const AppRawData& data,
       }
       return outer.stddev();
     }
-    case ExtractMethod::kGpsCurvature: {
-      // §V-A: "calculated based on GPS locations using the method presented
-      // in [17]" — polyline turn density along each phone's track, averaged
-      // across phones; reported in mrad/m. Fixes within a tuple carry no
-      // individual timestamps on the wire, but they are evenly spread over
-      // [t, t+Δt], so their times are reconstructed, the whole track is
-      // sorted, lightly smoothed (3-point moving average) against GPS
-      // noise, and near-stationary segments are dropped.
-      RunningStats per_track;
-      for (const auto& [task, tuples] : data.gps_by_task) {
-        std::vector<std::pair<std::int64_t, GeoPoint>> timed;
-        for (const ReadingTuple& t : tuples) {
-          const std::size_t n = t.locations.size();
-          for (std::size_t i = 0; i < n; ++i) {
-            const std::int64_t offset =
-                n > 1 ? t.dt.ms * static_cast<std::int64_t>(i) /
-                            static_cast<std::int64_t>(n - 1)
-                      : 0;
-            timed.emplace_back(t.t.ms + offset, t.locations[i]);
-          }
-        }
-        std::stable_sort(timed.begin(), timed.end(),
-                         [](const auto& a, const auto& b) {
-                           return a.first < b.first;
-                         });
-        std::vector<GeoPoint> fixes;
-        fixes.reserve(timed.size());
-        for (const auto& [ms, p] : timed) fixes.push_back(p);
-        if (fixes.size() < 5) continue;
-
-        // 3-point moving-average smoothing.
-        std::vector<GeoPoint> smooth(fixes.size());
-        smooth.front() = fixes.front();
-        smooth.back() = fixes.back();
-        for (std::size_t i = 1; i + 1 < fixes.size(); ++i) {
-          smooth[i].lat_deg = (fixes[i - 1].lat_deg + fixes[i].lat_deg +
-                               fixes[i + 1].lat_deg) / 3.0;
-          smooth[i].lon_deg = (fixes[i - 1].lon_deg + fixes[i].lon_deg +
-                               fixes[i + 1].lon_deg) / 3.0;
-          smooth[i].alt_m = (fixes[i - 1].alt_m + fixes[i].alt_m +
-                             fixes[i + 1].alt_m) / 3.0;
-        }
-
-        RunningStats curv;
-        for (std::size_t i = 1; i + 1 < smooth.size(); ++i) {
-          // Skip near-stationary vertices: angle is undefined noise there.
-          if (HaversineMeters(smooth[i - 1], smooth[i]) < 5.0 ||
-              HaversineMeters(smooth[i], smooth[i + 1]) < 5.0)
-            continue;
-          curv.add(PolylineCurvature(smooth[i - 1], smooth[i],
-                                     smooth[i + 1]));
-        }
-        if (curv.count() == 0) continue;
-        *n_samples += fixes.size();
-        per_track.add(curv.mean() * 1000.0);
-      }
-      return per_track.mean();
-    }
+    case ExtractMethod::kGpsCurvature:
+      // §V-A: method of [17]; the shared implementation is also the
+      // incremental finalize, so the two paths are arithmetically one.
+      return GpsCurvatureOfTracks(data.gps_by_task, n_samples);
   }
   return 0.0;
 }
@@ -147,6 +99,54 @@ void DataProcessor::AttachObservability(obs::MetricsRegistry* registry,
   obs_.apps_skipped = &registry->counter("processor.apps_skipped", per_thread);
 }
 
+void DataProcessor::NoteUploadStored(AppId app, std::int64_t raw_id) {
+  std::lock_guard lock(state_mu_);
+  AppProgress& p = progress_[app.value()];
+  p.stored = std::max(p.stored, raw_id);
+}
+
+void DataProcessor::RestoreProgress(AppId app, std::int64_t stored_max,
+                                    std::int64_t processed_max) {
+  std::lock_guard lock(state_mu_);
+  AppProgress& p = progress_[app.value()];
+  p.stored = stored_max;
+  p.processed = processed_max;
+}
+
+void DataProcessor::ResetRuntimeState() {
+  std::lock_guard lock(state_mu_);
+  progress_.clear();
+  acc_.clear();
+}
+
+AppAccumulatorState* DataProcessor::GetOrLoadState(AppId app,
+                                                   std::size_t n_features) {
+  std::lock_guard lock(state_mu_);
+  auto it = acc_.find(app.value());
+  if (it != acc_.end()) return it->second.get();
+
+  auto state = std::make_unique<AppAccumulatorState>();
+  if (const Table* persisted = db_.table(db::tables::kProcessorState)) {
+    const std::int64_t app_key = static_cast<std::int64_t>(app.value());
+    if (std::optional<Row> row = persisted->FindByKey(Value(app_key))) {
+      Result<AppAccumulatorState> decoded =
+          AppAccumulatorState::Decode((*row)[2].as_blob(), n_features);
+      if (decoded.ok()) {
+        *state = std::move(decoded).value();
+      } else {
+        // A stale/mismatched snapshot blob: fall back to an empty state with
+        // cursor 0, which re-ingests the full history exactly once.
+        SOR_LOG(kWarn, "processor",
+                "discarding persisted state for app "
+                    << app.value() << ": " << decoded.error().str());
+      }
+    }
+  }
+  AppAccumulatorState* ptr = state.get();
+  acc_.emplace(app.value(), std::move(state));
+  return ptr;
+}
+
 Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
                                       SimTime now) {
   Table* raw = db_.table(db::tables::kRawData);
@@ -154,22 +154,17 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
   if (!raw || !features)
     return Error{Errc::kInternal, "raw/feature tables missing"};
 
-  const std::int64_t app_key = static_cast<std::int64_t>(app.id.value());
-
   // "Periodically checks if there are any binary sensed data" (§II-B):
-  // consult the processed-column index instead of walking every blob. If
-  // nothing new arrived since the last pass AND the app's features are
-  // already in the database, the whole pass is a no-op. (Features are
-  // aggregates over the app's *full* history, so any new blob forces a
-  // recompute over all of its rows, not just the new ones.)
+  // compare the app's stored/processed watermarks — an O(1) probe that
+  // never touches the raw table. If nothing new arrived since the last
+  // pass AND the app's features are already in the database, the whole
+  // pass is a no-op.
   bool has_unprocessed = false;
-  raw->ForEachWhereEq("processed", Value(false), [&](const Row& r) {
-    if (r[2].as_int() == app_key) {
-      has_unprocessed = true;
-      return false;  // stop: one hit is enough
-    }
-    return true;
-  });
+  {
+    std::lock_guard lock(state_mu_);
+    if (auto it = progress_.find(app.id.value()); it != progress_.end())
+      has_unprocessed = it->second.stored > it->second.processed;
+  }
   if (!has_unprocessed) {
     bool features_exist = false;
     features->ForEachWhereEq("app_id", Value(app.id.value()),
@@ -187,18 +182,122 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
     // zero-valued feature rows the ranker's matrix assembly expects.
   }
 
-  // Decode every upload body for this app (the stored bodies are the exact
-  // binary message payloads as received, §II-B). Stats accumulate locally
-  // and merge once at the end so concurrent per-app calls never contend.
-  DataProcessorStats local;
-  AppRawData data;
   // This app's stream was pre-registered serially (ProcessAllData), so the
   // find-by-name here is deterministic even on a worker thread.
   const bool tracing = tracer_ != nullptr && tracer_->enabled();
   const obs::StreamId stream =
       tracing ? tracer_->RegisterStream(StreamNameForApp(app.id)) : 0;
+
+  return options_.incremental
+             ? ProcessAppIncremental(app, now, raw, features, stream, tracing)
+             : ProcessAppFull(app, now, raw, features, stream, tracing);
+}
+
+Result<int> DataProcessor::ProcessAppIncremental(const ApplicationRecord& app,
+                                                 SimTime now, Table* raw,
+                                                 Table* features,
+                                                 obs::StreamId stream,
+                                                 bool tracing) {
+  const std::vector<FeatureDef>& defs = app.spec.features;
+  AppAccumulatorState* state = GetOrLoadState(app.id, defs.size());
+
+  // Fold in only the blobs past the cursor, in raw_id (arrival) order —
+  // the same order the full recompute decodes them, so order-dependent
+  // accumulators (Welford) match it bit-for-bit. Stats accumulate locally
+  // and merge once at the end so concurrent per-app calls never contend.
+  DataProcessorStats local;
+  std::vector<std::int64_t> new_ids;
+  raw->ForEachWhereEqFromPk(
+      "app_id", Value(app.id.value()), Value(state->cursor),
+      [&](const Row& row) {
+        new_ids.push_back(row[kRawIdCol].as_int());
+        const db::Blob& body = row[kRawBodyCol].as_blob();
+        Result<Message> decoded =
+            DecodeBody(MessageType::kSensedDataUpload, body);
+        if (!decoded.ok()) {
+          ++local.blobs_rejected;
+          SOR_LOG(kWarn, "processor",
+                  "rejecting malformed upload blob: "
+                      << decoded.error().str());
+          return true;
+        }
+        ++local.blobs_decoded;
+        const auto& upload = std::get<SensedDataUpload>(decoded.value());
+        if (tracing) {
+          tracer_->Emit(stream, now, obs::EventKind::kBlobProcessed,
+                        upload.task.value(), upload.seq, app.id.value());
+        }
+        for (const ReadingTuple& t : upload.batches) {
+          ++local.tuples_processed;
+          state->Ingest(defs, upload.task.value(), t);
+        }
+        return true;
+      });
+  if (!new_ids.empty()) state->cursor = new_ids.back();
+
+  int written = 0;
+  for (std::size_t j = 0; j < defs.size(); ++j) {
+    std::size_t n_samples = 0;
+    const double value =
+        state->Finalize(j, defs[j], options_.reject_outliers,
+                        options_.outlier_z_threshold, &n_samples);
+    // Deterministic key per (app, feature): recomputation upserts.
+    const std::uint64_t feature_id = app.id.value() * 1000 + j + 1;
+    Result<db::RowId> r = features->Upsert(
+        {Value(feature_id), Value(app.id.value()),
+         Value(app.spec.place.value()), Value(defs[j].name), Value(value),
+         Value(static_cast<std::int64_t>(n_samples)), Value(now.ms)});
+    if (!r.ok()) {
+      FlushCounters(local);
+      std::lock_guard lock(stats_mu_);
+      stats_ += local;
+      return r.error();
+    }
+    ++local.features_written;
+    ++written;
+  }
+
+  // Flag the consumed raw rows as processed — point in-place flips, no row
+  // copies, no re-indexing — and persist the accumulator state so a crash
+  // (or snapshot/restore) resumes from the cursor instead of re-ingesting.
+  for (std::int64_t raw_id : new_ids)
+    (void)raw->UpdateInPlace(Value(raw_id), kRawProcessedCol, Value(true));
+  if (!new_ids.empty()) {
+    if (Table* persisted = db_.table(db::tables::kProcessorState)) {
+      const std::int64_t app_key = static_cast<std::int64_t>(app.id.value());
+      (void)persisted->Upsert(
+          {Value(app_key), Value(state->cursor), Value(state->Encode())});
+    }
+  }
+
+  {
+    std::lock_guard lock(state_mu_);
+    AppProgress& p = progress_[app.id.value()];
+    p.processed = std::max(p.processed, state->cursor);
+  }
+
+  if (tracing) {
+    tracer_->Emit(stream, now, obs::EventKind::kAppProcessed, app.id.value(),
+                  static_cast<std::uint64_t>(written));
+  }
+  FlushCounters(local);
+  std::lock_guard lock(stats_mu_);
+  stats_ += local;
+  return written;
+}
+
+Result<int> DataProcessor::ProcessAppFull(const ApplicationRecord& app,
+                                          SimTime now, Table* raw,
+                                          Table* features,
+                                          obs::StreamId stream, bool tracing) {
+  // Decode every upload body for this app (the stored bodies are the exact
+  // binary message payloads as received, §II-B).
+  DataProcessorStats local;
+  AppRawData data;
+  std::int64_t max_raw_id = 0;
   raw->ForEachWhereEq("app_id", Value(app.id.value()), [&](const Row& row) {
-    const db::Blob& body = row[3].as_blob();
+    max_raw_id = std::max(max_raw_id, row[kRawIdCol].as_int());
+    const db::Blob& body = row[kRawBodyCol].as_blob();
     Result<Message> decoded = DecodeBody(MessageType::kSensedDataUpload, body);
     if (!decoded.ok()) {
       ++local.blobs_rejected;
@@ -220,14 +319,6 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
     }
     return true;
   });
-
-  // Sort GPS tuples per task by time so curvature follows the walk order.
-  for (auto& [task, tuples] : data.gps_by_task) {
-    std::stable_sort(tuples.begin(), tuples.end(),
-                     [](const ReadingTuple& a, const ReadingTuple& b) {
-                       return a.t < b.t;
-                     });
-  }
 
   int written = 0;
   for (std::size_t j = 0; j < app.spec.features.size(); ++j) {
@@ -254,8 +345,23 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
   // index rather than a full-table walk.
   (void)raw->UpdateWhereEq(
       "app_id", Value(app.id.value()),
-      [](const Row& row) { return !row[5].as_bool(); },
-      [](Row& row) { row[5] = Value(true); });
+      [](const Row& row) { return !row[kRawProcessedCol].as_bool(); },
+      [](Row& row) { row[kRawProcessedCol] = Value(true); });
+
+  // The full path invalidates any incremental state: drop the cached
+  // accumulators and the persisted blob so a later incremental pass
+  // re-primes from cursor 0 (re-ingesting the history exactly once)
+  // instead of resuming from a cursor behind the processed watermark.
+  {
+    std::lock_guard lock(state_mu_);
+    AppProgress& p = progress_[app.id.value()];
+    p.processed = std::max(p.processed, max_raw_id);
+    acc_.erase(app.id.value());
+  }
+  if (Table* persisted = db_.table(db::tables::kProcessorState)) {
+    const std::int64_t app_key = static_cast<std::int64_t>(app.id.value());
+    (void)persisted->EraseByKey(Value(app_key));
+  }
 
   if (tracing) {
     tracer_->Emit(stream, now, obs::EventKind::kAppProcessed, app.id.value(),

@@ -7,15 +7,22 @@
 // humidity, roughness of road surface, etc), which will then be stored into
 // the database to serve as input for the Personalizable Ranker."
 //
-// ProcessApp() decodes every raw upload blob of an application, runs the
-// app's FeatureDef extraction methods, and upserts one feature_data row per
-// feature. BuildFeatureMatrix() assembles the ranker's H matrix from those
+// ProcessApp() runs one of two equivalent paths (docs/performance.md):
+//   * incremental (default) — persistent per-app accumulators
+//     (AppAccumulatorState) are fed only the blobs past the app's raw_id
+//     cursor, so a pass costs O(new uploads) instead of O(total history);
+//   * full recompute (options.incremental = false) — decode every blob of
+//     the app and extract from scratch. Kept as the test oracle: both paths
+//     must produce bit-identical feature rows and trace events.
+// BuildFeatureMatrix() assembles the ranker's H matrix from the feature
 // rows across the applications of one category.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
@@ -24,6 +31,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rank/personalizable_ranker.hpp"
+#include "server/feature_accumulator.hpp"
 #include "server/managers.hpp"
 
 namespace sor::server {
@@ -34,7 +42,7 @@ struct DataProcessorStats {
   std::uint64_t tuples_processed = 0;
   std::uint64_t features_written = 0;
   // Periodic checks that found nothing new for an app and skipped it (the
-  // processed-column index makes this O(unprocessed), not O(all blobs)).
+  // per-app stored/processed watermarks make this an O(1) probe).
   std::uint64_t apps_skipped = 0;
 
   DataProcessorStats& operator+=(const DataProcessorStats& o) {
@@ -53,6 +61,10 @@ struct DataProcessorOptions {
   // broken or miscalibrated sensor cannot drag a place's feature value.
   bool reject_outliers = true;
   double outlier_z_threshold = 6.0;
+  // Streaming accumulators (the production path). false switches to the
+  // decode-everything recompute, the oracle the equivalence tests compare
+  // against. Appended last so positional initializers stay valid.
+  bool incremental = true;
 };
 
 class DataProcessor {
@@ -67,12 +79,27 @@ class DataProcessor {
   void set_options(const DataProcessorOptions& o) { options_ = o; }
 
   // Decode + process the raw data of `app`; write feature_data rows.
-  // Returns the number of feature values written. Incremental: when the
-  // processed-column index shows nothing new for the app and its features
-  // are already in the database, the call is a cheap no-op. Safe to run
-  // concurrently for *different* apps (stats merge under a mutex; row sets
-  // are disjoint per app).
+  // Returns the number of feature values written. When the per-app
+  // watermarks show nothing new and the app's features are already in the
+  // database, the call is a cheap no-op. Safe to run concurrently for
+  // *different* apps (stats/progress merge under mutexes; row sets and
+  // accumulator states are disjoint per app).
   Result<int> ProcessApp(const ApplicationRecord& app, SimTime now);
+
+  // Upload-store-time hook: the server calls this when a raw row for `app`
+  // is inserted, advancing the app's stored watermark so ProcessApp can
+  // detect new work without probing the raw table at all.
+  void NoteUploadStored(AppId app, std::int64_t raw_id);
+
+  // Rebuild one app's watermarks after a snapshot restore (the server scans
+  // the restored raw table once and reports the high-water marks).
+  void RestoreProgress(AppId app, std::int64_t stored_max,
+                       std::int64_t processed_max);
+
+  // Drop all in-memory watermarks and cached accumulator states. Called on
+  // snapshot restore, before RestoreProgress repopulates; persisted
+  // accumulator state reloads lazily from the processor_state table.
+  void ResetRuntimeState();
 
   // Fetch one computed feature value (for tests/visualization).
   [[nodiscard]] Result<double> FeatureValue(AppId app,
@@ -99,6 +126,25 @@ class DataProcessor {
   }
 
  private:
+  // Stored vs processed raw_id high-water marks of one app. stored advances
+  // at upload time (NoteUploadStored), processed after a ProcessApp pass;
+  // stored > processed means there is new work.
+  struct AppProgress {
+    std::int64_t stored = 0;
+    std::int64_t processed = 0;
+  };
+
+  Result<int> ProcessAppIncremental(const ApplicationRecord& app, SimTime now,
+                                    db::Table* raw, db::Table* features,
+                                    obs::StreamId stream, bool tracing);
+  Result<int> ProcessAppFull(const ApplicationRecord& app, SimTime now,
+                             db::Table* raw, db::Table* features,
+                             obs::StreamId stream, bool tracing);
+
+  // Fetch the app's cached accumulator state, loading it from the
+  // processor_state table (or creating it fresh) on first touch.
+  AppAccumulatorState* GetOrLoadState(AppId app, std::size_t n_features);
+
   // Add one ProcessApp call's local stats to the registry counters.
   void FlushCounters(const DataProcessorStats& local);
 
@@ -106,6 +152,12 @@ class DataProcessor {
   DataProcessorOptions options_;
   DataProcessorStats stats_;
   std::mutex stats_mu_;  // guards stats_ during parallel ProcessApp calls
+
+  // Guards progress_ and the acc_ *map* (each mapped state is only touched
+  // by the one ProcessApp call owning that app).
+  std::mutex state_mu_;
+  std::unordered_map<std::uint64_t, AppProgress> progress_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<AppAccumulatorState>> acc_;
 
   // Shared-telemetry handles (null until AttachObservability).
   obs::Tracer* tracer_ = nullptr;

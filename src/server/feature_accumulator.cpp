@@ -1,0 +1,201 @@
+#include "server/feature_accumulator.hpp"
+
+#include <algorithm>
+
+#include "common/geo.hpp"
+
+namespace sor::server {
+
+double GpsCurvatureOfTracks(
+    const std::map<std::uint64_t, std::vector<ReadingTuple>>& gps_by_task,
+    std::size_t* n_samples) {
+  RunningStats per_track;
+  for (const auto& [task, stored] : gps_by_task) {
+    // Sort a copy by window start so curvature follows the walk order;
+    // stable, so a pre-sorted input (the full-recompute oracle) is a no-op.
+    std::vector<ReadingTuple> tuples = stored;
+    std::stable_sort(tuples.begin(), tuples.end(),
+                     [](const ReadingTuple& a, const ReadingTuple& b) {
+                       return a.t < b.t;
+                     });
+    // Fixes within a tuple carry no individual timestamps on the wire, but
+    // they are evenly spread over [t, t+Δt]; reconstruct their times, order
+    // the whole track, then smooth against GPS noise.
+    std::vector<std::pair<std::int64_t, GeoPoint>> timed;
+    for (const ReadingTuple& t : tuples) {
+      const std::size_t n = t.locations.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t offset =
+            n > 1 ? t.dt.ms * static_cast<std::int64_t>(i) /
+                        static_cast<std::int64_t>(n - 1)
+                  : 0;
+        timed.emplace_back(t.t.ms + offset, t.locations[i]);
+      }
+    }
+    std::stable_sort(
+        timed.begin(), timed.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<GeoPoint> fixes;
+    fixes.reserve(timed.size());
+    for (const auto& [ms, p] : timed) fixes.push_back(p);
+    if (fixes.size() < 5) continue;
+
+    // 3-point moving-average smoothing.
+    std::vector<GeoPoint> smooth(fixes.size());
+    smooth.front() = fixes.front();
+    smooth.back() = fixes.back();
+    for (std::size_t i = 1; i + 1 < fixes.size(); ++i) {
+      smooth[i].lat_deg =
+          (fixes[i - 1].lat_deg + fixes[i].lat_deg + fixes[i + 1].lat_deg) /
+          3.0;
+      smooth[i].lon_deg =
+          (fixes[i - 1].lon_deg + fixes[i].lon_deg + fixes[i + 1].lon_deg) /
+          3.0;
+      smooth[i].alt_m =
+          (fixes[i - 1].alt_m + fixes[i].alt_m + fixes[i + 1].alt_m) / 3.0;
+    }
+
+    RunningStats curv;
+    for (std::size_t i = 1; i + 1 < smooth.size(); ++i) {
+      // Skip near-stationary vertices: angle is undefined noise there.
+      if (HaversineMeters(smooth[i - 1], smooth[i]) < 5.0 ||
+          HaversineMeters(smooth[i], smooth[i + 1]) < 5.0)
+        continue;
+      curv.add(PolylineCurvature(smooth[i - 1], smooth[i], smooth[i + 1]));
+    }
+    if (curv.count() == 0) continue;
+    *n_samples += fixes.size();
+    per_track.add(curv.mean() * 1000.0);
+  }
+  return per_track.mean();
+}
+
+void AppAccumulatorState::Ingest(const std::vector<FeatureDef>& defs,
+                                 std::uint64_t task,
+                                 const ReadingTuple& tuple) {
+  if (features.size() < defs.size()) features.resize(defs.size());
+  bool needs_gps = false;
+  for (std::size_t j = 0; j < defs.size(); ++j) {
+    const FeatureDef& def = defs[j];
+    if (def.method == ExtractMethod::kGpsCurvature) {
+      needs_gps = true;
+      continue;  // GPS tails are shared, folded once below
+    }
+    if (def.sensor != tuple.kind) continue;
+    FeatureAccState& f = features[j];
+    switch (def.method) {
+      case ExtractMethod::kMeanOfAll:
+        f.values.insert(f.values.end(), tuple.values.begin(),
+                        tuple.values.end());
+        break;
+      case ExtractMethod::kMeanOfWindowStddev:
+        if (tuple.values.size() < 2) break;
+        f.window.add(StdDev(tuple.values));
+        f.n_samples += tuple.values.size();
+        break;
+      case ExtractMethod::kStddevOfWindowMeans:
+        if (tuple.values.empty()) break;
+        f.window.add(Mean(tuple.values));
+        f.n_samples += tuple.values.size();
+        break;
+      case ExtractMethod::kGpsCurvature:
+        break;  // unreachable, handled above
+    }
+  }
+  if (needs_gps && tuple.kind == SensorKind::kGps && !tuple.locations.empty())
+    gps_by_task[task].push_back(tuple);
+}
+
+double AppAccumulatorState::Finalize(std::size_t j, const FeatureDef& def,
+                                     bool reject_outliers, double z_threshold,
+                                     std::size_t* n_samples) const {
+  *n_samples = 0;
+  if (def.method == ExtractMethod::kGpsCurvature)
+    return GpsCurvatureOfTracks(gps_by_task, n_samples);
+  if (j >= features.size()) return 0.0;  // app with zero ingested blobs
+  const FeatureAccState& f = features[j];
+  switch (def.method) {
+    case ExtractMethod::kMeanOfAll:
+      *n_samples = f.values.size();
+      if (reject_outliers) return RobustMean(f.values, z_threshold);
+      return Mean(f.values);
+    case ExtractMethod::kMeanOfWindowStddev:
+      *n_samples = static_cast<std::size_t>(f.n_samples);
+      return f.window.mean();
+    case ExtractMethod::kStddevOfWindowMeans:
+      *n_samples = static_cast<std::size_t>(f.n_samples);
+      return f.window.stddev();
+    case ExtractMethod::kGpsCurvature:
+      break;  // handled above
+  }
+  return 0.0;
+}
+
+namespace {
+constexpr std::uint8_t kStateVersion = 1;
+}  // namespace
+
+Bytes AppAccumulatorState::Encode() const {
+  ByteWriter w;
+  w.u8(kStateVersion);
+  w.svarint(cursor);
+  w.varint(features.size());
+  for (const FeatureAccState& f : features) {
+    w.varint(f.values.size());
+    for (double v : f.values) w.f64(v);
+    w.varint(f.window.count());
+    w.f64(f.window.mean());
+    w.f64(f.window.m2());
+    w.f64(f.window.min());
+    w.f64(f.window.max());
+    w.varint(f.n_samples);
+  }
+  w.varint(gps_by_task.size());
+  for (const auto& [task, tuples] : gps_by_task) {
+    w.varint(task);
+    w.varint(tuples.size());
+    for (const ReadingTuple& t : tuples) EncodeReadingTuple(t, w);
+  }
+  return w.take();
+}
+
+Result<AppAccumulatorState> AppAccumulatorState::Decode(
+    std::span<const std::uint8_t> bytes, std::size_t expected_features) {
+  ByteReader r(bytes);
+  if (r.u8() != kStateVersion)
+    return Error{Errc::kDecodeError, "processor state: bad version"};
+  AppAccumulatorState s;
+  s.cursor = r.svarint();
+  const std::uint64_t n_features = r.varint();
+  if (!r.ok() || n_features > expected_features)
+    return Error{Errc::kDecodeError, "processor state: feature-list mismatch"};
+  s.features.resize(n_features);
+  for (FeatureAccState& f : s.features) {
+    const std::uint64_t n_values = r.varint();
+    if (!r.ok()) break;
+    f.values.reserve(n_values);
+    for (std::uint64_t i = 0; i < n_values && r.ok(); ++i)
+      f.values.push_back(r.f64());
+    const auto wn = static_cast<std::size_t>(r.varint());
+    const double mean = r.f64();
+    const double m2 = r.f64();
+    const double min = r.f64();
+    const double max = r.f64();
+    f.window = RunningStats::FromMoments(wn, mean, m2, min, max);
+    f.n_samples = r.varint();
+  }
+  const std::uint64_t n_tasks = r.varint();
+  for (std::uint64_t i = 0; i < n_tasks && r.ok(); ++i) {
+    const std::uint64_t task = r.varint();
+    const std::uint64_t n_tuples = r.varint();
+    auto& tuples = s.gps_by_task[task];
+    tuples.reserve(n_tuples);
+    for (std::uint64_t k = 0; k < n_tuples && r.ok(); ++k)
+      tuples.push_back(DecodeReadingTuple(r));
+  }
+  if (Status st = r.finish(); !st.ok())
+    return Error{Errc::kDecodeError, "processor state: " + st.str()};
+  return s;
+}
+
+}  // namespace sor::server

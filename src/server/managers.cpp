@@ -53,8 +53,8 @@ std::size_t UserInfoManager::count() const {
 }
 
 void UserInfoManager::ResyncIds() {
-  for (const Row& r : db_.table(db::tables::kUsers)->Scan())
-    ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
+  if (auto max = db_.table(db::tables::kUsers)->MaxPrimaryKey())
+    ids_.advance_past(static_cast<std::uint64_t>(max->as_int()));
 }
 
 // --- ApplicationManager -----------------------------------------------------
@@ -160,8 +160,8 @@ Result<BarcodePayload> ApplicationManager::BarcodeFor(
 }
 
 void ApplicationManager::ResyncIds() {
-  for (const Row& r : db_.table(db::tables::kApplications)->Scan())
-    ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
+  if (auto max = db_.table(db::tables::kApplications)->MaxPrimaryKey())
+    ids_.advance_past(static_cast<std::uint64_t>(max->as_int()));
 }
 
 // --- ParticipationManager ----------------------------------------------------
@@ -243,12 +243,18 @@ Status ParticipationManager::MarkError(TaskId task, const std::string& why) {
 Status ParticipationManager::ConsumeBudget(TaskId task, int executions) {
   if (executions < 0)
     return Status(Errc::kInvalidArgument, "negative executions");
+  // Per-upload hot path: budget_left is non-key and unindexed, so read the
+  // one cell and write it back in place — no row copy, no re-index. The
+  // read-modify-write is not atomic, but upload handling is serialized
+  // behind the network's ordered gate, so no interleaving can occur.
   Table* parts = db_.table(db::tables::kParticipations);
-  return parts->UpdateByKey(Value(task.value()), [&](Row& row) {
-    const std::int64_t left =
-        std::max<std::int64_t>(0, row[5].as_int() - executions);
-    row[5] = Value(left);
-  });
+  constexpr int kBudgetLeftCol = 5;
+  Result<Value> left = parts->ReadCell(Value(task.value()), kBudgetLeftCol);
+  if (!left.ok()) return Status(left.error());
+  const std::int64_t next =
+      std::max<std::int64_t>(0, left.value().as_int() - executions);
+  return parts->UpdateInPlace(Value(task.value()), kBudgetLeftCol,
+                              Value(next));
 }
 
 Result<ParticipationRecord> ParticipationManager::Get(TaskId task) const {
@@ -279,8 +285,8 @@ std::vector<ParticipationRecord> ParticipationManager::AllForApp(
 }
 
 void ParticipationManager::ResyncIds() {
-  for (const Row& r : db_.table(db::tables::kParticipations)->Scan())
-    ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
+  if (auto max = db_.table(db::tables::kParticipations)->MaxPrimaryKey())
+    ids_.advance_past(static_cast<std::uint64_t>(max->as_int()));
 }
 
 }  // namespace sor::server

@@ -69,6 +69,24 @@ Result<SchedulePlan> SensingScheduler::PlanApp(
     }
     problem.users.push_back(w);
   }
+
+  // Vacuous instance: nobody has both a live presence window and budget
+  // left, so the optimizer cannot place a single measurement. Short-circuit
+  // to the empty plan before the expensive steps (decoding the app's raw
+  // blobs for executed instants, running the greedy, distributing
+  // zero-instant schedules). This is the end-of-campaign shape — every
+  // leave triggers a replan of a period that is already over — which made
+  // teardown O(phones² · blobs) before the check.
+  const bool plannable = std::any_of(
+      problem.users.begin(), problem.users.end(),
+      [](const sched::UserWindow& w) {
+        return !w.presence.empty() && w.budget > 0;
+      });
+  if (!plannable) {
+    plan.empty = true;
+    return plan;
+  }
+
   if (online_aware_) {
     problem.existing_measurements = ExecutedInstants(app, problem.grid);
   }
@@ -208,8 +226,8 @@ std::vector<std::uint64_t> SensingScheduler::TakeDirtyApps() {
 }
 
 void SensingScheduler::ResyncIds() {
-  for (const db::Row& r : db_.table(db::tables::kSchedules)->Scan())
-    schedule_ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
+  if (auto max = db_.table(db::tables::kSchedules)->MaxPrimaryKey())
+    schedule_ids_.advance_past(static_cast<std::uint64_t>(max->as_int()));
 }
 
 }  // namespace sor::server

@@ -28,11 +28,13 @@ SensingServer::~SensingServer() { network_.Unregister(config_.endpoint_name); }
 
 void SensingServer::AttachObservability(obs::MetricsRegistry* registry,
                                         obs::Tracer* tracer) {
+  registry_ = registry;
   tracer_ = tracer;
   if (tracer_ != nullptr)
     stream_ = tracer_->RegisterStream(config_.endpoint_name);
   scheduler_.AttachObservability(registry, tracer, stream_);
   processor_.AttachObservability(registry, tracer);
+  db_.AttachObservability(registry);
   if (registry == nullptr) {
     obs_ = ServerCounters{};
     return;
@@ -293,14 +295,19 @@ Message SensingServer::OnUpload(const SensedDataUpload& upload) {
   ByteWriter body;
   EncodeBody(Message(upload), body);
   db::Table* raw = db_.table(db::tables::kRawData);
+  const std::uint64_t raw_id = raw_ids_.next().value();
   Result<db::RowId> stored = raw->Insert(
-      {db::Value(raw_ids_.next().value()), db::Value(upload.task.value()),
+      {db::Value(raw_id), db::Value(upload.task.value()),
        db::Value(rec.value().app.value()), db::Value(body.take()),
        db::Value(clock_.now().ms), db::Value(false),
        db::Value(static_cast<std::int64_t>(upload.seq))});
   if (!stored.ok())
     return ErrorReply{static_cast<std::uint8_t>(stored.error().code),
                       stored.error().message};
+  // Advance the app's stored watermark so the Data Processor's next pass
+  // sees new work without probing the raw table.
+  processor_.NoteUploadStored(rec.value().app,
+                              static_cast<std::int64_t>(raw_id));
   ++stats_.uploads_stored;
   if (obs_.uploads_stored != nullptr) {
     obs_.uploads_stored->Inc();
@@ -382,6 +389,8 @@ Status SensingServer::RestoreFromSnapshot(
   db::Database fresh;
   if (Status s = db::RestoreDatabase(snapshot, fresh); !s.ok()) return s;
   db_ = std::move(fresh);
+  // db_ was replaced wholesale; re-wire its full-scan counter.
+  db_.AttachObservability(registry_);
 
   // Id generators are process state, not database state: re-sync each one
   // past the ids already issued before the crash.
@@ -390,19 +399,33 @@ Status SensingServer::RestoreFromSnapshot(
   parts_.ResyncIds();
   scheduler_.ResyncIds();
 
-  // Rebuild the upload dedup index (and the raw-row id source) from the
-  // restored raw_data, so a phone retrying an upload the pre-crash server
-  // already stored still gets deduplicated.
+  // Rebuild the upload dedup index, the raw-row id source, and the Data
+  // Processor's per-app watermarks from the restored raw_data. The id
+  // source needs only the max primary key (O(1)); the dedup/watermark scan
+  // goes app by app through the app_id index — every raw row belongs to a
+  // registered app, so this covers the table without a full walk.
+  db::Table* raw = db_.table(db::tables::kRawData);
+  if (std::optional<db::Value> max_id = raw->MaxPrimaryKey())
+    raw_ids_.advance_past(static_cast<std::uint64_t>(max_id->as_int()));
   seen_upload_seqs_.clear();
-  db_.table(db::tables::kRawData)->ForEach([&](const db::Row& r) {
-    raw_ids_.advance_past(static_cast<std::uint64_t>(r[0].as_int()));
-    const std::int64_t seq = r[6].as_int();
-    if (seq != 0) {
-      seen_upload_seqs_[static_cast<std::uint64_t>(r[1].as_int())].insert(
-          static_cast<std::uint64_t>(seq));
-    }
-    return true;
-  });
+  processor_.ResetRuntimeState();
+  for (const ApplicationRecord& app : apps_.All()) {
+    std::int64_t stored_max = 0;
+    std::int64_t processed_max = 0;
+    raw->ForEachWhereEq(
+        "app_id", db::Value(app.id.value()), [&](const db::Row& r) {
+          const std::int64_t id = r[0].as_int();
+          stored_max = std::max(stored_max, id);
+          if (r[5].as_bool()) processed_max = std::max(processed_max, id);
+          const std::int64_t seq = r[6].as_int();
+          if (seq != 0) {
+            seen_upload_seqs_[static_cast<std::uint64_t>(r[1].as_int())]
+                .insert(static_cast<std::uint64_t>(seq));
+          }
+          return true;
+        });
+    processor_.RestoreProgress(app.id, stored_max, processed_max);
+  }
 
   // Phones still hold pre-crash schedules; re-push each app's schedule the
   // first time any of its participants makes contact.

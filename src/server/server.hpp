@@ -169,7 +169,10 @@ class SensingServer final : public net::Endpoint {
   ServerStats stats_;
   IdGenerator<ScheduleId> raw_ids_;  // raw_data PK source
 
-  // Shared-telemetry handles (null until AttachObservability).
+  // Shared-telemetry handles (null until AttachObservability). The registry
+  // is kept so the database's counters can be re-attached after a restore
+  // replaces db_ wholesale.
+  obs::MetricsRegistry* registry_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::StreamId stream_ = 0;
   struct ServerCounters {

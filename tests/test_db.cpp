@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "db/database.hpp"
+#include "obs/metrics.hpp"
 
 namespace sor::db {
 namespace {
@@ -238,6 +239,132 @@ TEST(Table, DoubleKeysDoNotAlias) {
   ASSERT_TRUE(t.Insert({Value(1.0000000000000002)}).ok());
   EXPECT_TRUE(t.Insert({Value(1.0)}).ok());  // distinct doubles, both fit
   EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Table, ReadCellAndMaxPrimaryKey) {
+  Table t(PeopleSchema());
+  EXPECT_FALSE(t.MaxPrimaryKey().has_value());
+  ASSERT_TRUE(t.Insert({Value(3), Value("c"), Value(0.5), Value(true),
+                        Value()})
+                  .ok());
+  ASSERT_TRUE(t.Insert({Value(7), Value("g"), Value(1.5), Value(false),
+                        Value()})
+                  .ok());
+  ASSERT_EQ(t.MaxPrimaryKey()->as_int(), 7);
+  Result<Value> cell = t.ReadCell(Value(3), 2);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_DOUBLE_EQ(cell.value().as_double(), 0.5);
+  EXPECT_EQ(t.ReadCell(Value(99), 2).code(), Errc::kNotFound);
+  EXPECT_EQ(t.ReadCell(Value(3), 99).code(), Errc::kInvalidArgument);
+  // Erasing the max re-exposes the previous one.
+  ASSERT_TRUE(t.EraseByKey(Value(7)).ok());
+  ASSERT_EQ(t.MaxPrimaryKey()->as_int(), 3);
+}
+
+TEST(Table, UpdateInPlaceEnforcesContract) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  ASSERT_TRUE(t.Insert({Value(1), Value("ann"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  // Happy path: "score" is non-key and unindexed.
+  ASSERT_TRUE(t.UpdateInPlace(Value(1), 2, Value(9.5)).ok());
+  EXPECT_DOUBLE_EQ((*t.FindByKey(Value(1)))[2].as_double(), 9.5);
+  // Primary-key column refused (would desync the pk index).
+  EXPECT_EQ(t.UpdateInPlace(Value(1), 0, Value(5)).code(),
+            Errc::kInvalidArgument);
+  // Indexed column refused (would desync the secondary index).
+  EXPECT_EQ(t.UpdateInPlace(Value(1), 1, Value("eve")).code(),
+            Errc::kInvalidArgument);
+  // Schema still enforced: wrong type, bad column, null into non-nullable.
+  EXPECT_EQ(t.UpdateInPlace(Value(1), 2, Value("nan")).code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(t.UpdateInPlace(Value(1), 42, Value(0.0)).code(),
+            Errc::kInvalidArgument);
+  EXPECT_EQ(t.UpdateInPlace(Value(1), 3, Value()).code(),
+            Errc::kInvalidArgument);
+  // Nullable column may go to null in place; missing key is kNotFound.
+  EXPECT_TRUE(t.UpdateInPlace(Value(1), 4, Value()).ok());
+  EXPECT_EQ(t.UpdateInPlace(Value(99), 2, Value(0.0)).code(),
+            Errc::kNotFound);
+  // The in-place write left the index intact.
+  EXPECT_EQ(t.FindWhereEq("name", Value("ann")).size(), 1u);
+}
+
+TEST(Table, ForEachWhereEqFromPkResumesAfterCursor) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i), Value(i % 2 ? "odd" : "even"),
+                          Value(double(i)), Value(true), Value()})
+                    .ok());
+  }
+  auto Collect = [&](const Value& after) {
+    std::vector<std::int64_t> ids;
+    t.ForEachWhereEqFromPk("name", Value("odd"), after, [&](const Row& r) {
+      ids.push_back(r[0].as_int());
+      return true;
+    });
+    return ids;
+  };
+  EXPECT_EQ(Collect(Value(0)), (std::vector<std::int64_t>{1, 3, 5, 7}));
+  EXPECT_EQ(Collect(Value(3)), (std::vector<std::int64_t>{5, 7}));
+  // Cursor between matches and past the end both behave.
+  EXPECT_EQ(Collect(Value(4)), (std::vector<std::int64_t>{5, 7}));
+  EXPECT_TRUE(Collect(Value(7)).empty());
+  // Early-exit visitor stops the walk.
+  int seen = 0;
+  t.ForEachWhereEqFromPk("name", Value("odd"), Value(0), [&](const Row&) {
+    ++seen;
+    return false;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Table, EraseByKeyRemovesAndUnindexes) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i), Value("dup"), Value(0.0), Value(true),
+                          Value()})
+                    .ok());
+  }
+  ASSERT_TRUE(t.EraseByKey(Value(2)).ok());
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.FindByKey(Value(2)).has_value());
+  EXPECT_EQ(t.FindWhereEq("name", Value("dup")).size(), 2u);
+  EXPECT_EQ(t.EraseByKey(Value(2)).code(), Errc::kNotFound);
+  // A re-insert of the erased key works and re-indexes.
+  ASSERT_TRUE(t.Insert({Value(2), Value("dup"), Value(0.0), Value(true),
+                        Value()})
+                  .ok());
+  EXPECT_EQ(t.FindWhereEq("name", Value("dup")).size(), 3u);
+}
+
+TEST(Table, FullScanCounterTracksOnlyFullWalks) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  ASSERT_TRUE(t.Insert({Value(1), Value("ann"), Value(1.0), Value(true),
+                        Value()})
+                  .ok());
+  obs::Counter counter(obs::Sharding::kSingle);
+  t.set_full_scan_counter(&counter);
+  // Point and indexed access paths are free.
+  (void)t.FindByKey(Value(1));
+  (void)t.ReadCell(Value(1), 2);
+  (void)t.FindWhereEq("name", Value("ann"));
+  (void)t.FindWhereEq("id", Value(1));  // pk path, no walk
+  (void)t.UpdateInPlace(Value(1), 2, Value(2.0));
+  EXPECT_EQ(counter.value(), 0u);
+  // Full walks count: Scan, unindexed equality, predicate update/erase.
+  (void)t.Scan();
+  (void)t.FindWhereEq("score", Value(2.0));
+  (void)t.Update([](const Row&) { return false; }, [](Row&) {});
+  (void)t.Erase([](const Row&) { return false; });
+  EXPECT_EQ(counter.value(), 4u);
+  t.set_full_scan_counter(nullptr);
+  (void)t.Scan();
+  EXPECT_EQ(counter.value(), 4u);
 }
 
 TEST(Database, CreateLookupDrop) {

@@ -86,6 +86,23 @@ else
   echo "ci: build/bench/micro_obs not built; skipping overhead report" >&2
 fi
 
+echo "=== stage: perf regression (operation counts) ==="
+# Host-independent perf gate (docs/performance.md): the Perf.* suite pins
+# the incremental data path's complexity guarantees as exact operation
+# counts — processor.blobs_decoded is O(new uploads) per pass (never
+# O(uploads × passes)), the upload/process hot path performs zero full
+# table scans (db.full_scans), and the streaming accumulators stay
+# bit-identical to the full recompute, including across snapshot/restore.
+# Counts don't wobble with host load the way wall time does, so this stage
+# fails only on real complexity regressions. micro_db then smoke-runs the
+# per-operation storage cost report.
+ctest --preset default -R 'Perf\.' --output-on-failure
+if [[ -x build/bench/micro_db ]]; then
+  build/bench/micro_db
+else
+  echo "ci: build/bench/micro_db not built; skipping storage cost report" >&2
+fi
+
 echo "=== stage: clang-tidy ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # The default preset's compile_commands.json drives the analysis; limit

@@ -8,11 +8,13 @@ namespace sor {
 
 namespace {
 
-// "SOR3" little-endian. Bumped from "SOR1" (0x31524F53) when seq fields were
-// added to SensedDataUpload and Ack, and from "SOR2" (0x32524F53) when
-// ScheduleDistribution grew the required-sensor manifest; old frames fail the
-// magic check rather than being mis-decoded positionally.
-constexpr std::uint32_t kMagic = 0x33524F53;  // "SOR3"
+// "SOR4" little-endian. Bumped from "SOR1" (0x31524F53) when seq fields were
+// added to SensedDataUpload and Ack, from "SOR2" (0x32524F53) when
+// ScheduleDistribution grew the required-sensor manifest, and from "SOR3"
+// (0x33524F53) when ThrottleReply and ParticipationRequest::incarnation were
+// added for overload control; old frames fail the magic check rather than
+// being mis-decoded positionally.
+constexpr std::uint32_t kMagic = 0x34524F53;  // "SOR4"
 
 void EncodeGeo(const GeoPoint& p, ByteWriter& w) {
   w.f64(p.lat_deg);
@@ -92,6 +94,9 @@ MessageType TypeOf(const Message& m) {
     MessageType operator()(const ErrorReply&) const {
       return MessageType::kErrorReply;
     }
+    MessageType operator()(const ThrottleReply&) const {
+      return MessageType::kThrottleReply;
+    }
   };
   return std::visit(Visitor{}, m);
 }
@@ -107,6 +112,7 @@ const char* to_string(MessageType t) {
     case MessageType::kPingReply: return "ping_reply";
     case MessageType::kAck: return "ack";
     case MessageType::kErrorReply: return "error_reply";
+    case MessageType::kThrottleReply: return "throttle_reply";
   }
   return "unknown";
 }
@@ -121,6 +127,7 @@ void EncodeBody(const Message& m, ByteWriter& w) {
       EncodeGeo(r.location, w);
       w.svarint(r.budget);
       EncodeTime(r.scan_time, w);
+      w.varint(r.incarnation);
     }
     void operator()(const ParticipationReply& r) const {
       w.varint(r.task.value());
@@ -170,6 +177,12 @@ void EncodeBody(const Message& m, ByteWriter& w) {
       w.u8(e.code);
       w.str(e.message);
     }
+    void operator()(const ThrottleReply& t) const {
+      w.varint(t.in_reply_to);
+      w.varint(t.seq);
+      w.svarint(t.retry_after.ms);
+      w.u8(t.mode);
+    }
   };
   std::visit(Visitor{w}, m);
 }
@@ -187,6 +200,7 @@ Result<Message> DecodeBody(MessageType type,
       m.location = DecodeGeo(r);
       m.budget = static_cast<int>(r.svarint());
       m.scan_time = DecodeTime(r);
+      m.incarnation = static_cast<std::uint32_t>(r.varint());
       out = m;
       break;
     }
@@ -270,6 +284,15 @@ Result<Message> DecodeBody(MessageType type,
       out = m;
       break;
     }
+    case MessageType::kThrottleReply: {
+      ThrottleReply m;
+      m.in_reply_to = r.varint();
+      m.seq = r.varint();
+      m.retry_after = SimDuration{r.svarint()};
+      m.mode = r.u8();
+      out = m;
+      break;
+    }
     default:
       return Error{Errc::kDecodeError, "unknown message type"};
   }
@@ -306,7 +329,7 @@ Result<Message> DecodeFrame(std::span<const std::uint8_t> frame) {
   if (!r.ok() || !r.at_end())
     return Error{Errc::kDecodeError, "malformed frame"};
   if (type_raw < 1 ||
-      type_raw > static_cast<std::uint8_t>(MessageType::kErrorReply))
+      type_raw > static_cast<std::uint8_t>(MessageType::kThrottleReply))
     return Error{Errc::kDecodeError, "unknown message type"};
   return DecodeBody(static_cast<MessageType>(type_raw), body);
 }

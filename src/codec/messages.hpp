@@ -48,6 +48,14 @@ struct ParticipationRequest {
   GeoPoint location;   // where the phone claims to be (for verification)
   int budget = 0;      // N^B_k: max acquisitions this user is willing to do
   SimTime scan_time;   // when the barcode was scanned
+  // Install generation of the requesting phone. A crashed phone that
+  // restarts rejoins with the SAME incarnation and gets its existing task
+  // back (seq space continues, the dedup index stays valid). An
+  // uninstall/reinstall bumps the incarnation: the server must finish the
+  // old participation and issue a FRESH task, because the reinstalled phone
+  // restarts its upload seq at 1 and the old task's dedup index would
+  // silently swallow every new upload.
+  std::uint32_t incarnation = 1;
 
   friend bool operator==(const ParticipationRequest&,
                          const ParticipationRequest&) = default;
@@ -127,10 +135,25 @@ struct ErrorReply {
   friend bool operator==(const ErrorReply&, const ErrorReply&) = default;
 };
 
+// Backpressure hint (docs/robustness.md): the server shed this upload
+// instead of storing it. Unlike an ErrorReply, a throttle is not a failure
+// — the phone keeps the upload queued and re-attempts it no sooner than
+// `retry_after` from receipt, without consuming its retry budget. `mode`
+// carries the server's degradation-ladder mode (server::ServerMode) so the
+// phone can pace ALL traffic, not just the shed upload, when the server is
+// deep in overload.
+struct ThrottleReply {
+  std::uint64_t in_reply_to = 0;  // task id of the shed upload
+  std::uint64_t seq = 0;          // echo of the shed upload's seq
+  SimDuration retry_after{0};
+  std::uint8_t mode = 0;
+  friend bool operator==(const ThrottleReply&, const ThrottleReply&) = default;
+};
+
 using Message =
     std::variant<ParticipationRequest, ParticipationReply,
                  ScheduleDistribution, SensedDataUpload, LeaveNotification,
-                 Ping, PingReply, Ack, ErrorReply>;
+                 Ping, PingReply, Ack, ErrorReply, ThrottleReply>;
 
 enum class MessageType : std::uint8_t {
   kParticipationRequest = 1,
@@ -142,6 +165,7 @@ enum class MessageType : std::uint8_t {
   kPingReply = 7,
   kAck = 8,
   kErrorReply = 9,
+  kThrottleReply = 10,
 };
 
 [[nodiscard]] MessageType TypeOf(const Message& m);
@@ -153,11 +177,13 @@ void EncodeBody(const Message& m, ByteWriter& w);
 [[nodiscard]] Result<Message> DecodeBody(MessageType type,
                                          std::span<const std::uint8_t> body);
 
-// Framed envelope: magic "SOR3" | type u8 | body varint-len+bytes | crc32 of
+// Framed envelope: magic "SOR4" | type u8 | body varint-len+bytes | crc32 of
 // everything before it. This is the unit handed to the transport. The magic
 // doubles as the wire version; it was bumped from "SOR1" when seq fields
-// were added to SensedDataUpload and Ack, and from "SOR2" when
-// ScheduleDistribution grew the required-sensor manifest.
+// were added to SensedDataUpload and Ack, from "SOR2" when
+// ScheduleDistribution grew the required-sensor manifest, and from "SOR3"
+// when ThrottleReply and ParticipationRequest::incarnation were added for
+// overload control and churn survival.
 [[nodiscard]] Bytes EncodeFrame(const Message& m);
 [[nodiscard]] Result<Message> DecodeFrame(std::span<const std::uint8_t> frame);
 

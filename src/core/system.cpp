@@ -1,5 +1,7 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "sensors/energy.hpp"
 #include "server/feature_def.hpp"
@@ -44,12 +46,97 @@ System::System() {
 
 System::~System() = default;
 
+void System::ApplyNodeEvents() {
+  if (churn_ == nullptr) return;
+  net::FaultInjector& faults = network_.faults();
+  const SimTime now = clock_.now();
+
+  // Server stall first: a stalled server makes this whole tick's uploads
+  // fail, which is the point. The down-window is timed and lifts itself.
+  if (churn_->server_can_stall &&
+      !faults.NodeDown(server_->endpoint_name(), now)) {
+    const net::NodeEvent ev =
+        faults.DecideNodeEvent(server_->endpoint_name(), now);
+    if (ev.kind == net::NodeEvent::Kind::kStall) {
+      faults.SetNodeDown(server_->endpoint_name(), now + ev.down_for);
+      ++churn_->stall_ticks;
+      SOR_LOG(kWarn, "system",
+              "server stalled until t=" << (now + ev.down_for).ms << "ms");
+    }
+  }
+
+  for (std::size_t k = 0; k < frontends_.size(); ++k) {
+    phone::MobileFrontend& phone = *frontends_[k];
+    ChurnContext::PhoneState& st = churn_->phones[k];
+    const std::string endpoint = phone.EndpointName();
+    switch (st.phase) {
+      case ChurnContext::Phase::kUp: {
+        const net::NodeEvent ev = faults.DecideNodeEvent(endpoint, now);
+        if (ev.kind == net::NodeEvent::Kind::kCrash) {
+          // Down until the rejoin completes, not merely until `due`: a
+          // crashed phone that cannot reach the server stays dark.
+          phone.Crash();
+          faults.SetNodeDown(endpoint);
+          st.phase = ChurnContext::Phase::kCrashed;
+          st.due = now + ev.down_for;
+          ++churn_->crashes;
+        } else if (ev.kind == net::NodeEvent::Kind::kUninstall) {
+          phone.Uninstall();
+          faults.SetNodeDown(endpoint);
+          st.phase = ChurnContext::Phase::kUninstalled;
+          st.due = now + ev.down_for;
+        }
+        break;
+      }
+      case ChurnContext::Phase::kCrashed: {
+        if (now < st.due) break;
+        faults.SetNodeUp(endpoint);
+        // Same incarnation: the server resumes the existing participation
+        // and re-pushes the schedule (admitted — we are between rounds).
+        if (phone.Restart().ok()) {
+          st.phase = ChurnContext::Phase::kUp;
+          ++churn_->restarts;
+        }
+        // else: keep retrying every tick; the server may itself be down.
+        break;
+      }
+      case ChurnContext::Phase::kUninstalled: {
+        if (now < st.due) break;
+        faults.SetNodeUp(endpoint);
+        // Fresh install: re-scan the deployed barcode with a bumped
+        // incarnation; the server retires the old task and issues a new
+        // one whose seq space starts over.
+        const BitMatrix matrix = RenderBarcodeMatrix(churn_->barcodes[k]);
+        if (phone.ScanBarcodeMatrix(matrix, churn_->budget).ok()) {
+          st.phase = ChurnContext::Phase::kUp;
+          ++churn_->reinstalls;
+        }
+        break;
+      }
+    }
+  }
+}
+
 void System::RunTicks(int n, SimDuration tick) {
   if (n <= 0) return;
+  // Fleet backlog, sampled once per tick by the driver thread: the peak
+  // feeds FieldTestResult, the histogram gives benches/operators a depth
+  // distribution (p99 etc.) without any per-phone bookkeeping.
+  obs::Histogram& depth_hist = registry_.histogram(
+      "core.fleet_queue_depth", obs::ExponentialBuckets(1.0, 2.0, 14));
+  const auto note_depth = [this, &depth_hist] {
+    std::uint64_t depth = 0;
+    for (const auto& frontend : frontends_) depth += frontend->pending_uploads();
+    peak_pending_ = std::max(peak_pending_, depth);
+    depth_hist.Observe(static_cast<double>(depth));
+  };
   if (executor_ == nullptr || executor_->threads() <= 1) {
     for (int i = 0; i < n; ++i) {
       clock_.advance(tick);
+      server_->health().ObserveTick(clock_.now());
+      ApplyNodeEvents();
       for (auto& frontend : frontends_) frontend->Tick();
+      note_depth();
     }
     return;
   }
@@ -59,6 +146,8 @@ void System::RunTicks(int n, SimDuration tick) {
   // handles the exact message sequence the serial loop produces (and the
   // fault-decision stream replays identically). A phone that sends nothing
   // this tick still completes its rank, unblocking the ranks above it.
+  // Node events run between rounds, on this (the driver) thread — the only
+  // window where rejoin pushes into ranked phones are admitted.
   std::vector<std::string> names;
   names.reserve(frontends_.size());
   for (const auto& frontend : frontends_)
@@ -66,11 +155,17 @@ void System::RunTicks(int n, SimDuration tick) {
   network_.BeginOrderedPhase(std::move(names));
   for (int i = 0; i < n; ++i) {
     clock_.advance(tick);
+    // Driver-thread heartbeat: lets the overload ladder decay on quiet
+    // ticks. Runs before the round opens, so it is ordered before every
+    // admission of this tick at any thread count.
+    server_->health().ObserveTick(clock_.now());
+    ApplyNodeEvents();
     network_.StartRound();
     executor_->ParallelFor(frontends_.size(), [&](std::size_t k) {
       frontends_[k]->Tick();
       network_.CompleteSender(k);
     });
+    note_depth();
   }
   network_.EndOrderedPhase();
 }
@@ -85,6 +180,11 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
   clock_.reset();
   agents_.clear();
   frontends_.clear();
+  churn_.reset();
+  peak_pending_ = 0;
+  storage_faults_.Clear();
+  server_->database().AttachStorageFaults(nullptr);
+  server_->set_overload(config.overload);
   server_->scheduler().set_algorithm(config.scheduler_algorithm);
   {
     server::DataProcessorOptions opts =
@@ -178,6 +278,7 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
       phone_cfg.user_id = user.value();
       phone_cfg.user_name = user_name;
       phone_cfg.token = token;
+      phone_cfg.retry_budget = config.phone_retry_budget;
       frontends_.push_back(std::make_unique<phone::MobileFrontend>(
           phone_cfg, network_, *agents_.back(), clock_));
       frontends_.back()->AttachObservability(
@@ -203,6 +304,37 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
     for (const net::FaultRule& rule : config.chaos_rules)
       network_.faults().AddRule(rule);
   }
+  if (!config.node_rules.empty()) {
+    network_.faults().set_node_seed(config.node_seed);
+    for (const net::NodeFaultRule& rule : config.node_rules)
+      network_.faults().AddNodeRule(rule);
+    churn_ = std::make_unique<ChurnContext>();
+    churn_->phones.resize(frontends_.size());
+    churn_->budget = config.budget_per_user;
+    // Phone k joined place k / phones_per_place; keep its barcode so a
+    // reinstall can re-scan it.
+    for (std::size_t k = 0; k < frontends_.size(); ++k)
+      churn_->barcodes.push_back(
+          barcodes[k / static_cast<std::size_t>(scenario.phones_per_place)]);
+    for (const net::NodeFaultRule& rule : config.node_rules) {
+      if (net::FaultInjector::Matches(rule.endpoint,
+                                      server_->endpoint_name()))
+        churn_->server_can_stall = true;
+    }
+  }
+  if (!config.storage_rules.empty()) {
+    storage_faults_.set_seed(config.storage_seed);
+    for (const db::StorageFaultRule& rule : config.storage_rules)
+      storage_faults_.AddRule(rule);
+    server_->database().AttachStorageFaults(&storage_faults_);
+  }
+  // Overload is not a fault, but a budgeted run still needs the drain: the
+  // post-period ticks are the "load drops" phase in which paced queues
+  // flush and the server steps back down the ladder.
+  const bool chaos_armed = !config.chaos_rules.empty() ||
+                           !config.node_rules.empty() ||
+                           !config.storage_rules.empty() ||
+                           config.overload.ingest_budget > 0;
 
   // Advance simulated time across the scheduling period; every tick the
   // phones execute due sensing activities and upload.
@@ -213,9 +345,21 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
 
   // Drain: clear the faults and give the phones fault-free ticks so
   // store-and-forward queues and pending leaves flush before evaluation.
-  if (!config.chaos_rules.empty()) {
+  // Node RULES are cleared (no new crashes) but the churn context stays:
+  // phones still down keep retrying their rejoin during the drain. The
+  // overload policy is not a fault and stays armed — recovery back to
+  // normal mode under a drained load is part of what runs exercise.
+  if (chaos_armed) {
     network_.faults().Clear();
+    network_.faults().ClearNodeRules();
+    storage_faults_.Clear();
     RunTicks(config.drain_ticks, config.tick);
+    // Lift any down-state that outlived the drain (a phone whose rejoin
+    // never landed): later campaigns and the leave sweep below should see
+    // a reachable fleet.
+    for (const auto& frontend : frontends_)
+      network_.faults().SetNodeUp(frontend->EndpointName());
+    network_.faults().SetNodeUp(server_->endpoint_name());
   }
 
   // 4. Users leave; the Participation Manager flips their tasks to
@@ -268,11 +412,20 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
     result.total_uploads_retried += frontend->stats().uploads_retried;
     result.total_uploads_dropped += frontend->stats().uploads_dropped;
     result.total_leaves_retried += frontend->stats().leaves_retried;
+    result.total_uploads_throttled += frontend->stats().uploads_throttled;
+    result.total_uploads_abandoned += frontend->stats().uploads_abandoned;
     const sensors::EnergyReport energy =
         sensors::EnergyOf(frontend->sensor_manager());
     result.energy_spent_mj += energy.spent_mj;
     result.energy_saved_mj += energy.saved_mj;
   }
+  if (churn_ != nullptr) {
+    result.total_crashes = churn_->crashes;
+    result.total_restarts = churn_->restarts;
+    result.total_reinstalls = churn_->reinstalls;
+    result.server_stall_ticks = churn_->stall_ticks;
+  }
+  result.peak_pending_uploads = peak_pending_;
   result.trace_fingerprint = tracer_.Fingerprint();
   return result;
 }

@@ -18,6 +18,7 @@
 #include "common/result.hpp"
 #include "common/sharded_executor.hpp"
 #include "common/sim_time.hpp"
+#include "db/storage_faults.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -68,6 +69,24 @@ struct FieldTestConfig {
   std::uint64_t chaos_seed = 0;       // seed for the fault-decision stream
   int drain_ticks = 8;                // fault-free ticks after the period
 
+  // --- node + storage fault domains (docs/robustness.md) ------------------
+  // Churn rules: seeded phone crash/restart and uninstall/reinstall, plus
+  // server stall ticks. Decisions are pure hashes of (node_seed, endpoint,
+  // tick), so arming them never shifts the link-fault schedule. Applied by
+  // the driver thread between rounds; cleared (like chaos_rules) before the
+  // drain so downed nodes can rejoin and queues can flush.
+  std::vector<net::NodeFaultRule> node_rules;
+  std::uint64_t node_seed = 0;
+  // Storage rules: seeded raw_data write failures + scripted fail-next.
+  // Determinism contract (db/storage_faults.hpp): arm only tables whose
+  // writes happen behind the ordered gate (raw_data), never "*".
+  std::vector<db::StorageFaultRule> storage_rules;
+  std::uint64_t storage_seed = 0;
+  // Server overload policy; the default (budget 0) admits everything.
+  server::OverloadConfig overload;
+  // Per-campaign retry budget handed to every phone (0 = unlimited).
+  int phone_retry_budget = 0;
+
   // --- telemetry (src/obs, docs/observability.md) --------------------------
   // Record the deterministic event trace of the campaign. The trace (and
   // its fingerprint in FieldTestResult) is byte-identical across `threads`
@@ -92,6 +111,14 @@ struct FieldTestResult {
   std::uint64_t total_uploads_retried = 0;
   std::uint64_t total_uploads_dropped = 0;
   std::uint64_t total_leaves_retried = 0;
+  // Overload + churn accounting (docs/robustness.md).
+  std::uint64_t total_uploads_throttled = 0;  // ThrottleReplies phones saw
+  std::uint64_t total_uploads_abandoned = 0;  // retry budgets exhausted
+  std::uint64_t total_crashes = 0;            // phone crash events
+  std::uint64_t total_restarts = 0;           // successful crash rejoins
+  std::uint64_t total_reinstalls = 0;         // successful reinstall rejoins
+  std::uint64_t server_stall_ticks = 0;       // ticks the server was stalled
+  std::uint64_t peak_pending_uploads = 0;     // fleet-wide queue-depth peak
   // Sensing energy across all phones (mJ): what was spent on physical
   // acquisitions and what the shared provider buffers saved.
   double energy_spent_mj = 0.0;
@@ -143,12 +170,39 @@ class System {
   // parallel shards under the network's ordered phase.
   void RunTicks(int n, SimDuration tick);
 
+  // Churn driver state for one campaign (null when node_rules are empty).
+  struct ChurnContext {
+    enum class Phase : std::uint8_t { kUp, kCrashed, kUninstalled };
+    struct PhoneState {
+      Phase phase = Phase::kUp;
+      SimTime due;  // earliest restart/reinstall time while down
+    };
+    std::vector<PhoneState> phones;   // parallel to frontends_
+    std::vector<BarcodePayload> barcodes;  // per phone, for reinstalls
+    int budget = 0;                   // budget_per_user, for rejoins
+    bool server_can_stall = false;    // some rule matches the server
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t reinstalls = 0;
+    std::uint64_t stall_ticks = 0;
+  };
+
+  // Apply node-lifecycle events for the current tick: crash/uninstall live
+  // phones, stall the server, and rejoin downed phones whose downtime has
+  // elapsed. Runs on the driver thread BETWEEN rounds — the only window
+  // where rejoin pushes into ranked endpoints are admitted — so the event
+  // sequence is identical at every thread count.
+  void ApplyNodeEvents();
+
   SimClock clock_;
   obs::MetricsRegistry registry_;
   obs::Tracer tracer_;
   obs::StreamId system_stream_ = 0;  // campaign-level events (ranking_done)
   net::LoopbackNetwork network_;
   std::unique_ptr<ShardedExecutor> executor_;  // non-null while threads > 1
+  std::unique_ptr<ChurnContext> churn_;        // non-null while churn is armed
+  db::StorageFaultInjector storage_faults_;
+  std::uint64_t peak_pending_ = 0;  // fleet queue-depth peak, this campaign
   std::unique_ptr<server::SensingServer> server_;
   std::vector<std::unique_ptr<world::PhoneAgent>> agents_;
   std::vector<std::unique_ptr<phone::MobileFrontend>> frontends_;

@@ -9,6 +9,7 @@ Result<Table*> Database::CreateTable(Schema schema) {
   auto table = std::make_unique<Table>(std::move(schema));
   Table* ptr = table.get();
   ptr->set_full_scan_counter(full_scans_);
+  ptr->set_storage_faults(storage_faults_);
   tables_.emplace(name, std::move(table));
   return ptr;
 }
@@ -20,6 +21,11 @@ void Database::AttachObservability(obs::MetricsRegistry* registry) {
                     : &registry->counter("db.full_scans",
                                          obs::Sharding::kPerThread);
   for (auto& [_, table] : tables_) table->set_full_scan_counter(full_scans_);
+}
+
+void Database::AttachStorageFaults(StorageFaultInjector* faults) {
+  storage_faults_ = faults;
+  for (auto& [_, table] : tables_) table->set_storage_faults(faults);
 }
 
 Table* Database::table(const std::string& name) {
@@ -83,9 +89,14 @@ void MakeSorSchema(Database& db) {
     (void)db.CreateTable(std::move(s)).value();
   }
   // participations(task_id PK, user_id, app_id, token, budget,
-  //                budget_left, status, arrive_ms, leave_ms)
+  //                budget_left, status, arrive_ms, leave_ms, incarnation)
   // — §II-B Participation Manager ("running, waiting for sensing schedule,
-  // finished, error"); budget updated at runtime.
+  // finished, error"); budget updated at runtime. `incarnation` is the
+  // phone's install generation (ParticipationRequest::incarnation): a
+  // re-scan with the same incarnation is idempotent, a higher one finishes
+  // this task and opens a fresh one (reinstalled phones restart their
+  // upload seq at 1, so reusing the task would trip the dedup index). It
+  // is appended last so older positional column reads stay valid.
   {
     Schema s;
     s.table_name = tables::kParticipations;
@@ -93,7 +104,8 @@ void MakeSorSchema(Database& db) {
                  {"app_id", CT::kInt64},    {"token", CT::kText},
                  {"budget", CT::kInt64},    {"budget_left", CT::kInt64},
                  {"status", CT::kText},     {"arrive_ms", CT::kInt64},
-                 {"leave_ms", CT::kInt64, /*nullable=*/true}};
+                 {"leave_ms", CT::kInt64, /*nullable=*/true},
+                 {"incarnation", CT::kInt64}};
     Table* t = db.CreateTable(std::move(s)).value();
     (void)t->CreateIndex("app_id");
     (void)t->CreateIndex("user_id");

@@ -43,9 +43,15 @@ class Database {
   // detaches. Call again after replacing the database by move (restore).
   void AttachObservability(obs::MetricsRegistry* registry);
 
+  // Wire every table's write path to a storage fault injector (tables
+  // created later inherit it); nullptr detaches. Same re-attach caveat
+  // after a restore-by-move as AttachObservability.
+  void AttachStorageFaults(StorageFaultInjector* faults);
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   obs::Counter* full_scans_ = nullptr;  // not owned; nullable
+  StorageFaultInjector* storage_faults_ = nullptr;  // not owned; nullable
 };
 
 // Table names used by the sensing server.

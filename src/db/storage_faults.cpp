@@ -1,0 +1,62 @@
+#include "db/storage_faults.hpp"
+
+namespace sor::db {
+
+void StorageFaultInjector::set_seed(std::uint64_t seed) {
+  std::lock_guard lock(mu_);
+  rng_ = Rng{seed};
+}
+
+void StorageFaultInjector::AddRule(StorageFaultRule rule) {
+  std::lock_guard lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+void StorageFaultInjector::Clear() {
+  std::lock_guard lock(mu_);
+  rules_.clear();
+}
+
+bool StorageFaultInjector::armed() const {
+  std::lock_guard lock(mu_);
+  return !rules_.empty();
+}
+
+bool StorageFaultInjector::Matches(const std::string& pattern,
+                                   const std::string& table) {
+  if (pattern == "*") return true;
+  if (!pattern.empty() && pattern.back() == '*')
+    return table.compare(0, pattern.size() - 1, pattern, 0,
+                         pattern.size() - 1) == 0;
+  return pattern == table;
+}
+
+bool StorageFaultInjector::FailWrite(const std::string& table) {
+  std::lock_guard lock(mu_);
+  bool fail = false;
+  for (StorageFaultRule& rule : rules_) {
+    if (!Matches(rule.table, table)) continue;
+    if (rule.fail_next > 0) {
+      --rule.fail_next;
+      fail = true;
+      continue;  // scripted failures don't consume the seeded stream
+    }
+    // Consume the stream for every matching rule even once `fail` is set,
+    // so the stream position depends only on the matching-write sequence.
+    if (rng_.chance(rule.write_fail)) fail = true;
+  }
+  if (fail) ++writes_failed_;
+  return fail;
+}
+
+std::uint64_t StorageFaultInjector::writes_failed() const {
+  std::lock_guard lock(mu_);
+  return writes_failed_;
+}
+
+void TearSnapshotBytes(Bytes& snapshot, const SnapshotTear& tear) {
+  if (tear.truncate_to < snapshot.size()) snapshot.resize(tear.truncate_to);
+  if (tear.flip_at < snapshot.size()) snapshot[tear.flip_at] ^= tear.xor_mask;
+}
+
+}  // namespace sor::db

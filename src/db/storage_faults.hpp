@@ -1,0 +1,74 @@
+// Storage fault domain (docs/robustness.md): seeded write failures and torn
+// snapshot bytes, the db-layer sibling of net::FaultInjector.
+//
+// A StorageFaultInjector is attached to a Database; every Table::Insert /
+// Table::Upsert first asks it whether the write fails. Failures surface as
+// ordinary Errc::kUnavailable errors, so the caller's existing error path
+// (the server replies with a throttle, the phone keeps the upload queued and
+// retries) doubles as the recovery path — at-least-once delivery absorbs a
+// lost write with no new machinery.
+//
+// Determinism contract: a rule consumes the seeded random stream ONLY for
+// writes whose table name matches, so the stream position is a pure function
+// of the sequence of matching writes. Chaos configs must therefore arm rules
+// only for tables written behind the ordered-admission gate (raw_data /
+// participations); arming "*" would let the parallel feature-data writers
+// consume the stream in scheduling order and break byte-identical replay
+// across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "codec/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace sor::db {
+
+struct StorageFaultRule {
+  // Table name matcher: exact, "*" (all), or a trailing-'*' prefix
+  // ("raw*"). Same wildcard grammar as net::FaultRule endpoints.
+  std::string table = "*";
+  double write_fail = 0.0;  // P(a matching Insert/Upsert fails)
+  int fail_next = 0;        // scripted: fail this many matching writes first
+};
+
+class StorageFaultInjector {
+ public:
+  void set_seed(std::uint64_t seed);
+  void AddRule(StorageFaultRule rule);
+  void Clear();
+  [[nodiscard]] bool armed() const;
+
+  // Decide whether a write to `table` fails. Thread-safe; see the
+  // determinism contract above for when it may be called concurrently.
+  [[nodiscard]] bool FailWrite(const std::string& table);
+
+  [[nodiscard]] std::uint64_t writes_failed() const;
+
+  [[nodiscard]] static bool Matches(const std::string& pattern,
+                                    const std::string& table);
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_{0};
+  std::vector<StorageFaultRule> rules_;
+  std::uint64_t writes_failed_ = 0;
+};
+
+// Deterministically damage snapshot bytes in place — the "torn write" half
+// of the storage domain. Used by the snapshot robustness tests and the
+// chaos battery; RestoreDatabase must reject the result all-or-nothing.
+struct SnapshotTear {
+  // Keep only the first `truncate_to` bytes (no-op when >= size).
+  std::size_t truncate_to = static_cast<std::size_t>(-1);
+  // XOR the byte at `flip_at` with `xor_mask` (no-op when >= size).
+  std::size_t flip_at = static_cast<std::size_t>(-1);
+  std::uint8_t xor_mask = 0xFF;
+};
+
+void TearSnapshotBytes(Bytes& snapshot, const SnapshotTear& tear);
+
+}  // namespace sor::db

@@ -59,6 +59,9 @@ void Table::UnindexRow(RowId id, const Row& row) {
 
 Result<RowId> Table::Insert(Row row) {
   if (Status s = schema_.Validate(row); !s.ok()) return s.error();
+  if (storage_faults_ != nullptr && storage_faults_->FailWrite(schema_.table_name))
+    return Error{Errc::kUnavailable,
+                 schema_.table_name + ": injected storage write failure"};
   std::lock_guard lock(mu_);
   if (pk_index_.contains(row[static_cast<std::size_t>(schema_.primary_key)])) {
     return Error{Errc::kAlreadyExists,
@@ -74,6 +77,9 @@ Result<RowId> Table::Insert(Row row) {
 
 Result<RowId> Table::Upsert(Row row) {
   if (Status s = schema_.Validate(row); !s.ok()) return s.error();
+  if (storage_faults_ != nullptr && storage_faults_->FailWrite(schema_.table_name))
+    return Error{Errc::kUnavailable,
+                 schema_.table_name + ": injected storage write failure"};
   std::lock_guard lock(mu_);
   const auto it =
       pk_index_.find(row[static_cast<std::size_t>(schema_.primary_key)]);

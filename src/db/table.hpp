@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "db/storage_faults.hpp"
 #include "db/value.hpp"
 #include "obs/metrics.hpp"
 
@@ -161,6 +162,14 @@ class Table {
   // (the default) disables counting.
   void set_full_scan_counter(obs::Counter* counter) { full_scans_ = counter; }
 
+  // Storage fault hook (docs/robustness.md): when set, Insert/Upsert ask
+  // the injector whether the write fails before touching any state, so an
+  // injected failure is indistinguishable from a clean rejection. nullptr
+  // (the default) disables injection.
+  void set_storage_faults(StorageFaultInjector* faults) {
+    storage_faults_ = faults;
+  }
+
  private:
   // Sorted-by-RowId postings of one index key.
   using Postings = std::vector<RowId>;
@@ -204,6 +213,7 @@ class Table {
   // column index → (value → sorted row ids); non-unique secondary indexes.
   std::unordered_map<int, SecondaryIndex> secondary_;
   obs::Counter* full_scans_ = nullptr;  // not owned; nullable
+  StorageFaultInjector* storage_faults_ = nullptr;  // not owned; nullable
 };
 
 }  // namespace sor::db

@@ -1,6 +1,33 @@
 #include "net/fault_injector.hpp"
 
+#include <limits>
+
 namespace sor::net {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Uniform in [0, 1) from the top 53 bits of a hash.
+double UnitFromHash(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
 
 bool FaultInjector::Matches(const std::string& pattern,
                             const std::string& name) {
@@ -54,6 +81,56 @@ FaultDecision FaultInjector::Decide(const std::string& from,
     d.duplicate = false;
   }
   return d;
+}
+
+NodeEvent FaultInjector::DecideNodeEvent(const std::string& endpoint,
+                                         SimTime now) const {
+  NodeEvent ev;
+  if (node_rules_.empty()) return ev;
+  // Pure hash, no stream: (node_seed, endpoint, now, rule index) fully
+  // determine the outcome, independent of evaluation order.
+  const std::uint64_t base =
+      SplitMix64(node_seed_ ^ Fnv1a(endpoint)) ^
+      SplitMix64(static_cast<std::uint64_t>(now.ms));
+  for (std::size_t i = 0; i < node_rules_.size(); ++i) {
+    const NodeFaultRule& rule = node_rules_[i];
+    if (!Matches(rule.endpoint, endpoint)) continue;
+    const std::uint64_t h = SplitMix64(base + 0x632BE59BD9B4E019ull * (i + 1));
+    if (rule.crash > 0.0 &&
+        UnitFromHash(SplitMix64(h ^ 0xC1)) < rule.crash) {
+      ev.kind = NodeEvent::Kind::kCrash;
+      ev.down_for = rule.restart_after;
+      return ev;
+    }
+    if (rule.uninstall > 0.0 &&
+        UnitFromHash(SplitMix64(h ^ 0xC2)) < rule.uninstall) {
+      ev.kind = NodeEvent::Kind::kUninstall;
+      ev.down_for = rule.reinstall_after;
+      return ev;
+    }
+    if (rule.stall > 0.0 &&
+        UnitFromHash(SplitMix64(h ^ 0xC3)) < rule.stall) {
+      ev.kind = NodeEvent::Kind::kStall;
+      ev.down_for = rule.stall_for;
+      return ev;
+    }
+  }
+  return ev;
+}
+
+void FaultInjector::SetNodeDown(const std::string& endpoint, SimTime until) {
+  down_[endpoint] = until.ms == 0
+                        ? SimTime{std::numeric_limits<std::int64_t>::max()}
+                        : until;
+}
+
+void FaultInjector::SetNodeUp(const std::string& endpoint) {
+  down_.erase(endpoint);
+}
+
+bool FaultInjector::NodeDown(const std::string& endpoint, SimTime now) const {
+  const auto it = down_.find(endpoint);
+  return it != down_.end() && now.ms < it->second.ms;
 }
 
 }  // namespace sor::net

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,33 @@ struct FaultDecision {
   SimDuration latency{0};
 };
 
+// --- node fault domain (docs/robustness.md) --------------------------------
+//
+// Where FaultRule models the wire, NodeFaultRule models the *parties*:
+// phones crash (volatile task state lost, persisted dedup seqs survive),
+// get uninstalled and reinstalled (everything lost, new install
+// generation), and the server stalls for whole ticks. The transport only
+// enforces the resulting down-state (NodeDown below) — deciding WHEN a node
+// fails, and resurrecting it, is the simulation driver's job, because a
+// crash is a node-lifecycle event, not a per-frame one.
+
+struct NodeFaultRule {
+  // Endpoint-name matcher; same grammar as FaultRule ("phone:*", "server").
+  std::string endpoint = "phone:*";
+  double crash = 0.0;               // P(crash at a given decision tick)
+  SimDuration restart_after{30'000};
+  double uninstall = 0.0;           // P(uninstall at a given decision tick)
+  SimDuration reinstall_after{60'000};
+  double stall = 0.0;               // P(stall; meant for the server endpoint)
+  SimDuration stall_for{10'000};
+};
+
+struct NodeEvent {
+  enum class Kind : std::uint8_t { kNone, kCrash, kUninstall, kStall };
+  Kind kind = Kind::kNone;
+  SimDuration down_for{0};  // restart_after / reinstall_after / stall_for
+};
+
 class FaultInjector {
  public:
   // One-shot global counters (request leg, any link): drop/corrupt the next
@@ -90,9 +118,43 @@ class FaultInjector {
   [[nodiscard]] static bool Matches(const std::string& pattern,
                                     const std::string& name);
 
+  // --- node domain ---------------------------------------------------------
+
+  void set_node_seed(std::uint64_t seed) { node_seed_ = seed; }
+  void AddNodeRule(NodeFaultRule rule) {
+    node_rules_.push_back(std::move(rule));
+  }
+  void ClearNodeRules() { node_rules_.clear(); }
+  [[nodiscard]] const std::vector<NodeFaultRule>& node_rules() const {
+    return node_rules_;
+  }
+
+  // Decide whether `endpoint` suffers a node event at `now`. Unlike
+  // Decide(), this is a PURE function of (node_seed, endpoint, now) — no
+  // stream is consumed — so the driver can evaluate nodes in any order, or
+  // not at all, without shifting the link-fault schedule. The first
+  // matching rule whose hash fires wins; crash beats uninstall beats stall
+  // within one rule.
+  [[nodiscard]] NodeEvent DecideNodeEvent(const std::string& endpoint,
+                                          SimTime now) const;
+
+  // Down-state registry, enforced by LoopbackNetwork::Send: a frame to a
+  // down node is lost before its handler runs (Errc::kUnavailable). The
+  // default `until` (SimTime{}) means "down until SetNodeUp" — phone
+  // crashes use that form, because coming back requires a rejoin, not just
+  // the clock passing; server stalls pass an expiry and lift themselves.
+  void SetNodeDown(const std::string& endpoint, SimTime until = SimTime{});
+  void SetNodeUp(const std::string& endpoint);
+  [[nodiscard]] bool NodeDown(const std::string& endpoint, SimTime now) const;
+  [[nodiscard]] bool any_node_down() const { return !down_.empty(); }
+
  private:
   std::vector<FaultRule> rules_;
   Rng rng_;
+  std::vector<NodeFaultRule> node_rules_;
+  std::uint64_t node_seed_ = 0;
+  // endpoint -> expiry (indefinite entries store SimTime::max-like expiry).
+  std::map<std::string, SimTime> down_;
 };
 
 }  // namespace sor::net

@@ -51,6 +51,7 @@ LoopbackNetwork::LinkCells& LoopbackNetwork::Cells(const std::string& from,
     c.partitioned = counter("net.partitioned");
     c.responses_dropped = counter("net.responses_dropped");
     c.responses_corrupted = counter("net.responses_corrupted");
+    c.node_unreachable = counter("net.node_unreachable");
     c.bytes_sent = counter("net.bytes_sent");
     c.bytes_received = counter("net.bytes_received");
     c.latency_injected_ms = counter("net.latency_injected_ms");
@@ -72,6 +73,7 @@ TransportStats LoopbackNetwork::ReadCells(const LinkCells& c) {
   s.partitioned = c.partitioned->value();
   s.responses_dropped = c.responses_dropped->value();
   s.responses_corrupted = c.responses_corrupted->value();
+  s.node_unreachable = c.node_unreachable->value();
   s.bytes_sent = c.bytes_sent->value();
   s.bytes_received = c.bytes_received->value();
   s.latency_injected_ms = c.latency_injected_ms->value();
@@ -89,6 +91,7 @@ TransportStats LoopbackNetwork::stats() const {
     total.partitioned += s.partitioned;
     total.responses_dropped += s.responses_dropped;
     total.responses_corrupted += s.responses_corrupted;
+    total.node_unreachable += s.node_unreachable;
     total.bytes_sent += s.bytes_sent;
     total.bytes_received += s.bytes_received;
     total.latency_injected_ms += s.latency_injected_ms;
@@ -114,7 +117,10 @@ void LoopbackNetwork::BeginOrderedPhase(std::vector<std::string> senders) {
   for (std::size_t i = 0; i < senders.size(); ++i)
     ordered_.rank_of.emplace(std::move(senders[i]), i);
   ordered_.done.assign(ordered_.rank_of.size(), 0);
-  ordered_.low = 0;
+  // No round in progress until StartRound: low at the end means "everyone
+  // completed", which both lets driver-thread pushes through and lets a
+  // ranked sender pass AwaitTurn for its own between-round sends.
+  ordered_.low = ordered_.done.size();
   ordered_.active = true;
 }
 
@@ -158,10 +164,14 @@ Result<Message> LoopbackNetwork::Send(const std::string& from,
     if (auto r = ordered_.rank_of.find(from); r != ordered_.rank_of.end()) {
       rank = r->second;
     } else if (ordered_.rank_of.contains(to)) {
-      // A push into an endpoint that may be mid-tick on another shard.
-      // Refusing is deterministic; racing into its handler is not.
-      return Error{Errc::kUnavailable,
-                   "endpoint '" + to + "' is ticking in a parallel round"};
+      // A push into a ranked endpoint. Mid-round the target may be
+      // mid-tick on another shard: refusing is deterministic; racing into
+      // its handler is not. Between rounds only the driver thread runs, so
+      // the push is admitted.
+      std::lock_guard lock(ordered_.mu);
+      if (ordered_.low < ordered_.done.size())
+        return Error{Errc::kUnavailable,
+                     "endpoint '" + to + "' is ticking in a parallel round"};
     }
   }
 
@@ -188,6 +198,15 @@ Result<Message> LoopbackNetwork::Send(const std::string& from,
   };
   trace(obs::EventKind::kMsgSend, frame.size(),
         static_cast<std::uint64_t>(TypeOf(m)));
+
+  // Node fault domain: a down destination loses the frame before its
+  // handler runs. A pure state check — no randomness consumed — so arming
+  // node faults never shifts the link-fault schedule.
+  if (faults_.NodeDown(to, now)) {
+    link.node_unreachable->Inc();
+    trace(obs::EventKind::kNodeUnreachable);
+    return Error{Errc::kUnavailable, "node '" + to + "' is down"};
+  }
 
   // --- request leg ---------------------------------------------------------
   const FaultDecision req =

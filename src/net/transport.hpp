@@ -61,6 +61,7 @@ struct TransportStats {
   std::uint64_t partitioned = 0; // loss caused by a partition window
   std::uint64_t responses_dropped = 0;    // handler ran, reply lost (lost Ack)
   std::uint64_t responses_corrupted = 0;  // handler ran, reply mangled
+  std::uint64_t node_unreachable = 0;     // destination node was down
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t latency_injected_ms = 0;
@@ -129,9 +130,13 @@ class LoopbackNetwork {
   //     CompleteSender(rank) after sender `rank` finished its tick ...
   //   EndOrderedPhase();
   //
-  // While a phase is active, a Send() *to* a ranked endpoint (a push into a
-  // phone that may be mid-tick) fails deterministically with kUnavailable
-  // instead of racing into its handler.
+  // While a ROUND is in progress, a Send() *to* a ranked endpoint (a push
+  // into a phone that may be mid-tick) fails deterministically with
+  // kUnavailable instead of racing into its handler. BETWEEN rounds (before
+  // the first StartRound, or after every sender completed the current one)
+  // only the driver thread runs, so pushes into ranked endpoints are safe
+  // and allowed — that is how churn rejoins trigger schedule distribution
+  // mid-phase without diverging from the serial run.
   void BeginOrderedPhase(std::vector<std::string> senders);
   void StartRound();
   void CompleteSender(std::size_t rank);
@@ -149,6 +154,7 @@ class LoopbackNetwork {
     obs::Counter* partitioned = nullptr;
     obs::Counter* responses_dropped = nullptr;
     obs::Counter* responses_corrupted = nullptr;
+    obs::Counter* node_unreachable = nullptr;
     obs::Counter* bytes_sent = nullptr;
     obs::Counter* bytes_received = nullptr;
     obs::Counter* latency_injected_ms = nullptr;

@@ -41,6 +41,14 @@ constexpr std::array kKindNames = {
     KindName{EventKind::kBlobProcessed, "blob_processed"},
     KindName{EventKind::kAppProcessed, "app_processed"},
     KindName{EventKind::kRankingDone, "ranking_done"},
+    KindName{EventKind::kNodeUnreachable, "node_unreachable"},
+    KindName{EventKind::kNodeCrashed, "node_crashed"},
+    KindName{EventKind::kNodeRestarted, "node_restarted"},
+    KindName{EventKind::kUploadThrottled, "upload_throttled"},
+    KindName{EventKind::kUploadShed, "upload_shed"},
+    KindName{EventKind::kServerModeChanged, "server_mode_changed"},
+    KindName{EventKind::kStorageWriteFailed, "storage_write_failed"},
+    KindName{EventKind::kServerReprimed, "server_reprimed"},
 };
 
 }  // namespace

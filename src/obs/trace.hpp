@@ -71,6 +71,16 @@ enum class EventKind : std::uint8_t {
   kAppProcessed,       // a = app, b = #feature values written
   // --- system ------------------------------------------------------------
   kRankingDone,        // a = app (place's final rankings are available)
+  // --- robustness (appended: kinds are persisted in trace files and must
+  // --- never renumber) ----------------------------------------------------
+  kNodeUnreachable,    // send hit a down node; a = peer stream id
+  kNodeCrashed,        // a = 1 when the crash is an uninstall (state wiped)
+  kNodeRestarted,      // a = 1 when the restart is a reinstall (new task)
+  kUploadThrottled,    // phone: a = task, b = seq, c = retry_after ms
+  kUploadShed,         // server: a = task, b = seq, c = 1 when stale
+  kServerModeChanged,  // a = new ServerMode, b = old
+  kStorageWriteFailed, // server: a = task, b = seq (injected write failure)
+  kServerReprimed,     // a = raw rows re-indexed during quarantine recovery
 };
 
 [[nodiscard]] const char* to_string(EventKind k);

@@ -43,6 +43,10 @@ void MobileFrontend::AttachObservability(obs::MetricsRegistry* registry,
       &registry->counter("phone.uploads_retried", per_thread);
   obs_.uploads_evicted =
       &registry->counter("phone.uploads_evicted", per_thread);
+  obs_.uploads_throttled =
+      &registry->counter("phone.uploads_throttled", per_thread);
+  obs_.uploads_abandoned =
+      &registry->counter("phone.uploads_abandoned", per_thread);
   obs_.leaves_retried = &registry->counter("phone.leaves_retried", per_thread);
   obs_.schedules_received =
       &registry->counter("phone.schedules_received", per_thread);
@@ -89,6 +93,7 @@ Result<TaskId> MobileFrontend::ScanBarcode(const BarcodePayload& payload,
   req.location = ReportedLocation();
   req.budget = budget;
   req.scan_time = clock_.now();
+  req.incarnation = incarnation_;
 
   Result<Message> reply = network_.Send(EndpointName(), server_, req);
   if (!reply.ok()) return reply.error();
@@ -97,10 +102,49 @@ Result<TaskId> MobileFrontend::ScanBarcode(const BarcodePayload& payload,
     return Error{Errc::kDecodeError, "unexpected reply to participation"};
   if (!accepted->accepted)
     return Error{Errc::kNotInPlace, accepted->reason};
+  last_join_ = JoinInfo{payload, budget};
   SOR_LOG(kInfo, "frontend",
           config_.user_name << " joined app " << payload.app.str()
                             << " as task " << accepted->task.str());
   return accepted->task;
+}
+
+void MobileFrontend::Crash() {
+  // Volatile state dies with the process; the seq counter, incarnation and
+  // the scanned join survive in "app-private storage" (see header).
+  tasks_.clear();
+  pending_uploads_.clear();
+  pending_leaves_.clear();
+  retries_spent_.clear();
+  pace_until_ = SimTime{};
+  Trace(obs::EventKind::kNodeCrashed, incarnation_);
+  SOR_LOG(kWarn, "frontend",
+          config_.user_name << " crashed (incarnation " << incarnation_
+                            << "); queued work lost, seq counter kept");
+}
+
+Result<TaskId> MobileFrontend::Restart() {
+  Trace(obs::EventKind::kNodeRestarted, incarnation_);
+  if (!last_join_.has_value())
+    return Error{Errc::kInvalidArgument,
+                 "restart without a prior join: nothing to resume"};
+  // Same incarnation ⇒ the server treats this as the idempotent rejoin of
+  // the existing participation and re-pushes the schedule.
+  return ScanBarcode(last_join_->payload, last_join_->budget);
+}
+
+void MobileFrontend::Uninstall() {
+  tasks_.clear();
+  pending_uploads_.clear();
+  pending_leaves_.clear();
+  retries_spent_.clear();
+  pace_until_ = SimTime{};
+  next_seq_ = 1;       // seq space restarts: a new install, a new task
+  last_join_.reset();  // the new install has never scanned anything
+  ++incarnation_;
+  SOR_LOG(kWarn, "frontend",
+          config_.user_name << " uninstalled; next install is incarnation "
+                            << incarnation_);
 }
 
 Result<TaskId> MobileFrontend::ScanBarcodeText(const std::string& text,
@@ -155,24 +199,75 @@ SimDuration MobileFrontend::Backoff(int attempts) {
       static_cast<std::int64_t>(jittered))};
 }
 
-bool MobileFrontend::TrySendUpload(TaskId task, std::uint64_t seq,
-                                   const std::vector<ReadingTuple>& batches) {
+MobileFrontend::UploadAttempt MobileFrontend::TrySendUpload(
+    TaskId task, std::uint64_t seq,
+    const std::vector<ReadingTuple>& batches) {
   SensedDataUpload up{task, config_.user_id, batches, seq};
   Result<Message> r = network_.Send(EndpointName(), server_, up);
-  if (!r.ok()) return false;
+  UploadAttempt a;
+  if (!r.ok()) return a;
   // Settled only when the Ack echoes our seq; anything else (wrong type,
-  // stale ack) counts as a failure and the upload stays queued.
-  const auto* ack = std::get_if<Ack>(&r.value());
-  return ack != nullptr && ack->seq == seq;
+  // stale ack) counts as a failure and the upload stays queued. A
+  // ThrottleReply echoing our seq is the server refusing ADMISSION — the
+  // data never landed, but the link works; honor the hint instead of
+  // treating it as a loss.
+  if (const auto* ack = std::get_if<Ack>(&r.value());
+      ack != nullptr && ack->seq == seq) {
+    a.outcome = SendOutcome::kAcked;
+    return a;
+  }
+  if (const auto* throttle = std::get_if<ThrottleReply>(&r.value());
+      throttle != nullptr && throttle->seq == seq) {
+    a.outcome = SendOutcome::kThrottled;
+    a.retry_after = throttle->retry_after;
+    a.mode = throttle->mode;
+  }
+  return a;
+}
+
+void MobileFrontend::NoteThrottle(TaskId task, std::uint64_t seq,
+                                  const UploadAttempt& a) {
+  ++stats_.uploads_throttled;
+  if (obs_.uploads_throttled != nullptr) obs_.uploads_throttled->Inc();
+  Trace(obs::EventKind::kUploadThrottled, task.value(), seq,
+        static_cast<std::uint64_t>(a.retry_after.ms));
+  // Adaptive pacing: one throttle quiets the WHOLE queue until the hinted
+  // time — hammering an overloaded server with the other queued uploads
+  // would only earn more throttles.
+  const SimTime resume = clock_.now() + a.retry_after;
+  if (resume > pace_until_) pace_until_ = resume;
+}
+
+bool MobileFrontend::SpendRetryBudget(TaskId task) {
+  if (config_.retry_budget <= 0) return true;  // unlimited
+  int& spent = retries_spent_[task];
+  if (spent >= config_.retry_budget) return false;
+  ++spent;
+  return true;
 }
 
 void MobileFrontend::EnqueueUpload(TaskId task, std::uint64_t seq,
                                    std::vector<ReadingTuple> batches,
                                    int attempts) {
+  const SimTime next = clock_.now() + Backoff(attempts);
+  EnqueueUploadAt(task, seq, std::move(batches), attempts, next);
+}
+
+void MobileFrontend::EnqueueUploadAt(TaskId task, std::uint64_t seq,
+                                     std::vector<ReadingTuple> batches,
+                                     int attempts, SimTime next_attempt) {
   if (pending_uploads_.size() >= config_.max_pending_uploads &&
       !pending_uploads_.empty()) {
     const PendingUpload& oldest = pending_uploads_.front();
     Trace(obs::EventKind::kUploadEvicted, oldest.task.value(), oldest.seq);
+    // Eviction policy (docs/protocol.md): drop the OLDEST queued upload —
+    // recent data beats stale data, and the bound keeps a long partition
+    // from growing memory without limit.
+    SOR_LOG(kWarn, "frontend",
+            "upload evicted: phone=" << config_.token.value
+                << " task=" << oldest.task.str() << " seq=" << oldest.seq
+                << " attempts=" << oldest.attempts
+                << " queue_bound=" << config_.max_pending_uploads);
     pending_uploads_.pop_front();  // evict the oldest; the bound holds
     ++stats_.uploads_dropped;
     if (obs_.uploads_evicted != nullptr) obs_.uploads_evicted->Inc();
@@ -182,7 +277,7 @@ void MobileFrontend::EnqueueUpload(TaskId task, std::uint64_t seq,
   p.seq = seq;
   p.batches = std::move(batches);
   p.attempts = attempts;
-  p.next_attempt = clock_.now() + Backoff(attempts);
+  p.next_attempt = next_attempt;
   pending_uploads_.push_back(std::move(p));
 }
 
@@ -203,10 +298,15 @@ void MobileFrontend::Tick() {
     }
   }
 
+  // Throttle pacing: while the gate is closed the upload queue stays
+  // quiet. Leaves (above) still flush — the server always admits them —
+  // and sensing (below) still runs, queueing its data for later.
+  const bool paced = now < pace_until_;
+
   // Re-send queued uploads whose backoff has elapsed, oldest first. Each
   // keeps its original seq, so the server recognizes a retry of data it
   // already stored (the lost-Ack case) and just re-acknowledges.
-  const std::size_t due = pending_uploads_.size();
+  const std::size_t due = paced ? 0 : pending_uploads_.size();
   // A re-enqueue can evict the oldest entry when the queue is full, so the
   // queue may shrink mid-loop; never pop past what is actually there.
   for (std::size_t i = 0; i < due && !pending_uploads_.empty(); ++i) {
@@ -216,20 +316,46 @@ void MobileFrontend::Tick() {
       pending_uploads_.push_back(std::move(p));  // not yet; keep queued
       continue;
     }
-    ++stats_.uploads_retried;
-    if (obs_.uploads_retried != nullptr) obs_.uploads_retried->Inc();
-    if (TrySendUpload(p.task, p.seq, p.batches)) {
+    if (p.attempts > 0) {
+      ++stats_.uploads_retried;
+      if (obs_.uploads_retried != nullptr) obs_.uploads_retried->Inc();
+    }
+    const UploadAttempt a = TrySendUpload(p.task, p.seq, p.batches);
+    if (a.outcome == SendOutcome::kAcked) {
       ++stats_.uploads_sent;
       if (obs_.uploads_sent != nullptr) obs_.uploads_sent->Inc();
       if (obs_.upload_attempts != nullptr)
         obs_.upload_attempts->Observe(static_cast<double>(p.attempts + 1));
       Trace(obs::EventKind::kUploadAcked, p.task.value(), p.seq);
+    } else if (a.outcome == SendOutcome::kThrottled) {
+      // Admission refused, data intact. Re-queue at the hinted time with
+      // attempts UNCHANGED: throttles count against neither the backoff
+      // curve nor the retry budget (the server asked us to wait; we did
+      // nothing wrong).
+      NoteThrottle(p.task, p.seq, a);
+      EnqueueUploadAt(p.task, p.seq, std::move(p.batches), p.attempts,
+                      now + a.retry_after);
+      break;  // the gate just closed; stop draining this tick
     } else {
       ++stats_.upload_failures;
       if (obs_.upload_failures != nullptr) obs_.upload_failures->Inc();
       Trace(obs::EventKind::kUploadFailed, p.task.value(), p.seq,
             static_cast<std::uint64_t>(p.attempts + 1));
-      EnqueueUpload(p.task, p.seq, std::move(p.batches), p.attempts + 1);
+      if (SpendRetryBudget(p.task)) {
+        EnqueueUpload(p.task, p.seq, std::move(p.batches), p.attempts + 1);
+      } else {
+        // Per-campaign retry budget spent: give the upload up for good
+        // rather than let one dead campaign churn the queue forever.
+        ++stats_.uploads_abandoned;
+        if (obs_.uploads_abandoned != nullptr) obs_.uploads_abandoned->Inc();
+        Trace(obs::EventKind::kUploadEvicted, p.task.value(), p.seq,
+              static_cast<std::uint64_t>(p.attempts + 1));
+        SOR_LOG(kWarn, "frontend",
+                "upload abandoned: phone=" << config_.token.value
+                    << " task=" << p.task.str() << " seq=" << p.seq
+                    << " attempts=" << p.attempts + 1
+                    << " retry_budget=" << config_.retry_budget);
+      }
     }
   }
 
@@ -240,11 +366,21 @@ void MobileFrontend::Tick() {
     if (obs_.tuples_collected != nullptr)
       obs_.tuples_collected->Inc(collected.size());
     Trace(obs::EventKind::kSenseBatch, id.value(), seq, collected.size());
-    if (TrySendUpload(id, seq, collected)) {
+    if (now < pace_until_) {
+      // Gate closed (possibly mid-tick, by a throttle above): don't even
+      // try — queue the fresh batch to transmit once the gate reopens.
+      EnqueueUploadAt(id, seq, std::move(collected), 0, pace_until_);
+      continue;
+    }
+    const UploadAttempt a = TrySendUpload(id, seq, collected);
+    if (a.outcome == SendOutcome::kAcked) {
       ++stats_.uploads_sent;
       if (obs_.uploads_sent != nullptr) obs_.uploads_sent->Inc();
       if (obs_.upload_attempts != nullptr) obs_.upload_attempts->Observe(1.0);
       Trace(obs::EventKind::kUploadAcked, id.value(), seq);
+    } else if (a.outcome == SendOutcome::kThrottled) {
+      NoteThrottle(id, seq, a);
+      EnqueueUploadAt(id, seq, std::move(collected), 0, now + a.retry_after);
     } else {
       ++stats_.upload_failures;
       if (obs_.upload_failures != nullptr) obs_.upload_failures->Inc();

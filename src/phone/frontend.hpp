@@ -14,6 +14,7 @@
 
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,13 @@ struct FrontendConfig {
   SimDuration retry_base{1'000};         // first-retry delay ceiling
   SimDuration retry_max{60'000};         // exponential backoff cap
   std::size_t max_pending_uploads = 64;  // store-and-forward queue bound
+
+  // Per-campaign retry budget (docs/robustness.md): every failed re-send of
+  // a queued upload spends one unit of its task's budget; once spent,
+  // further failing uploads for that task are abandoned instead of
+  // re-queued, so one dead campaign cannot monopolize the queue forever.
+  // 0 = unlimited (the pre-budget behaviour).
+  int retry_budget = 0;
 };
 
 struct FrontendStats {
@@ -48,6 +56,8 @@ struct FrontendStats {
   std::uint64_t upload_failures = 0;
   std::uint64_t uploads_retried = 0;   // re-sends of a queued upload
   std::uint64_t uploads_dropped = 0;   // oldest entries evicted, queue full
+  std::uint64_t uploads_throttled = 0; // server answered with a ThrottleReply
+  std::uint64_t uploads_abandoned = 0; // retry budget spent, upload given up
   std::uint64_t leaves_retried = 0;    // queued LeaveNotifications re-sent
   std::uint64_t schedules_received = 0;
   std::uint64_t schedules_refused = 0;  // required sensor not on this phone
@@ -100,6 +110,27 @@ class MobileFrontend final : public net::Endpoint {
   // scheduler keeps planning for a phone that will never upload again).
   [[nodiscard]] Status LeavePlace();
 
+  // --- node lifecycle (docs/robustness.md) --------------------------------
+  // Crash: the process dies mid-campaign. Volatile state — the task map,
+  // the store-and-forward queue, queued leaves, pacing — is lost; the
+  // persisted bits (upload seq counter, install incarnation, the scanned
+  // join) survive, exactly like app-private storage on a real phone. The
+  // seq counter surviving is what keeps the server's dedup sound across a
+  // crash: a restarted phone never reuses a seq the server may have seen.
+  void Crash();
+  // Restart after a crash: re-present the SAME incarnation to the server,
+  // which recognizes the join as idempotent, returns the same task, and
+  // re-pushes the schedule. Fails if this phone never scanned a barcode.
+  [[nodiscard]] Result<TaskId> Restart();
+  // Uninstall: everything goes, including the seq counter; the next install
+  // generation is recorded by bumping the incarnation, so a later
+  // ScanBarcode presents a HIGHER incarnation and the server retires the
+  // old participation instead of resuming it (seq space restarts at 1).
+  void Uninstall();
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+  // Earliest time the upload queue may transmit again (throttle pacing).
+  [[nodiscard]] SimTime paced_until() const { return pace_until_; }
+
   // --- time advance ------------------------------------------------------
   // Flush queued leave notifications, re-send queued uploads whose backoff
   // has elapsed, then execute every sensing activity due at the current
@@ -132,15 +163,35 @@ class MobileFrontend final : public net::Endpoint {
     SimTime next_attempt;   // earliest time to try again
   };
 
+  // What one upload attempt came back as. kThrottled means the server
+  // refused admission under load and told us when to come back; the data
+  // is intact on our side and the attempt does not count against backoff.
+  enum class SendOutcome : std::uint8_t { kAcked, kFailed, kThrottled };
+  struct UploadAttempt {
+    SendOutcome outcome = SendOutcome::kFailed;
+    SimDuration retry_after{0};  // throttle hint (kThrottled only)
+    std::uint8_t mode = 0;       // server degradation mode (kThrottled only)
+  };
+
   [[nodiscard]] Message HandleMessage(const Message& m);
   [[nodiscard]] GeoPoint ReportedLocation();
-  // Send one upload; true only when the server's Ack echoed `seq`.
-  [[nodiscard]] bool TrySendUpload(TaskId task, std::uint64_t seq,
-                                   const std::vector<ReadingTuple>& batches);
+  // Send one upload; settled only when the server's Ack echoed `seq`.
+  [[nodiscard]] UploadAttempt TrySendUpload(
+      TaskId task, std::uint64_t seq,
+      const std::vector<ReadingTuple>& batches);
   // min(retry_max, retry_base·2^(attempts-1)), jittered into [50%, 100%].
   [[nodiscard]] SimDuration Backoff(int attempts);
   void EnqueueUpload(TaskId task, std::uint64_t seq,
                      std::vector<ReadingTuple> batches, int attempts);
+  // Same, but with an explicit wake-up time (throttle hints bypass backoff).
+  void EnqueueUploadAt(TaskId task, std::uint64_t seq,
+                       std::vector<ReadingTuple> batches, int attempts,
+                       SimTime next_attempt);
+  // Apply a ThrottleReply: pace the whole queue and record the hint.
+  void NoteThrottle(TaskId task, std::uint64_t seq, const UploadAttempt& a);
+  // True when `task` has retry budget left; a failed re-send spends one
+  // unit. Exhausted budget abandons the upload (accounted + logged).
+  [[nodiscard]] bool SpendRetryBudget(TaskId task);
   // Emit on this phone's trace stream (no-op when tracing is off).
   void Trace(obs::EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
              std::uint64_t c = 0);
@@ -167,6 +218,23 @@ class MobileFrontend final : public net::Endpoint {
   SimTime last_tick_;
   FrontendStats stats_;
 
+  // --- robustness state (docs/robustness.md) ------------------------------
+  // Install generation. Survives Crash() (it is "persisted"); Uninstall()
+  // bumps it so the server can tell a reinstall from a crash-rejoin.
+  std::uint32_t incarnation_ = 1;
+  // Throttle pacing gate: while now < pace_until_ the upload queue stays
+  // quiet (leaves still flush — they are always admitted server-side).
+  SimTime pace_until_;
+  // Per-campaign retry spend, against config_.retry_budget. Volatile.
+  std::map<TaskId, int> retries_spent_;
+  // The last successful join, kept so Restart() can idempotently rejoin
+  // with the same incarnation. Cleared by Uninstall().
+  struct JoinInfo {
+    BarcodePayload payload;
+    int budget = 0;
+  };
+  std::optional<JoinInfo> last_join_;
+
   // Shared-telemetry handles (null until AttachObservability).
   obs::Tracer* tracer_ = nullptr;
   obs::StreamId stream_ = 0;
@@ -175,6 +243,8 @@ class MobileFrontend final : public net::Endpoint {
     obs::Counter* upload_failures = nullptr;
     obs::Counter* uploads_retried = nullptr;
     obs::Counter* uploads_evicted = nullptr;
+    obs::Counter* uploads_throttled = nullptr;
+    obs::Counter* uploads_abandoned = nullptr;
     obs::Counter* leaves_retried = nullptr;
     obs::Counter* schedules_received = nullptr;
     obs::Counter* schedules_refused = nullptr;

@@ -179,6 +179,8 @@ ParticipationRecord RecordFromRow(const Row& r) {
   rec.status = r[6].as_text();
   rec.arrive = SimTime{r[7].as_int()};
   if (!r[8].is_null()) rec.leave = SimTime{r[8].as_int()};
+  if (r.size() > 9)
+    rec.incarnation = static_cast<std::uint32_t>(r[9].as_int());
   return rec;
 }
 
@@ -202,10 +204,24 @@ Result<TaskId> ParticipationManager::HandleRequest(
                      "m)"};
   }
 
-  // One active participation per (user, app): a re-scan while active is
-  // idempotent and returns the existing task.
+  // One active participation per (user, app). A re-scan from the SAME
+  // install (equal incarnation) is idempotent and returns the existing task
+  // — this is how a crashed-and-restarted phone rejoins without losing its
+  // dedup seq space. A HIGHER incarnation is a reinstalled phone: its
+  // upload seqs restart at 1, so reusing the old task would let the dedup
+  // index silently swallow every new upload. Finish the old participation
+  // and fall through to open a fresh task. A LOWER incarnation is a stale
+  // install (e.g. a delayed duplicate) and is refused.
   for (const ParticipationRecord& rec : ActiveForApp(app.id)) {
-    if (rec.user == req.user) return rec.task;
+    if (rec.user != req.user) continue;
+    if (req.incarnation == rec.incarnation) return rec.task;
+    if (req.incarnation < rec.incarnation)
+      return Error{Errc::kPermissionDenied,
+                   "stale incarnation " + std::to_string(req.incarnation) +
+                       " for task " + rec.task.str()};
+    if (Status s = MarkFinished(rec.task, req.scan_time); !s.ok())
+      return s.error();
+    break;
   }
 
   Table* parts = db_.table(db::tables::kParticipations);
@@ -214,7 +230,8 @@ Result<TaskId> ParticipationManager::HandleRequest(
       {Value(task.value()), Value(req.user.value()), Value(app.id.value()),
        Value(req.token.value), Value(static_cast<std::int64_t>(req.budget)),
        Value(static_cast<std::int64_t>(req.budget)),
-       Value("waiting_for_schedule"), Value(req.scan_time.ms), Value(db::Null{})});
+       Value("waiting_for_schedule"), Value(req.scan_time.ms), Value(db::Null{}),
+       Value(static_cast<std::int64_t>(req.incarnation))});
   if (!r.ok()) return r.error();
   return task;
 }

@@ -117,6 +117,9 @@ struct ParticipationRecord {
   std::string status;
   SimTime arrive;
   std::optional<SimTime> leave;
+  // Install generation of the phone that opened this task; see
+  // ParticipationRequest::incarnation.
+  std::uint32_t incarnation = 1;
 };
 
 class ParticipationManager {

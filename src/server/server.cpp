@@ -21,6 +21,7 @@ SensingServer::SensingServer(ServerConfig config,
       scheduler_(db_, network_, clock_, config_.endpoint_name),
       processor_(db_) {
   db::MakeSorSchema(db_);
+  health_.set_config(config_.overload);
   network_.Register(config_.endpoint_name, this);
 }
 
@@ -34,6 +35,7 @@ void SensingServer::AttachObservability(obs::MetricsRegistry* registry,
     stream_ = tracer_->RegisterStream(config_.endpoint_name);
   scheduler_.AttachObservability(registry, tracer, stream_);
   processor_.AttachObservability(registry, tracer);
+  health_.AttachObservability(registry, tracer, stream_);
   db_.AttachObservability(registry);
   if (registry == nullptr) {
     obs_ = ServerCounters{};
@@ -274,11 +276,14 @@ Message SensingServer::OnUpload(const SensedDataUpload& upload) {
                       "upload user does not own task"};
 
   MaybeResyncAfterRestart(upload.task);
+  health_.NoteContact(upload.task.value(), clock_.now());
 
   // At-least-once dedup: a retry after a lost Ack (or a duplicated frame)
   // carries the seq the server already stored. Acknowledge it again —
   // that is the answer the phone never received — but store nothing and
   // consume no budget. seq 0 marks a legacy sender with no dedup key.
+  // Dedup runs BEFORE admission control: a retry of data already on disk
+  // costs one hash probe, so re-acking it is free even under overload.
   if (upload.seq != 0) {
     const auto it = seen_upload_seqs_.find(upload.task.value());
     if (it != seen_upload_seqs_.end() && it->second.contains(upload.seq)) {
@@ -288,6 +293,25 @@ Message SensingServer::OnUpload(const SensedDataUpload& upload) {
             rec.value().app.value());
       return Ack{upload.task.value(), upload.seq};
     }
+  }
+
+  // Admission control (docs/robustness.md): only NEW bytes are billed
+  // against the tick's ingest budget. Staleness comes from the upload's
+  // own sense ticks — the newest reading dates the batch.
+  SimTime sensed_at{0};
+  for (const ReadingTuple& t : upload.batches)
+    sensed_at = std::max(sensed_at, t.t);
+  const AdmitDecision adm = health_.AdmitUpload(clock_.now(), sensed_at);
+  if (!adm.admit) {
+    ++stats_.uploads_throttled;
+    if (adm.stale && adm.mode == ServerMode::kThrottling)
+      ++stats_.uploads_shed_stale;
+    Trace(adm.stale ? obs::EventKind::kUploadShed
+                    : obs::EventKind::kUploadThrottled,
+          upload.task.value(), upload.seq,
+          static_cast<std::uint64_t>(static_cast<std::uint8_t>(adm.mode)));
+    return ThrottleReply{upload.task.value(), upload.seq, adm.retry_after,
+                         static_cast<std::uint8_t>(adm.mode)};
   }
 
   // "it will directly store the binary message body into the database,
@@ -301,9 +325,24 @@ Message SensingServer::OnUpload(const SensedDataUpload& upload) {
        db::Value(rec.value().app.value()), db::Value(body.take()),
        db::Value(clock_.now().ms), db::Value(false),
        db::Value(static_cast<std::int64_t>(upload.seq))});
-  if (!stored.ok())
-    return ErrorReply{static_cast<std::uint8_t>(stored.error().code),
-                      stored.error().message};
+  if (!stored.ok()) {
+    // Storage fault: the row did NOT land. Answer with a throttle — the
+    // data is intact on the phone and a later retry may find the store
+    // healthy again — and let the watchdog decide whether the pile-up
+    // warrants quarantine-and-reprime.
+    ++stats_.storage_write_failures;
+    health_.NoteStorageFailure(clock_.now());
+    Trace(obs::EventKind::kStorageWriteFailed, upload.task.value(),
+          upload.seq);
+    SOR_LOG(kWarn, "server",
+            "raw_data write failed (task " << upload.task.str() << " seq "
+                << upload.seq << "): " << stored.error().str());
+    if (health_.ShouldReprime()) Reprime();
+    const SimDuration hint =
+        health_.config().retry_after + health_.config().retry_after;
+    return ThrottleReply{upload.task.value(), upload.seq, hint,
+                         static_cast<std::uint8_t>(health_.mode())};
+  }
   // Advance the app's stored watermark so the Data Processor's next pass
   // sees new work without probing the raw table.
   processor_.NoteUploadStored(rec.value().app,
@@ -336,6 +375,7 @@ Message SensingServer::OnLeave(const LeaveNotification& note) {
     return ErrorReply{static_cast<std::uint8_t>(Errc::kNotFound),
                       "unknown task " + note.task.str()};
   needs_resync_.erase(note.task);  // leaving; no schedule to re-push
+  health_.NoteContact(note.task.value(), clock_.now());
   (void)parts_.MarkFinished(note.task, note.time);
   Trace(obs::EventKind::kTaskFinished, note.task.value());
 
@@ -378,32 +418,19 @@ void SensingServer::MaybeResyncAfterRestart(TaskId task) {
   needs_resync_.erase(task);
 }
 
-Bytes SensingServer::SnapshotState() const { return db::SnapshotDatabase(db_); }
-
-Status SensingServer::RestoreFromSnapshot(
-    std::span<const std::uint8_t> snapshot) {
-  // RestoreDatabase is all-or-nothing and refuses a non-empty target, so
-  // stage into a fresh database and commit by move. Managers hold a
-  // reference to db_ (whose address is stable), so they see the restored
-  // tables immediately.
-  db::Database fresh;
-  if (Status s = db::RestoreDatabase(snapshot, fresh); !s.ok()) return s;
-  db_ = std::move(fresh);
-  // db_ was replaced wholesale; re-wire its full-scan counter.
-  db_.AttachObservability(registry_);
-
+void SensingServer::RebuildDerivedState() {
   // Id generators are process state, not database state: re-sync each one
-  // past the ids already issued before the crash.
+  // past the ids already issued.
   users_.ResyncIds();
   apps_.ResyncIds();
   parts_.ResyncIds();
   scheduler_.ResyncIds();
 
   // Rebuild the upload dedup index, the raw-row id source, and the Data
-  // Processor's per-app watermarks from the restored raw_data. The id
-  // source needs only the max primary key (O(1)); the dedup/watermark scan
-  // goes app by app through the app_id index — every raw row belongs to a
-  // registered app, so this covers the table without a full walk.
+  // Processor's per-app watermarks from raw_data. The id source needs only
+  // the max primary key (O(1)); the dedup/watermark scan goes app by app
+  // through the app_id index — every raw row belongs to a registered app,
+  // so this covers the table without a full walk.
   db::Table* raw = db_.table(db::tables::kRawData);
   if (std::optional<db::Value> max_id = raw->MaxPrimaryKey())
     raw_ids_.advance_past(static_cast<std::uint64_t>(max_id->as_int()));
@@ -426,6 +453,40 @@ Status SensingServer::RestoreFromSnapshot(
         });
     processor_.RestoreProgress(app.id, stored_max, processed_max);
   }
+}
+
+void SensingServer::Reprime() {
+  // The storage layer failed writes but every committed row is intact
+  // (Insert is all-or-nothing). Quarantine the suspect PROCESS state — the
+  // dedup index, id sources and watermarks that were built alongside the
+  // failed writes — and rebuild all of it from the current tables, the
+  // same walk a snapshot restore does, minus the restore.
+  RebuildDerivedState();
+  ++stats_.reprimes;
+  health_.NoteReprimed(clock_.now());
+  Trace(obs::EventKind::kServerReprimed,
+        db_.table(db::tables::kRawData)->size());
+  SOR_LOG(kWarn, "server",
+          "reprimed after storage write failures: "
+              << db_.table(db::tables::kRawData)->size()
+              << " raw rows re-indexed; refusing uploads until next tick");
+}
+
+Bytes SensingServer::SnapshotState() const { return db::SnapshotDatabase(db_); }
+
+Status SensingServer::RestoreFromSnapshot(
+    std::span<const std::uint8_t> snapshot) {
+  // RestoreDatabase is all-or-nothing and refuses a non-empty target, so
+  // stage into a fresh database and commit by move. Managers hold a
+  // reference to db_ (whose address is stable), so they see the restored
+  // tables immediately.
+  db::Database fresh;
+  if (Status s = db::RestoreDatabase(snapshot, fresh); !s.ok()) return s;
+  db_ = std::move(fresh);
+  // db_ was replaced wholesale; re-wire its full-scan counter.
+  db_.AttachObservability(registry_);
+
+  RebuildDerivedState();
 
   // Phones still hold pre-crash schedules; re-push each app's schedule the
   // first time any of its participants makes contact.

@@ -21,6 +21,7 @@
 #include "obs/trace.hpp"
 #include "rank/personalizable_ranker.hpp"
 #include "server/data_processor.hpp"
+#include "server/health_monitor.hpp"
 #include "server/managers.hpp"
 #include "server/scheduler.hpp"
 
@@ -37,6 +38,10 @@ struct ServerConfig {
   // to ensure high sensing quality").
   SimDuration sample_window = SimDuration{5'000};
   int samples_per_window = 5;
+
+  // Overload control (docs/robustness.md). The default budget of 0 keeps
+  // admission unlimited — existing runs keep their exact fingerprints.
+  OverloadConfig overload;
 };
 
 struct ServerStats {
@@ -50,6 +55,11 @@ struct ServerStats {
   std::uint64_t duplicate_uploads_ignored = 0;
   std::uint64_t recoveries = 0;        // successful RestoreFromSnapshot calls
   std::uint64_t resyncs_triggered = 0; // post-restart schedule re-pushes
+  // Overload + storage-fault accounting (docs/robustness.md).
+  std::uint64_t uploads_throttled = 0;      // admission refused, hint sent
+  std::uint64_t uploads_shed_stale = 0;     // subset shed for being stale
+  std::uint64_t storage_write_failures = 0; // raw_data insert failed
+  std::uint64_t reprimes = 0;               // quarantine-and-reprime runs
 };
 
 class SensingServer final : public net::Endpoint {
@@ -72,7 +82,14 @@ class SensingServer final : public net::Endpoint {
   [[nodiscard]] ParticipationManager& participations() { return parts_; }
   [[nodiscard]] SensingScheduler& scheduler() { return scheduler_; }
   [[nodiscard]] DataProcessor& data_processor() { return processor_; }
+  [[nodiscard]] HealthMonitor& health() { return health_; }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
+
+  // Swap the overload policy (serial code only; chaos drivers use this).
+  void set_overload(const OverloadConfig& overload) {
+    config_.overload = overload;
+    health_.set_config(overload);
+  }
 
   // --- high-level operations ----------------------------------------------
   // Deploys a new application and returns the barcode to place on site.
@@ -151,6 +168,14 @@ class SensingServer final : public net::Endpoint {
   // First post-restart contact from a task whose app still needs a schedule
   // re-push: reschedule the app (which redistributes to all of its phones).
   void MaybeResyncAfterRestart(TaskId task);
+  // Rebuild every derived process structure (id generators, upload dedup
+  // index, processor watermarks) from the CURRENT database tables. The
+  // shared tail of RestoreFromSnapshot and Reprime.
+  void RebuildDerivedState();
+  // Quarantine-and-reprime after storage write failures: suspect the
+  // process state, not the rows — rebuild the derived structures in place
+  // and enter kRecovering for the rest of the tick.
+  void Reprime();
   // Emit on the server's trace stream (no-op when tracing is off).
   void Trace(obs::EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
              std::uint64_t c = 0);
@@ -165,6 +190,7 @@ class SensingServer final : public net::Endpoint {
   ParticipationManager parts_;
   SensingScheduler scheduler_;
   DataProcessor processor_;
+  HealthMonitor health_;
   ShardedExecutor* executor_ = nullptr;  // not owned
   ServerStats stats_;
   IdGenerator<ScheduleId> raw_ids_;  // raw_data PK source

@@ -207,6 +207,174 @@ TEST(Chaos, ParallelRuntimeSurvivesEveryFaultSchedule) {
   }
 }
 
+// Compare every matrix cell of a chaos run against the fault-free run.
+void ExpectSameMatrix(const FieldTestResult& got_r,
+                      const FieldTestResult& want_r) {
+  const rank::FeatureMatrix& want = want_r.matrix;
+  const rank::FeatureMatrix& got = got_r.matrix;
+  ASSERT_EQ(got.num_places(), want.num_places());
+  ASSERT_EQ(got.num_features(), want.num_features());
+  for (int i = 0; i < want.num_places(); ++i) {
+    for (int j = 0; j < want.num_features(); ++j) {
+      EXPECT_NEAR(got.at(i, j), want.at(i, j), 1e-6)
+          << "place " << i << " feature " << j;
+    }
+  }
+}
+
+TEST(Chaos, ChurnTenSeedsRankingsMatchTheFaultFreeBaseline) {
+  // Node churn genuinely loses data: a crashed phone drops its queued and
+  // collected-but-unsent batches, an uninstalled one loses everything and
+  // rejoins as a new task. Features therefore need not equal the baseline
+  // — but the RANKINGS over what was acknowledged must: losing a slice of
+  // samples from every place must not reorder the places.
+  const world::Scenario scenario = SmallCoffeeScenario();
+  System baseline_system;
+  Result<FieldTestResult> baseline =
+      baseline_system.RunFieldTest(scenario, BaseConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.error().str();
+
+  std::uint64_t crashes = 0, restarts = 0, reinstalls = 0, stalls = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("node seed " + std::to_string(seed));
+    FieldTestConfig config = BaseConfig();
+    net::NodeFaultRule phones;
+    phones.endpoint = "phone:*";
+    phones.crash = 0.01;
+    phones.restart_after = SimDuration{30'000};
+    phones.uninstall = 0.003;
+    phones.reinstall_after = SimDuration{40'000};
+    net::NodeFaultRule server;
+    server.endpoint = "server";
+    server.stall = 0.02;
+    server.stall_for = SimDuration{20'000};
+    config.node_rules = {phones, server};
+    config.node_seed = seed;
+    config.drain_ticks = 12;
+
+    System system;
+    Result<FieldTestResult> run = system.RunFieldTest(scenario, config);
+    ASSERT_TRUE(run.ok()) << run.error().str();
+
+    crashes += run.value().total_crashes;
+    restarts += run.value().total_restarts;
+    reinstalls += run.value().total_reinstalls;
+    stalls += run.value().server_stall_ticks;
+    // Every phone that went down inside the period made it back (downtimes
+    // fit inside the drain window).
+    EXPECT_EQ(run.value().total_crashes + run.value().total_reinstalls,
+              run.value().total_restarts + run.value().total_reinstalls)
+        << "some phone never rejoined";
+
+    // Storage stayed sound through every crash/rejoin cycle: no duplicate
+    // (task, seq) rows, billing matches storage.
+    CheckStorageInvariants(system.server());
+
+    // The answer over acknowledged data is the fault-free answer.
+    ASSERT_EQ(run.value().rankings.size(), baseline.value().rankings.size());
+    for (std::size_t p = 0; p < baseline.value().rankings.size(); ++p) {
+      EXPECT_EQ(run.value().RankedNames(p), baseline.value().RankedNames(p))
+          << "profile " << baseline.value().rankings[p].first;
+    }
+  }
+  // The battery was not vacuous: every churn kind fired somewhere.
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(restarts, 0u);
+  EXPECT_GT(reinstalls, 0u);
+  EXPECT_GT(stalls, 0u);
+}
+
+TEST(Chaos, OverloadShedsStaleBeforeFreshAndRecovers) {
+  // Sustained ~2.4x overload: 12 phones want ~12 admissions per tick, the
+  // budget is 5. The server must shed stale before fresh, keep every queue
+  // bounded, and — because a throttle only delays data that stays queued
+  // on the phone — converge to the exact fault-free features once the
+  // load drops.
+  const world::Scenario scenario = SmallCoffeeScenario();
+  System baseline_system;
+  Result<FieldTestResult> baseline =
+      baseline_system.RunFieldTest(scenario, BaseConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.error().str();
+
+  FieldTestConfig config = BaseConfig();
+  config.overload.ingest_budget = 5;
+  config.overload.throttle_at = 0.6;
+  config.overload.stale_after = SimDuration{15'000};
+  config.overload.retry_after = SimDuration{12'000};
+  config.drain_ticks = 60;  // the "load drops" phase: queues flush at 5/tick
+
+  System system;
+  Result<FieldTestResult> run = system.RunFieldTest(scenario, config);
+  ASSERT_TRUE(run.ok()) << run.error().str();
+
+  // Overload actually happened, and the priority ladder was exercised:
+  // both plain throttles (budget spent) and stale sheds occurred.
+  EXPECT_GT(run.value().server_stats.uploads_throttled, 0u);
+  EXPECT_GT(run.value().server_stats.uploads_shed_stale, 0u);
+  EXPECT_GT(run.value().total_uploads_throttled, 0u);
+  EXPECT_GT(run.value().peak_pending_uploads, 0u);
+
+  // Bounded queues: the fleet's backlog peak stayed under the hard cap
+  // (eviction never fired — nothing was lost, only delayed).
+  EXPECT_EQ(run.value().total_uploads_dropped, 0u);
+  EXPECT_EQ(run.value().total_uploads_abandoned, 0u);
+
+  // Recovery: once the load dropped, everything drained and the server
+  // walked back down the ladder to normal.
+  for (const auto& frontend : system.frontends()) {
+    EXPECT_EQ(frontend->pending_uploads(), 0u);
+    EXPECT_EQ(frontend->pending_leaves(), 0u);
+  }
+  EXPECT_EQ(system.server().health().mode(), server::ServerMode::kNormal);
+
+  // Convergence: delayed, never changed.
+  CheckStorageInvariants(system.server());
+  ExpectSameMatrix(run.value(), baseline.value());
+  for (std::size_t p = 0; p < baseline.value().rankings.size(); ++p) {
+    EXPECT_EQ(run.value().RankedNames(p), baseline.value().RankedNames(p));
+  }
+}
+
+TEST(Chaos, StorageWriteFaultsReprimeAndConverge) {
+  // Seeded raw_data write failures: each failed insert answers with a
+  // throttle (the phone keeps the data), and enough failures trigger
+  // quarantine-and-reprime — the derived process state is rebuilt from the
+  // intact tables. Delayed, never lost: features equal the baseline.
+  const world::Scenario scenario = SmallCoffeeScenario();
+  System baseline_system;
+  Result<FieldTestResult> baseline =
+      baseline_system.RunFieldTest(scenario, BaseConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.error().str();
+
+  FieldTestConfig config = BaseConfig();
+  db::StorageFaultRule flaky;
+  flaky.table = db::tables::kRawData;  // gate-serialized writes only
+  flaky.write_fail = 0.15;
+  config.storage_rules = {flaky};
+  config.storage_seed = 23;
+  config.overload.reprime_after_failures = 3;
+  config.drain_ticks = 20;
+
+  System system;
+  Result<FieldTestResult> run = system.RunFieldTest(scenario, config);
+  ASSERT_TRUE(run.ok()) << run.error().str();
+
+  EXPECT_GT(run.value().server_stats.storage_write_failures, 0u);
+  EXPECT_GE(run.value().server_stats.reprimes, 1u);
+  EXPECT_GT(run.value().total_uploads_throttled, 0u);
+  EXPECT_EQ(run.value().total_uploads_dropped, 0u);
+
+  for (const auto& frontend : system.frontends()) {
+    EXPECT_EQ(frontend->pending_uploads(), 0u);
+    EXPECT_EQ(frontend->pending_leaves(), 0u);
+  }
+  CheckStorageInvariants(system.server());
+  ExpectSameMatrix(run.value(), baseline.value());
+  for (std::size_t p = 0; p < baseline.value().rankings.size(); ++p) {
+    EXPECT_EQ(run.value().RankedNames(p), baseline.value().RankedNames(p));
+  }
+}
+
 TEST(Chaos, ServerCrashMidCampaignRecoversFromSnapshot) {
   // One place, three phones, driven by hand so the server can be killed
   // and restarted halfway through the period.

@@ -151,6 +151,7 @@ Message SampleParticipation() {
   req.location = GeoPoint{43.05, -76.15, 120.5};
   req.budget = 17;
   req.scan_time = SimTime{123'456};
+  req.incarnation = 3;
   return req;
 }
 
@@ -188,6 +189,7 @@ std::vector<Message> AllSampleMessages() {
       PingReply{PhoneId{5}, GeoPoint{43.0, -76.0, 0}, SimTime{88'000}},
       Ack{12345},
       ErrorReply{3, "bad things"},
+      ThrottleReply{TaskId{3}.value(), 17, SimDuration{45'000}, 2},
   };
 }
 
@@ -365,6 +367,16 @@ TEST(Messages, TypeNames) {
                "participation_request");
   EXPECT_STREQ(to_string(MessageType::kSensedDataUpload),
                "sensed_data_upload");
+  EXPECT_STREQ(to_string(MessageType::kThrottleReply), "throttle_reply");
+}
+
+TEST(Messages, LegacySor3FrameRejectedByMagic) {
+  // An SOR3 frame differs in layout (no incarnation in
+  // participation_request), so it must be refused outright, not decoded
+  // positionally.
+  Bytes frame = EncodeFrame(SampleParticipation());
+  frame[3] = '3';  // "SOR4" -> "SOR3"
+  EXPECT_FALSE(DecodeFrame(frame).ok());
 }
 
 }  // namespace

@@ -389,6 +389,73 @@ TEST(Database, SorSchemaComplete) {
   EXPECT_EQ(db.table(tables::kParticipations)->col("status"), 6);
   EXPECT_EQ(db.table(tables::kRawData)->col("processed"), 5);
   EXPECT_EQ(db.table(tables::kApplications)->col("features"), 9);
+  EXPECT_EQ(db.table(tables::kParticipations)->col("incarnation"), 9);
+}
+
+// --- storage fault injection -------------------------------------------------
+
+TEST(StorageFaults, MatcherGrammar) {
+  EXPECT_TRUE(StorageFaultInjector::Matches("*", "raw_data"));
+  EXPECT_TRUE(StorageFaultInjector::Matches("raw_data", "raw_data"));
+  EXPECT_TRUE(StorageFaultInjector::Matches("raw*", "raw_data"));
+  EXPECT_FALSE(StorageFaultInjector::Matches("raw_data", "feature_data"));
+  EXPECT_FALSE(StorageFaultInjector::Matches("feature*", "raw_data"));
+}
+
+TEST(StorageFaults, ScriptedFailuresLeaveTableUntouched) {
+  Database db;
+  MakeSorSchema(db);
+  StorageFaultInjector faults;
+  db.AttachStorageFaults(&faults);
+  StorageFaultRule rule;
+  rule.table = tables::kUsers;
+  rule.fail_next = 2;
+  faults.AddRule(rule);
+
+  Table* users = db.table(tables::kUsers);
+  const Row row{Value(1), Value("ann"), Value("tok-1")};
+  for (int i = 0; i < 2; ++i) {
+    Result<RowId> r = users->Insert(row);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::kUnavailable);
+    EXPECT_EQ(users->size(), 0u);  // the failed write changed nothing
+  }
+  // Third attempt succeeds: at-least-once retry absorbs the fault.
+  EXPECT_TRUE(users->Insert(row).ok());
+  EXPECT_EQ(users->size(), 1u);
+  EXPECT_EQ(faults.writes_failed(), 2u);
+}
+
+TEST(StorageFaults, SeededScheduleIsDeterministicAndScoped) {
+  // Same seed -> same failure schedule; a rule consumes the stream only
+  // for matching tables, so unmatched writes never shift it.
+  auto run = [](bool interleave_unmatched) {
+    Database db;
+    MakeSorSchema(db);
+    StorageFaultInjector faults;
+    faults.set_seed(99);
+    StorageFaultRule rule;
+    rule.table = tables::kRawData;
+    rule.write_fail = 0.4;
+    faults.AddRule(rule);
+    db.AttachStorageFaults(&faults);
+    Table* raw = db.table(tables::kRawData);
+    Table* users = db.table(tables::kUsers);
+    std::string pattern;
+    for (int i = 0; i < 40; ++i) {
+      if (interleave_unmatched)
+        (void)users->Insert({Value(1000 + i), Value("u"), Value("t" + std::to_string(i))});
+      Result<RowId> r = raw->Insert({Value(i), Value(1), Value(1),
+                                     Value(Blob{1}), Value(0), Value(false),
+                                     Value(i)});
+      pattern += r.ok() ? '.' : 'x';
+    }
+    return pattern;
+  };
+  const std::string base = run(false);
+  EXPECT_NE(base.find('x'), std::string::npos);
+  EXPECT_NE(base.find('.'), std::string::npos);
+  EXPECT_EQ(run(true), base);
 }
 
 }  // namespace

@@ -48,7 +48,9 @@ std::string Fingerprint(const FieldTestResult& r) {
   os << "\nserver:" << s.requests_handled << ',' << s.decode_failures << ','
      << s.uploads_stored << ',' << s.participations_accepted << ','
      << s.participations_rejected << ',' << s.duplicate_uploads_ignored << ','
-     << s.recoveries << ',' << s.resyncs_triggered;
+     << s.recoveries << ',' << s.resyncs_triggered << ','
+     << s.uploads_throttled << ',' << s.uploads_shed_stale << ','
+     << s.storage_write_failures << ',' << s.reprimes;
   const server::DataProcessorStats& p = r.processor_stats;
   os << "\nprocessor:" << p.blobs_decoded << ',' << p.blobs_rejected << ','
      << p.tuples_processed << ',' << p.features_written << ','
@@ -57,12 +59,16 @@ std::string Fingerprint(const FieldTestResult& r) {
   os << "\ntransport:" << t.delivered << ',' << t.dropped << ','
      << t.corrupted << ',' << t.duplicated << ',' << t.partitioned << ','
      << t.responses_dropped << ',' << t.responses_corrupted << ','
-     << t.bytes_sent << ',' << t.bytes_received << ','
-     << t.latency_injected_ms;
+     << t.node_unreachable << ',' << t.bytes_sent << ','
+     << t.bytes_received << ',' << t.latency_injected_ms;
   os << "\ntotals:" << r.total_uploads << ',' << r.total_upload_failures
      << ',' << r.total_uploads_retried << ',' << r.total_uploads_dropped
      << ',' << r.total_leaves_retried << ',' << Num(r.energy_spent_mj) << ','
      << Num(r.energy_saved_mj);
+  os << "\nrobustness:" << r.total_uploads_throttled << ','
+     << r.total_uploads_abandoned << ',' << r.total_crashes << ','
+     << r.total_restarts << ',' << r.total_reinstalls << ','
+     << r.server_stall_ticks << ',' << r.peak_pending_uploads;
   return os.str();
 }
 
@@ -144,6 +150,61 @@ TEST(Determinism, ChaosScheduleIdenticalAcrossThreadCounts) {
   for (int threads : {2, 8}) {
     SCOPED_TRACE("threads " + std::to_string(threads));
     EXPECT_EQ(RunFingerprint(scenario, config, threads), serial);
+  }
+}
+
+TEST(Determinism, ChurnScheduleIdenticalAcrossThreadCounts) {
+  // Node churn (crashes, uninstalls, server stalls) is decided by pure
+  // hashes and applied by the driver thread between rounds, so the whole
+  // lifecycle — who crashed when, which rejoin landed, what got lost —
+  // must replay byte-for-byte at any thread count, for every seed.
+  const world::Scenario scenario = SmallCoffee();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("node seed " + std::to_string(seed));
+    FieldTestConfig config = SmallConfig(7);
+    net::NodeFaultRule phones;
+    phones.endpoint = "phone:*";
+    phones.crash = 0.01;
+    phones.restart_after = SimDuration{30'000};
+    phones.uninstall = 0.004;
+    phones.reinstall_after = SimDuration{40'000};
+    net::NodeFaultRule server;
+    server.endpoint = "server";
+    server.stall = 0.02;
+    server.stall_for = SimDuration{20'000};
+    config.node_rules = {phones, server};
+    config.node_seed = seed;
+    config.drain_ticks = 12;
+
+    const std::string serial = RunFingerprint(scenario, config, 1);
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      EXPECT_EQ(RunFingerprint(scenario, config, threads), serial);
+    }
+  }
+}
+
+TEST(Determinism, ThrottleScheduleIdenticalAcrossThreadCounts) {
+  // Overload control: admissions are budgeted per tick behind the ordered
+  // gate, throttle hints pace the phones, and the retry budget abandons
+  // dead campaigns — all of it a pure function of the admission order, so
+  // the shed/throttle schedule is part of the determinism contract too.
+  const world::Scenario scenario = SmallCoffee();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FieldTestConfig config = SmallConfig(seed);
+    config.overload.ingest_budget = 5;  // 12 phones want ~12/tick: 2.4x
+    config.overload.throttle_at = 0.6;
+    config.overload.stale_after = SimDuration{15'000};
+    config.overload.retry_after = SimDuration{12'000};
+    config.phone_retry_budget = 12;
+    config.drain_ticks = 40;
+
+    const std::string serial = RunFingerprint(scenario, config, 1);
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      EXPECT_EQ(RunFingerprint(scenario, config, threads), serial);
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/system.hpp"
 #include "db/snapshot.hpp"
+#include "db/storage_faults.hpp"
 #include "rank/hybrid.hpp"
 #include "sched/baseline.hpp"
 #include "sched/brute_force.hpp"
@@ -230,6 +231,63 @@ TEST(Snapshot, CorruptionRejectedAtomically) {
   Bytes truncated(snapshot.begin(), snapshot.begin() + 10);
   db::Database out;
   EXPECT_FALSE(db::RestoreDatabase(truncated, out).ok());
+}
+
+TEST(Snapshot, FuzzTornBytesRejectedAllOrNothing) {
+  // Storage fault domain (docs/robustness.md): a torn snapshot write —
+  // truncation at any length, or any flipped bit — must be rejected as a
+  // clean error with NOTHING half-restored, at every sampled offset. The
+  // CRC footer guarantees single-bit detection; this pins the all-or-nothing
+  // property on a POPULATED database, blobs included.
+  db::Database original;
+  db::MakeSorSchema(original);
+  ASSERT_TRUE(original.table(db::tables::kUsers)
+                  ->Insert({db::Value(1), db::Value("ann"), db::Value("tok-1")})
+                  .ok());
+  ASSERT_TRUE(original.table(db::tables::kRawData)
+                  ->Insert({db::Value(1), db::Value(2), db::Value(3),
+                            db::Value(db::Blob{0xDE, 0xAD, 0xBE, 0xEF}),
+                            db::Value(42), db::Value(false), db::Value(7)})
+                  .ok());
+  ASSERT_TRUE(original.table(db::tables::kParticipations)
+                  ->Insert({db::Value(9), db::Value(1), db::Value(3),
+                            db::Value("tok-1"), db::Value(10), db::Value(10),
+                            db::Value("running"), db::Value(0),
+                            db::Value(db::Null{}), db::Value(1)})
+                  .ok());
+  const Bytes snapshot = db::SnapshotDatabase(original);
+  ASSERT_GT(snapshot.size(), 64u);
+
+  // Truncations at ~100 sampled lengths, including the header and footer.
+  const std::size_t stride = snapshot.size() / 97 + 1;
+  for (std::size_t len = 0; len < snapshot.size(); len += stride) {
+    Bytes torn = snapshot;
+    db::TearSnapshotBytes(torn, {.truncate_to = len});
+    ASSERT_EQ(torn.size(), len);
+    db::Database out;
+    EXPECT_FALSE(db::RestoreDatabase(torn, out).ok()) << "truncate " << len;
+    EXPECT_TRUE(out.table_names().empty()) << "truncate " << len;
+  }
+
+  // Every bit position at sampled byte offsets.
+  for (std::size_t at = 0; at < snapshot.size(); at += stride) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes torn = snapshot;
+      db::TearSnapshotBytes(
+          torn, {.flip_at = at,
+                 .xor_mask = static_cast<std::uint8_t>(1u << bit)});
+      db::Database out;
+      EXPECT_FALSE(db::RestoreDatabase(torn, out).ok())
+          << "flip byte " << at << " bit " << bit;
+      EXPECT_TRUE(out.table_names().empty())
+          << "flip byte " << at << " bit " << bit;
+    }
+  }
+
+  // The pristine bytes still restore — the fuzz loop never mutated them.
+  db::Database out;
+  ASSERT_TRUE(db::RestoreDatabase(snapshot, out).ok());
+  EXPECT_EQ(out.table_names().size(), original.table_names().size());
 }
 
 TEST(Snapshot, ServerDatabaseSurvivesRestart) {

@@ -369,5 +369,104 @@ TEST(FaultInjector, ScriptedCountersTakePrecedenceAndClearResets) {
   EXPECT_TRUE(net.Send("me", "echo", Ack{}).ok());
 }
 
+// --- node fault domain -------------------------------------------------------
+
+TEST(NodeFaults, DownNodeLosesFramesBeforeHandler) {
+  LoopbackNetwork net;
+  SimClock clock;
+  net.set_clock(&clock);
+  EchoEndpoint echo;
+  net.Register("echo", &echo);
+
+  net.faults().SetNodeDown("echo");  // indefinite: needs SetNodeUp
+  Result<Message> r = net.Send("me", "echo", Ack{});
+  EXPECT_EQ(r.code(), Errc::kUnavailable);
+  EXPECT_EQ(echo.frames_, 0);  // handler never ran
+  EXPECT_EQ(net.stats().node_unreachable, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+
+  net.faults().SetNodeUp("echo");
+  EXPECT_TRUE(net.Send("me", "echo", Ack{}).ok());
+  EXPECT_EQ(echo.frames_, 1);
+}
+
+TEST(NodeFaults, TimedDownExpiresWithTheClock) {
+  LoopbackNetwork net;
+  SimClock clock;
+  net.set_clock(&clock);
+  EchoEndpoint echo;
+  net.Register("server", &echo);
+
+  // Server stall: down until t=10s, lifts itself without SetNodeUp.
+  net.faults().SetNodeDown("server", SimTime{10'000});
+  EXPECT_FALSE(net.Send("phone:a", "server", Ack{}).ok());
+  clock.advance_to(SimTime{10'000});
+  EXPECT_TRUE(net.Send("phone:a", "server", Ack{}).ok());
+}
+
+TEST(NodeFaults, DecisionsArePureAndSeeded) {
+  FaultInjector a;
+  a.set_node_seed(7);
+  NodeFaultRule rule;
+  rule.endpoint = "phone:*";
+  rule.crash = 0.05;
+  rule.uninstall = 0.02;
+  a.AddNodeRule(rule);
+
+  FaultInjector b;
+  b.set_node_seed(7);
+  b.AddNodeRule(rule);
+
+  int crashes = 0, uninstalls = 0;
+  for (int t = 0; t < 2'000; ++t) {
+    const SimTime now{t * 10'000};
+    for (const char* name : {"phone:1", "phone:2", "server"}) {
+      const NodeEvent ea = a.DecideNodeEvent(name, now);
+      // Pure function: a second injector with the same seed agrees, in any
+      // evaluation order, with no stream to advance.
+      const NodeEvent eb = b.DecideNodeEvent(name, now);
+      EXPECT_EQ(static_cast<int>(ea.kind), static_cast<int>(eb.kind));
+      if (std::string(name) == "server") {
+        // Rule matches phones only.
+        EXPECT_EQ(ea.kind, NodeEvent::Kind::kNone);
+        continue;
+      }
+      crashes += ea.kind == NodeEvent::Kind::kCrash;
+      uninstalls += ea.kind == NodeEvent::Kind::kUninstall;
+    }
+  }
+  // ~4000 phone-decisions at p=.05/.02: both events occur, neither always.
+  EXPECT_GT(crashes, 50);
+  EXPECT_LT(crashes, 1'000);
+  EXPECT_GT(uninstalls, 10);
+}
+
+TEST(NodeFaults, NodeDecisionsDontShiftLinkFaultStream) {
+  // Arming the node domain must not consume the link-fault stream: the
+  // same link schedule replays with and without node rules.
+  auto schedule = [](bool with_node_rules) {
+    FaultInjector f;
+    f.set_seed(21);
+    FaultRule lossy;
+    lossy.drop = 0.5;
+    f.AddRule(lossy);
+    if (with_node_rules) {
+      f.set_node_seed(5);
+      NodeFaultRule nr;
+      nr.crash = 0.5;
+      f.AddNodeRule(nr);
+    }
+    std::string out;
+    for (int i = 0; i < 64; ++i) {
+      if (with_node_rules)
+        (void)f.DecideNodeEvent("phone:1", SimTime{i * 1'000});
+      out += f.Decide("a", "b", Direction::kRequest, SimTime{}).drop ? 'x'
+                                                                     : '.';
+    }
+    return out;
+  };
+  EXPECT_EQ(schedule(false), schedule(true));
+}
+
 }  // namespace
 }  // namespace sor::net

@@ -259,6 +259,13 @@ class FakeServer final : public net::Endpoint {
     }
     if (const auto* upload =
             std::get_if<SensedDataUpload>(&decoded.value())) {
+      if (throttle_next_ > 0) {
+        // Overloaded-server mode: refuse with a pacing hint, keep nothing.
+        --throttle_next_;
+        ++throttles_sent_;
+        return EncodeFrame(ThrottleReply{upload->task.value(), upload->seq,
+                                         throttle_retry_after_, 2});
+      }
       uploads_ += static_cast<int>(upload->batches.size());
       seqs_.push_back(upload->seq);
       // Echo the seq — the phone settles an upload only on a matching echo.
@@ -276,6 +283,9 @@ class FakeServer final : public net::Endpoint {
   Token last_token_;
   int uploads_ = 0;
   int leaves_ = 0;
+  int throttle_next_ = 0;  // refuse the next N uploads with ThrottleReply
+  int throttles_sent_ = 0;
+  SimDuration throttle_retry_after_{12'000};
   std::vector<std::uint64_t> seqs_;  // seq of every upload received
 };
 
@@ -577,6 +587,128 @@ TEST(Frontend, RejectsUnexpectedMessageTypes) {
   FrontendFixture f;
   Result<Message> reply = f.net.Send(f.frontend.EndpointName(), Ack{1});
   EXPECT_EQ(reply.code(), Errc::kInvalidArgument);
+}
+
+TEST(Frontend, CrashLosesQueueButKeepsSeqAndIncarnation) {
+  // A crash wipes volatile state (tasks, queued uploads) but the persisted
+  // bits — the dedup sequence counter and the install incarnation — must
+  // survive, so post-restart uploads never reuse a seq the server already
+  // stored under this install.
+  FrontendFixture f;
+  ASSERT_TRUE(f.frontend.ScanBarcode(TestBarcode(), 10).ok());
+  EXPECT_EQ(f.frontend.incarnation(), 1u);
+  f.clock.advance_to(SimTime{15'000});
+  f.net.faults().drop_next = 1;
+  f.frontend.Tick();  // seq 1 burned, upload queued
+  ASSERT_EQ(f.frontend.pending_uploads(), 1u);
+
+  f.frontend.Crash();
+  EXPECT_EQ(f.frontend.pending_uploads(), 0u);  // queue was volatile
+  EXPECT_EQ(f.frontend.num_tasks(), 0u);
+  EXPECT_EQ(f.frontend.incarnation(), 1u);  // persisted
+
+  Result<TaskId> rejoin = f.frontend.Restart();
+  ASSERT_TRUE(rejoin.ok()) << rejoin.error().str();
+  EXPECT_EQ(rejoin.value(), TaskId{77});
+  f.clock.advance_to(SimTime{30'000});
+  f.frontend.Tick();  // fresh upload after restart
+  ASSERT_GE(f.server.seqs_.size(), 1u);
+  // seq 1 died with the crash; the counter survived, so this is seq 2.
+  EXPECT_EQ(f.server.seqs_[0], 2u);
+}
+
+TEST(Frontend, RestartWithoutEverJoiningFails) {
+  FrontendFixture f;
+  f.frontend.Crash();
+  EXPECT_FALSE(f.frontend.Restart().ok());
+}
+
+TEST(Frontend, UninstallBumpsIncarnationAndResetsSeq) {
+  // Uninstall/reinstall is a NEW install: the incarnation increments (the
+  // server uses it to tell reinstall from replay) and the seq space
+  // restarts at 1 under the new incarnation.
+  FrontendFixture f;
+  ASSERT_TRUE(f.frontend.ScanBarcode(TestBarcode(), 10).ok());
+  f.clock.advance_to(SimTime{15'000});
+  f.frontend.Tick();  // seq 1 delivered under incarnation 1
+  ASSERT_EQ(f.server.seqs_.size(), 1u);
+
+  f.frontend.Uninstall();
+  EXPECT_EQ(f.frontend.num_tasks(), 0u);
+  EXPECT_EQ(f.frontend.pending_uploads(), 0u);
+  EXPECT_EQ(f.frontend.incarnation(), 2u);
+  // Uninstall also forgets the join: Restart() has nothing to rejoin.
+  EXPECT_FALSE(f.frontend.Restart().ok());
+
+  ASSERT_TRUE(f.frontend.ScanBarcode(TestBarcode(), 10).ok());
+  f.clock.advance_to(SimTime{30'000});
+  f.frontend.Tick();
+  ASSERT_EQ(f.server.seqs_.size(), 2u);
+  EXPECT_EQ(f.server.seqs_[1], 1u);  // fresh seq space
+}
+
+TEST(Frontend, ThrottleReplyPacesTheWholeQueue) {
+  // A ThrottleReply is not a failure: the upload goes back in the queue
+  // untouched (no attempt charged, no failure counted) and the phone sends
+  // NOTHING until the hint expires — uploads, that is; leaves still flush.
+  FrontendFixture f;
+  ASSERT_TRUE(f.frontend.ScanBarcode(TestBarcode(), 10).ok());
+  f.clock.advance_to(SimTime{15'000});
+  f.server.throttle_next_ = 1;  // hint: retry after 12 s
+  f.frontend.Tick();
+  EXPECT_EQ(f.frontend.stats().uploads_throttled, 1u);
+  EXPECT_EQ(f.frontend.stats().upload_failures, 0u);
+  EXPECT_EQ(f.frontend.pending_uploads(), 1u);
+  EXPECT_EQ(f.frontend.paced_until().ms, 15'000 + 12'000);
+
+  f.clock.advance_to(SimTime{20'000});
+  f.frontend.Tick();  // still paced: nothing sent...
+  EXPECT_EQ(f.server.uploads_, 0);
+  // ...but sensing went on: the 20 s instant's data queued behind the gate.
+  EXPECT_EQ(f.frontend.pending_uploads(), 2u);
+
+  f.clock.advance_to(SimTime{28'000});
+  f.frontend.Tick();  // hint expired: the whole queue flushes, in order
+  EXPECT_EQ(f.server.uploads_, 2);
+  ASSERT_EQ(f.server.seqs_.size(), 2u);
+  EXPECT_EQ(f.server.seqs_[0], 1u);  // same seq, same data — only delayed
+  EXPECT_EQ(f.server.seqs_[1], 2u);
+  EXPECT_EQ(f.frontend.pending_uploads(), 0u);
+}
+
+TEST(Frontend, RetryBudgetExhaustionAbandonsTheUpload) {
+  // With a per-campaign retry budget of 2, an upload gets its first send
+  // plus two budgeted re-sends; the next failure abandons it instead of
+  // retrying forever. Throttles never charge the budget — only failures.
+  SimClock clock;
+  net::LoopbackNetwork net;
+  FakeServer server{net, clock};
+  FakeEnvironment env;
+  FrontendConfig config{PhoneId{1}, UserId{1}, "tester", Token{"tok-x"},
+                        true};
+  config.retry_budget = 2;
+  MobileFrontend frontend{config, net, env, clock};
+  ASSERT_TRUE(frontend.ScanBarcode(TestBarcode(), 10).ok());
+
+  net::FaultRule outage;
+  outage.drop = 1.0;
+  net.faults().AddRule(outage);
+  clock.advance_to(SimTime{15'000});
+  frontend.Tick();  // first send fails (free), upload queued
+  ASSERT_EQ(frontend.pending_uploads(), 1u);
+  for (int i = 0; i < 20 && frontend.pending_uploads() > 0; ++i) {
+    clock.advance(SimDuration{60'000});  // far past any backoff
+    frontend.Tick();
+  }
+  // Both of the schedule's uploads die: the budget is per CAMPAIGN, not
+  // per upload. The first upload burns the two budgeted re-queues (three
+  // re-sends; the third finds the budget spent and abandons); the second
+  // upload's very first retry then abandons immediately. Four retries
+  // total — never the unbounded churn an outage would otherwise cause.
+  EXPECT_EQ(frontend.stats().uploads_abandoned, 2u);
+  EXPECT_EQ(frontend.pending_uploads(), 0u);
+  EXPECT_EQ(frontend.stats().uploads_retried, 4u);
+  EXPECT_EQ(server.uploads_, 0);
 }
 
 }  // namespace

@@ -137,10 +137,12 @@ TEST(KemenyMetric, TriangleInequalityAndSymmetry) {
 TEST(MultiServer, TwoServersShareOneNetwork) {
   SimClock clock;
   net::LoopbackNetwork network;
-  server::SensingServer east(server::ServerConfig{.endpoint_name = "east"},
-                             network, clock);
-  server::SensingServer west(server::ServerConfig{.endpoint_name = "west"},
-                             network, clock);
+  server::ServerConfig east_config;
+  east_config.endpoint_name = "east";
+  server::ServerConfig west_config;
+  west_config.endpoint_name = "west";
+  server::SensingServer east(east_config, network, clock);
+  server::SensingServer west(west_config, network, clock);
 
   auto deploy = [&](server::SensingServer& srv, const char* place) {
     server::ApplicationSpec spec;

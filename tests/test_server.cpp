@@ -964,6 +964,219 @@ TEST(CrashRecovery, RestoreRebuildsStateAndDedupIndex) {
   EXPECT_EQ(reborn.database().table(db::tables::kRawData)->size(), 2u);
 }
 
+// --- overload control (docs/robustness.md) --------------------------------
+
+TEST(HealthMonitor, LadderClimbsWithTheWindowAndDecaysOnQuietTicks) {
+  HealthMonitor hm;
+  OverloadConfig cfg;
+  cfg.ingest_budget = 4;  // threshold = ceil(0.75 * 4) = 3
+  hm.set_config(cfg);
+
+  const SimTime t1{10'000};
+  const SimTime fresh = t1;  // sensed right now: never stale
+  for (int i = 0; i < 3; ++i) {
+    AdmitDecision d = hm.AdmitUpload(t1, fresh);
+    EXPECT_TRUE(d.admit);
+    EXPECT_EQ(d.mode, ServerMode::kNormal);
+  }
+  // At the threshold the ladder steps to throttling, but FRESH uploads
+  // still ride until the budget is spent.
+  AdmitDecision fourth = hm.AdmitUpload(t1, fresh);
+  EXPECT_TRUE(fourth.admit);
+  EXPECT_EQ(fourth.mode, ServerMode::kThrottling);
+  // Budget spent: shedding, everything refused with the doubled hint.
+  AdmitDecision fifth = hm.AdmitUpload(t1, fresh);
+  EXPECT_FALSE(fifth.admit);
+  EXPECT_EQ(fifth.mode, ServerMode::kShedding);
+  EXPECT_EQ(fifth.retry_after.ms, 2 * cfg.retry_after.ms);
+  EXPECT_EQ(hm.window_used(), 4u);
+  EXPECT_EQ(hm.throttled_total(), 1u);
+
+  // A quiet tick decays the ladder even with no admission traffic at all.
+  hm.ObserveTick(SimTime{20'000});
+  EXPECT_EQ(hm.mode(), ServerMode::kNormal);
+  EXPECT_EQ(hm.window_used(), 0u);
+}
+
+TEST(HealthMonitor, ShedsStaleBeforeFresh) {
+  HealthMonitor hm;
+  OverloadConfig cfg;
+  cfg.ingest_budget = 4;
+  cfg.stale_after = SimDuration{10'000};
+  hm.set_config(cfg);
+
+  const SimTime now{100'000};
+  const SimTime fresh = now;
+  const SimTime stale{50'000};  // sensed 50 s ago
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(hm.AdmitUpload(now, fresh).admit);
+  // Past the throttle threshold: the stale upload is refused (with the
+  // BASE hint — it only needs to wait out the crunch) while a fresh one
+  // arriving after it still gets the last budget slot.
+  AdmitDecision shed = hm.AdmitUpload(now, stale);
+  EXPECT_FALSE(shed.admit);
+  EXPECT_TRUE(shed.stale);
+  EXPECT_EQ(shed.retry_after.ms, cfg.retry_after.ms);
+  AdmitDecision last = hm.AdmitUpload(now, fresh);
+  EXPECT_TRUE(last.admit);
+  EXPECT_EQ(hm.shed_stale_total(), 1u);
+  EXPECT_EQ(hm.window_used(), 4u);
+}
+
+TEST(HealthMonitor, StorageFailuresTriggerReprimeAndRecoveringMode) {
+  HealthMonitor hm;
+  OverloadConfig cfg;
+  cfg.reprime_after_failures = 2;
+  hm.set_config(cfg);
+
+  const SimTime now{10'000};
+  hm.NoteStorageFailure(now);
+  EXPECT_FALSE(hm.ShouldReprime());
+  hm.NoteStorageFailure(now);
+  EXPECT_TRUE(hm.ShouldReprime());
+  hm.NoteReprimed(now);
+  EXPECT_EQ(hm.mode(), ServerMode::kRecovering);
+  EXPECT_FALSE(hm.ShouldReprime());  // epoch reset
+  // The rest of the tick is a quiet period: every upload is refused.
+  EXPECT_FALSE(hm.AdmitUpload(now, now).admit);
+  // The next tick resumes service.
+  EXPECT_TRUE(hm.AdmitUpload(SimTime{20'000}, SimTime{20'000}).admit);
+  EXPECT_EQ(hm.mode(), ServerMode::kNormal);
+  EXPECT_EQ(hm.reprimes_total(), 1u);
+}
+
+TEST(ServerOverload, DedupAnswersBeforeAdmissionCharges) {
+  // Retries of already-stored uploads must be re-acked FREE under
+  // overload: the data is safe, and refusing the ack would keep the phone
+  // re-sending forever — the opposite of load shedding.
+  ServerFixture f;
+  OverloadConfig cfg;
+  cfg.ingest_budget = 1;
+  f.server.set_overload(cfg);
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  RecordingPhone phone(f.net, "phone:tok-a");
+  const TaskId task = JoinOneUser(f, barcode.value().app, "tok-a");
+  const UserId user = f.server.participations().Get(task).value().user;
+
+  // The single budget slot admits seq 1.
+  Result<Message> first = f.net.Send("server", MakeUpload(task, user, 1, 10'000));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(std::get<Ack>(first.value()).seq, 1u);
+  // A retry of seq 1 (the lost-Ack case) is re-acked without touching the
+  // spent budget...
+  Result<Message> dup = f.net.Send("server", MakeUpload(task, user, 1, 10'000));
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(std::get<Ack>(dup.value()).seq, 1u);
+  EXPECT_EQ(f.server.stats().duplicate_uploads_ignored, 1u);
+  // ...while genuinely new data is refused with a throttle hint.
+  Result<Message> fresh = f.net.Send("server", MakeUpload(task, user, 2, 20'000));
+  ASSERT_TRUE(fresh.ok());
+  const auto* throttle = std::get_if<ThrottleReply>(&fresh.value());
+  ASSERT_NE(throttle, nullptr);
+  EXPECT_EQ(throttle->seq, 2u);
+  EXPECT_GT(throttle->retry_after.ms, 0);
+  EXPECT_EQ(f.server.stats().uploads_throttled, 1u);
+  EXPECT_EQ(f.server.stats().uploads_stored, 1u);
+  EXPECT_EQ(f.server.database().table(db::tables::kRawData)->size(), 1u);
+}
+
+TEST(ServerOverload, StorageWriteFailureThrottlesThenReprimeRecovers) {
+  // A failed raw-data write answers with a throttle (the phone keeps the
+  // batch — at-least-once delivery IS the recovery path), and enough
+  // failures quarantine-and-reprime: derived state is rebuilt from the
+  // intact tables and service resumes next tick with nothing lost.
+  ServerFixture f;
+  OverloadConfig cfg;
+  cfg.reprime_after_failures = 1;
+  f.server.set_overload(cfg);
+  Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());
+  ASSERT_TRUE(barcode.ok());
+  RecordingPhone phone(f.net, "phone:tok-a");
+  const TaskId task = JoinOneUser(f, barcode.value().app, "tok-a");
+  const UserId user = f.server.participations().Get(task).value().user;
+
+  db::StorageFaultInjector faults;
+  db::StorageFaultRule rule;
+  rule.table = db::tables::kRawData;
+  rule.fail_next = 1;  // scripted: exactly the next raw write fails
+  faults.AddRule(rule);
+  f.server.database().AttachStorageFaults(&faults);
+
+  Result<Message> failed = f.net.Send("server", MakeUpload(task, user, 1, 10'000));
+  ASSERT_TRUE(failed.ok());
+  ASSERT_NE(std::get_if<ThrottleReply>(&failed.value()), nullptr);
+  EXPECT_EQ(f.server.stats().storage_write_failures, 1u);
+  EXPECT_EQ(f.server.stats().reprimes, 1u);
+  EXPECT_EQ(f.server.health().mode(), ServerMode::kRecovering);
+  EXPECT_EQ(f.server.database().table(db::tables::kRawData)->size(), 0u);
+
+  // Next tick the phone retries the SAME seq; it lands, budget charged
+  // once, and the reprimed dedup index still recognizes later retries.
+  f.clock.advance(SimDuration{10'000});
+  Result<Message> retry = f.net.Send("server", MakeUpload(task, user, 1, 10'000));
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(std::get<Ack>(retry.value()).seq, 1u);
+  EXPECT_EQ(f.server.database().table(db::tables::kRawData)->size(), 1u);
+  Result<Message> dup = f.net.Send("server", MakeUpload(task, user, 1, 10'000));
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(f.server.stats().duplicate_uploads_ignored, 1u);
+  EXPECT_EQ(f.server.participations().Get(task).value().budget_left, 9);
+  f.server.database().AttachStorageFaults(nullptr);
+}
+
+// --- incarnations: crash-rejoin vs reinstall (docs/robustness.md) ----------
+
+TEST(Participation, RejoinWithSameIncarnationIsIdempotent) {
+  ParticipationFixture f;
+  const auto rec = f.server.applications().Get(f.app).value();
+  ParticipationRequest req = f.Request(GeoPoint{43.0, -76.0, 100});
+  req.incarnation = 1;
+  const TaskId first =
+      f.server.participations().HandleRequest(req, rec, f.server.users()).value();
+  // A crashed phone restarts with its persisted incarnation: same task,
+  // same dedup seq space — exactly what its surviving seq counter needs.
+  const TaskId again =
+      f.server.participations().HandleRequest(req, rec, f.server.users()).value();
+  EXPECT_EQ(first, again);
+}
+
+TEST(Participation, StaleIncarnationRejected) {
+  ParticipationFixture f;
+  const auto rec = f.server.applications().Get(f.app).value();
+  ParticipationRequest req = f.Request(GeoPoint{43.0, -76.0, 100});
+  req.incarnation = 2;
+  ASSERT_TRUE(f.server.participations()
+                  .HandleRequest(req, rec, f.server.users())
+                  .ok());
+  // A replayed (or long-delayed) join from the PREVIOUS install must not
+  // resurrect the old task: its seq space would collide with stored rows.
+  req.incarnation = 1;
+  EXPECT_EQ(f.server.participations()
+                .HandleRequest(req, rec, f.server.users())
+                .code(),
+            Errc::kPermissionDenied);
+}
+
+TEST(Participation, ReinstallFinishesTheOldTaskAndOpensAFreshOne) {
+  ParticipationFixture f;
+  const auto rec = f.server.applications().Get(f.app).value();
+  ParticipationRequest req = f.Request(GeoPoint{43.0, -76.0, 100});
+  req.incarnation = 1;
+  const TaskId old_task =
+      f.server.participations().HandleRequest(req, rec, f.server.users()).value();
+  // The user uninstalled and reinstalled: a higher incarnation. The old
+  // participation is closed (its uploads stay; its budget is gone) and a
+  // fresh task opens so seq 1 from the new install is NOT a duplicate.
+  req.incarnation = 2;
+  const TaskId new_task =
+      f.server.participations().HandleRequest(req, rec, f.server.users()).value();
+  EXPECT_NE(new_task, old_task);
+  EXPECT_EQ(f.server.participations().Get(old_task).value().status, "finished");
+  const ParticipationRecord fresh = f.server.participations().Get(new_task).value();
+  EXPECT_EQ(fresh.incarnation, 2u);
+  EXPECT_EQ(fresh.status, "waiting_for_schedule");
+}
+
 TEST(CrashRecovery, CorruptSnapshotRejectedWithoutStateChange) {
   ServerFixture f;
   Result<BarcodePayload> barcode = f.server.DeployApplication(TestAppSpec());

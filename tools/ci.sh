@@ -86,6 +86,41 @@ else
   echo "ci: build/bench/micro_obs not built; skipping overhead report" >&2
 fi
 
+echo "=== stage: chaos matrix (overload + churn, docs/robustness.md) ==="
+# Robustness gate: the node/storage fault domains and the overload ladder,
+# under ASan/UBSan. The churn + throttle fingerprint matrices (2 scenarios
+# x 5 seeds x threads 1/2/8) and the chaos battery (10-seed churn rankings
+# == fault-free baseline, overload sheds-stale-and-recovers, storage-fault
+# reprime) all run here; the same tests run under TSan in the tsan stage
+# below, whose -R already matches 'Determinism\.|Chaos\.'.
+ctest --preset asan-ubsan -j "$(nproc)" --output-on-failure \
+  -R 'Determinism\.(Churn|Throttle)|Chaos\.(Churn|Overload|Storage)'
+# Shed-counter smoke through the shipped CLI: a budget-capped campaign
+# must report non-zero throttle AND stale-shed counters in `sor metrics`.
+if [[ -x "${SOR_BIN}" ]]; then
+  overload_metrics="$("${SOR_BIN}" metrics --scenario coffee --overload)"
+  for counter in server.uploads_throttled server.uploads_shed; do
+    value="$(echo "${overload_metrics}" | awk -v c="${counter}" \
+             '$1 == c { print $2 }')"
+    if [[ -z "${value}" || "${value}" == "0" ]]; then
+      echo "ci: ${counter} not exercised by 'sor metrics --overload'" \
+           "(got '${value:-missing}')" >&2
+      exit 1
+    fi
+    echo "ci: ${counter}=${value} under --overload"
+  done
+else
+  echo "ci: ${SOR_BIN} not built; shed counters covered by ServerOverload.*" >&2
+fi
+# Overload bench smoke: exits non-zero if the fleet fails to fully drain
+# after the 2x-overload campaign (output is the BENCH_overload.json body).
+if [[ -x build/bench/overload ]]; then
+  build/bench/overload > BENCH_overload.json
+  echo "ci: wrote BENCH_overload.json"
+else
+  echo "ci: build/bench/overload not built; skipping overload bench" >&2
+fi
+
 echo "=== stage: perf regression (operation counts) ==="
 # Host-independent perf gate (docs/performance.md): the Perf.* suite pins
 # the incremental data path's complexity guarantees as exact operation

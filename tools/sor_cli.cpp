@@ -11,8 +11,11 @@
 //   sor lint FILE.sor | sor lint --builtin trails|coffee
 //       run the SenseScript static analyzer on a script and print its
 //       diagnostics and required-sensor manifest (exit 1 on errors)
-//   sor metrics --scenario trails|coffee [--chaos] [--threads N] [--json]
-//       run a campaign and dump the metrics registry
+//   sor metrics --scenario trails|coffee [--chaos] [--overload [B]]
+//               [--threads N] [--json]
+//       run a campaign and dump the metrics registry; --overload caps the
+//       server's per-tick ingest at B (default 5) to exercise the
+//       backpressure/shedding path (docs/robustness.md)
 //   sor trace [--scenario ...] [--chaos] [--threads N] [--seed S]
 //             [--out F.jsonl] [--chrome F.json] [--summary] [--fingerprint]
 //       record the deterministic campaign trace, or analyse one recorded
@@ -53,8 +56,8 @@ int Usage() {
       "  sor lint      FILE.sor [--energy-budget MJ] [--samples N]"
       " [--strict]\n"
       "  sor lint      --builtin trails|coffee [same options]\n"
-      "  sor metrics   [--scenario trails|coffee] [--chaos] [--threads N]"
-      " [--json]\n"
+      "  sor metrics   [--scenario trails|coffee] [--chaos] [--overload [B]]"
+      " [--threads N] [--json]\n"
       "  sor trace     [--scenario trails|coffee] [--chaos] [--seed S]"
       " [--threads N]\n"
       "                [--out F.jsonl] [--chrome F.json] [--summary]"
@@ -283,6 +286,19 @@ Result<core::FieldTestResult> ObservedCampaign(core::System& system,
     config.chaos_seed = static_cast<std::uint64_t>(
         args.GetInt("chaos-seed",
                     static_cast<int>(config.seed * 31 + 7)));
+  }
+  if (args.Has("overload")) {
+    // Cap the server's per-tick ingest (docs/robustness.md). The default
+    // of 5 puts the stock scenarios well past the budget, so the shed and
+    // throttle counters in the metrics dump are exercised.
+    config.overload.ingest_budget = args.GetInt("overload", 5);
+    // 0.6 keeps the stale-shedding band non-empty down to a budget of 3
+    // (ceil(0.6 * B) < B); the stock 0.75 would round the band away for
+    // the small budgets this flag is used with.
+    config.overload.throttle_at = 0.6;
+    config.overload.stale_after = SimDuration{15'000};
+    config.overload.retry_after = SimDuration{12'000};
+    config.drain_ticks = 60;  // let the throttled fleet flush afterwards
   }
   return system.RunFieldTest(scenario.value(), config);
 }

@@ -8,11 +8,13 @@
 // for every index. The calling thread participates as shard 0, so
 // `threads` is the total parallelism, not the number of helpers.
 //
-// Round-robin (rather than contiguous blocks) keeps shards in lockstep
-// when callers impose a global index order on a shared resource — the
-// LoopbackNetwork's ordered delivery admits sender i only after senders
-// 0..i-1 finished, and with round-robin shards those predecessors sit at
-// earlier positions of every shard instead of piling up in one.
+// Round-robin (rather than contiguous blocks) spreads neighboring indices
+// across shards, which balances load when cost correlates with index
+// locality (phones of the same place are contiguous). The barrier at the
+// end of ParallelFor is also the happens-before edge the epoch runtime
+// relies on: everything the shards wrote in phase A (outbox appends, trace
+// events) is visible to the driver's merge pass in phase B without any
+// further locking.
 #pragma once
 
 #include <condition_variable>

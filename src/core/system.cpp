@@ -1,6 +1,7 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.hpp"
 #include "sensors/energy.hpp"
@@ -130,44 +131,52 @@ void System::RunTicks(int n, SimDuration tick) {
     peak_pending_ = std::max(peak_pending_, depth);
     depth_hist.Observe(static_cast<double>(depth));
   };
-  if (executor_ == nullptr || executor_->threads() <= 1) {
-    for (int i = 0; i < n; ++i) {
-      clock_.advance(tick);
-      server_->health().ObserveTick(clock_.now());
-      ApplyNodeEvents();
-      for (auto& frontend : frontends_) frontend->Tick();
-      note_depth();
-    }
-    return;
-  }
+  // Merge overhead, sampled per tick in wall-clock nanoseconds (registry
+  // contents are never fingerprinted, so a wall-clock metric cannot break
+  // the determinism contract). 1µs .. ~4s exponential range.
+  obs::Histogram& merge_wait = registry_.histogram(
+      "core.merge_wait_ns", obs::ExponentialBuckets(1000.0, 4.0, 12));
 
-  // Parallel rounds under the network's ordered phase: phone k's sends are
-  // admitted only after phones 0..k-1 finished their tick, so the server
-  // handles the exact message sequence the serial loop produces (and the
-  // fault-decision stream replays identically). A phone that sends nothing
-  // this tick still completes its rank, unblocking the ranks above it.
-  // Node events run between rounds, on this (the driver) thread — the only
-  // window where rejoin pushes into ranked phones are admitted.
+  // Every campaign tick — serial or parallel — is one epoch round
+  // (docs/runtime.md): phase A runs the phones wait-free, collecting their
+  // sends into per-sender outboxes; phase B is one deterministic merge on
+  // this (the driver) thread, delivering in (rank, send order) — the exact
+  // serial interleaving. Running threads==1 through the SAME path is what
+  // makes every thread count byte-identical by construction. Node events
+  // run between rounds, with outboxes empty and phones idle, so crash /
+  // rejoin pushes never race a collect phase.
   std::vector<std::string> names;
   names.reserve(frontends_.size());
   for (const auto& frontend : frontends_)
     names.push_back(frontend->EndpointName());
-  network_.BeginOrderedPhase(std::move(names));
+  network_.BeginEpoch(std::move(names));
+  const bool parallel = executor_ != nullptr && executor_->threads() > 1;
   for (int i = 0; i < n; ++i) {
     clock_.advance(tick);
     // Driver-thread heartbeat: lets the overload ladder decay on quiet
-    // ticks. Runs before the round opens, so it is ordered before every
+    // ticks. Runs before the phones, so it is ordered before every
     // admission of this tick at any thread count.
     server_->health().ObserveTick(clock_.now());
     ApplyNodeEvents();
-    network_.StartRound();
-    executor_->ParallelFor(frontends_.size(), [&](std::size_t k) {
-      frontends_[k]->Tick();
-      network_.CompleteSender(k);
-    });
+    if (parallel) {
+      // Phase A: no locks, no gates — the executor's barrier is the only
+      // synchronization in the entire tick.
+      executor_->ParallelFor(frontends_.size(),
+                             [&](std::size_t k) { frontends_[k]->Tick(); });
+    } else {
+      for (auto& frontend : frontends_) frontend->Tick();
+    }
+    // Phase B: deliver the epoch's outboxes and run the phones' completion
+    // callbacks (acks, backoff re-queues, throttle pacing).
+    const auto merge_start = std::chrono::steady_clock::now();
+    network_.MergeEpoch();
+    merge_wait.Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count()));
     note_depth();
   }
-  network_.EndOrderedPhase();
+  network_.EndEpoch();
 }
 
 Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,

@@ -44,11 +44,13 @@ struct FieldTestConfig {
   bool leave_at_end = true;            // send LeaveNotifications at tE
 
   // --- sharded runtime (docs/runtime.md) ---------------------------------
-  // Worker threads for the tick loop and server-side batch stages. 1 (the
-  // default) is the legacy serial path, bit-for-bit. Any value yields
-  // byte-identical results — the ordered network phase serializes handler
-  // invocations in exact phone order; threads only overlap the pure
-  // per-phone compute (scripts, sensors, frame encoding).
+  // Worker threads for the tick loop and server-side batch stages. Any
+  // value yields byte-identical results: every campaign tick is one
+  // two-phase epoch — phones sense and encode wait-free in phase A, then
+  // one merge pass on the driver thread delivers all sends in (rank, send
+  // order) in phase B. Serial and parallel runs share that path, so the
+  // handler order is identical by construction; threads only overlap the
+  // pure per-phone compute (scripts, sensors, frame encoding).
   int threads = 1;
   // Batch the per-join reschedule storm during setup: joins mark apps dirty
   // and one plan per app is flushed after the last scan. O(P) instead of
@@ -73,13 +75,14 @@ struct FieldTestConfig {
   // Churn rules: seeded phone crash/restart and uninstall/reinstall, plus
   // server stall ticks. Decisions are pure hashes of (node_seed, endpoint,
   // tick), so arming them never shifts the link-fault schedule. Applied by
-  // the driver thread between rounds; cleared (like chaos_rules) before the
-  // drain so downed nodes can rejoin and queues can flush.
+  // the driver thread between epoch rounds (outboxes empty, phones idle);
+  // cleared (like chaos_rules) before the drain so downed nodes can rejoin
+  // and queues can flush.
   std::vector<net::NodeFaultRule> node_rules;
   std::uint64_t node_seed = 0;
   // Storage rules: seeded raw_data write failures + scripted fail-next.
   // Determinism contract (db/storage_faults.hpp): arm only tables whose
-  // writes happen behind the ordered gate (raw_data), never "*".
+  // writes happen inside the merge pass (raw_data), never "*".
   std::vector<db::StorageFaultRule> storage_rules;
   std::uint64_t storage_seed = 0;
   // Server overload policy; the default (budget 0) admits everything.
@@ -165,9 +168,10 @@ class System {
   [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
 
  private:
-  // Advance the clock `n` ticks, ticking every frontend each step. With
-  // threads <= 1 this is the legacy serial loop; otherwise phones tick in
-  // parallel shards under the network's ordered phase.
+  // Advance the clock `n` ticks, ticking every frontend each step. Each
+  // tick is one delivery epoch: phones tick (in parallel shards when an
+  // executor is up), collecting sends wait-free; then the driver thread
+  // merges and delivers the epoch's outboxes in rank order.
   void RunTicks(int n, SimDuration tick);
 
   // Churn driver state for one campaign (null when node_rules are empty).
@@ -189,9 +193,10 @@ class System {
 
   // Apply node-lifecycle events for the current tick: crash/uninstall live
   // phones, stall the server, and rejoin downed phones whose downtime has
-  // elapsed. Runs on the driver thread BETWEEN rounds — the only window
-  // where rejoin pushes into ranked endpoints are admitted — so the event
-  // sequence is identical at every thread count.
+  // elapsed. Runs on the driver thread BETWEEN epoch rounds — outboxes are
+  // empty and no shard is running, so a crash never orphans queued sends
+  // and a rejoin's schedule push lands on an idle phone — making the event
+  // sequence identical at every thread count.
   void ApplyNodeEvents();
 
   SimClock clock_;

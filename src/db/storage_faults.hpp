@@ -11,7 +11,7 @@
 // Determinism contract: a rule consumes the seeded random stream ONLY for
 // writes whose table name matches, so the stream position is a pure function
 // of the sequence of matching writes. Chaos configs must therefore arm rules
-// only for tables written behind the ordered-admission gate (raw_data /
+// only for tables written inside the epoch merge pass (raw_data /
 // participations); arming "*" would let the parallel feature-data writers
 // consume the stream in scheduling order and break byte-identical replay
 // across thread counts.

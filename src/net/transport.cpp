@@ -1,5 +1,7 @@
 #include "net/transport.hpp"
 
+#include <utility>
+
 namespace sor::net {
 
 namespace {
@@ -28,6 +30,8 @@ void LoopbackNetwork::Unregister(const std::string& name) {
 void LoopbackNetwork::set_metrics(obs::MetricsRegistry* registry) {
   registry_ = registry != nullptr ? registry : own_registry_.get();
   links_.clear();  // cached handles point into the old registry
+  outbox_depth_ = nullptr;
+  epoch_merges_ = nullptr;
 }
 
 void LoopbackNetwork::set_tracer(obs::Tracer* tracer) {
@@ -112,81 +116,86 @@ LoopbackNetwork::all_link_stats() const {
   return out;
 }
 
-void LoopbackNetwork::BeginOrderedPhase(std::vector<std::string> senders) {
-  ordered_.rank_of.clear();
-  for (std::size_t i = 0; i < senders.size(); ++i)
-    ordered_.rank_of.emplace(std::move(senders[i]), i);
-  ordered_.done.assign(ordered_.rank_of.size(), 0);
-  // No round in progress until StartRound: low at the end means "everyone
-  // completed", which both lets driver-thread pushes through and lets a
-  // ranked sender pass AwaitTurn for its own between-round sends.
-  ordered_.low = ordered_.done.size();
-  ordered_.active = true;
+void LoopbackNetwork::BeginEpoch(std::vector<std::string> senders) {
+  epoch_.names = std::move(senders);
+  epoch_.rank_of.clear();
+  for (std::size_t i = 0; i < epoch_.names.size(); ++i)
+    epoch_.rank_of.emplace(epoch_.names[i], i);
+  epoch_.outbox.assign(epoch_.names.size(), {});
+  epoch_.merging = false;
+  epoch_.active = true;
+  outbox_depth_ = &registry_->gauge("net.outbox_depth");
+  epoch_merges_ = &registry_->counter("net.epoch_merges");
 }
 
-void LoopbackNetwork::StartRound() {
-  // Runs on the driver thread between rounds; the executor's barrier
-  // orders it against every worker of the previous and the next round.
-  ordered_.done.assign(ordered_.done.size(), 0);
-  ordered_.low = 0;
-}
-
-void LoopbackNetwork::CompleteSender(std::size_t rank) {
-  std::lock_guard lock(ordered_.mu);
-  ordered_.done[rank] = 1;
-  while (ordered_.low < ordered_.done.size() &&
-         ordered_.done[ordered_.low] != 0) {
-    ++ordered_.low;
+void LoopbackNetwork::MergeEpoch() {
+  // Driver thread only, after the executor's barrier: every shard's phase-A
+  // appends happen-before this read. Deliveries run in (sender rank, send
+  // order) — the exact interleaving a serial loop over the senders
+  // produces — and each callback fires right after its own delivery, so a
+  // sender observes outcome i before outcome i+1, just as it would have
+  // synchronously.
+  epoch_.merging = true;
+  std::uint64_t depth = 0;
+  for (std::size_t rank = 0; rank < epoch_.outbox.size(); ++rank) {
+    std::vector<EpochEntry>& slot = epoch_.outbox[rank];
+    depth += slot.size();
+    const std::string& from = epoch_.names[rank];
+    for (EpochEntry& entry : slot) {
+      Result<Message> outcome =
+          Deliver(from, entry.to, std::move(entry.frame), entry.type);
+      if (entry.done) entry.done(std::move(outcome));
+    }
+    slot.clear();
   }
-  ordered_.cv.notify_all();
+  if (outbox_depth_ != nullptr)
+    outbox_depth_->Set(static_cast<double>(depth));
+  if (epoch_merges_ != nullptr) epoch_merges_->Inc();
+  epoch_.merging = false;
 }
 
-void LoopbackNetwork::EndOrderedPhase() {
-  ordered_.active = false;
-  ordered_.rank_of.clear();
-  ordered_.done.clear();
+void LoopbackNetwork::EndEpoch() {
+  epoch_.active = false;
+  epoch_.merging = false;
+  epoch_.rank_of.clear();
+  epoch_.names.clear();
+  epoch_.outbox.clear();
 }
 
-void LoopbackNetwork::AwaitTurn(std::size_t rank) {
-  std::unique_lock lock(ordered_.mu);
-  ordered_.cv.wait(lock, [&] { return ordered_.low >= rank; });
-  // From here until CompleteSender(rank), this sender is the only ranked
-  // sender past the gate: every lower rank is done for the round, and every
-  // higher rank is still waiting on this one.
+void LoopbackNetwork::SendAsync(const std::string& from, const std::string& to,
+                                const Message& m, SendCallback done) {
+  if (epoch_.active && !epoch_.merging) {
+    if (auto r = epoch_.rank_of.find(from); r != epoch_.rank_of.end()) {
+      // Phase A: encode on the sender's shard (the only CPU this path
+      // spends), park the frame, return immediately. Only the owning shard
+      // touches outbox[rank] until the barrier.
+      epoch_.outbox[r->second].push_back(
+          EpochEntry{to, EncodeFrame(m), TypeOf(m), std::move(done)});
+      return;
+    }
+  }
+  // No epoch, unranked sender, or nested send from inside the merge pass:
+  // synchronous semantics, callback inline.
+  Result<Message> outcome = Send(from, to, m);
+  if (done) done(std::move(outcome));
 }
 
 Result<Message> LoopbackNetwork::Send(const std::string& from,
                                       const std::string& to,
                                       const Message& m) {
-  constexpr std::size_t kUnranked = static_cast<std::size_t>(-1);
-  std::size_t rank = kUnranked;
-  if (ordered_.active) {
-    if (auto r = ordered_.rank_of.find(from); r != ordered_.rank_of.end()) {
-      rank = r->second;
-    } else if (ordered_.rank_of.contains(to)) {
-      // A push into a ranked endpoint. Mid-round the target may be
-      // mid-tick on another shard: refusing is deterministic; racing into
-      // its handler is not. Between rounds only the driver thread runs, so
-      // the push is admitted.
-      std::lock_guard lock(ordered_.mu);
-      if (ordered_.low < ordered_.done.size())
-        return Error{Errc::kUnavailable,
-                     "endpoint '" + to + "' is ticking in a parallel round"};
-    }
-  }
+  return Deliver(from, to, EncodeFrame(m), TypeOf(m));
+}
 
+Result<Message> LoopbackNetwork::Deliver(const std::string& from,
+                                         const std::string& to, Bytes frame,
+                                         MessageType type) {
   auto it = endpoints_.find(to);
   if (it == endpoints_.end() || it->second == nullptr)
     return Error{Errc::kUnavailable, "no endpoint '" + to + "'"};
 
-  // Encoding is pure per-message work: do it before taking the turn so
-  // shards overlap the CPU cost and serialize only the delivery itself.
-  Bytes frame = EncodeFrame(m);
-  if (rank != kUnranked) AwaitTurn(rank);
-
-  // Behind the gate (or in serial code): all bookkeeping below — counter
-  // cache creation, stream registration, fault decisions, trace emits —
-  // happens in a globally deterministic order.
+  // Single-writer context (the merge pass, or serial code): all bookkeeping
+  // below — counter cache creation, stream registration, fault decisions,
+  // trace emits — happens in a globally deterministic order.
   LinkCells& link = Cells(from, to);
   link.bytes_sent->Inc(frame.size());
 
@@ -197,7 +206,7 @@ Result<Message> LoopbackNetwork::Send(const std::string& from,
     if (tracing) tracer_->Emit(link.from_stream, now, kind, link.to_stream, b, c);
   };
   trace(obs::EventKind::kMsgSend, frame.size(),
-        static_cast<std::uint64_t>(TypeOf(m)));
+        static_cast<std::uint64_t>(type));
 
   // Node fault domain: a down destination loses the frame before its
   // handler runs. A pure state check — no randomness consumed — so arming

@@ -20,11 +20,10 @@
 // records a typed event per delivery outcome on the sender's stream.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -70,6 +69,10 @@ struct TransportStats {
                          const TransportStats&) = default;
 };
 
+// Completion of one asynchronous send: the decoded response, or the error
+// the sender would have seen from a synchronous Send().
+using SendCallback = std::function<void(Result<Message>)>;
+
 class LoopbackNetwork {
  public:
   LoopbackNetwork();
@@ -87,6 +90,16 @@ class LoopbackNetwork {
   [[nodiscard]] Result<Message> Send(const std::string& to, const Message& m) {
     return Send(std::string(), to, m);
   }
+
+  // Asynchronous send. Outside an epoch (or from an unranked sender, or
+  // during the merge pass itself) this is Send() plus an inline callback —
+  // unit tests and serial call sites keep request/response semantics.
+  // Inside an epoch's collect phase, a ranked sender's message is encoded
+  // NOW (pure per-message CPU, overlapped across shards) and appended to
+  // that sender's outbox; delivery, fault decisions, and the callback all
+  // happen later, inside MergeEpoch(), in deterministic rank order.
+  void SendAsync(const std::string& from, const std::string& to,
+                 const Message& m, SendCallback done);
 
   // Aggregate view over every link, summed from the registry's counters.
   [[nodiscard]] TransportStats stats() const;
@@ -112,40 +125,40 @@ class LoopbackNetwork {
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *registry_; }
 
   // Event sink; nullptr (default) disables transport tracing. Streams are
-  // registered per endpoint name on first post-gate use, so ids are
-  // deterministic whenever senders are deterministic.
+  // registered per endpoint name on first use from a deterministic context
+  // (the merge pass or serial code), so ids are deterministic whenever
+  // senders are deterministic.
   void set_tracer(obs::Tracer* tracer);
 
-  // --- deterministic parallel delivery (docs/runtime.md) ------------------
-  // During a parallel tick round, concurrent senders must not race into a
-  // shared receiver: each registered sender owns an inbox slot with a fixed
-  // rank, and its frames are admitted only after every lower-ranked sender
-  // has completed the round — so the server handles messages in exactly the
-  // order a serial loop would produce, and the fault-decision stream stays
-  // replayable. A phase brackets a sequence of rounds (ticks):
+  // --- epoch-based two-phase delivery (docs/runtime.md) -------------------
+  // A tick is two phases. Phase A (collect): every shard runs its phones
+  // wait-free; a ranked sender's SendAsync() encodes the frame and appends
+  // it to a per-sender outbox — no locks, no gates, no cross-shard waits.
+  // Phase B (merge): after the executor's barrier, the driver thread calls
+  // MergeEpoch(), which delivers every collected message in (sender rank,
+  // send order) — exactly the order a serial loop interleaves them — and
+  // runs each send's completion callback right after its delivery. Fault
+  // decisions, handler invocations, metrics, and trace emits all happen
+  // inside the merge, so the whole decision stream is single-writer and
+  // byte-identical at any thread count *by construction*.
   //
-  //   BeginOrderedPhase(names);          // rank i = names[i]
-  //   for each tick: StartRound();       // reset completion state
-  //     ... senders call Send() concurrently; the executor calls
-  //     CompleteSender(rank) after sender `rank` finished its tick ...
-  //   EndOrderedPhase();
+  //   BeginEpoch(names);              // rank i = names[i]
+  //   for each tick:
+  //     ... shards tick phones; SendAsync appends to outboxes ...
+  //     MergeEpoch();                 // driver thread, after the barrier
+  //   EndEpoch();
   //
-  // While a ROUND is in progress, a Send() *to* a ranked endpoint (a push
-  // into a phone that may be mid-tick) fails deterministically with
-  // kUnavailable instead of racing into its handler. BETWEEN rounds (before
-  // the first StartRound, or after every sender completed the current one)
-  // only the driver thread runs, so pushes into ranked endpoints are safe
-  // and allowed — that is how churn rejoins trigger schedule distribution
-  // mid-phase without diverging from the serial run.
-  void BeginOrderedPhase(std::vector<std::string> senders);
-  void StartRound();
-  void CompleteSender(std::size_t rank);
-  void EndOrderedPhase();
+  // Between merges only the driver thread runs, so synchronous Send() —
+  // server pushes into phones, churn rejoins — is always safe there.
+  void BeginEpoch(std::vector<std::string> senders);
+  void MergeEpoch();
+  void EndEpoch();
+  [[nodiscard]] bool epoch_active() const { return epoch_.active; }
 
  private:
   // Cached registry handles + trace stream ids for one (from, to) link.
-  // Created behind the ordered gate (or from serial code), so creation
-  // order — and with it metric names and stream ids — is deterministic.
+  // Created in the merge pass (or from serial code), so creation order —
+  // and with it metric names and stream ids — is deterministic.
   struct LinkCells {
     obs::Counter* delivered = nullptr;
     obs::Counter* dropped = nullptr;
@@ -163,11 +176,23 @@ class LoopbackNetwork {
     bool have_streams = false;
   };
 
+  // One message waiting in an epoch outbox for the merge pass.
+  struct EpochEntry {
+    std::string to;
+    Bytes frame;       // encoded in phase A, on the sender's shard
+    MessageType type;  // for the kMsgSend trace emit
+    SendCallback done;
+  };
+
   LinkCells& Cells(const std::string& from, const std::string& to);
   static TransportStats ReadCells(const LinkCells& c);
 
-  // Block until every sender ranked below `rank` completed this round.
-  void AwaitTurn(std::size_t rank);
+  // The post-encode half of Send(): fault decisions, handler invocation,
+  // response leg, accounting. Must run from a deterministic single-writer
+  // context (the merge pass or serial code).
+  [[nodiscard]] Result<Message> Deliver(const std::string& from,
+                                        const std::string& to, Bytes frame,
+                                        MessageType type);
 
   std::map<std::string, Endpoint*> endpoints_;
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
@@ -177,15 +202,19 @@ class LoopbackNetwork {
   FaultInjector faults_;
   const SimClock* clock_ = nullptr;
 
-  struct OrderedPhase {
+  struct Epoch {
     bool active = false;
+    bool merging = false;  // callbacks/handlers may nest immediate sends
     std::unordered_map<std::string, std::size_t> rank_of;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::vector<std::uint8_t> done;  // per-rank completion, this round
-    std::size_t low = 0;             // all ranks < low are complete
+    std::vector<std::string> names;  // names[rank] — merge-time sender lookup
+    // outbox[rank] is written only by the shard that owns sender `rank`
+    // during phase A and read only by the driver during phase B; the
+    // executor's barrier orders the two, so no locking is needed anywhere.
+    std::vector<std::vector<EpochEntry>> outbox;
   };
-  OrderedPhase ordered_;
+  Epoch epoch_;
+  obs::Gauge* outbox_depth_ = nullptr;    // messages merged, last epoch
+  obs::Counter* epoch_merges_ = nullptr;  // MergeEpoch calls
 };
 
 }  // namespace sor::net

@@ -10,7 +10,7 @@
 //   2. Deterministic readouts. Counter and histogram values are sums —
 //      order-independent, so any thread count yields the same numbers.
 //      Gauges are last-write; components only set them from serialized
-//      contexts (the ordered network phase or serial driver code).
+//      contexts (the epoch merge pass or serial driver code).
 //   3. Stable handles. counter()/gauge()/histogram() return references
 //      that stay valid for the registry's lifetime, so call sites resolve
 //      the name once and keep the pointer — the string map is off the hot
@@ -37,7 +37,7 @@ namespace sor::obs {
 // How a metric's storage is laid out.
 enum class Sharding {
   kSingle,     // one atomic cell — for metrics whose writers are serialized
-               // (per-link transport counters behind the ordered gate)
+               // (per-link transport counters inside the merge pass)
   kPerThread,  // padded per-thread cells, merged on read — for metrics the
                // parallel tick loop updates from every shard
 };
@@ -81,7 +81,7 @@ class Counter {
 
 // Last-write-wins double value (queue depths, last objective, ...). Writers
 // must be serialized for deterministic readouts; every current caller sets
-// gauges from serial driver code or behind the ordered network gate.
+// gauges from serial driver code or inside the epoch merge pass.
 class Gauge {
  public:
   void Set(double v) {

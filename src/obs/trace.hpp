@@ -3,9 +3,10 @@
 // Every traced component owns a *stream* — a bounded ring buffer of typed
 // events stamped with sim-time and a per-stream sequence number (the
 // event's rank inside its stream). Streams are single-writer by
-// construction: a phone's stream is written only by the shard ticking that
-// phone, and the server-side streams are written behind the network's
-// ordered-delivery gate, which admits one ranked sender at a time (see
+// construction: a phone's stream is written by the shard ticking that
+// phone during an epoch's collect phase and by the driver thread during
+// the merge pass (the executor barrier separates the two), and the
+// server-side streams are written only inside the merge pass (see
 // docs/runtime.md). A mutex per stream keeps the rings safe for any stray
 // concurrent writer, but ordering never depends on it.
 //
@@ -136,7 +137,7 @@ class Tracer {
 
   // Find-or-create the stream for `name`. Deterministic stream ids require
   // deterministic registration order: components register their streams
-  // from serial setup code or behind the ordered network gate (both are
+  // from serial setup code or inside the epoch merge pass (both are
   // thread-count invariant). Handles stay valid for the tracer's lifetime.
   StreamId RegisterStream(std::string_view name);
   [[nodiscard]] const std::string& stream_name(StreamId id) const;

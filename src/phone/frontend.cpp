@@ -199,42 +199,76 @@ SimDuration MobileFrontend::Backoff(int attempts) {
       static_cast<std::int64_t>(jittered))};
 }
 
-MobileFrontend::UploadAttempt MobileFrontend::TrySendUpload(
-    TaskId task, std::uint64_t seq,
-    const std::vector<ReadingTuple>& batches) {
+void MobileFrontend::SendUploadAsync(TaskId task, std::uint64_t seq,
+                                     std::vector<ReadingTuple> batches,
+                                     int attempts, bool fresh) {
   SensedDataUpload up{task, config_.user_id, batches, seq};
-  Result<Message> r = network_.Send(EndpointName(), server_, up);
-  UploadAttempt a;
-  if (!r.ok()) return a;
-  // Settled only when the Ack echoes our seq; anything else (wrong type,
-  // stale ack) counts as a failure and the upload stays queued. A
-  // ThrottleReply echoing our seq is the server refusing ADMISSION — the
-  // data never landed, but the link works; honor the hint instead of
-  // treating it as a loss.
-  if (const auto* ack = std::get_if<Ack>(&r.value());
-      ack != nullptr && ack->seq == seq) {
-    a.outcome = SendOutcome::kAcked;
-    return a;
-  }
-  if (const auto* throttle = std::get_if<ThrottleReply>(&r.value());
-      throttle != nullptr && throttle->seq == seq) {
-    a.outcome = SendOutcome::kThrottled;
-    a.retry_after = throttle->retry_after;
-    a.mode = throttle->mode;
-  }
-  return a;
+  // The callback keeps the batch: an upload is settled only when the Ack
+  // echoes our seq; anything else (error, wrong type, stale ack) keeps the
+  // data phone-side for a retry. A ThrottleReply echoing our seq is the
+  // server refusing ADMISSION — the data never landed, but the link works;
+  // honor the hint instead of treating it as a loss.
+  network_.SendAsync(
+      EndpointName(), server_, up,
+      [this, task, seq, attempts, fresh,
+       batches = std::move(batches)](Result<Message> r) mutable {
+        if (r.ok()) {
+          if (const auto* ack = std::get_if<Ack>(&r.value());
+              ack != nullptr && ack->seq == seq) {
+            ++stats_.uploads_sent;
+            if (obs_.uploads_sent != nullptr) obs_.uploads_sent->Inc();
+            if (obs_.upload_attempts != nullptr)
+              obs_.upload_attempts->Observe(
+                  static_cast<double>(attempts + 1));
+            Trace(obs::EventKind::kUploadAcked, task.value(), seq);
+            return;
+          }
+          if (const auto* throttle = std::get_if<ThrottleReply>(&r.value());
+              throttle != nullptr && throttle->seq == seq) {
+            // Re-queue at the hinted time with attempts UNCHANGED:
+            // throttles count against neither the backoff curve nor the
+            // retry budget (the server asked us to wait; we did nothing
+            // wrong).
+            NoteThrottle(task, seq, throttle->retry_after);
+            EnqueueUploadAt(task, seq, std::move(batches), attempts,
+                            clock_.now() + throttle->retry_after);
+            return;
+          }
+        }
+        ++stats_.upload_failures;
+        if (obs_.upload_failures != nullptr) obs_.upload_failures->Inc();
+        Trace(obs::EventKind::kUploadFailed, task.value(), seq,
+              static_cast<std::uint64_t>(attempts + 1));
+        // A fresh batch always earns its first retry; a failed re-send of a
+        // QUEUED upload spends campaign budget first.
+        if (fresh || SpendRetryBudget(task)) {
+          EnqueueUpload(task, seq, std::move(batches), attempts + 1);
+        } else {
+          // Per-campaign retry budget spent: give the upload up for good
+          // rather than let one dead campaign churn the queue forever.
+          ++stats_.uploads_abandoned;
+          if (obs_.uploads_abandoned != nullptr) obs_.uploads_abandoned->Inc();
+          Trace(obs::EventKind::kUploadEvicted, task.value(), seq,
+                static_cast<std::uint64_t>(attempts + 1));
+          SOR_LOG(kWarn, "frontend",
+                  "upload abandoned: phone=" << config_.token.value
+                      << " task=" << task.str() << " seq=" << seq
+                      << " attempts=" << attempts + 1
+                      << " retry_budget=" << config_.retry_budget);
+        }
+      });
 }
 
 void MobileFrontend::NoteThrottle(TaskId task, std::uint64_t seq,
-                                  const UploadAttempt& a) {
+                                  SimDuration retry_after) {
   ++stats_.uploads_throttled;
   if (obs_.uploads_throttled != nullptr) obs_.uploads_throttled->Inc();
   Trace(obs::EventKind::kUploadThrottled, task.value(), seq,
-        static_cast<std::uint64_t>(a.retry_after.ms));
+        static_cast<std::uint64_t>(retry_after.ms));
   // Adaptive pacing: one throttle quiets the WHOLE queue until the hinted
   // time — hammering an overloaded server with the other queued uploads
   // would only earn more throttles.
-  const SimTime resume = clock_.now() + a.retry_after;
+  const SimTime resume = clock_.now() + retry_after;
   if (resume > pace_until_) pace_until_ = resume;
 }
 
@@ -285,31 +319,42 @@ void MobileFrontend::Tick() {
   const SimTime now = clock_.now();
 
   // Queued leave notifications first: the server needs to know who is gone
-  // before it replans anything.
-  for (auto it = pending_leaves_.begin(); it != pending_leaves_.end();) {
-    Result<Message> reply = network_.Send(EndpointName(), server_, *it);
-    if (reply.ok()) {
-      ++stats_.leaves_retried;
-      if (obs_.leaves_retried != nullptr) obs_.leaves_retried->Inc();
-      Trace(obs::EventKind::kLeaveAcked, it->task.value());
-      it = pending_leaves_.erase(it);
-    } else {
-      ++it;
+  // before it replans anything. The queue is moved out so a failure's
+  // re-queue (which may run inline outside an epoch) never mutates the
+  // container being walked.
+  if (!pending_leaves_.empty()) {
+    std::vector<LeaveNotification> leaves;
+    leaves.swap(pending_leaves_);
+    for (const LeaveNotification& note : leaves) {
+      network_.SendAsync(
+          EndpointName(), server_, note, [this, note](Result<Message> reply) {
+            if (reply.ok()) {
+              ++stats_.leaves_retried;
+              if (obs_.leaves_retried != nullptr) obs_.leaves_retried->Inc();
+              Trace(obs::EventKind::kLeaveAcked, note.task.value());
+            } else {
+              // Still unheard; keep retrying (OnLeave is idempotent).
+              pending_leaves_.push_back(note);
+            }
+          });
     }
   }
 
   // Throttle pacing: while the gate is closed the upload queue stays
   // quiet. Leaves (above) still flush — the server always admits them —
-  // and sensing (below) still runs, queueing its data for later.
+  // and sensing (below) still runs, queueing its data for later. In epoch
+  // mode a throttle earned THIS tick closes the gate at the merge, so
+  // pacing starts from the next tick.
   const bool paced = now < pace_until_;
 
   // Re-send queued uploads whose backoff has elapsed, oldest first. Each
   // keeps its original seq, so the server recognizes a retry of data it
   // already stored (the lost-Ack case) and just re-acknowledges.
   const std::size_t due = paced ? 0 : pending_uploads_.size();
-  // A re-enqueue can evict the oldest entry when the queue is full, so the
-  // queue may shrink mid-loop; never pop past what is actually there.
+  // An inline re-enqueue can evict the oldest entry when the queue is
+  // full, so the queue may shrink mid-loop; never pop past what is there.
   for (std::size_t i = 0; i < due && !pending_uploads_.empty(); ++i) {
+    if (now < pace_until_) break;  // an inline throttle closed the gate
     PendingUpload p = std::move(pending_uploads_.front());
     pending_uploads_.pop_front();
     if (p.next_attempt > now) {
@@ -320,43 +365,8 @@ void MobileFrontend::Tick() {
       ++stats_.uploads_retried;
       if (obs_.uploads_retried != nullptr) obs_.uploads_retried->Inc();
     }
-    const UploadAttempt a = TrySendUpload(p.task, p.seq, p.batches);
-    if (a.outcome == SendOutcome::kAcked) {
-      ++stats_.uploads_sent;
-      if (obs_.uploads_sent != nullptr) obs_.uploads_sent->Inc();
-      if (obs_.upload_attempts != nullptr)
-        obs_.upload_attempts->Observe(static_cast<double>(p.attempts + 1));
-      Trace(obs::EventKind::kUploadAcked, p.task.value(), p.seq);
-    } else if (a.outcome == SendOutcome::kThrottled) {
-      // Admission refused, data intact. Re-queue at the hinted time with
-      // attempts UNCHANGED: throttles count against neither the backoff
-      // curve nor the retry budget (the server asked us to wait; we did
-      // nothing wrong).
-      NoteThrottle(p.task, p.seq, a);
-      EnqueueUploadAt(p.task, p.seq, std::move(p.batches), p.attempts,
-                      now + a.retry_after);
-      break;  // the gate just closed; stop draining this tick
-    } else {
-      ++stats_.upload_failures;
-      if (obs_.upload_failures != nullptr) obs_.upload_failures->Inc();
-      Trace(obs::EventKind::kUploadFailed, p.task.value(), p.seq,
-            static_cast<std::uint64_t>(p.attempts + 1));
-      if (SpendRetryBudget(p.task)) {
-        EnqueueUpload(p.task, p.seq, std::move(p.batches), p.attempts + 1);
-      } else {
-        // Per-campaign retry budget spent: give the upload up for good
-        // rather than let one dead campaign churn the queue forever.
-        ++stats_.uploads_abandoned;
-        if (obs_.uploads_abandoned != nullptr) obs_.uploads_abandoned->Inc();
-        Trace(obs::EventKind::kUploadEvicted, p.task.value(), p.seq,
-              static_cast<std::uint64_t>(p.attempts + 1));
-        SOR_LOG(kWarn, "frontend",
-                "upload abandoned: phone=" << config_.token.value
-                    << " task=" << p.task.str() << " seq=" << p.seq
-                    << " attempts=" << p.attempts + 1
-                    << " retry_budget=" << config_.retry_budget);
-      }
-    }
+    SendUploadAsync(p.task, p.seq, std::move(p.batches), p.attempts,
+                    /*fresh=*/false);
   }
 
   for (auto& [id, task] : tasks_) {
@@ -367,27 +377,12 @@ void MobileFrontend::Tick() {
       obs_.tuples_collected->Inc(collected.size());
     Trace(obs::EventKind::kSenseBatch, id.value(), seq, collected.size());
     if (now < pace_until_) {
-      // Gate closed (possibly mid-tick, by a throttle above): don't even
-      // try — queue the fresh batch to transmit once the gate reopens.
+      // Gate closed: don't even try — queue the fresh batch to transmit
+      // once the gate reopens.
       EnqueueUploadAt(id, seq, std::move(collected), 0, pace_until_);
       continue;
     }
-    const UploadAttempt a = TrySendUpload(id, seq, collected);
-    if (a.outcome == SendOutcome::kAcked) {
-      ++stats_.uploads_sent;
-      if (obs_.uploads_sent != nullptr) obs_.uploads_sent->Inc();
-      if (obs_.upload_attempts != nullptr) obs_.upload_attempts->Observe(1.0);
-      Trace(obs::EventKind::kUploadAcked, id.value(), seq);
-    } else if (a.outcome == SendOutcome::kThrottled) {
-      NoteThrottle(id, seq, a);
-      EnqueueUploadAt(id, seq, std::move(collected), 0, now + a.retry_after);
-    } else {
-      ++stats_.upload_failures;
-      if (obs_.upload_failures != nullptr) obs_.upload_failures->Inc();
-      Trace(obs::EventKind::kUploadFailed, id.value(), seq, 1);
-      // Keep the data; retry with backoff (store-and-forward).
-      EnqueueUpload(id, seq, std::move(collected), 1);
-    }
+    SendUploadAsync(id, seq, std::move(collected), 0, /*fresh=*/true);
   }
   last_tick_ = now;
 }

@@ -136,6 +136,15 @@ class MobileFrontend final : public net::Endpoint {
   // has elapsed, then execute every sensing activity due at the current
   // clock time and upload the collected data. A failed upload keeps its
   // seq and re-enters the queue with exponential backoff + seeded jitter.
+  //
+  // All sends go through LoopbackNetwork::SendAsync. Standalone (no epoch)
+  // that is a synchronous round trip with the outcome applied inline —
+  // the classic request/response Tick. Inside a campaign epoch the sends
+  // are collected wait-free during phase A and their outcomes (ack, retry
+  // backoff, throttle pacing) land in this phone's callbacks during the
+  // merge — so pacing and re-queues from this tick's replies take effect
+  // from the NEXT tick on. Both serial and parallel campaign runs use the
+  // epoch path, so the schedule of outcomes is thread-count-invariant.
   void Tick();
 
   // --- task inspection ---------------------------------------------------
@@ -163,22 +172,17 @@ class MobileFrontend final : public net::Endpoint {
     SimTime next_attempt;   // earliest time to try again
   };
 
-  // What one upload attempt came back as. kThrottled means the server
-  // refused admission under load and told us when to come back; the data
-  // is intact on our side and the attempt does not count against backoff.
-  enum class SendOutcome : std::uint8_t { kAcked, kFailed, kThrottled };
-  struct UploadAttempt {
-    SendOutcome outcome = SendOutcome::kFailed;
-    SimDuration retry_after{0};  // throttle hint (kThrottled only)
-    std::uint8_t mode = 0;       // server degradation mode (kThrottled only)
-  };
-
   [[nodiscard]] Message HandleMessage(const Message& m);
   [[nodiscard]] GeoPoint ReportedLocation();
-  // Send one upload; settled only when the server's Ack echoed `seq`.
-  [[nodiscard]] UploadAttempt TrySendUpload(
-      TaskId task, std::uint64_t seq,
-      const std::vector<ReadingTuple>& batches);
+  // Send one upload via SendAsync and settle it in the completion callback:
+  // an Ack echoing `seq` lands it; a ThrottleReply echoing `seq` paces the
+  // queue and re-queues at the hinted time (admission refused, data intact,
+  // no backoff/budget charge); anything else re-queues with exponential
+  // backoff — unless the entry was a queued retry (`fresh` == false) whose
+  // campaign retry budget is spent, in which case it is abandoned.
+  void SendUploadAsync(TaskId task, std::uint64_t seq,
+                       std::vector<ReadingTuple> batches, int attempts,
+                       bool fresh);
   // min(retry_max, retry_base·2^(attempts-1)), jittered into [50%, 100%].
   [[nodiscard]] SimDuration Backoff(int attempts);
   void EnqueueUpload(TaskId task, std::uint64_t seq,
@@ -188,7 +192,7 @@ class MobileFrontend final : public net::Endpoint {
                        std::vector<ReadingTuple> batches, int attempts,
                        SimTime next_attempt);
   // Apply a ThrottleReply: pace the whole queue and record the hint.
-  void NoteThrottle(TaskId task, std::uint64_t seq, const UploadAttempt& a);
+  void NoteThrottle(TaskId task, std::uint64_t seq, SimDuration retry_after);
   // True when `task` has retry budget left; a failed re-send spends one
   // unit. Exhausted budget abandons the upload (accounted + logged).
   [[nodiscard]] bool SpendRetryBudget(TaskId task);

@@ -148,7 +148,8 @@ AppAccumulatorState* DataProcessor::GetOrLoadState(AppId app,
 }
 
 Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
-                                      SimTime now) {
+                                      SimTime now,
+                                      DataProcessorStats* sink) {
   Table* raw = db_.table(db::tables::kRawData);
   Table* features = db_.table(db::tables::kFeatureData);
   if (!raw || !features)
@@ -173,9 +174,9 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
                                return false;
                              });
     if (features_exist) {
-      if (obs_.apps_skipped != nullptr) obs_.apps_skipped->Inc();
-      std::lock_guard lock(stats_mu_);
-      ++stats_.apps_skipped;
+      DataProcessorStats local;
+      ++local.apps_skipped;
+      Accumulate(local, sink);
       return 0;
     }
     // No uploads yet but no features either: fall through and write the
@@ -189,22 +190,25 @@ Result<int> DataProcessor::ProcessApp(const ApplicationRecord& app,
       tracing ? tracer_->RegisterStream(StreamNameForApp(app.id)) : 0;
 
   return options_.incremental
-             ? ProcessAppIncremental(app, now, raw, features, stream, tracing)
-             : ProcessAppFull(app, now, raw, features, stream, tracing);
+             ? ProcessAppIncremental(app, now, raw, features, stream, tracing,
+                                     sink)
+             : ProcessAppFull(app, now, raw, features, stream, tracing, sink);
 }
 
 Result<int> DataProcessor::ProcessAppIncremental(const ApplicationRecord& app,
                                                  SimTime now, Table* raw,
                                                  Table* features,
                                                  obs::StreamId stream,
-                                                 bool tracing) {
+                                                 bool tracing,
+                                                 DataProcessorStats* sink) {
   const std::vector<FeatureDef>& defs = app.spec.features;
   AppAccumulatorState* state = GetOrLoadState(app.id, defs.size());
 
   // Fold in only the blobs past the cursor, in raw_id (arrival) order —
   // the same order the full recompute decodes them, so order-dependent
   // accumulators (Welford) match it bit-for-bit. Stats accumulate locally
-  // and merge once at the end so concurrent per-app calls never contend.
+  // and settle once at the end (into the caller's per-app sink when
+  // running concurrently) so per-app calls never contend.
   DataProcessorStats local;
   std::vector<std::int64_t> new_ids;
   raw->ForEachWhereEqFromPk(
@@ -248,9 +252,7 @@ Result<int> DataProcessor::ProcessAppIncremental(const ApplicationRecord& app,
          Value(app.spec.place.value()), Value(defs[j].name), Value(value),
          Value(static_cast<std::int64_t>(n_samples)), Value(now.ms)});
     if (!r.ok()) {
-      FlushCounters(local);
-      std::lock_guard lock(stats_mu_);
-      stats_ += local;
+      Accumulate(local, sink);
       return r.error();
     }
     ++local.features_written;
@@ -280,16 +282,15 @@ Result<int> DataProcessor::ProcessAppIncremental(const ApplicationRecord& app,
     tracer_->Emit(stream, now, obs::EventKind::kAppProcessed, app.id.value(),
                   static_cast<std::uint64_t>(written));
   }
-  FlushCounters(local);
-  std::lock_guard lock(stats_mu_);
-  stats_ += local;
+  Accumulate(local, sink);
   return written;
 }
 
 Result<int> DataProcessor::ProcessAppFull(const ApplicationRecord& app,
                                           SimTime now, Table* raw,
                                           Table* features,
-                                          obs::StreamId stream, bool tracing) {
+                                          obs::StreamId stream, bool tracing,
+                                          DataProcessorStats* sink) {
   // Decode every upload body for this app (the stored bodies are the exact
   // binary message payloads as received, §II-B).
   DataProcessorStats local;
@@ -332,9 +333,7 @@ Result<int> DataProcessor::ProcessAppFull(const ApplicationRecord& app,
          Value(app.spec.place.value()), Value(def.name), Value(value),
          Value(static_cast<std::int64_t>(n_samples)), Value(now.ms)});
     if (!r.ok()) {
-      FlushCounters(local);
-      std::lock_guard lock(stats_mu_);
-      stats_ += local;
+      Accumulate(local, sink);
       return r.error();
     }
     ++local.features_written;
@@ -367,10 +366,18 @@ Result<int> DataProcessor::ProcessAppFull(const ApplicationRecord& app,
     tracer_->Emit(stream, now, obs::EventKind::kAppProcessed, app.id.value(),
                   static_cast<std::uint64_t>(written));
   }
-  FlushCounters(local);
-  std::lock_guard lock(stats_mu_);
-  stats_ += local;
+  Accumulate(local, sink);
   return written;
+}
+
+void DataProcessor::Accumulate(const DataProcessorStats& local,
+                               DataProcessorStats* sink) {
+  FlushCounters(local);
+  if (sink != nullptr) {
+    *sink += local;  // caller-owned cell; folded in later via MergeStats
+  } else {
+    stats_ += local;  // serial context: no other writer exists
+  }
 }
 
 void DataProcessor::FlushCounters(const DataProcessorStats& local) {

@@ -82,9 +82,18 @@ class DataProcessor {
   // Returns the number of feature values written. When the per-app
   // watermarks show nothing new and the app's features are already in the
   // database, the call is a cheap no-op. Safe to run concurrently for
-  // *different* apps (stats/progress merge under mutexes; row sets and
-  // accumulator states are disjoint per app).
-  Result<int> ProcessApp(const ApplicationRecord& app, SimTime now);
+  // *different* apps: row sets and accumulator states are disjoint per
+  // app, and each call's stats accumulate into `sink` — a caller-owned,
+  // per-app cell — instead of a shared total, so concurrent calls never
+  // contend. The caller folds the sinks back in app order via MergeStats()
+  // after its barrier (Server::ProcessAllData does); a null sink (the
+  // serial/standalone case) accumulates straight into stats().
+  Result<int> ProcessApp(const ApplicationRecord& app, SimTime now,
+                         DataProcessorStats* sink = nullptr);
+
+  // Fold one ProcessApp call's sink into the aggregate stats(). Driver
+  // thread only, after all concurrent ProcessApp calls completed.
+  void MergeStats(const DataProcessorStats& sink) { stats_ += sink; }
 
   // Upload-store-time hook: the server calls this when a raw row for `app`
   // is inserted, advancing the app's stored watermark so ProcessApp can
@@ -136,10 +145,12 @@ class DataProcessor {
 
   Result<int> ProcessAppIncremental(const ApplicationRecord& app, SimTime now,
                                     db::Table* raw, db::Table* features,
-                                    obs::StreamId stream, bool tracing);
+                                    obs::StreamId stream, bool tracing,
+                                    DataProcessorStats* sink);
   Result<int> ProcessAppFull(const ApplicationRecord& app, SimTime now,
                              db::Table* raw, db::Table* features,
-                             obs::StreamId stream, bool tracing);
+                             obs::StreamId stream, bool tracing,
+                             DataProcessorStats* sink);
 
   // Fetch the app's cached accumulator state, loading it from the
   // processor_state table (or creating it fresh) on first touch.
@@ -147,11 +158,14 @@ class DataProcessor {
 
   // Add one ProcessApp call's local stats to the registry counters.
   void FlushCounters(const DataProcessorStats& local);
+  // Settle one call's local stats: registry counters (per-thread sharded),
+  // then the caller's sink — or, with no sink, the aggregate directly (the
+  // serial case; concurrent callers must pass a sink).
+  void Accumulate(const DataProcessorStats& local, DataProcessorStats* sink);
 
   db::Database& db_;
   DataProcessorOptions options_;
-  DataProcessorStats stats_;
-  std::mutex stats_mu_;  // guards stats_ during parallel ProcessApp calls
+  DataProcessorStats stats_;  // aggregate; written by serial contexts only
 
   // Guards progress_ and the acc_ *map* (each mapped state is only touched
   // by the one ProcessApp call owning that app).

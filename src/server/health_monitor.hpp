@@ -22,7 +22,8 @@
 //
 // Everything here is a pure function of the admission sequence and the
 // clock — no randomness — so overload behaviour is byte-identical across
-// thread counts (admissions happen behind the ordered network gate).
+// thread counts (admissions happen inside the epoch merge pass, in rank
+// order, on the driver thread).
 #pragma once
 
 #include <cstdint>

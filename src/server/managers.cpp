@@ -262,8 +262,8 @@ Status ParticipationManager::ConsumeBudget(TaskId task, int executions) {
     return Status(Errc::kInvalidArgument, "negative executions");
   // Per-upload hot path: budget_left is non-key and unindexed, so read the
   // one cell and write it back in place — no row copy, no re-index. The
-  // read-modify-write is not atomic, but upload handling is serialized
-  // behind the network's ordered gate, so no interleaving can occur.
+  // read-modify-write is not atomic, but upload handling runs only inside
+  // the epoch merge pass (driver thread), so no interleaving can occur.
   Table* parts = db_.table(db::tables::kParticipations);
   constexpr int kBudgetLeftCol = 5;
   Result<Value> left = parts->ReadCell(Value(task.value()), kBudgetLeftCol);

@@ -88,6 +88,10 @@ class SensingScheduler {
   // Stage 2 (serial): persist the plan's schedules, push them to the
   // phones, update stats. Must run on one thread at a time; callers flush
   // plans in ascending app-id order to keep the send stream deterministic.
+  // In a running campaign this executes inside the epoch merge pass (a
+  // join/leave delivered by the merge triggers the reschedule) or between
+  // ticks — either way the phones are idle, so the synchronous push into
+  // each phone is always admitted.
   Status DistributePlan(const ApplicationRecord& app, const SchedulePlan& plan,
                         ParticipationManager& participations,
                         SimDuration sample_window, int samples_per_window);

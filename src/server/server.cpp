@@ -87,15 +87,20 @@ Result<int> SensingServer::ProcessAllData() {
     return total;
   }
 
-  // Parallel path: one ProcessApp per app; per-app row sets are disjoint.
-  // The serial loop stops at the first failure; here every app runs, then
-  // the first error *in app order* is reported — same error, same total
-  // when everything succeeds (integer sum is order-independent).
+  // Parallel path: one ProcessApp per app; per-app row sets are disjoint,
+  // and each call fills its own stats sink — no shared mutable state, no
+  // mutex. The serial loop stops at the first failure; here every app
+  // runs, then the first error *in app order* is reported — same error,
+  // same total when everything succeeds (integer sum is order-independent).
+  // The sinks merge after the barrier in app order, so the aggregate
+  // matches the serial accumulation exactly.
   std::vector<std::optional<Result<int>>> results(all.size());
+  std::vector<DataProcessorStats> sinks(all.size());
   const SimTime now = clock_.now();
   executor_->ParallelFor(all.size(), [&](std::size_t i) {
-    results[i] = processor_.ProcessApp(all[i], now);
+    results[i] = processor_.ProcessApp(all[i], now, &sinks[i]);
   });
+  for (const DataProcessorStats& sink : sinks) processor_.MergeStats(sink);
   int total = 0;
   for (const std::optional<Result<int>>& r : results) {
     if (!r.has_value()) continue;

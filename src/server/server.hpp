@@ -108,10 +108,11 @@ class SensingServer final : public net::Endpoint {
   void set_executor(ShardedExecutor* executor) { executor_ = executor; }
 
   // Hook the server (and its scheduler + data processor) into the shared
-  // telemetry. The server's handler runs behind the network's ordered gate,
-  // so its "server.*"/"sched.*" counters are single-cell and its trace
-  // stream stays single-writer. Call from serial code; safe to call again
-  // after a Tracer::Clear() to re-register streams.
+  // telemetry. The server's handler runs only inside the epoch merge pass
+  // (or from serial code), so its "server.*"/"sched.*" counters are
+  // single-cell and its trace stream stays single-writer. Call from serial
+  // code; safe to call again after a Tracer::Clear() to re-register
+  // streams.
   void AttachObservability(obs::MetricsRegistry* registry,
                            obs::Tracer* tracer);
 

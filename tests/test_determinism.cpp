@@ -185,10 +185,10 @@ TEST(Determinism, ChurnScheduleIdenticalAcrossThreadCounts) {
 }
 
 TEST(Determinism, ThrottleScheduleIdenticalAcrossThreadCounts) {
-  // Overload control: admissions are budgeted per tick behind the ordered
-  // gate, throttle hints pace the phones, and the retry budget abandons
-  // dead campaigns — all of it a pure function of the admission order, so
-  // the shed/throttle schedule is part of the determinism contract too.
+  // Overload control: admissions are budgeted per tick inside the epoch
+  // merge pass, throttle hints pace the phones, and the retry budget
+  // abandons dead campaigns — all of it a pure function of the admission
+  // order, so the shed/throttle schedule is part of the contract too.
   const world::Scenario scenario = SmallCoffee();
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));

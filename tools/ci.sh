@@ -138,6 +138,39 @@ else
   echo "ci: build/bench/micro_db not built; skipping storage cost report" >&2
 fi
 
+echo "=== stage: multi-thread perf smoke (epoch runtime) ==="
+# Wall-clock sanity for the epoch two-phase runtime (docs/runtime.md): on a
+# multi-core host, running the 1000-phone scale_phones cell at threads=2
+# must not be more than 25% slower than the serial run — phase A is
+# supposed to overlap the per-phone compute, so a large regression means
+# the merge pass (or something feeding it) reintroduced serialization.
+# Single-core hosts measure the same serial machine plus coordination
+# overhead at every thread count, so the comparison is meaningless there
+# and is skipped with a notice rather than silently passed.
+if [[ -x build/bench/scale_phones ]]; then
+  if [[ "$(nproc)" -ge 2 ]]; then
+    serial_ms="$(build/bench/scale_phones --cell 334 1 \
+                 | sed -n 's/.*"wall_ms": \([0-9.]*\).*/\1/p')"
+    two_ms="$(build/bench/scale_phones --cell 334 2 \
+              | sed -n 's/.*"wall_ms": \([0-9.]*\).*/\1/p')"
+    echo "ci: scale_phones 1000 phones: threads=1 ${serial_ms}ms," \
+         "threads=2 ${two_ms}ms"
+    # Fail if threads=2 wall > 1.25x serial wall.
+    if awk -v s="${serial_ms}" -v t="${two_ms}" \
+           'BEGIN { exit !(t > 1.25 * s) }'; then
+      echo "ci: threads=2 regressed >25% vs serial" \
+           "(${two_ms}ms vs ${serial_ms}ms) — epoch runtime not parallel" >&2
+      exit 1
+    fi
+  else
+    echo "ci: single-core host ($(nproc) cpu); skipping threads=2 vs" \
+         "serial comparison — every thread count measures the same" \
+         "serial machine" >&2
+  fi
+else
+  echo "ci: build/bench/scale_phones not built; skipping perf smoke" >&2
+fi
+
 echo "=== stage: clang-tidy ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # The default preset's compile_commands.json drives the analysis; limit

@@ -8,13 +8,14 @@ namespace sor {
 
 namespace {
 
-// "SOR4" little-endian. Bumped from "SOR1" (0x31524F53) when seq fields were
+// "SOR5" little-endian. Bumped from "SOR1" (0x31524F53) when seq fields were
 // added to SensedDataUpload and Ack, from "SOR2" (0x32524F53) when
-// ScheduleDistribution grew the required-sensor manifest, and from "SOR3"
+// ScheduleDistribution grew the required-sensor manifest, from "SOR3"
 // (0x33524F53) when ThrottleReply and ParticipationRequest::incarnation were
-// added for overload control; old frames fail the magic check rather than
-// being mis-decoded positionally.
-constexpr std::uint32_t kMagic = 0x34524F53;  // "SOR4"
+// added for overload control, and from "SOR4" (0x34524F53) when
+// ScheduleDistribution grew the information-flow manifest; old frames fail
+// the magic check rather than being mis-decoded positionally.
+constexpr std::uint32_t kMagic = 0x35524F53;  // "SOR5"
 
 void EncodeGeo(const GeoPoint& p, ByteWriter& w) {
   w.f64(p.lat_deg);
@@ -150,6 +151,7 @@ void EncodeBody(const Message& m, ByteWriter& w) {
       w.varint(s.required_sensors.size());
       for (SensorKind k : s.required_sensors)
         w.u8(static_cast<std::uint8_t>(k));
+      w.str(s.flow_manifest);
     }
     void operator()(const SensedDataUpload& u) const {
       w.varint(u.task.value());
@@ -235,6 +237,7 @@ Result<Message> DecodeBody(MessageType type,
           return Error{Errc::kDecodeError, "unknown sensor kind"};
         m.required_sensors.push_back(static_cast<SensorKind>(raw));
       }
+      m.flow_manifest = r.str();
       out = m;
       break;
     }

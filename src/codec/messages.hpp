@@ -81,6 +81,11 @@ struct ScheduleDistribution {
   // these refuses the task up front (ErrorReply kUnsupported) instead of
   // discovering mid-campaign that every acquisition comes back empty.
   std::vector<SensorKind> required_sensors;
+  // Encoded information-flow manifest (analysis::EncodeFlowManifest): for
+  // every acquisition/print/return site, the sensor kinds whose data flows
+  // into the value leaving the phone there. Empty = no sites (or a server
+  // predating the flow pass).
+  std::string flow_manifest;
 
   friend bool operator==(const ScheduleDistribution&,
                          const ScheduleDistribution&) = default;
@@ -177,13 +182,14 @@ void EncodeBody(const Message& m, ByteWriter& w);
 [[nodiscard]] Result<Message> DecodeBody(MessageType type,
                                          std::span<const std::uint8_t> body);
 
-// Framed envelope: magic "SOR4" | type u8 | body varint-len+bytes | crc32 of
+// Framed envelope: magic "SOR5" | type u8 | body varint-len+bytes | crc32 of
 // everything before it. This is the unit handed to the transport. The magic
 // doubles as the wire version; it was bumped from "SOR1" when seq fields
 // were added to SensedDataUpload and Ack, from "SOR2" when
-// ScheduleDistribution grew the required-sensor manifest, and from "SOR3"
+// ScheduleDistribution grew the required-sensor manifest, from "SOR3"
 // when ThrottleReply and ParticipationRequest::incarnation were added for
-// overload control and churn survival.
+// overload control and churn survival, and from "SOR4" when
+// ScheduleDistribution grew the information-flow manifest.
 [[nodiscard]] Bytes EncodeFrame(const Message& m);
 [[nodiscard]] Result<Message> DecodeFrame(std::span<const std::uint8_t> frame);
 

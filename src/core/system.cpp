@@ -168,11 +168,13 @@ void System::RunTicks(int n, SimDuration tick) {
     }
     // Phase B: deliver the epoch's outboxes and run the phones' completion
     // callbacks (acks, backoff re-queues, throttle pacing).
-    const auto merge_start = std::chrono::steady_clock::now();
+    // Wall-clock telemetry only: the observed nanoseconds feed a histogram
+    // excluded from trace fingerprints, never simulation state.
+    const auto merge_start = std::chrono::steady_clock::now();  // det-lint: allow
     network_.MergeEpoch();
     merge_wait.Observe(static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - merge_start)
+            std::chrono::steady_clock::now() - merge_start)  // det-lint: allow
             .count()));
     note_depth();
   }

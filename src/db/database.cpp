@@ -65,14 +65,16 @@ void MakeSorSchema(Database& db) {
   }
   // applications(app_id PK, creator, place_id, place_name, lat, lon, alt,
   //              radius_m, script, features, period_begin_ms, period_end_ms,
-  //              n_instants, sigma_s, required_sensors, energy_budget_mj)
+  //              n_instants, sigma_s, required_sensors, energy_budget_mj,
+  //              flow_manifest)
   // — §II-B Application Manager; the
   // creator also specifies the scheduling-period duration. `features` is
   // the encoded list of feature definitions (name:sensor:method) the Data
   // Processor computes for this app. `required_sensors` is the script's
   // statically derived sensor manifest and `energy_budget_mj` the per-run
-  // ceiling the analyzer enforced at registration; both appended last so
-  // older positional column reads stay valid.
+  // ceiling the analyzer enforced at registration; `flow_manifest` is the
+  // encoded information-flow manifest (which sensors reach each upload
+  // site). All appended last so older positional column reads stay valid.
   {
     Schema s;
     s.table_name = tables::kApplications;
@@ -85,7 +87,8 @@ void MakeSorSchema(Database& db) {
                  {"period_end_ms", CT::kInt64}, {"n_instants", CT::kInt64},
                  {"sigma_s", CT::kDouble},
                  {"required_sensors", CT::kText},
-                 {"energy_budget_mj", CT::kDouble}};
+                 {"energy_budget_mj", CT::kDouble},
+                 {"flow_manifest", CT::kText}};
     (void)db.CreateTable(std::move(s)).value();
   }
   // participations(task_id PK, user_id, app_id, token, budget,

@@ -25,7 +25,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -205,7 +204,7 @@ class LoopbackNetwork {
   struct Epoch {
     bool active = false;
     bool merging = false;  // callbacks/handlers may nest immediate sends
-    std::unordered_map<std::string, std::size_t> rank_of;
+    std::map<std::string, std::size_t> rank_of;
     std::vector<std::string> names;  // names[rank] — merge-time sender lookup
     // outbox[rank] is written only by the shard that owns sender `rank`
     // during phase A and read only by the driver during phase B; the

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "script/analysis/host_api.hpp"
+#include "script/analysis/passes.hpp"
+#include "script/ir/lower.hpp"
 #include "script/parser.hpp"
 #include "sensors/energy.hpp"
 
@@ -664,8 +666,10 @@ struct Cost {
 class CostAnalyzer {
  public:
   CostAnalyzer(const Program& program, const AnalyzerOptions& options,
-               std::vector<Diagnostic>& out)
-      : program_(program), options_(options), out_(out) {}
+               std::vector<Diagnostic>& out,
+               const std::map<LoopKey, double>* trip_overrides = nullptr)
+      : program_(program), options_(options), out_(out),
+        trip_overrides_(trip_overrides) {}
 
   Cost Run() {
     CollectFunctions(program_.statements);
@@ -1036,7 +1040,12 @@ class CostAnalyzer {
       }
       case Stmt::Kind::kWhile: {
         EvalResult cond = EvalC(*st.expr);
-        const std::optional<double> bound = WhileBound(st, cond.val);
+        std::optional<double> bound = WhileBound(st, cond.val);
+        // The flow-sensitive interval pass can only tighten (or supply) a
+        // bound, never loosen one.
+        if (const std::optional<double> ov = Override(st.line, 0)) {
+          bound = bound ? std::min(*bound, *ov) : *ov;
+        }
         std::set<std::string> assigned;
         CollectAssigned(st.body, assigned);
         Widen(assigned);
@@ -1083,6 +1092,9 @@ class CostAnalyzer {
             bound = std::max(0.0, std::floor((s0.hi - s1.lo) / -step->hi) + 1);
           }
           var_range = IHull(s0, s1);
+        }
+        if (const std::optional<double> ov = Override(st.line, 1)) {
+          bound = bound ? std::min(*bound, *ov) : *ov;
         }
         std::set<std::string> assigned;
         CollectAssigned(st.body, assigned);
@@ -1267,6 +1279,15 @@ class CostAnalyzer {
   const Program& program_;
   const AnalyzerOptions& options_;
   std::vector<Diagnostic>& out_;
+  const std::map<LoopKey, double>* trip_overrides_ = nullptr;
+
+  // IR-derived bound for a loop, when the interval pass proved one.
+  std::optional<double> Override(int line, int kind) const {
+    if (trip_overrides_ == nullptr) return std::nullopt;
+    const auto it = trip_overrides_->find({line, kind});
+    if (it == trip_overrides_->end()) return std::nullopt;
+    return it->second;
+  }
 
   std::vector<CEnv> env_;
   std::map<std::string, const Stmt*> fns_;
@@ -1287,7 +1308,23 @@ AnalysisReport Analyze(const Program& program, const AnalyzerOptions& options) {
   ScopeTypeChecker scopes(program, options, report.diagnostics, required);
   scopes.Run();
 
-  CostAnalyzer coster(program, options, report.diagnostics);
+  // Flow-sensitive layer: lower to the dataflow IR, optimize, and collect
+  // SA5xx diagnostics, interval trip bounds, and the information-flow
+  // manifest from the optimized module.
+  IrAnalysis ir_facts;
+  if (options.ir_passes) {
+    ir::Module mod = ir::Lower(program);
+    IrAnalysisOptions ir_opts;
+    ir_opts.default_samples_per_window = options.default_samples_per_window;
+    ir_facts = AnalyzeModule(mod, ir_opts);
+    report.diagnostics.insert(report.diagnostics.end(),
+                              ir_facts.diagnostics.begin(),
+                              ir_facts.diagnostics.end());
+    report.flow = std::move(ir_facts.flow);
+  }
+
+  CostAnalyzer coster(program, options, report.diagnostics,
+                      options.ir_passes ? &ir_facts.trip_bounds : nullptr);
   const Cost cost = coster.Run();
 
   report.manifest.required_sensors.assign(required.begin(), required.end());

@@ -50,6 +50,11 @@ struct AnalyzerOptions {
   // Extra host functions to accept (variadic, untyped). Lets embedders that
   // register bespoke helpers keep their scripts lint-clean.
   std::vector<std::string> extra_host_fns;
+  // Lower to the dataflow IR and run the flow-sensitive passes (SA5xx,
+  // interval loop-bound tightening, the information-flow manifest). Off
+  // yields the purely syntactic analysis; tests use it to assert the IR
+  // bounds never exceed the syntactic ones.
+  bool ir_passes = true;
 };
 
 // Analyze a parsed program.

@@ -12,6 +12,10 @@ std::string Render(const Diagnostic& d) {
   if (d.line > 0) {
     s += " at line ";
     s += std::to_string(d.line);
+    if (d.col > 0) {
+      s += ", col ";
+      s += std::to_string(d.col);
+    }
   }
   s += ": ";
   s += d.message;
@@ -33,7 +37,7 @@ Diagnostic FromError(const Error& err) {
 
 void SortAndDedupe(std::vector<Diagnostic>& ds) {
   auto key = [](const Diagnostic& d) {
-    return std::tie(d.line, d.code, d.message);
+    return std::tie(d.line, d.col, d.code, d.message);
   };
   std::sort(ds.begin(), ds.end(),
             [&](const Diagnostic& a, const Diagnostic& b) {

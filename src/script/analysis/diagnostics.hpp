@@ -22,6 +22,11 @@
 //   SA403 error    worst-case energy estimate exceeds the app budget
 //   SA404 error    worst-case step count exceeds the interpreter budget
 //   SA405 warning  acquisition sample count not statically derivable
+//   SA501 error    use no assignment can reach (flow-sensitive, on the IR)
+//   SA502 warning  assigned value is never read (dead store)
+//   SA503 warning  if/while condition is constant
+//   SA504 warning  statement unreachable due to a constant condition
+//   SA505 warning  sensors are acquired but no output depends on them
 #pragma once
 
 #include <span>
@@ -30,6 +35,7 @@
 
 #include "common/result.hpp"
 #include "common/sensor_kind.hpp"
+#include "script/analysis/flow_manifest.hpp"
 
 namespace sor::script::analysis {
 
@@ -44,6 +50,7 @@ struct Diagnostic {
   Severity severity = Severity::kError;
   int line = 0;       // 1-based script line
   std::string message;
+  int col = 0;        // 1-based column; 0 = not tracked for this rule
 
   friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
 };
@@ -58,8 +65,8 @@ struct Diagnostic {
 // diagnostic so parse and analysis failures render through one channel.
 [[nodiscard]] Diagnostic FromError(const Error& err);
 
-// Deterministic report order: by line, then code, then message; exact
-// duplicates (same code+line+message) collapse to one.
+// Deterministic report order: by line, then column, then code, then
+// message; exact duplicates collapse to one.
 void SortAndDedupe(std::vector<Diagnostic>& ds);
 
 // What the analyzer proved about the script, shipped with the schedule so
@@ -76,6 +83,9 @@ struct ScriptManifest {
 struct AnalysisReport {
   std::vector<Diagnostic> diagnostics;
   ScriptManifest manifest;
+  // Where acquired sensor data flows: one site per acquisition/print/
+  // top-level return, with the sensors influencing the value there.
+  FlowManifest flow;
 
   [[nodiscard]] bool ok() const;  // no error-severity diagnostics
   [[nodiscard]] std::size_t error_count() const;

@@ -1,0 +1,116 @@
+#include "script/analysis/flow_manifest.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace sor::script::analysis {
+
+void Canonicalize(FlowManifest& m) {
+  for (FlowSite& site : m.sites) {
+    std::sort(site.sensors.begin(), site.sensors.end());
+    site.sensors.erase(std::unique(site.sensors.begin(), site.sensors.end()),
+                       site.sensors.end());
+  }
+  std::sort(m.sites.begin(), m.sites.end(),
+            [](const FlowSite& a, const FlowSite& b) {
+              return std::tie(a.line, a.kind, a.sensors) <
+                     std::tie(b.line, b.kind, b.sensors);
+            });
+  // Merge duplicate (kind, line) sites: union their sensor sets.
+  std::vector<FlowSite> merged;
+  for (FlowSite& site : m.sites) {
+    if (!merged.empty() && merged.back().kind == site.kind &&
+        merged.back().line == site.line) {
+      FlowSite& dst = merged.back();
+      dst.sensors.insert(dst.sensors.end(), site.sensors.begin(),
+                         site.sensors.end());
+      std::sort(dst.sensors.begin(), dst.sensors.end());
+      dst.sensors.erase(std::unique(dst.sensors.begin(), dst.sensors.end()),
+                        dst.sensors.end());
+    } else {
+      merged.push_back(std::move(site));
+    }
+  }
+  m.sites = std::move(merged);
+}
+
+std::string EncodeFlowManifest(const FlowManifest& m) {
+  std::string out;
+  for (const FlowSite& site : m.sites) {
+    if (!out.empty()) out += ';';
+    out += to_string(site.kind);
+    out += '@';
+    out += std::to_string(site.line);
+    out += '=';
+    if (site.sensors.empty()) {
+      out += '-';
+    } else {
+      for (std::size_t i = 0; i < site.sensors.size(); ++i) {
+        if (i) out += ',';
+        out += to_string(site.sensors[i]);
+      }
+    }
+  }
+  return out;
+}
+
+Result<FlowManifest> DecodeFlowManifest(std::string_view text) {
+  FlowManifest m;
+  if (text.empty()) return m;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find(';', pos), text.size());
+    const std::string_view entry = text.substr(pos, end - pos);
+    const std::size_t at = entry.find('@');
+    const std::size_t eq = entry.find('=');
+    if (at == std::string_view::npos || eq == std::string_view::npos ||
+        eq < at) {
+      return Error{Errc::kDecodeError,
+                   "malformed flow manifest entry: " + std::string(entry)};
+    }
+    FlowSite site;
+    const std::string_view kind = entry.substr(0, at);
+    if (kind == "acquire") {
+      site.kind = FlowSite::Kind::kAcquire;
+    } else if (kind == "print") {
+      site.kind = FlowSite::Kind::kPrint;
+    } else if (kind == "return") {
+      site.kind = FlowSite::Kind::kReturn;
+    } else {
+      return Error{Errc::kDecodeError,
+                   "unknown flow site kind: " + std::string(kind)};
+    }
+    const std::string_view line_s = entry.substr(at + 1, eq - at - 1);
+    int line = 0;
+    for (const char c : line_s) {
+      if (c < '0' || c > '9')
+        return Error{Errc::kDecodeError,
+                     "bad flow site line: " + std::string(line_s)};
+      line = line * 10 + (c - '0');
+    }
+    site.line = line;
+    const std::string_view sensors = entry.substr(eq + 1);
+    if (sensors != "-") {
+      std::size_t s = 0;
+      while (s <= sensors.size()) {
+        const std::size_t c = std::min(sensors.find(',', s), sensors.size());
+        const std::string_view name = sensors.substr(s, c - s);
+        const auto k = SensorKindFromString(name);
+        if (!k) {
+          return Error{Errc::kDecodeError,
+                       "unknown sensor in flow manifest: " + std::string(name)};
+        }
+        site.sensors.push_back(*k);
+        if (c == sensors.size()) break;
+        s = c + 1;
+      }
+    }
+    m.sites.push_back(std::move(site));
+    if (end == text.size()) break;
+    pos = end + 1;
+  }
+  Canonicalize(m);
+  return m;
+}
+
+}  // namespace sor::script::analysis

@@ -1,0 +1,57 @@
+// Sensor information-flow manifest.
+//
+// Where the capability manifest (ScriptManifest) says which sensors a
+// script MAY acquire, the flow manifest says where that data GOES: for
+// every upload site — a raw acquisition, a print(), or a top-level
+// return — the set of sensor kinds whose data (directly or via control
+// flow) influences the uploaded value. Computed by the IR taint pass,
+// persisted next to the capability manifest, and carried to phones in
+// ScheduleDistribution so a device can see not just "this task reads the
+// microphone" but "microphone data leaves the phone through the feature
+// printed at line 12".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sensor_kind.hpp"
+
+namespace sor::script::analysis {
+
+struct FlowSite {
+  enum class Kind : std::uint8_t { kAcquire, kPrint, kReturn };
+  Kind kind = Kind::kPrint;
+  int line = 0;
+  std::vector<SensorKind> sensors;  // sorted, unique
+
+  friend bool operator==(const FlowSite&, const FlowSite&) = default;
+};
+
+[[nodiscard]] constexpr const char* to_string(FlowSite::Kind k) {
+  switch (k) {
+    case FlowSite::Kind::kAcquire: return "acquire";
+    case FlowSite::Kind::kPrint: return "print";
+    case FlowSite::Kind::kReturn: return "return";
+  }
+  return "?";
+}
+
+struct FlowManifest {
+  std::vector<FlowSite> sites;  // sorted by (line, kind, sensors)
+
+  friend bool operator==(const FlowManifest&, const FlowManifest&) = default;
+};
+
+// Canonicalize: sort sites by (line, kind), merge duplicates, sort and
+// dedupe each sensor list. Encode/analysis output is always canonical.
+void Canonicalize(FlowManifest& m);
+
+// Wire/database encoding: ';'-joined sites, each "kind@line=a,b" with "-"
+// for an empty sensor set, e.g. "acquire@3=microphone;print@7=-".
+// Empty string == no sites.
+[[nodiscard]] std::string EncodeFlowManifest(const FlowManifest& m);
+[[nodiscard]] Result<FlowManifest> DecodeFlowManifest(std::string_view text);
+
+}  // namespace sor::script::analysis

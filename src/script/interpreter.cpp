@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "script/ir/exec.hpp"
+#include "script/ir/lower.hpp"
 #include "script/parser.hpp"
 
 namespace sor::script {
@@ -457,6 +459,10 @@ Result<ExecutionResult> Interpreter::Run(std::string_view source) {
 }
 
 Result<ExecutionResult> Interpreter::Execute(const Program& program) {
+  if (opts_.use_ir) {
+    const ir::Module mod = ir::Lower(program);
+    return ir::Execute(mod, host_, opts_);
+  }
   Impl impl(host_, opts_);
   return impl.Execute(program);
 }

@@ -45,6 +45,12 @@ struct InterpreterOptions {
   std::uint64_t max_steps = 2'000'000;
   // Maximum call depth (scripts can define and call functions).
   int max_call_depth = 64;
+  // Execute through the basic-block IR (script/ir/) instead of the AST
+  // walker. Observable behaviour is bit-identical (differential-tested in
+  // test_ir); only ExecutionResult::steps counts IR instructions instead
+  // of AST evaluations. The analysis layer can additionally run
+  // OptimizeModule over a lowered module before ir::Execute.
+  bool use_ir = false;
 };
 
 struct ExecutionResult {

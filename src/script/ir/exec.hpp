@@ -1,0 +1,17 @@
+// IR executor: runs a lowered (optionally optimized) module with the same
+// observable behaviour as the AST interpreter — return value, print output,
+// and error text are bit-identical; only ExecutionResult::steps differs
+// (IR instructions retired instead of AST evaluations).
+#pragma once
+
+#include "common/result.hpp"
+#include "script/interpreter.hpp"
+#include "script/ir/ir.hpp"
+
+namespace sor::script::ir {
+
+[[nodiscard]] Result<ExecutionResult> Execute(const Module& m,
+                                              const HostRegistry& host,
+                                              const InterpreterOptions& opts);
+
+}  // namespace sor::script::ir

@@ -1,0 +1,14 @@
+// AST → IR lowering.
+#pragma once
+
+#include "script/ast.hpp"
+#include "script/ir/ir.hpp"
+
+namespace sor::script::ir {
+
+// Lower a parsed program to a CFG module. Never fails on a parseable
+// program: scripts with scope/type errors lower to IR whose execution
+// raises the same runtime errors the AST interpreter would.
+[[nodiscard]] Module Lower(const Program& program);
+
+}  // namespace sor::script::ir

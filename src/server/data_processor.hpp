@@ -19,10 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
@@ -170,8 +170,8 @@ class DataProcessor {
   // Guards progress_ and the acc_ *map* (each mapped state is only touched
   // by the one ProcessApp call owning that app).
   std::mutex state_mu_;
-  std::unordered_map<std::uint64_t, AppProgress> progress_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<AppAccumulatorState>> acc_;
+  std::map<std::uint64_t, AppProgress> progress_;
+  std::map<std::uint64_t, std::unique_ptr<AppAccumulatorState>> acc_;
 
   // Shared-telemetry handles (null until AttachObservability).
   obs::Tracer* tracer_ = nullptr;

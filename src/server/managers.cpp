@@ -99,7 +99,8 @@ Result<AppId> ApplicationManager::CreateApplication(
        Value(spec.sigma_s),
        Value(script::analysis::EncodeSensorList(
            analysis.manifest.required_sensors)),
-       Value(spec.energy_budget_mj)});
+       Value(spec.energy_budget_mj),
+       Value(script::analysis::EncodeFlowManifest(analysis.flow))});
   if (!r.ok()) return r.error();
   return id;
 }
@@ -131,6 +132,7 @@ Result<ApplicationRecord> ApplicationManager::Get(AppId id) const {
   if (!sensors.ok()) return sensors.error();
   rec.required_sensors = std::move(sensors).value();
   rec.spec.energy_budget_mj = r[15].as_double();
+  rec.flow_manifest = r[16].as_text();
   return rec;
 }
 

@@ -70,6 +70,10 @@ struct ApplicationRecord {
   // from. Shipped inside every ScheduleDistribution so phones can refuse
   // tasks their hardware cannot serve.
   std::vector<SensorKind> required_sensors;
+  // Encoded information-flow manifest from the same analysis: which sensor
+  // kinds flow into each upload site of the script. Shipped verbatim in
+  // ScheduleDistribution.
+  std::string flow_manifest;
 };
 
 class ApplicationManager {

@@ -166,6 +166,7 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
     msg.sample_window = sample_window;
     msg.samples_per_window = samples_per_window;
     msg.required_sensors = app.required_sensors;
+    msg.flow_manifest = app.flow_manifest;
     for (int idx : plan.result.schedule.per_user[k])
       msg.instants.push_back(plan.grid[static_cast<std::size_t>(idx)]);
 

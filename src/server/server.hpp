@@ -8,11 +8,10 @@
 // endpoint names (the paper allows "one or multiple sensing servers").
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/sim_time.hpp"
 #include "db/database.hpp"
@@ -217,8 +216,7 @@ class SensingServer final : public net::Endpoint {
 
   // Upload dedup index: task id → seqs already stored. Rebuilt from
   // raw_data on restore, so it survives crashes with the database.
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
-      seen_upload_seqs_;
+  std::map<std::uint64_t, std::set<std::uint64_t>> seen_upload_seqs_;
   // Tasks whose phones have not been re-contacted since the last restore.
   std::set<TaskId> needs_resync_;
 };

@@ -182,7 +182,8 @@ std::vector<Message> AllSampleMessages() {
       ScheduleDistribution{TaskId{3}, AppId{7}, "local x = 1",
                            {SimTime{10'000}, SimTime{20'000}, SimTime{35'000}},
                            SimDuration{5'000}, 5,
-                           {SensorKind::kGps, SensorKind::kBarometer}},
+                           {SensorKind::kGps, SensorKind::kBarometer},
+                           "acquire@2=gps;print@4=barometer,gps"},
       SampleUpload(),
       LeaveNotification{TaskId{3}, UserId{42}, SimTime{99'000}},
       Ping{PhoneId{5}},

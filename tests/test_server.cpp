@@ -160,6 +160,8 @@ TEST(Applications, ManifestStoredAndReadBack) {
   ASSERT_TRUE(rec.ok());
   const std::vector<SensorKind> want = {SensorKind::kMicrophone};
   EXPECT_EQ(rec.value().required_sensors, want);
+  // The information-flow manifest persists next to the capability manifest.
+  EXPECT_EQ(rec.value().flow_manifest, "acquire@1=microphone");
   EXPECT_DOUBLE_EQ(rec.value().spec.energy_budget_mj, 5000.0);
 }
 
@@ -343,9 +345,11 @@ TEST(ServerEndToEnd, ParticipationTriggersScheduleDistribution) {
   EXPECT_LE(sched.instants.size(), 4u);  // within budget
   EXPECT_GT(sched.instants.size(), 0u);
   EXPECT_FALSE(sched.script.empty());
-  // The statically derived sensor manifest rides with the schedule.
+  // The statically derived sensor manifest rides with the schedule, and so
+  // does the information-flow manifest (SOR5).
   const std::vector<SensorKind> want_sensors = {SensorKind::kMicrophone};
   EXPECT_EQ(sched.required_sensors, want_sensors);
+  EXPECT_EQ(sched.flow_manifest, "acquire@1=microphone");
   // Participation is now "running"; schedule persisted in the database.
   EXPECT_EQ(f.server.participations().Get(accepted.task).value().status,
             "running");

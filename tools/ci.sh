@@ -42,6 +42,13 @@ for preset in "${PRESETS[@]}"; do
   ctest --preset "${preset}" -j "$(nproc)"
 done
 
+echo "=== stage: determinism lint ==="
+# Static gate against nondeterminism sources (wall clocks, rand(), hash-
+# ordered containers, thread ids) in the deterministic core; see
+# tools/determinism_lint.sh for the pattern list and the per-line
+# `det-lint: allow` escape.
+tools/determinism_lint.sh
+
 echo "=== stage: sensescript lint ==="
 SOR_BIN=build/tools/sor
 if [[ -x "${SOR_BIN}" ]]; then

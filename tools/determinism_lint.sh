@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Determinism lint: grep-level gate against nondeterminism sources in the
+# deterministic core (docs/observability.md: same seed + same config must
+# produce byte-identical traces at any thread count).
+#
+# Banned in src/core, src/net, src/obs, src/server:
+#   * wall-clock reads      std::chrono::{system,steady,high_resolution}_clock,
+#                           ::time(, gettimeofday, clock_gettime
+#   * C PRNG                rand(), srand(, random()
+#   * hash-ordered iteration std::unordered_map / std::unordered_set
+#                           (iteration order varies across libc++/libstdc++
+#                           and across runs with pointer-keyed hashes)
+#   * thread identity       std::thread::id, std::this_thread::get_id
+#
+# A line that must legitimately do one of these (e.g. wall-clock telemetry
+# that never feeds simulation state) carries `// det-lint: allow` with a
+# justification comment; the escape is per-line and shows up in review.
+#
+# Exit 0 = clean, 1 = violations found (printed grep-style).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIRS=(src/core src/net src/obs src/server)
+PATTERNS=(
+  'std::chrono::system_clock'
+  'std::chrono::steady_clock'
+  'std::chrono::high_resolution_clock'
+  '\bgettimeofday\b'
+  '\bclock_gettime\b'
+  '[^_[:alnum:]]time\(NULL\)|[^_[:alnum:]]time\(nullptr\)'
+  '\bsrand\(|[^_[:alnum:]]rand\(\)|\brandom\(\)'
+  'std::unordered_map|std::unordered_set'
+  'std::thread::id|std::this_thread::get_id'
+)
+
+status=0
+for pattern in "${PATTERNS[@]}"; do
+  # -I: skip binaries; -n: line numbers. Filter allow-tagged lines.
+  hits="$(grep -rInE "${pattern}" "${DIRS[@]}" \
+            --include='*.cpp' --include='*.hpp' \
+          | grep -v 'det-lint: allow' || true)"
+  if [[ -n "${hits}" ]]; then
+    echo "determinism-lint: banned pattern '${pattern}':" >&2
+    echo "${hits}" >&2
+    status=1
+  fi
+done
+
+if [[ "${status}" -eq 0 ]]; then
+  echo "determinism-lint: clean (${DIRS[*]})"
+fi
+exit "${status}"

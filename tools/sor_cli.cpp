@@ -34,6 +34,9 @@
 #include "obs/spans.hpp"
 #include "obs/trace_io.hpp"
 #include "script/analysis/analyzer.hpp"
+#include "script/analysis/passes.hpp"
+#include "script/ir/lower.hpp"
+#include "script/parser.hpp"
 #include "server/json_export.hpp"
 #include "sched/baseline.hpp"
 #include "sched/greedy.hpp"
@@ -54,7 +57,7 @@ int Usage() {
       "  sor rank      --scenario trails|coffee --user NAME [--method M]"
       " [--explain]\n"
       "  sor lint      FILE.sor [--energy-budget MJ] [--samples N]"
-      " [--strict]\n"
+      " [--strict] [--ir-dump] [--flow-manifest]\n"
       "  sor lint      --builtin trails|coffee [same options]\n"
       "  sor metrics   [--scenario trails|coffee] [--chaos] [--overload [B]]"
       " [--threads N] [--json]\n"
@@ -400,6 +403,21 @@ int CmdLint(const std::string& source_name, const std::string& source,
   options.max_steps = args.GetDouble("max-steps", 2'000'000.0);
   const analysis::AnalysisReport report =
       analysis::AnalyzeSource(source, options);
+
+  if (args.Has("ir-dump")) {
+    // Dump the optimized dataflow IR the flow-sensitive passes analyzed.
+    Result<script::Program> program = script::Parse(source);
+    if (program.ok()) {
+      script::ir::Module mod = script::ir::Lower(program.value());
+      analysis::OptimizeModule(mod);
+      std::printf("%s", script::ir::Dump(mod).c_str());
+    }
+  }
+  if (args.Has("flow-manifest")) {
+    const std::string encoded = analysis::EncodeFlowManifest(report.flow);
+    std::printf("%s: flow manifest: %s\n", source_name.c_str(),
+                encoded.empty() ? "(empty)" : encoded.c_str());
+  }
 
   for (const analysis::Diagnostic& d : report.diagnostics)
     std::printf("%s: %s\n", source_name.c_str(),

@@ -1,0 +1,82 @@
+#include "core/fleet.hpp"
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "core/system.hpp"
+#include "server/feature_def.hpp"
+
+namespace sor::core {
+
+FleetPlan PlanFleet(const world::Scenario& scenario,
+                    const FleetPlanParams& params) {
+  FleetPlan plan;
+  const SimInterval period{SimTime{0},
+                           SimTime::FromSeconds(scenario.period_s)};
+  const std::vector<server::FeatureDef> feature_defs =
+      scenario.category == world::PlaceCategory::kHikingTrail
+          ? server::HikingTrailFeatures()
+          : server::CoffeeShopFeatures();
+
+  for (std::size_t p = 0; p < scenario.places.size(); ++p) {
+    const world::PlaceModel& place = scenario.places[p];
+    server::ApplicationSpec spec;
+    spec.creator = "operator:" + place.name;
+    spec.place = place.id;
+    spec.place_name = place.name;
+    spec.location = place.center;
+    spec.radius_m = place.radius_m;
+    spec.script = DefaultScript(scenario.category);
+    spec.features = feature_defs;
+    spec.period = period;
+    spec.n_instants = params.n_instants;
+    spec.sigma_s = params.sigma_s;
+    plan.app_specs.push_back(std::move(spec));
+
+    BarcodePayload barcode;
+    barcode.app = AppId{static_cast<std::uint64_t>(p + 1)};
+    barcode.place = place.id;
+    barcode.place_name = place.name;
+    barcode.location = place.center;
+    barcode.server = params.server_endpoint;
+    barcode.radius_m = place.radius_m;
+    plan.barcodes.push_back(std::move(barcode));
+  }
+
+  // Seed stream: one fork per phone, consumed in join order — the exact
+  // sequence System::RunFieldTest has always drawn, so refactoring spawn
+  // through this plan changed no campaign.
+  Rng rng(params.seed);
+  std::uint64_t seq = params.first_phone;
+  for (std::size_t p = 0; p < scenario.places.size(); ++p) {
+    for (int i = 0; i < scenario.phones_per_place; ++i, ++seq) {
+      PhonePlan phone;
+      phone.seq = seq;
+      phone.place_index = p;
+      phone.user_name = "user_" + std::to_string(seq);
+      phone.token = Token{"tok-" + std::to_string(seq)};
+      phone.agent_seed = rng.fork().engine()();
+      plan.phones.push_back(std::move(phone));
+    }
+  }
+  return plan;
+}
+
+std::string RenderRankingsText(
+    const rank::FeatureMatrix& matrix,
+    const std::vector<std::pair<std::string, rank::RankingOutcome>>&
+        rankings) {
+  std::string out;
+  for (const auto& [profile, outcome] : rankings) {
+    out += profile;
+    out += ":";
+    const std::vector<std::string> names = outcome.OrderedNames(matrix);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      out += i == 0 ? " " : " > ";
+      out += names[i];
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sor::core

@@ -1,0 +1,78 @@
+// Fleet planning: the deterministic derivation every SOR host shares.
+//
+// An in-process campaign (core::System), the out-of-process daemon
+// (`sor serve`) and the load generator (`sor loadgen`) must all agree —
+// down to the byte — on what a campaign for a given (scenario, seed)
+// looks like: which application specs get deployed (and therefore which
+// app ids and barcodes exist), which users join in which order under
+// which names and tokens, and which per-phone seed drives each simulated
+// agent. The equivalence guarantee of docs/deployment.md ("a loadgen
+// campaign against a live daemon ranks identically to the in-process run
+// of the same seed") rests on this file being the only source of those
+// derivations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/barcode.hpp"
+#include "common/ids.hpp"
+#include "rank/personalizable_ranker.hpp"
+#include "server/managers.hpp"
+#include "world/scenarios.hpp"
+
+namespace sor::core {
+
+struct FleetPlanParams {
+  std::uint64_t seed = 42;   // FieldTestConfig::seed
+  int n_instants = 1080;     // schedule grid density per app
+  double sigma_s = 60.0;     // coverage kernel σ
+  // First phone number to allocate. core::System numbers phones across
+  // campaigns (next_phone_); fresh hosts (daemon, loadgen) start at 1.
+  std::uint64_t first_phone = 1;
+  std::string server_endpoint = "server";
+};
+
+// One phone of the fleet, in global join order (place-major: every phone
+// of places[0], then places[1], ...). Join ORDER is part of the campaign's
+// identity — the scheduler plans online, so permuting joins changes every
+// subsequent schedule.
+struct PhonePlan {
+  std::uint64_t seq = 0;        // phone number ("user_<seq>" / "tok-<seq>")
+  std::size_t place_index = 0;  // index into Scenario::places
+  std::string user_name;
+  Token token;
+  std::uint64_t agent_seed = 0;  // world::PhoneAgentConfig::seed
+};
+
+struct FleetPlan {
+  // One application per place, in place order (app ids follow deployment
+  // order on the server).
+  std::vector<server::ApplicationSpec> app_specs;
+  // The barcodes those deployments produce on a FRESH server, where app
+  // ids run first..P (IdGenerator starts at 1). core::System reuses one
+  // server across campaigns and must take the barcodes DeployApplication
+  // actually returns; fresh hosts (daemon startup, loadgen) can predict
+  // them from here.
+  std::vector<BarcodePayload> barcodes;
+  std::vector<PhonePlan> phones;  // global join order
+};
+
+[[nodiscard]] FleetPlan PlanFleet(const world::Scenario& scenario,
+                                  const FleetPlanParams& params);
+
+// Canonical rankings rendering, one line per profile:
+//
+//   Alice: Cliff Trail > Long Trail > Green Lake Trail
+//
+// This text is the campaign-equivalence artifact: `sor fieldtest
+// --rankings-out`, the daemon's finalize step and the daemon tests all
+// write it, and CI compares the files byte-for-byte.
+[[nodiscard]] std::string RenderRankingsText(
+    const rank::FeatureMatrix& matrix,
+    const std::vector<std::pair<std::string, rank::RankingOutcome>>&
+        rankings);
+
+}  // namespace sor::core

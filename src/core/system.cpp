@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/log.hpp"
+#include "core/fleet.hpp"
 #include "sensors/energy.hpp"
 #include "server/feature_def.hpp"
 
@@ -230,28 +231,26 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
 
   const SimInterval period{SimTime{0},
                            SimTime::FromSeconds(scenario.period_s)};
-  const std::vector<server::FeatureDef> feature_defs =
-      scenario.category == world::PlaceCategory::kHikingTrail
-          ? server::HikingTrailFeatures()
-          : server::CoffeeShopFeatures();
 
   FieldTestResult result;
-  Rng rng(config.seed);
 
-  // 1. Deploy one application per target place; print the barcode.
+  // The shared fleet derivation (core/fleet.hpp): app specs, join order,
+  // names/tokens and per-phone seeds — identical for this System, the
+  // `sor serve` daemon and `sor loadgen`, which is what makes their
+  // campaigns comparable byte-for-byte.
+  FleetPlanParams plan_params;
+  plan_params.seed = config.seed;
+  plan_params.n_instants = config.n_instants;
+  plan_params.sigma_s = config.sigma_s;
+  plan_params.first_phone = next_phone_;
+  plan_params.server_endpoint = server_->endpoint_name();
+  const FleetPlan plan = PlanFleet(scenario, plan_params);
+
+  // 1. Deploy one application per target place; print the barcode. The
+  // ACTUAL barcodes are used (not plan.barcodes): a reused System numbers
+  // apps across campaigns.
   std::vector<BarcodePayload> barcodes;
-  for (const world::PlaceModel& place : scenario.places) {
-    server::ApplicationSpec spec;
-    spec.creator = "operator:" + place.name;
-    spec.place = place.id;
-    spec.place_name = place.name;
-    spec.location = place.center;
-    spec.radius_m = place.radius_m;
-    spec.script = DefaultScript(scenario.category);
-    spec.features = feature_defs;
-    spec.period = period;
-    spec.n_instants = config.n_instants;
-    spec.sigma_s = config.sigma_s;
+  for (const server::ApplicationSpec& spec : plan.app_specs) {
     Result<BarcodePayload> barcode = server_->DeployApplication(spec);
     if (!barcode.ok()) return barcode.error();
     result.app_ids.push_back(barcode.value().app);
@@ -264,43 +263,39 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
   // batches that storm into one plan per app after the last scan.
   if (config.defer_setup_reschedules)
     server_->scheduler().set_deferred(true);
-  for (std::size_t p = 0; p < scenario.places.size(); ++p) {
-    const world::PlaceModel& place = scenario.places[p];
-    for (int i = 0; i < scenario.phones_per_place; ++i, ++next_phone_) {
-      const std::uint64_t phone_seq = next_phone_;
-      const std::string user_name = "user_" + std::to_string(phone_seq);
-      const Token token{"tok-" + std::to_string(phone_seq)};
-      Result<UserId> user = server_->users().RegisterUser(user_name, token);
-      if (!user.ok()) return user.error();
+  for (const PhonePlan& ph : plan.phones) {
+    const world::PlaceModel& place = scenario.places[ph.place_index];
+    Result<UserId> user =
+        server_->users().RegisterUser(ph.user_name, ph.token);
+    if (!user.ok()) return user.error();
 
-      world::PhoneAgentConfig agent_cfg;
-      agent_cfg.id = PhoneId{phone_seq};
-      agent_cfg.mobility =
-          scenario.category == world::PlaceCategory::kHikingTrail
-              ? world::Mobility::kTrailWalk
-              : world::Mobility::kStatic;
-      agent_cfg.enter_time = SimTime{0};
-      agent_cfg.seed = rng.fork().engine()();
-      agents_.push_back(
-          std::make_unique<world::PhoneAgent>(place, agent_cfg));
+    world::PhoneAgentConfig agent_cfg;
+    agent_cfg.id = PhoneId{ph.seq};
+    agent_cfg.mobility =
+        scenario.category == world::PlaceCategory::kHikingTrail
+            ? world::Mobility::kTrailWalk
+            : world::Mobility::kStatic;
+    agent_cfg.enter_time = SimTime{0};
+    agent_cfg.seed = ph.agent_seed;
+    agents_.push_back(std::make_unique<world::PhoneAgent>(place, agent_cfg));
 
-      phone::FrontendConfig phone_cfg;
-      phone_cfg.phone_id = agent_cfg.id;
-      phone_cfg.user_id = user.value();
-      phone_cfg.user_name = user_name;
-      phone_cfg.token = token;
-      phone_cfg.retry_budget = config.phone_retry_budget;
-      frontends_.push_back(std::make_unique<phone::MobileFrontend>(
-          phone_cfg, network_, *agents_.back(), clock_));
-      frontends_.back()->AttachObservability(
-          &registry_, config.trace ? &tracer_ : nullptr);
+    phone::FrontendConfig phone_cfg;
+    phone_cfg.phone_id = agent_cfg.id;
+    phone_cfg.user_id = user.value();
+    phone_cfg.user_name = ph.user_name;
+    phone_cfg.token = ph.token;
+    phone_cfg.retry_budget = config.phone_retry_budget;
+    frontends_.push_back(std::make_unique<phone::MobileFrontend>(
+        phone_cfg, network_, *agents_.back(), clock_));
+    frontends_.back()->AttachObservability(
+        &registry_, config.trace ? &tracer_ : nullptr);
 
-      const BitMatrix matrix = RenderBarcodeMatrix(barcodes[p]);
-      Result<TaskId> task = frontends_.back()->ScanBarcodeMatrix(
-          matrix, config.budget_per_user);
-      if (!task.ok()) return task.error();
-    }
+    const BitMatrix matrix = RenderBarcodeMatrix(barcodes[ph.place_index]);
+    Result<TaskId> task = frontends_.back()->ScanBarcodeMatrix(
+        matrix, config.budget_per_user);
+    if (!task.ok()) return task.error();
   }
+  next_phone_ += plan.phones.size();
   if (config.defer_setup_reschedules) {
     server_->scheduler().set_deferred(false);
     if (Status s = server_->FlushReschedules(); !s.ok()) {

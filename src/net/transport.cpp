@@ -17,7 +17,47 @@ const std::string& StreamNameFor(const std::string& endpoint) {
 
 LoopbackNetwork::LoopbackNetwork()
     : own_registry_(std::make_unique<obs::MetricsRegistry>()),
-      registry_(own_registry_.get()) {}
+      registry_(own_registry_.get()) {
+  BindStreamCells();
+}
+
+void LoopbackNetwork::BindStreamCells() {
+  stream_.bytes_in = &registry_->counter("transport.bytes_in");
+  stream_.bytes_out = &registry_->counter("transport.bytes_out");
+  stream_.frames_in = &registry_->counter("transport.frames_in");
+  stream_.frames_out = &registry_->counter("transport.frames_out");
+  stream_.frame_errors = &registry_->counter("transport.frame_errors");
+  // Daemon-only counters, registered here too (at zero) so every metrics
+  // export carries the full transport family under one naming scheme.
+  (void)registry_->counter("transport.connections");
+  (void)registry_->counter("transport.accept_timeouts");
+  (void)registry_->counter("transport.read_timeouts");
+  (void)registry_->counter("transport.write_timeouts");
+}
+
+bool LoopbackNetwork::RoundTripFrame(Bytes& frame) {
+  // Serialize onto the "wire" exactly as a socket write would (length
+  // prefix + payload + CRC trailer), then read it back through the shared
+  // incremental reader. Lossless for any payload, so simulation behaviour
+  // is untouched; what it buys is that the loopback and socket paths
+  // exercise the SAME framing code, and that byte counters mean
+  // bytes-on-the-wire in both.
+  wire_buf_.clear();
+  codec::AppendFrame(wire_buf_, frame);
+  stream_.bytes_out->Inc(wire_buf_.size());
+  stream_.frames_out->Inc();
+  frame_reader_.Reset();
+  frame_reader_.Feed(wire_buf_);
+  Bytes payload;
+  if (frame_reader_.Pop(&payload) != codec::FrameStreamReader::Next::kFrame) {
+    stream_.frame_errors->Inc();
+    return false;
+  }
+  stream_.bytes_in->Inc(wire_buf_.size());
+  stream_.frames_in->Inc();
+  frame = std::move(payload);
+  return true;
+}
 
 void LoopbackNetwork::Register(const std::string& name, Endpoint* endpoint) {
   endpoints_[name] = endpoint;
@@ -32,6 +72,7 @@ void LoopbackNetwork::set_metrics(obs::MetricsRegistry* registry) {
   links_.clear();  // cached handles point into the old registry
   outbox_depth_ = nullptr;
   epoch_merges_ = nullptr;
+  BindStreamCells();
 }
 
 void LoopbackNetwork::set_tracer(obs::Tracer* tracer) {
@@ -199,6 +240,15 @@ Result<Message> LoopbackNetwork::Deliver(const std::string& from,
   LinkCells& link = Cells(from, to);
   link.bytes_sent->Inc(frame.size());
 
+  // Request leg crosses the shared stream framing BEFORE fault injection:
+  // the clean frame is framed and re-validated (the socket path's exact
+  // codec); corruption below then mangles the SOR5 envelope, as a flipped
+  // byte inside a validated record would.
+  if (!RoundTripFrame(frame)) {
+    return Error{Errc::kInternal,
+                 "loopback stream framing failed: " + frame_reader_.error()};
+  }
+
   const SimTime now = clock_ != nullptr ? clock_->now() : SimTime{};
   const bool tracing = tracer_ != nullptr && tracer_->enabled();
   auto trace = [&](obs::EventKind kind, std::uint64_t b = 0,
@@ -254,6 +304,12 @@ Result<Message> LoopbackNetwork::Deliver(const std::string& from,
     link.duplicated->Inc();
     trace(obs::EventKind::kMsgDuplicated);
     response = it->second->HandleFrame(frame);
+  }
+
+  // Response leg: same framing round trip on the handler's clean reply.
+  if (!RoundTripFrame(response)) {
+    return Error{Errc::kInternal,
+                 "loopback stream framing failed: " + frame_reader_.error()};
   }
 
   // --- response leg --------------------------------------------------------

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "codec/frame_stream.hpp"
 #include "codec/messages.hpp"
 #include "common/result.hpp"
 #include "common/sim_time.hpp"
@@ -186,6 +187,25 @@ class LoopbackNetwork {
   LinkCells& Cells(const std::string& from, const std::string& to);
   static TransportStats ReadCells(const LinkCells& c);
 
+  // The transport.* counter family shared (by name) with the socket
+  // transports in src/transport: every loopback delivery is framed through
+  // codec::FrameStream exactly like a socket write, so byte/frame counts
+  // mean the same thing in-process and out-of-process. The family is
+  // registered whole (including the daemon-only connection/timeout
+  // counters, which stay zero here) so `sor metrics` always exports the
+  // complete transport surface.
+  struct StreamCells {
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* frame_errors = nullptr;
+  };
+  void BindStreamCells();
+  // Frame → stream record → validated frame. Lossless by construction; a
+  // failure means a framing bug, counted and surfaced as kInternal.
+  [[nodiscard]] bool RoundTripFrame(Bytes& frame);
+
   // The post-encode half of Send(): fault decisions, handler invocation,
   // response leg, accounting. Must run from a deterministic single-writer
   // context (the merge pass or serial code).
@@ -214,6 +234,9 @@ class LoopbackNetwork {
   Epoch epoch_;
   obs::Gauge* outbox_depth_ = nullptr;    // messages merged, last epoch
   obs::Counter* epoch_merges_ = nullptr;  // MergeEpoch calls
+  StreamCells stream_;
+  codec::FrameStreamReader frame_reader_;  // reused across deliveries
+  Bytes wire_buf_;                         // framed-record scratch
 };
 
 }  // namespace sor::net

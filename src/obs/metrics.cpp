@@ -94,6 +94,31 @@ std::vector<double> ExponentialBuckets(double start, double factor, int n) {
   return bounds;
 }
 
+double HistogramQuantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(snapshot.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
+    const std::uint64_t in_bucket = snapshot.counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (i >= snapshot.upper_bounds.size()) {
+        // Overflow bucket: no finite upper edge to interpolate towards.
+        return snapshot.upper_bounds.empty() ? 0.0
+                                             : snapshot.upper_bounds.back();
+      }
+      const double hi = snapshot.upper_bounds[i];
+      const double lo = i == 0 ? 0.0 : snapshot.upper_bounds[i - 1];
+      const double into = target - static_cast<double>(cumulative);
+      return lo + (hi - lo) * (into / static_cast<double>(in_bucket));
+    }
+    cumulative += in_bucket;
+  }
+  return snapshot.upper_bounds.empty() ? 0.0 : snapshot.upper_bounds.back();
+}
+
 std::string LabeledName(
     std::string_view base,
     std::initializer_list<std::pair<std::string_view, std::string_view>>

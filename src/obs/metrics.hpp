@@ -132,6 +132,13 @@ class Histogram {
 [[nodiscard]] std::vector<double> ExponentialBuckets(double start,
                                                      double factor, int n);
 
+// Approximate quantile (q in [0, 1]) of a histogram snapshot: locate the
+// bucket holding the q-th observation and interpolate linearly inside it.
+// Observations in the +inf overflow bucket report the last finite bound.
+// Returns 0 for an empty snapshot.
+[[nodiscard]] double HistogramQuantile(const Histogram::Snapshot& snapshot,
+                                       double q);
+
 // "name|k1=v1|k2=v2" — the labeled-metric convention used for per-link
 // transport counters. Keys must be given in a fixed order by the caller so
 // the same link always maps to the same metric name.

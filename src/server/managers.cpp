@@ -303,6 +303,17 @@ std::vector<ParticipationRecord> ParticipationManager::AllForApp(
   return out;
 }
 
+std::size_t ParticipationManager::TotalCount() const {
+  return db_.table(db::tables::kParticipations)->size();
+}
+
+std::size_t ParticipationManager::ActiveCount() const {
+  const Table* parts = db_.table(db::tables::kParticipations);
+  // Both open statuses are indexed; counting two index hits beats a scan.
+  return parts->FindWhereEq("status", Value("waiting_for_schedule")).size() +
+         parts->FindWhereEq("status", Value("running")).size();
+}
+
 void ParticipationManager::ResyncIds() {
   if (auto max = db_.table(db::tables::kParticipations)->MaxPrimaryKey())
     ids_.advance_past(static_cast<std::uint64_t>(max->as_int()));

@@ -151,6 +151,12 @@ class ParticipationManager {
   [[nodiscard]] std::vector<ParticipationRecord> ActiveForApp(AppId app) const;
   [[nodiscard]] std::vector<ParticipationRecord> AllForApp(AppId app) const;
 
+  // Campaign-completion probes across ALL applications, used by hosts that
+  // must decide when a campaign is over from traffic alone (the `sor serve`
+  // daemon finalizes when every opened participation has closed).
+  [[nodiscard]] std::size_t TotalCount() const;
+  [[nodiscard]] std::size_t ActiveCount() const;
+
   // See UserInfoManager::ResyncIds.
   void ResyncIds();
 

@@ -3,6 +3,7 @@
 #include <optional>
 #include <set>
 
+#include "codec/bytes.hpp"
 #include "common/log.hpp"
 #include "common/sharded_executor.hpp"
 #include "db/snapshot.hpp"
@@ -405,21 +406,63 @@ void SensingServer::MaybeResyncAfterRestart(TaskId task) {
     needs_resync_.erase(task);
     return;
   }
-  Status sched = scheduler_.RescheduleApp(app.value(), parts_,
-                                          config_.sample_window,
-                                          config_.samples_per_window);
-  if (!sched.ok()) {
-    // Some phone did not get its schedule (e.g. the link dropped it); keep
-    // the app's tasks marked so the next contact retries the push.
-    SOR_LOG(kWarn, "server",
-            "post-restart resync incomplete: " << sched.str());
+
+  // Re-push the task's latest STORED schedule verbatim rather than
+  // re-planning: the phone already holds this exact schedule (the store
+  // happens before distribution), so a restart never perturbs sensing —
+  // the restored campaign stays byte-identical to an uninterrupted one
+  // (docs/deployment.md). Re-planning here would commit a schedule the
+  // original timeline never produced.
+  const db::Table* schedules = db_.table(db::tables::kSchedules);
+  std::optional<db::Row> latest;
+  schedules->ForEachWhereEq(
+      "task_id", db::Value(task.value()), [&latest](const db::Row& row) {
+        // Rows visit in insertion order; the last one is the newest plan.
+        latest = row;
+        return true;
+      });
+  if (!latest.has_value()) {
+    // Planned-but-never-scheduled task (or pre-schedule crash): nothing
+    // stored to re-push; the next reschedule covers it.
+    needs_resync_.erase(task);
     return;
   }
+
+  ScheduleDistribution msg;
+  msg.task = task;
+  msg.app = app.value().id;
+  msg.script = app.value().spec.script;
+  msg.sample_window = config_.sample_window;
+  msg.samples_per_window = config_.samples_per_window;
+  msg.required_sensors = app.value().required_sensors;
+  msg.flow_manifest = app.value().flow_manifest;
+  ByteReader instants(latest->at(3).as_blob());
+  const std::uint64_t count = instants.varint();
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < count && instants.ok(); ++i) {
+    prev += instants.svarint();
+    msg.instants.push_back(SimTime{prev});
+  }
+  if (!instants.finish().ok()) {
+    SOR_LOG(kWarn, "server",
+            "post-restart resync: stored schedule for task "
+                << task.str() << " is corrupt; dropping resync");
+    needs_resync_.erase(task);
+    return;
+  }
+
+  Result<Message> reply = network_.Send(
+      config_.endpoint_name, "phone:" + rec.value().token.value, msg);
+  if (!reply.ok()) {
+    // The phone did not get its schedule (e.g. the link dropped it); keep
+    // the task marked so the next contact retries the push.
+    SOR_LOG(kWarn, "server",
+            "post-restart resync incomplete: " << reply.error().str());
+    return;
+  }
+  (void)parts_.MarkRunning(task);
   ++stats_.resyncs_triggered;
   if (obs_.resyncs_triggered != nullptr) obs_.resyncs_triggered->Inc();
-  // One reschedule redistributed to every active participant of the app.
-  for (const ParticipationRecord& r : parts_.ActiveForApp(rec.value().app))
-    needs_resync_.erase(r.task);
   needs_resync_.erase(task);
 }
 

@@ -1,0 +1,141 @@
+#include "transport/channel.hpp"
+
+namespace sor::transport {
+
+Bytes EncodeRecord(const Record& record) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(record.kind));
+  w.varint(record.corr);
+  w.str(record.dest);
+  w.blob(record.frame);
+  return w.take();
+}
+
+Result<Record> DecodeRecord(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  Record rec;
+  const std::uint8_t kind = r.u8();
+  if (kind < 1 || kind > 3) r.invalidate();
+  rec.kind = static_cast<RecordKind>(kind);
+  rec.corr = r.varint();
+  rec.dest = r.str();
+  rec.frame = r.blob();
+  if (Status s = r.finish(); !s.ok()) {
+    return Result<Record>(Errc::kDecodeError,
+                          "transport record: " + s.error().message);
+  }
+  return rec;
+}
+
+Status WriteRecord(Connection& conn, const Record& record, int timeout_ms,
+                   const Metrics& metrics) {
+  Bytes wire;
+  const Bytes body = EncodeRecord(record);
+  codec::AppendFrame(wire, body);
+  Status s = conn.WriteAll(wire, timeout_ms);
+  if (s.ok() && metrics.frames_out != nullptr) metrics.frames_out->Inc();
+  return s;
+}
+
+Result<Record> RecordReader::Read(Connection& conn, int timeout_ms) {
+  Bytes chunk(4096);
+  for (;;) {
+    Bytes body;
+    switch (stream_.Pop(&body)) {
+      case codec::FrameStreamReader::Next::kFrame: {
+        if (metrics_.frames_in != nullptr) metrics_.frames_in->Inc();
+        auto rec = DecodeRecord(body);
+        if (!rec.ok() && metrics_.frame_errors != nullptr) {
+          metrics_.frame_errors->Inc();
+        }
+        return rec;
+      }
+      case codec::FrameStreamReader::Next::kBad:
+        if (metrics_.frame_errors != nullptr) metrics_.frame_errors->Inc();
+        return Result<Record>(Errc::kDecodeError,
+                              "stream framing lost: " + stream_.error());
+      case codec::FrameStreamReader::Next::kNeedMore:
+        break;
+    }
+    auto n = conn.ReadSome(chunk, timeout_ms);
+    if (!n.ok()) return Result<Record>(n.error());
+    if (n.value() == 0) {
+      return Result<Record>(Errc::kUnavailable, "connection closed by peer");
+    }
+    stream_.Feed(std::span<const std::uint8_t>(chunk.data(), n.value()));
+  }
+}
+
+Status ClientChannel::EnsureConnected() {
+  if (conn_ != nullptr) return Status::Ok();
+  auto dialed = transport_.Dial(address_, io_timeout_ms_);
+  if (!dialed.ok()) return Status(dialed.error());
+  conn_ = std::move(dialed).value();
+  reader_ = std::make_unique<RecordReader>(metrics_);
+  return Status::Ok();
+}
+
+void ClientChannel::Drop() {
+  if (conn_ != nullptr) conn_->Close();
+  conn_.reset();
+  reader_.reset();
+}
+
+Result<Bytes> ClientChannel::Call(const std::string& dest,
+                                  std::span<const std::uint8_t> frame) {
+  if (Status s = EnsureConnected(); !s.ok()) return Result<Bytes>(s.error());
+
+  Record call;
+  call.kind = RecordKind::kCall;
+  call.corr = next_corr_++;
+  call.dest = dest;
+  call.frame.assign(frame.begin(), frame.end());
+  if (Status s = WriteRecord(*conn_, call, io_timeout_ms_, metrics_);
+      !s.ok()) {
+    Drop();
+    return Result<Bytes>(s.error());
+  }
+
+  for (;;) {
+    auto rec = reader_->Read(*conn_, io_timeout_ms_);
+    if (!rec.ok()) {
+      Drop();
+      return Result<Bytes>(rec.error());
+    }
+    Record& r = rec.value();
+    switch (r.kind) {
+      case RecordKind::kReply:
+        if (r.corr != call.corr) {
+          // A reply for a call we no longer remember (e.g. a previous Call
+          // timed out and we re-dialed): framing is intact, drop it.
+          continue;
+        }
+        return std::move(r.frame);
+      case RecordKind::kPush: {
+        // Serve the server's nested request inline, then keep waiting for
+        // our own reply.
+        Record reply;
+        reply.kind = RecordKind::kReply;
+        reply.corr = r.corr;
+        reply.dest = r.dest;
+        reply.frame = push_handler_
+                          ? push_handler_(r.dest, r.frame)
+                          : Bytes{};
+        if (Status s = WriteRecord(*conn_, reply, io_timeout_ms_, metrics_);
+            !s.ok()) {
+          Drop();
+          return Result<Bytes>(s.error());
+        }
+        break;
+      }
+      case RecordKind::kCall:
+        Drop();
+        return Result<Bytes>(Errc::kDecodeError,
+                             "protocol violation: kCall from server");
+    }
+  }
+}
+
+void ClientChannel::Close() { Drop(); }
+
+}  // namespace sor::transport

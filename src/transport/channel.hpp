@@ -1,0 +1,115 @@
+// Record channel: the duplex RPC layer between loadgen phones and the
+// daemon, layered on codec::FrameStream over any transport::Connection.
+//
+// Each stream record (docs/deployment.md §Framing) carries:
+//
+//   kind  u8      kCall (client→server request, expects a reply)
+//                 kReply (terminates the matching kCall or kPush)
+//                 kPush  (server→client request, expects a reply)
+//   corr  varint  correlation id; replies echo the request's id. Calls and
+//                 pushes draw from independent id spaces (the two sides
+//                 never collide because kind disambiguates).
+//   dest  string  logical endpoint name ("server", "phone:tok-3"); lets
+//                 one connection multiplex several phone endpoints.
+//   frame blob    a complete SOR5 envelope (codec::EncodeFrame output)
+//
+// The protocol is symmetric but the *blocking discipline* is not: the
+// client owns the socket loop. ClientChannel::Call writes a kCall and then
+// reads records until its reply arrives, servicing any interleaved kPush
+// inline via the registered push handler (the server sends pushes only to
+// endpoints homed on this connection, and only while handling this
+// client's call or a tick — so a blocked Call is exactly where pushes
+// must be consumed to avoid deadlock). The daemon side (daemon.cpp) runs
+// a reader thread per connection instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "codec/bytes.hpp"
+#include "codec/frame_stream.hpp"
+#include "transport/transport.hpp"
+
+namespace sor::transport {
+
+enum class RecordKind : std::uint8_t {
+  kCall = 1,
+  kReply = 2,
+  kPush = 3,
+};
+
+struct Record {
+  RecordKind kind = RecordKind::kCall;
+  std::uint64_t corr = 0;
+  std::string dest;
+  Bytes frame;
+};
+
+// Record body codec (the FrameStream payload).
+[[nodiscard]] Bytes EncodeRecord(const Record& record);
+[[nodiscard]] Result<Record> DecodeRecord(std::span<const std::uint8_t> body);
+
+// Write one record as a framed stream chunk.
+[[nodiscard]] Status WriteRecord(Connection& conn, const Record& record,
+                                 int timeout_ms, const Metrics& metrics);
+
+// Incremental record reader bound to one connection.
+class RecordReader {
+ public:
+  explicit RecordReader(Metrics metrics = {}) : metrics_(metrics) {}
+
+  // Block until the next record (kTimeout / kUnavailable / kDecodeError on
+  // poisoned framing — after a decode error the connection is unusable).
+  [[nodiscard]] Result<Record> Read(Connection& conn, int timeout_ms);
+
+ private:
+  codec::FrameStreamReader stream_;
+  Metrics metrics_;
+};
+
+// Client-side duplex channel: blocking Call with inline push servicing.
+// Not thread-safe; each loadgen worker owns one ClientChannel.
+class ClientChannel {
+ public:
+  // `push_handler` maps an inbound push (dest endpoint + SOR5 frame) to the
+  // reply frame, exactly like net::Endpoint::HandleFrame.
+  using PushHandler =
+      std::function<Bytes(const std::string& dest, std::span<const std::uint8_t> frame)>;
+
+  ClientChannel(Transport& transport, std::string address,
+                PushHandler push_handler, Metrics metrics = {},
+                int io_timeout_ms = 10'000)
+      : transport_(transport),
+        address_(std::move(address)),
+        push_handler_(std::move(push_handler)),
+        metrics_(metrics),
+        io_timeout_ms_(io_timeout_ms) {}
+
+  // Send one SOR5 frame to `dest` on the server and block for the reply
+  // frame. Dials (or re-dials after a connection error) on demand, so a
+  // daemon restart surfaces as one failed Call followed by recovery —
+  // matching the retry semantics phones already implement.
+  [[nodiscard]] Result<Bytes> Call(const std::string& dest,
+                                   std::span<const std::uint8_t> frame);
+
+  void Close();
+
+  [[nodiscard]] bool connected() const { return conn_ != nullptr; }
+
+ private:
+  [[nodiscard]] Status EnsureConnected();
+  void Drop();
+
+  Transport& transport_;
+  std::string address_;
+  PushHandler push_handler_;
+  Metrics metrics_;
+  int io_timeout_ms_;
+  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<RecordReader> reader_;
+  std::uint64_t next_corr_ = 1;
+};
+
+}  // namespace sor::transport

@@ -1,0 +1,300 @@
+#include "transport/loadgen.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "codec/barcode.hpp"
+#include "codec/messages.hpp"
+#include "common/log.hpp"
+#include "net/transport.hpp"
+#include "phone/frontend.hpp"
+#include "transport/channel.hpp"
+#include "world/phone_agent.hpp"
+
+namespace sor::transport {
+
+namespace {
+
+// Shared (cross-worker) accounting; counters are internally atomic.
+struct Shared {
+  obs::Counter* calls = nullptr;
+  obs::Counter* call_failures = nullptr;
+  obs::Counter* pushes = nullptr;
+  obs::Histogram* latency_us = nullptr;
+  std::atomic<std::uint64_t> ticks{0};
+};
+
+// The worker's stand-in for the sensing server on its private loopback
+// network: every frame a phone addresses to "server" is shipped through
+// the ClientChannel and the daemon's reply is returned as if the server
+// answered locally. Call failures are translated to an ErrorReply
+// kUnavailable frame — precisely what a down server produces on the
+// loopback path — so the phones' existing retry/backoff machinery drives
+// recovery with no loadgen-specific logic.
+class ServerProxy final : public net::Endpoint {
+ public:
+  ServerProxy(ClientChannel& channel, Shared& shared)
+      : channel_(channel), shared_(shared) {}
+
+  [[nodiscard]] Bytes HandleFrame(
+      std::span<const std::uint8_t> frame) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<Bytes> reply = channel_.Call("server", frame);
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    shared_.latency_us->Observe(
+        std::chrono::duration<double, std::micro>(dt).count());
+    shared_.calls->Inc();
+    if (!reply.ok()) {
+      shared_.call_failures->Inc();
+      ErrorReply err;
+      err.code = static_cast<std::uint8_t>(Errc::kUnavailable);
+      err.message = reply.error().message;
+      return EncodeFrame(Message{err});
+    }
+    return std::move(reply).value();
+  }
+
+ private:
+  ClientChannel& channel_;
+  Shared& shared_;
+};
+
+// One worker thread's world: its share of the fleet on a private loopback
+// network, bridged to the daemon by one connection.
+struct Worker {
+  SimClock clock;
+  net::LoopbackNetwork net;
+  std::unique_ptr<ClientChannel> channel;
+  std::unique_ptr<ServerProxy> proxy;
+  std::vector<std::unique_ptr<world::PhoneAgent>> agents;
+  std::vector<std::unique_ptr<phone::MobileFrontend>> phones;
+  std::map<std::string, phone::MobileFrontend*> by_endpoint;
+  std::thread thread;
+
+  [[nodiscard]] bool HasPendingTraffic() const {
+    for (const auto& fe : phones) {
+      if (fe->pending_uploads() > 0 || fe->pending_leaves() > 0) return true;
+    }
+    return false;
+  }
+};
+
+void AppendJson(std::ostringstream& out, const char* key, double v,
+                bool last = false) {
+  out << "  \"" << key << "\": " << v << (last ? "\n" : ",\n");
+}
+void AppendJson(std::ostringstream& out, const char* key, std::uint64_t v,
+                bool last = false) {
+  out << "  \"" << key << "\": " << v << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+std::string LoadgenReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  AppendJson(out, "phones", phones);
+  AppendJson(out, "workers", workers);
+  AppendJson(out, "ticks", ticks);
+  AppendJson(out, "calls", calls);
+  AppendJson(out, "call_failures", call_failures);
+  AppendJson(out, "pushes_served", pushes_served);
+  AppendJson(out, "uploads_sent", uploads_sent);
+  AppendJson(out, "upload_failures", upload_failures);
+  AppendJson(out, "wall_seconds", wall_seconds);
+  AppendJson(out, "calls_per_second", calls_per_second);
+  AppendJson(out, "p50_call_us", p50_call_us);
+  AppendJson(out, "p90_call_us", p90_call_us);
+  AppendJson(out, "p99_call_us", p99_call_us, /*last=*/true);
+  out << "}\n";
+  return out.str();
+}
+
+Result<LoadgenReport> RunLoadgen(Transport& transport,
+                                 const LoadgenConfig& config) {
+  const core::FleetPlan plan = core::PlanFleet(config.scenario, config.plan);
+  if (plan.phones.empty()) {
+    return Result<LoadgenReport>(Errc::kInvalidArgument, "empty fleet plan");
+  }
+  auto owned_registry = std::make_unique<obs::MetricsRegistry>();
+  obs::MetricsRegistry& registry =
+      config.registry != nullptr ? *config.registry : *owned_registry;
+
+  Shared shared;
+  shared.calls = &registry.counter("loadgen.calls");
+  shared.call_failures = &registry.counter("loadgen.call_failures");
+  shared.pushes = &registry.counter("loadgen.pushes_served");
+  shared.latency_us =
+      &registry.histogram("loadgen.call_latency_us",
+                          obs::ExponentialBuckets(10.0, 2.0, 20),
+                          obs::Sharding::kPerThread);
+  const Metrics channel_metrics = Metrics::For(registry);
+
+  // Place-sharding: worker w owns every phone of places p ≡ w (mod W).
+  const int num_workers = std::max(
+      1, std::min(config.workers, static_cast<int>(plan.barcodes.size())));
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int w = 0; w < num_workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->net.set_clock(&worker->clock);
+    worker->channel = std::make_unique<ClientChannel>(
+        transport, config.address,
+        [raw = worker.get(), &shared](const std::string& dest,
+                                      std::span<const std::uint8_t> frame) {
+          shared.pushes->Inc();
+          auto it = raw->by_endpoint.find(dest);
+          if (it == raw->by_endpoint.end()) {
+            ErrorReply err;
+            err.code = static_cast<std::uint8_t>(Errc::kNotFound);
+            err.message = "no phone " + dest + " on this connection";
+            return EncodeFrame(Message{err});
+          }
+          return it->second->HandleFrame(frame);
+        },
+        channel_metrics, config.io_timeout_ms);
+    worker->proxy = std::make_unique<ServerProxy>(*worker->channel, shared);
+    worker->net.Register(config.plan.server_endpoint, worker->proxy.get());
+    workers.push_back(std::move(worker));
+  }
+
+  // Spawn the fleet (user ids follow plan order — the daemon registered
+  // every user up-front in the same order, so UserId k+1 is plan.phones[k]).
+  std::vector<std::pair<Worker*, phone::MobileFrontend*>> fleet;  // plan order
+  for (std::size_t k = 0; k < plan.phones.size(); ++k) {
+    const core::PhonePlan& ph = plan.phones[k];
+    const world::PlaceModel& place = config.scenario.places[ph.place_index];
+    Worker& worker = *workers[ph.place_index % workers.size()];
+
+    world::PhoneAgentConfig agent_cfg;
+    agent_cfg.id = PhoneId{ph.seq};
+    agent_cfg.mobility =
+        config.scenario.category == world::PlaceCategory::kHikingTrail
+            ? world::Mobility::kTrailWalk
+            : world::Mobility::kStatic;
+    agent_cfg.enter_time = SimTime{0};
+    agent_cfg.seed = ph.agent_seed;
+    worker.agents.push_back(
+        std::make_unique<world::PhoneAgent>(place, agent_cfg));
+
+    phone::FrontendConfig phone_cfg;
+    phone_cfg.phone_id = agent_cfg.id;
+    phone_cfg.user_id = UserId{k + 1};
+    phone_cfg.user_name = ph.user_name;
+    phone_cfg.token = ph.token;
+    worker.phones.push_back(std::make_unique<phone::MobileFrontend>(
+        phone_cfg, worker.net, *worker.agents.back(), worker.clock));
+    phone::MobileFrontend* frontend = worker.phones.back().get();
+    frontend->AttachObservability(&registry, nullptr);
+    worker.by_endpoint[frontend->EndpointName()] = frontend;
+    fleet.emplace_back(&worker, frontend);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Phase 1 — joins, serial in global plan order (the scheduler plans
+  // online; join order is part of campaign identity). Retries bridge a
+  // daemon restart.
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    const BitMatrix matrix =
+        RenderBarcodeMatrix(plan.barcodes[plan.phones[k].place_index]);
+    Status last = Status::Ok();
+    bool joined = false;
+    for (int attempt = 0; attempt < config.retry_attempts; ++attempt) {
+      Result<TaskId> task =
+          fleet[k].second->ScanBarcodeMatrix(matrix, config.budget_per_user);
+      if (task.ok()) {
+        joined = true;
+        break;
+      }
+      last = task.error();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.retry_sleep_ms));
+    }
+    if (!joined) {
+      return Result<LoadgenReport>(
+          last.error().code,
+          plan.phones[k].user_name + " never joined: " + last.str());
+    }
+  }
+
+  // Phase 2 — the sensing period, one thread per worker.
+  const std::int64_t period_ms =
+      SimTime::FromSeconds(config.scenario.period_s).ms;
+  const std::int64_t main_ticks =
+      (period_ms + config.tick.ms - 1) / config.tick.ms;
+  for (auto& worker : workers) {
+    Worker* raw = worker.get();
+    raw->thread = std::thread([raw, &config, &shared, main_ticks] {
+      for (std::int64_t t = 0; t < main_ticks; ++t) {
+        raw->clock.advance(config.tick);
+        for (auto& frontend : raw->phones) frontend->Tick();
+      }
+      // Drain: a fault-free run leaves nothing queued; after a daemon
+      // restart the store-and-forward queues flush here, paced by the
+      // phones' own sim-time backoff.
+      std::int64_t extra = 0;
+      while (extra < config.drain_ticks_max && raw->HasPendingTraffic()) {
+        raw->clock.advance(config.tick);
+        for (auto& frontend : raw->phones) frontend->Tick();
+        ++extra;
+      }
+      shared.ticks.fetch_add(static_cast<std::uint64_t>(main_ticks + extra),
+                             std::memory_order_relaxed);
+    });
+  }
+  for (auto& worker : workers) worker->thread.join();
+
+  // Phase 3 — leaves, serial in global plan order. The daemon finalizes
+  // (writes rankings + snapshot) inside the last leave's call.
+  for (auto& [worker, frontend] : fleet) {
+    Status s = frontend->LeavePlace();
+    int attempt = 0;
+    while (frontend->pending_leaves() > 0 &&
+           attempt < config.retry_attempts) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.retry_sleep_ms));
+      worker->clock.advance(config.tick);
+      frontend->Tick();
+      ++attempt;
+    }
+    if (frontend->pending_leaves() > 0) {
+      return Result<LoadgenReport>(
+          Errc::kUnavailable,
+          frontend->EndpointName() + ": leave never acknowledged (" +
+              s.str() + ")");
+    }
+  }
+  for (auto& worker : workers) worker->channel->Close();
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  LoadgenReport report;
+  report.phones = plan.phones.size();
+  report.workers = static_cast<std::uint64_t>(workers.size());
+  report.ticks = shared.ticks.load(std::memory_order_relaxed);
+  report.calls = shared.calls->value();
+  report.call_failures = shared.call_failures->value();
+  report.pushes_served = shared.pushes->value();
+  for (auto& [worker, frontend] : fleet) {
+    report.uploads_sent += frontend->stats().uploads_sent;
+    report.upload_failures += frontend->stats().upload_failures;
+  }
+  report.wall_seconds = wall.count();
+  report.calls_per_second =
+      wall.count() > 0.0 ? static_cast<double>(report.calls) / wall.count()
+                         : 0.0;
+  const obs::Histogram::Snapshot latency = shared.latency_us->Read();
+  report.p50_call_us = obs::HistogramQuantile(latency, 0.50);
+  report.p90_call_us = obs::HistogramQuantile(latency, 0.90);
+  report.p99_call_us = obs::HistogramQuantile(latency, 0.99);
+  return report;
+}
+
+}  // namespace sor::transport

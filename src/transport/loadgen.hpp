@@ -1,0 +1,81 @@
+// `sor loadgen`: replay a full sensing campaign against a live `sor serve`
+// daemon and report throughput + latency.
+//
+// The generator runs the REAL phone stack — world::PhoneAgent sensors under
+// phone::MobileFrontend — not a synthetic byte cannon. Each worker thread
+// owns a private SimClock + LoopbackNetwork holding its share of the fleet;
+// the only non-phone endpoint on that network is a ServerProxy that encodes
+// every frame addressed to "server" onto the worker's ClientChannel. The
+// campaign is therefore identical traffic to an in-process run, shipped
+// over real sockets.
+//
+// Sharding is by PLACE (= application): worker w owns every phone of the
+// places p with p % workers == w. The daemon only pushes schedules for an
+// app while handling one of that app's own calls, so a push always targets
+// the connection whose worker is blocked inside ClientChannel::Call — the
+// exact spot where inbound pushes are serviced. Cross-connection pushes
+// (and the deadlocks they would invite) cannot occur.
+//
+// Phase structure mirrors core::System::RunFieldTest: joins serially in
+// global plan order (the scheduler plans online, so join order is part of
+// campaign identity), ticks in parallel per worker, then leaves serially
+// in global plan order. Under a fault-free daemon the resulting rankings
+// are byte-identical to the in-process run of the same seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "core/fleet.hpp"
+#include "obs/metrics.hpp"
+#include "transport/transport.hpp"
+#include "world/scenarios.hpp"
+
+namespace sor::transport {
+
+struct LoadgenConfig {
+  std::string address;  // daemon's bind address
+  world::Scenario scenario;
+  core::FleetPlanParams plan;  // must match the daemon's
+  int budget_per_user = 40;
+  SimDuration tick{10'000};
+  int workers = 2;
+  int io_timeout_ms = 10'000;
+
+  // Join/leave retry policy: a daemon mid-restart refuses calls for a
+  // moment; the serial phases retry with a wall-clock pause instead of
+  // failing the campaign.
+  int retry_attempts = 100;
+  int retry_sleep_ms = 100;
+  // Extra post-period ticks to flush store-and-forward queues (a fault-free
+  // run needs zero).
+  int drain_ticks_max = 2'000;
+
+  // Shared registry for loadgen.* metrics; nullptr → a run-local one.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+struct LoadgenReport {
+  std::uint64_t phones = 0;
+  std::uint64_t workers = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t call_failures = 0;
+  std::uint64_t pushes_served = 0;
+  std::uint64_t uploads_sent = 0;
+  std::uint64_t upload_failures = 0;
+  double wall_seconds = 0.0;
+  double calls_per_second = 0.0;
+  double p50_call_us = 0.0;
+  double p90_call_us = 0.0;
+  double p99_call_us = 0.0;
+
+  [[nodiscard]] std::string ToJson() const;
+};
+
+[[nodiscard]] Result<LoadgenReport> RunLoadgen(Transport& transport,
+                                               const LoadgenConfig& config);
+
+}  // namespace sor::transport

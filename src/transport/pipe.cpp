@@ -1,0 +1,255 @@
+#include "transport/pipe.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace sor::transport {
+
+namespace {
+
+// One direction of a duplex pipe: a bounded-ish byte queue with socket
+// buffer semantics (writers block when full, readers block when empty,
+// either end can close).
+struct ByteQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::uint8_t> bytes;
+  bool closed = false;  // writer gone: drained bytes then EOF
+
+  static constexpr std::size_t kCapacity = 1u << 20;  // 1 MiB, like SO_SNDBUF
+};
+
+bool WaitOn(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+            int timeout_ms, const auto& pred) {
+  if (timeout_ms < 0) {
+    cv.wait(lock, pred);
+    return true;
+  }
+  return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), pred);
+}
+
+struct Duplex {
+  ByteQueue a_to_b;
+  ByteQueue b_to_a;
+};
+
+class PipeConnection final : public Connection {
+ public:
+  // `rx` is the queue this end reads, `tx` the queue it writes.
+  PipeConnection(std::shared_ptr<Duplex> duplex, ByteQueue* rx, ByteQueue* tx,
+                 std::string peer, Metrics metrics)
+      : duplex_(std::move(duplex)),
+        rx_(rx),
+        tx_(tx),
+        peer_(std::move(peer)),
+        metrics_(metrics) {}
+  ~PipeConnection() override { Close(); }
+
+  Result<std::size_t> ReadSome(std::span<std::uint8_t> out,
+                               int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(rx_->mu);
+    if (!WaitOn(rx_->cv, lock, timeout_ms,
+                [&] { return !rx_->bytes.empty() || rx_->closed; })) {
+      if (metrics_.read_timeouts != nullptr) metrics_.read_timeouts->Inc();
+      return Result<std::size_t>(Errc::kTimeout, "read deadline expired");
+    }
+    if (rx_->bytes.empty()) {
+      // closed with nothing buffered: clean EOF once, unavailable after.
+      if (saw_eof_) {
+        return Result<std::size_t>(Errc::kUnavailable, "closed");
+      }
+      saw_eof_ = true;
+      return static_cast<std::size_t>(0);
+    }
+    const std::size_t n = std::min(out.size(), rx_->bytes.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rx_->bytes.front();
+      rx_->bytes.pop_front();
+    }
+    rx_->cv.notify_all();  // wake a writer blocked on capacity
+    if (metrics_.bytes_in != nullptr) {
+      metrics_.bytes_in->Inc(static_cast<std::uint64_t>(n));
+    }
+    return n;
+  }
+
+  Status WriteAll(std::span<const std::uint8_t> data,
+                  int timeout_ms) override {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      std::unique_lock<std::mutex> lock(tx_->mu);
+      if (!WaitOn(tx_->cv, lock, timeout_ms, [&] {
+            return tx_->closed || tx_->bytes.size() < ByteQueue::kCapacity;
+          })) {
+        if (metrics_.write_timeouts != nullptr) metrics_.write_timeouts->Inc();
+        return Status(Errc::kTimeout, "write deadline expired");
+      }
+      if (tx_->closed) return Status(Errc::kUnavailable, "peer closed");
+      const std::size_t room = ByteQueue::kCapacity - tx_->bytes.size();
+      const std::size_t n = std::min(room, data.size() - off);
+      tx_->bytes.insert(tx_->bytes.end(), data.begin() + static_cast<std::ptrdiff_t>(off),
+                        data.begin() + static_cast<std::ptrdiff_t>(off + n));
+      off += n;
+      tx_->cv.notify_all();
+      if (metrics_.bytes_out != nullptr) {
+        metrics_.bytes_out->Inc(static_cast<std::uint64_t>(n));
+      }
+    }
+    return Status::Ok();
+  }
+
+  void Close() override {
+    // Mark both directions closed: our reads stop, and the peer sees EOF
+    // after draining what we already wrote (half-close like shutdown(2)).
+    for (ByteQueue* q : {rx_, tx_}) {
+      std::lock_guard<std::mutex> lock(q->mu);
+      q->closed = true;
+      q->cv.notify_all();
+    }
+  }
+
+  std::string peer() const override { return peer_; }
+
+ private:
+  std::shared_ptr<Duplex> duplex_;  // keeps the queues alive
+  ByteQueue* rx_;
+  ByteQueue* tx_;
+  std::string peer_;
+  Metrics metrics_;
+  bool saw_eof_ = false;
+};
+
+struct PendingDial {
+  std::shared_ptr<Duplex> duplex;
+};
+
+struct ListenerState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PendingDial> backlog;
+  bool closed = false;
+};
+
+}  // namespace
+
+struct PipeTransport::Registry {
+  std::mutex mu;
+  std::map<std::string, std::shared_ptr<ListenerState>> listeners;
+};
+
+namespace {
+
+class PipeListener final : public Listener {
+ public:
+  PipeListener(std::shared_ptr<PipeTransport::Registry> registry,
+               std::shared_ptr<ListenerState> state, std::string address,
+               Metrics metrics)
+      : registry_(std::move(registry)),
+        state_(std::move(state)),
+        address_(std::move(address)),
+        metrics_(metrics) {}
+  ~PipeListener() override { Close(); }
+
+  Result<std::unique_ptr<Connection>> Accept(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (!WaitOn(state_->cv, lock, timeout_ms,
+                [&] { return !state_->backlog.empty() || state_->closed; })) {
+      if (metrics_.accept_timeouts != nullptr) metrics_.accept_timeouts->Inc();
+      return Result<std::unique_ptr<Connection>>(Errc::kTimeout,
+                                                 "accept deadline expired");
+    }
+    if (state_->backlog.empty()) {
+      return Result<std::unique_ptr<Connection>>(Errc::kUnavailable,
+                                                 "listener closed");
+    }
+    PendingDial pending = std::move(state_->backlog.front());
+    state_->backlog.pop_front();
+    lock.unlock();
+    if (metrics_.connections != nullptr) metrics_.connections->Inc();
+    const std::string peer = address_ + "#" + std::to_string(++accepted_);
+    // Server end reads a_to_b (what the dialer writes) and writes b_to_a.
+    return std::unique_ptr<Connection>(
+        new PipeConnection(pending.duplex, &pending.duplex->a_to_b,
+                           &pending.duplex->b_to_a, peer, metrics_));
+  }
+
+  void Close() override {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->closed) return;
+      state_->closed = true;
+      state_->cv.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    auto it = registry_->listeners.find(address_);
+    if (it != registry_->listeners.end() && it->second == state_) {
+      registry_->listeners.erase(it);
+    }
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  std::shared_ptr<PipeTransport::Registry> registry_;
+  std::shared_ptr<ListenerState> state_;
+  std::string address_;
+  Metrics metrics_;
+  int accepted_ = 0;
+};
+
+}  // namespace
+
+PipeTransport::PipeTransport(Metrics metrics)
+    : registry_(std::make_shared<Registry>()), metrics_(metrics) {}
+
+PipeTransport::~PipeTransport() = default;
+
+Result<std::unique_ptr<Listener>> PipeTransport::Listen(
+    const std::string& address) {
+  if (address.empty()) {
+    return Result<std::unique_ptr<Listener>>(Errc::kInvalidArgument,
+                                             "empty pipe address");
+  }
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  auto [it, inserted] =
+      registry_->listeners.emplace(address, std::make_shared<ListenerState>());
+  if (!inserted) {
+    return Result<std::unique_ptr<Listener>>(
+        Errc::kAlreadyExists, "pipe address already bound: " + address);
+  }
+  return std::unique_ptr<Listener>(
+      new PipeListener(registry_, it->second, address, metrics_));
+}
+
+Result<std::unique_ptr<Connection>> PipeTransport::Dial(
+    const std::string& address, int /*timeout_ms*/) {
+  std::shared_ptr<ListenerState> state;
+  {
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    auto it = registry_->listeners.find(address);
+    if (it == registry_->listeners.end()) {
+      return Result<std::unique_ptr<Connection>>(
+          Errc::kUnavailable, "no pipe listener at " + address);
+    }
+    state = it->second;
+  }
+  auto duplex = std::make_shared<Duplex>();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->closed) {
+      return Result<std::unique_ptr<Connection>>(
+          Errc::kUnavailable, "pipe listener closed: " + address);
+    }
+    state->backlog.push_back(PendingDial{duplex});
+    state->cv.notify_all();
+  }
+  if (metrics_.connections != nullptr) metrics_.connections->Inc();
+  // Client end writes a_to_b and reads b_to_a.
+  return std::unique_ptr<Connection>(new PipeConnection(
+      duplex, &duplex->b_to_a, &duplex->a_to_b, address, metrics_));
+}
+
+}  // namespace sor::transport

@@ -1,0 +1,39 @@
+// PipeTransport — an in-process byte-stream transport.
+//
+// Semantically a SocketTransport whose wires are condvar-guarded byte
+// queues: Dial/Accept rendezvous through a per-instance name registry,
+// ReadSome/WriteAll block with the same deadline rules, Close unblocks
+// the peer with EOF-then-kUnavailable just like a half-closed socket.
+//
+// Unit tests and the daemon-equivalence tests run the complete
+// daemon+channel+loadgen stack over this transport, so the protocol
+// logic is exercised without binding host sockets; only the thin
+// socket.cpp syscall layer is unique to deployment.
+#pragma once
+
+#include <memory>
+
+#include "transport/transport.hpp"
+
+namespace sor::transport {
+
+class PipeTransport final : public Transport {
+ public:
+  explicit PipeTransport(Metrics metrics = {});
+  ~PipeTransport() override;
+
+  // Addresses are arbitrary non-empty strings scoped to this instance.
+  Result<std::unique_ptr<Listener>> Listen(const std::string& address) override;
+  Result<std::unique_ptr<Connection>> Dial(const std::string& address,
+                                           int timeout_ms) override;
+
+  // Opaque per-instance listener registry (defined in pipe.cpp; public so
+  // the file-local listener class can hold a reference).
+  struct Registry;
+
+ private:
+  std::shared_ptr<Registry> registry_;
+  Metrics metrics_;
+};
+
+}  // namespace sor::transport

@@ -1,0 +1,348 @@
+#include "transport/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace sor::transport {
+
+namespace {
+
+Status SysError(Errc code, const std::string& what) {
+  return Status(code, what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Wait until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
+// passes. Returns kOk, kTimeout, or kUnavailable (poll error / hangup with
+// nothing readable is surfaced by the subsequent read/write).
+Errc WaitReady(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms < 0 ? -1 : timeout_ms);
+    if (rc > 0) return Errc::kOk;
+    if (rc == 0) return Errc::kTimeout;
+    if (errno == EINTR) continue;  // full deadline restarts: good enough here
+    return Errc::kUnavailable;
+  }
+}
+
+// "unix:/path" or "tcp:host:port" → sockaddr. Returns the domain via
+// *family; kInvalidArgument on anything unparseable.
+struct ParsedAddress {
+  int family = AF_UNSPEC;
+  sockaddr_un un{};
+  sockaddr_in in{};
+  socklen_t len = 0;
+};
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress p;
+  if (address.rfind("unix:", 0) == 0) {
+    const std::string path = address.substr(5);
+    if (path.empty() || path.size() >= sizeof(p.un.sun_path)) {
+      return Result<ParsedAddress>(Errc::kInvalidArgument,
+                                   "bad unix socket path: " + address);
+    }
+    p.family = AF_UNIX;
+    p.un.sun_family = AF_UNIX;
+    std::memcpy(p.un.sun_path, path.c_str(), path.size() + 1);
+    p.len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                   path.size() + 1);
+    return p;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      return Result<ParsedAddress>(Errc::kInvalidArgument,
+                                   "bad tcp address (want tcp:host:port): " +
+                                       address);
+    }
+    const std::string host = rest.substr(0, colon);
+    const std::string port_s = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+      return Result<ParsedAddress>(Errc::kInvalidArgument,
+                                   "bad tcp port: " + port_s);
+    }
+    p.family = AF_INET;
+    p.in.sin_family = AF_INET;
+    p.in.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &p.in.sin_addr) != 1) {
+      return Result<ParsedAddress>(Errc::kInvalidArgument,
+                                   "bad tcp host (want an IPv4 literal): " +
+                                       host);
+    }
+    p.len = sizeof(p.in);
+    return p;
+  }
+  return Result<ParsedAddress>(
+      Errc::kInvalidArgument,
+      "unknown transport address (want unix:<path> or tcp:<host>:<port>): " +
+          address);
+}
+
+class SocketConnection final : public Connection {
+ public:
+  SocketConnection(int fd, std::string peer, Metrics metrics)
+      : fd_(fd), peer_(std::move(peer)), metrics_(metrics) {
+    SetNonBlocking(fd_);
+  }
+  ~SocketConnection() override { Close(); }
+
+  Result<std::size_t> ReadSome(std::span<std::uint8_t> out,
+                               int timeout_ms) override {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fd_ < 0) return Result<std::size_t>(Errc::kUnavailable, "closed");
+      }
+      const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+      if (n > 0) {
+        if (metrics_.bytes_in != nullptr) {
+          metrics_.bytes_in->Inc(static_cast<std::uint64_t>(n));
+        }
+        return static_cast<std::size_t>(n);
+      }
+      if (n == 0) return static_cast<std::size_t>(0);  // clean EOF
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        return Result<std::size_t>(Errc::kUnavailable,
+                                   std::string("recv: ") +
+                                       std::strerror(errno));
+      }
+      const Errc w = WaitReady(fd_, POLLIN, timeout_ms);
+      if (w == Errc::kTimeout) {
+        if (metrics_.read_timeouts != nullptr) metrics_.read_timeouts->Inc();
+        return Result<std::size_t>(Errc::kTimeout, "read deadline expired");
+      }
+      if (w != Errc::kOk) {
+        return Result<std::size_t>(Errc::kUnavailable, "poll failed");
+      }
+    }
+  }
+
+  Status WriteAll(std::span<const std::uint8_t> data,
+                  int timeout_ms) override {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fd_ < 0) return Status(Errc::kUnavailable, "closed");
+      }
+      // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+      // not kill the process with SIGPIPE.
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        if (metrics_.bytes_out != nullptr) {
+          metrics_.bytes_out->Inc(static_cast<std::uint64_t>(n));
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        return SysError(Errc::kUnavailable, "send");
+      }
+      const Errc w = WaitReady(fd_, POLLOUT, timeout_ms);
+      if (w == Errc::kTimeout) {
+        if (metrics_.write_timeouts != nullptr) metrics_.write_timeouts->Inc();
+        return Status(Errc::kTimeout, "write deadline expired");
+      }
+      if (w != Errc::kOk) return Status(Errc::kUnavailable, "poll failed");
+    }
+    return Status::Ok();
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) {
+      // shutdown first so a thread blocked in poll() wakes with POLLHUP
+      // before the descriptor number can be recycled.
+      (void)::shutdown(fd_, SHUT_RDWR);
+      (void)::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::string peer() const override { return peer_; }
+
+ private:
+  int fd_;
+  std::string peer_;
+  Metrics metrics_;
+  std::mutex mu_;  // guards fd_ lifetime; I/O itself is lock-free
+};
+
+class SocketListener final : public Listener {
+ public:
+  SocketListener(int fd, std::string address, std::string unlink_path,
+                 Metrics metrics)
+      : fd_(fd),
+        address_(std::move(address)),
+        unlink_path_(std::move(unlink_path)),
+        metrics_(metrics) {
+    SetNonBlocking(fd_);
+  }
+  ~SocketListener() override { Close(); }
+
+  Result<std::unique_ptr<Connection>> Accept(int timeout_ms) override {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fd_ < 0) {
+          return Result<std::unique_ptr<Connection>>(Errc::kUnavailable,
+                                                     "listener closed");
+        }
+      }
+      const int cfd = ::accept(fd_, nullptr, nullptr);
+      if (cfd >= 0) {
+        if (metrics_.connections != nullptr) metrics_.connections->Inc();
+        const std::string peer =
+            address_ + "#" + std::to_string(++accepted_);
+        return std::unique_ptr<Connection>(
+            new SocketConnection(cfd, peer, metrics_));
+      }
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        return Result<std::unique_ptr<Connection>>(
+            Errc::kUnavailable,
+            std::string("accept: ") + std::strerror(errno));
+      }
+      const Errc w = WaitReady(fd_, POLLIN, timeout_ms);
+      if (w == Errc::kTimeout) {
+        if (metrics_.accept_timeouts != nullptr) {
+          metrics_.accept_timeouts->Inc();
+        }
+        return Result<std::unique_ptr<Connection>>(Errc::kTimeout,
+                                                   "accept deadline expired");
+      }
+      if (w != Errc::kOk) {
+        return Result<std::unique_ptr<Connection>>(Errc::kUnavailable,
+                                                   "poll failed");
+      }
+    }
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) {
+      (void)::shutdown(fd_, SHUT_RDWR);
+      (void)::close(fd_);
+      fd_ = -1;
+      if (!unlink_path_.empty()) (void)::unlink(unlink_path_.c_str());
+    }
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  int fd_;
+  std::string address_;
+  std::string unlink_path_;  // unix socket file removed on Close
+  Metrics metrics_;
+  std::mutex mu_;
+  int accepted_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> SocketTransport::Listen(
+    const std::string& address) {
+  auto parsed = ParseAddress(address);
+  if (!parsed.ok()) {
+    return Result<std::unique_ptr<Listener>>(parsed.error());
+  }
+  ParsedAddress& p = parsed.value();
+  const int fd = ::socket(p.family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Result<std::unique_ptr<Listener>>(
+        Errc::kUnavailable, std::string("socket: ") + std::strerror(errno));
+  }
+  std::string unlink_path;
+  if (p.family == AF_UNIX) {
+    // A stale socket file from a crashed daemon blocks bind(); remove it.
+    unlink_path = address.substr(5);
+    (void)::unlink(unlink_path.c_str());
+  } else {
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  const sockaddr* sa = p.family == AF_UNIX
+                           ? reinterpret_cast<const sockaddr*>(&p.un)
+                           : reinterpret_cast<const sockaddr*>(&p.in);
+  if (::bind(fd, sa, p.len) != 0 || ::listen(fd, 64) != 0) {
+    const std::string what = std::string("bind/listen ") + address + ": " +
+                             std::strerror(errno);
+    (void)::close(fd);
+    return Result<std::unique_ptr<Listener>>(Errc::kUnavailable, what);
+  }
+  return std::unique_ptr<Listener>(
+      new SocketListener(fd, address, unlink_path, metrics_));
+}
+
+Result<std::unique_ptr<Connection>> SocketTransport::Dial(
+    const std::string& address, int timeout_ms) {
+  auto parsed = ParseAddress(address);
+  if (!parsed.ok()) {
+    return Result<std::unique_ptr<Connection>>(parsed.error());
+  }
+  ParsedAddress& p = parsed.value();
+  const int fd = ::socket(p.family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Result<std::unique_ptr<Connection>>(
+        Errc::kUnavailable, std::string("socket: ") + std::strerror(errno));
+  }
+  SetNonBlocking(fd);
+  const sockaddr* sa = p.family == AF_UNIX
+                           ? reinterpret_cast<const sockaddr*>(&p.un)
+                           : reinterpret_cast<const sockaddr*>(&p.in);
+  if (::connect(fd, sa, p.len) != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      const std::string what = std::string("connect ") + address + ": " +
+                               std::strerror(errno);
+      (void)::close(fd);
+      return Result<std::unique_ptr<Connection>>(Errc::kUnavailable, what);
+    }
+    const Errc w = WaitReady(fd, POLLOUT, timeout_ms);
+    if (w != Errc::kOk) {
+      (void)::close(fd);
+      return Result<std::unique_ptr<Connection>>(
+          w == Errc::kTimeout ? Errc::kTimeout : Errc::kUnavailable,
+          "connect " + address + (w == Errc::kTimeout ? ": deadline expired"
+                                                      : ": poll failed"));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      (void)::close(fd);
+      return Result<std::unique_ptr<Connection>>(
+          Errc::kUnavailable,
+          "connect " + address + ": " + std::strerror(err != 0 ? err : errno));
+    }
+  }
+  if (metrics_.connections != nullptr) metrics_.connections->Inc();
+  return std::unique_ptr<Connection>(
+      new SocketConnection(fd, address, metrics_));
+}
+
+}  // namespace sor::transport

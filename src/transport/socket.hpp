@@ -1,0 +1,34 @@
+// SocketTransport — the deployable byte-stream transport.
+//
+// Addresses:
+//   "unix:/path/to.sock"  Unix-domain stream socket (the default for
+//                         daemon+loadgen on one host; no ports, no
+//                         firewall, filesystem permissions apply).
+//   "tcp:host:port"       IPv4 TCP stream socket ("tcp:0.0.0.0:7547" to
+//                         listen on all interfaces).
+//
+// All blocking calls honour the transport deadline convention via poll(2);
+// sockets are kept non-blocking so a deadline can interrupt a partial
+// write. Close() from another thread uses shutdown(2) so blocked peers
+// wake immediately rather than waiting out their deadline.
+#pragma once
+
+#include "transport/transport.hpp"
+
+namespace sor::transport {
+
+class SocketTransport final : public Transport {
+ public:
+  // Counters are optional; pass the daemon/loadgen registry family to get
+  // transport.bytes_{in,out} etc. accounted.
+  explicit SocketTransport(Metrics metrics = {}) : metrics_(metrics) {}
+
+  Result<std::unique_ptr<Listener>> Listen(const std::string& address) override;
+  Result<std::unique_ptr<Connection>> Dial(const std::string& address,
+                                           int timeout_ms) override;
+
+ private:
+  Metrics metrics_;
+};
+
+}  // namespace sor::transport

@@ -1,0 +1,19 @@
+#include "transport/transport.hpp"
+
+namespace sor::transport {
+
+Metrics Metrics::For(obs::MetricsRegistry& registry) {
+  Metrics m;
+  m.bytes_in = &registry.counter("transport.bytes_in");
+  m.bytes_out = &registry.counter("transport.bytes_out");
+  m.frames_in = &registry.counter("transport.frames_in");
+  m.frames_out = &registry.counter("transport.frames_out");
+  m.frame_errors = &registry.counter("transport.frame_errors");
+  m.connections = &registry.counter("transport.connections");
+  m.accept_timeouts = &registry.counter("transport.accept_timeouts");
+  m.read_timeouts = &registry.counter("transport.read_timeouts");
+  m.write_timeouts = &registry.counter("transport.write_timeouts");
+  return m;
+}
+
+}  // namespace sor::transport

@@ -1,0 +1,111 @@
+// Byte-stream transport abstraction (docs/deployment.md).
+//
+// Everything in src/net simulates a network inside one address space; this
+// subsystem is the real thing: listeners, connections, blocking reads and
+// writes with deadlines, over which the daemon (`sor serve`) and the
+// load-generator (`sor loadgen`) speak length-prefixed SOR5 frames
+// (codec/frame_stream.hpp wrapped in channel.hpp records).
+//
+// Two implementations ship:
+//   * SocketTransport (socket.hpp) — Unix-domain and TCP stream sockets;
+//     the deployable path.
+//   * PipeTransport (pipe.hpp) — an in-process duplex byte pipe with the
+//     same blocking/timeout semantics; unit tests and in-process
+//     daemon/loadgen tests run the full stack over it without touching
+//     the host network.
+//
+// This layer is intentionally wall-clock based (deadlines, poll loops) and
+// therefore lives OUTSIDE the deterministic core: nothing here may feed
+// simulation state. The simulation keeps its LoopbackNetwork; both share
+// the codec::FrameStream framing so the paths cannot drift.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "codec/bytes.hpp"
+#include "common/result.hpp"
+#include "obs/metrics.hpp"
+
+namespace sor::transport {
+
+// Deadline convention used across the subsystem: milliseconds; < 0 blocks
+// forever, 0 polls without blocking. Expired deadlines fail with
+// Errc::kTimeout so callers can distinguish "slow" from "gone".
+inline constexpr int kWaitForever = -1;
+
+// One established byte-stream connection. Implementations must support one
+// concurrent reader plus one concurrent writer, and Close() from any
+// thread must unblock both.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Read up to out.size() bytes; returns the count actually read (>= 1),
+  // 0 on clean end-of-stream, kTimeout past the deadline, kUnavailable on
+  // a broken or closed connection.
+  [[nodiscard]] virtual Result<std::size_t> ReadSome(
+      std::span<std::uint8_t> out, int timeout_ms) = 0;
+
+  // Write the whole buffer or fail; partial progress past a failure is
+  // unrecoverable at this layer (stream framing would be lost), so any
+  // error means the connection must be dropped.
+  [[nodiscard]] virtual Status WriteAll(std::span<const std::uint8_t> data,
+                                        int timeout_ms) = 0;
+
+  // Idempotent; unblocks concurrent ReadSome/WriteAll with kUnavailable.
+  virtual void Close() = 0;
+
+  // Human-readable peer description for logs ("unix:/run/sor.sock#3").
+  [[nodiscard]] virtual std::string peer() const = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  // Wait for the next inbound connection (kTimeout past the deadline,
+  // kUnavailable once closed).
+  [[nodiscard]] virtual Result<std::unique_ptr<Connection>> Accept(
+      int timeout_ms) = 0;
+
+  // Idempotent; unblocks a concurrent Accept with kUnavailable.
+  virtual void Close() = 0;
+
+  [[nodiscard]] virtual std::string address() const = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual Result<std::unique_ptr<Listener>> Listen(
+      const std::string& address) = 0;
+
+  [[nodiscard]] virtual Result<std::unique_ptr<Connection>> Dial(
+      const std::string& address, int timeout_ms) = 0;
+};
+
+// Transport counter family, registered into whichever obs registry the
+// host hands over (`sor metrics` dumps the campaign registry, the daemon
+// dumps its own at shutdown). The loopback simulation feeds the byte and
+// frame counters too — same names, same meaning — so a metrics consumer
+// sees one transport surface whether the bytes crossed a socket or not.
+struct Metrics {
+  obs::Counter* bytes_in = nullptr;        // transport.bytes_in
+  obs::Counter* bytes_out = nullptr;       // transport.bytes_out
+  obs::Counter* frames_in = nullptr;       // transport.frames_in
+  obs::Counter* frames_out = nullptr;      // transport.frames_out
+  obs::Counter* frame_errors = nullptr;    // framing lost / CRC mismatch
+  obs::Counter* connections = nullptr;     // accepted + dialed, lifetime
+  obs::Counter* accept_timeouts = nullptr; // Accept() deadline expiries
+  obs::Counter* read_timeouts = nullptr;   // ReadSome() deadline expiries
+  obs::Counter* write_timeouts = nullptr;  // WriteAll() deadline expiries
+
+  // Register (or look up) the family in `registry`.
+  [[nodiscard]] static Metrics For(obs::MetricsRegistry& registry);
+};
+
+}  // namespace sor::transport

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace sor::cli {
 
@@ -46,6 +48,24 @@ class Args {
     auto it = values_.find(key);
     if (it == values_.end() || it->second.empty()) return fallback;
     return std::atof(it->second.c_str());
+  }
+
+  // First parsed flag not in `allowed` ("" when every flag is known). Each
+  // subcommand validates against its own flag list so a typo fails loudly
+  // instead of being silently ignored.
+  [[nodiscard]] std::string FirstUnknown(
+      std::initializer_list<std::string_view> allowed) const {
+    for (const auto& [key, value] : values_) {
+      bool known = false;
+      for (const std::string_view a : allowed) {
+        if (key == a) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) return key;
+    }
+    return "";
   }
 
  private:

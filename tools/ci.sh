@@ -128,6 +128,66 @@ else
   echo "ci: build/bench/overload not built; skipping overload bench" >&2
 fi
 
+echo "=== stage: out-of-process serving (docs/deployment.md) ==="
+# Integration gate for the `sor serve` daemon + `sor loadgen` pair: bring
+# the daemon up on a Unix socket, replay a campaign over real sockets,
+# SIGTERM it, and require (a) a clean exit, (b) a snapshot on disk, (c) a
+# non-empty loadgen report, and (d) rankings byte-identical to the
+# in-process `sor fieldtest` run of the same seed — the equivalence
+# contract the daemon tests prove over pipes, re-proven here through the
+# shipped binaries and a real socket.
+if [[ -x "${SOR_BIN}" ]]; then
+  serve_dir="$(mktemp -d)"
+  serve_sock="${serve_dir}/sor.sock"
+  serve_args=(--scenario trails --phones 4 --period 1200 --seed 42)
+  "${SOR_BIN}" serve "${serve_args[@]}" --bind "unix:${serve_sock}" \
+    --snapshot "${serve_dir}/snapshot.bin" \
+    --rankings-out "${serve_dir}/rankings.daemon.txt" \
+    > "${serve_dir}/serve.log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 50); do
+    [[ -S "${serve_sock}" ]] && break
+    sleep 0.1
+  done
+  "${SOR_BIN}" loadgen "${serve_args[@]}" --connect "unix:${serve_sock}" \
+    --workers 2 --report "${serve_dir}/BENCH_loadgen.json"
+  kill -TERM "${serve_pid}"
+  if ! wait "${serve_pid}"; then
+    echo "ci: sor serve exited non-zero after SIGTERM" >&2
+    cat "${serve_dir}/serve.log" >&2
+    exit 1
+  fi
+  [[ -s "${serve_dir}/snapshot.bin" ]] \
+    || { echo "ci: daemon wrote no snapshot" >&2; exit 1; }
+  [[ -s "${serve_dir}/BENCH_loadgen.json" ]] \
+    || { echo "ci: loadgen wrote no report" >&2; exit 1; }
+  cp "${serve_dir}/BENCH_loadgen.json" BENCH_loadgen.json
+  "${SOR_BIN}" fieldtest "${serve_args[@]}" \
+    --rankings-out "${serve_dir}/rankings.inproc.txt" > /dev/null
+  if ! cmp "${serve_dir}/rankings.daemon.txt" \
+           "${serve_dir}/rankings.inproc.txt"; then
+    echo "ci: daemon rankings differ from in-process run" >&2
+    diff "${serve_dir}/rankings.daemon.txt" \
+         "${serve_dir}/rankings.inproc.txt" >&2 || true
+    exit 1
+  fi
+  echo "ci: daemon rankings byte-identical to in-process run"
+  echo "ci: wrote BENCH_loadgen.json"
+  # Unknown-flag rejection: every subcommand must name the bad flag and
+  # exit non-zero instead of silently ignoring a typo.
+  if "${SOR_BIN}" fieldtest --scenario trails --phoens 3 \
+       > "${serve_dir}/badflag.log" 2>&1; then
+    echo "ci: unknown flag was accepted" >&2
+    exit 1
+  fi
+  grep -q "phoens" "${serve_dir}/badflag.log" \
+    || { echo "ci: unknown-flag error does not name the flag" >&2; exit 1; }
+  echo "ci: unknown flags rejected with the offending name"
+  rm -rf "${serve_dir}"
+else
+  echo "ci: ${SOR_BIN} not built; daemon covered by Daemon.* tests" >&2
+fi
+
 echo "=== stage: perf regression (operation counts) ==="
 # Host-independent perf gate (docs/performance.md): the Perf.* suite pins
 # the incremental data path's complexity guarantees as exact operation

@@ -20,15 +20,22 @@
 //             [--out F.jsonl] [--chrome F.json] [--summary] [--fingerprint]
 //       record the deterministic campaign trace, or analyse one recorded
 //       earlier with --in F.jsonl
+//   sor serve --scenario trails|coffee [--bind ADDR] [--snapshot F]
+//       host the sensing server out-of-process behind a Unix/TCP socket
+//   sor loadgen --scenario trails|coffee [--connect ADDR] [--workers N]
+//       replay a phone fleet against a live daemon; report throughput
 //   sor help
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "bench_args.hpp"
+#include "core/fleet.hpp"
 #include "core/system.hpp"
 #include "net/fault_injector.hpp"
 #include "obs/spans.hpp"
@@ -40,6 +47,9 @@
 #include "server/json_export.hpp"
 #include "sched/baseline.hpp"
 #include "sched/greedy.hpp"
+#include "transport/daemon.hpp"
+#include "transport/loadgen.hpp"
+#include "transport/socket.hpp"
 #include "world/arrivals.hpp"
 
 using namespace sor;
@@ -52,6 +62,8 @@ int Usage() {
       "usage:\n"
       "  sor fieldtest --scenario trails|coffee [--budget N] [--method M]"
       " [--csv|--json]\n"
+      "                [--phones N] [--period S] [--seed S]"
+      " [--rankings-out F]\n"
       "  sor simulate  [--users N] [--budget B] [--runs R] [--sigma S]\n"
       "  sor barcode   --scenario trails|coffee --place IDX [--ascii]\n"
       "  sor rank      --scenario trails|coffee --user NAME [--method M]"
@@ -66,9 +78,41 @@ int Usage() {
       "                [--out F.jsonl] [--chrome F.json] [--summary]"
       " [--fingerprint]\n"
       "  sor trace     --in F.jsonl [--summary] [--fingerprint]\n"
+      "  sor serve     --scenario trails|coffee [--bind ADDR] [--phones N]"
+      " [--period S]\n"
+      "                [--seed S] [--method M] [--tick-ms MS] [--snapshot F]\n"
+      "                [--rankings-out F] [--overload [B]]\n"
+      "  sor loadgen   --scenario trails|coffee [--connect ADDR]"
+      " [--workers N]\n"
+      "                [--phones N] [--period S] [--seed S] [--budget N]"
+      " [--report F]\n"
       "  sor help\n\n"
-      "methods: mcmf (default), hungarian, kemeny, borda\n");
+      "addresses: unix:/path/to.sock or tcp:HOST:PORT\n"
+      "methods:   mcmf (default), hungarian, kemeny, borda\n");
   return 2;
+}
+
+// Every subcommand rejects flags it does not understand: a typo fails the
+// invocation with exit 2 naming the flag, instead of silently running a
+// different campaign than the one asked for.
+int RejectUnknownFlags(const cli::Args& args, const char* cmd,
+                       std::initializer_list<std::string_view> allowed) {
+  const std::string unknown = args.FirstUnknown(allowed);
+  if (unknown.empty()) return 0;
+  std::fprintf(stderr, "unknown flag '--%s' for 'sor %s'\n", unknown.c_str(),
+               cmd);
+  return 2;
+}
+
+// Shared --phones / --period fleet-shape overrides: campaign identity for
+// fieldtest, serve and loadgen, so the three hosts agree on the plan.
+void ApplyScenarioOverrides(const cli::Args& args, world::Scenario* scenario) {
+  if (args.Has("phones")) {
+    scenario->phones_per_place = args.GetInt("phones", scenario->phones_per_place);
+  }
+  if (args.Has("period")) {
+    scenario->period_s = args.GetDouble("period", scenario->period_s);
+  }
 }
 
 Result<world::Scenario> ScenarioByName(const std::string& name) {
@@ -90,35 +134,67 @@ Result<rank::AggregationMethod> MethodByName(const std::string& name) {
   return Error{Errc::kInvalidArgument, "unknown method '" + name + "'"};
 }
 
+bool WriteFileOrStdout(const std::string& path, const std::string& content,
+                       const char* what) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !(out << content)) {
+    std::fprintf(stderr, "cannot write %s to '%s'\n", what, path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
 Result<core::FieldTestResult> Campaign(const world::Scenario& scenario,
                                        int budget,
-                                       rank::AggregationMethod method) {
+                                       rank::AggregationMethod method,
+                                       std::uint64_t seed = 42) {
   core::System system;
   core::FieldTestConfig config;
   config.budget_per_user = budget;
   config.aggregation = method;
   config.sigma_s = 60.0;
+  config.seed = seed;
   return system.RunFieldTest(scenario, config);
 }
 
 int CmdFieldTest(const cli::Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args, "fieldtest",
+          {"scenario", "budget", "method", "csv", "json", "phones", "period",
+           "seed", "rankings-out"}))
+    return rc;
   Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
   if (!scenario.ok()) {
     std::fprintf(stderr, "%s\n", scenario.error().str().c_str());
     return 2;
   }
+  ApplyScenarioOverrides(args, &scenario.value());
   Result<rank::AggregationMethod> method = MethodByName(args.Get("method"));
   if (!method.ok()) {
     std::fprintf(stderr, "%s\n", method.error().str().c_str());
     return 2;
   }
   Result<core::FieldTestResult> run = Campaign(
-      scenario.value(), args.GetInt("budget", 40), method.value());
+      scenario.value(), args.GetInt("budget", 40), method.value(),
+      static_cast<std::uint64_t>(args.GetInt("seed", 42)));
   if (!run.ok()) {
     std::fprintf(stderr, "campaign failed: %s\n", run.error().str().c_str());
     return 1;
   }
   const core::FieldTestResult& result = run.value();
+  if (args.Has("rankings-out")) {
+    // The canonical campaign-equivalence artifact (core/fleet.hpp): CI
+    // compares this byte-for-byte against a daemon+loadgen run.
+    const std::string text =
+        core::RenderRankingsText(result.matrix, result.rankings);
+    if (!WriteFileOrStdout(args.Get("rankings-out"), text, "rankings"))
+      return 1;
+  }
   if (args.Has("csv")) {
     std::printf("%s", server::RenderFeatureCsv(result.matrix).c_str());
     return 0;
@@ -141,6 +217,9 @@ int CmdFieldTest(const cli::Args& args) {
 }
 
 int CmdSimulate(const cli::Args& args) {
+  if (int rc = RejectUnknownFlags(args, "simulate",
+                                  {"users", "budget", "runs", "sigma"}))
+    return rc;
   const int users = args.GetInt("users", 40);
   const int budget = args.GetInt("budget", 17);
   const int runs = args.GetInt("runs", 10);
@@ -178,6 +257,9 @@ int CmdSimulate(const cli::Args& args) {
 }
 
 int CmdBarcode(const cli::Args& args) {
+  if (int rc =
+          RejectUnknownFlags(args, "barcode", {"scenario", "place", "ascii"}))
+    return rc;
   Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
   if (!scenario.ok()) {
     std::fprintf(stderr, "%s\n", scenario.error().str().c_str());
@@ -207,6 +289,9 @@ int CmdBarcode(const cli::Args& args) {
 }
 
 int CmdRank(const cli::Args& args) {
+  if (int rc = RejectUnknownFlags(args, "rank",
+                                  {"scenario", "user", "method", "explain"}))
+    return rc;
   Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
   if (!scenario.ok()) {
     std::fprintf(stderr, "%s\n", scenario.error().str().c_str());
@@ -307,6 +392,10 @@ Result<core::FieldTestResult> ObservedCampaign(core::System& system,
 }
 
 int CmdMetrics(const cli::Args& args) {
+  if (int rc = RejectUnknownFlags(args, "metrics",
+                                  {"scenario", "budget", "seed", "threads",
+                                   "chaos", "chaos-seed", "overload", "json"}))
+    return rc;
   core::System system;
   Result<core::FieldTestResult> run =
       ObservedCampaign(system, args, /*trace=*/false);
@@ -322,22 +411,12 @@ int CmdMetrics(const cli::Args& args) {
   return 0;
 }
 
-bool WriteFileOrStdout(const std::string& path, const std::string& content,
-                       const char* what) {
-  if (path == "-") {
-    std::fwrite(content.data(), 1, content.size(), stdout);
-    return true;
-  }
-  std::ofstream out(path, std::ios::binary);
-  if (!out || !(out << content)) {
-    std::fprintf(stderr, "cannot write %s to '%s'\n", what, path.c_str());
-    return false;
-  }
-  std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
-  return true;
-}
-
 int CmdTrace(const cli::Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args, "trace",
+          {"scenario", "budget", "seed", "threads", "chaos", "chaos-seed",
+           "in", "out", "chrome", "summary", "fingerprint"}))
+    return rc;
   obs::TraceData trace;
   if (args.Has("in")) {
     // Offline mode: analyse a previously recorded JSONL trace.
@@ -446,6 +525,119 @@ int CmdLint(const std::string& source_name, const std::string& source,
   return 0;
 }
 
+// --- out-of-process serving (src/transport) --------------------------------
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnStopSignal(int) { g_stop = 1; }
+
+int CmdServe(const cli::Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args, "serve",
+          {"scenario", "bind", "phones", "period", "seed", "method",
+           "tick-ms", "io-timeout-ms", "snapshot", "rankings-out",
+           "overload"}))
+    return rc;
+  Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().str().c_str());
+    return 2;
+  }
+  ApplyScenarioOverrides(args, &scenario.value());
+  Result<rank::AggregationMethod> method = MethodByName(args.Get("method"));
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.error().str().c_str());
+    return 2;
+  }
+
+  transport::DaemonConfig config;
+  config.bind = args.Get("bind", "unix:/tmp/sor-serve.sock");
+  config.scenario = scenario.value();
+  config.plan.seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+  config.aggregation = method.value();
+  config.tick_interval_ms = args.GetInt("tick-ms", 50);
+  config.io_timeout_ms = args.GetInt("io-timeout-ms", 10'000);
+  config.snapshot_path = args.Get("snapshot");
+  config.rankings_path = args.Get("rankings-out");
+  if (args.Has("overload")) {
+    // Same preset as `sor metrics --overload` (docs/robustness.md).
+    config.overload.ingest_budget = args.GetInt("overload", 5);
+    config.overload.throttle_at = 0.6;
+    config.overload.stale_after = SimDuration{15'000};
+    config.overload.retry_after = SimDuration{12'000};
+  }
+
+  obs::MetricsRegistry registry;
+  config.registry = &registry;
+  transport::SocketTransport socket_transport(
+      transport::Metrics::For(registry));
+  transport::Daemon daemon(socket_transport, config);
+  if (Status s = daemon.Start(); !s.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", s.str().c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+  std::printf("serving %s on %s\n", args.Get("scenario").c_str(),
+              config.bind.c_str());
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  daemon.Stop();
+  std::printf("%s", registry.RenderText().c_str());
+  return 0;
+}
+
+int CmdLoadgen(const cli::Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args, "loadgen",
+          {"scenario", "connect", "phones", "period", "seed", "budget",
+           "workers", "io-timeout-ms", "report"}))
+    return rc;
+  Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().str().c_str());
+    return 2;
+  }
+  ApplyScenarioOverrides(args, &scenario.value());
+
+  transport::LoadgenConfig config;
+  config.address = args.Get("connect", "unix:/tmp/sor-serve.sock");
+  config.scenario = scenario.value();
+  config.plan.seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+  config.budget_per_user = args.GetInt("budget", 40);
+  config.workers = args.GetInt("workers", 2);
+  config.io_timeout_ms = args.GetInt("io-timeout-ms", 10'000);
+
+  obs::MetricsRegistry registry;
+  config.registry = &registry;
+  transport::SocketTransport socket_transport(
+      transport::Metrics::For(registry));
+  Result<transport::LoadgenReport> run =
+      transport::RunLoadgen(socket_transport, config);
+  if (!run.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n", run.error().str().c_str());
+    return 1;
+  }
+  const transport::LoadgenReport& report = run.value();
+  std::printf("phones=%llu workers=%llu calls=%llu failures=%llu "
+              "pushes=%llu uploads=%llu\n",
+              static_cast<unsigned long long>(report.phones),
+              static_cast<unsigned long long>(report.workers),
+              static_cast<unsigned long long>(report.calls),
+              static_cast<unsigned long long>(report.call_failures),
+              static_cast<unsigned long long>(report.pushes_served),
+              static_cast<unsigned long long>(report.uploads_sent));
+  std::printf("wall=%.2fs throughput=%.0f calls/s latency p50=%.0fus "
+              "p90=%.0fus p99=%.0fus\n",
+              report.wall_seconds, report.calls_per_second,
+              report.p50_call_us, report.p90_call_us, report.p99_call_us);
+  const std::string report_path = args.Get("report", "BENCH_loadgen.json");
+  if (!WriteFileOrStdout(report_path, report.ToJson(), "loadgen report"))
+    return 1;
+  return 0;
+}
+
 int CmdLintEntry(int argc, char** argv) {
   // Optional positional FILE before the --flags.
   std::string file;
@@ -459,6 +651,12 @@ int CmdLintEntry(int argc, char** argv) {
     std::fprintf(stderr, "bad arguments: %s\n", args.error().c_str());
     return 2;
   }
+  if (const int rc = RejectUnknownFlags(
+          args, "lint",
+          {"builtin", "energy-budget", "samples", "strict", "ir-dump",
+           "flow-manifest", "max-steps"});
+      rc != 0)
+    return rc;
   if (args.Has("builtin")) {
     const std::string which = args.Get("builtin");
     if (which != "trails" && which != "coffee") {
@@ -504,6 +702,8 @@ int main(int argc, char** argv) {
   if (cmd == "rank") return CmdRank(args);
   if (cmd == "metrics") return CmdMetrics(args);
   if (cmd == "trace") return CmdTrace(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "loadgen") return CmdLoadgen(args);
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     Usage();
     return 0;

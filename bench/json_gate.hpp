@@ -1,0 +1,43 @@
+// Provenance gate for the benchmark JSON emitters.
+//
+// Every BENCH_*.json report stamps SOR_GIT_SHA so numbers stay comparable
+// across revisions. A dirty working tree makes that sha a lie — the binary
+// was built from code the sha does not describe — so the emitters refuse to
+// run unless the tree was clean or the caller explicitly passes
+// --allow-dirty (for throwaway local runs that will not be blessed).
+//
+// Dirtiness is sampled when CMake configures (SOR_GIT_DIRTY); re-run cmake
+// after committing to clear the flag.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sor::bench {
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline void RequireCleanTree(int argc, char** argv) {
+#if SOR_GIT_DIRTY
+  if (!HasFlag(argc, argv, "--allow-dirty")) {
+    std::fprintf(stderr,
+                 "%s: refusing to emit benchmark JSON from a dirty tree "
+                 "(git sha %s does not describe the code built).\n"
+                 "Commit and re-run cmake, or pass --allow-dirty for a "
+                 "throwaway run.\n",
+                 argv[0], SOR_GIT_SHA);
+    std::exit(1);
+  }
+#else
+  (void)argc;
+  (void)argv;
+#endif
+}
+
+}  // namespace sor::bench

@@ -4,9 +4,16 @@
 // the server's hot loops lean on (docs/performance.md):
 //
 //   * insert            — append into the slot array + pk/secondary index
+//   * insert_batch      — InsertBatch bulk load (per row), one lock + pure
+//                         postings appends; the snapshot-restore path
 //   * point_lookup      — FindByKey through the pk index
 //   * read_cell         — single-cell read (ConsumeBudget's read half)
-//   * indexed_scan      — FindWhereEq over a secondary index (16-way fanout)
+//   * indexed_scan      — ForEachWhereEq visitation over a secondary index
+//                         (16-way fanout) — the hot-path equality scan; no
+//                         row copies
+//   * indexed_materialize — FindWhereEq over the same index, copying every
+//                         matching row out; what indexed_scan measured
+//                         before the visitation paths existed
 //   * cursored_read     — ForEachWhereEqFromPk suffix visitation, the
 //                         incremental processor's "only the new rows" path
 //   * update_by_key     — copy + validate + diff-aware reindex
@@ -23,8 +30,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "db/database.hpp"
+#include "json_gate.hpp"
 
 namespace {
 
@@ -76,6 +85,24 @@ double BenchInsert(std::uint64_t iters) {
   return NsPerOp(t0, t1, iters);
 }
 
+double BenchInsertBatch(std::int64_t rows, std::int64_t batch) {
+  Table t(BenchSchema());
+  (void)t.CreateIndex("app");
+  const auto t0 = Clock::now();
+  for (std::int64_t base = 0; base < rows; base += batch) {
+    std::vector<Row> chunk;
+    chunk.reserve(static_cast<std::size_t>(batch));
+    for (std::int64_t i = base; i < base + batch; ++i) {
+      chunk.push_back(
+          {Value(i), Value(i % kFanout), Value("running"), Value(1.5)});
+    }
+    auto r = t.InsertBatch(std::move(chunk));
+    Sink(r.ok());
+  }
+  const auto t1 = Clock::now();
+  return NsPerOp(t0, t1, static_cast<std::uint64_t>(rows));
+}
+
 double BenchPointLookup(const Table& t, std::int64_t rows,
                         std::uint64_t iters) {
   const auto t0 = Clock::now();
@@ -98,7 +125,27 @@ double BenchReadCell(const Table& t, std::int64_t rows,
   return NsPerOp(t0, t1, iters);
 }
 
+// The equality scan the server's hot loops actually run: visit every row in
+// the postings list, read a cell, copy nothing.
 double BenchIndexedScan(const Table& t, std::uint64_t iters) {
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    double sum = 0.0;
+    t.ForEachWhereEq("app", Value(static_cast<std::int64_t>(i) % kFanout),
+                     [&](const Row& r) {
+                       sum += r[3].as_double();
+                       return true;
+                     });
+    Sink(sum);
+  }
+  const auto t1 = Clock::now();
+  return NsPerOp(t0, t1, iters);
+}
+
+// The materializing variant: same row set, but every row (string status
+// column included) is copied out. Kept as its own metric so the cost of
+// reaching for FindWhereEq on a hot path stays visible.
+double BenchIndexedMaterialize(const Table& t, std::uint64_t iters) {
   const auto t0 = Clock::now();
   for (std::uint64_t i = 0; i < iters; ++i) {
     auto rows =
@@ -164,18 +211,24 @@ double BenchFullScan(const Table& t, std::uint64_t iters) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sor::bench::RequireCleanTree(argc, argv);
   constexpr std::int64_t kRows = 100'000;
+  constexpr std::int64_t kBatch = 1'000;
   constexpr std::uint64_t kPointIters = 2'000'000;
   constexpr std::uint64_t kScanIters = 20'000;
+  constexpr std::uint64_t kMaterializeIters = 2'000;
   constexpr std::uint64_t kFullScanIters = 200;
 
   const double insert_ns = BenchInsert(kRows);
+  const double insert_batch_ns = BenchInsertBatch(kRows, kBatch);
   Table t(BenchSchema());
   FillTable(t, kRows);
   const double point_lookup_ns = BenchPointLookup(t, kRows, kPointIters);
   const double read_cell_ns = BenchReadCell(t, kRows, kPointIters);
   const double indexed_scan_ns = BenchIndexedScan(t, kScanIters);
+  const double indexed_materialize_ns =
+      BenchIndexedMaterialize(t, kMaterializeIters);
   const double cursored_read_ns = BenchCursoredRead(t, kRows, kScanIters);
   const double update_by_key_ns = BenchUpdateByKey(t, kRows, kPointIters);
   const double update_in_place_ns = BenchUpdateInPlace(t, kRows, kPointIters);
@@ -189,9 +242,11 @@ int main() {
   std::printf("  \"rows\": %lld,\n", static_cast<long long>(kRows));
   std::printf("  \"per_op_ns\": {\n");
   std::printf("    \"insert\": %.1f,\n", insert_ns);
+  std::printf("    \"insert_batch\": %.1f,\n", insert_batch_ns);
   std::printf("    \"point_lookup\": %.1f,\n", point_lookup_ns);
   std::printf("    \"read_cell\": %.1f,\n", read_cell_ns);
   std::printf("    \"indexed_scan\": %.1f,\n", indexed_scan_ns);
+  std::printf("    \"indexed_materialize\": %.1f,\n", indexed_materialize_ns);
   std::printf("    \"cursored_read\": %.1f,\n", cursored_read_ns);
   std::printf("    \"update_by_key\": %.1f,\n", update_by_key_ns);
   std::printf("    \"update_in_place\": %.1f,\n", update_in_place_ns);

@@ -27,6 +27,7 @@
 #include "core/system.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "json_gate.hpp"
 
 namespace {
 
@@ -140,7 +141,8 @@ double CampaignMs(bool trace, std::uint64_t* fingerprint,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sor::bench::RequireCleanTree(argc, argv);
   constexpr std::uint64_t kIters = 4'000'000;
   constexpr std::uint64_t kFingerprintEvents = 200'000;
   constexpr int kCampaignRuns = 3;  // report the min — least-noise estimate

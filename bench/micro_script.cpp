@@ -30,6 +30,7 @@
 #include "script/ir/exec.hpp"
 #include "script/ir/lower.hpp"
 #include "script/parser.hpp"
+#include "json_gate.hpp"
 
 namespace {
 
@@ -151,7 +152,8 @@ double BenchOptimize(const script::Program& program, std::uint64_t iters) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sor::bench::RequireCleanTree(argc, argv);
   const script::HostRegistry host = MakeHost();
   const script::Program sensing = script::Parse(kSensingScript).value();
 

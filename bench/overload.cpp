@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "core/system.hpp"
+#include "json_gate.hpp"
 
 namespace {
 
@@ -84,7 +85,8 @@ std::uint64_t PendingAfterRun(sor::core::System& system) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sor::bench::RequireCleanTree(argc, argv);
   const sor::world::Scenario scenario = SmallCoffee();
 
   // Main measurement run: a generous drain so the campaign itself ends

@@ -1,9 +1,12 @@
 // scale_phones — throughput of the sharded runtime vs phone count.
 //
 // Runs the coffee-shop campaign at ~50/200/1000 phones on 1/2/4/8 threads
-// (plus a 5k-phone tier behind --large) and emits one JSON object per
-// line-printer run: campaign wall time, tick throughput, and the measured
-// speedup_vs_serial per (phones, threads) cell. Deferred setup reschedules
+// (plus ~5k/~10k tiers behind --large and a ~100k tier behind --xlarge) and
+// emits one JSON object per line-printer run: campaign wall time, tick
+// throughput, the measured speedup_vs_serial, and the scheduler's work
+// counters (gain_evaluations / schedules_sent per join — the numbers that
+// must stay flat-ish per join for incremental replanning to be O(delta))
+// per (phones, threads) cell. Deferred setup reschedules
 // keep the join storm O(P) so the measurement is dominated by the tick
 // loop, which is what the epoch runtime parallelizes (phase A overlaps the
 // per-phone compute; phase B is one serial merge per tick).
@@ -20,6 +23,7 @@
 #include <vector>
 
 #include "core/system.hpp"
+#include "json_gate.hpp"
 
 namespace {
 
@@ -29,6 +33,14 @@ struct Cell {
   int ticks = 0;
   double wall_ms = 0.0;
   double ticks_per_sec = 0.0;
+  // Scheduler work accounting (docs/performance.md): with incremental
+  // replanning both totals grow O(phones · support), so the per-join
+  // ratios should be flat-ish across tiers instead of growing O(phones).
+  std::uint64_t joins = 0;
+  std::uint64_t gain_evaluations = 0;
+  std::uint64_t schedules_distributed = 0;
+  std::uint64_t schedule_rows = 0;   // one per task under plan-delta rows
+  std::uint64_t db_full_scans = 0;   // queries that degraded to O(table)
 };
 
 Cell RunCell(int phones_per_place, int threads) {
@@ -65,7 +77,40 @@ Cell RunCell(int phones_per_place, int threads) {
   cell.ticks_per_sec = cell.wall_ms > 0.0
                            ? 1000.0 * cell.ticks / cell.wall_ms
                            : 0.0;
+  const sor::core::FieldTestResult& result = run.value();
+  cell.joins = result.server_stats.participations_accepted;
+  const sor::server::SchedulerStats& sched = system.server().scheduler().stats();
+  cell.gain_evaluations = sched.gain_evaluations;
+  cell.schedules_distributed = sched.schedules_distributed;
+  if (const sor::db::Table* schedules =
+          system.server().database().table("schedules");
+      schedules != nullptr) {
+    cell.schedule_rows = schedules->size();
+  }
+  cell.db_full_scans = system.metrics().counter("db.full_scans").value();
   return cell;
+}
+
+void PrintCellJson(const Cell& c, const char* indent, bool with_speedup,
+                   double speedup) {
+  const double joins = c.joins > 0 ? static_cast<double>(c.joins) : 1.0;
+  std::printf(
+      "%s{\"phones\": %d, \"threads\": %d, \"ticks\": %d, "
+      "\"wall_ms\": %.1f, \"ticks_per_sec\": %.2f",
+      indent, c.phones, c.threads, c.ticks, c.wall_ms, c.ticks_per_sec);
+  if (with_speedup) std::printf(", \"speedup_vs_serial\": %.3f", speedup);
+  std::printf(
+      ", \"joins\": %llu, \"gain_evaluations\": %llu, "
+      "\"gain_evaluations_per_join\": %.1f, "
+      "\"schedules_distributed\": %llu, \"schedules_sent_per_join\": %.3f, "
+      "\"schedule_rows\": %llu, \"db_full_scans\": %llu}",
+      static_cast<unsigned long long>(c.joins),
+      static_cast<unsigned long long>(c.gain_evaluations),
+      static_cast<double>(c.gain_evaluations) / joins,
+      static_cast<unsigned long long>(c.schedules_distributed),
+      static_cast<double>(c.schedules_distributed) / joins,
+      static_cast<unsigned long long>(c.schedule_rows),
+      static_cast<unsigned long long>(c.db_full_scans));
 }
 
 }  // namespace
@@ -73,20 +118,29 @@ Cell RunCell(int phones_per_place, int threads) {
 int main(int argc, char** argv) {
   // `scale_phones --cell PPP THREADS` runs one cell and prints its wall
   // time only — the shape profilers and quick A/B comparisons want.
-  if (argc == 4 && std::string_view(argv[1]) == "--cell") {
+  if (argc >= 4 && std::string_view(argv[1]) == "--cell") {
     const Cell c = RunCell(std::atoi(argv[2]), std::atoi(argv[3]));
-    std::printf("{\"phones\": %d, \"threads\": %d, \"wall_ms\": %.1f}\n",
-                c.phones, c.threads, c.wall_ms);
+    PrintCellJson(c, "", /*with_speedup=*/false, 0.0);
+    std::printf("\n");
     return 0;
   }
+  sor::bench::RequireCleanTree(argc, argv);
   bool large = false;
+  bool xlarge = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--large") large = true;
+    if (std::string_view(argv[i]) == "--xlarge") xlarge = true;
   }
-  // ×3 places ≈ 50/200/1000 phones; --large adds a ~5k tier (the first
-  // step toward the ROADMAP's 100k target — too slow for every CI run).
+  // ×3 places ≈ 50/200/1000 phones; --large adds ~5k and ~10k tiers,
+  // --xlarge a ~100k tier (the ROADMAP's target scale — incremental
+  // replanning + plan-delta distribution is what makes it reachable; far
+  // too slow for every CI run).
   std::vector<int> per_place = {17, 67, 334};
-  if (large) per_place.push_back(1667);
+  if (large || xlarge) {
+    per_place.push_back(1667);
+    per_place.push_back(3334);
+  }
+  if (xlarge) per_place.push_back(33334);
   const std::vector<int> thread_counts = {1, 2, 4, 8};
 
   std::printf("{\n  \"bench\": \"scale_phones\",\n");
@@ -111,11 +165,8 @@ int main(int argc, char** argv) {
       // means this thread count beat the serial run of the same tier.
       const double speedup =
           c.wall_ms > 0.0 ? serial_wall_ms / c.wall_ms : 0.0;
-      std::printf("%s    {\"phones\": %d, \"threads\": %d, \"ticks\": %d, "
-                  "\"wall_ms\": %.1f, \"ticks_per_sec\": %.2f, "
-                  "\"speedup_vs_serial\": %.3f}",
-                  first ? "" : ",\n", c.phones, c.threads, c.ticks,
-                  c.wall_ms, c.ticks_per_sec, speedup);
+      if (!first) std::printf(",\n");
+      PrintCellJson(c, "    ", /*with_speedup=*/true, speedup);
       first = false;
       std::fflush(stdout);
       std::fprintf(stderr, "phones=%d threads=%d wall=%.0fms speedup=%.2f\n",

@@ -199,6 +199,11 @@ Result<FieldTestResult> System::RunFieldTest(const world::Scenario& scenario,
   server_->set_overload(config.overload);
   server_->scheduler().set_algorithm(config.scheduler_algorithm);
   {
+    server::SchedulerOptions opts;
+    opts.incremental = config.incremental_scheduling;
+    server_->scheduler().set_options(opts);
+  }
+  {
     server::DataProcessorOptions opts =
         server_->data_processor().options();
     opts.incremental = config.incremental_processing;

@@ -40,8 +40,14 @@ struct FieldTestConfig {
   rank::AggregationMethod aggregation =
       rank::AggregationMethod::kFootruleMcmf;
   server::SchedulerAlgorithm scheduler_algorithm =
-      server::SchedulerAlgorithm::kGreedy;
+      server::SchedulerAlgorithm::kLazyGreedy;
   bool leave_at_end = true;            // send LeaveNotifications at tE
+  // Incremental replanning (docs/performance.md): joins/leaves are planned
+  // as deltas against per-app residual-coverage state and only changed
+  // schedules are distributed. false selects the cold-replan oracle —
+  // byte-identical plans rebuilt from the commit log every reschedule; the
+  // determinism tests hold the two modes bitwise equal.
+  bool incremental_scheduling = true;
 
   // --- sharded runtime (docs/runtime.md) ---------------------------------
   // Worker threads for the tick loop and server-side batch stages. Any

@@ -141,6 +141,10 @@ Status RestoreDatabase(std::span<const std::uint8_t> snapshot, Database& out) {
 
     const std::uint64_t num_rows = r.varint();
     const std::size_t cols = table->schema().columns.size();
+    // Decode the whole table, then bulk-load it: InsertBatch validates and
+    // indexes everything under one lock, with pure-append postings.
+    std::vector<Row> rows;
+    if (num_rows <= 1u << 24) rows.reserve(static_cast<std::size_t>(num_rows));
     for (std::uint64_t i = 0; i < num_rows && r.ok(); ++i) {
       Row row;
       row.reserve(cols);
@@ -149,9 +153,11 @@ Status RestoreDatabase(std::span<const std::uint8_t> snapshot, Database& out) {
         if (!v.ok()) return Status(v.error());
         row.push_back(std::move(v).value());
       }
-      Result<RowId> inserted = table->Insert(std::move(row));
-      if (!inserted.ok()) return Status(inserted.error());
+      rows.push_back(std::move(row));
     }
+    if (!r.ok()) break;
+    Result<std::vector<RowId>> inserted = table->InsertBatch(std::move(rows));
+    if (!inserted.ok()) return Status(inserted.error());
   }
   if (Status s = r.finish(); !s.ok()) return s;
 

@@ -75,6 +75,48 @@ Result<RowId> Table::Insert(Row row) {
   return id;
 }
 
+Result<std::vector<RowId>> Table::InsertBatch(std::vector<Row> rows) {
+  for (const Row& row : rows) {
+    if (Status s = schema_.Validate(row); !s.ok()) return s.error();
+  }
+  // One batch is one write operation to the injector, mirroring Insert's
+  // check-before-any-state-change contract.
+  if (storage_faults_ != nullptr && storage_faults_->FailWrite(schema_.table_name))
+    return Error{Errc::kUnavailable,
+                 schema_.table_name + ": injected storage write failure"};
+  std::lock_guard lock(mu_);
+  const auto pk = std::size_t(schema_.primary_key);
+  // Claim every key in the pk index up front — ids are predictable, the
+  // batch occupies [next_id_, next_id_ + rows.size()). A collision (with
+  // the table or within the batch, which the emplace catches uniformly)
+  // unwinds the claims, so a failed batch leaves no trace.
+  std::vector<decltype(pk_index_)::iterator> claimed;
+  claimed.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    auto [it, fresh] = pk_index_.emplace(rows[i][pk], next_id_ + i);
+    if (!fresh) {
+      for (auto c : claimed) pk_index_.erase(c);
+      return Error{Errc::kAlreadyExists,
+                   schema_.table_name + ": duplicate key " + rows[i][pk].str()};
+    }
+    claimed.push_back(it);
+  }
+  std::vector<RowId> ids;
+  ids.reserve(rows.size());
+  slots_.reserve(slots_.size() + rows.size());
+  for (Row& row : rows) {
+    const RowId id = next_id_++;
+    slots_.push_back(std::move(row));
+    ++live_;
+    // The pk entry is already claimed; only secondary postings remain, and
+    // fresh monotone ids make each one a pure append.
+    for (auto& [ci, idx] : secondary_)
+      AddPosting(idx[(*slots_.back())[static_cast<std::size_t>(ci)]], id);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
 Result<RowId> Table::Upsert(Row row) {
   if (Status s = schema_.Validate(row); !s.ok()) return s.error();
   if (storage_faults_ != nullptr && storage_faults_->FailWrite(schema_.table_name))

@@ -65,6 +65,16 @@ class Table {
   // Insert; fails on schema mismatch or duplicate primary key.
   Result<RowId> Insert(Row row);
 
+  // Batch insert: validates every row and checks primary-key uniqueness
+  // (against the table AND within the batch) before any mutation, then
+  // appends and indexes all rows under a single exclusive lock.
+  // All-or-nothing: on any failure no row is inserted. Returns the new
+  // RowIds in batch order. Because fresh RowIds are monotone, every
+  // secondary-index posting is a pure append — one lock acquisition and no
+  // binary inserts, which is what makes bulk loads (snapshot restore)
+  // cheaper than a loop of Insert calls.
+  Result<std::vector<RowId>> InsertBatch(std::vector<Row> rows);
+
   // Upsert on primary key: replaces the existing row if the key exists.
   // When the replacement changes no indexed cell (the common recompute
   // case, e.g. feature_data), the row moves into its slot without touching

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 namespace sor::sched {
 
@@ -65,6 +68,22 @@ CoverageKernel::CoverageKernel(double sigma_s, double spacing_s,
   }
 }
 
+std::shared_ptr<const CoverageKernel> CoverageKernel::Shared(
+    double sigma_s, double spacing_s, double support_sigmas) {
+  using Key = std::tuple<double, double, double>;
+  static std::mutex mu;
+  static std::map<Key, std::shared_ptr<const CoverageKernel>> cache;
+  const Key key{sigma_s, spacing_s, support_sigmas};
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_shared<const CoverageKernel>(
+                                sigma_s, spacing_s, support_sigmas))
+             .first;
+  }
+  return it->second;
+}
+
 namespace {
 double GridSpacingSeconds(const Problem& p) {
   assert(p.grid.size() >= 1);
@@ -75,7 +94,8 @@ double GridSpacingSeconds(const Problem& p) {
 
 CoverageEvaluator::CoverageEvaluator(const Problem& p)
     : n_(p.num_instants()),
-      kernel_(p.sigma_s, GridSpacingSeconds(p), p.support_sigmas) {}
+      kernel_(CoverageKernel::Shared(p.sigma_s, GridSpacingSeconds(p),
+                                     p.support_sigmas)) {}
 
 namespace {
 void ApplyMeasurement(std::vector<double>& q, const CoverageKernel& kernel,
@@ -92,7 +112,7 @@ double CoverageEvaluator::CombinedObjective(const Schedule& s) const {
   // q[j] = Π (1 − p) over every scheduled measurement; objective = Σ (1−q).
   std::vector<double> q(static_cast<std::size_t>(n_), 1.0);
   for (const auto& phi : s.per_user) {
-    for (int i : phi) ApplyMeasurement(q, kernel_, n_, i);
+    for (int i : phi) ApplyMeasurement(q, *kernel_, n_, i);
   }
   double total = 0.0;
   for (double qj : q) total += 1.0 - qj;
@@ -103,7 +123,7 @@ double CoverageEvaluator::CombinedObjectiveWithExisting(
     const Problem& p, const Schedule& s) const {
   std::vector<double> q = UncoveredAfter(p.existing_measurements);
   for (const auto& phi : s.per_user) {
-    for (int i : phi) ApplyMeasurement(q, kernel_, n_, i);
+    for (int i : phi) ApplyMeasurement(q, *kernel_, n_, i);
   }
   double total = 0.0;
   for (double qj : q) total += 1.0 - qj;
@@ -115,13 +135,13 @@ std::vector<double> CoverageEvaluator::UncoveredAfter(
   std::vector<double> q(static_cast<std::size_t>(n_), 1.0);
   for (int i : instants) {
     if (i < 0 || i >= n_) continue;  // tolerate off-grid snaps
-    ApplyMeasurement(q, kernel_, n_, i);
+    ApplyMeasurement(q, *kernel_, n_, i);
   }
   return q;
 }
 
 double CoverageEvaluator::PerUserSumObjective(const Schedule& s) const {
-  const int sup = kernel_.support();
+  const int sup = kernel_->support();
   double total = 0.0;
   for (const auto& phi : s.per_user) {
     std::vector<double> q(static_cast<std::size_t>(n_), 1.0);
@@ -129,7 +149,7 @@ double CoverageEvaluator::PerUserSumObjective(const Schedule& s) const {
       const int lo = std::max(0, i - sup);
       const int hi = std::min(n_ - 1, i + sup);
       for (int j = lo; j <= hi; ++j)
-        q[static_cast<std::size_t>(j)] *= 1.0 - kernel_.at(std::abs(j - i));
+        q[static_cast<std::size_t>(j)] *= 1.0 - kernel_->at(std::abs(j - i));
     }
     for (double qj : q) total += 1.0 - qj;
   }

@@ -17,6 +17,7 @@
 // greedy its 1/2 guarantee.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -96,6 +97,13 @@ class CoverageKernel {
   // spacing_s: grid spacing in seconds.
   CoverageKernel(double sigma_s, double spacing_s, double support_sigmas);
 
+  // Process-wide cache keyed on (sigma_s, spacing_s, support_sigmas).
+  // Every PlanApp used to rebuild the identical Gaussian table — thousands
+  // of exp() calls per reschedule at fleet scale; the table is immutable
+  // once built, so all evaluators share one copy. Thread-safe.
+  [[nodiscard]] static std::shared_ptr<const CoverageKernel> Shared(
+      double sigma_s, double spacing_s, double support_sigmas);
+
   // p(t_i, t_j) for |i − j| = d; 0 beyond the truncated support.
   [[nodiscard]] double at(int d) const {
     return d < static_cast<int>(values_.size()) ? values_[d] : 0.0;
@@ -139,11 +147,11 @@ class CoverageEvaluator {
     return CombinedObjective(s) / static_cast<double>(n_);
   }
 
-  [[nodiscard]] const CoverageKernel& kernel() const { return kernel_; }
+  [[nodiscard]] const CoverageKernel& kernel() const { return *kernel_; }
 
  private:
   int n_;
-  CoverageKernel kernel_;
+  std::shared_ptr<const CoverageKernel> kernel_;  // cache-shared, immutable
 };
 
 }  // namespace sor::sched

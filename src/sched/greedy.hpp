@@ -39,4 +39,26 @@ struct ScheduleResult {
 [[nodiscard]] Result<ScheduleResult> GreedyScheduleNaive(const Problem& p);
 [[nodiscard]] Result<ScheduleResult> LazyGreedySchedule(const Problem& p);
 
+// Warm-start placement for incremental replanning (docs/performance.md):
+// place ONLY `p.users` (the delta members — e.g. the users who joined since
+// the last reschedule) against an externally maintained residual-uncoverage
+// vector `q` = Π(1−p) over every previously committed measurement. `q` must
+// have one entry per grid instant; it is updated in place with the new
+// commits, so the caller can carry it into the next delta round. The
+// reported objective is the coverage the new picks add on top of `q`.
+//
+// `full_grid_candidates` selects how the lazy heap is seeded: true evaluates
+// every instant (the cold-replan oracle shape), false only instants some
+// delta user can still take (O(delta) work). The committed picks are
+// identical either way — instants outside every delta window never have a
+// feasible user, so the oracle pops and drops them — which is exactly the
+// incremental-vs-oracle parity contract; only gain_evaluations differ.
+[[nodiscard]] Result<ScheduleResult> LazyGreedyPlaceDelta(
+    const Problem& p, std::vector<double>& q, bool full_grid_candidates);
+
+// Eager variant of the same warm start (for --scheduler greedy): identical
+// picks, more gain evaluations.
+[[nodiscard]] Result<ScheduleResult> GreedyPlaceDelta(const Problem& p,
+                                                      std::vector<double>& q);
+
 }  // namespace sor::sched

@@ -1,5 +1,6 @@
 #include "sched/matroid.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sor::sched {
@@ -7,63 +8,82 @@ namespace sor::sched {
 BudgetMatroid::BudgetMatroid(const Problem& p) {
   const int k = p.num_users();
   budget_.reserve(static_cast<std::size_t>(k));
-  for (const UserWindow& u : p.users) budget_.push_back(u.budget);
+  int max_budget = 0;
+  for (const UserWindow& u : p.users) {
+    budget_.push_back(u.budget);
+    max_budget = std::max(max_budget, u.budget);
+  }
   used_.assign(static_cast<std::size_t>(k), 0);
-  users_at_.assign(static_cast<std::size_t>(p.num_instants()), {});
+  active_cover_.assign(static_cast<std::size_t>(p.num_instants()), 0);
+  buckets_.assign(static_cast<std::size_t>(max_budget) + 1, {});
+
+  win_lo_.reserve(static_cast<std::size_t>(k));
+  win_hi_.reserve(static_cast<std::size_t>(k));
   for (int u = 0; u < k; ++u) {
-    for (int i : p.UserInstants(u))
-      users_at_[static_cast<std::size_t>(i)].push_back(u);
+    // The grid is sorted, so T_u is the contiguous index range between the
+    // window boundaries (same arithmetic as Problem::UserInstants without
+    // materializing the vector).
+    const SimInterval& w = p.users[static_cast<std::size_t>(u)].presence;
+    const auto lo = std::lower_bound(p.grid.begin(), p.grid.end(), w.begin);
+    const auto hi = std::upper_bound(p.grid.begin(), p.grid.end(), w.end);
+    win_lo_.push_back(static_cast<int>(lo - p.grid.begin()));
+    win_hi_.push_back(static_cast<int>(hi - p.grid.begin()) - 1);
+    if (remaining(u) > 0) {
+      buckets_[static_cast<std::size_t>(remaining(u))].insert(u);
+      max_remaining_ = std::max(max_remaining_, remaining(u));
+      AdjustCover(u, +1);
+    }
   }
 }
 
-bool BudgetMatroid::InGroundSet(const Assignment& a) const {
-  if (a.instant < 0 || a.instant >= static_cast<int>(users_at_.size()))
-    return false;
-  if (a.user < 0 || a.user >= num_users()) return false;
-  for (int u : users_at_[static_cast<std::size_t>(a.instant)]) {
-    if (u == a.user) return true;
+void BudgetMatroid::MoveBucket(int user, int from, int to) {
+  if (from > 0) buckets_[static_cast<std::size_t>(from)].erase(user);
+  if (to > 0) {
+    buckets_[static_cast<std::size_t>(to)].insert(user);
+    max_remaining_ = std::max(max_remaining_, to);
   }
-  return false;
+  while (max_remaining_ > 0 &&
+         buckets_[static_cast<std::size_t>(max_remaining_)].empty())
+    --max_remaining_;
 }
 
-bool BudgetMatroid::CanAdd(const Assignment& a) const {
-  return InGroundSet(a) && remaining(a.user) > 0;
+void BudgetMatroid::AdjustCover(int user, int delta) {
+  const auto s = static_cast<std::size_t>(user);
+  const int lo = std::max(0, win_lo_[s]);
+  const int hi = std::min(static_cast<int>(active_cover_.size()) - 1,
+                          win_hi_[s]);
+  for (int i = lo; i <= hi; ++i)
+    active_cover_[static_cast<std::size_t>(i)] += delta;
 }
 
 void BudgetMatroid::Add(const Assignment& a) {
   assert(CanAdd(a));
+  const int before = remaining(a.user);
   ++used_[static_cast<std::size_t>(a.user)];
+  MoveBucket(a.user, before, before - 1);
+  if (before == 1) AdjustCover(a.user, -1);  // just exhausted
 }
 
 void BudgetMatroid::Remove(const Assignment& a) {
   assert(used_[static_cast<std::size_t>(a.user)] > 0);
+  const int before = remaining(a.user);
   --used_[static_cast<std::size_t>(a.user)];
+  MoveBucket(a.user, before, before + 1);
+  if (before == 0) AdjustCover(a.user, +1);  // no longer exhausted
 }
 
 void BudgetMatroid::Reset() {
+  for (auto& b : buckets_) b.clear();
+  std::fill(active_cover_.begin(), active_cover_.end(), 0);
   std::fill(used_.begin(), used_.end(), 0);
-}
-
-bool BudgetMatroid::InstantFeasible(int instant) const {
-  if (instant < 0 || instant >= static_cast<int>(users_at_.size()))
-    return false;
-  for (int u : users_at_[static_cast<std::size_t>(instant)]) {
-    if (remaining(u) > 0) return true;
-  }
-  return false;
-}
-
-int BudgetMatroid::PickUserFor(int instant) const {
-  int best = -1;
-  int best_remaining = 0;
-  for (int u : users_at_[static_cast<std::size_t>(instant)]) {
-    const int r = remaining(u);
-    if (r > best_remaining) {
-      best_remaining = r;
-      best = u;
+  max_remaining_ = 0;
+  for (int u = 0; u < num_users(); ++u) {
+    if (remaining(u) > 0) {
+      buckets_[static_cast<std::size_t>(remaining(u))].insert(u);
+      max_remaining_ = std::max(max_remaining_, remaining(u));
+      AdjustCover(u, +1);
     }
   }
-  return best;
 }
 
 }  // namespace sor::sched

@@ -6,8 +6,16 @@
 // is O(1) per query "by maintaining a counter for each mobile user and
 // checking if its value exceeds the given budget", exactly as §III describes
 // — this is what makes Algorithm 1 run in O(N²) overall.
+//
+// Ground-set membership is O(1) too: the grid is sorted and each user's
+// presence window is an interval, so T_k is a contiguous index range
+// [win_lo, win_hi]. On top of that the matroid keeps a feasible-user index —
+// users bucketed by remaining budget plus a per-instant count of unexhausted
+// covering users — so "which user takes this instant" queries resolve
+// without scanning the whole fleet (the 10k-phone hot path).
 #pragma once
 
+#include <set>
 #include <vector>
 
 #include "sched/coverage.hpp"
@@ -19,11 +27,17 @@ class BudgetMatroid {
   explicit BudgetMatroid(const Problem& p);
 
   // Is (user, instant) a ground-set element at all? (instant within the
-  // user's presence window)
-  [[nodiscard]] bool InGroundSet(const Assignment& a) const;
+  // user's presence window) O(1).
+  [[nodiscard]] bool InGroundSet(const Assignment& a) const {
+    if (a.user < 0 || a.user >= num_users()) return false;
+    const auto u = static_cast<std::size_t>(a.user);
+    return a.instant >= win_lo_[u] && a.instant <= win_hi_[u];
+  }
 
   // Independence oracle: may `a` be added to the current set? O(1).
-  [[nodiscard]] bool CanAdd(const Assignment& a) const;
+  [[nodiscard]] bool CanAdd(const Assignment& a) const {
+    return InGroundSet(a) && remaining(a.user) > 0;
+  }
 
   // Add (must be CanAdd) / remove (must be present via your own bookkeeping;
   // the matroid only tracks counters).
@@ -45,21 +59,57 @@ class BudgetMatroid {
   }
 
   // Whether any element at this instant can still be added (some user whose
-  // window covers it has remaining budget). Used by greedy candidate pruning.
-  [[nodiscard]] bool InstantFeasible(int instant) const;
+  // window covers it has remaining budget). O(1) via the per-instant count
+  // of unexhausted covering users.
+  [[nodiscard]] bool InstantFeasible(int instant) const {
+    return instant >= 0 && instant < static_cast<int>(active_cover_.size()) &&
+           active_cover_[static_cast<std::size_t>(instant)] > 0;
+  }
 
   // A deterministic choice of user to charge for a measurement at `instant`:
   // among users with remaining budget whose window covers it, the one with
   // the most remaining budget (ties → lowest user index). Any choice keeps
   // the 1/2 guarantee; this one spreads load for fairness ("preventing
   // certain mobile users from being abused", §III).
-  [[nodiscard]] int PickUserFor(int instant) const;
+  [[nodiscard]] int PickUserFor(int instant) const {
+    return FirstFeasibleUserAt(instant, [](int) { return true; });
+  }
+
+  // Generalized PickUserFor: visits candidates in the same deterministic
+  // charge order (most remaining budget first, ties toward lower index) and
+  // returns the first one `accept` admits, or -1. Callers use `accept` to
+  // exclude users already sensing at the instant. Amortized O(1) when the
+  // top budget bucket has a covering user; the full-bucket walk only happens
+  // in the saturated tail.
+  template <typename Accept>
+  [[nodiscard]] int FirstFeasibleUserAt(int instant, Accept&& accept) const {
+    if (!InstantFeasible(instant)) return -1;
+    for (int r = max_remaining_; r >= 1; --r) {
+      for (int u : buckets_[static_cast<std::size_t>(r)]) {
+        const auto s = static_cast<std::size_t>(u);
+        if (instant < win_lo_[s] || instant > win_hi_[s]) continue;
+        if (accept(u)) return u;
+      }
+    }
+    return -1;
+  }
 
  private:
+  void MoveBucket(int user, int from, int to);
+  void AdjustCover(int user, int delta);
+
   std::vector<int> budget_;
   std::vector<int> used_;
-  // users_at_[instant] = user indices whose window covers that instant.
-  std::vector<std::vector<int>> users_at_;
+  // Contiguous grid-index range of each user's presence window; empty
+  // windows store lo > hi.
+  std::vector<int> win_lo_;
+  std::vector<int> win_hi_;
+  // buckets_[r] = users with exactly r remaining budget, ascending index.
+  std::vector<std::set<int>> buckets_;
+  int max_remaining_ = 0;  // highest non-empty bucket (0 when none)
+  // Per instant: number of users with remaining budget whose window covers
+  // it. Zero ⇒ the instant is exhausted and candidate pruning can skip it.
+  std::vector<int> active_cover_;
 };
 
 }  // namespace sor::sched

@@ -1,23 +1,37 @@
 #include "server/scheduler.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <utility>
 
 #include "common/log.hpp"
-#include "sched/baseline.hpp"
-#include "server/coverage_report.hpp"
 
 namespace sor::server {
 
-std::vector<int> SensingScheduler::ExecutedInstants(
-    const ApplicationRecord& app, const std::vector<SimTime>& grid) const {
-  std::vector<int> executed;
-  for (const auto& [task, instants] :
-       ExecutedInstantsByTask(db_, app.id, grid)) {
-    executed.insert(executed.end(), instants.begin(), instants.end());
+namespace {
+
+// Durable schedule-row blob: the legacy prefix (varint count + svarint
+// delta-encoded instant times, what the post-restart resync re-pushes) is
+// followed by each pick's grid index and commit seq — the planner's commit
+// log, which RebuildFromDb replays to reproduce the planning state.
+std::vector<std::uint8_t> EncodeTaskRowBlob(
+    const std::vector<sched::IncrementalPlanner::Pick>& picks,
+    const std::vector<SimTime>& grid) {
+  ByteWriter blob;
+  blob.varint(picks.size());
+  std::int64_t prev = 0;
+  for (const sched::IncrementalPlanner::Pick& p : picks) {
+    const SimTime t = grid[static_cast<std::size_t>(p.instant)];
+    blob.svarint(t.ms - prev);
+    prev = t.ms;
   }
-  return executed;
+  for (const sched::IncrementalPlanner::Pick& p : picks) {
+    blob.varint(static_cast<std::uint64_t>(p.instant));
+    blob.varint(p.seq);
+  }
+  return blob.take();
 }
+
+}  // namespace
 
 Status SensingScheduler::RescheduleApp(const ApplicationRecord& app,
                                        ParticipationManager& participations,
@@ -35,78 +49,122 @@ Status SensingScheduler::RescheduleApp(const ApplicationRecord& app,
                         samples_per_window);
 }
 
+sched::PlacementAlgorithm SensingScheduler::placement_algorithm() const {
+  switch (algorithm_) {
+    case SchedulerAlgorithm::kGreedy:
+      return sched::PlacementAlgorithm::kGreedy;
+    case SchedulerAlgorithm::kLazyGreedy:
+      return sched::PlacementAlgorithm::kLazyGreedy;
+    case SchedulerAlgorithm::kPeriodic:
+      return sched::PlacementAlgorithm::kPeriodic;
+  }
+  return sched::PlacementAlgorithm::kLazyGreedy;
+}
+
+void SensingScheduler::EnsurePlanState(const ApplicationRecord& app) {
+  auto it = plan_states_.find(app.id.value());
+  if (it != plan_states_.end()) return;
+  sched::IncrementalPlanner::Options opts;
+  opts.sigma_s = app.spec.sigma_s;
+  opts.algorithm = placement_algorithm();
+  opts.incremental = options_.incremental;
+  PlanState st;
+  st.planner = std::make_unique<sched::IncrementalPlanner>(
+      MakeInstantGrid(app.spec.period, app.spec.n_instants), opts);
+  plan_states_.emplace(app.id.value(), std::move(st));
+}
+
+void SensingScheduler::MarkTaskUnsent(const ApplicationRecord& app,
+                                      TaskId task) {
+  EnsurePlanState(app);
+  plan_states_.at(app.id.value()).unsent.insert(task.value());
+}
+
 Result<SchedulePlan> SensingScheduler::PlanApp(
     const ApplicationRecord& app,
-    const ParticipationManager& participations) const {
-  SchedulePlan plan;
-  plan.active = participations.ActiveForApp(app.id);
-  if (plan.active.empty()) {
-    plan.empty = true;
-    return plan;
-  }
+    const ParticipationManager& participations) {
+  EnsurePlanState(app);
+  PlanState& st = plan_states_.at(app.id.value());
+  sched::IncrementalPlanner& planner = *st.planner;
 
-  // Build the §III problem instance: the app's instant grid plus one
-  // presence window per active participant. A user with no recorded leave
-  // time is assumed present until the period ends (online assumption; a
-  // later leave triggers another reschedule).
-  sched::Problem problem;
-  problem.grid = MakeInstantGrid(app.spec.period, app.spec.n_instants);
-  problem.sigma_s = app.spec.sigma_s;
+  SchedulePlan plan;
+  plan.grid = planner.grid();
+
+  const std::vector<ParticipationRecord> active =
+      participations.ActiveForApp(app.id);
+  plan.active_count = active.size();
   const SimTime now = clock_.now();
-  for (const ParticipationRecord& rec : plan.active) {
-    sched::UserWindow w;
+
+  // Diff the active set against the planner's members: unknown active tasks
+  // are joins, known members that are no longer active are leaves.
+  std::set<std::uint64_t> active_tasks;
+  std::map<std::uint64_t, const ParticipationRecord*> record_of;
+  std::vector<sched::IncrementalPlanner::Join> joins;
+  for (const ParticipationRecord& rec : active) {
+    active_tasks.insert(rec.task.value());
+    record_of.emplace(rec.task.value(), &rec);
+    if (planner.HasMember(static_cast<std::int64_t>(rec.task.value())))
+      continue;
+    sched::IncrementalPlanner::Join j;
+    j.member = static_cast<std::int64_t>(rec.task.value());
     SimTime begin = rec.arrive;
     if (online_aware_ && now > begin) begin = now;  // the past is gone
-    w.presence = SimInterval{begin, rec.leave.value_or(app.spec.period.end)}
-                     .intersect(app.spec.period);
-    if (w.presence.empty()) {
-      // Window fully in the past: keep the user with an empty-but-valid
-      // window so indices still line up with `active`.
-      w.presence = SimInterval{app.spec.period.end, app.spec.period.end};
-      w.budget = 0;
-    } else {
-      w.budget = rec.budget_left;
-    }
-    problem.users.push_back(w);
+    j.window = SimInterval{begin, rec.leave.value_or(app.spec.period.end)}
+                   .intersect(app.spec.period);
+    j.budget = rec.budget_left;
+    joins.push_back(j);
+  }
+  // ActiveForApp visits in insertion (≈ task-id) order; sort to make the
+  // single greedy run's matroid ordering independent of index internals.
+  std::sort(joins.begin(), joins.end(),
+            [](const auto& a, const auto& b) { return a.member < b.member; });
+
+  std::vector<sched::IncrementalPlanner::Leave> leaves;
+  for (std::int64_t member : planner.Members()) {
+    if (active_tasks.contains(static_cast<std::uint64_t>(member))) continue;
+    sched::IncrementalPlanner::Leave l;
+    l.member = member;
+    l.cutoff = now;
+    Result<ParticipationRecord> rec =
+        participations.Get(TaskId{static_cast<std::uint64_t>(member)});
+    if (rec.ok() && rec.value().leave.has_value())
+      l.cutoff = *rec.value().leave;
+    leaves.push_back(l);
   }
 
-  // Vacuous instance: nobody has both a live presence window and budget
-  // left, so the optimizer cannot place a single measurement. Short-circuit
-  // to the empty plan before the expensive steps (decoding the app's raw
-  // blobs for executed instants, running the greedy, distributing
-  // zero-instant schedules). This is the end-of-campaign shape — every
-  // leave triggers a replan of a period that is already over — which made
-  // teardown O(phones² · blobs) before the check.
-  const bool plannable = std::any_of(
-      problem.users.begin(), problem.users.end(),
-      [](const sched::UserWindow& w) {
-        return !w.presence.empty() && w.budget > 0;
-      });
-  if (!plannable) {
+  // Tasks that stopped being active never get their pending re-send.
+  std::erase_if(st.unsent, [&](std::uint64_t t) {
+    return !active_tasks.contains(t);
+  });
+
+  if (leaves.empty() && joins.empty() && st.unsent.empty()) {
     plan.empty = true;
     return plan;
   }
 
-  if (online_aware_) {
-    problem.existing_measurements = ExecutedInstants(app, problem.grid);
+  Result<sched::IncrementalPlanner::DeltaResult> delta =
+      planner.ApplyDelta(leaves, joins);
+  if (!delta.ok()) return delta.error();
+  plan.objective_delta = delta.value().objective;
+  plan.gain_evaluations = delta.value().gain_evaluations;
+  plan.total_coverage = planner.total_coverage();
+  for (auto& [member, picks] : delta.value().pruned) {
+    plan.pruned.emplace_back(static_cast<std::uint64_t>(member),
+                             std::move(picks));
   }
 
-  Result<sched::ScheduleResult> scheduled = [&]() {
-    switch (algorithm_) {
-      case SchedulerAlgorithm::kGreedy:
-        return sched::GreedySchedule(problem);
-      case SchedulerAlgorithm::kLazyGreedy:
-        return sched::LazyGreedySchedule(problem);
-      case SchedulerAlgorithm::kPeriodic:
-        return sched::PeriodicBaselineSchedule(problem);
-    }
-    return Result<sched::ScheduleResult>(
-        Error{Errc::kInvalidArgument, "unknown algorithm"});
-  }();
-  if (!scheduled.ok()) return scheduled.error();
+  // Every join needs its (first) schedule pushed; previously-failed or
+  // rejoined tasks are already in `unsent`.
+  for (const sched::IncrementalPlanner::Join& j : joins)
+    st.unsent.insert(static_cast<std::uint64_t>(j.member));
+  for (std::uint64_t task : st.unsent) {
+    SchedulePlan::Dispatch d;
+    d.rec = *record_of.at(task);
+    d.picks = planner.PicksOf(static_cast<std::int64_t>(task));
+    plan.dispatches.push_back(std::move(d));
+  }
 
-  plan.grid = std::move(problem.grid);
-  plan.result = std::move(scheduled.value());
+  if (plan.dispatches.empty() && plan.pruned.empty()) plan.empty = true;
   return plan;
 }
 
@@ -124,9 +182,33 @@ void SensingScheduler::AttachObservability(obs::MetricsRegistry* registry,
       &registry->counter("sched.schedules_distributed");
   obs_.distribution_failures =
       &registry->counter("sched.distribution_failures");
+  obs_.gain_evaluations = &registry->counter("sched.gain_evaluations");
   obs_.last_objective = &registry->gauge("sched.last_objective");
   obs_.last_average_coverage =
       &registry->gauge("sched.last_average_coverage");
+}
+
+void SensingScheduler::PersistTaskRow(
+    PlanState& st, std::uint64_t task, std::uint64_t app,
+    const std::vector<sched::IncrementalPlanner::Pick>& picks,
+    const std::vector<SimTime>& grid) {
+  db::Table* schedules = db_.table(db::tables::kSchedules);
+  std::vector<std::uint8_t> blob = EncodeTaskRowBlob(picks, grid);
+  if (auto it = st.row_of.find(task); it != st.row_of.end()) {
+    // One row per task: later plans (a resync push, a leave prune) assign
+    // the blob in place instead of appending a fresh row per replan.
+    const std::pair<int, db::Value> cells[] = {
+        {3, db::Value(std::move(blob))}, {4, db::Value(clock_.now().ms)}};
+    (void)schedules->UpdateInPlace(db::Value(it->second), cells);
+    return;
+  }
+  const std::uint64_t pk = schedule_ids_.next().value();
+  Result<db::RowId> inserted = schedules->Insert(
+      {db::Value(pk), db::Value(task), db::Value(app),
+       db::Value(std::move(blob)), db::Value(clock_.now().ms)});
+  // Under storage faults the insert may fail; leaving `row_of` unset means
+  // the next persist retries with a fresh row.
+  if (inserted.ok()) st.row_of.emplace(task, pk);
 }
 
 Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
@@ -135,13 +217,16 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
                                         SimDuration sample_window,
                                         int samples_per_window) {
   if (plan.empty) return Status::Ok();
+  PlanState& st = plan_states_.at(app.id.value());
 
   ++stats_.reschedules;
-  stats_.last_objective = plan.result.objective;
+  stats_.last_objective = plan.objective_delta;
   stats_.last_average_coverage =
-      plan.result.objective / static_cast<double>(app.spec.n_instants);
+      plan.total_coverage / static_cast<double>(plan.grid.size());
+  stats_.gain_evaluations += plan.gain_evaluations;
   if (obs_.reschedules != nullptr) {
     obs_.reschedules->Inc();
+    obs_.gain_evaluations->Inc(plan.gain_evaluations);
     obs_.last_objective->Set(stats_.last_objective);
     obs_.last_average_coverage->Set(stats_.last_average_coverage);
   }
@@ -151,14 +236,20 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
     // run on a worker thread (FlushReschedules), while distribution is
     // always serial — so the event order is thread-count invariant.
     tracer_->Emit(stream_, clock_.now(), obs::EventKind::kSchedulePlanned,
-                  app.id.value(), plan.active.size(),
-                  static_cast<std::uint64_t>(plan.result.objective * 1000.0));
+                  app.id.value(), plan.active_count,
+                  static_cast<std::uint64_t>(plan.objective_delta * 1000.0));
   }
 
-  db::Table* schedules = db_.table(db::tables::kSchedules);
+  // Departed tasks first: shrink their durable rows to the executed picks,
+  // so a restore replays exactly the coverage that is actually sunk.
+  for (const auto& [task, picks] : plan.pruned) {
+    PersistTaskRow(st, task, app.id.value(), picks, plan.grid);
+    st.unsent.erase(task);
+  }
+
   Status overall = Status::Ok();
-  for (std::size_t k = 0; k < plan.active.size(); ++k) {
-    const ParticipationRecord& rec = plan.active[k];
+  for (const SchedulePlan::Dispatch& d : plan.dispatches) {
+    const ParticipationRecord& rec = d.rec;
     ScheduleDistribution msg;
     msg.task = rec.task;
     msg.app = app.id;
@@ -167,21 +258,12 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
     msg.samples_per_window = samples_per_window;
     msg.required_sensors = app.required_sensors;
     msg.flow_manifest = app.flow_manifest;
-    for (int idx : plan.result.schedule.per_user[k])
-      msg.instants.push_back(plan.grid[static_cast<std::size_t>(idx)]);
+    for (const sched::IncrementalPlanner::Pick& p : d.picks)
+      msg.instants.push_back(plan.grid[static_cast<std::size_t>(p.instant)]);
 
-    // Persist the schedule (delta-encoded instants) before distribution.
-    ByteWriter blob;
-    blob.varint(msg.instants.size());
-    std::int64_t prev = 0;
-    for (SimTime t : msg.instants) {
-      blob.svarint(t.ms - prev);
-      prev = t.ms;
-    }
-    (void)schedules->Insert({db::Value(schedule_ids_.next().value()),
-                             db::Value(rec.task.value()),
-                             db::Value(app.id.value()), db::Value(blob.take()),
-                             db::Value(clock_.now().ms)});
+    // Persist the schedule before distribution (resync re-pushes the stored
+    // row verbatim, so store-then-send keeps restart byte-identical).
+    PersistTaskRow(st, rec.task.value(), app.id.value(), d.picks, plan.grid);
     if (tracing) {
       tracer_->Emit(stream_, clock_.now(),
                     obs::EventKind::kScheduleCommitted, rec.task.value(), 0,
@@ -199,6 +281,7 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
                       obs::EventKind::kScheduleDistributed, rec.task.value(),
                       msg.instants.size(), app.id.value());
       }
+      st.unsent.erase(rec.task.value());
       (void)participations.MarkRunning(rec.task);
     } else {
       ++stats_.distribution_failures;
@@ -211,9 +294,12 @@ Status SensingScheduler::DistributePlan(const ApplicationRecord& app,
       // the phone's capability refusal arrives here as kUnsupported. That
       // code is permanent (the sensor will not appear), so mark the
       // participation errored; transient faults (kUnavailable partitions,
-      // kTimeout drops) leave the task waiting for the next reschedule.
-      if (reply.error().code == Errc::kUnsupported)
+      // kTimeout drops) stay in `unsent` and retry at the app's next
+      // reschedule — the same cadence the full redistribution gave them.
+      if (reply.error().code == Errc::kUnsupported) {
         (void)participations.MarkError(rec.task, reply.error().message);
+        st.unsent.erase(rec.task.value());
+      }
       overall = Status(reply.error());
     }
   }
@@ -229,6 +315,46 @@ std::vector<std::uint64_t> SensingScheduler::TakeDirtyApps() {
 void SensingScheduler::ResyncIds() {
   if (auto max = db_.table(db::tables::kSchedules)->MaxPrimaryKey())
     schedule_ids_.advance_past(static_cast<std::uint64_t>(max->as_int()));
+}
+
+void SensingScheduler::RebuildFromDb(
+    const std::vector<ApplicationRecord>& apps,
+    const ParticipationManager& participations) {
+  plan_states_.clear();
+  for (const ApplicationRecord& app : apps) {
+    EnsurePlanState(app);
+    PlanState& st = plan_states_.at(app.id.value());
+    // Active tasks are members even before their row is replayed (a task
+    // planned with zero picks still has a row, but be tolerant of a
+    // pre-distribution crash leaving an active task rowless — it will be
+    // re-planned as a join at the app's next reschedule).
+    for (const ParticipationRecord& rec : participations.ActiveForApp(app.id))
+      st.planner->RestoreMember(static_cast<std::int64_t>(rec.task.value()));
+  }
+  const db::Table* schedules = db_.table(db::tables::kSchedules);
+  schedules->ForEach([&](const db::Row& row) {
+    const auto app_id = static_cast<std::uint64_t>(row[2].as_int());
+    auto it = plan_states_.find(app_id);
+    if (it == plan_states_.end()) return true;
+    PlanState& st = it->second;
+    const auto task = static_cast<std::uint64_t>(row[1].as_int());
+    ByteReader blob(row[3].as_blob());
+    const std::uint64_t count = blob.varint();
+    for (std::uint64_t i = 0; i < count && blob.ok(); ++i)
+      (void)blob.svarint();  // legacy prefix: delta-encoded instant times
+    for (std::uint64_t i = 0; i < count && blob.ok(); ++i) {
+      const auto instant = static_cast<int>(blob.varint());
+      const std::uint64_t seq = blob.varint();
+      if (!blob.ok()) break;
+      // Rows of finished tasks replay as ownerless sunk coverage: their
+      // member is not registered, but their picks still shape q.
+      st.planner->RestoreCommit(static_cast<std::int64_t>(task), instant,
+                                seq);
+    }
+    st.row_of.emplace(task, static_cast<std::uint64_t>(row[0].as_int()));
+    return true;
+  });
+  for (auto& [app_id, st] : plan_states_) st.planner->FinishRestore();
 }
 
 }  // namespace sor::server

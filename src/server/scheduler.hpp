@@ -9,44 +9,80 @@
 // ... The Sensing Scheduler will also distribute the calculated schedules
 // along with the corresponding Lua scripts to participating mobile phones,
 // and store them into the database."
+//
+// Incremental replanning (docs/performance.md): the scheduler keeps one
+// IncrementalPlanner per app ALIVE across reschedules. A reschedule diffs
+// the active participation set against the planner's member set — users
+// seen for the first time are joins (placed against the residual coverage
+// in one warm-started greedy run), members no longer active are leaves
+// (their unexecuted picks die, their durable schedule row is pruned to the
+// executed prefix). Since placed picks never move, only the CHANGED tasks
+// are re-sent: a join pushes O(1) schedules instead of O(fleet), and the
+// schedules table holds one row per task instead of one per (task, replan).
+// `SchedulerOptions::incremental = false` keeps the cold-replan oracle:
+// every delta rebuilds the planner's derived state from its durable commit
+// log — identical picks and identical distribution by construction.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
 #include "common/sim_time.hpp"
 #include "db/database.hpp"
 #include "net/transport.hpp"
-#include "sched/greedy.hpp"
+#include "sched/incremental.hpp"
 #include "server/managers.hpp"
 
 namespace sor::server {
 
 enum class SchedulerAlgorithm {
   kGreedy,       // Algorithm 1 (incremental-gain implementation)
-  kLazyGreedy,   // Minoux variant — same objective, fewer evaluations
+  kLazyGreedy,   // Minoux variant — same picks, fewer evaluations (default)
   kPeriodic,     // §V-C baseline, for head-to-head system experiments
+};
+
+struct SchedulerOptions {
+  // false = cold-replan oracle: rebuild all derived planning state from the
+  // commit log on every reschedule. Bit-identical plans, O(fleet) work.
+  bool incremental = true;
 };
 
 struct SchedulerStats {
   std::uint64_t reschedules = 0;
   std::uint64_t schedules_distributed = 0;
   std::uint64_t distribution_failures = 0;
-  double last_objective = 0.0;
-  double last_average_coverage = 0.0;
+  std::uint64_t gain_evaluations = 0;  // marginal-gain probes, all replans
+  double last_objective = 0.0;         // coverage ADDED by the last delta
+  double last_average_coverage = 0.0;  // total locked-in coverage / instants
 };
 
-// The pure output of the §III optimization for one app: everything the
+// The output of one reschedule delta for one app: everything the
 // distribution stage needs, with no references into scheduler state. Plans
-// for different apps can be computed concurrently (PlanApp is const and
-// only reads the database).
+// for different apps can be computed concurrently (their planner states are
+// disjoint; the owner creates them serially via EnsurePlanState first).
 struct SchedulePlan {
-  std::vector<ParticipationRecord> active;  // row k ↔ result.per_user[k]
+  struct Dispatch {
+    ParticipationRecord rec;
+    // The task's full current plan (instant index + commit seq, ascending
+    // by instant) — new joins and tasks marked unsent get this pushed.
+    std::vector<sched::IncrementalPlanner::Pick> picks;
+  };
+  std::vector<Dispatch> dispatches;  // ascending task id
+  // Departed tasks whose durable schedule row shrinks to the picks that
+  // were executed before the leave. Nothing is sent — the phone is gone.
+  std::vector<std::pair<std::uint64_t, std::vector<sched::IncrementalPlanner::Pick>>>
+      pruned;
   std::vector<SimTime> grid;
-  sched::ScheduleResult result;
-  bool empty = false;  // no active participants: nothing to distribute
+  std::size_t active_count = 0;
+  double objective_delta = 0.0;   // coverage added by this delta's joins
+  double total_coverage = 0.0;    // Σ(1 − q) after the delta
+  std::uint64_t gain_evaluations = 0;
+  bool empty = false;  // no membership change and nothing unsent
 };
 
 class SensingScheduler {
@@ -58,34 +94,42 @@ class SensingScheduler {
       : db_(database), network_(network), clock_(clock),
         origin_(std::move(origin)) {}
 
+  // Algorithm/options are latched into an app's planner when its state is
+  // first created — set them before the campaign starts.
   void set_algorithm(SchedulerAlgorithm a) { algorithm_ = a; }
   [[nodiscard]] SchedulerAlgorithm algorithm() const { return algorithm_; }
+  void set_options(const SchedulerOptions& o) { options_ = o; }
+  [[nodiscard]] const SchedulerOptions& options() const { return options_; }
 
-  // Online-aware re-planning (default on): a mid-period reschedule only
-  // places measurements at future instants, and seeds the coverage state
-  // with the measurements already uploaded for this app — so budget is
-  // spent where coverage is still missing, not on re-covering the past.
-  // Turning it off reproduces the naive full-period recompute (ablation).
+  // Online-aware re-planning (default on): a join's presence window is
+  // clipped to the future, so its budget is spent where coverage is still
+  // missing. Off reproduces the naive full-period window (ablation).
   void set_online_aware(bool v) { online_aware_ = v; }
   [[nodiscard]] bool online_aware() const { return online_aware_; }
 
-  // Recompute the app's schedule from current participation state and push
-  // a ScheduleDistribution to every active participant. Called whenever a
-  // user joins or leaves (the "online" behaviour). In deferred mode the
-  // app is only marked dirty; the owner later drains TakeDirtyApps() and
-  // runs Plan/Distribute itself (see Server::FlushReschedules).
+  // Recompute the app's schedule delta from current participation state and
+  // push schedules to the CHANGED participants. Called whenever a user
+  // joins or leaves (the "online" behaviour). In deferred mode the app is
+  // only marked dirty; the owner later drains TakeDirtyApps() and runs
+  // Plan/Distribute itself (see Server::FlushReschedules).
   Status RescheduleApp(const ApplicationRecord& app,
                        ParticipationManager& participations,
                        SimDuration sample_window, int samples_per_window);
 
-  // Stage 1 (thread-safe, const): build the §III problem from current
-  // participation state and solve it. Safe to call concurrently for
-  // different apps — it only takes shared database reads.
+  // Create the app's planner state if absent. Must run serially (it
+  // mutates the state map); FlushReschedules calls it for every dirty app
+  // before fanning PlanApp out to worker threads.
+  void EnsurePlanState(const ApplicationRecord& app);
+
+  // Stage 1: diff participation against the planner's members and apply
+  // the delta. Safe to call concurrently for DIFFERENT apps once their
+  // states exist — it only touches this app's planner plus shared database
+  // reads.
   [[nodiscard]] Result<SchedulePlan> PlanApp(
       const ApplicationRecord& app,
-      const ParticipationManager& participations) const;
+      const ParticipationManager& participations);
 
-  // Stage 2 (serial): persist the plan's schedules, push them to the
+  // Stage 2 (serial): persist the changed schedules, push them to the
   // phones, update stats. Must run on one thread at a time; callers flush
   // plans in ascending app-id order to keep the send stream deterministic.
   // In a running campaign this executes inside the epoch merge pass (a
@@ -95,6 +139,11 @@ class SensingScheduler {
   Status DistributePlan(const ApplicationRecord& app, const SchedulePlan& plan,
                         ParticipationManager& participations,
                         SimDuration sample_window, int samples_per_window);
+
+  // Force a re-send of `task`'s current plan at the next reschedule even if
+  // its picks did not change — a crashed-and-restarted phone that rejoins
+  // via a new scan holds no schedule anymore.
+  void MarkTaskUnsent(const ApplicationRecord& app, TaskId task);
 
   // Deferred mode: RescheduleApp only records the app id. Used to batch the
   // O(joins) reschedule storm during field-test setup into one plan per app.
@@ -115,20 +164,37 @@ class SensingScheduler {
   // After a snapshot restore, skip schedule ids already in the table.
   void ResyncIds();
 
+  // Snapshot restore: rebuild every app's planner from the schedules table
+  // (the durable commit log — each row holds a task's surviving picks with
+  // their seqs) and the active participation set. Replaying the rows in seq
+  // order reproduces bitwise the planner state the snapshotted process held.
+  void RebuildFromDb(const std::vector<ApplicationRecord>& apps,
+                     const ParticipationManager& participations);
+
  private:
+  // Per-app persistent planning state.
+  struct PlanState {
+    std::unique_ptr<sched::IncrementalPlanner> planner;
+    std::set<std::uint64_t> unsent;  // tasks whose plan must be (re)pushed
+    std::map<std::uint64_t, std::uint64_t> row_of;  // task → schedules row pk
+  };
+
+  [[nodiscard]] sched::PlacementAlgorithm placement_algorithm() const;
+  void PersistTaskRow(PlanState& st, std::uint64_t task, std::uint64_t app,
+                      const std::vector<sched::IncrementalPlanner::Pick>& picks,
+                      const std::vector<SimTime>& grid);
+
   db::Database& db_;
   net::LoopbackNetwork& network_;
   const SimClock& clock_;
   std::string origin_;
-  // Grid indices of measurements already uploaded for an app.
-  [[nodiscard]] std::vector<int> ExecutedInstants(
-      const ApplicationRecord& app,
-      const std::vector<SimTime>& grid) const;
 
-  SchedulerAlgorithm algorithm_ = SchedulerAlgorithm::kGreedy;
+  SchedulerAlgorithm algorithm_ = SchedulerAlgorithm::kLazyGreedy;
+  SchedulerOptions options_;
   bool online_aware_ = true;
   bool deferred_ = false;
   std::set<std::uint64_t> dirty_;  // apps awaiting a deferred reschedule
+  std::map<std::uint64_t, PlanState> plan_states_;
   SchedulerStats stats_;
   IdGenerator<ScheduleId> schedule_ids_;
 
@@ -139,6 +205,7 @@ class SensingScheduler {
     obs::Counter* reschedules = nullptr;
     obs::Counter* schedules_distributed = nullptr;
     obs::Counter* distribution_failures = nullptr;
+    obs::Counter* gain_evaluations = nullptr;
     obs::Gauge* last_objective = nullptr;
     obs::Gauge* last_average_coverage = nullptr;
   };

@@ -123,8 +123,11 @@ Status SensingServer::FlushReschedules() {
     records.push_back(std::move(rec).value());
   }
 
-  // Plan in parallel (const, shared reads only), distribute serially in
-  // ascending app-id order — `dirty` is already sorted.
+  // Plan in parallel, distribute serially in ascending app-id order —
+  // `dirty` is already sorted. Planner states are created serially first:
+  // after that each PlanApp touches only its own app's state (plus shared
+  // database reads), so the fan-out stays race-free.
+  for (const ApplicationRecord& rec : records) scheduler_.EnsurePlanState(rec);
   std::vector<std::optional<Result<SchedulePlan>>> plans(records.size());
   if (executor_ != nullptr && executor_->threads() > 1) {
     executor_->ParallelFor(records.size(), [&](std::size_t i) {
@@ -260,8 +263,12 @@ Message SensingServer::OnParticipation(const ParticipationRequest& req) {
   Trace(obs::EventKind::kParticipationAccepted, task.value().value(),
         req.app.value());
 
-  // Online scheduling: every join re-plans the app's remaining period and
-  // redistributes schedules to all of its active phones.
+  // Online scheduling: a join plans the new participant against the app's
+  // residual coverage and pushes only the changed schedules. The accepted
+  // task is explicitly marked unsent first: a crashed-and-restarted phone
+  // that re-scans gets its EXISTING task back (same incarnation), and its
+  // unchanged plan must be re-pushed because the phone lost it.
+  scheduler_.MarkTaskUnsent(app.value(), task.value());
   Status sched = scheduler_.RescheduleApp(app.value(), parts_,
                                           config_.sample_window,
                                           config_.samples_per_window);
@@ -417,7 +424,9 @@ void SensingServer::MaybeResyncAfterRestart(TaskId task) {
   std::optional<db::Row> latest;
   schedules->ForEachWhereEq(
       "task_id", db::Value(task.value()), [&latest](const db::Row& row) {
-        // Rows visit in insertion order; the last one is the newest plan.
+        // One row per task holds its current plan (kept assigned in place
+        // by the scheduler); tolerate extras from older layouts by taking
+        // the newest.
         latest = row;
         return true;
       });
@@ -443,6 +452,10 @@ void SensingServer::MaybeResyncAfterRestart(TaskId task) {
     prev += instants.svarint();
     msg.instants.push_back(SimTime{prev});
   }
+  // The blob's trailing section (per-pick grid index + commit seq) feeds
+  // the planner rebuild, not the phone; skip past it before finish().
+  for (std::uint64_t i = 0; i < 2 * count && instants.ok(); ++i)
+    (void)instants.varint();
   if (!instants.finish().ok()) {
     SOR_LOG(kWarn, "server",
             "post-restart resync: stored schedule for task "
@@ -535,6 +548,12 @@ Status SensingServer::RestoreFromSnapshot(
   db_.AttachObservability(registry_);
 
   RebuildDerivedState();
+
+  // Rebuild the scheduler's per-app incremental planners from the durable
+  // schedule rows (each row is a task's surviving commit log). Replayed in
+  // seq order this is bitwise the planning state the snapshotted process
+  // held, so post-restore reschedules continue the same greedy trajectory.
+  scheduler_.RebuildFromDb(apps_.All(), parts_);
 
   // Phones still hold pre-crash schedules; re-push each app's schedule the
   // first time any of its participants makes contact.

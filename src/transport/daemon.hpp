@@ -65,7 +65,7 @@ struct DaemonConfig {
   rank::AggregationMethod aggregation =
       rank::AggregationMethod::kFootruleMcmf;
   server::SchedulerAlgorithm scheduler_algorithm =
-      server::SchedulerAlgorithm::kGreedy;
+      server::SchedulerAlgorithm::kLazyGreedy;
   server::OverloadConfig overload;
 
   // Wall-clock cadence of HealthMonitor ticks while the queue is idle.

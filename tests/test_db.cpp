@@ -89,6 +89,75 @@ TEST(Table, DuplicateKeyRejected) {
   EXPECT_EQ(t.size(), 1u);
 }
 
+Row Person(int id, const char* name) {
+  return {Value(id), Value(name), Value(0.5 * id), Value(true), Value()};
+}
+
+TEST(Table, InsertBatchAppendsAndIndexes) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  ASSERT_TRUE(t.Insert(Person(1, "ann")).ok());
+  std::vector<Row> batch = {Person(2, "ann"), Person(3, "bob"),
+                            Person(4, "ann"), Person(5, "bob")};
+  Result<std::vector<RowId>> ids = t.InsertBatch(std::move(batch));
+  ASSERT_TRUE(ids.ok()) << ids.error().str();
+  // RowIds continue the single-insert sequence, in batch order.
+  EXPECT_EQ(ids.value(), (std::vector<RowId>{2, 3, 4, 5}));
+  EXPECT_EQ(t.size(), 5u);
+  // Both the pk index and the secondary index see every batch row.
+  ASSERT_TRUE(t.FindByKey(Value(4)).has_value());
+  EXPECT_EQ((*t.FindByKey(Value(4)))[1].as_text(), "ann");
+  EXPECT_EQ(t.FindWhereEq("name", Value("ann")).size(), 3u);
+  EXPECT_EQ(t.FindWhereEq("name", Value("bob")).size(), 2u);
+  // And the postings stayed sorted: the cursored path still works.
+  std::vector<int> seen;
+  t.ForEachWhereEqFromPk("name", Value("ann"), Value(1), [&](const Row& r) {
+    seen.push_back(static_cast<int>(r[0].as_int()));
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{2, 4}));
+}
+
+TEST(Table, InsertBatchIsAllOrNothing) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  ASSERT_TRUE(t.Insert(Person(1, "ann")).ok());
+
+  // Duplicate against an existing row: nothing from the batch lands.
+  Result<std::vector<RowId>> dup_table =
+      t.InsertBatch({Person(2, "bob"), Person(1, "eve")});
+  EXPECT_EQ(dup_table.code(), Errc::kAlreadyExists);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.FindByKey(Value(2)).has_value());
+  EXPECT_TRUE(t.FindWhereEq("name", Value("bob")).empty());
+
+  // Duplicate within the batch itself.
+  Result<std::vector<RowId>> dup_batch =
+      t.InsertBatch({Person(2, "bob"), Person(3, "cat"), Person(2, "eve")});
+  EXPECT_EQ(dup_batch.code(), Errc::kAlreadyExists);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.FindByKey(Value(3)).has_value());
+
+  // Schema violation anywhere in the batch.
+  Result<std::vector<RowId>> bad_row =
+      t.InsertBatch({Person(2, "bob"), {Value(3)}});
+  EXPECT_EQ(bad_row.code(), Errc::kInvalidArgument);
+  EXPECT_EQ(t.size(), 1u);
+
+  // The failed batches left no trace: the keys are still insertable.
+  EXPECT_TRUE(t.Insert(Person(2, "bob")).ok());
+  EXPECT_TRUE(t.InsertBatch({Person(3, "cat")}).ok());
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(Table, InsertBatchEmptyIsNoop) {
+  Table t(PeopleSchema());
+  Result<std::vector<RowId>> r = t.InsertBatch({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
 TEST(Table, UpsertInsertsThenReplaces) {
   Table t(PeopleSchema());
   ASSERT_TRUE(t.Upsert({Value(1), Value("ann"), Value(1.0), Value(true),

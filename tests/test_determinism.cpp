@@ -208,6 +208,97 @@ TEST(Determinism, ThrottleScheduleIdenticalAcrossThreadCounts) {
   }
 }
 
+// Run with tracing on and fold the trace fingerprint into the string: the
+// incremental planner must not only produce the same rankings and counters
+// as the cold-replan oracle, it must emit the same kSchedulePlanned /
+// kScheduleCommitted / kScheduleDistributed event stream, byte for byte.
+// (gain_evaluations legitimately differ between the modes; Fingerprint()
+// deliberately excludes scheduler stats.)
+std::string RunModeFingerprint(const world::Scenario& scenario,
+                               FieldTestConfig config, int threads,
+                               bool incremental) {
+  config.threads = threads;
+  config.incremental_scheduling = incremental;
+  config.trace = true;
+  System system;
+  Result<FieldTestResult> run = system.RunFieldTest(scenario, config);
+  EXPECT_TRUE(run.ok()) << run.error().str();
+  if (!run.ok()) return "<error>";
+  return Fingerprint(run.value()) +
+         "\ntrace:" + std::to_string(run.value().trace_fingerprint);
+}
+
+TEST(Determinism, IncrementalMatchesColdReplanAcrossMatrix) {
+  // The tentpole's correctness contract: warm-started O(delta) planning is
+  // a pure optimization. Over the full determinism matrix the incremental
+  // planner and the cold-replan oracle produce identical fingerprints —
+  // including the trace — at every thread count.
+  const world::Scenario scenarios[] = {SmallCoffee(), SmallTrail()};
+  int which = 0;
+  for (const world::Scenario& scenario : scenarios) {
+    SCOPED_TRACE(which++ == 0 ? "coffee" : "trail");
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      SCOPED_TRACE("seed " + std::to_string(seed));
+      for (int threads : {1, 2, 8}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        EXPECT_EQ(
+            RunModeFingerprint(scenario, SmallConfig(seed), threads, true),
+            RunModeFingerprint(scenario, SmallConfig(seed), threads, false));
+      }
+    }
+  }
+}
+
+TEST(Determinism, IncrementalMatchesColdReplanUnderChaos) {
+  // Chaos faults make distribution fail mid-plan and trigger resyncs; the
+  // incremental planner must still track the oracle bit for bit.
+  const world::Scenario scenario = SmallCoffee();
+  FieldTestConfig config = SmallConfig(3);
+  net::FaultRule lossy;
+  lossy.drop = 0.3;
+  lossy.corrupt = 0.2;
+  lossy.duplicate = 0.2;
+  net::FaultRule partition;
+  partition.partition = SimInterval{SimTime{600'000}, SimTime{660'000}};
+  config.chaos_rules = {lossy, partition};
+  config.chaos_seed = 17;
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EXPECT_EQ(RunModeFingerprint(scenario, config, threads, true),
+              RunModeFingerprint(scenario, config, threads, false));
+  }
+}
+
+TEST(Determinism, IncrementalMatchesColdReplanUnderChurn) {
+  // Node churn exercises the leave path: crashes and uninstalls force the
+  // planner through support-local repair (incremental) vs full q replay
+  // (oracle). Those must agree numerically to the last bit, or rankings
+  // diverge here first.
+  const world::Scenario scenario = SmallCoffee();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("node seed " + std::to_string(seed));
+    FieldTestConfig config = SmallConfig(7);
+    net::NodeFaultRule phones;
+    phones.endpoint = "phone:*";
+    phones.crash = 0.01;
+    phones.restart_after = SimDuration{30'000};
+    phones.uninstall = 0.004;
+    phones.reinstall_after = SimDuration{40'000};
+    net::NodeFaultRule server;
+    server.endpoint = "server";
+    server.stall = 0.02;
+    server.stall_for = SimDuration{20'000};
+    config.node_rules = {phones, server};
+    config.node_seed = seed;
+    config.drain_ticks = 12;
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      EXPECT_EQ(RunModeFingerprint(scenario, config, threads, true),
+                RunModeFingerprint(scenario, config, threads, false));
+    }
+  }
+}
+
 TEST(Determinism, DeferredSetupReschedulesIdenticalAcrossThreadCounts) {
   // Deferred mode changes the setup schedule stream (one plan per app, not
   // one per join) so it is NOT byte-identical to eager mode — but it must

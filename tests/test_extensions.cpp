@@ -162,14 +162,14 @@ TEST(OnlineSched, ServerReschedulePlacesOnlyFutureInstants) {
   req.scan_time = clock.now();
   ASSERT_TRUE(net.Send("server", req).ok());
 
-  // The second round of schedules (for both phones) is future-only.
-  ASSERT_GE(phone_a.schedules.size(), 2u);
+  // Plan-delta distribution: only the JOINING phone gets a schedule — A's
+  // plan is append-only and is not re-sent. B's schedule, planned mid-
+  // period, is future-only.
+  ASSERT_EQ(phone_a.schedules.size(), 1u);
   ASSERT_GE(phone_b.schedules.size(), 1u);
-  for (SimTime t : phone_a.schedules.back().instants)
-    EXPECT_GE(t.ms, 300000);
   for (SimTime t : phone_b.schedules.back().instants)
     EXPECT_GE(t.ms, 300000);
-  // The first schedule for A (computed at t=0) was unconstrained.
+  // The schedule for A (computed at t=0) was unconstrained.
   EXPECT_FALSE(phone_a.schedules.front().instants.empty());
   net.Unregister("phone:tok-a");
   net.Unregister("phone:tok-b");

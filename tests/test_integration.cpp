@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/system.hpp"
+#include "sched/greedy.hpp"
 
 namespace sor::core {
 namespace {

@@ -7,8 +7,12 @@
 // tools/ci.sh runs these as its perf stage (ctest -R 'Perf\.').
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <memory>
+#include <string>
 #include <variant>
+#include <vector>
 
 #include "common/features.hpp"
 #include "obs/metrics.hpp"
@@ -312,6 +316,138 @@ TEST(Perf, AccumulatorStateSurvivesSnapshotRestore) {
   // blobs were read after restore, not the whole history again.
   // (live decoded all 4; restored decoded 2 post-restore.)
   EXPECT_EQ(restored.server.data_processor().stats().blobs_decoded, 2u);
+}
+
+// --- the O(delta) replanning guarantees -------------------------------------
+
+// One app, a fleet of AckPhones joining one at a time — each join triggers
+// an inline reschedule, so the scheduler's counters expose the per-join
+// cost directly.
+struct FleetFixture {
+  explicit FleetFixture(bool incremental) {
+    net.set_clock(&clock);
+    SchedulerOptions opts;
+    opts.incremental = incremental;
+    server.scheduler().set_options(opts);
+    Result<BarcodePayload> barcode =
+        server.DeployApplication(PerfAppSpec(false));
+    EXPECT_TRUE(barcode.ok()) << barcode.error().str();
+    app = barcode.value().app;
+  }
+
+  void Join(int i) {
+    const std::string token = "tok-f" + std::to_string(i);
+    UserId user =
+        server.users().RegisterUser("user" + std::to_string(i), Token{token})
+            .value();
+    phones.push_back(std::make_unique<AckPhone>(net, "phone:" + token));
+    ParticipationRequest req;
+    req.user = user;
+    req.token = Token{token};
+    req.app = app;
+    req.location = GeoPoint{43.0, -76.0, 100};
+    req.budget = 10;
+    Result<Message> reply = net.Send("server", req);
+    ASSERT_TRUE(reply.ok()) << reply.error().str();
+  }
+
+  SimClock clock;
+  net::LoopbackNetwork net;
+  SensingServer server{ServerConfig{}, net, clock};
+  std::vector<std::unique_ptr<AckPhone>> phones;
+  AppId app;
+};
+
+TEST(Perf, JoinGainEvaluationsAreODeltaNotOFleet) {
+  constexpr int kFleet = 24;
+  // Incremental: each join warm-starts against the residual coverage, so
+  // the marginal cost of the LAST join is in the same ballpark as the
+  // first — it does not grow with the fleet.
+  FleetFixture inc(/*incremental=*/true);
+  std::vector<std::uint64_t> deltas;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < kFleet; ++i) {
+    inc.Join(i);
+    const std::uint64_t total = inc.server.scheduler().stats().gain_evaluations;
+    deltas.push_back(total - prev);
+    prev = total;
+  }
+  EXPECT_LE(deltas.back(), 4 * deltas.front())
+      << "per-join gain evaluations grew with fleet size";
+  // Absolute ceiling: one join costs O(window instants + budget pops) —
+  // here ≪ 5 × n_instants (300). The pre-tentpole full replan re-placed
+  // every member's budget, ≥ fleet × n_instants probes by join 24 (1440+),
+  // so any regression back to O(fleet) work trips this immediately.
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_LT(deltas[i], 300u) << "join " << i;
+  }
+}
+
+TEST(Perf, SchedulesSentAndRowsAreOJoinsNotOFleetSquared) {
+  constexpr int kFleet = 16;
+  FleetFixture f(/*incremental=*/true);
+  for (int i = 0; i < kFleet; ++i) f.Join(i);
+  const SchedulerStats& stats = f.server.scheduler().stats();
+  // Plan-delta distribution: each join pushed exactly ONE schedule (to the
+  // joiner); nobody else's unchanged plan was re-sent. The old full
+  // redistribution sent O(fleet) per join — O(fleet²) total.
+  EXPECT_EQ(stats.schedules_distributed, static_cast<std::uint64_t>(kFleet));
+  EXPECT_EQ(stats.distribution_failures, 0u);
+  // Durable plan state: ONE schedules row per task, updated in place —
+  // not one new row per active user per replan.
+  EXPECT_EQ(f.server.database().table(db::tables::kSchedules)->size(),
+            static_cast<std::size_t>(kFleet));
+}
+
+// --- the db equality-scan gate ----------------------------------------------
+
+TEST(Perf, IndexedScanVisitationAtLeast5xFasterThanBaseline) {
+  // BENCH_micro_db.json's indexed_scan was 1.17 ms/op when it measured the
+  // materializing FindWhereEq over this exact shape (100k rows, 16-way
+  // fanout). The visitation path the hot loops use must beat that baseline
+  // by ≥5x. Wall-clock, but with a 1.8x+ margin on an idle host and
+  // min-of-batches to shrug off scheduler noise.
+  db::Schema schema;
+  schema.table_name = "bench";
+  schema.columns = {{"id", db::ColumnType::kInt64},
+                    {"app", db::ColumnType::kInt64},
+                    {"status", db::ColumnType::kText},
+                    {"value", db::ColumnType::kDouble}};
+  db::Table t(schema);
+  ASSERT_TRUE(t.CreateIndex("app").ok());
+  constexpr std::int64_t kRows = 100'000;
+  constexpr std::int64_t kFanout = 16;
+  {
+    std::vector<db::Row> batch;
+    batch.reserve(kRows);
+    for (std::int64_t i = 0; i < kRows; ++i)
+      batch.push_back({db::Value(i), db::Value(i % kFanout),
+                       db::Value("running"), db::Value(1.5)});
+    ASSERT_TRUE(t.InsertBatch(std::move(batch)).ok());
+  }
+
+  constexpr double kBaselineNs = 1'170'000.0;  // blessed pre-change metric
+  using Clock = std::chrono::steady_clock;
+  double best_ns = 1e18;
+  for (int batch = 0; batch < 5; ++batch) {
+    constexpr int kIters = 10;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      double sum = 0.0;
+      t.ForEachWhereEq("app", db::Value(std::int64_t{i} % kFanout),
+                       [&](const db::Row& r) {
+                         sum += r[3].as_double();
+                         return true;
+                       });
+      ASSERT_GT(sum, 0.0);
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count() /
+        kIters;
+    best_ns = std::min(best_ns, ns);
+  }
+  EXPECT_LT(best_ns, kBaselineNs / 5.0)
+      << "indexed equality visitation regressed below the 5x contract";
 }
 
 }  // namespace

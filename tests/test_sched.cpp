@@ -12,6 +12,7 @@
 #include "sched/baseline.hpp"
 #include "sched/brute_force.hpp"
 #include "sched/greedy.hpp"
+#include "sched/incremental.hpp"
 #include "sched/matroid.hpp"
 
 namespace sor::sched {
@@ -422,6 +423,189 @@ TEST(BruteForce, RefusesLargeGroundSets) {
   Problem p = SmallProblem(30, 300.0, 10.0);
   AddUser(p, 0, 300, 5);
   EXPECT_FALSE(BruteForceOptimalSchedule(p, 10).ok());
+}
+
+// --- delta placement + the incremental planner ------------------------------
+
+// Random delta instance: K users with random windows and budgets.
+Problem RandomDelta(Rng& rng, int n_instants, double period_s) {
+  Problem p = SmallProblem(n_instants, period_s, 10.0);
+  const int K = 1 + static_cast<int>(rng.uniform_int(0, 3));
+  for (int k = 0; k < K; ++k) {
+    const double a = rng.uniform(0, period_s * 0.8);
+    AddUser(p, a, a + rng.uniform(30, period_s - a),
+            1 + static_cast<int>(rng.uniform_int(0, 5)));
+  }
+  return p;
+}
+
+TEST(Greedy, EagerAndLazyDeltaPickParity) {
+  // --scheduler greedy and --scheduler lazy must commit the SAME picks in
+  // the SAME order — the lazy heap is an efficiency change only. Checked
+  // over two delta waves so the second wave places against nontrivial
+  // residual coverage, where stale heap entries actually occur.
+  Rng rng(71);
+  for (int round = 0; round < 10; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::vector<double> q_eager(60, 1.0);
+    std::vector<double> q_lazy = q_eager;
+    std::vector<double> q_oracle = q_eager;
+    Rng wave_rng = rng.fork();
+    for (int wave = 0; wave < 2; ++wave) {
+      SCOPED_TRACE("wave " + std::to_string(wave));
+      const Problem p = RandomDelta(wave_rng, 60, 600.0);
+      Result<ScheduleResult> eager = GreedyPlaceDelta(p, q_eager);
+      Result<ScheduleResult> lazy =
+          LazyGreedyPlaceDelta(p, q_lazy, /*full_grid_candidates=*/false);
+      Result<ScheduleResult> oracle =
+          LazyGreedyPlaceDelta(p, q_oracle, /*full_grid_candidates=*/true);
+      ASSERT_TRUE(eager.ok());
+      ASSERT_TRUE(lazy.ok());
+      ASSERT_TRUE(oracle.ok());
+      // Identical commit sequences...
+      EXPECT_EQ(eager.value().insertion_order, lazy.value().insertion_order);
+      EXPECT_EQ(lazy.value().insertion_order, oracle.value().insertion_order);
+      // ...and bitwise-identical residual coverage carried to the next wave.
+      EXPECT_EQ(q_eager, q_lazy);
+      EXPECT_EQ(q_lazy, q_oracle);
+      // The windowed heap seeding may only SAVE evaluations.
+      EXPECT_LE(lazy.value().gain_evaluations,
+                oracle.value().gain_evaluations);
+    }
+  }
+}
+
+IncrementalPlanner::Options PlannerOpts(bool incremental,
+                                        double rebuild_fraction = 0.25) {
+  IncrementalPlanner::Options o;
+  o.sigma_s = 10.0;
+  o.incremental = incremental;
+  o.rebuild_fraction = rebuild_fraction;
+  return o;
+}
+
+// Drive two planners through an identical churn history and require
+// byte-identical observable state after every delta.
+void ExpectLockstep(IncrementalPlanner& a, IncrementalPlanner& b,
+                    std::uint64_t seed, std::int64_t first_member) {
+  Rng rng(seed);
+  std::vector<std::int64_t> active;
+  std::int64_t next_member = first_member;
+  for (int round = 0; round < 8; ++round) {
+    SCOPED_TRACE("delta round " + std::to_string(round));
+    std::vector<IncrementalPlanner::Leave> leaves;
+    for (std::size_t i = 0; i < active.size();) {
+      if (rng.uniform(0, 1) < 0.3) {
+        leaves.push_back(
+            {active[i], SimTime::FromSeconds(rng.uniform(0, 600))});
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    std::vector<IncrementalPlanner::Join> joins;
+    const int arriving = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int k = 0; k < arriving; ++k) {
+      const double arrive = rng.uniform(0, 500);
+      joins.push_back({next_member,
+                       SimInterval{SimTime::FromSeconds(arrive),
+                                   SimTime::FromSeconds(
+                                       arrive + rng.uniform(30, 600 - arrive))},
+                       1 + static_cast<int>(rng.uniform_int(0, 5))});
+      active.push_back(next_member++);
+    }
+    Result<IncrementalPlanner::DeltaResult> ra = a.ApplyDelta(leaves, joins);
+    Result<IncrementalPlanner::DeltaResult> rb = b.ApplyDelta(leaves, joins);
+    ASSERT_TRUE(ra.ok()) << ra.error().str();
+    ASSERT_TRUE(rb.ok()) << rb.error().str();
+    // Bitwise: objective, pruned rows, every member's plan, total coverage.
+    EXPECT_EQ(ra.value().objective, rb.value().objective);
+    ASSERT_EQ(ra.value().pruned.size(), rb.value().pruned.size());
+    for (const auto& [member, picks] : ra.value().pruned) {
+      auto it = rb.value().pruned.find(member);
+      ASSERT_NE(it, rb.value().pruned.end()) << "member " << member;
+      ASSERT_EQ(picks.size(), it->second.size());
+      for (std::size_t i = 0; i < picks.size(); ++i) {
+        EXPECT_EQ(picks[i].instant, it->second[i].instant);
+        EXPECT_EQ(picks[i].seq, it->second[i].seq);
+      }
+    }
+    EXPECT_EQ(a.Members(), b.Members());
+    for (std::int64_t m : active) EXPECT_EQ(a.PlanOf(m), b.PlanOf(m));
+    EXPECT_EQ(a.total_coverage(), b.total_coverage());
+  }
+}
+
+TEST(Incremental, ChurnMatchesColdReplanOracle) {
+  // The tentpole parity contract: incremental q maintenance + windowed heap
+  // seeding produce bit-for-bit the plans of a full cold replan from the
+  // commit log, across random join/leave churn.
+  std::vector<SimTime> grid = Problem::UniformGrid(600.0, 60, 10.0).grid;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    IncrementalPlanner inc(grid, PlannerOpts(true));
+    IncrementalPlanner oracle(grid, PlannerOpts(false));
+    ExpectLockstep(inc, oracle, seed, 100);
+  }
+}
+
+TEST(Incremental, LeaveRepairModesBitwiseEqual) {
+  // Support-local factor gathering vs full-log replay are the same bits —
+  // only the cost differs. rebuild_fraction 0 forces replay on every leave;
+  // a huge fraction forces local repair always.
+  std::vector<SimTime> grid = Problem::UniformGrid(600.0, 60, 10.0).grid;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    IncrementalPlanner always_rebuild(grid, PlannerOpts(true, 0.0));
+    IncrementalPlanner always_local(grid, PlannerOpts(true, 1e9));
+    ExpectLockstep(always_rebuild, always_local, seed, 300);
+  }
+}
+
+TEST(Incremental, RestoreRebuildsEquivalentState) {
+  // A planner restored from durable picks (RestoreMember/RestoreCommit/
+  // FinishRestore) must behave bitwise like the uninterrupted original on
+  // every subsequent delta.
+  std::vector<SimTime> grid = Problem::UniformGrid(600.0, 60, 10.0).grid;
+  IncrementalPlanner live(grid, PlannerOpts(true));
+  std::vector<IncrementalPlanner::Join> wave1 = {
+      {1, SimInterval{SimTime::FromSeconds(0), SimTime::FromSeconds(600)}, 5},
+      {2, SimInterval{SimTime::FromSeconds(100), SimTime::FromSeconds(500)},
+       4},
+      {3, SimInterval{SimTime::FromSeconds(50), SimTime::FromSeconds(350)},
+       3}};
+  ASSERT_TRUE(live.ApplyDelta({}, wave1).ok());
+
+  IncrementalPlanner restored(grid, PlannerOpts(true));
+  for (std::int64_t m : live.Members()) {
+    restored.RestoreMember(m);
+    for (const IncrementalPlanner::Pick& pick : live.PicksOf(m))
+      restored.RestoreCommit(m, pick.instant, pick.seq);
+  }
+  restored.FinishRestore();
+  EXPECT_EQ(restored.Members(), live.Members());
+  for (std::int64_t m : live.Members())
+    EXPECT_EQ(restored.PlanOf(m), live.PlanOf(m));
+  EXPECT_EQ(restored.total_coverage(), live.total_coverage());
+
+  // Same churn applied to both from here on stays in lockstep.
+  ExpectLockstep(live, restored, 9, 500);
+}
+
+TEST(Incremental, RejoinOfKnownMemberRejected) {
+  std::vector<SimTime> grid = Problem::UniformGrid(600.0, 60, 10.0).grid;
+  IncrementalPlanner planner(grid, PlannerOpts(true));
+  const std::vector<IncrementalPlanner::Join> join = {
+      {7, SimInterval{SimTime::FromSeconds(0), SimTime::FromSeconds(600)},
+       3}};
+  ASSERT_TRUE(planner.ApplyDelta({}, join).ok());
+  Result<IncrementalPlanner::DeltaResult> again = planner.ApplyDelta({}, join);
+  EXPECT_EQ(again.code(), Errc::kAlreadyExists);
+  // After a leave the member may join again.
+  ASSERT_TRUE(
+      planner.ApplyDelta({{7, SimTime::FromSeconds(600)}}, {}).ok());
+  EXPECT_FALSE(planner.HasMember(7));
+  EXPECT_TRUE(planner.ApplyDelta({}, join).ok());
 }
 
 }  // namespace

@@ -476,13 +476,18 @@ TEST(ServerEndToEnd, LeaveFinishesAndReschedules) {
       task_a = std::get<ParticipationReply>(reply.value()).task;
   }
   const std::size_t schedules_before = phone_b.schedules_.size();
+  const std::uint64_t reschedules_before =
+      f.server.scheduler().stats().reschedules;
 
   LeaveNotification note{task_a, ua, SimTime{60'000}};
   ASSERT_TRUE(f.net.Send("server", note).ok());
   EXPECT_EQ(f.server.participations().Get(task_a).value().status,
             "finished");
-  // Phone B got a refreshed schedule after A left.
-  EXPECT_GT(phone_b.schedules_.size(), schedules_before);
+  // The leave reclaimed A's unexecuted picks (a reschedule ran), but B's
+  // plan is append-only and unchanged — plan-delta distribution sends B
+  // nothing.
+  EXPECT_GT(f.server.scheduler().stats().reschedules, reschedules_before);
+  EXPECT_EQ(phone_b.schedules_.size(), schedules_before);
 }
 
 TEST(ServerEndToEnd, MalformedFrameAnsweredWithError) {

@@ -200,9 +200,37 @@ echo "=== stage: perf regression (operation counts) ==="
 # per-operation storage cost report.
 ctest --preset default -R 'Perf\.' --output-on-failure
 if [[ -x build/bench/micro_db ]]; then
-  build/bench/micro_db
+  # --allow-dirty: this is a smoke run, not a blessed BENCH_*.json refresh.
+  build/bench/micro_db --allow-dirty
 else
   echo "ci: build/bench/micro_db not built; skipping storage cost report" >&2
+fi
+
+echo "=== stage: 10k-phone scale smoke (O(delta) scheduling) ==="
+# One 10k-phone campaign cell (~50s serial). The gate is the counters, not
+# the wall time: plan-delta distribution must send EXACTLY one schedule per
+# join (a fleet-wide redistribution would send ~fleet per join), and the
+# per-join gain-evaluation count must stay O(window+budget) — hundreds at
+# most, never the ~10k an O(fleet) replan would charge.
+if [[ -x build/bench/scale_phones ]]; then
+  cell_json="$(build/bench/scale_phones --cell 3334 1)"
+  echo "ci: ${cell_json}"
+  sent_per_join="$(sed -n 's/.*"schedules_sent_per_join": \([0-9.]*\).*/\1/p' \
+                   <<<"${cell_json}")"
+  evals_per_join="$(sed -n 's/.*"gain_evaluations_per_join": \([0-9.]*\).*/\1/p' \
+                    <<<"${cell_json}")"
+  if [[ "${sent_per_join}" != "1.000" ]]; then
+    echo "ci: schedules_sent_per_join=${sent_per_join} (want 1.000) —" \
+         "plan-delta distribution regressed to fleet-wide pushes" >&2
+    exit 1
+  fi
+  if awk -v e="${evals_per_join}" 'BEGIN { exit !(e >= 1000) }'; then
+    echo "ci: gain_evaluations_per_join=${evals_per_join} (want <1000) —" \
+         "join replanning regressed toward O(fleet)" >&2
+    exit 1
+  fi
+else
+  echo "ci: build/bench/scale_phones not built; skipping scale smoke" >&2
 fi
 
 echo "=== stage: multi-thread perf smoke (epoch runtime) ==="

@@ -63,7 +63,7 @@ int Usage() {
       "  sor fieldtest --scenario trails|coffee [--budget N] [--method M]"
       " [--csv|--json]\n"
       "                [--phones N] [--period S] [--seed S]"
-      " [--rankings-out F]\n"
+      " [--scheduler A] [--rankings-out F]\n"
       "  sor simulate  [--users N] [--budget B] [--runs R] [--sigma S]\n"
       "  sor barcode   --scenario trails|coffee --place IDX [--ascii]\n"
       "  sor rank      --scenario trails|coffee --user NAME [--method M]"
@@ -80,7 +80,8 @@ int Usage() {
       "  sor trace     --in F.jsonl [--summary] [--fingerprint]\n"
       "  sor serve     --scenario trails|coffee [--bind ADDR] [--phones N]"
       " [--period S]\n"
-      "                [--seed S] [--method M] [--tick-ms MS] [--snapshot F]\n"
+      "                [--seed S] [--method M] [--scheduler A]"
+      " [--tick-ms MS] [--snapshot F]\n"
       "                [--rankings-out F] [--overload [B]]\n"
       "  sor loadgen   --scenario trails|coffee [--connect ADDR]"
       " [--workers N]\n"
@@ -88,7 +89,8 @@ int Usage() {
       " [--report F]\n"
       "  sor help\n\n"
       "addresses: unix:/path/to.sock or tcp:HOST:PORT\n"
-      "methods:   mcmf (default), hungarian, kemeny, borda\n");
+      "methods:   mcmf (default), hungarian, kemeny, borda\n"
+      "schedulers: lazy (default), greedy, periodic\n");
   return 2;
 }
 
@@ -134,6 +136,15 @@ Result<rank::AggregationMethod> MethodByName(const std::string& name) {
   return Error{Errc::kInvalidArgument, "unknown method '" + name + "'"};
 }
 
+Result<server::SchedulerAlgorithm> SchedulerByName(const std::string& name) {
+  if (name == "lazy" || name.empty())
+    return server::SchedulerAlgorithm::kLazyGreedy;
+  if (name == "greedy") return server::SchedulerAlgorithm::kGreedy;
+  if (name == "periodic") return server::SchedulerAlgorithm::kPeriodic;
+  return Error{Errc::kInvalidArgument,
+               "unknown scheduler '" + name + "' (greedy|lazy|periodic)"};
+}
+
 bool WriteFileOrStdout(const std::string& path, const std::string& content,
                        const char* what) {
   if (path == "-") {
@@ -149,24 +160,26 @@ bool WriteFileOrStdout(const std::string& path, const std::string& content,
   return true;
 }
 
-Result<core::FieldTestResult> Campaign(const world::Scenario& scenario,
-                                       int budget,
-                                       rank::AggregationMethod method,
-                                       std::uint64_t seed = 42) {
+Result<core::FieldTestResult> Campaign(
+    const world::Scenario& scenario, int budget,
+    rank::AggregationMethod method, std::uint64_t seed = 42,
+    server::SchedulerAlgorithm scheduler =
+        server::SchedulerAlgorithm::kLazyGreedy) {
   core::System system;
   core::FieldTestConfig config;
   config.budget_per_user = budget;
   config.aggregation = method;
   config.sigma_s = 60.0;
   config.seed = seed;
+  config.scheduler_algorithm = scheduler;
   return system.RunFieldTest(scenario, config);
 }
 
 int CmdFieldTest(const cli::Args& args) {
   if (int rc = RejectUnknownFlags(
           args, "fieldtest",
-          {"scenario", "budget", "method", "csv", "json", "phones", "period",
-           "seed", "rankings-out"}))
+          {"scenario", "budget", "method", "scheduler", "csv", "json",
+           "phones", "period", "seed", "rankings-out"}))
     return rc;
   Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
   if (!scenario.ok()) {
@@ -179,9 +192,15 @@ int CmdFieldTest(const cli::Args& args) {
     std::fprintf(stderr, "%s\n", method.error().str().c_str());
     return 2;
   }
+  Result<server::SchedulerAlgorithm> scheduler =
+      SchedulerByName(args.Get("scheduler"));
+  if (!scheduler.ok()) {
+    std::fprintf(stderr, "%s\n", scheduler.error().str().c_str());
+    return 2;
+  }
   Result<core::FieldTestResult> run = Campaign(
       scenario.value(), args.GetInt("budget", 40), method.value(),
-      static_cast<std::uint64_t>(args.GetInt("seed", 42)));
+      static_cast<std::uint64_t>(args.GetInt("seed", 42)), scheduler.value());
   if (!run.ok()) {
     std::fprintf(stderr, "campaign failed: %s\n", run.error().str().c_str());
     return 1;
@@ -534,8 +553,8 @@ int CmdServe(const cli::Args& args) {
   if (int rc = RejectUnknownFlags(
           args, "serve",
           {"scenario", "bind", "phones", "period", "seed", "method",
-           "tick-ms", "io-timeout-ms", "snapshot", "rankings-out",
-           "overload"}))
+           "scheduler", "tick-ms", "io-timeout-ms", "snapshot",
+           "rankings-out", "overload"}))
     return rc;
   Result<world::Scenario> scenario = ScenarioByName(args.Get("scenario"));
   if (!scenario.ok()) {
@@ -549,8 +568,16 @@ int CmdServe(const cli::Args& args) {
     return 2;
   }
 
+  Result<server::SchedulerAlgorithm> scheduler =
+      SchedulerByName(args.Get("scheduler"));
+  if (!scheduler.ok()) {
+    std::fprintf(stderr, "%s\n", scheduler.error().str().c_str());
+    return 2;
+  }
+
   transport::DaemonConfig config;
   config.bind = args.Get("bind", "unix:/tmp/sor-serve.sock");
+  config.scheduler_algorithm = scheduler.value();
   config.scenario = scenario.value();
   config.plan.seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
   config.aggregation = method.value();
